@@ -1,0 +1,55 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! model class (LSTM vs n-gram) for synthesis throughput and sample validity,
+//! and feature set (Grewe vs extended) for decision-tree training cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use clgen::{ArgumentSpec, Clgen, ClgenOptions, ModelBackend};
+use clgen_neural::train::TrainConfig;
+use predictive::{DecisionTree, TreeConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    // Model class ablation: candidate sampling throughput.
+    let spec = ArgumentSpec::paper_default();
+    let mut ngram_options = ClgenOptions::small(5);
+    ngram_options.corpus.miner.repositories = 30;
+    let mut ngram_clgen = Clgen::new(ngram_options);
+    c.bench_function("ablation/model_class/ngram_sample", |b| {
+        b.iter(|| ngram_clgen.sample_candidate(Some(&spec)))
+    });
+    let mut lstm_options = ClgenOptions::small(5);
+    lstm_options.corpus.miner.repositories = 10;
+    lstm_options.sample.max_chars = 256;
+    lstm_options.backend = ModelBackend::Lstm {
+        hidden_size: 32,
+        num_layers: 1,
+        train: TrainConfig { epochs: 1, learning_rate: 0.05, decay_factor: 0.9, decay_every: 2, unroll: 32, clip_norm: 5.0 },
+    };
+    let mut lstm_clgen = Clgen::new(lstm_options);
+    c.bench_function("ablation/model_class/lstm_sample", |b| {
+        b.iter(|| lstm_clgen.sample_candidate(Some(&spec)))
+    });
+
+    // Feature set ablation: tree training cost with 4 vs 11 features.
+    let make_samples = |dims: usize| -> Vec<(Vec<f64>, usize)> {
+        (0..300)
+            .map(|i| {
+                let mut f = vec![0.0; dims];
+                for (j, v) in f.iter_mut().enumerate() {
+                    *v = ((i * (j + 3)) % 97) as f64;
+                }
+                (f, usize::from(i % 97 > 48))
+            })
+            .collect()
+    };
+    let grewe = make_samples(4);
+    let extended = make_samples(11);
+    c.bench_function("ablation/feature_set/train_grewe4", |b| {
+        b.iter(|| DecisionTree::train(&grewe, &TreeConfig::default()))
+    });
+    c.bench_function("ablation/feature_set/train_extended11", |b| {
+        b.iter(|| DecisionTree::train(&extended, &TreeConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks for language-model training (§4.2): one LSTM BPTT chunk at the
+//! test scale, and n-gram table construction, over the same corpus text.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use clgen_corpus::{Corpus, CorpusOptions, Vocabulary};
+use clgen_neural::lstm::{LstmConfig, LstmModel};
+use clgen_neural::ngram::{NgramConfig, NgramModel};
+use clgen_neural::train::train_chunk;
+
+fn bench_training(c: &mut Criterion) {
+    let corpus = Corpus::build(&CorpusOptions::small(11));
+    let text = corpus.training_text();
+    let vocab = Vocabulary::from_text(&text);
+    let encoded = vocab.encode(&text);
+    let chunk: Vec<u32> = encoded.iter().copied().take(256).collect();
+
+    c.bench_function("lstm/bptt_chunk_64x2_h64", |b| {
+        let mut model = LstmModel::new(LstmConfig { vocab_size: vocab.len(), hidden_size: 64, num_layers: 2, seed: 1 });
+        let mut state = model.initial_state();
+        b.iter(|| {
+            let inputs = &chunk[..64];
+            let targets = &chunk[1..65];
+            train_chunk(&mut model, &mut state, inputs, targets, 0.01, 5.0)
+        })
+    });
+    c.bench_function("lstm/forward_char_h128", |b| {
+        let model = LstmModel::new(LstmConfig { vocab_size: vocab.len(), hidden_size: 128, num_layers: 2, seed: 1 });
+        let mut state = model.initial_state();
+        b.iter(|| model.predict(&mut state, 7))
+    });
+    c.bench_function("ngram/train_corpus", |b| {
+        b.iter(|| NgramModel::train(&encoded, vocab.len(), NgramConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

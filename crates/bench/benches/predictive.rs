@@ -1,0 +1,51 @@
+//! Benchmarks for the predictive-modeling side (§7-8): static feature
+//! extraction over the benchmark suites, decision-tree training, and a full
+//! leave-one-out evaluation (the inner loop of Tables 1 and Figures 7/8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cl_frontend::analysis::analyze_kernels;
+use predictive::{leave_one_out, Dataset, Example, MappingModel, TreeConfig};
+use suites::all_benchmarks;
+
+fn synthetic_dataset(n: usize) -> Dataset {
+    let mut d = Dataset::new();
+    for i in 0..n {
+        let size = (i + 1) as f64 * 37.0;
+        let gpu_better = size > 400.0;
+        d.push(Example {
+            features: vec![size, (i % 7) as f64, (i % 3) as f64, size / 10.0],
+            benchmark: format!("bench{}", i / 4),
+            suite: "synthetic".into(),
+            id: format!("e{i}"),
+            cpu_time: if gpu_better { size } else { size / 10.0 },
+            gpu_time: if gpu_better { size / 5.0 } else { size },
+        });
+    }
+    d
+}
+
+fn bench_predictive(c: &mut Criterion) {
+    c.bench_function("features/static_extraction_all_suites", |b| {
+        let benchmarks = all_benchmarks();
+        b.iter(|| {
+            benchmarks
+                .iter()
+                .map(|bench| {
+                    let compiled = cl_frontend::compile(&bench.source, &Default::default());
+                    analyze_kernels(&compiled.unit).len()
+                })
+                .sum::<usize>()
+        })
+    });
+    c.bench_function("tree/train_200_examples", |b| {
+        let d = synthetic_dataset(200);
+        b.iter(|| MappingModel::train(&d))
+    });
+    c.bench_function("loocv/50_benchmarks", |b| {
+        let d = synthetic_dataset(200);
+        b.iter(|| leave_one_out(&d, None, &TreeConfig::default()))
+    });
+}
+
+criterion_group!(benches, bench_predictive);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmarks for benchmark synthesis (§4.3 / Figure 9 regeneration cost):
+//! sampling one candidate, filtering it, and the CLSmith comparator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use clgen::{ArgumentSpec, Clgen, ClgenOptions};
+use clsmith::ClsmithConfig;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut options = ClgenOptions::small(17);
+    options.corpus.miner.repositories = 40;
+    let mut clgen = Clgen::new(options);
+    let spec = ArgumentSpec::paper_default();
+
+    c.bench_function("clgen/sample_candidate", |b| {
+        b.iter(|| clgen.sample_candidate(Some(&spec)))
+    });
+    c.bench_function("clgen/sample_and_filter", |b| {
+        b.iter(|| {
+            let candidate = clgen.sample_candidate(Some(&spec));
+            clgen.check_candidate(&candidate)
+        })
+    });
+    c.bench_function("clsmith/generate_kernel", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            clsmith::generate_kernel(seed, &ClsmithConfig::default())
+        })
+    });
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

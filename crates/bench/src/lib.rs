@@ -1,0 +1,15 @@
+//! # clgen-bench
+//!
+//! Criterion benchmarks for the CLgen reproduction pipeline. Each bench file
+//! corresponds to a pipeline stage or to the regeneration cost of a paper
+//! artefact:
+//!
+//! * `corpus_pipeline` — mining, rejection filtering, code rewriting (§4.1),
+//! * `model_training`  — LSTM training step vs n-gram training (§4.2 ablation),
+//! * `synthesis`       — Algorithm-1 sampling and candidate filtering (§4.3),
+//! * `driver`          — payload generation, dynamic checking, interpretation
+//!   and device-model estimation (§5),
+//! * `predictive`      — feature extraction, decision-tree training and
+//!   leave-one-out evaluation (§7-8, Tables 1, Figures 7/8),
+//! * `ablations`       — feature-set (Grewe vs extended) and model-class
+//!   (LSTM vs n-gram) ablations called out in DESIGN.md.

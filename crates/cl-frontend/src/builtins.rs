@@ -1,0 +1,232 @@
+//! Table of OpenCL C built-in functions and identifiers.
+//!
+//! The code rewriter must not rename built-ins (§4.1: "Language built-ins
+//! (e.g. `get_global_id`, `asin`) are not rewritten"), and the semantic
+//! checker must not flag them as undeclared identifiers. The interpreter in
+//! `cldrive` resolves calls against the same table.
+
+/// Classification of a builtin, used by the static analyser to decide whether
+/// a call counts as a compute operation, a synchronisation point, etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinKind {
+    /// Work-item identification functions (`get_global_id`, ...).
+    WorkItem,
+    /// Synchronisation (`barrier`, `mem_fence`, ...).
+    Sync,
+    /// Math / arithmetic functions (`sqrt`, `mad`, `dot`, ...).
+    Math,
+    /// Type conversion / reinterpretation (`convert_*`, `as_*`).
+    Convert,
+    /// Atomic read-modify-write operations.
+    Atomic,
+    /// Vector load/store helpers (`vload4`, `vstore4`, ...).
+    VectorData,
+    /// Image access functions (treated as opaque memory operations).
+    Image,
+    /// Asynchronous copy / prefetch functions.
+    Async,
+    /// printf and friends — accepted but treated as no-ops.
+    Other,
+}
+
+/// Work-item functions.
+const WORK_ITEM_FNS: &[&str] = &[
+    "get_global_id",
+    "get_local_id",
+    "get_group_id",
+    "get_global_size",
+    "get_local_size",
+    "get_num_groups",
+    "get_work_dim",
+    "get_global_offset",
+];
+
+/// Synchronisation functions.
+const SYNC_FNS: &[&str] = &["barrier", "mem_fence", "read_mem_fence", "write_mem_fence", "work_group_barrier"];
+
+/// Math builtins (scalar and component-wise vector forms share names).
+const MATH_FNS: &[&str] = &[
+    "sqrt", "rsqrt", "native_sqrt", "native_rsqrt", "cbrt", "fabs", "abs", "abs_diff", "exp", "exp2",
+    "exp10", "native_exp", "log", "log2", "log10", "native_log", "pow", "pown", "powr", "native_powr",
+    "sin", "cos", "tan", "native_sin", "native_cos", "sinh", "cosh", "tanh", "asin", "acos", "atan",
+    "atan2", "sinpi", "cospi", "floor", "ceil", "round", "rint", "trunc", "fract", "fmod", "remainder",
+    "fmin", "fmax", "min", "max", "clamp", "mix", "step", "smoothstep", "sign", "mad", "fma", "mad24",
+    "mul24", "mul_hi", "hadd", "rhadd", "rotate", "clz", "popcount", "isnan", "isinf", "isfinite",
+    "isequal", "isnotequal", "isgreater", "isless", "any", "all", "select", "bitselect", "degrees",
+    "radians", "dot", "cross", "length", "fast_length", "distance", "fast_distance", "normalize",
+    "fast_normalize", "ldexp", "frexp", "hypot", "copysign", "nextafter", "native_divide", "native_recip",
+    "half_sqrt", "half_exp", "half_log", "half_powr", "half_recip", "maxmag", "minmag",
+];
+
+/// Atomic functions (both `atomic_*` and legacy `atom_*` spellings).
+const ATOMIC_FNS: &[&str] = &[
+    "atomic_add", "atomic_sub", "atomic_inc", "atomic_dec", "atomic_xchg", "atomic_cmpxchg",
+    "atomic_min", "atomic_max", "atomic_and", "atomic_or", "atomic_xor",
+    "atom_add", "atom_sub", "atom_inc", "atom_dec", "atom_xchg", "atom_cmpxchg", "atom_min", "atom_max",
+];
+
+/// Async copy / prefetch.
+const ASYNC_FNS: &[&str] =
+    &["async_work_group_copy", "async_work_group_strided_copy", "wait_group_events", "prefetch"];
+
+/// Image builtins.
+const IMAGE_FNS: &[&str] = &[
+    "read_imagef", "read_imagei", "read_imageui", "write_imagef", "write_imagei", "write_imageui",
+    "get_image_width", "get_image_height", "get_image_depth",
+];
+
+/// Miscellaneous accepted builtins.
+const OTHER_FNS: &[&str] = &["printf", "shuffle", "shuffle2", "vec_step"];
+
+/// Non-function builtin identifiers (constants, sampler flags, ...). These
+/// must not be reported as undeclared and must not be renamed.
+const BUILTIN_CONSTANTS: &[&str] = &[
+    "CLK_LOCAL_MEM_FENCE",
+    "CLK_GLOBAL_MEM_FENCE",
+    "CLK_NORMALIZED_COORDS_FALSE",
+    "CLK_NORMALIZED_COORDS_TRUE",
+    "CLK_ADDRESS_CLAMP",
+    "CLK_ADDRESS_CLAMP_TO_EDGE",
+    "CLK_ADDRESS_NONE",
+    "CLK_ADDRESS_REPEAT",
+    "CLK_FILTER_NEAREST",
+    "CLK_FILTER_LINEAR",
+    "MAXFLOAT",
+    "HUGE_VALF",
+    "INFINITY",
+    "NAN",
+    "FLT_MAX",
+    "FLT_MIN",
+    "FLT_EPSILON",
+    "DBL_MAX",
+    "DBL_MIN",
+    "INT_MAX",
+    "INT_MIN",
+    "UINT_MAX",
+    "LONG_MAX",
+    "LONG_MIN",
+    "CHAR_BIT",
+    "M_PI",
+    "M_PI_F",
+    "M_E",
+    "M_E_F",
+    "true",
+    "false",
+    "NULL",
+];
+
+/// Look up the builtin classification of a function name.
+///
+/// `convert_<type>` / `as_<type>` / `vload<n>` / `vstore<n>` are matched by
+/// prefix since the full family is large.
+pub fn builtin_function_kind(name: &str) -> Option<BuiltinKind> {
+    if WORK_ITEM_FNS.contains(&name) {
+        return Some(BuiltinKind::WorkItem);
+    }
+    if SYNC_FNS.contains(&name) {
+        return Some(BuiltinKind::Sync);
+    }
+    if MATH_FNS.contains(&name) {
+        return Some(BuiltinKind::Math);
+    }
+    if ATOMIC_FNS.contains(&name) {
+        return Some(BuiltinKind::Atomic);
+    }
+    if ASYNC_FNS.contains(&name) {
+        return Some(BuiltinKind::Async);
+    }
+    if IMAGE_FNS.contains(&name) {
+        return Some(BuiltinKind::Image);
+    }
+    if OTHER_FNS.contains(&name) {
+        return Some(BuiltinKind::Other);
+    }
+    if name.starts_with("convert_") || name.starts_with("as_") {
+        return Some(BuiltinKind::Convert);
+    }
+    if name.starts_with("vload") || name.starts_with("vstore") {
+        return Some(BuiltinKind::VectorData);
+    }
+    None
+}
+
+/// True if `name` is a builtin function.
+pub fn is_builtin_function(name: &str) -> bool {
+    builtin_function_kind(name).is_some()
+}
+
+/// True if `name` is a builtin constant / macro-like identifier.
+pub fn is_builtin_constant(name: &str) -> bool {
+    BUILTIN_CONSTANTS.contains(&name)
+}
+
+/// True if `name` must be preserved by the identifier rewriter.
+pub fn is_reserved_identifier(name: &str) -> bool {
+    is_builtin_function(name) || is_builtin_constant(name)
+}
+
+/// All vector component / swizzle member names (`.x`, `.s0`, `.lo`, ...).
+pub fn is_vector_component(member: &str) -> bool {
+    if matches!(member, "lo" | "hi" | "even" | "odd" | "x" | "y" | "z" | "w") {
+        return true;
+    }
+    // xyzw swizzles like `.xy`, `.xyzw`
+    if member.len() <= 4 && member.chars().all(|c| matches!(c, 'x' | 'y' | 'z' | 'w')) {
+        return true;
+    }
+    // .s0 .. .sF numbered components and multi-component forms like .s01
+    if let Some(rest) = member.strip_prefix('s').or_else(|| member.strip_prefix('S')) {
+        return !rest.is_empty() && rest.chars().all(|c| c.is_ascii_hexdigit());
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_item_functions_recognised() {
+        assert_eq!(builtin_function_kind("get_global_id"), Some(BuiltinKind::WorkItem));
+        assert_eq!(builtin_function_kind("get_local_size"), Some(BuiltinKind::WorkItem));
+    }
+
+    #[test]
+    fn math_and_sync() {
+        assert_eq!(builtin_function_kind("sqrt"), Some(BuiltinKind::Math));
+        assert_eq!(builtin_function_kind("mad"), Some(BuiltinKind::Math));
+        assert_eq!(builtin_function_kind("barrier"), Some(BuiltinKind::Sync));
+    }
+
+    #[test]
+    fn prefix_families() {
+        assert_eq!(builtin_function_kind("convert_float4"), Some(BuiltinKind::Convert));
+        assert_eq!(builtin_function_kind("as_uint"), Some(BuiltinKind::Convert));
+        assert_eq!(builtin_function_kind("vload4"), Some(BuiltinKind::VectorData));
+        assert_eq!(builtin_function_kind("vstore16"), Some(BuiltinKind::VectorData));
+    }
+
+    #[test]
+    fn unknown_function_is_none() {
+        assert_eq!(builtin_function_kind("my_helper"), None);
+        assert!(!is_builtin_function("saxpy"));
+    }
+
+    #[test]
+    fn constants_and_reserved() {
+        assert!(is_builtin_constant("CLK_LOCAL_MEM_FENCE"));
+        assert!(is_builtin_constant("M_PI"));
+        assert!(is_reserved_identifier("get_global_id"));
+        assert!(is_reserved_identifier("FLT_MAX"));
+        assert!(!is_reserved_identifier("alpha"));
+    }
+
+    #[test]
+    fn vector_components() {
+        for c in ["x", "y", "xy", "xyzw", "s0", "sF", "s01", "lo", "hi", "even", "odd"] {
+            assert!(is_vector_component(c), "{c} should be a component");
+        }
+        assert!(!is_vector_component("length"));
+        assert!(!is_vector_component("data"));
+    }
+}

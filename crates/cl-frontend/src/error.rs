@@ -1,0 +1,208 @@
+//! Diagnostics and error types shared across the frontend.
+
+use crate::token::Span;
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Fatal: compilation cannot produce a usable translation unit.
+    Error,
+    /// Non-fatal: compilation proceeds.
+    Warning,
+}
+
+/// Category of a diagnostic, used by the corpus pipeline to classify why
+/// content files are rejected (e.g. counting undeclared-identifier failures,
+/// which motivates the shim header of the paper's §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagnosticKind {
+    /// Lexical error (bad character, unterminated literal...).
+    Lex,
+    /// Preprocessor error (bad directive, unterminated conditional...).
+    Preprocess,
+    /// Syntax error.
+    Parse,
+    /// Use of an identifier that is not declared anywhere visible.
+    UndeclaredIdentifier,
+    /// Use of a type name that is not declared.
+    UnknownType,
+    /// Re-declaration of an existing name in the same scope.
+    Redefinition,
+    /// Type error (mismatched operands, bad call arity, ...).
+    Type,
+    /// Anything else flagged during semantic analysis.
+    Semantic,
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiagnosticKind::Lex => "lexical error",
+            DiagnosticKind::Preprocess => "preprocessor error",
+            DiagnosticKind::Parse => "syntax error",
+            DiagnosticKind::UndeclaredIdentifier => "undeclared identifier",
+            DiagnosticKind::UnknownType => "unknown type name",
+            DiagnosticKind::Redefinition => "redefinition",
+            DiagnosticKind::Type => "type error",
+            DiagnosticKind::Semantic => "semantic error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single diagnostic message produced by any stage of the frontend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// How severe the diagnostic is.
+    pub severity: Severity,
+    /// What class of problem it reports.
+    pub kind: DiagnosticKind,
+    /// Human readable message.
+    pub message: String,
+    /// Source location, if known.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Construct an error diagnostic.
+    pub fn error(kind: DiagnosticKind, message: impl Into<String>, span: Option<Span>) -> Self {
+        Diagnostic { severity: Severity::Error, kind, message: message.into(), span }
+    }
+
+    /// Construct a warning diagnostic.
+    pub fn warning(kind: DiagnosticKind, message: impl Into<String>, span: Option<Span>) -> Self {
+        Diagnostic { severity: Severity::Warning, kind, message: message.into(), span }
+    }
+
+    /// True if this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        match self.span {
+            Some(span) => write!(f, "{span}: {sev}: {}: {}", self.kind, self.message),
+            None => write!(f, "{sev}: {}: {}", self.kind, self.message),
+        }
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Accumulates diagnostics across frontend stages.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    entries: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty diagnostic sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.entries.push(d);
+    }
+
+    /// Record an error.
+    pub fn error(&mut self, kind: DiagnosticKind, message: impl Into<String>, span: Option<Span>) {
+        self.push(Diagnostic::error(kind, message, span));
+    }
+
+    /// Record a warning.
+    pub fn warning(&mut self, kind: DiagnosticKind, message: impl Into<String>, span: Option<Span>) {
+        self.push(Diagnostic::warning(kind, message, span));
+    }
+
+    /// All recorded diagnostics in order of emission.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.entries.iter()
+    }
+
+    /// Number of diagnostics recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no diagnostics were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True if at least one error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.entries.iter().any(Diagnostic::is_error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.entries.iter().filter(|d| d.is_error()).count()
+    }
+
+    /// Count errors of a particular kind (used by corpus statistics).
+    pub fn count_kind(&self, kind: DiagnosticKind) -> usize {
+        self.entries.iter().filter(|d| d.kind == kind && d.is_error()).count()
+    }
+
+    /// Merge another sink into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.entries.extend(other.entries);
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.entries {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl IntoIterator for Diagnostics {
+    type Item = Diagnostic;
+    type IntoIter = std::vec::IntoIter<Diagnostic>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_counting() {
+        let mut diags = Diagnostics::new();
+        assert!(diags.is_empty());
+        assert!(!diags.has_errors());
+        diags.error(DiagnosticKind::UndeclaredIdentifier, "use of undeclared identifier 'x'", None);
+        diags.warning(DiagnosticKind::Semantic, "unused variable", None);
+        diags.error(DiagnosticKind::Parse, "expected ';'", None);
+        assert_eq!(diags.len(), 3);
+        assert_eq!(diags.error_count(), 2);
+        assert_eq!(diags.count_kind(DiagnosticKind::UndeclaredIdentifier), 1);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn display_contains_location_and_kind() {
+        let d = Diagnostic::error(
+            DiagnosticKind::UnknownType,
+            "FLOAT_T",
+            Some(Span::new(0, 7, 3, 9)),
+        );
+        let s = format!("{d}");
+        assert!(s.contains("3:9"));
+        assert!(s.contains("unknown type name"));
+    }
+}

@@ -1,0 +1,470 @@
+//! Character-level lexer for the OpenCL C subset.
+//!
+//! The lexer operates on preprocessed source (comments stripped, macros
+//! expanded) but is tolerant enough to be run on raw text too; unknown
+//! characters produce diagnostics rather than panics so that the corpus
+//! rejection filter can count failures.
+
+use crate::error::{DiagnosticKind, Diagnostics};
+use crate::token::{Keyword, Punct, Span, Token, TokenKind};
+
+/// Lexer state over a source string.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    diags: Diagnostics,
+}
+
+/// Tokenize a whole source string.
+///
+/// Returns the token list (always terminated by an [`TokenKind::Eof`] token)
+/// together with any diagnostics produced. Lexing never fails outright:
+/// unrecognised bytes are skipped with an error diagnostic.
+pub fn tokenize(src: &str) -> (Vec<Token>, Diagnostics) {
+    let mut lexer = Lexer::new(src);
+    let tokens = lexer.run();
+    (tokens, lexer.diags)
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, diags: Diagnostics::new() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.src.get(self.pos + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span::new(start, self.pos, line, col)
+    }
+
+    fn run(&mut self) -> Vec<Token> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                tokens.push(Token::new(TokenKind::Eof, self.span_from(start, line, col)));
+                break;
+            };
+            let kind = if c.is_ascii_alphabetic() || c == b'_' {
+                self.lex_ident_or_keyword()
+            } else if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+                self.lex_number()
+            } else if c == b'"' {
+                self.lex_string()
+            } else if c == b'\'' {
+                self.lex_char()
+            } else {
+                self.lex_punct()
+            };
+            match kind {
+                Some(kind) => tokens.push(Token::new(kind, self.span_from(start, line, col))),
+                None => {
+                    // Unrecognised byte: emit a diagnostic and skip it.
+                    self.diags.error(
+                        DiagnosticKind::Lex,
+                        format!("unexpected character `{}`", self.peek().unwrap_or(b'?') as char),
+                        Some(self.span_from(start, line, col)),
+                    );
+                    self.bump();
+                }
+            }
+        }
+        tokens
+    }
+
+    /// Skip whitespace, comments (in case the source was not preprocessed) and
+    /// stray preprocessor lines.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                self.diags.error(
+                                    DiagnosticKind::Lex,
+                                    "unterminated block comment",
+                                    None,
+                                );
+                                break;
+                            }
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                // A '#' at this point means a preprocessor directive survived to
+                // the lexer (e.g. lexing raw text); skip the whole logical line.
+                Some(b'#') => {
+                    let mut prev = 0u8;
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' && prev != b'\\' {
+                            break;
+                        }
+                        prev = c;
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn lex_ident_or_keyword(&mut self) -> Option<TokenKind> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("").to_string();
+        Some(match Keyword::from_str(&text) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(text),
+        })
+    }
+
+    fn lex_number(&mut self) -> Option<TokenKind> {
+        let start = self.pos;
+        let mut is_float = false;
+        // hex literal
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hex_start = self.pos;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let digits = std::str::from_utf8(&self.src[hex_start..self.pos]).unwrap_or("0");
+            let value = i64::from_str_radix(digits, 16).unwrap_or(i64::MAX);
+            let (unsigned, long) = self.lex_int_suffix();
+            return Some(TokenKind::IntLit { value, unsigned, long });
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else if c == b'.' && !is_float {
+                is_float = true;
+                self.bump();
+            } else if (c == b'e' || c == b'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == b'+' || d == b'-')
+            {
+                is_float = true;
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("0").to_string();
+        if is_float {
+            let mut single = false;
+            if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                single = true;
+                self.bump();
+            }
+            let value: f64 = text.parse().unwrap_or(0.0);
+            Some(TokenKind::FloatLit { value, single })
+        } else {
+            // An integer immediately followed by an `f` suffix (e.g. `1f`) is a
+            // float in practice in OpenCL code; accept it.
+            if matches!(self.peek(), Some(b'f') | Some(b'F')) {
+                self.bump();
+                let value: f64 = text.parse().unwrap_or(0.0);
+                return Some(TokenKind::FloatLit { value, single: true });
+            }
+            let value: i64 = text.parse().unwrap_or(i64::MAX);
+            let (unsigned, long) = self.lex_int_suffix();
+            Some(TokenKind::IntLit { value, unsigned, long })
+        }
+    }
+
+    fn lex_int_suffix(&mut self) -> (bool, bool) {
+        let mut unsigned = false;
+        let mut long = false;
+        for _ in 0..3 {
+            match self.peek() {
+                Some(b'u') | Some(b'U') => {
+                    unsigned = true;
+                    self.bump();
+                }
+                Some(b'l') | Some(b'L') => {
+                    long = true;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        (unsigned, long)
+    }
+
+    fn lex_string(&mut self) -> Option<TokenKind> {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                None | Some(b'\n') => {
+                    self.diags.error(DiagnosticKind::Lex, "unterminated string literal", None);
+                    break;
+                }
+                Some(b'"') => {
+                    self.bump();
+                    break;
+                }
+                Some(b'\\') => {
+                    self.bump();
+                    if let Some(c) = self.bump() {
+                        value.push(unescape(c));
+                    }
+                }
+                Some(c) => {
+                    value.push(c as char);
+                    self.bump();
+                }
+            }
+        }
+        Some(TokenKind::StrLit(value))
+    }
+
+    fn lex_char(&mut self) -> Option<TokenKind> {
+        self.bump(); // opening quote
+        let c = match self.peek() {
+            Some(b'\\') => {
+                self.bump();
+                self.bump().map(unescape).unwrap_or('\0')
+            }
+            Some(c) => {
+                self.bump();
+                c as char
+            }
+            None => {
+                self.diags.error(DiagnosticKind::Lex, "unterminated character literal", None);
+                '\0'
+            }
+        };
+        if self.peek() == Some(b'\'') {
+            self.bump();
+        } else {
+            self.diags.error(DiagnosticKind::Lex, "unterminated character literal", None);
+        }
+        Some(TokenKind::CharLit(c))
+    }
+
+    fn lex_punct(&mut self) -> Option<TokenKind> {
+        use Punct::*;
+        let c = self.peek()?;
+        let c2 = self.peek2();
+        let c3 = self.peek3();
+        let (p, len) = match (c, c2, c3) {
+            (b'<', Some(b'<'), Some(b'=')) => (ShlEq, 3),
+            (b'>', Some(b'>'), Some(b'=')) => (ShrEq, 3),
+            (b'.', Some(b'.'), Some(b'.')) => (Ellipsis, 3),
+            (b'-', Some(b'>'), _) => (Arrow, 2),
+            (b'+', Some(b'+'), _) => (PlusPlus, 2),
+            (b'-', Some(b'-'), _) => (MinusMinus, 2),
+            (b'&', Some(b'&'), _) => (AmpAmp, 2),
+            (b'|', Some(b'|'), _) => (PipePipe, 2),
+            (b'<', Some(b'<'), _) => (Shl, 2),
+            (b'>', Some(b'>'), _) => (Shr, 2),
+            (b'<', Some(b'='), _) => (Le, 2),
+            (b'>', Some(b'='), _) => (Ge, 2),
+            (b'=', Some(b'='), _) => (EqEq, 2),
+            (b'!', Some(b'='), _) => (Ne, 2),
+            (b'+', Some(b'='), _) => (PlusEq, 2),
+            (b'-', Some(b'='), _) => (MinusEq, 2),
+            (b'*', Some(b'='), _) => (StarEq, 2),
+            (b'/', Some(b'='), _) => (SlashEq, 2),
+            (b'%', Some(b'='), _) => (PercentEq, 2),
+            (b'&', Some(b'='), _) => (AmpEq, 2),
+            (b'|', Some(b'='), _) => (PipeEq, 2),
+            (b'^', Some(b'='), _) => (CaretEq, 2),
+            (b'(', _, _) => (LParen, 1),
+            (b')', _, _) => (RParen, 1),
+            (b'{', _, _) => (LBrace, 1),
+            (b'}', _, _) => (RBrace, 1),
+            (b'[', _, _) => (LBracket, 1),
+            (b']', _, _) => (RBracket, 1),
+            (b',', _, _) => (Comma, 1),
+            (b';', _, _) => (Semicolon, 1),
+            (b':', _, _) => (Colon, 1),
+            (b'?', _, _) => (Question, 1),
+            (b'.', _, _) => (Dot, 1),
+            (b'+', _, _) => (Plus, 1),
+            (b'-', _, _) => (Minus, 1),
+            (b'*', _, _) => (Star, 1),
+            (b'/', _, _) => (Slash, 1),
+            (b'%', _, _) => (Percent, 1),
+            (b'&', _, _) => (Amp, 1),
+            (b'|', _, _) => (Pipe, 1),
+            (b'^', _, _) => (Caret, 1),
+            (b'~', _, _) => (Tilde, 1),
+            (b'!', _, _) => (Bang, 1),
+            (b'<', _, _) => (Lt, 1),
+            (b'>', _, _) => (Gt, 1),
+            (b'=', _, _) => (Eq, 1),
+            _ => return None,
+        };
+        for _ in 0..len {
+            self.bump();
+        }
+        Some(TokenKind::Punct(p))
+    }
+}
+
+fn unescape(c: u8) -> char {
+    match c {
+        b'n' => '\n',
+        b't' => '\t',
+        b'r' => '\r',
+        b'0' => '\0',
+        other => other as char,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let (toks, diags) = tokenize(src);
+        assert!(!diags.has_errors(), "unexpected lex errors: {diags}");
+        toks.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_simple_kernel_header() {
+        let ks = kinds("__kernel void A(__global float* a)");
+        assert!(ks.iter().any(|k| k.is_keyword(Keyword::Kernel)));
+        assert!(ks.iter().any(|k| k.is_keyword(Keyword::Global)));
+        assert!(ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "A")));
+        assert!(ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "float")));
+        assert!(ks.iter().any(|k| k.is_punct(Punct::Star)));
+    }
+
+    #[test]
+    fn lex_numbers() {
+        let ks = kinds("42 3.5f 0x1F 1e-3 7u 2.0 100L 1f");
+        assert!(ks.contains(&TokenKind::IntLit { value: 42, unsigned: false, long: false }));
+        assert!(ks.contains(&TokenKind::FloatLit { value: 3.5, single: true }));
+        assert!(ks.contains(&TokenKind::IntLit { value: 31, unsigned: false, long: false }));
+        assert!(ks.contains(&TokenKind::FloatLit { value: 1e-3, single: false }));
+        assert!(ks.contains(&TokenKind::IntLit { value: 7, unsigned: true, long: false }));
+        assert!(ks.contains(&TokenKind::IntLit { value: 100, unsigned: false, long: true }));
+        assert!(ks.contains(&TokenKind::FloatLit { value: 1.0, single: true }));
+    }
+
+    #[test]
+    fn lex_operators() {
+        let ks = kinds("a += b << 2; c = a >= b ? x : y;");
+        assert!(ks.iter().any(|k| k.is_punct(Punct::PlusEq)));
+        assert!(ks.iter().any(|k| k.is_punct(Punct::Shl)));
+        assert!(ks.iter().any(|k| k.is_punct(Punct::Ge)));
+        assert!(ks.iter().any(|k| k.is_punct(Punct::Question)));
+        assert!(ks.iter().any(|k| k.is_punct(Punct::Colon)));
+    }
+
+    #[test]
+    fn lex_comments_and_directives_skipped() {
+        let ks = kinds("/* block */ int x; // line\n#define FOO 1\nfloat y;");
+        let idents: Vec<_> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["int", "x", "float", "y"]);
+    }
+
+    #[test]
+    fn lex_string_and_char() {
+        let ks = kinds(r#""hello\n" 'c'"#);
+        assert!(ks.contains(&TokenKind::StrLit("hello\n".into())));
+        assert!(ks.contains(&TokenKind::CharLit('c')));
+    }
+
+    #[test]
+    fn unterminated_comment_reports_error() {
+        let (_, diags) = tokenize("int x; /* oops");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn unknown_character_reports_error_but_continues() {
+        let (toks, diags) = tokenize("int ` x;");
+        assert!(diags.has_errors());
+        assert!(toks.iter().any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "x")));
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let (toks, _) = tokenize("int x;\nfloat y;");
+        let float_tok = toks
+            .iter()
+            .find(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "float"))
+            .unwrap();
+        assert_eq!(float_tok.span.line, 2);
+        assert_eq!(float_tok.span.col, 1);
+    }
+
+    #[test]
+    fn eof_is_last() {
+        let (toks, _) = tokenize("");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokenKind::Eof);
+    }
+}

@@ -1,0 +1,550 @@
+//! Semantic analysis: scope resolution, undeclared-identifier detection and
+//! kernel signature extraction.
+//!
+//! The corpus rejection filter relies on this pass to decide whether a
+//! content file "compiles": in particular undeclared identifiers — the
+//! dominant failure mode the paper reports for GitHub-mined device code — are
+//! detected and classified here so that the shim-header experiment can be
+//! reproduced.
+
+use crate::ast::*;
+use crate::builtins;
+use crate::error::{DiagnosticKind, Diagnostics};
+use std::collections::{HashMap, HashSet};
+
+/// A kernel argument as seen by the host driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelArg {
+    /// Argument name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Address space (only meaningful for pointer arguments).
+    pub address_space: AddressSpace,
+    /// Whether the argument (or pointee) is const-qualified, which the payload
+    /// generator uses to decide transfer direction.
+    pub is_const: bool,
+    /// Access qualifier, if any.
+    pub access: Option<AccessQualifier>,
+}
+
+impl KernelArg {
+    /// True if this argument is a global-memory buffer.
+    pub fn is_global_buffer(&self) -> bool {
+        self.ty.address_space() == Some(AddressSpace::Global)
+    }
+
+    /// True if this argument is a local-memory buffer.
+    pub fn is_local_buffer(&self) -> bool {
+        self.ty.address_space() == Some(AddressSpace::Local)
+    }
+
+    /// True if this argument is a scalar passed by value.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self.ty, Type::Scalar(_) | Type::Vector(..))
+    }
+}
+
+/// The extracted signature of a `__kernel` function (§5.1 "after parsing the
+/// input kernel to derive argument types").
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSignature {
+    /// Kernel function name.
+    pub name: String,
+    /// Arguments in declaration order.
+    pub args: Vec<KernelArg>,
+}
+
+impl KernelSignature {
+    /// Number of global buffer arguments.
+    pub fn global_buffer_count(&self) -> usize {
+        self.args.iter().filter(|a| a.is_global_buffer()).count()
+    }
+
+    /// True if any argument has a type CLgen's host driver cannot synthesise a
+    /// payload for (user-defined structs, images, unknown named types). The
+    /// paper notes 2.3% of benchmark kernels use such "irregular" inputs
+    /// (§6.2).
+    pub fn has_irregular_args(&self) -> bool {
+        self.args.iter().any(|a| match &a.ty {
+            Type::Named(_) | Type::Struct(_) => true,
+            Type::Pointer { pointee, .. } => {
+                matches!(**pointee, Type::Named(_) | Type::Struct(_))
+            }
+            _ => false,
+        })
+    }
+}
+
+/// The result of semantic analysis over a translation unit.
+#[derive(Debug, Clone)]
+pub struct SemaResult {
+    /// Diagnostics (errors and warnings).
+    pub diagnostics: Diagnostics,
+    /// Signatures of all kernels defined in the unit.
+    pub kernels: Vec<KernelSignature>,
+    /// Names of identifiers that were used but never declared, with use counts.
+    /// This drives the corpus statistics behind the shim header (Listing 1).
+    pub undeclared: HashMap<String, usize>,
+    /// Names of user-defined (non-builtin) functions that are called.
+    pub called_functions: HashSet<String>,
+}
+
+impl SemaResult {
+    /// True if the unit passed semantic analysis with no errors.
+    pub fn is_ok(&self) -> bool {
+        !self.diagnostics.has_errors()
+    }
+}
+
+/// Run semantic analysis over a parsed translation unit.
+pub fn analyze(unit: &TranslationUnit) -> SemaResult {
+    let mut sema = Sema::new();
+    sema.run(unit);
+    SemaResult {
+        diagnostics: sema.diags,
+        kernels: sema.kernels,
+        undeclared: sema.undeclared,
+        called_functions: sema.called_functions,
+    }
+}
+
+struct Sema {
+    diags: Diagnostics,
+    scopes: Vec<HashSet<String>>,
+    functions: HashSet<String>,
+    typedefs: HashSet<String>,
+    structs: HashMap<String, Vec<String>>,
+    kernels: Vec<KernelSignature>,
+    undeclared: HashMap<String, usize>,
+    called_functions: HashSet<String>,
+}
+
+impl Sema {
+    fn new() -> Self {
+        Sema {
+            diags: Diagnostics::new(),
+            scopes: vec![HashSet::new()],
+            functions: HashSet::new(),
+            typedefs: HashSet::new(),
+            structs: HashMap::new(),
+            kernels: Vec::new(),
+            undeclared: HashMap::new(),
+            called_functions: HashSet::new(),
+        }
+    }
+
+    fn run(&mut self, unit: &TranslationUnit) {
+        // Pass 1: register all top-level names so forward references work.
+        for item in &unit.items {
+            match item {
+                Item::Function(f) => {
+                    self.functions.insert(f.name.clone());
+                }
+                Item::Typedef { name, .. } => {
+                    self.typedefs.insert(name.clone());
+                }
+                Item::Struct(s) => {
+                    self.structs
+                        .insert(s.name.clone(), s.fields.iter().map(|f| f.name.clone()).collect());
+                    self.typedefs.insert(s.name.clone());
+                }
+                Item::GlobalVar(d) => {
+                    for v in &d.vars {
+                        self.declare(&v.name);
+                    }
+                }
+            }
+        }
+        // Pass 2: check bodies.
+        for item in &unit.items {
+            match item {
+                Item::Function(f) => self.check_function(f),
+                Item::GlobalVar(d) => {
+                    for v in &d.vars {
+                        self.check_type(&v.ty);
+                        if let Some(init) = &v.init {
+                            self.check_expr(init);
+                        }
+                    }
+                }
+                Item::Typedef { ty, .. } => self.check_type(ty),
+                Item::Struct(s) => {
+                    for f in &s.fields {
+                        self.check_type(&f.ty);
+                    }
+                }
+            }
+        }
+    }
+
+    fn declare(&mut self, name: &str) {
+        if name.is_empty() {
+            return;
+        }
+        self.scopes.last_mut().expect("scope stack never empty").insert(name.to_string());
+    }
+
+    fn is_declared(&self, name: &str) -> bool {
+        self.scopes.iter().rev().any(|s| s.contains(name))
+            || self.functions.contains(name)
+            || builtins::is_reserved_identifier(name)
+    }
+
+    fn push_scope(&mut self) {
+        self.scopes.push(HashSet::new());
+    }
+
+    fn pop_scope(&mut self) {
+        self.scopes.pop();
+        debug_assert!(!self.scopes.is_empty());
+    }
+
+    fn report_undeclared(&mut self, name: &str) {
+        *self.undeclared.entry(name.to_string()).or_insert(0) += 1;
+        self.diags.error(
+            DiagnosticKind::UndeclaredIdentifier,
+            format!("use of undeclared identifier '{name}'"),
+            None,
+        );
+    }
+
+    fn check_type(&mut self, ty: &Type) {
+        match ty {
+            Type::Named(name) => {
+                if !self.typedefs.contains(name) && !is_known_opaque(name) {
+                    self.diags.error(
+                        DiagnosticKind::UnknownType,
+                        format!("unknown type name '{name}'"),
+                        None,
+                    );
+                    *self.undeclared.entry(name.clone()).or_insert(0) += 1;
+                }
+            }
+            Type::Struct(name) => {
+                if !name.is_empty() && !self.structs.contains_key(name) {
+                    self.diags.error(
+                        DiagnosticKind::UnknownType,
+                        format!("unknown struct type 'struct {name}'"),
+                        None,
+                    );
+                }
+            }
+            Type::Pointer { pointee, .. } => self.check_type(pointee),
+            Type::Array { elem, .. } => self.check_type(elem),
+            _ => {}
+        }
+    }
+
+    fn check_function(&mut self, f: &FunctionDef) {
+        self.check_type(&f.return_type);
+        if f.is_kernel {
+            if f.return_type != Type::Scalar(ScalarType::Void) {
+                self.diags.error(
+                    DiagnosticKind::Semantic,
+                    format!("kernel `{}` must return void", f.name),
+                    Some(f.span),
+                );
+            }
+            let args = f
+                .params
+                .iter()
+                .map(|p| KernelArg {
+                    name: p.name.clone(),
+                    ty: p.ty.clone(),
+                    address_space: p.ty.address_space().unwrap_or(AddressSpace::Private),
+                    is_const: p.is_const
+                        || matches!(&p.ty, Type::Pointer { is_const: true, .. })
+                        || p.ty.address_space() == Some(AddressSpace::Constant),
+                    access: p.access,
+                })
+                .collect();
+            self.kernels.push(KernelSignature { name: f.name.clone(), args });
+        }
+        let Some(body) = &f.body else { return };
+        self.push_scope();
+        let mut seen = HashSet::new();
+        for p in &f.params {
+            self.check_type(&p.ty);
+            if !p.name.is_empty() && !seen.insert(p.name.clone()) {
+                self.diags.error(
+                    DiagnosticKind::Redefinition,
+                    format!("duplicate parameter name '{}' in `{}`", p.name, f.name),
+                    Some(f.span),
+                );
+            }
+            self.declare(&p.name);
+        }
+        self.check_block(body);
+        self.pop_scope();
+    }
+
+    fn check_block(&mut self, block: &Block) {
+        self.push_scope();
+        for stmt in &block.stmts {
+            self.check_stmt(stmt);
+        }
+        self.pop_scope();
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::Block(b) => self.check_block(b),
+            Stmt::Decl(d) => self.check_decl(d),
+            Stmt::Expr(e) => self.check_expr(e),
+            Stmt::If { cond, then_branch, else_branch } => {
+                self.check_expr(cond);
+                self.check_stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.check_stmt(e);
+                }
+            }
+            Stmt::For { init, cond, step, body } => {
+                self.push_scope();
+                if let Some(init) = init {
+                    self.check_stmt(init);
+                }
+                if let Some(cond) = cond {
+                    self.check_expr(cond);
+                }
+                if let Some(step) = step {
+                    self.check_expr(step);
+                }
+                self.check_stmt(body);
+                self.pop_scope();
+            }
+            Stmt::While { cond, body } => {
+                self.check_expr(cond);
+                self.check_stmt(body);
+            }
+            Stmt::DoWhile { body, cond } => {
+                self.check_stmt(body);
+                self.check_expr(cond);
+            }
+            Stmt::Switch { cond, cases } => {
+                self.check_expr(cond);
+                for case in cases {
+                    if let Some(v) = &case.value {
+                        self.check_expr(v);
+                    }
+                    self.push_scope();
+                    for s in &case.body {
+                        self.check_stmt(s);
+                    }
+                    self.pop_scope();
+                }
+            }
+            Stmt::Return(Some(e)) => self.check_expr(e),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty => {}
+        }
+    }
+
+    fn check_decl(&mut self, d: &Declaration) {
+        for v in &d.vars {
+            self.check_type(&v.ty);
+            if let Some(init) = &v.init {
+                self.check_expr(init);
+            }
+            self.declare(&v.name);
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Ident(name) => {
+                if !self.is_declared(name) {
+                    self.report_undeclared(name);
+                    // Declare it so each unknown name is reported once per unit,
+                    // matching how compile errors are tallied in the corpus stats.
+                    self.declare(name);
+                }
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.check_expr(lhs);
+                self.check_expr(rhs);
+            }
+            Expr::Unary { expr, .. } | Expr::Postfix { expr, .. } => self.check_expr(expr),
+            Expr::Assign { lhs, rhs, .. } => {
+                self.check_expr(lhs);
+                self.check_expr(rhs);
+            }
+            Expr::Conditional { cond, then_expr, else_expr } => {
+                self.check_expr(cond);
+                self.check_expr(then_expr);
+                self.check_expr(else_expr);
+            }
+            Expr::Call { callee, args } => {
+                if !builtins::is_builtin_function(callee) {
+                    if self.functions.contains(callee) {
+                        self.called_functions.insert(callee.clone());
+                    } else {
+                        self.report_undeclared(callee);
+                    }
+                }
+                for a in args {
+                    self.check_expr(a);
+                }
+            }
+            Expr::Index { base, index } => {
+                self.check_expr(base);
+                self.check_expr(index);
+            }
+            Expr::Member { base, .. } => self.check_expr(base),
+            Expr::Cast { ty, expr } => {
+                self.check_type(ty);
+                self.check_expr(expr);
+            }
+            Expr::VectorLit { ty, elems } => {
+                self.check_type(ty);
+                for e in elems {
+                    self.check_expr(e);
+                }
+            }
+            Expr::SizeOf { ty, expr } => {
+                if let Some(ty) = ty {
+                    self.check_type(ty);
+                }
+                if let Some(e) = expr {
+                    self.check_expr(e);
+                }
+            }
+            Expr::Comma(elems) => {
+                for e in elems {
+                    self.check_expr(e);
+                }
+            }
+            Expr::IntLit { .. } | Expr::FloatLit { .. } | Expr::CharLit(_) | Expr::StrLit(_) => {}
+        }
+    }
+}
+
+fn is_known_opaque(name: &str) -> bool {
+    matches!(
+        name,
+        "image1d_t"
+            | "image2d_t"
+            | "image3d_t"
+            | "image2d_array_t"
+            | "sampler_t"
+            | "event_t"
+            | "queue_t"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn sema_of(src: &str) -> SemaResult {
+        let parsed = parse(src);
+        assert!(parsed.is_ok(), "parse failed: {}", parsed.diagnostics);
+        analyze(&parsed.unit)
+    }
+
+    #[test]
+    fn clean_kernel_passes() {
+        let r = sema_of(
+            "__kernel void A(__global float* a, const int n) { int i = get_global_id(0); if (i < n) a[i] = 0.0f; }",
+        );
+        assert!(r.is_ok(), "{}", r.diagnostics);
+        assert_eq!(r.kernels.len(), 1);
+        assert_eq!(r.kernels[0].args.len(), 2);
+        assert!(r.kernels[0].args[0].is_global_buffer());
+        assert!(r.kernels[0].args[1].is_scalar());
+    }
+
+    #[test]
+    fn undeclared_identifier_detected() {
+        let r = sema_of("__kernel void A(__global float* a) { a[0] = ALPHA * 2.0f; }");
+        assert!(!r.is_ok());
+        assert_eq!(r.undeclared.get("ALPHA"), Some(&1));
+        assert_eq!(r.diagnostics.count_kind(DiagnosticKind::UndeclaredIdentifier), 1);
+    }
+
+    #[test]
+    fn undeclared_reported_once_per_name() {
+        let r = sema_of("__kernel void A(__global float* a) { a[0] = WG_SIZE; a[1] = WG_SIZE; }");
+        assert_eq!(r.diagnostics.count_kind(DiagnosticKind::UndeclaredIdentifier), 1);
+    }
+
+    #[test]
+    fn builtins_not_flagged() {
+        let r = sema_of(
+            "__kernel void A(__global float* a) { a[get_global_id(0)] = sqrt(fabs(a[0])) + M_PI; barrier(CLK_LOCAL_MEM_FENCE); }",
+        );
+        assert!(r.is_ok(), "{}", r.diagnostics);
+    }
+
+    #[test]
+    fn user_function_calls_resolved() {
+        let r = sema_of(
+            "float helper(float x) { return x * 2.0f; } __kernel void A(__global float* a) { a[0] = helper(a[1]); }",
+        );
+        assert!(r.is_ok(), "{}", r.diagnostics);
+        assert!(r.called_functions.contains("helper"));
+    }
+
+    #[test]
+    fn call_to_missing_function_flagged() {
+        let r = sema_of("__kernel void A(__global float* a) { a[0] = missing_fn(a[1]); }");
+        assert!(!r.is_ok());
+        assert!(r.undeclared.contains_key("missing_fn"));
+    }
+
+    #[test]
+    fn unknown_type_flagged() {
+        let parsed = parse("__kernel void A(__global float* a) { FLOAT_T x = 1.0f; a[0] = x; }");
+        // `FLOAT_T x` parses as two idents → expression error, or as unknown type
+        // depending on recovery; either way the combination of parse+sema fails.
+        let sema = analyze(&parsed.unit);
+        assert!(parsed.diagnostics.has_errors() || !sema.is_ok());
+    }
+
+    #[test]
+    fn typedef_resolves_named_type() {
+        let r = sema_of("typedef float FLOAT_T;\n__kernel void A(__global FLOAT_T* a) { a[0] = 1.0f; }");
+        assert!(r.is_ok(), "{}", r.diagnostics);
+    }
+
+    #[test]
+    fn kernel_with_nonvoid_return_rejected() {
+        let r = sema_of("__kernel int A(__global int* a) { return a[0]; }");
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn duplicate_param_rejected() {
+        let r = sema_of("__kernel void A(__global float* a, const int a) { }");
+        assert!(!r.is_ok());
+    }
+
+    #[test]
+    fn irregular_args_detected() {
+        let r = sema_of(
+            "typedef struct { float x; } Body;\n__kernel void A(__global Body* bodies, __global float* out) { out[0] = 1.0f; }",
+        );
+        assert!(r.kernels[0].has_irregular_args());
+    }
+
+    #[test]
+    fn scoping_allows_shadowing_in_blocks() {
+        let r = sema_of(
+            "__kernel void A(__global int* a, const int n) { for (int i = 0; i < n; i++) { int x = i; a[i] = x; } for (int i = 0; i < n; i++) { a[i] += 1; } }",
+        );
+        assert!(r.is_ok(), "{}", r.diagnostics);
+    }
+
+    #[test]
+    fn out_of_scope_use_detected() {
+        let r = sema_of("__kernel void A(__global int* a) { { int x = 1; } a[0] = x; }");
+        assert!(!r.is_ok());
+        assert!(r.undeclared.contains_key("x"));
+    }
+
+    #[test]
+    fn constant_address_space_arg_is_const() {
+        let r = sema_of("__kernel void A(__constant float* coeff, __global float* out) { out[0] = coeff[0]; }");
+        assert!(r.kernels[0].args[0].is_const);
+    }
+}

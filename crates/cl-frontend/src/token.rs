@@ -1,0 +1,396 @@
+//! Token definitions for the OpenCL C subset lexer.
+
+use std::fmt;
+
+/// A half-open byte range into the original source text.
+///
+/// Spans are carried on every token and propagated (best effort) onto AST
+/// nodes so that diagnostics can point back at the offending source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character of the token.
+    pub start: usize,
+    /// Byte offset one past the last character of the token.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Create a new span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            col: if self.line <= other.line { self.col } else { other.col },
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Keywords recognised by the lexer.
+///
+/// This includes the C keywords used in OpenCL kernels plus the OpenCL
+/// address-space, access and kernel qualifiers. Scalar/vector type names are
+/// *not* keywords: they are resolved by the parser so that typedefs can shadow
+/// them, mirroring how a real C frontend treats type names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names mirror their source spelling
+pub enum Keyword {
+    // control flow
+    If,
+    Else,
+    For,
+    While,
+    Do,
+    Switch,
+    Case,
+    Default,
+    Break,
+    Continue,
+    Return,
+    Goto,
+    // declarations
+    Typedef,
+    Struct,
+    Union,
+    Enum,
+    Const,
+    Volatile,
+    Restrict,
+    Static,
+    Extern,
+    Inline,
+    Unsigned,
+    Signed,
+    Sizeof,
+    // OpenCL qualifiers
+    Kernel,
+    Global,
+    Local,
+    Constant,
+    Private,
+    ReadOnly,
+    WriteOnly,
+    ReadWrite,
+}
+
+impl Keyword {
+    /// Map an identifier spelling to a keyword, if it is one.
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        use Keyword::*;
+        Some(match s {
+            "if" => If,
+            "else" => Else,
+            "for" => For,
+            "while" => While,
+            "do" => Do,
+            "switch" => Switch,
+            "case" => Case,
+            "default" => Default,
+            "break" => Break,
+            "continue" => Continue,
+            "return" => Return,
+            "goto" => Goto,
+            "typedef" => Typedef,
+            "struct" => Struct,
+            "union" => Union,
+            "enum" => Enum,
+            "const" => Const,
+            "volatile" => Volatile,
+            "restrict" | "__restrict" | "__restrict__" => Restrict,
+            "static" => Static,
+            "extern" => Extern,
+            "inline" | "__inline" | "__inline__" => Inline,
+            "unsigned" => Unsigned,
+            "signed" => Signed,
+            "sizeof" => Sizeof,
+            "__kernel" | "kernel" => Kernel,
+            "__global" | "global" => Global,
+            "__local" | "local" => Local,
+            "__constant" | "constant" => Constant,
+            "__private" | "private" => Private,
+            "__read_only" | "read_only" => ReadOnly,
+            "__write_only" | "write_only" => WriteOnly,
+            "__read_write" | "read_write" => ReadWrite,
+            _ => return None,
+        })
+    }
+
+    /// The canonical spelling used by the pretty printer.
+    pub fn as_str(&self) -> &'static str {
+        use Keyword::*;
+        match self {
+            If => "if",
+            Else => "else",
+            For => "for",
+            While => "while",
+            Do => "do",
+            Switch => "switch",
+            Case => "case",
+            Default => "default",
+            Break => "break",
+            Continue => "continue",
+            Return => "return",
+            Goto => "goto",
+            Typedef => "typedef",
+            Struct => "struct",
+            Union => "union",
+            Enum => "enum",
+            Const => "const",
+            Volatile => "volatile",
+            Restrict => "restrict",
+            Static => "static",
+            Extern => "extern",
+            Inline => "inline",
+            Unsigned => "unsigned",
+            Signed => "signed",
+            Sizeof => "sizeof",
+            Kernel => "__kernel",
+            Global => "__global",
+            Local => "__local",
+            Constant => "__constant",
+            Private => "__private",
+            ReadOnly => "__read_only",
+            WriteOnly => "__write_only",
+            ReadWrite => "__read_write",
+        }
+    }
+}
+
+/// Operators and punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant names mirror their source spelling
+pub enum Punct {
+    // grouping
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+    Question,
+    // member access
+    Dot,
+    Arrow,
+    // arithmetic
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    // bitwise / logical
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    AmpAmp,
+    PipePipe,
+    Shl,
+    Shr,
+    // comparison
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    // assignment
+    Eq,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    ShlEq,
+    ShrEq,
+    // inc/dec
+    PlusPlus,
+    MinusMinus,
+    // variadic marker (rare, tolerated)
+    Ellipsis,
+}
+
+impl Punct {
+    /// The source spelling of the punctuator.
+    pub fn as_str(&self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Comma => ",",
+            Semicolon => ";",
+            Colon => ":",
+            Question => "?",
+            Dot => ".",
+            Arrow => "->",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            Ne => "!=",
+            Eq => "=",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            PercentEq => "%=",
+            AmpEq => "&=",
+            PipeEq => "|=",
+            CaretEq => "^=",
+            ShlEq => "<<=",
+            ShrEq => ">>=",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Ellipsis => "...",
+        }
+    }
+}
+
+/// The payload of a single token.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // fields are self-describing literal payloads
+pub enum TokenKind {
+    /// Identifier or type name (resolution happens in the parser).
+    Ident(String),
+    /// Keyword.
+    Keyword(Keyword),
+    /// Integer literal with its value and signedness/width suffix flags.
+    IntLit { value: i64, unsigned: bool, long: bool },
+    /// Floating point literal; `single` is true for an `f`/`F` suffix.
+    FloatLit { value: f64, single: bool },
+    /// Character literal (value of the character).
+    CharLit(char),
+    /// String literal (content without quotes, escapes resolved).
+    StrLit(String),
+    /// Operator / punctuation.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// True if this token is the given punctuator.
+    pub fn is_punct(&self, p: Punct) -> bool {
+        matches!(self, TokenKind::Punct(q) if *q == p)
+    }
+
+    /// True if this token is the given keyword.
+    pub fn is_keyword(&self, k: Keyword) -> bool {
+        matches!(self, TokenKind::Keyword(q) if *q == k)
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "{s}"),
+            TokenKind::Keyword(k) => write!(f, "{}", k.as_str()),
+            TokenKind::IntLit { value, .. } => write!(f, "{value}"),
+            TokenKind::FloatLit { value, .. } => write!(f, "{value}"),
+            TokenKind::CharLit(c) => write!(f, "'{c}'"),
+            TokenKind::StrLit(s) => write!(f, "\"{s}\""),
+            TokenKind::Punct(p) => write!(f, "{}", p.as_str()),
+            TokenKind::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A lexed token: kind plus source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kw in [
+            Keyword::If,
+            Keyword::Kernel,
+            Keyword::Global,
+            Keyword::ReadOnly,
+            Keyword::Typedef,
+            Keyword::Unsigned,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn keyword_aliases() {
+        assert_eq!(Keyword::from_str("kernel"), Some(Keyword::Kernel));
+        assert_eq!(Keyword::from_str("global"), Some(Keyword::Global));
+        assert_eq!(Keyword::from_str("__inline__"), Some(Keyword::Inline));
+        assert_eq!(Keyword::from_str("not_a_keyword"), None);
+    }
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(0, 4, 1, 1);
+        let b = Span::new(10, 12, 2, 3);
+        let m = a.to(b);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 12);
+        assert_eq!(m.line, 1);
+    }
+
+    #[test]
+    fn punct_display() {
+        assert_eq!(Punct::Shl.as_str(), "<<");
+        assert_eq!(format!("{}", TokenKind::Punct(Punct::Arrow)), "->");
+        assert_eq!(format!("{}", TokenKind::Ident("abc".into())), "abc");
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the frontend: the lexer and preprocessor never
+//! panic on arbitrary input, the printer/parser pair is a fixpoint on valid
+//! kernels, and the identifier rewriter preserves compilability.
+
+use cl_frontend::lexer::tokenize;
+use cl_frontend::parser::parse;
+use cl_frontend::preprocess::{preprocess, strip_comments, PreprocessOptions};
+use cl_frontend::printer::print_unit;
+use cl_frontend::rewrite::{rewrite_identifiers, variable_name};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer must never panic, whatever bytes it is fed, and must always
+    /// terminate with an EOF token.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in "\\PC*") {
+        let (tokens, _diags) = tokenize(&src);
+        prop_assert!(!tokens.is_empty());
+        prop_assert!(matches!(tokens.last().unwrap().kind, cl_frontend::token::TokenKind::Eof));
+    }
+
+    /// Comment stripping never panics and never *adds* comment openers.
+    #[test]
+    fn strip_comments_never_introduces_comments(src in "[ -~\\n]{0,200}") {
+        let stripped = strip_comments(&src);
+        // Re-stripping is a fixpoint (already-stripped text has no comments to remove).
+        prop_assert_eq!(strip_comments(&stripped), stripped.clone());
+    }
+
+    /// The preprocessor is total on arbitrary printable input.
+    #[test]
+    fn preprocessor_total(src in "[ -~\\n]{0,300}") {
+        let _ = preprocess(&src, &PreprocessOptions::new());
+    }
+
+    /// The parser never panics on arbitrary token-ish text.
+    #[test]
+    fn parser_total(src in "[a-zA-Z0-9_{}()\\[\\];,+\\-*/<>=!&|. \\n]{0,300}") {
+        let _ = parse(&src);
+    }
+
+    /// The sequential-name generator is injective over a reasonable range and
+    /// only produces lowercase ASCII.
+    #[test]
+    fn variable_names_unique(a in 0usize..5000, b in 0usize..5000) {
+        let na = variable_name(a);
+        let nb = variable_name(b);
+        prop_assert!(na.chars().all(|c| c.is_ascii_lowercase()));
+        if a != b {
+            prop_assert_ne!(na, nb);
+        } else {
+            prop_assert_eq!(na, nb);
+        }
+    }
+}
+
+/// Build a small random-but-valid kernel from structured parts, so that
+/// round-trip properties run on inputs the grammar accepts.
+fn kernel_strategy() -> impl Strategy<Value = String> {
+    let elem = prop_oneof![Just("float"), Just("int"), Just("uint")];
+    let op = prop_oneof![Just("+"), Just("-"), Just("*")];
+    let guard = any::<bool>();
+    let math = prop_oneof![Just(""), Just("sqrt"), Just("fabs")];
+    (elem, op, guard, math, 1usize..4).prop_map(|(elem, op, guard, math, nbuf)| {
+        let mut params = String::new();
+        for i in 0..nbuf {
+            params.push_str(&format!("__global {elem}* buf{i}, "));
+        }
+        params.push_str("const int n");
+        let access = if math.is_empty() {
+            format!("buf0[i] {op} 2", )
+        } else if elem == "float" {
+            format!("{math}(buf0[i] {op} 2.0f)")
+        } else {
+            format!("buf0[i] {op} 2")
+        };
+        let body = if guard {
+            format!("  int i = get_global_id(0);\n  if (i < n) {{\n    buf{}[i] = {access};\n  }}\n", nbuf - 1)
+        } else {
+            format!("  int i = get_global_id(0);\n  buf{}[i] = {access};\n", nbuf - 1)
+        };
+        format!("__kernel void test_kernel({params}) {{\n{body}}}\n")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print(parse(x)) re-parses, and printing again is a fixpoint.
+    #[test]
+    fn printer_parser_fixpoint(src in kernel_strategy()) {
+        let parsed = parse(&src);
+        prop_assert!(parsed.is_ok(), "generated kernel failed to parse: {src}");
+        let printed = print_unit(&parsed.unit);
+        let reparsed = parse(&printed);
+        prop_assert!(reparsed.is_ok(), "printed kernel failed to re-parse:\n{printed}");
+        prop_assert_eq!(print_unit(&reparsed.unit), printed);
+    }
+
+    /// Identifier rewriting preserves compilability and removes the original
+    /// descriptive names.
+    #[test]
+    fn rewriting_preserves_validity(src in kernel_strategy()) {
+        let parsed = parse(&src);
+        prop_assert!(parsed.is_ok());
+        let mut unit = parsed.unit;
+        rewrite_identifiers(&mut unit);
+        let printed = print_unit(&unit);
+        prop_assert!(cl_frontend::parse_and_check(&printed).is_ok(), "rewritten kernel invalid:\n{printed}");
+        prop_assert!(!printed.contains("buf0"));
+        prop_assert!(!printed.contains("test_kernel"));
+        prop_assert!(printed.contains("get_global_id"));
+    }
+}

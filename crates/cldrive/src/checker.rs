@@ -1,0 +1,242 @@
+//! The dynamic checker (§5.2 of the paper).
+//!
+//! For performance benchmarking we do not care whether a kernel computes a
+//! *correct* value, only that it "predictably computes some result". The
+//! checker executes a kernel four times on two distinct payloads (each
+//! executed twice) and asserts that:
+//!
+//! * the outputs differ from the inputs (the kernel has output),
+//! * the outputs for different inputs differ (the kernel is input sensitive),
+//! * repeated executions of the same input agree (the kernel is
+//!   deterministic),
+//!
+//! with an epsilon for floating point comparisons and a timeout (here: a step
+//! budget) to catch non-terminating kernels.
+
+use crate::interp::{execute, ArgBinding, ExecError, ExecLimits, NDRange};
+use crate::payload::{generate_payload_pair, Payload, PayloadError, PayloadOptions};
+use crate::runtime::Buffer;
+use cl_frontend::ast::TranslationUnit;
+use cl_frontend::sema::KernelSignature;
+
+/// The verdict of the dynamic checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// The kernel performs useful, deterministic, input-sensitive work.
+    UsefulWork,
+    /// No global buffer was modified by execution.
+    NoOutput,
+    /// Outputs are identical for different inputs.
+    InputInsensitive,
+    /// Repeated executions of the same input disagree.
+    NonDeterministic,
+    /// The kernel exceeded its step budget (assumed non-terminating).
+    Timeout,
+    /// The kernel could not be executed or given a payload.
+    Failed(String),
+}
+
+impl CheckOutcome {
+    /// True if the kernel should be kept as a benchmark.
+    pub fn is_useful(&self) -> bool {
+        *self == CheckOutcome::UsefulWork
+    }
+}
+
+/// Configuration of the dynamic checker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckerOptions {
+    /// Global size used for the four check executions (small, for speed).
+    pub global_size: usize,
+    /// Local size for the check executions.
+    pub local_size: usize,
+    /// Relative epsilon for floating point output comparison.
+    pub epsilon: f64,
+    /// Step budget per work item (the "timeout threshold").
+    pub steps_per_work_item: u64,
+    /// Payload RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CheckerOptions {
+    fn default() -> Self {
+        CheckerOptions {
+            global_size: 256,
+            local_size: 32,
+            epsilon: 1e-5,
+            steps_per_work_item: 2_000_000,
+            seed: 0xC4EC,
+        }
+    }
+}
+
+/// Snapshot of the global buffers of a payload (inputs or outputs).
+fn global_buffers(args: &[ArgBinding]) -> Vec<Buffer> {
+    args.iter()
+        .filter_map(|a| match a {
+            ArgBinding::GlobalBuffer(b) => Some(b.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+fn buffers_differ(a: &[Buffer], b: &[Buffer], epsilon: f64) -> bool {
+    if a.len() != b.len() {
+        return true;
+    }
+    a.iter().zip(b.iter()).any(|(x, y)| x.differs_from(y, epsilon))
+}
+
+/// Execute the kernel once over a payload, returning the output global buffers.
+fn run_once(
+    unit: &TranslationUnit,
+    kernel: &str,
+    payload: &Payload,
+    ndrange: NDRange,
+    limits: &ExecLimits,
+) -> Result<Vec<Buffer>, ExecError> {
+    let result = execute(unit, kernel, payload.args.clone(), ndrange, limits)?;
+    Ok(global_buffers(&result.args))
+}
+
+/// Run the four-execution dynamic check on one kernel.
+pub fn check_kernel(
+    unit: &TranslationUnit,
+    sig: &KernelSignature,
+    options: &CheckerOptions,
+) -> CheckOutcome {
+    let payload_options = PayloadOptions {
+        global_size: options.global_size,
+        local_size: options.local_size,
+        seed: options.seed,
+    };
+    let (payload_a, payload_b) = match generate_payload_pair(sig, &payload_options) {
+        Ok(p) => p,
+        Err(PayloadError::UnsupportedArgument(why)) => return CheckOutcome::Failed(why),
+    };
+    let ndrange = NDRange::linear(options.global_size, options.local_size);
+    let limits = ExecLimits { steps_per_work_item: options.steps_per_work_item, max_work_items: 0 };
+
+    let a_in = global_buffers(&payload_a.args);
+    let b_in = global_buffers(&payload_b.args);
+    if a_in.is_empty() {
+        // Without global buffers there is no observable output at all.
+        return CheckOutcome::NoOutput;
+    }
+
+    // k(A1) -> A1out, k(B1) -> B1out, k(A2) -> A2out, k(B2) -> B2out
+    let mut outs = Vec::with_capacity(4);
+    for payload in [&payload_a, &payload_b, &payload_a, &payload_b] {
+        match run_once(unit, &sig.name, payload, ndrange, &limits) {
+            Ok(buffers) => outs.push(buffers),
+            Err(ExecError::StepLimitExceeded) => return CheckOutcome::Timeout,
+            Err(e) => return CheckOutcome::Failed(e.to_string()),
+        }
+    }
+    let (a1_out, b1_out, a2_out, b2_out) = (&outs[0], &outs[1], &outs[2], &outs[3]);
+
+    // Assert: outputs differ from inputs, else no output for these inputs.
+    if !buffers_differ(a1_out, &a_in, options.epsilon) && !buffers_differ(b1_out, &b_in, options.epsilon) {
+        return CheckOutcome::NoOutput;
+    }
+    // Assert: outputs differ across inputs, else input-insensitive.
+    if !buffers_differ(a1_out, b1_out, options.epsilon) || !buffers_differ(a2_out, b2_out, options.epsilon) {
+        return CheckOutcome::InputInsensitive;
+    }
+    // Assert: repeated executions agree, else non-deterministic.
+    if buffers_differ(a1_out, a2_out, options.epsilon) || buffers_differ(b1_out, b2_out, options.epsilon) {
+        return CheckOutcome::NonDeterministic;
+    }
+    CheckOutcome::UsefulWork
+}
+
+/// Convenience: compile-free check when the caller already has the unit and
+/// wants the first kernel checked.
+pub fn check_first_kernel(unit: &TranslationUnit, sigs: &[KernelSignature], options: &CheckerOptions) -> CheckOutcome {
+    match sigs.first() {
+        Some(sig) => check_kernel(unit, sig, options),
+        None => CheckOutcome::Failed("no kernel in translation unit".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_frontend::{compile, CompileOptions};
+
+    fn check(src: &str) -> CheckOutcome {
+        let r = compile(src, &CompileOptions::default());
+        assert!(r.is_ok(), "{}", r.diagnostics);
+        let options = CheckerOptions { global_size: 64, local_size: 16, ..Default::default() };
+        check_kernel(&r.unit, &r.kernels[0], &options)
+    }
+
+    #[test]
+    fn useful_kernel_passes() {
+        let outcome = check(
+            "__kernel void A(__global float* a, __global float* b, const int n) {
+                int i = get_global_id(0);
+                if (i < n) { b[i] = a[i] * 2.0f + 1.0f; }
+            }",
+        );
+        assert_eq!(outcome, CheckOutcome::UsefulWork);
+    }
+
+    #[test]
+    fn no_output_detected() {
+        let outcome = check(
+            "__kernel void A(__global float* a, const int n) {
+                int i = get_global_id(0);
+                float x = a[i] * 2.0f;
+                x = x + 1.0f;
+            }",
+        );
+        assert_eq!(outcome, CheckOutcome::NoOutput);
+    }
+
+    #[test]
+    fn input_insensitive_detected() {
+        let outcome = check(
+            "__kernel void A(__global float* a, const int n) {
+                int i = get_global_id(0);
+                if (i < n) { a[i] = 42.0f; }
+            }",
+        );
+        assert_eq!(outcome, CheckOutcome::InputInsensitive);
+    }
+
+    #[test]
+    fn timeout_detected() {
+        let r = compile(
+            "__kernel void A(__global float* a) { while (1) { a[0] += 1.0f; } }",
+            &CompileOptions::default(),
+        );
+        let options = CheckerOptions { global_size: 8, local_size: 4, steps_per_work_item: 5_000, ..Default::default() };
+        let outcome = check_kernel(&r.unit, &r.kernels[0], &options);
+        assert_eq!(outcome, CheckOutcome::Timeout);
+    }
+
+    #[test]
+    fn struct_args_fail_gracefully() {
+        let r = compile(
+            "typedef struct { float x; } P;\n__kernel void A(__global P* ps, __global float* out) { out[0] = 1.0f; }",
+            &CompileOptions::default(),
+        );
+        let outcome = check_kernel(&r.unit, &r.kernels[0], &CheckerOptions::default());
+        assert!(matches!(outcome, CheckOutcome::Failed(_)));
+        assert!(!outcome.is_useful());
+    }
+
+    #[test]
+    fn paper_figure6b_kernel_is_useful() {
+        // The zip kernel of Figure 6b: c_i = 3a_i + 2b_i + 4.
+        let outcome = check(
+            "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+                int e = get_global_id(0);
+                if (e >= d) { return; }
+                c[e] = a[e] + b[e] + 2 * a[e] + b[e] + 4;
+            }",
+        );
+        assert_eq!(outcome, CheckOutcome::UsefulWork);
+    }
+}

@@ -1,0 +1,273 @@
+//! Payload generation (§5.1 of the paper).
+//!
+//! "A payload encapsulates all of the arguments of an OpenCL compute kernel.
+//! After parsing the input kernel to derive argument types, a rule-based
+//! approach is used to generate synthetic payloads. For a given global size
+//! Sg: host buffers of Sg elements are allocated and populated with random
+//! values for global pointer arguments, device-only buffers of Sg elements
+//! are allocated for local pointer arguments, integral arguments are given
+//! the value Sg, and all other scalar arguments are given random values."
+
+use crate::interp::ArgBinding;
+use crate::runtime::{Buffer, BufferSpace, Scalar, Value};
+use cl_frontend::ast::Type;
+use cl_frontend::sema::KernelSignature;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Payload generation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PayloadOptions {
+    /// Global size `Sg`: the number of elements per buffer and the value given
+    /// to integral scalar arguments.
+    pub global_size: usize,
+    /// Work-group (local) size used when the kernel is launched.
+    pub local_size: usize,
+    /// RNG seed for the random buffer contents and scalar values.
+    pub seed: u64,
+}
+
+impl Default for PayloadOptions {
+    fn default() -> Self {
+        PayloadOptions { global_size: 1024, local_size: 64, seed: 0xDA7A }
+    }
+}
+
+/// A generated payload: one argument binding per kernel argument, plus the
+/// transfer sizes the host driver would enqueue.
+#[derive(Debug, Clone)]
+pub struct Payload {
+    /// Argument bindings in kernel-argument order.
+    pub args: Vec<ArgBinding>,
+    /// Bytes transferred host → device before execution (all non-write-only
+    /// global buffers).
+    pub bytes_to_device: usize,
+    /// Bytes transferred device → host after execution (all non-read-only
+    /// global buffers).
+    pub bytes_from_device: usize,
+    /// Global size the payload was generated for.
+    pub global_size: usize,
+}
+
+impl Payload {
+    /// Total bytes moved across the host-device interconnect.
+    pub fn total_transfer_bytes(&self) -> usize {
+        self.bytes_to_device + self.bytes_from_device
+    }
+}
+
+/// Errors from payload generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PayloadError {
+    /// The kernel has an argument type the rule-based generator cannot
+    /// synthesise (structs, images, unknown types) — §6.2 reports 2.3% of
+    /// benchmark kernels fall in this category.
+    UnsupportedArgument(String),
+}
+
+impl std::fmt::Display for PayloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PayloadError::UnsupportedArgument(a) => write!(f, "unsupported kernel argument: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for PayloadError {}
+
+/// Generate a payload for a kernel signature.
+///
+/// # Errors
+///
+/// Returns [`PayloadError::UnsupportedArgument`] for struct/image/unknown
+/// argument types.
+pub fn generate_payload(sig: &KernelSignature, options: &PayloadOptions) -> Result<Payload, PayloadError> {
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let sg = options.global_size.max(1);
+    let mut args = Vec::with_capacity(sig.args.len());
+    let mut to_device = 0usize;
+    let mut from_device = 0usize;
+    for arg in &sig.args {
+        match &arg.ty {
+            Type::Pointer { pointee, address_space, .. } => {
+                let elem = pointee.element_scalar().ok_or_else(|| {
+                    PayloadError::UnsupportedArgument(format!("{}: {}", arg.name, arg.ty))
+                })?;
+                let lanes = pointee.lanes().unwrap_or(1) as usize;
+                match address_space {
+                    cl_frontend::ast::AddressSpace::Local => {
+                        args.push(ArgBinding::LocalElements(options.local_size.max(1)));
+                    }
+                    _ => {
+                        let mut buffer = Buffer::zeroed(elem, lanes, sg, BufferSpace::Global);
+                        fill_random(&mut buffer, &mut rng);
+                        let bytes = buffer.size_bytes();
+                        // Host→device for all non-write-only buffers; we do not
+                        // track write-only annotations on pointers, so every
+                        // global buffer is transferred in...
+                        to_device += bytes;
+                        // ...and device→host for all non-read-only buffers
+                        // (const-qualified buffers are read-only).
+                        if !arg.is_const {
+                            from_device += bytes;
+                        }
+                        args.push(ArgBinding::GlobalBuffer(buffer));
+                    }
+                }
+            }
+            Type::Scalar(s) => {
+                let value = if s.is_integer() {
+                    Scalar::I(sg as i64)
+                } else {
+                    Scalar::F(rng.gen_range(0.1..4.0))
+                };
+                args.push(ArgBinding::Scalar(value));
+            }
+            Type::Vector(s, _) => {
+                let value = if s.is_integer() {
+                    Scalar::I(sg as i64)
+                } else {
+                    Scalar::F(rng.gen_range(0.1..4.0))
+                };
+                args.push(ArgBinding::Scalar(value));
+            }
+            other => {
+                return Err(PayloadError::UnsupportedArgument(format!("{}: {}", arg.name, other)));
+            }
+        }
+    }
+    Ok(Payload { args, bytes_to_device: to_device, bytes_from_device: from_device, global_size: sg })
+}
+
+/// Generate two payloads that differ only in their random buffer contents
+/// (`A` and `B` of the dynamic checker, §5.2).
+pub fn generate_payload_pair(
+    sig: &KernelSignature,
+    options: &PayloadOptions,
+) -> Result<(Payload, Payload), PayloadError> {
+    let a = generate_payload(sig, options)?;
+    let mut options_b = *options;
+    options_b.seed = options.seed.wrapping_add(0x9E3779B97F4A7C15);
+    let b = generate_payload(sig, &options_b)?;
+    Ok((a, b))
+}
+
+/// Compute the host↔device transfer sizes a payload of global size
+/// `global_size` would incur, without allocating the buffers. Returns
+/// `(bytes to device, bytes from device)`.
+pub fn estimated_transfer_bytes(sig: &KernelSignature, global_size: usize) -> (usize, usize) {
+    let mut to_device = 0usize;
+    let mut from_device = 0usize;
+    for arg in &sig.args {
+        if let Type::Pointer { pointee, address_space, .. } = &arg.ty {
+            if *address_space == cl_frontend::ast::AddressSpace::Local {
+                continue;
+            }
+            let elem_bytes = pointee.size_bytes().max(1);
+            let bytes = global_size * elem_bytes;
+            to_device += bytes;
+            if !arg.is_const {
+                from_device += bytes;
+            }
+        }
+    }
+    (to_device, from_device)
+}
+
+fn fill_random(buffer: &mut Buffer, rng: &mut StdRng) {
+    let is_float = buffer.elem.is_float();
+    for v in buffer.data.iter_mut() {
+        *v = if is_float {
+            Scalar::F(rng.gen_range(-1.0..1.0))
+        } else {
+            Scalar::I(rng.gen_range(0..1024))
+        };
+    }
+    let _ = Value::Void; // keep Value in scope for doc consistency
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_frontend::{compile, CompileOptions};
+
+    fn signature(src: &str) -> KernelSignature {
+        let r = compile(src, &CompileOptions::default());
+        assert!(r.is_ok(), "{}", r.diagnostics);
+        r.kernels[0].clone()
+    }
+
+    #[test]
+    fn paper_rules_applied() {
+        let sig = signature(
+            "__kernel void A(__global float* a, __local float* tmp, const int n, const float alpha) { a[0] = alpha + n + tmp[0]; }",
+        );
+        let options = PayloadOptions { global_size: 256, local_size: 32, seed: 1 };
+        let p = generate_payload(&sig, &options).unwrap();
+        assert_eq!(p.args.len(), 4);
+        match &p.args[0] {
+            ArgBinding::GlobalBuffer(b) => assert_eq!(b.elements(), 256),
+            other => panic!("expected buffer, got {other:?}"),
+        }
+        assert!(matches!(p.args[1], ArgBinding::LocalElements(32)));
+        assert!(matches!(p.args[2], ArgBinding::Scalar(Scalar::I(256))));
+        assert!(matches!(p.args[3], ArgBinding::Scalar(Scalar::F(_))));
+    }
+
+    #[test]
+    fn transfer_accounting_respects_constness() {
+        let sig = signature(
+            "__kernel void A(__global float* out, __constant float* coeff, const int n) { out[0] = coeff[0] + n; }",
+        );
+        let p = generate_payload(&sig, &PayloadOptions { global_size: 128, local_size: 16, seed: 2 }).unwrap();
+        // both buffers go to the device, only the non-const one comes back
+        assert_eq!(p.bytes_to_device, 2 * 128 * 4);
+        assert_eq!(p.bytes_from_device, 128 * 4);
+        assert_eq!(p.total_transfer_bytes(), 3 * 128 * 4);
+    }
+
+    #[test]
+    fn vector_buffers_sized_by_lanes() {
+        let sig = signature("__kernel void A(__global float4* a) { a[0] = a[1]; }");
+        let p = generate_payload(&sig, &PayloadOptions { global_size: 64, local_size: 16, seed: 3 }).unwrap();
+        match &p.args[0] {
+            ArgBinding::GlobalBuffer(b) => {
+                assert_eq!(b.elements(), 64);
+                assert_eq!(b.size_bytes(), 64 * 16);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_argument_rejected() {
+        let sig = signature(
+            "typedef struct { float x; } Body;\n__kernel void A(__global Body* bodies, __global float* out) { out[0] = 1.0f; }",
+        );
+        let err = generate_payload(&sig, &PayloadOptions::default());
+        assert!(matches!(err, Err(PayloadError::UnsupportedArgument(_))));
+    }
+
+    #[test]
+    fn payload_pair_differs_only_in_content() {
+        let sig = signature("__kernel void A(__global float* a, const int n) { a[0] = n; }");
+        let (a, b) = generate_payload_pair(&sig, &PayloadOptions::default()).unwrap();
+        assert_eq!(a.args.len(), b.args.len());
+        let (ArgBinding::GlobalBuffer(ba), ArgBinding::GlobalBuffer(bb)) = (&a.args[0], &b.args[0]) else {
+            panic!()
+        };
+        assert_eq!(ba.elements(), bb.elements());
+        assert!(ba.differs_from(bb, 1e-12), "payload pair should have different contents");
+    }
+
+    #[test]
+    fn payloads_are_deterministic_per_seed() {
+        let sig = signature("__kernel void A(__global float* a) { a[0] = 1.0f; }");
+        let p1 = generate_payload(&sig, &PayloadOptions { global_size: 32, local_size: 8, seed: 9 }).unwrap();
+        let p2 = generate_payload(&sig, &PayloadOptions { global_size: 32, local_size: 8, seed: 9 }).unwrap();
+        let (ArgBinding::GlobalBuffer(a), ArgBinding::GlobalBuffer(b)) = (&p1.args[0], &p2.args[0]) else {
+            panic!()
+        };
+        assert!(!a.differs_from(b, 0.0));
+    }
+}

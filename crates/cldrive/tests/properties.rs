@@ -1,0 +1,142 @@
+//! Property-based tests for the execution substrate: buffers behave like
+//! memory, payloads follow the §5.1 rules for arbitrary signatures, the device
+//! models are monotone in workload, and interpretation of a simple kernel
+//! matches a host-side reference for arbitrary inputs.
+
+use cl_frontend::ast::ScalarType;
+use cldrive::interp::{execute, ArgBinding, ExecLimits, NDRange};
+use cldrive::{Buffer, BufferSpace, Device, PayloadOptions, Scalar, Value, WorkloadProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Buffer store/load round-trips for arbitrary float contents.
+    #[test]
+    fn buffer_roundtrip(values in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+        let mut buf = Buffer::zeroed(ScalarType::Float, 1, values.len(), BufferSpace::Global);
+        for (i, v) in values.iter().enumerate() {
+            buf.store(i as i64, &Value::float(*v));
+        }
+        for (i, v) in values.iter().enumerate() {
+            let loaded = buf.load(i as i64).as_scalar().as_f64();
+            prop_assert!((loaded - v).abs() < 1e-9);
+        }
+        prop_assert!(!buf.differs_from(&buf.clone(), 0.0));
+    }
+
+    /// Integer buffers preserve values exactly and never report spurious
+    /// differences against themselves.
+    #[test]
+    fn int_buffer_exact(values in proptest::collection::vec(-1_000_000i64..1_000_000, 1..64)) {
+        let mut buf = Buffer::zeroed(ScalarType::Int, 1, values.len(), BufferSpace::Global);
+        for (i, v) in values.iter().enumerate() {
+            buf.store(i as i64, &Value::int(*v));
+        }
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(buf.load(i as i64).as_scalar().as_i64(), *v);
+        }
+    }
+
+    /// Device estimates are monotone: more compute work never makes a kernel
+    /// faster, on any Table-4 device.
+    #[test]
+    fn device_estimates_monotone(
+        base_ops in 1e3f64..1e8,
+        extra in 1e3f64..1e8,
+        bytes in 1e3f64..1e8,
+    ) {
+        for device in Device::table4() {
+            let w1 = WorkloadProfile {
+                work_items: 1e5,
+                compute_ops: base_ops,
+                global_bytes: bytes,
+                local_bytes: 0.0,
+                coalesced_fraction: 0.8,
+                branch_fraction: 0.1,
+                transfer_bytes: bytes,
+            };
+            let mut w2 = w1;
+            w2.compute_ops += extra;
+            prop_assert!(device.estimate(&w2).total() >= device.estimate(&w1).total() - 1e-12);
+        }
+    }
+
+    /// Payload generation honours the paper's rules for any mix of argument
+    /// kinds: buffers sized Sg, integral scalars = Sg, local buffers allocated.
+    #[test]
+    fn payload_rules_hold(
+        n_buffers in 1usize..4,
+        has_local in any::<bool>(),
+        global_size in 1usize..2048,
+    ) {
+        let mut params = String::new();
+        for i in 0..n_buffers {
+            params.push_str(&format!("__global float* g{i}, "));
+        }
+        if has_local {
+            params.push_str("__local float* scratch, ");
+        }
+        params.push_str("const int n");
+        let src = format!("__kernel void K({params}) {{ int i = get_global_id(0); if (i < n) {{ g0[i] = g0[i] + 1.0f; }} }}");
+        let compiled = cl_frontend::compile(&src, &Default::default());
+        prop_assert!(compiled.is_ok());
+        let payload = cldrive::generate_payload(
+            &compiled.kernels[0],
+            &PayloadOptions { global_size, local_size: 16, seed: 1 },
+        ).unwrap();
+        let mut buffers = 0;
+        for arg in &payload.args {
+            match arg {
+                ArgBinding::GlobalBuffer(b) => {
+                    prop_assert_eq!(b.elements(), global_size);
+                    buffers += 1;
+                }
+                ArgBinding::LocalElements(e) => prop_assert!(*e > 0),
+                ArgBinding::Scalar(s) => prop_assert_eq!(s.as_i64(), global_size as i64),
+            }
+        }
+        prop_assert_eq!(buffers, n_buffers);
+    }
+
+    /// Interpreting an axpy kernel matches the host-side reference computation
+    /// for arbitrary inputs, sizes and scalar coefficients.
+    #[test]
+    fn axpy_matches_reference(
+        xs in proptest::collection::vec(-100.0f64..100.0, 4..48),
+        alpha in -4.0f64..4.0,
+    ) {
+        let n = xs.len();
+        let src = "__kernel void axpy(__global float* x, __global float* y, const float alpha, const int n) {
+            int i = get_global_id(0);
+            if (i < n) { y[i] = alpha * x[i] + y[i]; }
+        }";
+        let compiled = cl_frontend::compile(src, &Default::default());
+        prop_assert!(compiled.is_ok());
+        let mut x = Buffer::zeroed(ScalarType::Float, 1, n, BufferSpace::Global);
+        let mut y = Buffer::zeroed(ScalarType::Float, 1, n, BufferSpace::Global);
+        for (i, v) in xs.iter().enumerate() {
+            x.store(i as i64, &Value::float(*v));
+            y.store(i as i64, &Value::float(1.0));
+        }
+        let result = execute(
+            &compiled.unit,
+            "axpy",
+            vec![
+                ArgBinding::GlobalBuffer(x),
+                ArgBinding::GlobalBuffer(y),
+                ArgBinding::Scalar(Scalar::F(alpha)),
+                ArgBinding::Scalar(Scalar::I(n as i64)),
+            ],
+            NDRange::linear(n, 8),
+            &ExecLimits::default(),
+        ).unwrap();
+        let ArgBinding::GlobalBuffer(y_out) = &result.args[1] else { panic!() };
+        for (i, v) in xs.iter().enumerate() {
+            let expected = alpha * v + 1.0;
+            let got = y_out.load(i as i64).as_scalar().as_f64();
+            prop_assert!((got - expected).abs() < 1e-6 * (1.0 + expected.abs()), "i={i} got={got} expected={expected}");
+        }
+        prop_assert_eq!(result.counts.work_items_executed as usize, n);
+    }
+}

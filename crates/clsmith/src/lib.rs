@@ -1,0 +1,159 @@
+//! # clsmith
+//!
+//! A grammar-based random OpenCL kernel generator in the style of CLSmith
+//! (Lidbury et al., PLDI 2015), the comparator used in the paper's Turing test
+//! control group (§6.1) and feature-space comparison (Figure 9).
+//!
+//! CLSmith generates *valid but unnatural* programs for differential testing:
+//! its kernels take a single `__global ulong*` result buffer, declare many
+//! scalar temporaries, build deep random expression trees with safe-math
+//! wrappers, and finally hash the temporaries into the result buffer. Human
+//! judges identify such code instantly (the paper's control group scored 96%)
+//! and its static features rarely coincide with real benchmarks (0.53% in
+//! Figure 9). This module reproduces those statistical properties; it is not a
+//! differential-testing tool.
+
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClsmithConfig {
+    /// Number of scalar temporaries declared at the top of the kernel.
+    pub num_variables: usize,
+    /// Number of statements in the kernel body.
+    pub num_statements: usize,
+    /// Maximum depth of generated expression trees.
+    pub max_expr_depth: usize,
+}
+
+impl Default for ClsmithConfig {
+    fn default() -> Self {
+        ClsmithConfig { num_variables: 8, num_statements: 12, max_expr_depth: 4 }
+    }
+}
+
+/// A generated CLSmith-style kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClsmithKernel {
+    /// The kernel source text.
+    pub source: String,
+    /// The seed it was generated from.
+    pub seed: u64,
+}
+
+/// Generate one CLSmith-style kernel.
+pub fn generate_kernel(seed: u64, config: &ClsmithConfig) -> ClsmithKernel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut body = String::new();
+    // CLSmith's hallmark global-id bookkeeping.
+    body.push_str("  int linear_global_id = get_global_id(0);\n");
+    let mut vars = Vec::new();
+    for i in 0..config.num_variables {
+        let name = format!("g_{i}");
+        let ty = ["int", "uint", "long", "ulong"][rng.gen_range(0..4)];
+        let init = rng.gen_range(-128i64..128);
+        body.push_str(&format!("  {ty} {name} = {init};\n"));
+        vars.push(name);
+    }
+    for s in 0..config.num_statements {
+        let target = vars[rng.gen_range(0..vars.len())].clone();
+        let expr = gen_expr(&mut rng, &vars, config.max_expr_depth);
+        match rng.gen_range(0..4) {
+            0 => body.push_str(&format!("  {target} = {expr};\n")),
+            1 => body.push_str(&format!("  {target} ^= {expr};\n")),
+            2 => body.push_str(&format!(
+                "  if (({expr}) != 0) {{\n    {target} = {target} + {};\n  }}\n",
+                rng.gen_range(1..16)
+            )),
+            _ => {
+                let bound = rng.gen_range(1..8);
+                body.push_str(&format!(
+                    "  for (int i_{s} = 0; i_{s} < {bound}; i_{s}++) {{\n    {target} = {target} + ({expr});\n  }}\n"
+                ));
+            }
+        }
+    }
+    // Hash all temporaries into the single result buffer, CLSmith style.
+    body.push_str("  ulong crc = 0;\n");
+    for v in &vars {
+        body.push_str(&format!("  crc = crc * 31 + (ulong)({v});\n"));
+    }
+    body.push_str("  result[linear_global_id] = crc;\n");
+    let source = format!("__kernel void entry(__global ulong* result) {{\n{body}}}\n");
+    ClsmithKernel { source, seed }
+}
+
+/// Generate a population of kernels with consecutive seeds.
+pub fn generate_population(seed: u64, count: usize, config: &ClsmithConfig) -> Vec<ClsmithKernel> {
+    (0..count as u64).map(|i| generate_kernel(seed.wrapping_add(i), config)).collect()
+}
+
+fn gen_expr(rng: &mut StdRng, vars: &[String], depth: usize) -> String {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.5) {
+            vars[rng.gen_range(0..vars.len())].clone()
+        } else {
+            format!("{}", rng.gen_range(-64i64..64))
+        };
+    }
+    let lhs = gen_expr(rng, vars, depth - 1);
+    let rhs = gen_expr(rng, vars, depth - 1);
+    match rng.gen_range(0..8) {
+        // CLSmith wraps arithmetic in "safe" helpers; we inline the safe forms.
+        0 => format!("({lhs} + {rhs})"),
+        1 => format!("({lhs} - {rhs})"),
+        2 => format!("({lhs} * {rhs})"),
+        3 => format!("(({rhs}) != 0 ? ({lhs}) / ({rhs}) : ({lhs}))"),
+        4 => format!("({lhs} ^ {rhs})"),
+        5 => format!("({lhs} & {rhs})"),
+        6 => format!("(({lhs}) < ({rhs}) ? ({lhs}) : ({rhs}))"),
+        _ => format!("(({lhs}) >> (({rhs}) & 7))"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_frontend::{compile, CompileOptions};
+
+    #[test]
+    fn generated_kernels_compile() {
+        for seed in 0..25 {
+            let k = generate_kernel(seed, &ClsmithConfig::default());
+            let r = compile(&k.source, &CompileOptions::default());
+            assert!(r.is_ok(), "seed {seed} failed:\n{}\n{}", k.source, r.diagnostics);
+            assert_eq!(r.kernels.len(), 1);
+            assert!(r.kernel_counts[0].1.instructions >= 3);
+        }
+    }
+
+    #[test]
+    fn kernels_have_clsmith_tells() {
+        let k = generate_kernel(7, &ClsmithConfig::default());
+        // single ulong* result argument — the "tell" the paper's judges used
+        assert!(k.source.contains("__kernel void entry(__global ulong* result)"));
+        assert!(k.source.contains("crc"));
+    }
+
+    #[test]
+    fn population_is_deterministic_and_distinct() {
+        let a = generate_population(100, 10, &ClsmithConfig::default());
+        let b = generate_population(100, 10, &ClsmithConfig::default());
+        assert_eq!(a.len(), 10);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+        }
+        let distinct: std::collections::HashSet<_> = a.iter().map(|k| &k.source).collect();
+        assert!(distinct.len() >= 9);
+    }
+
+    #[test]
+    fn config_scales_size() {
+        let small = generate_kernel(1, &ClsmithConfig { num_variables: 2, num_statements: 2, max_expr_depth: 2 });
+        let large = generate_kernel(1, &ClsmithConfig { num_variables: 20, num_statements: 40, max_expr_depth: 5 });
+        assert!(large.source.len() > small.source.len() * 3);
+    }
+}

@@ -1,0 +1,39 @@
+//! # clgen
+//!
+//! The core of the reproduction of *Synthesizing Benchmarks for Predictive
+//! Modeling* (CGO 2017): CLgen, an undirected, general-purpose OpenCL
+//! benchmark synthesizer driven by a language model learned from a corpus of
+//! human-written code.
+//!
+//! The pipeline (Figure 4 of the paper) is:
+//!
+//! 1. build a language corpus with [`clgen_corpus`] (mining, rejection
+//!    filtering, code rewriting),
+//! 2. train a character-level language model over it ([`clgen_neural`]),
+//! 3. sample candidate kernels with Algorithm 1 ([`sampler`]), optionally
+//!    constrained by an [argument specification](spec::ArgumentSpec),
+//! 4. keep only candidates that pass the rejection filter
+//!    ([`synthesizer::Clgen::synthesize`]).
+//!
+//! ```
+//! use clgen::{ArgumentSpec, Clgen, ClgenOptions};
+//!
+//! let mut clgen = Clgen::new(ClgenOptions::small(42));
+//! let report = clgen.synthesize(2, 100, Some(&ArgumentSpec::paper_default()));
+//! assert!(report.stats.attempts > 0);
+//! for kernel in &report.kernels {
+//!     assert!(kernel.source.contains("__kernel"));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod sampler;
+pub mod spec;
+pub mod synthesizer;
+
+pub use sampler::{sample_kernel, SampleOptions, SampledCandidate, StopReason};
+pub use spec::{ArgSpec, ArgumentSpec};
+pub use synthesizer::{
+    Clgen, ClgenOptions, ModelBackend, SynthesisReport, SynthesisStats, SynthesizedKernel,
+};

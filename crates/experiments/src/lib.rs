@@ -1,0 +1,55 @@
+//! # experiments
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation. Each binary in `src/bin/` reproduces one artefact; this
+//! library holds the shared plumbing: building labelled datasets from the
+//! benchmark suites and from CLgen-synthesized kernels, assembling feature
+//! vectors, and rendering result tables.
+//!
+//! | binary | artefact |
+//! |--------|----------|
+//! | `fig2_survey` | Figure 2 (benchmark-suite usage survey) |
+//! | `table1_cross_suite` | Table 1 (cross-suite generalisation) |
+//! | `fig3_feature_space` | Figure 3 (PCA of the Parboil feature space) |
+//! | `corpus_stats` | §4.1 corpus statistics (discard rates, shim, vocabulary) |
+//! | `turing_test` | §6.1 likeness-to-hand-written-code study (machine judge) |
+//! | `fig7_npb_speedup` | Figure 7 (NPB speedups with/without CLgen) |
+//! | `fig8_extended_model` | Figure 8 (extended model over all seven suites) |
+//! | `fig9_feature_match` | Figure 9 (feature-space matches vs. #kernels) |
+//! | `table3_inventory` | Table 3 (benchmark inventory) |
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod report;
+
+pub use data::{
+    build_suite_dataset, build_synthetic_dataset, synthesize_kernels, DatasetConfig, SyntheticConfig,
+};
+pub use report::{format_table, print_table};
+
+/// Read an experiment scale factor from the environment (`CLGEN_SCALE`),
+/// defaulting to 1.0. Experiment binaries multiply their sample counts by this
+/// factor so that quick sanity runs and full reproductions use the same code.
+pub fn scale_factor() -> f64 {
+    std::env::var("CLGEN_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+/// Scale a count by [`scale_factor`], keeping at least `min`.
+pub fn scaled(count: usize, min: usize) -> usize {
+    ((count as f64 * scale_factor()).round() as usize).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_defaults_to_identity() {
+        // unless CLGEN_SCALE is set in the environment, counts are unchanged
+        if std::env::var("CLGEN_SCALE").is_err() {
+            assert_eq!(scaled(100, 10), 100);
+        }
+        assert!(scaled(0, 5) >= 5);
+    }
+}

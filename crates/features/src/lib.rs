@@ -1,0 +1,71 @@
+//! # grewe-features
+//!
+//! Program features for the CPU/GPU mapping predictive model: the Grewe et
+//! al. feature set of Table 2 ([`grewe`]), the extended feature set of §8.2
+//! (raw features + branch counts), and a small [`pca`] implementation used to
+//! visualise the feature space (Figure 3).
+//!
+//! ```
+//! use cl_frontend::analysis::analyze_function;
+//! use cl_frontend::parser::parse;
+//! use grewe_features::GreweFeatures;
+//!
+//! let parsed = parse("__kernel void A(__global float* a, const int n) {
+//!     int i = get_global_id(0);
+//!     if (i < n) { a[i] = a[i] * 2.0f; }
+//! }");
+//! let kernel = parsed.unit.kernels().next().unwrap().clone();
+//! let counts = analyze_function(&parsed.unit, &kernel);
+//! // Static features alone (dynamic features come from the cldrive driver).
+//! let statics = grewe_features::StaticFeatures::from_counts(&counts);
+//! assert_eq!(statics.mem, 2.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod grewe;
+pub mod pca;
+
+pub use grewe::{GreweFeatures, StaticFeatures};
+pub use pca::Pca;
+
+/// Which feature representation a model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureSet {
+    /// The original Grewe et al. model: combined features F1–F4 only.
+    Grewe,
+    /// The extended model of §8.2: F1–F4 plus raw features plus branches.
+    Extended,
+}
+
+impl FeatureSet {
+    /// Produce the model input vector for a feature record.
+    pub fn vector(&self, features: &GreweFeatures) -> Vec<f64> {
+        match self {
+            FeatureSet::Grewe => features.combined_vector(),
+            FeatureSet::Extended => features.extended_vector(),
+        }
+    }
+
+    /// Number of columns produced by [`FeatureSet::vector`].
+    pub fn dims(&self) -> usize {
+        match self {
+            FeatureSet::Grewe => 4,
+            FeatureSet::Extended => 11,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_set_dims() {
+        assert_eq!(FeatureSet::Grewe.dims(), 4);
+        assert_eq!(FeatureSet::Extended.dims(), 11);
+        let f = GreweFeatures::default();
+        assert_eq!(FeatureSet::Grewe.vector(&f).len(), 4);
+        assert_eq!(FeatureSet::Extended.vector(&f).len(), 11);
+    }
+}

@@ -1,0 +1,211 @@
+//! Principal Component Analysis, used to project the feature space to two
+//! dimensions for Figure 3 of the paper.
+//!
+//! The implementation standardises the input columns and extracts the leading
+//! eigenvectors of the covariance matrix by power iteration with deflation —
+//! ample for the small feature matrices involved.
+
+/// A fitted PCA projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pca {
+    /// Per-column means used for centring.
+    pub means: Vec<f64>,
+    /// Per-column standard deviations used for scaling.
+    pub scales: Vec<f64>,
+    /// Principal components (each of length = number of columns).
+    pub components: Vec<Vec<f64>>,
+    /// Eigenvalue associated with each component (explained variance).
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fit a PCA with `n_components` components to a row-major data matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or rows have inconsistent lengths.
+    pub fn fit(rows: &[Vec<f64>], n_components: usize) -> Pca {
+        assert!(!rows.is_empty(), "PCA requires at least one row");
+        let dims = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dims), "inconsistent row lengths");
+        let n = rows.len() as f64;
+        let mut means = vec![0.0; dims];
+        for row in rows {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        means.iter_mut().for_each(|m| *m /= n);
+        let mut scales = vec![0.0; dims];
+        for row in rows {
+            for ((s, v), m) in scales.iter_mut().zip(row).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        scales.iter_mut().for_each(|s| *s = (*s / n).sqrt().max(1e-12));
+        // standardised data
+        let data: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().zip(&means).zip(&scales).map(|((v, m), s)| (v - m) / s).collect())
+            .collect();
+        // covariance matrix (dims x dims)
+        let mut cov = vec![vec![0.0; dims]; dims];
+        for row in &data {
+            for i in 0..dims {
+                for j in 0..dims {
+                    cov[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        for row in cov.iter_mut() {
+            for v in row.iter_mut() {
+                *v /= n;
+            }
+        }
+        // power iteration with deflation
+        let k = n_components.min(dims);
+        let mut components = Vec::with_capacity(k);
+        let mut explained = Vec::with_capacity(k);
+        let mut work = cov.clone();
+        for c in 0..k {
+            let (vec, value) = power_iteration(&work, 500, 1e-10, c as u64);
+            // deflate
+            for i in 0..dims {
+                for j in 0..dims {
+                    work[i][j] -= value * vec[i] * vec[j];
+                }
+            }
+            components.push(vec);
+            explained.push(value.max(0.0));
+        }
+        Pca { means, scales, components, explained_variance: explained }
+    }
+
+    /// Project a single row onto the fitted components.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let standardised: Vec<f64> = row
+            .iter()
+            .zip(&self.means)
+            .zip(&self.scales)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect();
+        self.components
+            .iter()
+            .map(|c| c.iter().zip(&standardised).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Fit and transform in one call, returning the projected rows.
+    pub fn fit_transform(rows: &[Vec<f64>], n_components: usize) -> (Pca, Vec<Vec<f64>>) {
+        let pca = Pca::fit(rows, n_components);
+        let projected = rows.iter().map(|r| pca.transform(r)).collect();
+        (pca, projected)
+    }
+}
+
+fn power_iteration(matrix: &[Vec<f64>], iterations: usize, tolerance: f64, seed: u64) -> (Vec<f64>, f64) {
+    let dims = matrix.len();
+    // Deterministic pseudo-random start vector.
+    let mut v: Vec<f64> = (0..dims)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed * 1442695040888963407 + 1);
+            ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0 + 1e-3
+        })
+        .collect();
+    normalize(&mut v);
+    let mut eigenvalue = 0.0;
+    for _ in 0..iterations {
+        let mut next = vec![0.0; dims];
+        for i in 0..dims {
+            for j in 0..dims {
+                next[i] += matrix[i][j] * v[j];
+            }
+        }
+        let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-15 {
+            return (v, 0.0);
+        }
+        next.iter_mut().for_each(|x| *x /= norm);
+        let delta: f64 = next.iter().zip(&v).map(|(a, b)| (a - b).abs()).sum();
+        v = next;
+        eigenvalue = norm;
+        if delta < tolerance {
+            break;
+        }
+    }
+    (v, eigenvalue)
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-15);
+    v.iter_mut().for_each(|x| *x /= norm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points spread along the (1, 1) direction with small noise in (1, -1).
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let t = i as f64 / 10.0 - 5.0;
+                let noise = ((i * 7919) % 13) as f64 / 13.0 - 0.5;
+                vec![t + 0.1 * noise, t - 0.1 * noise]
+            })
+            .collect();
+        let (pca, projected) = Pca::fit_transform(&rows, 2);
+        assert_eq!(projected.len(), 100);
+        assert_eq!(projected[0].len(), 2);
+        // First component explains far more variance than the second.
+        assert!(pca.explained_variance[0] > pca.explained_variance[1] * 5.0);
+        // The first component is aligned with (1,1)/sqrt(2) (up to sign).
+        let c = &pca.components[0];
+        assert!((c[0].abs() - c[1].abs()).abs() < 0.1, "{c:?}");
+    }
+
+    #[test]
+    fn transform_is_consistent_with_fit() {
+        let rows = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 4.0, 6.5],
+            vec![3.0, 6.0, 8.5],
+            vec![4.0, 8.0, 12.0],
+        ];
+        let (pca, projected) = Pca::fit_transform(&rows, 2);
+        for (row, proj) in rows.iter().zip(&projected) {
+            let again = pca.transform(row);
+            for (a, b) in again.iter().zip(proj) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_columns_do_not_blow_up() {
+        let rows = vec![vec![1.0, 5.0], vec![1.0, 6.0], vec![1.0, 7.0]];
+        let (pca, projected) = Pca::fit_transform(&rows, 2);
+        assert!(projected.iter().flatten().all(|v| v.is_finite()));
+        assert!(pca.explained_variance.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                vec![x, 2.0 * x + (i % 5) as f64, (i % 7) as f64, x * 0.5]
+            })
+            .collect();
+        let pca = Pca::fit(&rows, 3);
+        for i in 0..pca.components.len() {
+            let norm: f64 = pca.components[i].iter().map(|v| v * v).sum();
+            assert!((norm - 1.0).abs() < 1e-6);
+            for j in i + 1..pca.components.len() {
+                let dot: f64 = pca.components[i].iter().zip(&pca.components[j]).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 0.05, "components {i} and {j} not orthogonal: {dot}");
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The language-model abstraction used by the synthesizer.
+//!
+//! CLgen's sampling loop (Algorithm 1) only needs a model that, given the
+//! characters emitted so far, yields a distribution over the next character.
+//! Both the LSTM (the paper's model) and the n-gram ablation baseline
+//! implement this trait, so the synthesizer is generic over the model class.
+
+use crate::lstm::{LstmModel, LstmState};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A stateful character-level language model.
+pub trait LanguageModel {
+    /// Size of the character vocabulary.
+    fn vocab_size(&self) -> usize;
+
+    /// Reset the internal state to the start-of-sequence state.
+    fn reset(&mut self);
+
+    /// Feed one character id, advancing the internal state.
+    fn feed(&mut self, id: u32);
+
+    /// Distribution over the next character given everything fed so far.
+    fn predict(&self) -> Vec<f32>;
+}
+
+/// Adapter making [`LstmModel`] usable through the [`LanguageModel`] trait by
+/// carrying its recurrent state and the last prediction.
+#[derive(Debug, Clone)]
+pub struct StatefulLstm {
+    model: LstmModel,
+    state: LstmState,
+    last_probs: Vec<f32>,
+}
+
+impl StatefulLstm {
+    /// Wrap a trained LSTM for sampling.
+    pub fn new(model: LstmModel) -> StatefulLstm {
+        let state = model.initial_state();
+        let vocab = model.config.vocab_size;
+        StatefulLstm { model, state, last_probs: vec![1.0 / vocab as f32; vocab] }
+    }
+
+    /// Access the wrapped model.
+    pub fn model(&self) -> &LstmModel {
+        &self.model
+    }
+
+    /// Unwrap into the underlying model.
+    pub fn into_model(self) -> LstmModel {
+        self.model
+    }
+}
+
+impl LanguageModel for StatefulLstm {
+    fn vocab_size(&self) -> usize {
+        self.model.config.vocab_size
+    }
+
+    fn reset(&mut self) {
+        self.state = self.model.initial_state();
+        let vocab = self.vocab_size();
+        self.last_probs = vec![1.0 / vocab as f32; vocab];
+    }
+
+    fn feed(&mut self, id: u32) {
+        self.last_probs = self.model.predict(&mut self.state, id);
+    }
+
+    fn predict(&self) -> Vec<f32> {
+        self.last_probs.clone()
+    }
+}
+
+/// Sample an index from a probability distribution with a temperature
+/// adjustment. Temperature 1.0 samples the distribution as-is; lower values
+/// sharpen it (more deterministic), higher values flatten it.
+pub fn sample_distribution(probs: &[f32], temperature: f32, rng: &mut StdRng) -> u32 {
+    assert!(!probs.is_empty());
+    let temperature = temperature.max(1e-3);
+    // Re-weight: p^(1/T), renormalise.
+    let mut weights: Vec<f64> = probs
+        .iter()
+        .map(|&p| f64::from(p.max(1e-12)).powf(1.0 / f64::from(temperature)))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return rng.gen_range(0..probs.len()) as u32;
+    }
+    for w in &mut weights {
+        *w /= total;
+    }
+    let mut draw: f64 = rng.gen();
+    for (i, w) in weights.iter().enumerate() {
+        if draw < *w {
+            return i as u32;
+        }
+        draw -= w;
+    }
+    (probs.len() - 1) as u32
+}
+
+/// Greedy argmax over a distribution.
+pub fn argmax(probs: &[f32]) -> u32 {
+    probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i as u32)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstm::LstmConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stateful_lstm_roundtrip() {
+        let lstm = LstmModel::new(LstmConfig::small(12));
+        let mut wrapped = StatefulLstm::new(lstm);
+        assert_eq!(wrapped.vocab_size(), 12);
+        let uniform = wrapped.predict();
+        assert!((uniform[0] - 1.0 / 12.0).abs() < 1e-6);
+        wrapped.feed(3);
+        let after = wrapped.predict();
+        let sum: f32 = after.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        wrapped.reset();
+        assert!((wrapped.predict()[0] - 1.0 / 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let probs = vec![0.0, 0.9, 0.1, 0.0];
+        let mut counts = [0usize; 4];
+        for _ in 0..1000 {
+            counts[sample_distribution(&probs, 1.0, &mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        assert!(counts[1] > 800);
+        assert!(counts[2] > 20);
+    }
+
+    #[test]
+    fn low_temperature_is_nearly_greedy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let probs = vec![0.3, 0.4, 0.3];
+        let mut counts = [0usize; 3];
+        for _ in 0..500 {
+            counts[sample_distribution(&probs, 0.05, &mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > 480, "low temperature should pick the mode almost always: {counts:?}");
+        assert_eq!(argmax(&probs), 1);
+    }
+
+    #[test]
+    fn high_temperature_flattens() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let probs = vec![0.05, 0.9, 0.05];
+        let mut counts = [0usize; 3];
+        for _ in 0..2000 {
+            counts[sample_distribution(&probs, 3.0, &mut rng) as usize] += 1;
+        }
+        // With a hot temperature the minority classes appear far more often
+        // than their base probability would suggest.
+        assert!(counts[0] + counts[2] > 400, "{counts:?}");
+    }
+}

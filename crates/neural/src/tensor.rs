@@ -1,0 +1,281 @@
+//! Minimal dense matrix/vector math used by the LSTM language model.
+//!
+//! The paper trains its model in Torch; this crate provides the small subset
+//! of tensor operations an LSTM needs (dense matrix-vector products, AXPY,
+//! element-wise nonlinearities) implemented directly over `Vec<f32>` so the
+//! reproduction has no external numerical dependencies.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `rows x cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A matrix with entries drawn uniformly from `[-scale, scale]`.
+    pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut StdRng) -> Matrix {
+        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from an explicit row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable access to the underlying data (row major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying data (row major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A view of row `r`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `y = self * x` (matrix-vector product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// `y += self * x` (accumulating matrix-vector product).
+    pub fn matvec_add(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            y[r] += acc;
+        }
+    }
+
+    /// `y += self^T * x` (transposed matrix-vector product), used in
+    /// backpropagation.
+    pub fn matvec_transpose_add(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.rows, "matvecT dimension mismatch");
+        assert_eq!(y.len(), self.cols, "matvecT output mismatch");
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for (c, a) in row.iter().enumerate() {
+                y[c] += a * xr;
+            }
+        }
+    }
+
+    /// Accumulate the outer product `self += a * b^T` (gradient accumulation).
+    pub fn add_outer(&mut self, a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), self.rows, "outer product row mismatch");
+        assert_eq!(b.len(), self.cols, "outer product col mismatch");
+        for r in 0..self.rows {
+            let ar = a[r];
+            if ar == 0.0 {
+                continue;
+            }
+            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (dst, bv) in row.iter_mut().zip(b.iter()) {
+                *dst += ar * bv;
+            }
+        }
+    }
+
+    /// `self += alpha * other` (AXPY over all entries).
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (dst, src) in self.data.iter_mut().zip(other.data.iter()) {
+            *dst += alpha * src;
+        }
+    }
+
+    /// Set every entry to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sum of squares of all entries (for gradient-norm clipping).
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+
+    /// Scale all entries by `s`.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|v| *v *= s);
+    }
+
+    /// Number of parameters stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Element-wise sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Numerically-stable softmax over a slice, in place.
+pub fn softmax_in_place(x: &mut [f32]) {
+    let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// AXPY over plain vectors: `y += alpha * x`.
+pub fn vec_axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (dst, src) in y.iter_mut().zip(x.iter()) {
+        *dst += alpha * src;
+    }
+}
+
+/// Sum of squares of a vector.
+pub fn vec_sq_norm(x: &[f32]) -> f32 {
+    x.iter().map(|v| v * v).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matvec_basic() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = m.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_transpose_matches_manual() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut y = vec![0.0; 3];
+        m.matvec_transpose_add(&[1.0, 2.0], &mut y);
+        assert_eq!(y, vec![1.0 + 8.0, 2.0 + 10.0, 3.0 + 12.0]);
+    }
+
+    #[test]
+    fn outer_product_accumulates() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        m.add_outer(&[1.0, 2.0], &[3.0, 4.0]);
+        assert_eq!(m.data(), &[6.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Matrix::zeros(1, 3);
+        let b = Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[2.0, -4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.data(), &[1.0, -2.0, 3.0]);
+        assert_eq!(a.sq_norm(), 1.0 + 4.0 + 9.0);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut x = vec![1000.0, 1000.0, 1000.0];
+        softmax_in_place(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!((x[0] - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+    }
+
+    #[test]
+    fn uniform_init_is_bounded_and_deterministic() {
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let a = Matrix::uniform(4, 4, 0.1, &mut rng1);
+        let b = Matrix::uniform(4, 4, 0.1, &mut rng2);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|v| v.abs() <= 0.1));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_vec_checks_shape() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+}

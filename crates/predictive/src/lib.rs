@@ -1,0 +1,38 @@
+//! # predictive
+//!
+//! The predictive-modeling substrate of the CLgen reproduction: a CART
+//! decision [`tree`] (the learner behind the Grewe et al. CPU/GPU mapping
+//! model), labelled [`dataset`]s with the paper's evaluation metrics
+//! (performance relative to the oracle, speedup over the best static mapping)
+//! and the evaluation protocols of §7 ([`model`]): leave-one-out
+//! cross-validation, training-set augmentation with synthetic benchmarks and
+//! cross-suite evaluation.
+//!
+//! ```
+//! use predictive::{Dataset, Example, MappingModel};
+//!
+//! let mut data = Dataset::new();
+//! for i in 0..10 {
+//!     let size = (i + 1) as f64 * 100.0;
+//!     data.push(Example {
+//!         features: vec![size],
+//!         benchmark: format!("b{i}"),
+//!         suite: "demo".into(),
+//!         id: format!("b{i}"),
+//!         cpu_time: size / 100.0,
+//!         gpu_time: 500.0 / size,
+//!     });
+//! }
+//! let model = MappingModel::train(&data);
+//! assert_eq!(model.predict(&data.examples[0]), data.examples[0].oracle());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod model;
+pub mod tree;
+
+pub use dataset::{evaluate, Dataset, EvalMetrics, Example, CLASS_CPU, CLASS_GPU};
+pub use model::{aggregate, cross_suite, geomean_speedup, leave_one_out, BenchmarkResult, MappingModel};
+pub use tree::{DecisionTree, TreeConfig};

@@ -1,0 +1,263 @@
+//! The Grewe et al. predictive model and its evaluation protocols (§7 of the
+//! paper): leave-one-out cross-validation over benchmarks, training-set
+//! augmentation with synthetic benchmarks, and cross-suite evaluation
+//! (Table 1).
+
+use crate::dataset::{evaluate, Dataset, EvalMetrics, Example};
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// The CPU/GPU mapping model: a decision tree over program features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingModel {
+    tree: DecisionTree,
+}
+
+impl MappingModel {
+    /// Train a model on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn train(dataset: &Dataset) -> MappingModel {
+        MappingModel::train_with(dataset, &TreeConfig::default())
+    }
+
+    /// Train with explicit tree hyper-parameters.
+    pub fn train_with(dataset: &Dataset, config: &TreeConfig) -> MappingModel {
+        let pairs = dataset.training_pairs();
+        MappingModel { tree: DecisionTree::train(&pairs, config) }
+    }
+
+    /// Predict the mapping class for one example.
+    pub fn predict(&self, example: &Example) -> usize {
+        self.tree.predict(&example.features)
+    }
+
+    /// Predict mapping classes for a dataset.
+    pub fn predict_all(&self, dataset: &Dataset) -> Vec<usize> {
+        dataset.examples.iter().map(|e| self.predict(e)).collect()
+    }
+
+    /// The underlying decision tree.
+    pub fn tree(&self) -> &DecisionTree {
+        &self.tree
+    }
+}
+
+/// Result of evaluating a model on one benchmark (one LOOCV fold).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Suite the benchmark belongs to.
+    pub suite: String,
+    /// Metrics over the benchmark's examples.
+    pub metrics: EvalMetrics,
+}
+
+/// Leave-one-out cross-validation (§7.2): for each benchmark, train on every
+/// other benchmark (plus `augmentation`, e.g. CLgen synthetic benchmarks) and
+/// evaluate on the held-out benchmark's examples.
+///
+/// Returns one [`BenchmarkResult`] per benchmark in `dataset`.
+pub fn leave_one_out(
+    dataset: &Dataset,
+    augmentation: Option<&Dataset>,
+    config: &TreeConfig,
+) -> Vec<BenchmarkResult> {
+    let static_class = dataset.best_static_mapping();
+    let mut results = Vec::new();
+    for benchmark in dataset.benchmarks() {
+        let mut train = dataset.excluding_benchmark(&benchmark);
+        if let Some(aug) = augmentation {
+            train = train.merged_with(aug);
+        }
+        let test = dataset.of_benchmark(&benchmark);
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let model = MappingModel::train_with(&train, config);
+        let predictions = model.predict_all(&test);
+        let metrics = evaluate(&test.examples, &predictions, static_class);
+        let suite = test.examples[0].suite.clone();
+        results.push(BenchmarkResult { benchmark, suite, metrics });
+    }
+    results
+}
+
+/// Aggregate metrics over a set of per-benchmark results (total-time based, so
+/// benchmarks weigh in proportion to their runtime, as in the paper).
+pub fn aggregate(results: &[BenchmarkResult]) -> EvalMetrics {
+    let mut total = EvalMetrics::default();
+    for r in results {
+        total.count += r.metrics.count;
+        total.predicted_time += r.metrics.predicted_time;
+        total.oracle_time += r.metrics.oracle_time;
+        total.static_time += r.metrics.static_time;
+        total.accuracy += r.metrics.accuracy * r.metrics.count as f64;
+    }
+    if total.count > 0 {
+        total.accuracy /= total.count as f64;
+    }
+    total
+}
+
+/// Geometric-mean speedup over the static baseline across benchmarks, which is
+/// how the paper reports the per-figure "average" bars.
+pub fn geomean_speedup(results: &[BenchmarkResult]) -> f64 {
+    let speedups: Vec<f64> = results
+        .iter()
+        .map(|r| r.metrics.speedup_vs_static().max(1e-6))
+        .collect();
+    if speedups.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = speedups.iter().map(|s| s.ln()).sum();
+    (log_sum / speedups.len() as f64).exp()
+}
+
+/// Cross-suite evaluation (Table 1): train the model on all examples of
+/// `train_suite` and evaluate on all examples of `test_suite`, reporting
+/// performance relative to the oracle.
+pub fn cross_suite(
+    dataset: &Dataset,
+    train_suite: &str,
+    test_suite: &str,
+    config: &TreeConfig,
+) -> Option<EvalMetrics> {
+    let train = dataset.of_suite(train_suite);
+    let test = dataset.of_suite(test_suite);
+    if train.is_empty() || test.is_empty() {
+        return None;
+    }
+    let static_class = test.best_static_mapping();
+    let model = MappingModel::train_with(&train, config);
+    let predictions = model.predict_all(&test);
+    Some(evaluate(&test.examples, &predictions, static_class))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{CLASS_CPU, CLASS_GPU};
+
+    /// Build a synthetic dataset where the oracle is GPU iff feature[0] > 100,
+    /// with per-benchmark clusters of examples.
+    fn synthetic_dataset(benchmarks: usize, per_benchmark: usize, suite: &str) -> Dataset {
+        let mut d = Dataset::new();
+        for b in 0..benchmarks {
+            for i in 0..per_benchmark {
+                let size = (b * per_benchmark + i + 1) as f64 * 20.0;
+                let gpu_better = size > 100.0;
+                let (cpu, gpu) = if gpu_better { (size, size / 3.0) } else { (size / 10.0, size) };
+                d.push(Example {
+                    features: vec![size, (i % 3) as f64],
+                    benchmark: format!("bench{b}"),
+                    suite: suite.into(),
+                    id: format!("bench{b}.{i}"),
+                    cpu_time: cpu,
+                    gpu_time: gpu,
+                });
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn model_learns_simple_rule() {
+        let d = synthetic_dataset(6, 5, "S");
+        let model = MappingModel::train(&d);
+        let small = &d.examples[0];
+        assert_eq!(small.oracle(), CLASS_CPU);
+        assert_eq!(model.predict(small), CLASS_CPU);
+        let large = d.examples.last().unwrap();
+        assert_eq!(large.oracle(), CLASS_GPU);
+        assert_eq!(model.predict(large), CLASS_GPU);
+    }
+
+    #[test]
+    fn loocv_produces_one_result_per_benchmark() {
+        let d = synthetic_dataset(5, 4, "S");
+        let results = leave_one_out(&d, None, &TreeConfig::default());
+        assert_eq!(results.len(), 5);
+        let agg = aggregate(&results);
+        assert_eq!(agg.count, 20);
+        assert!(agg.performance_vs_oracle() > 0.8, "{agg:?}");
+        assert!(geomean_speedup(&results) > 0.0);
+    }
+
+    #[test]
+    fn augmentation_improves_sparse_training() {
+        // Sparse dataset: only two benchmarks, each entirely on one side of the
+        // decision boundary, so LOOCV must extrapolate and fails.
+        let mut sparse = Dataset::new();
+        for i in 0..4 {
+            sparse.push(Example {
+                features: vec![10.0 + i as f64],
+                benchmark: "small".into(),
+                suite: "S".into(),
+                id: format!("small{i}"),
+                cpu_time: 1.0,
+                gpu_time: 5.0,
+            });
+            sparse.push(Example {
+                features: vec![1000.0 + i as f64],
+                benchmark: "large".into(),
+                suite: "S".into(),
+                id: format!("large{i}"),
+                cpu_time: 50.0,
+                gpu_time: 5.0,
+            });
+        }
+        let baseline = aggregate(&leave_one_out(&sparse, None, &TreeConfig::default()));
+        // Augment with synthetic examples covering both regions.
+        let mut synth = Dataset::new();
+        for i in 0..20 {
+            let size = 5.0 + i as f64 * 100.0;
+            let gpu_better = size > 100.0;
+            synth.push(Example {
+                features: vec![size],
+                benchmark: format!("clgen{i}"),
+                suite: "CLgen".into(),
+                id: format!("clgen{i}"),
+                cpu_time: if gpu_better { 10.0 } else { 1.0 },
+                gpu_time: if gpu_better { 1.0 } else { 10.0 },
+            });
+        }
+        let augmented = aggregate(&leave_one_out(&sparse, Some(&synth), &TreeConfig::default()));
+        assert!(
+            augmented.performance_vs_oracle() > baseline.performance_vs_oracle(),
+            "augmentation should help: baseline {:.3}, augmented {:.3}",
+            baseline.performance_vs_oracle(),
+            augmented.performance_vs_oracle()
+        );
+    }
+
+    #[test]
+    fn cross_suite_generalisation_gap() {
+        // Suite A only contains small (CPU) examples, suite B only large (GPU):
+        // a model trained on A does poorly on B.
+        let a = synthetic_dataset(2, 3, "A"); // sizes 20..120 (mostly CPU)
+        let mut b = Dataset::new();
+        for i in 0..6 {
+            b.push(Example {
+                features: vec![2000.0 + i as f64 * 50.0],
+                benchmark: format!("big{i}"),
+                suite: "B".into(),
+                id: format!("big{i}"),
+                cpu_time: 100.0,
+                gpu_time: 2.0,
+            });
+        }
+        let merged = a.merged_with(&b);
+        let ab = cross_suite(&merged, "A", "B", &TreeConfig::default()).unwrap();
+        let bb = cross_suite(&merged, "B", "B", &TreeConfig::default()).unwrap();
+        assert!(bb.performance_vs_oracle() >= ab.performance_vs_oracle());
+        assert!(cross_suite(&merged, "A", "missing", &TreeConfig::default()).is_none());
+    }
+
+    #[test]
+    fn class_constants_are_distinct() {
+        assert_ne!(CLASS_CPU, CLASS_GPU);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property-based tests for the predictive-modeling substrate.
+
+use predictive::{evaluate, Dataset, DecisionTree, Example, TreeConfig, CLASS_CPU, CLASS_GPU};
+use proptest::prelude::*;
+
+fn arbitrary_examples() -> impl Strategy<Value = Vec<Example>> {
+    proptest::collection::vec(
+        (0.1f64..1000.0, 0.1f64..1000.0, proptest::collection::vec(-100.0f64..100.0, 3)),
+        2..40,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (cpu, gpu, features))| Example {
+                features,
+                benchmark: format!("b{}", i % 6),
+                suite: "prop".into(),
+                id: format!("e{i}"),
+                cpu_time: cpu,
+                gpu_time: gpu,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Training accuracy of a deep-enough tree is at least the majority-class
+    /// baseline (a tree can always fall back to a single leaf).
+    #[test]
+    fn tree_beats_majority_baseline(examples in arbitrary_examples()) {
+        let pairs: Vec<(Vec<f64>, usize)> = examples.iter().map(Example::training_pair).collect();
+        let tree = DecisionTree::train(&pairs, &TreeConfig { max_depth: 10, min_samples_split: 2, min_samples_leaf: 1 });
+        let gpu = pairs.iter().filter(|(_, l)| *l == CLASS_GPU).count();
+        let majority = gpu.max(pairs.len() - gpu) as f64 / pairs.len() as f64;
+        prop_assert!(tree.accuracy(&pairs) + 1e-9 >= majority);
+    }
+
+    /// Tree predictions are always one of the training classes.
+    #[test]
+    fn predictions_in_range(examples in arbitrary_examples(), probe in proptest::collection::vec(-1000.0f64..1000.0, 3)) {
+        let pairs: Vec<(Vec<f64>, usize)> = examples.iter().map(Example::training_pair).collect();
+        let tree = DecisionTree::train(&pairs, &TreeConfig::default());
+        let p = tree.predict(&probe);
+        prop_assert!(p == CLASS_CPU || p == CLASS_GPU);
+    }
+
+    /// Metric invariants: oracle time is never larger than the predicted or
+    /// static-mapping time, so both ratios are bounded by 1 from the oracle's
+    /// perspective.
+    #[test]
+    fn metric_bounds(examples in arbitrary_examples(), flip in any::<bool>()) {
+        let dataset = Dataset { examples: examples.clone() };
+        let static_class = dataset.best_static_mapping();
+        let predictions: Vec<usize> = examples
+            .iter()
+            .map(|e| if flip { 1 - e.oracle() } else { e.oracle() })
+            .collect();
+        let metrics = evaluate(&examples, &predictions, static_class);
+        prop_assert!(metrics.oracle_time <= metrics.predicted_time + 1e-9);
+        prop_assert!(metrics.oracle_time <= metrics.static_time + 1e-9);
+        prop_assert!(metrics.performance_vs_oracle() <= 1.0 + 1e-9);
+        if !flip {
+            // perfect predictions achieve the oracle and at least match the static mapping
+            prop_assert!((metrics.performance_vs_oracle() - 1.0).abs() < 1e-9);
+            prop_assert!(metrics.speedup_vs_static() >= 1.0 - 1e-9);
+        }
+    }
+}

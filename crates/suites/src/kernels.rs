@@ -1,0 +1,870 @@
+//! Hand-written OpenCL kernels for each benchmark-suite stand-in.
+//!
+//! Each function returns the benchmark list of one suite. The kernels are
+//! written in the characteristic style of the suite they represent (see the
+//! crate docs); all of them compile against `cl-frontend`, execute on the
+//! `cldrive` interpreter and satisfy the dynamic checker (they read their
+//! inputs and write data-dependent outputs).
+
+use crate::{Benchmark, Suite, DEFAULT_SIZES, NPB_CLASSES, PARBOIL_SIZES};
+
+fn bench(suite: Suite, name: &str, source: &str, sizes: &[usize]) -> Benchmark {
+    Benchmark { suite, name: name.to_string(), source: source.to_string(), dataset_sizes: sizes.to_vec() }
+}
+
+fn npb_sizes() -> Vec<usize> {
+    NPB_CLASSES.iter().map(|(_, s)| *s).collect()
+}
+
+/// NAS Parallel Benchmarks (SNU OpenCL): local-memory heavy, minimal branching.
+pub fn npb() -> Vec<Benchmark> {
+    let sizes = npb_sizes();
+    vec![
+        bench(
+            Suite::Npb,
+            "BT",
+            "__kernel void bt_compute_rhs(__global float* u, __global float* rhs, __local float* ws, const int n) {
+                int gid = get_global_id(0);
+                int lid = get_local_id(0);
+                ws[lid] = u[gid];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                float t = ws[lid];
+                rhs[gid] = t * 0.25f + t * t * 0.1f + u[gid] * 1.5f;
+            }
+            __kernel void bt_add(__global float* u, __global float* rhs, const int n) {
+                int gid = get_global_id(0);
+                u[gid] = u[gid] + rhs[gid];
+            }",
+            &sizes,
+        ),
+        bench(
+            Suite::Npb,
+            "CG",
+            "__kernel void cg_spmv(__global float* vals, __global int* cols, __global float* x, __global float* y, const int n) {
+                int row = get_global_id(0);
+                float sum = 0.0f;
+                for (int j = 0; j < 8; j++) {
+                    int idx = row * 8 + j;
+                    sum += vals[idx] * x[cols[idx] % n];
+                }
+                y[row] = sum;
+            }
+            __kernel void cg_dot(__global float* a, __global float* b, __global float* out, __local float* tmp, const int n) {
+                int gid = get_global_id(0);
+                int lid = get_local_id(0);
+                tmp[lid] = a[gid] * b[gid];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                for (int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+                    if (lid < s) { tmp[lid] += tmp[lid + s]; }
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                if (lid == 0) { out[get_group_id(0)] = tmp[0]; }
+            }",
+            &sizes,
+        ),
+        bench(
+            Suite::Npb,
+            "EP",
+            "__kernel void ep_gaussian(__global float* seeds, __global float* sums, __local float* acc, const int n) {
+                int gid = get_global_id(0);
+                int lid = get_local_id(0);
+                float x = seeds[gid];
+                float total = 0.0f;
+                for (int i = 0; i < 32; i++) {
+                    x = fract(x * 1103.515f + 0.12345f);
+                    float t = 2.0f * x - 1.0f;
+                    total += t * t;
+                }
+                acc[lid] = total;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                sums[gid] = acc[lid] + total * 0.5f;
+            }",
+            &sizes,
+        ),
+        bench(
+            Suite::Npb,
+            "FT",
+            "__kernel void ft_evolve(__global float* ur, __global float* ui, __global float* outr, __global float* outi, const int n) {
+                int gid = get_global_id(0);
+                float wr = cos(0.0001f * gid);
+                float wi = sin(0.0001f * gid);
+                outr[gid] = ur[gid] * wr - ui[gid] * wi;
+                outi[gid] = ur[gid] * wi + ui[gid] * wr;
+            }
+            __kernel void ft_transpose_local(__global float* in, __global float* out, __local float* tile, const int width) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                int lx = get_local_id(0);
+                int ly = get_local_id(1);
+                tile[ly * 16 + lx] = in[y * width + x];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                out[x * width + y] = tile[ly * 16 + lx];
+            }",
+            &sizes,
+        ),
+        bench(
+            Suite::Npb,
+            "LU",
+            "__kernel void lu_jacld(__global float* u, __global float* d, __local float* row, const int n) {
+                int gid = get_global_id(0);
+                int lid = get_local_id(0);
+                row[lid] = u[gid];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                float c = row[lid];
+                d[gid] = 1.0f / (c + 4.0f) + c * 0.05f + u[gid] * 0.01f;
+            }",
+            &sizes,
+        ),
+        bench(
+            Suite::Npb,
+            "MG",
+            "__kernel void mg_resid(__global float* u, __global float* v, __global float* r, const int n) {
+                int i = get_global_id(0);
+                float left = u[(i + n - 1) % n];
+                float right = u[(i + 1) % n];
+                r[i] = v[i] - (left + right - 2.0f * u[i]);
+            }
+            __kernel void mg_psinv(__global float* r, __global float* u, __local float* sh, const int n) {
+                int gid = get_global_id(0);
+                int lid = get_local_id(0);
+                sh[lid] = r[gid];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                u[gid] = u[gid] + 0.5f * sh[lid] + 0.25f * r[gid];
+            }",
+            &sizes,
+        ),
+        bench(
+            Suite::Npb,
+            "SP",
+            "__kernel void sp_ninvr(__global float* rhs, __global float* out, __local float* sh, const int n) {
+                int gid = get_global_id(0);
+                int lid = get_local_id(0);
+                sh[lid] = rhs[gid];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                float r = sh[lid];
+                out[gid] = r * 0.7071f + rhs[gid] * 0.2929f + r * r * 0.001f;
+            }",
+            &sizes,
+        ),
+    ]
+}
+
+/// Rodinia: irregular access patterns and data-dependent branching.
+pub fn rodinia() -> Vec<Benchmark> {
+    vec![
+        bench(
+            Suite::Rodinia,
+            "hotspot",
+            "__kernel void hotspot_step(__global float* temp, __global float* power, __global float* out, const int width, const int height) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                if (x > 0 && x < width - 1 && y > 0 && y < height - 1) {
+                    int idx = y * width + x;
+                    float center = temp[idx];
+                    float delta = power[idx] + (temp[idx - 1] + temp[idx + 1] - 2.0f * center) * 0.5f
+                        + (temp[idx - width] + temp[idx + width] - 2.0f * center) * 0.5f;
+                    out[idx] = center + delta * 0.01f;
+                }
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Rodinia,
+            "bfs",
+            "__kernel void bfs_kernel(__global int* edges, __global int* levels, __global int* next, const int n) {
+                int tid = get_global_id(0);
+                if (tid < n) {
+                    if (levels[tid] >= 0) {
+                        int neighbour = edges[tid] % n;
+                        if (levels[neighbour % n] < 0) {
+                            next[neighbour] = levels[tid] + 1;
+                        } else {
+                            next[tid] = levels[tid];
+                        }
+                    } else {
+                        next[tid] = edges[tid] % 4;
+                    }
+                }
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Rodinia,
+            "kmeans",
+            "__kernel void kmeans_assign(__global float* points, __global float* centroids, __global int* membership, const int n) {
+                int gid = get_global_id(0);
+                if (gid >= n) { return; }
+                float p = points[gid];
+                int best = 0;
+                float best_dist = MAXFLOAT;
+                for (int c = 0; c < 8; c++) {
+                    float d = p - centroids[c % n];
+                    float dist = d * d;
+                    if (dist < best_dist) {
+                        best_dist = dist;
+                        best = c;
+                    }
+                }
+                membership[gid] = best + (int)(best_dist * 0.0001f);
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Rodinia,
+            "srad",
+            "__kernel void srad_update(__global float* img, __global float* coeff, __global float* out, const int n) {
+                int i = get_global_id(0);
+                if (i < n) {
+                    float c = clamp(coeff[i], 0.0f, 1.0f);
+                    float dn = img[(i + 1) % n] - img[i];
+                    float ds = img[(i + n - 1) % n] - img[i];
+                    out[i] = img[i] + 0.25f * c * (dn + ds);
+                }
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Rodinia,
+            "nw",
+            "__kernel void nw_fill(__global int* score, __global int* ref, __global int* out, const int n) {
+                int i = get_global_id(0);
+                if (i > 0 && i < n) {
+                    int up = score[i - 1];
+                    int diag = score[(i + n - 1) % n] + ref[i];
+                    int m = up - 2;
+                    if (diag > m) { m = diag; }
+                    out[i] = m;
+                }
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Rodinia,
+            "lud",
+            "__kernel void lud_perimeter(__global float* m, __global float* out, __local float* dia, const int n) {
+                int gid = get_global_id(0);
+                int lid = get_local_id(0);
+                dia[lid] = m[gid];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                float acc = m[gid];
+                for (int k = 0; k < lid; k++) {
+                    acc -= dia[k] * m[(gid + k + 1) % n];
+                }
+                out[gid] = acc;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Rodinia,
+            "pathfinder",
+            "__kernel void pathfinder_step(__global int* wall, __global int* src, __global int* dst, const int cols) {
+                int tid = get_global_id(0);
+                if (tid < cols) {
+                    int left = src[(tid + cols - 1) % cols];
+                    int up = src[tid];
+                    int right = src[(tid + 1) % cols];
+                    int shortest = up;
+                    if (left < shortest) { shortest = left; }
+                    if (right < shortest) { shortest = right; }
+                    dst[tid] = wall[tid] + shortest;
+                }
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Rodinia,
+            "streamcluster",
+            "__kernel void sc_dist(__global float* points, __global float* centers, __global float* cost, const int n) {
+                int gid = get_global_id(0);
+                if (gid < n) {
+                    float total = 0.0f;
+                    for (int d = 0; d < 16; d++) {
+                        float delta = points[(gid + d) % n] - centers[d % n];
+                        total += delta * delta;
+                    }
+                    cost[gid] = sqrt(total);
+                }
+            }",
+            DEFAULT_SIZES,
+        ),
+    ]
+}
+
+/// NVIDIA SDK samples: clean, coalesced, tuned code with local-memory tiling.
+pub fn nvidia_sdk() -> Vec<Benchmark> {
+    vec![
+        bench(
+            Suite::NvidiaSdk,
+            "vectorAdd",
+            "__kernel void VectorAdd(__global const float* a, __global const float* b, __global float* c, const int n) {
+                int iGID = get_global_id(0);
+                if (iGID < n) { c[iGID] = a[iGID] + b[iGID]; }
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::NvidiaSdk,
+            "matrixMul",
+            "__kernel void MatrixMul(__global float* A, __global float* B, __global float* C, const int width) {
+                __local float As[16][16];
+                __local float Bs[16][16];
+                int bx = get_group_id(0);
+                int by = get_group_id(1);
+                int tx = get_local_id(0);
+                int ty = get_local_id(1);
+                int row = by * 16 + ty;
+                int col = bx * 16 + tx;
+                float sum = 0.0f;
+                for (int m = 0; m < width / 16; m++) {
+                    As[ty][tx] = A[row * width + m * 16 + tx];
+                    Bs[ty][tx] = B[(m * 16 + ty) * width + col];
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                    for (int k = 0; k < 16; k++) {
+                        sum += As[ty][k] * Bs[k][tx];
+                    }
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                C[row * width + col] = sum;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::NvidiaSdk,
+            "dotProduct",
+            "__kernel void DotProduct(__global float4* a, __global float4* b, __global float* c, const int n) {
+                int iGID = get_global_id(0);
+                if (iGID < n) {
+                    float4 va = a[iGID];
+                    float4 vb = b[iGID];
+                    c[iGID] = va.x * vb.x + va.y * vb.y + va.z * vb.z + va.w * vb.w;
+                }
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::NvidiaSdk,
+            "convolutionSeparable",
+            "__kernel void ConvolutionRow(__global float* input, __global float* output, __constant float* filter, const int width) {
+                int gid = get_global_id(0);
+                float sum = 0.0f;
+                for (int k = -4; k <= 4; k++) {
+                    sum += input[(gid + k + width) % width] * filter[(k + 4) % width];
+                }
+                output[gid] = sum;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::NvidiaSdk,
+            "transpose",
+            "__kernel void Transpose(__global float* input, __global float* output, __local float* tile, const int width) {
+                int x = get_global_id(0);
+                int y = get_global_id(1);
+                int lx = get_local_id(0);
+                int ly = get_local_id(1);
+                tile[ly * 17 + lx] = input[y * width + x];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                output[x * width + y] = tile[ly * 17 + lx];
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::NvidiaSdk,
+            "blackScholes",
+            "__kernel void BlackScholes(__global float* price, __global float* strike, __global float* years, __global float* callResult, const int n) {
+                int gid = get_global_id(0);
+                if (gid < n) {
+                    float s = price[gid];
+                    float x = fmax(strike[gid], 0.1f);
+                    float t = fmax(years[gid], 0.05f);
+                    float d1 = (log(s / x) + 0.06f * t) / (0.3f * sqrt(t));
+                    float d2 = d1 - 0.3f * sqrt(t);
+                    float cnd1 = 1.0f / (1.0f + exp(-1.702f * d1));
+                    float cnd2 = 1.0f / (1.0f + exp(-1.702f * d2));
+                    callResult[gid] = s * cnd1 - x * exp(-0.06f * t) * cnd2;
+                }
+            }",
+            DEFAULT_SIZES,
+        ),
+    ]
+}
+
+/// AMD APP SDK samples.
+pub fn amd_sdk() -> Vec<Benchmark> {
+    vec![
+        bench(
+            Suite::AmdSdk,
+            "BinarySearch",
+            "__kernel void binarySearch(__global uint* sorted, __global uint* keys, __global uint* found, const int n) {
+                int gid = get_global_id(0);
+                uint key = keys[gid];
+                uint lo = 0;
+                uint hi = n - 1;
+                for (int it = 0; it < 16; it++) {
+                    uint mid = (lo + hi) / 2;
+                    if (sorted[mid] < key) { lo = mid + 1; } else { hi = mid; }
+                }
+                found[gid] = lo + key % 2;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::AmdSdk,
+            "BitonicSort",
+            "__kernel void bitonicStep(__global uint* keys, __global uint* out, const int stage) {
+                int gid = get_global_id(0);
+                int partner = gid ^ (1 << (stage % 8));
+                uint mine = keys[gid];
+                uint theirs = keys[partner % get_global_size(0)];
+                uint lesser = min(mine, theirs);
+                uint greater = max(mine, theirs);
+                out[gid] = ((gid & (1 << (stage % 8))) == 0) ? lesser : greater;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::AmdSdk,
+            "FastWalshTransform",
+            "__kernel void fastWalshTransform(__global float* tArray, __global float* out, const int step) {
+                unsigned int tid = get_global_id(0);
+                unsigned int group = tid % step;
+                unsigned int pair = 2 * step * (tid / step) + group;
+                unsigned int match = pair + step;
+                float t1 = tArray[pair % get_global_size(0)];
+                float t2 = tArray[match % get_global_size(0)];
+                out[pair % get_global_size(0)] = t1 + t2;
+                out[match % get_global_size(0)] = t1 - t2;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::AmdSdk,
+            "MatrixTranspose",
+            "__kernel void matrixTranspose(__global float* input, __global float* output, __local float* block, const int width) {
+                int gx = get_global_id(0);
+                int gy = get_global_id(1);
+                int lx = get_local_id(0);
+                int ly = get_local_id(1);
+                block[ly * 16 + lx] = input[gy * width + gx];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                output[gx * width + gy] = block[ly * 16 + lx];
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::AmdSdk,
+            "Reduction",
+            "__kernel void reduce(__global uint* input, __global uint* output, __local uint* sdata, const int n) {
+                unsigned int tid = get_local_id(0);
+                unsigned int gid = get_global_id(0);
+                sdata[tid] = (gid < n) ? input[gid] : 0;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                for (unsigned int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+                    if (tid < s) { sdata[tid] += sdata[tid + s]; }
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                if (tid == 0) { output[get_group_id(0)] = sdata[0]; }
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::AmdSdk,
+            "SimpleConvolution",
+            "__kernel void simpleConvolution(__global uint* input, __global float* mask, __global uint* output, const int width) {
+                uint tid = get_global_id(0);
+                float sum = 0.0f;
+                for (int m = 0; m < 9; m++) {
+                    sum += (float)(input[(tid + m) % get_global_size(0)]) * mask[m % width];
+                }
+                output[tid] = (uint)(sum);
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::AmdSdk,
+            "DCT",
+            "__kernel void dct8x8(__global float* input, __global float* output, __local float* block, const int width) {
+                int gid = get_global_id(0);
+                int lid = get_local_id(0);
+                block[lid] = input[gid];
+                barrier(CLK_LOCAL_MEM_FENCE);
+                float acc = 0.0f;
+                for (int k = 0; k < 8; k++) {
+                    acc += block[(lid / 8) * 8 + k] * cos((2.0f * k + 1.0f) * (lid % 8) * 0.19635f);
+                }
+                output[gid] = acc * 0.5f;
+            }",
+            DEFAULT_SIZES,
+        ),
+    ]
+}
+
+/// Parboil: scientific/throughput kernels, two dataset sizes per program.
+pub fn parboil() -> Vec<Benchmark> {
+    vec![
+        bench(
+            Suite::Parboil,
+            "sgemm",
+            "__kernel void sgemm_nt(__global float* A, __global float* B, __global float* C, const int lda) {
+                int row = get_global_id(1);
+                int col = get_global_id(0);
+                float c = 0.0f;
+                for (int i = 0; i < lda; i++) {
+                    c += A[row * lda + i] * B[col * lda + i];
+                }
+                C[row * lda + col] = C[row * lda + col] * 0.5f + c;
+            }",
+            PARBOIL_SIZES,
+        ),
+        bench(
+            Suite::Parboil,
+            "spmv",
+            "__kernel void spmv_jds(__global float* data, __global int* indices, __global float* x, __global float* y, const int n) {
+                int row = get_global_id(0);
+                float sum = 0.0f;
+                for (int j = 0; j < 16; j++) {
+                    int idx = (row + j * n / 16) % n;
+                    sum += data[idx] * x[indices[idx] % n];
+                }
+                y[row] = sum;
+            }",
+            PARBOIL_SIZES,
+        ),
+        bench(
+            Suite::Parboil,
+            "stencil",
+            "__kernel void stencil7pt(__global float* in, __global float* out, const int nx, const int ny) {
+                int i = get_global_id(0);
+                int j = get_global_id(1);
+                if (i > 0 && i < nx - 1 && j > 0 && j < ny - 1) {
+                    int idx = j * nx + i;
+                    out[idx] = 0.8f * in[idx]
+                        + 0.05f * (in[idx - 1] + in[idx + 1] + in[idx - nx] + in[idx + nx]);
+                }
+            }",
+            PARBOIL_SIZES,
+        ),
+        bench(
+            Suite::Parboil,
+            "cutcp",
+            "__kernel void cutoff_potential(__global float4* atoms, __global float* energy, const int natoms) {
+                int gid = get_global_id(0);
+                float4 me = atoms[gid];
+                float total = 0.0f;
+                for (int j = 0; j < 64; j++) {
+                    float4 other = atoms[(gid + j + 1) % natoms];
+                    float dx = me.x - other.x;
+                    float dy = me.y - other.y;
+                    float dz = me.z - other.z;
+                    float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+                    if (r2 < 1.0f) {
+                        total += other.w * (1.0f - r2) * rsqrt(r2);
+                    }
+                }
+                energy[gid] = total;
+            }",
+            PARBOIL_SIZES,
+        ),
+        bench(
+            Suite::Parboil,
+            "histo",
+            "__kernel void histo_main(__global uint* img, __global uint* histo, const int n) {
+                int gid = get_global_id(0);
+                if (gid < n) {
+                    uint value = img[gid] % 256u;
+                    atomic_inc(&histo[value]);
+                }
+            }",
+            PARBOIL_SIZES,
+        ),
+        bench(
+            Suite::Parboil,
+            "mri-q",
+            "__kernel void computeQ(__global float* phiR, __global float* phiI, __global float* x, __global float* Qr, const int numK) {
+                int gid = get_global_id(0);
+                float qr = 0.0f;
+                for (int k = 0; k < 32; k++) {
+                    float angle = 6.2831853f * x[gid] * (float)(k + 1) * 0.01f;
+                    qr += phiR[k % numK] * cos(angle) - phiI[k % numK] * sin(angle);
+                }
+                Qr[gid] = qr;
+            }",
+            PARBOIL_SIZES,
+        ),
+    ]
+}
+
+/// PolyBench/GPU: regular dense loop nests, no branching.
+pub fn polybench() -> Vec<Benchmark> {
+    vec![
+        bench(
+            Suite::Polybench,
+            "2mm",
+            "__kernel void mm2_kernel1(__global float* A, __global float* B, __global float* tmp, const int ni) {
+                int i = get_global_id(1);
+                int j = get_global_id(0);
+                float acc = 0.0f;
+                for (int k = 0; k < ni; k++) {
+                    acc += A[i * ni + k] * B[k * ni + j];
+                }
+                tmp[i * ni + j] = acc * 1.5f;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Polybench,
+            "3mm",
+            "__kernel void mm3_kernel1(__global float* A, __global float* B, __global float* E, const int nk) {
+                int i = get_global_id(1);
+                int j = get_global_id(0);
+                float acc = 0.0f;
+                for (int k = 0; k < nk; k++) {
+                    acc += A[i * nk + k] * B[k * nk + j];
+                }
+                E[i * nk + j] = acc;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Polybench,
+            "atax",
+            "__kernel void atax_kernel(__global float* A, __global float* x, __global float* y, const int nx) {
+                int i = get_global_id(0);
+                float tmp = 0.0f;
+                for (int j = 0; j < 32; j++) {
+                    tmp += A[(i * 32 + j) % (nx * 4)] * x[j % nx];
+                }
+                y[i] = tmp * 2.0f + x[i % nx];
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Polybench,
+            "bicg",
+            "__kernel void bicg_kernel(__global float* A, __global float* p, __global float* q, const int nx) {
+                int i = get_global_id(0);
+                float acc = 0.0f;
+                for (int j = 0; j < 32; j++) {
+                    acc += A[(i + j * nx) % (nx * 4)] * p[j % nx];
+                }
+                q[i] = acc;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Polybench,
+            "gemm",
+            "__kernel void gemm_kernel(__global float* A, __global float* B, __global float* C, const int ni) {
+                int i = get_global_id(1);
+                int j = get_global_id(0);
+                float acc = C[i * ni + j] * 0.5f;
+                for (int k = 0; k < ni; k++) {
+                    acc += 1.2f * A[i * ni + k] * B[k * ni + j];
+                }
+                C[i * ni + j] = acc;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Polybench,
+            "gesummv",
+            "__kernel void gesummv_kernel(__global float* A, __global float* B, __global float* x, __global float* y, const int n) {
+                int i = get_global_id(0);
+                float t1 = 0.0f;
+                float t2 = 0.0f;
+                for (int j = 0; j < 32; j++) {
+                    t1 += A[(i * 32 + j) % (n * 4)] * x[j % n];
+                    t2 += B[(i * 32 + j) % (n * 4)] * x[j % n];
+                }
+                y[i] = 1.5f * t1 + 1.2f * t2;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Polybench,
+            "mvt",
+            "__kernel void mvt_kernel(__global float* a, __global float* x1, __global float* y1, const int n) {
+                int i = get_global_id(0);
+                float acc = x1[i];
+                for (int j = 0; j < 32; j++) {
+                    acc += a[(i * 32 + j) % (n * 4)] * y1[j % n];
+                }
+                x1[i] = acc;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Polybench,
+            "syrk",
+            "__kernel void syrk_kernel(__global float* A, __global float* C, const int n) {
+                int i = get_global_id(1);
+                int j = get_global_id(0);
+                float acc = C[i * n + j] * 0.8f;
+                for (int k = 0; k < n; k++) {
+                    acc += 1.1f * A[i * n + k] * A[j * n + k];
+                }
+                C[i * n + j] = acc;
+            }",
+            DEFAULT_SIZES,
+        ),
+    ]
+}
+
+/// SHOC: bandwidth and compute microbenchmarks plus small app kernels.
+pub fn shoc() -> Vec<Benchmark> {
+    vec![
+        bench(
+            Suite::Shoc,
+            "Triad",
+            "__kernel void triad(__global float* a, __global float* b, __global float* c, const float s) {
+                int gid = get_global_id(0);
+                c[gid] = a[gid] + s * b[gid];
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Shoc,
+            "MaxFlops",
+            "__kernel void maxflops(__global float* data, __global float* out, const int n) {
+                int gid = get_global_id(0);
+                float v = data[gid];
+                for (int i = 0; i < 64; i++) {
+                    v = mad(v, 0.999f, 0.001f);
+                    v = mad(v, 1.001f, -0.001f);
+                }
+                out[gid] = v;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Shoc,
+            "DeviceMemory",
+            "__kernel void readGlobalMemoryCoalesced(__global float* data, __global float* output, const int size) {
+                int gid = get_global_id(0);
+                float sum = 0.0f;
+                for (int j = 0; j < 16; j++) {
+                    sum += data[(gid + j * get_global_size(0)) % size];
+                }
+                output[gid] = sum;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Shoc,
+            "Reduction",
+            "__kernel void reduce(__global float* g_idata, __global float* g_odata, __local float* sdata, const int n) {
+                unsigned int tid = get_local_id(0);
+                unsigned int i = get_global_id(0);
+                sdata[tid] = (i < n) ? g_idata[i] : 0.0f;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                for (unsigned int s = get_local_size(0) / 2; s > 0; s >>= 1) {
+                    if (tid < s) { sdata[tid] += sdata[tid + s]; }
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                if (tid == 0) { g_odata[get_group_id(0)] = sdata[0]; }
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Shoc,
+            "Scan",
+            "__kernel void scan_local(__global float* in, __global float* out, __local float* temp, const int n) {
+                int lid = get_local_id(0);
+                int gid = get_global_id(0);
+                temp[lid] = (gid < n) ? in[gid] : 0.0f;
+                barrier(CLK_LOCAL_MEM_FENCE);
+                for (int offset = 1; offset < get_local_size(0); offset *= 2) {
+                    float val = temp[lid];
+                    if (lid >= offset) { val += temp[lid - offset]; }
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                    temp[lid] = val;
+                    barrier(CLK_LOCAL_MEM_FENCE);
+                }
+                out[gid] = temp[lid];
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Shoc,
+            "FFT",
+            "__kernel void fft_radix2(__global float* real, __global float* imag, __global float* outr, __global float* outi, const int n) {
+                int gid = get_global_id(0);
+                int partner = gid ^ 1;
+                float wr = cos(6.2831853f * gid / (float)n);
+                float wi = sin(6.2831853f * gid / (float)n);
+                float pr = real[partner % n];
+                float pi = imag[partner % n];
+                outr[gid] = real[gid] + wr * pr - wi * pi;
+                outi[gid] = imag[gid] + wr * pi + wi * pr;
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Shoc,
+            "MD",
+            "__kernel void md_lj(__global float4* position, __global float4* force, const int natoms) {
+                int gid = get_global_id(0);
+                float4 me = position[gid];
+                float fx = 0.0f;
+                float fy = 0.0f;
+                float fz = 0.0f;
+                for (int j = 0; j < 32; j++) {
+                    float4 other = position[(gid + j + 1) % natoms];
+                    float dx = me.x - other.x;
+                    float dy = me.y - other.y;
+                    float dz = me.z - other.z;
+                    float r2 = dx * dx + dy * dy + dz * dz + 0.01f;
+                    float inv_r6 = 1.0f / (r2 * r2 * r2);
+                    float f = inv_r6 * (inv_r6 - 0.5f) / r2;
+                    fx += dx * f;
+                    fy += dy * f;
+                    fz += dz * f;
+                }
+                force[gid] = (float4)(fx, fy, fz, 0.0f);
+            }",
+            DEFAULT_SIZES,
+        ),
+        bench(
+            Suite::Shoc,
+            "Sort",
+            "__kernel void radix_count(__global uint* keys, __global uint* counts, const int shift) {
+                int gid = get_global_id(0);
+                uint key = keys[gid];
+                uint digit = (key >> (shift % 24)) & 15u;
+                atomic_inc(&counts[digit]);
+                keys[gid] = key ^ digit;
+            }",
+            DEFAULT_SIZES,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_suite_counts() {
+        assert_eq!(npb().len(), 7);
+        assert_eq!(rodinia().len(), 8);
+        assert_eq!(nvidia_sdk().len(), 6);
+        assert_eq!(amd_sdk().len(), 7);
+        assert_eq!(parboil().len(), 6);
+        assert_eq!(polybench().len(), 8);
+        assert_eq!(shoc().len(), 8);
+    }
+
+    #[test]
+    fn suites_have_distinct_character() {
+        // PolyBench has no data-dependent branching at all.
+        for b in polybench() {
+            assert!(!b.source.contains("if ("), "{} should be branch-free", b.id());
+        }
+        // SHOC includes at least one local-memory reduction and one atomics kernel.
+        assert!(shoc().iter().any(|b| b.source.contains("__local")));
+        assert!(shoc().iter().any(|b| b.source.contains("atomic_")));
+        // Rodinia is branch-heavy.
+        let branchy = rodinia().iter().filter(|b| b.source.contains("if (")).count();
+        assert!(branchy >= 5);
+    }
+}

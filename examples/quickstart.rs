@@ -1,0 +1,59 @@
+//! Quickstart: build a corpus, train CLgen, synthesize a handful of OpenCL
+//! benchmarks and run them through the host driver.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use clgen_repro::cldrive::{DriverOptions, HostDriver, Platform};
+use clgen_repro::clgen::{ArgumentSpec, Clgen, ClgenOptions};
+
+fn main() {
+    // 1. Build a corpus from the synthetic GitHub miner, train the default
+    //    language model and assemble the synthesizer.
+    println!("building corpus and training CLgen (small configuration)...");
+    let mut options = ClgenOptions::small(42);
+    options.corpus.miner.repositories = 60;
+    let mut clgen = Clgen::new(options);
+    println!(
+        "corpus: {} kernels, vocabulary of {} characters",
+        clgen.corpus().len(),
+        clgen.vocabulary().len()
+    );
+
+    // 2. Synthesize benchmarks with the paper's argument specification: three
+    //    float arrays and a read-only integer (Figure 6).
+    let spec = ArgumentSpec::paper_default();
+    let report = clgen.synthesize(5, 500, Some(&spec));
+    println!(
+        "\nsynthesized {} kernels in {} attempts ({:.0}% acceptance)",
+        report.kernels.len(),
+        report.stats.attempts,
+        report.stats.acceptance_rate() * 100.0
+    );
+    for (i, kernel) in report.kernels.iter().enumerate() {
+        println!("\n--- synthesized kernel {i} ({} static instructions) ---", kernel.instructions);
+        println!("{}", kernel.source.trim());
+    }
+
+    // 3. Execute the first kernel with the host driver on the AMD platform and
+    //    report which device the analytic models prefer.
+    if let Some(kernel) = report.kernels.first() {
+        let driver = HostDriver::with_options(Platform::amd(), DriverOptions::quick());
+        match driver.run_source(&kernel.source, &[4096, 1 << 20]) {
+            Ok(runs) => {
+                println!("\nhost driver results (AMD platform):");
+                for run in runs {
+                    println!(
+                        "  global size {:>8}: cpu {:.3} ms, gpu {:.3} ms -> best: {:?}",
+                        run.global_size,
+                        run.cpu_time * 1e3,
+                        run.gpu_time * 1e3,
+                        run.oracle()
+                    );
+                }
+            }
+            Err(e) => println!("\ndriver could not execute the kernel: {e}"),
+        }
+    }
+}

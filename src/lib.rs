@@ -1,0 +1,14 @@
+//! Umbrella crate for the CLgen reproduction workspace.
+//!
+//! Re-exports the public crates so that examples and integration tests can use
+//! a single dependency. See the individual crates for documentation:
+//! [`clgen`], [`cldrive`], [`grewe_features`], [`predictive`].
+pub use cl_frontend;
+pub use clgen;
+pub use clgen_corpus;
+pub use clgen_neural;
+pub use cldrive;
+pub use clsmith;
+pub use grewe_features;
+pub use predictive;
+pub use suites;
