@@ -2,9 +2,9 @@
 //! model class (LSTM vs n-gram) for synthesis throughput and sample validity,
 //! and feature set (Grewe vs extended) for decision-tree training cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use clgen::{ArgumentSpec, Clgen, ClgenOptions, ModelBackend};
 use clgen_neural::train::TrainConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
 use predictive::{DecisionTree, TreeConfig};
 
 fn bench_ablations(c: &mut Criterion) {
@@ -22,7 +22,14 @@ fn bench_ablations(c: &mut Criterion) {
     lstm_options.backend = ModelBackend::Lstm {
         hidden_size: 32,
         num_layers: 1,
-        train: TrainConfig { epochs: 1, learning_rate: 0.05, decay_factor: 0.9, decay_every: 2, unroll: 32, clip_norm: 5.0 },
+        train: TrainConfig {
+            epochs: 1,
+            learning_rate: 0.05,
+            decay_factor: 0.9,
+            decay_every: 2,
+            unroll: 32,
+            clip_norm: 5.0,
+        },
     };
     let mut lstm_clgen = Clgen::new(lstm_options);
     c.bench_function("ablation/model_class/lstm_sample", |b| {

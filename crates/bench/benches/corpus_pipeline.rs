@@ -1,17 +1,23 @@
 //! Benchmarks for the corpus pipeline of §4.1: mining, the rejection filter
 //! (with and without the shim header), and code rewriting.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use clgen_corpus::filter::{filter_source, FilterConfig};
 use clgen_corpus::miner::{mine, MinerConfig};
 use clgen_corpus::rewriter::process_content_file;
 use clgen_corpus::{Corpus, CorpusOptions};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 const KERNEL: &str = "#define DTYPE float\n__kernel void scale_add(__global DTYPE* input, __global DTYPE* output, const int count) {\n  int tid = get_global_id(0); // work item\n  if (tid < count) { output[tid] = input[tid] * 2.5f + 1.0f; }\n}\n";
 
 fn bench_corpus(c: &mut Criterion) {
     c.bench_function("miner/100_files", |b| {
-        b.iter(|| mine(&MinerConfig { repositories: 25, files_per_repo: (2, 6), seed: 1 }))
+        b.iter(|| {
+            mine(&MinerConfig {
+                repositories: 25,
+                files_per_repo: (2, 6),
+                seed: 1,
+            })
+        })
     });
     c.bench_function("rejection_filter/with_shim", |b| {
         b.iter(|| filter_source(KERNEL, &FilterConfig::default()))
@@ -20,8 +26,15 @@ fn bench_corpus(c: &mut Criterion) {
         b.iter(|| filter_source(KERNEL, &FilterConfig::without_shim()))
     });
     c.bench_function("code_rewriter/single_file", |b| {
-        let files = mine(&MinerConfig { repositories: 4, files_per_repo: (2, 3), seed: 2 });
-        let file = files.into_iter().find(|f| f.text.contains("__kernel")).expect("kernel file");
+        let files = mine(&MinerConfig {
+            repositories: 4,
+            files_per_repo: (2, 3),
+            seed: 2,
+        });
+        let file = files
+            .into_iter()
+            .find(|f| f.text.contains("__kernel"))
+            .expect("kernel file");
         b.iter_batched(
             || file.clone(),
             |f| process_content_file(&f, &FilterConfig::default()),

@@ -1,13 +1,14 @@
 //! Benchmarks for the host driver substrate (§5): payload generation, the
 //! dynamic checker, NDRange interpretation and device-model estimation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cldrive::{
     check_kernel, generate_payload, CheckerOptions, Device, DriverOptions, HostDriver,
     PayloadOptions, Platform, WorkloadProfile,
 };
+use criterion::{criterion_group, criterion_main, Criterion};
 
-const KERNEL: &str = "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+const KERNEL: &str =
+    "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
     int e = get_global_id(0);
     if (e < d) { c[e] = a[e] * 2.0f + b[e]; }
 }";
@@ -16,10 +17,23 @@ fn bench_driver(c: &mut Criterion) {
     let compiled = cl_frontend::compile(KERNEL, &Default::default());
     let sig = compiled.kernels[0].clone();
     c.bench_function("payload/generate_1k", |b| {
-        b.iter(|| generate_payload(&sig, &PayloadOptions { global_size: 1024, local_size: 64, seed: 1 }))
+        b.iter(|| {
+            generate_payload(
+                &sig,
+                &PayloadOptions {
+                    global_size: 1024,
+                    local_size: 64,
+                    seed: 1,
+                },
+            )
+        })
     });
     c.bench_function("checker/four_executions_256", |b| {
-        let options = CheckerOptions { global_size: 256, local_size: 32, ..Default::default() };
+        let options = CheckerOptions {
+            global_size: 256,
+            local_size: 32,
+            ..Default::default()
+        };
         b.iter(|| check_kernel(&compiled.unit, &sig, &options))
     });
     c.bench_function("driver/run_kernel_profiled", |b| {

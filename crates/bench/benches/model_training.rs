@@ -1,11 +1,11 @@
 //! Benchmarks for language-model training (§4.2): one LSTM BPTT chunk at the
 //! test scale, and n-gram table construction, over the same corpus text.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use clgen_corpus::{Corpus, CorpusOptions, Vocabulary};
 use clgen_neural::lstm::{LstmConfig, LstmModel};
 use clgen_neural::ngram::{NgramConfig, NgramModel};
-use clgen_neural::train::train_chunk;
+use clgen_neural::train::{train_chunk, train_chunk_ws};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_training(c: &mut Criterion) {
     let corpus = Corpus::build(&CorpusOptions::small(11));
@@ -15,7 +15,12 @@ fn bench_training(c: &mut Criterion) {
     let chunk: Vec<u32> = encoded.iter().copied().take(256).collect();
 
     c.bench_function("lstm/bptt_chunk_64x2_h64", |b| {
-        let mut model = LstmModel::new(LstmConfig { vocab_size: vocab.len(), hidden_size: 64, num_layers: 2, seed: 1 });
+        let mut model = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: 64,
+            num_layers: 2,
+            seed: 1,
+        });
         let mut state = model.initial_state();
         b.iter(|| {
             let inputs = &chunk[..64];
@@ -23,10 +28,61 @@ fn bench_training(c: &mut Criterion) {
             train_chunk(&mut model, &mut state, inputs, targets, 0.01, 5.0)
         })
     });
+    c.bench_function("lstm/bptt_chunk_ws_64x2_h64", |b| {
+        // Same chunk through the workspace-reusing path: no per-chunk (or
+        // per-timestep) allocation.
+        let mut model = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: 64,
+            num_layers: 2,
+            seed: 1,
+        });
+        let mut state = model.initial_state();
+        let mut ws = model.workspace(1);
+        let mut grads = model.zero_gradients();
+        b.iter(|| {
+            let inputs = &chunk[..64];
+            let targets = &chunk[1..65];
+            train_chunk_ws(
+                &mut model, &mut state, inputs, targets, 0.01, 5.0, &mut ws, &mut grads,
+            )
+        })
+    });
     c.bench_function("lstm/forward_char_h128", |b| {
-        let model = LstmModel::new(LstmConfig { vocab_size: vocab.len(), hidden_size: 128, num_layers: 2, seed: 1 });
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: 128,
+            num_layers: 2,
+            seed: 1,
+        });
         let mut state = model.initial_state();
         b.iter(|| model.predict(&mut state, 7))
+    });
+    c.bench_function("lstm/forward_char_into_h128", |b| {
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: 128,
+            num_layers: 2,
+            seed: 1,
+        });
+        let mut state = model.initial_state();
+        let mut ws = model.workspace(1);
+        b.iter(|| {
+            let p = model.predict_into(&mut state, 7, &mut ws);
+            p[0]
+        })
+    });
+    c.bench_function("lstm/forward_batch8_h128", |b| {
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: 128,
+            num_layers: 2,
+            seed: 1,
+        });
+        let mut states: Vec<_> = (0..8).map(|_| model.initial_state()).collect();
+        let mut ws = model.workspace(8);
+        let inputs: Vec<u32> = (0..8).collect();
+        b.iter(|| model.predict_batch(&mut states, &inputs, &mut ws))
     });
     c.bench_function("ngram/train_corpus", |b| {
         b.iter(|| NgramModel::train(&encoded, vocab.len(), NgramConfig::default()))

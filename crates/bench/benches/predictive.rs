@@ -2,8 +2,8 @@
 //! extraction over the benchmark suites, decision-tree training, and a full
 //! leave-one-out evaluation (the inner loop of Tables 1 and Figures 7/8).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cl_frontend::analysis::analyze_kernels;
+use criterion::{criterion_group, criterion_main, Criterion};
 use predictive::{leave_one_out, Dataset, Example, MappingModel, TreeConfig};
 use suites::all_benchmarks;
 

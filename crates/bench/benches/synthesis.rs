@@ -1,9 +1,21 @@
 //! Benchmarks for benchmark synthesis (§4.3 / Figure 9 regeneration cost):
-//! sampling one candidate, filtering it, and the CLSmith comparator.
+//! sampling candidates serially and through the batched multi-stream path,
+//! filtering them, and the CLSmith comparator. The committed
+//! `BENCH_synthesis.json` numbers come from the `record_synthesis` binary in
+//! this crate, which measures the same paths end to end.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use clgen::sampler::{sample_kernel, sample_kernels_batched, SampleOptions};
 use clgen::{ArgumentSpec, Clgen, ClgenOptions};
+use clgen_corpus::Vocabulary;
+use clgen_neural::lstm::{LstmConfig, LstmModel};
+use clgen_neural::{LstmStreams, StatefulLstm};
 use clsmith::ClsmithConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SEED_TEXT: &str =
+    "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {";
 
 fn bench_synthesis(c: &mut Criterion) {
     let mut options = ClgenOptions::small(17);
@@ -14,11 +26,17 @@ fn bench_synthesis(c: &mut Criterion) {
     c.bench_function("clgen/sample_candidate", |b| {
         b.iter(|| clgen.sample_candidate(Some(&spec)))
     });
+    c.bench_function("clgen/sample_candidates_batched8", |b| {
+        b.iter(|| clgen.sample_candidates_batched(8, Some(&spec)))
+    });
     c.bench_function("clgen/sample_and_filter", |b| {
         b.iter(|| {
             let candidate = clgen.sample_candidate(Some(&spec));
             clgen.check_candidate(&candidate)
         })
+    });
+    c.bench_function("clgen/synthesize_batched_64_attempts", |b| {
+        b.iter(|| clgen.synthesize_batched(usize::MAX, 64, Some(&spec), 16))
     });
     c.bench_function("clsmith/generate_kernel", |b| {
         let mut seed = 0u64;
@@ -29,5 +47,28 @@ fn bench_synthesis(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_synthesis);
+/// Serial vs batched LSTM sampling on the small configuration — the paths
+/// behind the committed `BENCH_synthesis.json` speedup figures.
+fn bench_lstm_sampling(c: &mut Criterion) {
+    let text = format!("{SEED_TEXT}\n  int e = get_global_id(0);\n  c[e] = a[e] + b[e];\n}}\n");
+    let vocab = Vocabulary::from_text(&text);
+    let model = LstmModel::new(LstmConfig::small(vocab.len()));
+    let options = SampleOptions {
+        max_chars: 128,
+        temperature: 0.9,
+    };
+
+    c.bench_function("lstm_sampling/serial_kernel", |b| {
+        let mut stateful = StatefulLstm::new(model.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| sample_kernel(&mut stateful, &vocab, SEED_TEXT, &options, &mut rng))
+    });
+    c.bench_function("lstm_sampling/batched8_kernels", |b| {
+        let mut streams = LstmStreams::new(&model, 8);
+        let seeds: Vec<u64> = (0..8).collect();
+        b.iter(|| sample_kernels_batched(&mut streams, &vocab, SEED_TEXT, &options, &seeds))
+    });
+}
+
+criterion_group!(benches, bench_synthesis, bench_lstm_sampling);
 criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Record sampling-throughput measurements to `BENCH_synthesis.json`.
+//!
+//! Measures characters-per-second of LSTM kernel sampling through the serial
+//! path (`sample_kernel`, one stream at a time) and the batched multi-stream
+//! path (`sample_kernels_batched` at several batch widths) on the small LSTM
+//! configuration (64 hidden units x 2 layers — `LstmConfig::small`), plus the
+//! end-to-end synthesize/synthesize_batched pipeline on the n-gram backend.
+//! Run from the workspace root with:
+//!
+//! ```text
+//! cargo run --release -p clgen-bench --bin record_synthesis
+//! ```
+//!
+//! The model is deliberately untrained: sampling throughput depends only on
+//! the network shape, and an untrained model rarely emits a closing brace, so
+//! every stream runs to the full character budget and the workload is
+//! identical across paths. Determinism of batched vs serial *content* is
+//! covered by the `batched_determinism` test suite; this binary measures
+//! speed only.
+
+use clgen::sampler::{sample_kernel, sample_kernels_batched, SampleOptions};
+use clgen::{ArgumentSpec, Clgen, ClgenOptions};
+use clgen_corpus::Vocabulary;
+use clgen_neural::lstm::{LstmConfig, LstmModel};
+use clgen_neural::{LstmStreams, StatefulLstm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SEED_TEXT: &str =
+    "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {";
+
+fn vocab_text() -> String {
+    format!(
+        "{SEED_TEXT}\n  int e = get_global_id(0);\n  if (e < d) {{\n    c[e] = a[e] + b[e] * 2.0f;\n  }}\n}}\n"
+    )
+}
+
+struct Measurement {
+    batch: usize,
+    chars: usize,
+    seconds: f64,
+}
+
+impl Measurement {
+    fn chars_per_sec(&self) -> f64 {
+        self.chars as f64 / self.seconds
+    }
+}
+
+/// Sample `streams` candidates serially, one full kernel at a time.
+fn run_serial(
+    model: &LstmModel,
+    vocab: &Vocabulary,
+    options: &SampleOptions,
+    streams: usize,
+) -> Measurement {
+    let start = Instant::now();
+    let mut chars = 0usize;
+    for i in 0..streams {
+        let mut stateful = StatefulLstm::new(model.clone());
+        let mut rng = StdRng::seed_from_u64(1000 + i as u64);
+        let candidate = sample_kernel(&mut stateful, vocab, SEED_TEXT, options, &mut rng);
+        chars += candidate.generated_chars;
+    }
+    Measurement {
+        batch: 1,
+        chars,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Sample the same candidates through the multi-stream path: `batch` lanes,
+/// refilled by continuous batching as kernels finish.
+fn run_batched(
+    model: &LstmModel,
+    vocab: &Vocabulary,
+    options: &SampleOptions,
+    streams: usize,
+    batch: usize,
+) -> Measurement {
+    let start = Instant::now();
+    let seeds: Vec<u64> = (0..streams as u64).map(|i| 1000 + i).collect();
+    let mut lstm_streams = LstmStreams::new(model, batch);
+    let chars = sample_kernels_batched(&mut lstm_streams, vocab, SEED_TEXT, options, &seeds)
+        .iter()
+        .map(|c| c.generated_chars)
+        .sum();
+    Measurement {
+        batch,
+        chars,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let text = vocab_text();
+    let vocab = Vocabulary::from_text(&text);
+    let config = LstmConfig::small(vocab.len());
+    let model = LstmModel::new(config);
+    let options = SampleOptions {
+        max_chars: 256,
+        temperature: 0.9,
+    };
+    let streams = 64;
+
+    // Warm-up (page in weights, stabilise clocks).
+    run_batched(&model, &vocab, &options, 8, 8);
+
+    let serial = run_serial(&model, &vocab, &options, streams);
+    let batched: Vec<Measurement> = [4, 8, 16, 32]
+        .iter()
+        .map(|&b| run_batched(&model, &vocab, &options, streams, b))
+        .collect();
+
+    // End-to-end pipeline (n-gram backend, small corpus): serial synthesize
+    // vs batched synthesize + rayon-parallel rejection filtering.
+    let build = || {
+        let mut o = ClgenOptions::small(17);
+        o.corpus.miner.repositories = 40;
+        Clgen::new(o)
+    };
+    let spec = ArgumentSpec::paper_default();
+    let attempts = 512;
+    let mut clgen = build();
+    let t0 = Instant::now();
+    let serial_report = clgen.synthesize(usize::MAX, attempts, Some(&spec));
+    let pipeline_serial_s = t0.elapsed().as_secs_f64();
+    let mut clgen = build();
+    let t1 = Instant::now();
+    let batched_report = clgen.synthesize_batched(usize::MAX, attempts, Some(&spec), 32);
+    let pipeline_batched_s = t1.elapsed().as_secs_f64();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    writeln!(json, "  \"benchmark\": \"synthesis_throughput\",").unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"hidden_size\": {}, \"num_layers\": {}, \"vocab_size\": {}, \"max_chars\": {}, \"temperature\": {}, \"streams\": {}}},",
+        config.hidden_size, config.num_layers, config.vocab_size, options.max_chars, options.temperature, streams
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serial\": {{\"chars\": {}, \"seconds\": {:.4}, \"chars_per_sec\": {:.0}}},",
+        serial.chars,
+        serial.seconds,
+        serial.chars_per_sec()
+    )
+    .unwrap();
+    json.push_str("  \"batched\": [\n");
+    for (i, m) in batched.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"batch\": {}, \"chars\": {}, \"seconds\": {:.4}, \"chars_per_sec\": {:.0}, \"speedup_vs_serial\": {:.2}}}{}",
+            m.batch,
+            m.chars,
+            m.seconds,
+            m.chars_per_sec(),
+            m.chars_per_sec() / serial.chars_per_sec(),
+            if i + 1 == batched.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  ],\n");
+    writeln!(
+        json,
+        "  \"pipeline_ngram\": {{\"attempts\": {}, \"serial_seconds\": {:.4}, \"batched32_seconds\": {:.4}, \"speedup\": {:.2}, \"serial_accepted\": {}, \"batched_accepted\": {}}}",
+        attempts,
+        pipeline_serial_s,
+        pipeline_batched_s,
+        pipeline_serial_s / pipeline_batched_s,
+        serial_report.stats.accepted,
+        batched_report.stats.accepted
+    )
+    .unwrap();
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_synthesis.json", &json).expect("write BENCH_synthesis.json");
+    println!("{json}");
+    for m in &batched {
+        println!(
+            "batch {:>2}: {:>10.0} chars/sec  ({:.2}x serial)",
+            m.batch,
+            m.chars_per_sec(),
+            m.chars_per_sec() / serial.chars_per_sec()
+        );
+    }
+    println!("serial  : {:>10.0} chars/sec", serial.chars_per_sec());
+}

@@ -97,7 +97,9 @@ pub fn analyze_function(unit: &TranslationUnit, func: &FunctionDef) -> StaticCou
 /// Analyze every kernel in a translation unit. Returns `(kernel name, counts)`
 /// pairs in declaration order.
 pub fn analyze_kernels(unit: &TranslationUnit) -> Vec<(String, StaticCounts)> {
-    unit.kernels().map(|k| (k.name.clone(), analyze_function(unit, k))).collect()
+    unit.kernels()
+        .map(|k| (k.name.clone(), analyze_function(unit, k)))
+        .collect()
 }
 
 struct Analyzer<'a> {
@@ -108,7 +110,11 @@ struct Analyzer<'a> {
 
 impl<'a> Analyzer<'a> {
     fn new(unit: &'a TranslationUnit) -> Self {
-        Analyzer { unit, vars: vec![HashMap::new()], counts: StaticCounts::default() }
+        Analyzer {
+            unit,
+            vars: vec![HashMap::new()],
+            counts: StaticCounts::default(),
+        }
     }
 
     fn function(&mut self, func: &FunctionDef, depth: usize) -> StaticCounts {
@@ -134,7 +140,10 @@ impl<'a> Analyzer<'a> {
     }
 
     fn declare(&mut self, name: &str, class: VarClass) {
-        self.vars.last_mut().unwrap().insert(name.to_string(), class);
+        self.vars
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), class);
     }
 
     fn block(&mut self, block: &Block, depth: usize) {
@@ -152,7 +161,11 @@ impl<'a> Analyzer<'a> {
             Stmt::Expr(e) => {
                 self.expr(e, depth);
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.counts.branches += 1;
                 self.counts.instructions += 1;
                 self.expr(cond, depth);
@@ -161,7 +174,12 @@ impl<'a> Analyzer<'a> {
                     self.stmt(e, depth);
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.counts.branches += 1;
                 self.counts.loops += 1;
                 self.counts.instructions += 1;
@@ -267,7 +285,11 @@ impl<'a> Analyzer<'a> {
                 self.expr_inner(lhs, depth, true);
                 self.expr_inner(rhs, depth, false);
             }
-            Expr::Conditional { cond, then_expr, else_expr } => {
+            Expr::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.counts.instructions += 1;
                 self.counts.branches += 1;
                 self.expr_inner(cond, depth, false);
@@ -395,7 +417,10 @@ impl<'a> Analyzer<'a> {
             VarClass::ConstantPtr => self.counts.constant_mem_accesses += 1,
             VarClass::PrivatePtrOrArray | VarClass::GlobalIdAlias | VarClass::Other => {}
         }
-        if matches!(class, VarClass::GlobalPtr | VarClass::LocalPtr | VarClass::ConstantPtr) {
+        if matches!(
+            class,
+            VarClass::GlobalPtr | VarClass::LocalPtr | VarClass::ConstantPtr
+        ) {
             if is_store {
                 self.counts.stores += 1;
             } else {
@@ -423,11 +448,14 @@ fn classify_type(ty: &Type) -> VarClass {
 fn is_global_id_expr(e: &Expr, classify: &dyn Fn(&str) -> VarClass) -> bool {
     match e {
         Expr::Call { callee, args } => {
-            callee == "get_global_id"
-                && args.first().and_then(Expr::const_int).unwrap_or(0) == 0
+            callee == "get_global_id" && args.first().and_then(Expr::const_int).unwrap_or(0) == 0
         }
         Expr::Ident(name) => classify(name) == VarClass::GlobalIdAlias,
-        Expr::Binary { op: BinOp::Add | BinOp::Sub, lhs, rhs } => {
+        Expr::Binary {
+            op: BinOp::Add | BinOp::Sub,
+            lhs,
+            rhs,
+        } => {
             (is_global_id_expr(lhs, classify) && !contains_global_id(rhs, classify))
                 || (is_global_id_expr(rhs, classify) && !contains_global_id(lhs, classify))
         }

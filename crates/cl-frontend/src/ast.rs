@@ -41,17 +41,30 @@ pub enum ScalarType {
 impl ScalarType {
     /// True for all integer types (including bool and char).
     pub fn is_integer(self) -> bool {
-        !matches!(self, ScalarType::Float | ScalarType::Double | ScalarType::Half | ScalarType::Void)
+        !matches!(
+            self,
+            ScalarType::Float | ScalarType::Double | ScalarType::Half | ScalarType::Void
+        )
     }
 
     /// True for floating point types.
     pub fn is_float(self) -> bool {
-        matches!(self, ScalarType::Float | ScalarType::Double | ScalarType::Half)
+        matches!(
+            self,
+            ScalarType::Float | ScalarType::Double | ScalarType::Half
+        )
     }
 
     /// True for unsigned integer types.
     pub fn is_unsigned(self) -> bool {
-        matches!(self, ScalarType::Bool | ScalarType::UChar | ScalarType::UShort | ScalarType::UInt | ScalarType::ULong)
+        matches!(
+            self,
+            ScalarType::Bool
+                | ScalarType::UChar
+                | ScalarType::UShort
+                | ScalarType::UInt
+                | ScalarType::ULong
+        )
     }
 
     /// Size of the scalar in bytes (as used for payload/transfer accounting).
@@ -291,7 +304,11 @@ impl fmt::Display for Type {
         match self {
             Type::Scalar(s) => write!(f, "{s}"),
             Type::Vector(s, n) => write!(f, "{s}{n}"),
-            Type::Pointer { pointee, address_space, is_const } => {
+            Type::Pointer {
+                pointee,
+                address_space,
+                is_const,
+            } => {
                 if *is_const {
                     write!(f, "const ")?;
                 }
@@ -377,7 +394,14 @@ impl BinOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::LogAnd | BinOp::LogOr
+            BinOp::Lt
+                | BinOp::Gt
+                | BinOp::Le
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::LogAnd
+                | BinOp::LogOr
         )
     }
 
@@ -615,7 +639,10 @@ pub enum Expr {
 impl Expr {
     /// Shorthand integer literal.
     pub fn int(value: i64) -> Expr {
-        Expr::IntLit { value, unsigned: false }
+        Expr::IntLit {
+            value,
+            unsigned: false,
+        }
     }
 
     /// Shorthand identifier.
@@ -625,7 +652,10 @@ impl Expr {
 
     /// Shorthand call.
     pub fn call(callee: impl Into<String>, args: Vec<Expr>) -> Expr {
-        Expr::Call { callee: callee.into(), args }
+        Expr::Call {
+            callee: callee.into(),
+            args,
+        }
     }
 
     /// If this expression is a constant integer, return its value.
@@ -633,7 +663,10 @@ impl Expr {
         match self {
             Expr::IntLit { value, .. } => Some(*value),
             Expr::CharLit(c) => Some(*c as i64),
-            Expr::Unary { op: UnOp::Neg, expr } => expr.const_int().map(|v| -v),
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => expr.const_int().map(|v| -v),
             Expr::Binary { op, lhs, rhs } => {
                 let (l, r) = (lhs.const_int()?, rhs.const_int()?);
                 Some(match op {
@@ -880,9 +913,18 @@ mod tests {
 
     #[test]
     fn vector_type_names() {
-        assert_eq!(Type::from_name("float4"), Some(Type::Vector(ScalarType::Float, 4)));
-        assert_eq!(Type::from_name("uint16"), Some(Type::Vector(ScalarType::UInt, 16)));
-        assert_eq!(Type::from_name("int3"), Some(Type::Vector(ScalarType::Int, 3)));
+        assert_eq!(
+            Type::from_name("float4"),
+            Some(Type::Vector(ScalarType::Float, 4))
+        );
+        assert_eq!(
+            Type::from_name("uint16"),
+            Some(Type::Vector(ScalarType::UInt, 16))
+        );
+        assert_eq!(
+            Type::from_name("int3"),
+            Some(Type::Vector(ScalarType::Int, 3))
+        );
         assert_eq!(Type::from_name("notatype"), None);
         assert_eq!(Type::from_name("float4").unwrap().size_bytes(), 16);
     }

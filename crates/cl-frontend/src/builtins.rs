@@ -42,37 +42,156 @@ const WORK_ITEM_FNS: &[&str] = &[
 ];
 
 /// Synchronisation functions.
-const SYNC_FNS: &[&str] = &["barrier", "mem_fence", "read_mem_fence", "write_mem_fence", "work_group_barrier"];
+const SYNC_FNS: &[&str] = &[
+    "barrier",
+    "mem_fence",
+    "read_mem_fence",
+    "write_mem_fence",
+    "work_group_barrier",
+];
 
 /// Math builtins (scalar and component-wise vector forms share names).
 const MATH_FNS: &[&str] = &[
-    "sqrt", "rsqrt", "native_sqrt", "native_rsqrt", "cbrt", "fabs", "abs", "abs_diff", "exp", "exp2",
-    "exp10", "native_exp", "log", "log2", "log10", "native_log", "pow", "pown", "powr", "native_powr",
-    "sin", "cos", "tan", "native_sin", "native_cos", "sinh", "cosh", "tanh", "asin", "acos", "atan",
-    "atan2", "sinpi", "cospi", "floor", "ceil", "round", "rint", "trunc", "fract", "fmod", "remainder",
-    "fmin", "fmax", "min", "max", "clamp", "mix", "step", "smoothstep", "sign", "mad", "fma", "mad24",
-    "mul24", "mul_hi", "hadd", "rhadd", "rotate", "clz", "popcount", "isnan", "isinf", "isfinite",
-    "isequal", "isnotequal", "isgreater", "isless", "any", "all", "select", "bitselect", "degrees",
-    "radians", "dot", "cross", "length", "fast_length", "distance", "fast_distance", "normalize",
-    "fast_normalize", "ldexp", "frexp", "hypot", "copysign", "nextafter", "native_divide", "native_recip",
-    "half_sqrt", "half_exp", "half_log", "half_powr", "half_recip", "maxmag", "minmag",
+    "sqrt",
+    "rsqrt",
+    "native_sqrt",
+    "native_rsqrt",
+    "cbrt",
+    "fabs",
+    "abs",
+    "abs_diff",
+    "exp",
+    "exp2",
+    "exp10",
+    "native_exp",
+    "log",
+    "log2",
+    "log10",
+    "native_log",
+    "pow",
+    "pown",
+    "powr",
+    "native_powr",
+    "sin",
+    "cos",
+    "tan",
+    "native_sin",
+    "native_cos",
+    "sinh",
+    "cosh",
+    "tanh",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sinpi",
+    "cospi",
+    "floor",
+    "ceil",
+    "round",
+    "rint",
+    "trunc",
+    "fract",
+    "fmod",
+    "remainder",
+    "fmin",
+    "fmax",
+    "min",
+    "max",
+    "clamp",
+    "mix",
+    "step",
+    "smoothstep",
+    "sign",
+    "mad",
+    "fma",
+    "mad24",
+    "mul24",
+    "mul_hi",
+    "hadd",
+    "rhadd",
+    "rotate",
+    "clz",
+    "popcount",
+    "isnan",
+    "isinf",
+    "isfinite",
+    "isequal",
+    "isnotequal",
+    "isgreater",
+    "isless",
+    "any",
+    "all",
+    "select",
+    "bitselect",
+    "degrees",
+    "radians",
+    "dot",
+    "cross",
+    "length",
+    "fast_length",
+    "distance",
+    "fast_distance",
+    "normalize",
+    "fast_normalize",
+    "ldexp",
+    "frexp",
+    "hypot",
+    "copysign",
+    "nextafter",
+    "native_divide",
+    "native_recip",
+    "half_sqrt",
+    "half_exp",
+    "half_log",
+    "half_powr",
+    "half_recip",
+    "maxmag",
+    "minmag",
 ];
 
 /// Atomic functions (both `atomic_*` and legacy `atom_*` spellings).
 const ATOMIC_FNS: &[&str] = &[
-    "atomic_add", "atomic_sub", "atomic_inc", "atomic_dec", "atomic_xchg", "atomic_cmpxchg",
-    "atomic_min", "atomic_max", "atomic_and", "atomic_or", "atomic_xor",
-    "atom_add", "atom_sub", "atom_inc", "atom_dec", "atom_xchg", "atom_cmpxchg", "atom_min", "atom_max",
+    "atomic_add",
+    "atomic_sub",
+    "atomic_inc",
+    "atomic_dec",
+    "atomic_xchg",
+    "atomic_cmpxchg",
+    "atomic_min",
+    "atomic_max",
+    "atomic_and",
+    "atomic_or",
+    "atomic_xor",
+    "atom_add",
+    "atom_sub",
+    "atom_inc",
+    "atom_dec",
+    "atom_xchg",
+    "atom_cmpxchg",
+    "atom_min",
+    "atom_max",
 ];
 
 /// Async copy / prefetch.
-const ASYNC_FNS: &[&str] =
-    &["async_work_group_copy", "async_work_group_strided_copy", "wait_group_events", "prefetch"];
+const ASYNC_FNS: &[&str] = &[
+    "async_work_group_copy",
+    "async_work_group_strided_copy",
+    "wait_group_events",
+    "prefetch",
+];
 
 /// Image builtins.
 const IMAGE_FNS: &[&str] = &[
-    "read_imagef", "read_imagei", "read_imageui", "write_imagef", "write_imagei", "write_imageui",
-    "get_image_width", "get_image_height", "get_image_depth",
+    "read_imagef",
+    "read_imagei",
+    "read_imageui",
+    "write_imagef",
+    "write_imagei",
+    "write_imageui",
+    "get_image_width",
+    "get_image_height",
+    "get_image_depth",
 ];
 
 /// Miscellaneous accepted builtins.
@@ -175,7 +294,10 @@ pub fn is_vector_component(member: &str) -> bool {
         return true;
     }
     // .s0 .. .sF numbered components and multi-component forms like .s01
-    if let Some(rest) = member.strip_prefix('s').or_else(|| member.strip_prefix('S')) {
+    if let Some(rest) = member
+        .strip_prefix('s')
+        .or_else(|| member.strip_prefix('S'))
+    {
         return !rest.is_empty() && rest.chars().all(|c| c.is_ascii_hexdigit());
     }
     false
@@ -187,8 +309,14 @@ mod tests {
 
     #[test]
     fn work_item_functions_recognised() {
-        assert_eq!(builtin_function_kind("get_global_id"), Some(BuiltinKind::WorkItem));
-        assert_eq!(builtin_function_kind("get_local_size"), Some(BuiltinKind::WorkItem));
+        assert_eq!(
+            builtin_function_kind("get_global_id"),
+            Some(BuiltinKind::WorkItem)
+        );
+        assert_eq!(
+            builtin_function_kind("get_local_size"),
+            Some(BuiltinKind::WorkItem)
+        );
     }
 
     #[test]
@@ -200,10 +328,19 @@ mod tests {
 
     #[test]
     fn prefix_families() {
-        assert_eq!(builtin_function_kind("convert_float4"), Some(BuiltinKind::Convert));
+        assert_eq!(
+            builtin_function_kind("convert_float4"),
+            Some(BuiltinKind::Convert)
+        );
         assert_eq!(builtin_function_kind("as_uint"), Some(BuiltinKind::Convert));
-        assert_eq!(builtin_function_kind("vload4"), Some(BuiltinKind::VectorData));
-        assert_eq!(builtin_function_kind("vstore16"), Some(BuiltinKind::VectorData));
+        assert_eq!(
+            builtin_function_kind("vload4"),
+            Some(BuiltinKind::VectorData)
+        );
+        assert_eq!(
+            builtin_function_kind("vstore16"),
+            Some(BuiltinKind::VectorData)
+        );
     }
 
     #[test]
@@ -223,7 +360,9 @@ mod tests {
 
     #[test]
     fn vector_components() {
-        for c in ["x", "y", "xy", "xyzw", "s0", "sF", "s01", "lo", "hi", "even", "odd"] {
+        for c in [
+            "x", "y", "xy", "xyzw", "s0", "sF", "s01", "lo", "hi", "even", "odd",
+        ] {
             assert!(is_vector_component(c), "{c} should be a component");
         }
         assert!(!is_vector_component("length"));

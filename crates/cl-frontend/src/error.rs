@@ -67,12 +67,22 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Construct an error diagnostic.
     pub fn error(kind: DiagnosticKind, message: impl Into<String>, span: Option<Span>) -> Self {
-        Diagnostic { severity: Severity::Error, kind, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Error,
+            kind,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Construct a warning diagnostic.
     pub fn warning(kind: DiagnosticKind, message: impl Into<String>, span: Option<Span>) -> Self {
-        Diagnostic { severity: Severity::Warning, kind, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Warning,
+            kind,
+            message: message.into(),
+            span,
+        }
     }
 
     /// True if this diagnostic is an error.
@@ -119,7 +129,12 @@ impl Diagnostics {
     }
 
     /// Record a warning.
-    pub fn warning(&mut self, kind: DiagnosticKind, message: impl Into<String>, span: Option<Span>) {
+    pub fn warning(
+        &mut self,
+        kind: DiagnosticKind,
+        message: impl Into<String>,
+        span: Option<Span>,
+    ) {
         self.push(Diagnostic::warning(kind, message, span));
     }
 
@@ -150,7 +165,10 @@ impl Diagnostics {
 
     /// Count errors of a particular kind (used by corpus statistics).
     pub fn count_kind(&self, kind: DiagnosticKind) -> usize {
-        self.entries.iter().filter(|d| d.kind == kind && d.is_error()).count()
+        self.entries
+            .iter()
+            .filter(|d| d.kind == kind && d.is_error())
+            .count()
     }
 
     /// Merge another sink into this one.
@@ -185,7 +203,11 @@ mod tests {
         let mut diags = Diagnostics::new();
         assert!(diags.is_empty());
         assert!(!diags.has_errors());
-        diags.error(DiagnosticKind::UndeclaredIdentifier, "use of undeclared identifier 'x'", None);
+        diags.error(
+            DiagnosticKind::UndeclaredIdentifier,
+            "use of undeclared identifier 'x'",
+            None,
+        );
         diags.warning(DiagnosticKind::Semantic, "unused variable", None);
         diags.error(DiagnosticKind::Parse, "expected ';'", None);
         assert_eq!(diags.len(), 3);

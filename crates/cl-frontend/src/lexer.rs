@@ -31,7 +31,13 @@ pub fn tokenize(src: &str) -> (Vec<Token>, Diagnostics) {
 impl<'a> Lexer<'a> {
     /// Create a lexer over `src`.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, diags: Diagnostics::new() }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            diags: Diagnostics::new(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -74,7 +80,9 @@ impl<'a> Lexer<'a> {
             };
             let kind = if c.is_ascii_alphabetic() || c == b'_' {
                 self.lex_ident_or_keyword()
-            } else if c.is_ascii_digit() || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit())) {
+            } else if c.is_ascii_digit()
+                || (c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit()))
+            {
                 self.lex_number()
             } else if c == b'"' {
                 self.lex_string()
@@ -89,7 +97,10 @@ impl<'a> Lexer<'a> {
                     // Unrecognised byte: emit a diagnostic and skip it.
                     self.diags.error(
                         DiagnosticKind::Lex,
-                        format!("unexpected character `{}`", self.peek().unwrap_or(b'?') as char),
+                        format!(
+                            "unexpected character `{}`",
+                            self.peek().unwrap_or(b'?') as char
+                        ),
                         Some(self.span_from(start, line, col)),
                     );
                     self.bump();
@@ -165,8 +176,10 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("").to_string();
-        Some(match Keyword::from_str(&text) {
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or("")
+            .to_string();
+        Some(match Keyword::from_ident(&text) {
             Some(kw) => TokenKind::Keyword(kw),
             None => TokenKind::Ident(text),
         })
@@ -190,7 +203,11 @@ impl<'a> Lexer<'a> {
             let digits = std::str::from_utf8(&self.src[hex_start..self.pos]).unwrap_or("0");
             let value = i64::from_str_radix(digits, 16).unwrap_or(i64::MAX);
             let (unsigned, long) = self.lex_int_suffix();
-            return Some(TokenKind::IntLit { value, unsigned, long });
+            return Some(TokenKind::IntLit {
+                value,
+                unsigned,
+                long,
+            });
         }
         while let Some(c) = self.peek() {
             if c.is_ascii_digit() {
@@ -210,7 +227,9 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("0").to_string();
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .unwrap_or("0")
+            .to_string();
         if is_float {
             let mut single = false;
             if matches!(self.peek(), Some(b'f') | Some(b'F')) {
@@ -225,11 +244,18 @@ impl<'a> Lexer<'a> {
             if matches!(self.peek(), Some(b'f') | Some(b'F')) {
                 self.bump();
                 let value: f64 = text.parse().unwrap_or(0.0);
-                return Some(TokenKind::FloatLit { value, single: true });
+                return Some(TokenKind::FloatLit {
+                    value,
+                    single: true,
+                });
             }
             let value: i64 = text.parse().unwrap_or(i64::MAX);
             let (unsigned, long) = self.lex_int_suffix();
-            Some(TokenKind::IntLit { value, unsigned, long })
+            Some(TokenKind::IntLit {
+                value,
+                unsigned,
+                long,
+            })
         }
     }
 
@@ -258,7 +284,8 @@ impl<'a> Lexer<'a> {
         loop {
             match self.peek() {
                 None | Some(b'\n') => {
-                    self.diags.error(DiagnosticKind::Lex, "unterminated string literal", None);
+                    self.diags
+                        .error(DiagnosticKind::Lex, "unterminated string literal", None);
                     break;
                 }
                 Some(b'"') => {
@@ -292,14 +319,16 @@ impl<'a> Lexer<'a> {
                 c as char
             }
             None => {
-                self.diags.error(DiagnosticKind::Lex, "unterminated character literal", None);
+                self.diags
+                    .error(DiagnosticKind::Lex, "unterminated character literal", None);
                 '\0'
             }
         };
         if self.peek() == Some(b'\'') {
             self.bump();
         } else {
-            self.diags.error(DiagnosticKind::Lex, "unterminated character literal", None);
+            self.diags
+                .error(DiagnosticKind::Lex, "unterminated character literal", None);
         }
         Some(TokenKind::CharLit(c))
     }
@@ -390,21 +419,50 @@ mod tests {
         let ks = kinds("__kernel void A(__global float* a)");
         assert!(ks.iter().any(|k| k.is_keyword(Keyword::Kernel)));
         assert!(ks.iter().any(|k| k.is_keyword(Keyword::Global)));
-        assert!(ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "A")));
-        assert!(ks.iter().any(|k| matches!(k, TokenKind::Ident(s) if s == "float")));
+        assert!(ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Ident(s) if s == "A")));
+        assert!(ks
+            .iter()
+            .any(|k| matches!(k, TokenKind::Ident(s) if s == "float")));
         assert!(ks.iter().any(|k| k.is_punct(Punct::Star)));
     }
 
     #[test]
     fn lex_numbers() {
         let ks = kinds("42 3.5f 0x1F 1e-3 7u 2.0 100L 1f");
-        assert!(ks.contains(&TokenKind::IntLit { value: 42, unsigned: false, long: false }));
-        assert!(ks.contains(&TokenKind::FloatLit { value: 3.5, single: true }));
-        assert!(ks.contains(&TokenKind::IntLit { value: 31, unsigned: false, long: false }));
-        assert!(ks.contains(&TokenKind::FloatLit { value: 1e-3, single: false }));
-        assert!(ks.contains(&TokenKind::IntLit { value: 7, unsigned: true, long: false }));
-        assert!(ks.contains(&TokenKind::IntLit { value: 100, unsigned: false, long: true }));
-        assert!(ks.contains(&TokenKind::FloatLit { value: 1.0, single: true }));
+        assert!(ks.contains(&TokenKind::IntLit {
+            value: 42,
+            unsigned: false,
+            long: false
+        }));
+        assert!(ks.contains(&TokenKind::FloatLit {
+            value: 3.5,
+            single: true
+        }));
+        assert!(ks.contains(&TokenKind::IntLit {
+            value: 31,
+            unsigned: false,
+            long: false
+        }));
+        assert!(ks.contains(&TokenKind::FloatLit {
+            value: 1e-3,
+            single: false
+        }));
+        assert!(ks.contains(&TokenKind::IntLit {
+            value: 7,
+            unsigned: true,
+            long: false
+        }));
+        assert!(ks.contains(&TokenKind::IntLit {
+            value: 100,
+            unsigned: false,
+            long: true
+        }));
+        assert!(ks.contains(&TokenKind::FloatLit {
+            value: 1.0,
+            single: true
+        }));
     }
 
     #[test]
@@ -447,7 +505,9 @@ mod tests {
     fn unknown_character_reports_error_but_continues() {
         let (toks, diags) = tokenize("int ` x;");
         assert!(diags.has_errors());
-        assert!(toks.iter().any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "x")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.kind, TokenKind::Ident(s) if s == "x")));
     }
 
     #[test]

@@ -86,7 +86,11 @@ impl CompileResult {
 
     /// Maximum static instruction count over all kernels (0 if none).
     pub fn max_kernel_instructions(&self) -> usize {
-        self.kernel_counts.iter().map(|(_, c)| c.instructions).max().unwrap_or(0)
+        self.kernel_counts
+            .iter()
+            .map(|(_, c)| c.instructions)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -95,7 +99,9 @@ impl CompileResult {
 pub fn compile(source: &str, options: &CompileOptions) -> CompileResult {
     let pp = preprocess::preprocess(source, &options.preprocess);
     let mut diagnostics = pp.diagnostics.clone();
-    let parse_options = parser::ParseOptions { extra_type_names: options.extra_type_names.clone() };
+    let parse_options = parser::ParseOptions {
+        extra_type_names: options.extra_type_names.clone(),
+    };
     let parsed = parser::parse_with_options(&pp.text, &parse_options);
     diagnostics.extend(parsed.diagnostics.clone());
     let sema = sema::analyze(&parsed.unit);

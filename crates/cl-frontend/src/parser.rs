@@ -47,7 +47,10 @@ pub fn parse_with_options(src: &str, options: &ParseOptions) -> ParseResult {
     let mut parser = Parser::new(tokens, options);
     let unit = parser.parse_unit();
     diags.extend(parser.diags);
-    ParseResult { unit, diagnostics: diags }
+    ParseResult {
+        unit,
+        diagnostics: diags,
+    }
 }
 
 /// OpenCL opaque types that we accept as named types without definition.
@@ -74,12 +77,17 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>, options: &ParseOptions) -> Self {
-        let mut type_names: HashSet<String> =
-            options.extra_type_names.iter().cloned().collect();
+        let mut type_names: HashSet<String> = options.extra_type_names.iter().cloned().collect();
         for t in OPAQUE_TYPES {
             type_names.insert((*t).to_string());
         }
-        Parser { tokens, pos: 0, diags: Diagnostics::new(), type_names, struct_names: HashSet::new() }
+        Parser {
+            tokens,
+            pos: 0,
+            diags: Diagnostics::new(),
+            type_names,
+            struct_names: HashSet::new(),
+        }
     }
 
     // ----- token helpers -------------------------------------------------
@@ -101,7 +109,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let kind = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -130,7 +140,12 @@ impl Parser {
         if self.eat_punct(p) {
             true
         } else {
-            self.error(format!("expected `{}` {}, found `{}`", p.as_str(), context, self.peek()));
+            self.error(format!(
+                "expected `{}` {}, found `{}`",
+                p.as_str(),
+                context,
+                self.peek()
+            ));
             false
         }
     }
@@ -247,7 +262,8 @@ impl Parser {
                     spec.is_inline = true;
                     self.bump();
                 }
-                TokenKind::Keyword(Keyword::Extern) | TokenKind::Keyword(Keyword::Volatile)
+                TokenKind::Keyword(Keyword::Extern)
+                | TokenKind::Keyword(Keyword::Volatile)
                 | TokenKind::Keyword(Keyword::Restrict) => {
                     self.bump();
                 }
@@ -317,7 +333,9 @@ impl Parser {
                     break;
                 }
                 TokenKind::Ident(name) => {
-                    if spec.base.is_none() && (self.is_type_name(&name) || spec.unsigned || spec.signed) {
+                    if spec.base.is_none()
+                        && (self.is_type_name(&name) || spec.unsigned || spec.signed)
+                    {
                         if let Some(t) = Type::from_name(&name) {
                             spec.base = Some(t);
                             self.bump();
@@ -371,7 +389,12 @@ impl Parser {
     }
 
     /// Parse pointer declarator suffixes (`*`, `* const`, `* restrict`).
-    fn parse_pointers(&mut self, mut ty: Type, address_space: AddressSpace, is_const: bool) -> Type {
+    fn parse_pointers(
+        &mut self,
+        mut ty: Type,
+        address_space: AddressSpace,
+        is_const: bool,
+    ) -> Type {
         while self.peek().is_punct(Punct::Star) {
             self.bump();
             // trailing qualifiers on the pointer itself
@@ -383,7 +406,11 @@ impl Parser {
             ) {
                 self.bump();
             }
-            ty = Type::Pointer { pointee: Box::new(ty), address_space, is_const };
+            ty = Type::Pointer {
+                pointee: Box::new(ty),
+                address_space,
+                is_const,
+            };
         }
         ty
     }
@@ -466,7 +493,10 @@ impl Parser {
                 self.type_names.insert(var.name.clone());
             }
             let var = decl.vars.into_iter().next()?;
-            return Some(Item::Typedef { name: var.name, ty: var.ty });
+            return Some(Item::Typedef {
+                name: var.name,
+                ty: var.ty,
+            });
         }
         Some(Item::GlobalVar(decl))
     }
@@ -488,7 +518,8 @@ impl Parser {
                     let spec = self.parse_decl_specifiers();
                     let base = self.resolve_base_type(&spec);
                     loop {
-                        let ty = self.parse_pointers(base.clone(), spec.address_space, spec.is_const);
+                        let ty =
+                            self.parse_pointers(base.clone(), spec.address_space, spec.is_const);
                         let fname = if let TokenKind::Ident(n) = self.peek().clone() {
                             self.bump();
                             n
@@ -522,7 +553,10 @@ impl Parser {
                     self.struct_names.insert(struct_name.clone());
                     self.type_names.insert(struct_name.clone());
                 }
-                return Some(Item::Struct(StructDef { name: struct_name, fields }));
+                return Some(Item::Struct(StructDef {
+                    name: struct_name,
+                    fields,
+                }));
             }
             // Not a struct body: rewind and let normal parsing handle it.
             self.pos = start;
@@ -624,7 +658,12 @@ impl Parser {
             String::new()
         };
         let ty = self.parse_array_suffix(ty);
-        Some(ParamDecl { name, ty, access: spec.access, is_const: spec.is_const })
+        Some(ParamDecl {
+            name,
+            ty,
+            access: spec.access,
+            is_const: spec.is_const,
+        })
     }
 
     fn parse_array_suffix(&mut self, mut ty: Type) -> Type {
@@ -637,7 +676,10 @@ impl Parser {
                 e.const_int().map(|v| v.max(0) as usize)
             };
             self.expect_punct(Punct::RBracket, "after array size");
-            ty = Type::Array { elem: Box::new(ty), size };
+            ty = Type::Array {
+                elem: Box::new(ty),
+                size,
+            };
         }
         ty
     }
@@ -708,7 +750,10 @@ impl Parser {
             _ => {
                 let e = self.parse_expr();
                 if !self.eat_punct(Punct::Semicolon) {
-                    self.error(format!("expected `;` after expression, found `{}`", self.peek()));
+                    self.error(format!(
+                        "expected `;` after expression, found `{}`",
+                        self.peek()
+                    ));
                     self.recover_to_semicolon();
                 }
                 Stmt::Expr(e)
@@ -780,7 +825,12 @@ impl Parser {
 
     /// Parse the remainder of a declaration after the base type and first
     /// declarator name have been consumed.
-    fn parse_declaration_rest(&mut self, first_name: String, base: Type, spec: &DeclSpecifiers) -> Declaration {
+    fn parse_declaration_rest(
+        &mut self,
+        first_name: String,
+        base: Type,
+        spec: &DeclSpecifiers,
+    ) -> Declaration {
         let mut vars = Vec::new();
         let mut name = first_name;
         loop {
@@ -790,7 +840,11 @@ impl Parser {
             } else {
                 None
             };
-            vars.push(VarDeclarator { name: name.clone(), ty, init });
+            vars.push(VarDeclarator {
+                name: name.clone(),
+                ty,
+                init,
+            });
             if !self.eat_punct(Punct::Comma) {
                 break;
             }
@@ -812,10 +866,17 @@ impl Parser {
             };
         }
         if !self.eat_punct(Punct::Semicolon) {
-            self.error(format!("expected `;` after declaration, found `{}`", self.peek()));
+            self.error(format!(
+                "expected `;` after declaration, found `{}`",
+                self.peek()
+            ));
             self.recover_to_semicolon();
         }
-        Declaration { address_space: spec.address_space, is_const: spec.is_const, vars }
+        Declaration {
+            address_space: spec.address_space,
+            is_const: spec.is_const,
+            vars,
+        }
     }
 
     /// Initializers: a plain assignment expression or a braced list.
@@ -847,7 +908,11 @@ impl Parser {
         } else {
             None
         };
-        Stmt::If { cond, then_branch, else_branch }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        }
     }
 
     fn parse_for(&mut self) -> Stmt {
@@ -876,7 +941,12 @@ impl Parser {
         };
         self.expect_punct(Punct::RParen, "after for clauses");
         let body = Box::new(self.parse_stmt());
-        Stmt::For { init, cond, step, body }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        }
     }
 
     fn parse_while(&mut self) -> Stmt {
@@ -974,7 +1044,11 @@ impl Parser {
         };
         self.bump();
         let rhs = self.parse_assignment_expr();
-        Expr::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Assign {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     fn parse_conditional_expr(&mut self) -> Expr {
@@ -1027,7 +1101,11 @@ impl Parser {
             }
             self.bump();
             let rhs = self.parse_binary_expr(prec + 1);
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         lhs
     }
@@ -1048,17 +1126,26 @@ impl Parser {
                     self.bump();
                     let ty = self.parse_type_name();
                     self.expect_punct(Punct::RParen, "after sizeof type");
-                    return Expr::SizeOf { ty: Some(ty), expr: None };
+                    return Expr::SizeOf {
+                        ty: Some(ty),
+                        expr: None,
+                    };
                 }
                 let e = self.parse_unary_expr();
-                return Expr::SizeOf { ty: None, expr: Some(Box::new(e)) };
+                return Expr::SizeOf {
+                    ty: None,
+                    expr: Some(Box::new(e)),
+                };
             }
             _ => None,
         };
         if let Some(op) = op {
             self.bump();
             let expr = self.parse_unary_expr();
-            return Expr::Unary { op, expr: Box::new(expr) };
+            return Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            };
         }
         // cast or parenthesised expression
         if self.peek().is_punct(Punct::LParen) && self.type_starts_at(1) {
@@ -1082,7 +1169,10 @@ impl Parser {
                 return self.parse_postfix_suffixes(lit);
             }
             let expr = self.parse_unary_expr();
-            return Expr::Cast { ty, expr: Box::new(expr) };
+            return Expr::Cast {
+                ty,
+                expr: Box::new(expr),
+            };
         }
         self.parse_postfix_expr()
     }
@@ -1136,7 +1226,10 @@ impl Parser {
                     self.bump();
                     let index = self.parse_expr();
                     self.expect_punct(Punct::RBracket, "after subscript");
-                    expr = Expr::Index { base: Box::new(expr), index: Box::new(index) };
+                    expr = Expr::Index {
+                        base: Box::new(expr),
+                        index: Box::new(index),
+                    };
                 }
                 TokenKind::Punct(Punct::LParen) => {
                     // call: only valid when the callee is a plain identifier
@@ -1164,7 +1257,11 @@ impl Parser {
                     self.bump();
                     if let TokenKind::Ident(member) = self.peek().clone() {
                         self.bump();
-                        expr = Expr::Member { base: Box::new(expr), member, arrow: false };
+                        expr = Expr::Member {
+                            base: Box::new(expr),
+                            member,
+                            arrow: false,
+                        };
                     } else {
                         self.error("expected member name after `.`".into());
                         break;
@@ -1174,7 +1271,11 @@ impl Parser {
                     self.bump();
                     if let TokenKind::Ident(member) = self.peek().clone() {
                         self.bump();
-                        expr = Expr::Member { base: Box::new(expr), member, arrow: true };
+                        expr = Expr::Member {
+                            base: Box::new(expr),
+                            member,
+                            arrow: true,
+                        };
                     } else {
                         self.error("expected member name after `->`".into());
                         break;
@@ -1182,11 +1283,17 @@ impl Parser {
                 }
                 TokenKind::Punct(Punct::PlusPlus) => {
                     self.bump();
-                    expr = Expr::Postfix { expr: Box::new(expr), inc: true };
+                    expr = Expr::Postfix {
+                        expr: Box::new(expr),
+                        inc: true,
+                    };
                 }
                 TokenKind::Punct(Punct::MinusMinus) => {
                     self.bump();
-                    expr = Expr::Postfix { expr: Box::new(expr), inc: false };
+                    expr = Expr::Postfix {
+                        expr: Box::new(expr),
+                        inc: false,
+                    };
                 }
                 _ => break,
             }
@@ -1196,7 +1303,9 @@ impl Parser {
 
     fn parse_primary_expr(&mut self) -> Expr {
         match self.bump() {
-            TokenKind::IntLit { value, unsigned, .. } => Expr::IntLit { value, unsigned },
+            TokenKind::IntLit {
+                value, unsigned, ..
+            } => Expr::IntLit { value, unsigned },
             TokenKind::FloatLit { value, single } => Expr::FloatLit { value, single },
             TokenKind::CharLit(c) => Expr::CharLit(c),
             TokenKind::StrLit(s) => Expr::StrLit(s),
@@ -1208,7 +1317,10 @@ impl Parser {
             }
             other => {
                 self.error(format!("unexpected token `{other}` in expression"));
-                Expr::IntLit { value: 0, unsigned: false }
+                Expr::IntLit {
+                    value: 0,
+                    unsigned: false,
+                }
             }
         }
     }
@@ -1411,7 +1523,10 @@ mod tests {
                 assert_eq!(d.address_space, AddressSpace::Local);
                 assert_eq!(
                     d.vars[0].ty,
-                    Type::Array { elem: Box::new(Type::Scalar(ScalarType::Float)), size: Some(128) }
+                    Type::Array {
+                        elem: Box::new(Type::Scalar(ScalarType::Float)),
+                        size: Some(128)
+                    }
                 );
             }
             other => panic!("expected decl, got {other:?}"),
@@ -1428,7 +1543,8 @@ mod tests {
 
     #[test]
     fn parse_prototype_without_body() {
-        let tu = parse_ok("float helper(float x);\n__kernel void A(__global float* a) { a[0] = 1.0f; }");
+        let tu =
+            parse_ok("float helper(float x);\n__kernel void A(__global float* a) { a[0] = 1.0f; }");
         // prototype is not a definition
         assert_eq!(tu.functions().count(), 1);
         assert_eq!(tu.items.len(), 2);
@@ -1446,8 +1562,12 @@ mod tests {
 
     #[test]
     fn parse_global_constant() {
-        let tu = parse_ok("__constant float PI = 3.14f;\n__kernel void A(__global float* a) { a[0] = PI; }");
-        assert!(matches!(&tu.items[0], Item::GlobalVar(d) if d.address_space == AddressSpace::Constant));
+        let tu = parse_ok(
+            "__constant float PI = 3.14f;\n__kernel void A(__global float* a) { a[0] = PI; }",
+        );
+        assert!(
+            matches!(&tu.items[0], Item::GlobalVar(d) if d.address_space == AddressSpace::Constant)
+        );
     }
 
     #[test]
@@ -1460,7 +1580,9 @@ mod tests {
 
     #[test]
     fn parse_image_param() {
-        let tu = parse_ok("__kernel void A(__read_only image2d_t img, __global float* out) { out[0] = 0.0f; }");
+        let tu = parse_ok(
+            "__kernel void A(__read_only image2d_t img, __global float* out) { out[0] = 0.0f; }",
+        );
         let k = tu.kernels().next().unwrap();
         assert_eq!(k.params[0].ty, Type::Named("image2d_t".into()));
         assert_eq!(k.params[0].access, Some(AccessQualifier::ReadOnly));
@@ -1468,7 +1590,8 @@ mod tests {
 
     #[test]
     fn parse_sizeof() {
-        let tu = parse_ok("__kernel void A(__global int* a) { a[0] = sizeof(float4) + sizeof a[0]; }");
+        let tu =
+            parse_ok("__kernel void A(__global int* a) { a[0] = sizeof(float4) + sizeof a[0]; }");
         assert_eq!(tu.kernel_count(), 1);
     }
 }

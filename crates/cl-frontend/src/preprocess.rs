@@ -44,12 +44,20 @@ impl Default for PreprocessOptions {
 impl PreprocessOptions {
     /// Options with no predefined macros and no virtual includes.
     pub fn new() -> Self {
-        PreprocessOptions { predefined: Vec::new(), includes: HashMap::new(), max_expansion_depth: 32 }
+        PreprocessOptions {
+            predefined: Vec::new(),
+            includes: HashMap::new(),
+            max_expansion_depth: 32,
+        }
     }
 
     /// Add a simple object-like macro definition.
     pub fn define(mut self, name: &str, body: &str) -> Self {
-        self.predefined.push(MacroDef { name: name.to_string(), params: None, body: body.to_string() });
+        self.predefined.push(MacroDef {
+            name: name.to_string(),
+            params: None,
+            body: body.to_string(),
+        });
         self
     }
 
@@ -84,10 +92,12 @@ pub fn strip_comments(src: &str) -> String {
         let next = bytes.get(i + 1).copied();
         if in_str {
             out.push(c as char);
-            if c == b'\\' && next.is_some() {
-                out.push(next.unwrap() as char);
-                i += 2;
-                continue;
+            if c == b'\\' {
+                if let Some(n) = next {
+                    out.push(n as char);
+                    i += 2;
+                    continue;
+                }
             }
             if c == b'"' {
                 in_str = false;
@@ -95,10 +105,12 @@ pub fn strip_comments(src: &str) -> String {
             i += 1;
         } else if in_char {
             out.push(c as char);
-            if c == b'\\' && next.is_some() {
-                out.push(next.unwrap() as char);
-                i += 2;
-                continue;
+            if c == b'\\' {
+                if let Some(n) = next {
+                    out.push(n as char);
+                    i += 2;
+                    continue;
+                }
             }
             if c == b'\'' {
                 in_char = false;
@@ -146,7 +158,11 @@ pub fn splice_lines(src: &str) -> String {
 pub fn preprocess(src: &str, options: &PreprocessOptions) -> PreprocessOutput {
     let mut pp = Preprocessor::new(options);
     let text = pp.process(src, 0);
-    PreprocessOutput { text, macros: pp.macros, diagnostics: pp.diags }
+    PreprocessOutput {
+        text,
+        macros: pp.macros,
+        diagnostics: pp.diags,
+    }
 }
 
 struct Preprocessor<'a> {
@@ -171,12 +187,17 @@ impl<'a> Preprocessor<'a> {
         for m in &options.predefined {
             macros.insert(m.name.clone(), m.clone());
         }
-        Preprocessor { options, macros, diags: Diagnostics::new() }
+        Preprocessor {
+            options,
+            macros,
+            diags: Diagnostics::new(),
+        }
     }
 
     fn process(&mut self, src: &str, depth: usize) -> String {
         if depth > 8 {
-            self.diags.error(DiagnosticKind::Preprocess, "include nesting too deep", None);
+            self.diags
+                .error(DiagnosticKind::Preprocess, "include nesting too deep", None);
             return String::new();
         }
         let src = splice_lines(&strip_comments(src));
@@ -191,24 +212,37 @@ impl<'a> Preprocessor<'a> {
                 match name {
                     "if" => {
                         let taken = self.cond_active(&cond_stack) && self.eval_condition(rest);
-                        cond_stack.push(if taken { CondState::Active } else { CondState::Waiting });
+                        cond_stack.push(if taken {
+                            CondState::Active
+                        } else {
+                            CondState::Waiting
+                        });
                     }
                     "ifdef" => {
-                        let taken = self.cond_active(&cond_stack)
-                            && self.macros.contains_key(rest.trim());
-                        cond_stack.push(if taken { CondState::Active } else { CondState::Waiting });
+                        let taken =
+                            self.cond_active(&cond_stack) && self.macros.contains_key(rest.trim());
+                        cond_stack.push(if taken {
+                            CondState::Active
+                        } else {
+                            CondState::Waiting
+                        });
                     }
                     "ifndef" => {
-                        let taken = self.cond_active(&cond_stack)
-                            && !self.macros.contains_key(rest.trim());
-                        cond_stack.push(if taken { CondState::Active } else { CondState::Waiting });
+                        let taken =
+                            self.cond_active(&cond_stack) && !self.macros.contains_key(rest.trim());
+                        cond_stack.push(if taken {
+                            CondState::Active
+                        } else {
+                            CondState::Waiting
+                        });
                     }
                     "elif" => match cond_stack.last().copied() {
                         Some(CondState::Active) => {
                             *cond_stack.last_mut().unwrap() = CondState::Done;
                         }
                         Some(CondState::Waiting) => {
-                            let parent_active = self.cond_active(&cond_stack[..cond_stack.len() - 1]);
+                            let parent_active =
+                                self.cond_active(&cond_stack[..cond_stack.len() - 1]);
                             if parent_active && self.eval_condition(rest) {
                                 *cond_stack.last_mut().unwrap() = CondState::Active;
                             }
@@ -225,9 +259,13 @@ impl<'a> Preprocessor<'a> {
                             *cond_stack.last_mut().unwrap() = CondState::Done;
                         }
                         Some(CondState::Waiting) => {
-                            let parent_active = self.cond_active(&cond_stack[..cond_stack.len() - 1]);
-                            *cond_stack.last_mut().unwrap() =
-                                if parent_active { CondState::Active } else { CondState::Done };
+                            let parent_active =
+                                self.cond_active(&cond_stack[..cond_stack.len() - 1]);
+                            *cond_stack.last_mut().unwrap() = if parent_active {
+                                CondState::Active
+                            } else {
+                                CondState::Done
+                            };
                         }
                         Some(CondState::Done) => {}
                         None => self.diags.error(
@@ -290,7 +328,11 @@ impl<'a> Preprocessor<'a> {
             out.push('\n');
         }
         if !cond_stack.is_empty() {
-            self.diags.error(DiagnosticKind::Preprocess, "unterminated conditional directive", None);
+            self.diags.error(
+                DiagnosticKind::Preprocess,
+                "unterminated conditional directive",
+                None,
+            );
         }
         out
     }
@@ -307,14 +349,19 @@ impl<'a> Preprocessor<'a> {
             if !rest.is_empty() {
                 self.macros.insert(
                     rest.to_string(),
-                    MacroDef { name: rest.to_string(), params: None, body: String::new() },
+                    MacroDef {
+                        name: rest.to_string(),
+                        params: None,
+                        body: String::new(),
+                    },
                 );
             }
             return;
         };
         let name = rest[..first_non_ident].to_string();
         if name.is_empty() {
-            self.diags.error(DiagnosticKind::Preprocess, "malformed #define", None);
+            self.diags
+                .error(DiagnosticKind::Preprocess, "malformed #define", None);
             return;
         }
         let after = &rest[first_non_ident..];
@@ -327,20 +374,39 @@ impl<'a> Preprocessor<'a> {
                     .filter(|p| !p.is_empty())
                     .collect();
                 let body = after[close + 1..].trim().to_string();
-                self.macros.insert(name.clone(), MacroDef { name, params: Some(params), body });
+                self.macros.insert(
+                    name.clone(),
+                    MacroDef {
+                        name,
+                        params: Some(params),
+                        body,
+                    },
+                );
             } else {
-                self.diags.error(DiagnosticKind::Preprocess, "unterminated macro parameter list", None);
+                self.diags.error(
+                    DiagnosticKind::Preprocess,
+                    "unterminated macro parameter list",
+                    None,
+                );
             }
         } else {
             let body = after.trim().to_string();
-            self.macros.insert(name.clone(), MacroDef { name, params: None, body });
+            self.macros.insert(
+                name.clone(),
+                MacroDef {
+                    name,
+                    params: None,
+                    body,
+                },
+            );
         }
     }
 
     /// Expand macros in one line of text.
     fn expand_line(&mut self, line: &str, depth: usize) -> String {
         if depth > self.options.max_expansion_depth {
-            self.diags.error(DiagnosticKind::Preprocess, "macro expansion too deep", None);
+            self.diags
+                .error(DiagnosticKind::Preprocess, "macro expansion too deep", None);
             return line.to_string();
         }
         let bytes = line.as_bytes();
@@ -452,7 +518,11 @@ impl<'a> Preprocessor<'a> {
                 (after_trim[..end].to_string(), end)
             };
             let leading_ws = after.len() - after_trim.len();
-            out.push_str(if self.macros.contains_key(&name) { "1" } else { "0" });
+            out.push_str(if self.macros.contains_key(&name) {
+                "1"
+            } else {
+                "0"
+            });
             rest = &after[leading_ws + consumed_extra.min(after_trim.len())..];
         }
         out.push_str(rest);
@@ -553,7 +623,8 @@ impl<'a> CondParser<'a> {
             {
                 2
             } else if rest.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_') {
-                rest.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_')).unwrap_or(rest.len())
+                rest.find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                    .unwrap_or(rest.len())
             } else {
                 1
             };
@@ -634,7 +705,11 @@ impl<'a> CondParser<'a> {
                 self.next();
                 if let Ok(v) = tok.parse::<i64>() {
                     Some(v)
-                } else if tok.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_') {
+                } else if tok
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+                {
                     // Unknown identifier in a #if evaluates to 0.
                     Some(0)
                 } else {
@@ -742,7 +817,10 @@ mod tests {
 
     #[test]
     fn line_splicing() {
-        let out = preprocess("#define SUM(a, b) \\\n  (a + b)\nint x = SUM(1, 2);", &PreprocessOptions::new());
+        let out = preprocess(
+            "#define SUM(a, b) \\\n  (a + b)\nint x = SUM(1, 2);",
+            &PreprocessOptions::new(),
+        );
         assert!(out.text.contains("int x = (1 + 2);"));
     }
 

@@ -57,7 +57,11 @@ struct Printer {
 
 impl Printer {
     fn new(options: &PrintOptions) -> Self {
-        Printer { out: String::new(), indent: 0, indent_width: options.indent_width }
+        Printer {
+            out: String::new(),
+            indent: 0,
+            indent_width: options.indent_width,
+        }
     }
 
     fn newline(&mut self) {
@@ -75,7 +79,7 @@ impl Printer {
                 self.out.push('\n');
             }
             Item::Typedef { name, ty } => {
-                let _ = write!(self.out, "typedef {ty} {name};\n");
+                let _ = writeln!(self.out, "typedef {ty} {name};");
             }
             Item::Struct(s) => {
                 let _ = write!(self.out, "typedef struct {{");
@@ -86,7 +90,7 @@ impl Printer {
                 }
                 self.indent -= 1;
                 self.newline();
-                let _ = write!(self.out, "}} {};\n", s.name);
+                let _ = writeln!(self.out, "}} {};", s.name);
             }
         }
     }
@@ -125,11 +129,21 @@ impl Printer {
             self.out.push_str(s);
         }
         match &p.ty {
-            Type::Pointer { pointee, address_space, is_const } => {
+            Type::Pointer {
+                pointee,
+                address_space,
+                is_const,
+            } => {
                 if *is_const {
                     self.out.push_str("const ");
                 }
-                let _ = write!(self.out, "{} {}* {}", address_space.as_str(), pointee, p.name);
+                let _ = write!(
+                    self.out,
+                    "{} {}* {}",
+                    address_space.as_str(),
+                    pointee,
+                    p.name
+                );
             }
             ty => {
                 if p.is_const {
@@ -157,7 +171,9 @@ impl Printer {
         match stmt {
             Stmt::Block(b) => self.compound(b),
             other => {
-                let block = Block { stmts: vec![other.clone()] };
+                let block = Block {
+                    stmts: vec![other.clone()],
+                };
                 self.compound(&block);
             }
         }
@@ -171,7 +187,11 @@ impl Printer {
                 self.expr(e);
                 self.out.push(';');
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.out.push_str("if (");
                 self.expr(cond);
                 self.out.push_str(") ");
@@ -185,7 +205,12 @@ impl Printer {
                     }
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.out.push_str("for (");
                 match init {
                     Some(s) => match &**s {
@@ -289,8 +314,18 @@ impl Printer {
                             }
                         }
                     }
-                    Type::Pointer { pointee, address_space, .. } => {
-                        let _ = write!(self.out, "{} {}* {}", address_space.as_str(), pointee, v.name);
+                    Type::Pointer {
+                        pointee,
+                        address_space,
+                        ..
+                    } => {
+                        let _ = write!(
+                            self.out,
+                            "{} {}* {}",
+                            address_space.as_str(),
+                            pointee,
+                            v.name
+                        );
                     }
                     ty => {
                         let _ = write!(self.out, "{ty} {}", v.name);
@@ -328,7 +363,8 @@ impl Printer {
             }
             Expr::FloatLit { value, single } => {
                 let mut s = format!("{value}");
-                if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+                if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN")
+                {
                     s.push_str(".0");
                 }
                 self.out.push_str(&s);
@@ -361,7 +397,11 @@ impl Printer {
                 let _ = write!(self.out, " {} ", op.as_str());
                 self.expr(rhs);
             }
-            Expr::Conditional { cond, then_expr, else_expr } => {
+            Expr::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.maybe_paren(cond, !is_leaf(cond));
                 self.out.push_str(" ? ");
                 self.expr(then_expr);
@@ -385,7 +425,11 @@ impl Printer {
                 self.expr(index);
                 self.out.push(']');
             }
-            Expr::Member { base, member, arrow } => {
+            Expr::Member {
+                base,
+                member,
+                arrow,
+            } => {
                 self.maybe_paren(base, !is_leaf(base));
                 self.out.push_str(if *arrow { "->" } else { "." });
                 self.out.push_str(member);
@@ -521,7 +565,11 @@ mod tests {
         }";
         let printed = roundtrip(src);
         let reparsed = parse(&printed);
-        assert!(reparsed.is_ok(), "printed output failed to reparse:\n{printed}\n{}", reparsed.diagnostics);
+        assert!(
+            reparsed.is_ok(),
+            "printed output failed to reparse:\n{printed}\n{}",
+            reparsed.diagnostics
+        );
         // And printing again is a fixpoint.
         assert_eq!(print_unit(&reparsed.unit), printed);
     }
@@ -534,7 +582,9 @@ mod tests {
 
     #[test]
     fn vector_literal_printed() {
-        let out = roundtrip("__kernel void A(__global float4* a) { a[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f); }");
+        let out = roundtrip(
+            "__kernel void A(__global float4* a) { a[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f); }",
+        );
         assert!(out.contains("(float4)(1.0f, 2.0f, 3.0f, 4.0f)"));
     }
 
@@ -547,7 +597,8 @@ mod tests {
 
     #[test]
     fn local_array_printed() {
-        let out = roundtrip("__kernel void A(__global float* a) { __local float t[64]; t[0] = a[0]; }");
+        let out =
+            roundtrip("__kernel void A(__global float* a) { __local float t[64]; t[0] = a[0]; }");
         assert!(out.contains("__local float t[64];"));
     }
 

@@ -93,7 +93,10 @@ impl Rewriter {
             return name.to_string();
         }
         let next = format!("T{}", self.type_map.len());
-        self.type_map.entry(name.to_string()).or_insert(next).clone()
+        self.type_map
+            .entry(name.to_string())
+            .or_insert(next)
+            .clone()
     }
 
     fn unit(&mut self, unit: &mut TranslationUnit) {
@@ -141,15 +144,11 @@ impl Rewriter {
 
     fn ty(&mut self, ty: &mut Type) {
         match ty {
-            Type::Named(name) => {
-                if self.type_map.contains_key(name) {
-                    *name = self.type_map[name].clone();
-                }
+            Type::Named(name) if self.type_map.contains_key(name) => {
+                *name = self.type_map[name].clone();
             }
-            Type::Struct(name) => {
-                if self.type_map.contains_key(name) {
-                    *name = self.type_map[name].clone();
-                }
+            Type::Struct(name) if self.type_map.contains_key(name) => {
+                *name = self.type_map[name].clone();
             }
             Type::Pointer { pointee, .. } => self.ty(pointee),
             Type::Array { elem, .. } => self.ty(elem),
@@ -178,14 +177,23 @@ impl Rewriter {
             Stmt::Block(b) => self.block(b),
             Stmt::Decl(d) => self.declaration(d),
             Stmt::Expr(e) => self.expr(e),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.expr(cond);
                 self.stmt(then_branch);
                 if let Some(e) = else_branch {
                     self.stmt(e);
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 if let Some(init) = init {
                     self.stmt(init);
                 }
@@ -235,7 +243,11 @@ impl Rewriter {
                 self.expr(lhs);
                 self.expr(rhs);
             }
-            Expr::Conditional { cond, then_expr, else_expr } => {
+            Expr::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.expr(cond);
                 self.expr(then_expr);
                 self.expr(else_expr);
@@ -284,7 +296,13 @@ impl Rewriter {
 fn is_opaque_type(name: &str) -> bool {
     matches!(
         name,
-        "image1d_t" | "image2d_t" | "image3d_t" | "image2d_array_t" | "sampler_t" | "event_t" | "queue_t"
+        "image1d_t"
+            | "image2d_t"
+            | "image3d_t"
+            | "image2d_array_t"
+            | "sampler_t"
+            | "event_t"
+            | "queue_t"
     )
 }
 
@@ -329,7 +347,10 @@ mod tests {
         "#;
         let (out, stats) = rewrite(src);
         assert!(out.contains("inline float A(float a)"), "{out}");
-        assert!(out.contains("__kernel void B(__global float* b, __global float* c, const int d)"), "{out}");
+        assert!(
+            out.contains("__kernel void B(__global float* b, __global float* c, const int d)"),
+            "{out}"
+        );
         assert!(out.contains("c[e] += A(b[e]);"), "{out}");
         assert!(out.contains("get_global_id(0)"));
         assert_eq!(stats.functions_renamed, 2);
@@ -362,9 +383,17 @@ mod tests {
         }";
         let (out, _) = rewrite(src);
         let reparsed = parse(&out);
-        assert!(reparsed.is_ok(), "rewritten source failed to parse:\n{out}\n{}", reparsed.diagnostics);
+        assert!(
+            reparsed.is_ok(),
+            "rewritten source failed to parse:\n{out}\n{}",
+            reparsed.diagnostics
+        );
         let sema = crate::sema::analyze(&reparsed.unit);
-        assert!(sema.is_ok(), "rewritten source failed sema:\n{out}\n{}", sema.diagnostics);
+        assert!(
+            sema.is_ok(),
+            "rewritten source failed sema:\n{out}\n{}",
+            sema.diagnostics
+        );
     }
 
     #[test]
@@ -408,7 +437,9 @@ mod tests {
 
     #[test]
     fn vector_members_not_renamed() {
-        let (out, _) = rewrite("__kernel void K(__global float4* v, __global float* o) { o[0] = v[0].x + v[0].s1; }");
+        let (out, _) = rewrite(
+            "__kernel void K(__global float4* v, __global float* o) { o[0] = v[0].x + v[0].s1; }",
+        );
         assert!(out.contains(".x"));
         assert!(out.contains(".s1"));
     }

@@ -145,8 +145,10 @@ impl Sema {
                     self.typedefs.insert(name.clone());
                 }
                 Item::Struct(s) => {
-                    self.structs
-                        .insert(s.name.clone(), s.fields.iter().map(|f| f.name.clone()).collect());
+                    self.structs.insert(
+                        s.name.clone(),
+                        s.fields.iter().map(|f| f.name.clone()).collect(),
+                    );
                     self.typedefs.insert(s.name.clone());
                 }
                 Item::GlobalVar(d) => {
@@ -182,7 +184,10 @@ impl Sema {
         if name.is_empty() {
             return;
         }
-        self.scopes.last_mut().expect("scope stack never empty").insert(name.to_string());
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string());
     }
 
     fn is_declared(&self, name: &str) -> bool {
@@ -211,24 +216,20 @@ impl Sema {
 
     fn check_type(&mut self, ty: &Type) {
         match ty {
-            Type::Named(name) => {
-                if !self.typedefs.contains(name) && !is_known_opaque(name) {
-                    self.diags.error(
-                        DiagnosticKind::UnknownType,
-                        format!("unknown type name '{name}'"),
-                        None,
-                    );
-                    *self.undeclared.entry(name.clone()).or_insert(0) += 1;
-                }
+            Type::Named(name) if !self.typedefs.contains(name) && !is_known_opaque(name) => {
+                self.diags.error(
+                    DiagnosticKind::UnknownType,
+                    format!("unknown type name '{name}'"),
+                    None,
+                );
+                *self.undeclared.entry(name.clone()).or_insert(0) += 1;
             }
-            Type::Struct(name) => {
-                if !name.is_empty() && !self.structs.contains_key(name) {
-                    self.diags.error(
-                        DiagnosticKind::UnknownType,
-                        format!("unknown struct type 'struct {name}'"),
-                        None,
-                    );
-                }
+            Type::Struct(name) if !name.is_empty() && !self.structs.contains_key(name) => {
+                self.diags.error(
+                    DiagnosticKind::UnknownType,
+                    format!("unknown struct type 'struct {name}'"),
+                    None,
+                );
             }
             Type::Pointer { pointee, .. } => self.check_type(pointee),
             Type::Array { elem, .. } => self.check_type(elem),
@@ -259,7 +260,10 @@ impl Sema {
                     access: p.access,
                 })
                 .collect();
-            self.kernels.push(KernelSignature { name: f.name.clone(), args });
+            self.kernels.push(KernelSignature {
+                name: f.name.clone(),
+                args,
+            });
         }
         let Some(body) = &f.body else { return };
         self.push_scope();
@@ -292,14 +296,23 @@ impl Sema {
             Stmt::Block(b) => self.check_block(b),
             Stmt::Decl(d) => self.check_decl(d),
             Stmt::Expr(e) => self.check_expr(e),
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.check_expr(cond);
                 self.check_stmt(then_branch);
                 if let Some(e) = else_branch {
                     self.check_stmt(e);
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.push_scope();
                 if let Some(init) = init {
                     self.check_stmt(init);
@@ -368,7 +381,11 @@ impl Sema {
                 self.check_expr(lhs);
                 self.check_expr(rhs);
             }
-            Expr::Conditional { cond, then_expr, else_expr } => {
+            Expr::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.check_expr(cond);
                 self.check_expr(then_expr);
                 self.check_expr(else_expr);
@@ -459,13 +476,21 @@ mod tests {
         let r = sema_of("__kernel void A(__global float* a) { a[0] = ALPHA * 2.0f; }");
         assert!(!r.is_ok());
         assert_eq!(r.undeclared.get("ALPHA"), Some(&1));
-        assert_eq!(r.diagnostics.count_kind(DiagnosticKind::UndeclaredIdentifier), 1);
+        assert_eq!(
+            r.diagnostics
+                .count_kind(DiagnosticKind::UndeclaredIdentifier),
+            1
+        );
     }
 
     #[test]
     fn undeclared_reported_once_per_name() {
         let r = sema_of("__kernel void A(__global float* a) { a[0] = WG_SIZE; a[1] = WG_SIZE; }");
-        assert_eq!(r.diagnostics.count_kind(DiagnosticKind::UndeclaredIdentifier), 1);
+        assert_eq!(
+            r.diagnostics
+                .count_kind(DiagnosticKind::UndeclaredIdentifier),
+            1
+        );
     }
 
     #[test]
@@ -503,7 +528,9 @@ mod tests {
 
     #[test]
     fn typedef_resolves_named_type() {
-        let r = sema_of("typedef float FLOAT_T;\n__kernel void A(__global FLOAT_T* a) { a[0] = 1.0f; }");
+        let r = sema_of(
+            "typedef float FLOAT_T;\n__kernel void A(__global FLOAT_T* a) { a[0] = 1.0f; }",
+        );
         assert!(r.is_ok(), "{}", r.diagnostics);
     }
 
@@ -544,7 +571,9 @@ mod tests {
 
     #[test]
     fn constant_address_space_arg_is_const() {
-        let r = sema_of("__kernel void A(__constant float* coeff, __global float* out) { out[0] = coeff[0]; }");
+        let r = sema_of(
+            "__kernel void A(__constant float* coeff, __global float* out) { out[0] = coeff[0]; }",
+        );
         assert!(r.kernels[0].args[0].is_const);
     }
 }

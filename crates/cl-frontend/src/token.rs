@@ -21,7 +21,12 @@ pub struct Span {
 impl Span {
     /// Create a new span.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// A span covering both `self` and `other`.
@@ -30,7 +35,11 @@ impl Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
             line: self.line.min(other.line),
-            col: if self.line <= other.line { self.col } else { other.col },
+            col: if self.line <= other.line {
+                self.col
+            } else {
+                other.col
+            },
         }
     }
 }
@@ -90,7 +99,7 @@ pub enum Keyword {
 
 impl Keyword {
     /// Map an identifier spelling to a keyword, if it is one.
-    pub fn from_str(s: &str) -> Option<Keyword> {
+    pub fn from_ident(s: &str) -> Option<Keyword> {
         use Keyword::*;
         Some(match s {
             "if" => If,
@@ -295,7 +304,11 @@ pub enum TokenKind {
     /// Keyword.
     Keyword(Keyword),
     /// Integer literal with its value and signedness/width suffix flags.
-    IntLit { value: i64, unsigned: bool, long: bool },
+    IntLit {
+        value: i64,
+        unsigned: bool,
+        long: bool,
+    },
     /// Floating point literal; `single` is true for an `f`/`F` suffix.
     FloatLit { value: f64, single: bool },
     /// Character literal (value of the character).
@@ -365,16 +378,16 @@ mod tests {
             Keyword::Typedef,
             Keyword::Unsigned,
         ] {
-            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+            assert_eq!(Keyword::from_ident(kw.as_str()), Some(kw));
         }
     }
 
     #[test]
     fn keyword_aliases() {
-        assert_eq!(Keyword::from_str("kernel"), Some(Keyword::Kernel));
-        assert_eq!(Keyword::from_str("global"), Some(Keyword::Global));
-        assert_eq!(Keyword::from_str("__inline__"), Some(Keyword::Inline));
-        assert_eq!(Keyword::from_str("not_a_keyword"), None);
+        assert_eq!(Keyword::from_ident("kernel"), Some(Keyword::Kernel));
+        assert_eq!(Keyword::from_ident("global"), Some(Keyword::Global));
+        assert_eq!(Keyword::from_ident("__inline__"), Some(Keyword::Inline));
+        assert_eq!(Keyword::from_ident("not_a_keyword"), None);
     }
 
     #[test]

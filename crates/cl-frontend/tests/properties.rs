@@ -70,16 +70,22 @@ fn kernel_strategy() -> impl Strategy<Value = String> {
         }
         params.push_str("const int n");
         let access = if math.is_empty() {
-            format!("buf0[i] {op} 2", )
+            format!("buf0[i] {op} 2",)
         } else if elem == "float" {
             format!("{math}(buf0[i] {op} 2.0f)")
         } else {
             format!("buf0[i] {op} 2")
         };
         let body = if guard {
-            format!("  int i = get_global_id(0);\n  if (i < n) {{\n    buf{}[i] = {access};\n  }}\n", nbuf - 1)
+            format!(
+                "  int i = get_global_id(0);\n  if (i < n) {{\n    buf{}[i] = {access};\n  }}\n",
+                nbuf - 1
+            )
         } else {
-            format!("  int i = get_global_id(0);\n  buf{}[i] = {access};\n", nbuf - 1)
+            format!(
+                "  int i = get_global_id(0);\n  buf{}[i] = {access};\n",
+                nbuf - 1
+            )
         };
         format!("__kernel void test_kernel({params}) {{\n{body}}}\n")
     })

@@ -84,7 +84,9 @@ fn buffers_differ(a: &[Buffer], b: &[Buffer], epsilon: f64) -> bool {
     if a.len() != b.len() {
         return true;
     }
-    a.iter().zip(b.iter()).any(|(x, y)| x.differs_from(y, epsilon))
+    a.iter()
+        .zip(b.iter())
+        .any(|(x, y)| x.differs_from(y, epsilon))
 }
 
 /// Execute the kernel once over a payload, returning the output global buffers.
@@ -115,7 +117,10 @@ pub fn check_kernel(
         Err(PayloadError::UnsupportedArgument(why)) => return CheckOutcome::Failed(why),
     };
     let ndrange = NDRange::linear(options.global_size, options.local_size);
-    let limits = ExecLimits { steps_per_work_item: options.steps_per_work_item, max_work_items: 0 };
+    let limits = ExecLimits {
+        steps_per_work_item: options.steps_per_work_item,
+        max_work_items: 0,
+    };
 
     let a_in = global_buffers(&payload_a.args);
     let b_in = global_buffers(&payload_b.args);
@@ -136,15 +141,21 @@ pub fn check_kernel(
     let (a1_out, b1_out, a2_out, b2_out) = (&outs[0], &outs[1], &outs[2], &outs[3]);
 
     // Assert: outputs differ from inputs, else no output for these inputs.
-    if !buffers_differ(a1_out, &a_in, options.epsilon) && !buffers_differ(b1_out, &b_in, options.epsilon) {
+    if !buffers_differ(a1_out, &a_in, options.epsilon)
+        && !buffers_differ(b1_out, &b_in, options.epsilon)
+    {
         return CheckOutcome::NoOutput;
     }
     // Assert: outputs differ across inputs, else input-insensitive.
-    if !buffers_differ(a1_out, b1_out, options.epsilon) || !buffers_differ(a2_out, b2_out, options.epsilon) {
+    if !buffers_differ(a1_out, b1_out, options.epsilon)
+        || !buffers_differ(a2_out, b2_out, options.epsilon)
+    {
         return CheckOutcome::InputInsensitive;
     }
     // Assert: repeated executions agree, else non-deterministic.
-    if buffers_differ(a1_out, a2_out, options.epsilon) || buffers_differ(b1_out, b2_out, options.epsilon) {
+    if buffers_differ(a1_out, a2_out, options.epsilon)
+        || buffers_differ(b1_out, b2_out, options.epsilon)
+    {
         return CheckOutcome::NonDeterministic;
     }
     CheckOutcome::UsefulWork
@@ -152,7 +163,11 @@ pub fn check_kernel(
 
 /// Convenience: compile-free check when the caller already has the unit and
 /// wants the first kernel checked.
-pub fn check_first_kernel(unit: &TranslationUnit, sigs: &[KernelSignature], options: &CheckerOptions) -> CheckOutcome {
+pub fn check_first_kernel(
+    unit: &TranslationUnit,
+    sigs: &[KernelSignature],
+    options: &CheckerOptions,
+) -> CheckOutcome {
     match sigs.first() {
         Some(sig) => check_kernel(unit, sig, options),
         None => CheckOutcome::Failed("no kernel in translation unit".into()),
@@ -167,7 +182,11 @@ mod tests {
     fn check(src: &str) -> CheckOutcome {
         let r = compile(src, &CompileOptions::default());
         assert!(r.is_ok(), "{}", r.diagnostics);
-        let options = CheckerOptions { global_size: 64, local_size: 16, ..Default::default() };
+        let options = CheckerOptions {
+            global_size: 64,
+            local_size: 16,
+            ..Default::default()
+        };
         check_kernel(&r.unit, &r.kernels[0], &options)
     }
 
@@ -211,7 +230,12 @@ mod tests {
             "__kernel void A(__global float* a) { while (1) { a[0] += 1.0f; } }",
             &CompileOptions::default(),
         );
-        let options = CheckerOptions { global_size: 8, local_size: 4, steps_per_work_item: 5_000, ..Default::default() };
+        let options = CheckerOptions {
+            global_size: 8,
+            local_size: 4,
+            steps_per_work_item: 5_000,
+            ..Default::default()
+        };
         let outcome = check_kernel(&r.unit, &r.kernels[0], &options);
         assert_eq!(outcome, CheckOutcome::Timeout);
     }

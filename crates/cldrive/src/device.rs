@@ -180,12 +180,21 @@ impl Device {
         let memory = w.global_bytes / effective_bw.max(1.0) + w.local_bytes / local_bw.max(1.0);
         // --- overheads ---------------------------------------------------
         let overhead = self.launch_overhead_us * 1e-6 + transfer_latency;
-        RuntimeEstimate { transfer, compute, memory, overhead }
+        RuntimeEstimate {
+            transfer,
+            compute,
+            memory,
+            overhead,
+        }
     }
 
     /// All three platforms of Table 4.
     pub fn table4() -> Vec<Device> {
-        vec![Device::intel_i7_3820(), Device::amd_tahiti_7970(), Device::nvidia_gtx_970()]
+        vec![
+            Device::intel_i7_3820(),
+            Device::amd_tahiti_7970(),
+            Device::nvidia_gtx_970(),
+        ]
     }
 }
 
@@ -204,12 +213,20 @@ pub struct Platform {
 impl Platform {
     /// The AMD system of Table 4 (i7-3820 + Tahiti 7970).
     pub fn amd() -> Platform {
-        Platform { cpu: Device::intel_i7_3820(), gpu: Device::amd_tahiti_7970(), name: "AMD".into() }
+        Platform {
+            cpu: Device::intel_i7_3820(),
+            gpu: Device::amd_tahiti_7970(),
+            name: "AMD".into(),
+        }
     }
 
     /// The NVIDIA system of Table 4 (i7-3820 + GTX 970).
     pub fn nvidia() -> Platform {
-        Platform { cpu: Device::intel_i7_3820(), gpu: Device::nvidia_gtx_970(), name: "NVIDIA".into() }
+        Platform {
+            cpu: Device::intel_i7_3820(),
+            gpu: Device::nvidia_gtx_970(),
+            name: "NVIDIA".into(),
+        }
     }
 
     /// Both experimental platforms.
@@ -222,7 +239,12 @@ impl Platform {
 mod tests {
     use super::*;
 
-    fn workload(work_items: f64, ops_per_item: f64, bytes_per_item: f64, transfer: f64) -> WorkloadProfile {
+    fn workload(
+        work_items: f64,
+        ops_per_item: f64,
+        bytes_per_item: f64,
+        transfer: f64,
+    ) -> WorkloadProfile {
         WorkloadProfile {
             work_items,
             compute_ops: work_items * ops_per_item,
@@ -240,7 +262,10 @@ mod tests {
         let w = workload(256.0, 20.0, 16.0, 2.0 * 256.0 * 4.0);
         let cpu = platform.cpu.estimate(&w).total();
         let gpu = platform.gpu.estimate(&w).total();
-        assert!(cpu < gpu, "small workload should favour the CPU: cpu={cpu}, gpu={gpu}");
+        assert!(
+            cpu < gpu,
+            "small workload should favour the CPU: cpu={cpu}, gpu={gpu}"
+        );
     }
 
     #[test]
@@ -250,7 +275,10 @@ mod tests {
         let w = workload(4e6, 2000.0, 32.0, 3.0 * 4e6 * 4.0);
         let cpu = platform.cpu.estimate(&w).total();
         let gpu = platform.gpu.estimate(&w).total();
-        assert!(gpu < cpu, "large workload should favour the GPU: cpu={cpu}, gpu={gpu}");
+        assert!(
+            gpu < cpu,
+            "large workload should favour the GPU: cpu={cpu}, gpu={gpu}"
+        );
     }
 
     #[test]
@@ -260,7 +288,10 @@ mod tests {
         let w = workload(1e6, 2.0, 8.0, 3.0 * 1e6 * 8.0);
         let cpu = platform.cpu.estimate(&w).total();
         let gpu = platform.gpu.estimate(&w).total();
-        assert!(cpu < gpu, "transfer-bound workload should favour the CPU: cpu={cpu}, gpu={gpu}");
+        assert!(
+            cpu < gpu,
+            "transfer-bound workload should favour the CPU: cpu={cpu}, gpu={gpu}"
+        );
     }
 
     #[test]

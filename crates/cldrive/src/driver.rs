@@ -148,7 +148,10 @@ pub struct HostDriver {
 impl HostDriver {
     /// A driver for the given platform with default options.
     pub fn new(platform: Platform) -> HostDriver {
-        HostDriver { platform, options: DriverOptions::default() }
+        HostDriver {
+            platform,
+            options: DriverOptions::default(),
+        }
     }
 
     /// A driver with explicit options.
@@ -163,7 +166,11 @@ impl HostDriver {
     /// Returns a [`DriveError`] when compilation fails or no kernel yields a
     /// usable record (individual kernel failures are skipped when at least one
     /// kernel succeeds).
-    pub fn run_source(&self, source: &str, global_sizes: &[usize]) -> Result<Vec<KernelRun>, DriveError> {
+    pub fn run_source(
+        &self,
+        source: &str,
+        global_sizes: &[usize],
+    ) -> Result<Vec<KernelRun>, DriveError> {
         let compiled = compile(source, &CompileOptions::default());
         if !compiled.is_ok() {
             return Err(DriveError::Compile(compiled.diagnostics));
@@ -208,7 +215,9 @@ impl HostDriver {
             }
         }
         // 2. Profile by interpretation at a capped size.
-        let profile_size = global_size.min(self.options.profile_elements_cap).max(self.options.local_size);
+        let profile_size = global_size
+            .min(self.options.profile_elements_cap)
+            .max(self.options.local_size);
         let payload_options = PayloadOptions {
             global_size: profile_size,
             local_size: self.options.local_size,
@@ -294,12 +303,14 @@ fn uses_second_dimension(unit: &TranslationUnit, sig: &KernelSignature) -> bool 
 mod tests {
     use super::*;
 
-    const VECADD: &str = "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+    const VECADD: &str =
+        "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
         int e = get_global_id(0);
         if (e < d) { c[e] = a[e] + b[e]; }
     }";
 
-    const MATMUL: &str = "__kernel void mm(__global float* a, __global float* b, __global float* c, const int w) {
+    const MATMUL: &str =
+        "__kernel void mm(__global float* a, __global float* b, __global float* c, const int w) {
         int row = get_global_id(1);
         int col = get_global_id(0);
         float acc = 0.0f;
@@ -326,8 +337,16 @@ mod tests {
         // A streaming kernel with one flop per element never amortises the
         // PCIe transfer, so the CPU is the oracle at every size — this is the
         // classic case the Grewe et al. model must learn to keep on the CPU.
-        assert_eq!(small.oracle(), DeviceKind::Cpu, "tiny vecadd should favour CPU");
-        assert_eq!(large.oracle(), DeviceKind::Cpu, "streaming vecadd should stay on the CPU");
+        assert_eq!(
+            small.oracle(),
+            DeviceKind::Cpu,
+            "tiny vecadd should favour CPU"
+        );
+        assert_eq!(
+            large.oracle(),
+            DeviceKind::Cpu,
+            "streaming vecadd should stay on the CPU"
+        );
         // And the GPU penalty at large sizes is dominated by data transfer.
         assert!(large.workload.transfer_bytes > large.workload.compute_ops);
     }
@@ -336,7 +355,11 @@ mod tests {
     fn compute_heavy_matmul_maps_to_gpu_at_scale() {
         let driver = HostDriver::with_options(Platform::amd(), DriverOptions::quick());
         let runs = driver.run_source(MATMUL, &[1 << 20]).unwrap();
-        assert_eq!(runs[0].oracle(), DeviceKind::Gpu, "large matmul should favour the GPU");
+        assert_eq!(
+            runs[0].oracle(),
+            DeviceKind::Gpu,
+            "large matmul should favour the GPU"
+        );
         assert!(runs[0].slowdown_of(DeviceKind::Cpu) > 1.0);
     }
 
@@ -344,10 +367,20 @@ mod tests {
     fn checker_rejects_constant_kernel() {
         let driver = HostDriver::with_options(
             Platform::nvidia(),
-            DriverOptions { checker: Some(CheckerOptions { global_size: 64, local_size: 16, ..Default::default() }), ..DriverOptions::quick() },
+            DriverOptions {
+                checker: Some(CheckerOptions {
+                    global_size: 64,
+                    local_size: 16,
+                    ..Default::default()
+                }),
+                ..DriverOptions::quick()
+            },
         );
         let err = driver.run_source("__kernel void A(__global float* a, const int n) { int i = get_global_id(0); if (i < n) { a[i] = 1.0f; } }", &[256]);
-        assert!(matches!(err, Err(DriveError::Check(CheckOutcome::InputInsensitive))));
+        assert!(matches!(
+            err,
+            Err(DriveError::Check(CheckOutcome::InputInsensitive))
+        ));
     }
 
     #[test]

@@ -24,12 +24,18 @@ pub struct NDRange {
 impl NDRange {
     /// A 1-D NDRange.
     pub fn linear(global: usize, local: usize) -> NDRange {
-        NDRange { global: [global.max(1), 1, 1], local: [local.max(1), 1, 1] }
+        NDRange {
+            global: [global.max(1), 1, 1],
+            local: [local.max(1), 1, 1],
+        }
     }
 
     /// A 2-D NDRange.
     pub fn two_d(gx: usize, gy: usize, lx: usize, ly: usize) -> NDRange {
-        NDRange { global: [gx.max(1), gy.max(1), 1], local: [lx.max(1), ly.max(1), 1] }
+        NDRange {
+            global: [gx.max(1), gy.max(1), 1],
+            local: [lx.max(1), ly.max(1), 1],
+        }
     }
 
     /// Total number of work items.
@@ -151,7 +157,10 @@ pub struct ExecLimits {
 
 impl Default for ExecLimits {
     fn default() -> Self {
-        ExecLimits { steps_per_work_item: 2_000_000, max_work_items: 0 }
+        ExecLimits {
+            steps_per_work_item: 2_000_000,
+            max_work_items: 0,
+        }
     }
 }
 
@@ -205,12 +214,15 @@ pub fn execute(
 
     // Bind arguments: global buffers move into the machine's buffer table.
     let mut bindings: Vec<BoundArg> = Vec::with_capacity(args.len());
-    for (param, arg) in kernel.params.iter().zip(args.into_iter()) {
+    for (param, arg) in kernel.params.iter().zip(args) {
         match arg {
             ArgBinding::GlobalBuffer(buffer) => {
                 let idx = machine.buffers.len();
                 machine.buffers.push(buffer);
-                bindings.push(BoundArg::Buffer { name: param.name.clone(), index: idx });
+                bindings.push(BoundArg::Buffer {
+                    name: param.name.clone(),
+                    index: idx,
+                });
             }
             ArgBinding::LocalElements(elements) => {
                 let elem = param.ty.element_scalar().unwrap_or(ScalarType::Float);
@@ -219,18 +231,33 @@ pub fn execute(
                     _ => 1,
                 };
                 let idx = machine.buffers.len();
-                machine.buffers.push(Buffer::zeroed(elem, lanes, elements.max(1), BufferSpace::Local));
-                bindings.push(BoundArg::LocalBuffer { name: param.name.clone(), index: idx });
+                machine.buffers.push(Buffer::zeroed(
+                    elem,
+                    lanes,
+                    elements.max(1),
+                    BufferSpace::Local,
+                ));
+                bindings.push(BoundArg::LocalBuffer {
+                    name: param.name.clone(),
+                    index: idx,
+                });
             }
             ArgBinding::Scalar(s) => {
                 let ty = param.ty.element_scalar().unwrap_or(ScalarType::Int);
-                bindings.push(BoundArg::Scalar { name: param.name.clone(), value: s.convert_to(ty) });
+                bindings.push(BoundArg::Scalar {
+                    name: param.name.clone(),
+                    value: s.convert_to(ty),
+                });
             }
         }
     }
 
     let total_items = ndrange.work_items();
-    let sample_budget = if limits.max_work_items == 0 { total_items } else { limits.max_work_items };
+    let sample_budget = if limits.max_work_items == 0 {
+        total_items
+    } else {
+        limits.max_work_items
+    };
     let mut executed = 0usize;
 
     let groups = [
@@ -296,7 +323,11 @@ pub fn execute(
     Ok(LaunchResult {
         args: out_args,
         counts: machine.counts,
-        sampled_fraction: if total_items == 0 { 1.0 } else { executed as f64 / total_items as f64 },
+        sampled_fraction: if total_items == 0 {
+            1.0
+        } else {
+            executed as f64 / total_items as f64
+        },
     })
 }
 
@@ -328,8 +359,15 @@ enum Flow {
 
 /// An assignable location.
 enum Place {
-    Var { name: String, lane: Option<usize> },
-    BufferElem { buffer: usize, index: i64, lane: Option<usize> },
+    Var {
+        name: String,
+        lane: Option<usize>,
+    },
+    BufferElem {
+        buffer: usize,
+        index: i64,
+        lane: Option<usize>,
+    },
 }
 
 struct Machine<'a> {
@@ -344,20 +382,34 @@ struct Machine<'a> {
 type Env = Vec<HashMap<String, Value>>;
 
 impl<'a> Machine<'a> {
-    fn run_work_item(&mut self, kernel: &FunctionDef, bindings: &[BoundArg]) -> Result<(), ExecError> {
+    fn run_work_item(
+        &mut self,
+        kernel: &FunctionDef,
+        bindings: &[BoundArg],
+    ) -> Result<(), ExecError> {
         self.steps_this_item = 0;
         let mut env: Env = vec![HashMap::new()];
         for binding in bindings {
             match binding {
                 BoundArg::Buffer { name, index } | BoundArg::LocalBuffer { name, index } => {
-                    env[0].insert(name.clone(), Value::Ptr(PtrValue { buffer: *index, offset: 0, dims: vec![] }));
+                    env[0].insert(
+                        name.clone(),
+                        Value::Ptr(PtrValue {
+                            buffer: *index,
+                            offset: 0,
+                            dims: vec![],
+                        }),
+                    );
                 }
                 BoundArg::Scalar { name, value } => {
                     env[0].insert(name.clone(), Value::Scalar(*value));
                 }
             }
         }
-        let body = kernel.body.as_ref().ok_or_else(|| ExecError::MissingKernel(kernel.name.clone()))?;
+        let body = kernel
+            .body
+            .as_ref()
+            .ok_or_else(|| ExecError::MissingKernel(kernel.name.clone()))?;
         // Private/local arrays declared in the body allocate scratch buffers;
         // remember how many buffers existed so they can be freed afterwards.
         let base_buffers = self.buffers.len();
@@ -397,12 +449,19 @@ impl<'a> Machine<'a> {
         }
         // Undeclared (should not happen for sema-clean kernels): declare in the
         // innermost scope so execution can continue.
-        env.last_mut().expect("env never empty").insert(name.to_string(), value);
+        env.last_mut()
+            .expect("env never empty")
+            .insert(name.to_string(), value);
     }
 
     // ----- statements -------------------------------------------------------
 
-    fn exec_block(&mut self, block: &Block, env: &mut Env, depth: usize) -> Result<Flow, ExecError> {
+    fn exec_block(
+        &mut self,
+        block: &Block,
+        env: &mut Env,
+        depth: usize,
+    ) -> Result<Flow, ExecError> {
         env.push(HashMap::new());
         let mut flow = Flow::Normal;
         for stmt in &block.stmts {
@@ -427,7 +486,11 @@ impl<'a> Machine<'a> {
                 self.eval(e, env, depth)?;
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_branch, else_branch } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.counts.branches += 1;
                 self.tick(1)?;
                 let c = self.eval(cond, env, depth)?.as_bool();
@@ -439,7 +502,12 @@ impl<'a> Machine<'a> {
                     Ok(Flow::Normal)
                 }
             }
-            Stmt::For { init, cond, step, body } => {
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 env.push(HashMap::new());
                 if let Some(init) = init {
                     self.exec_stmt(init, env, depth)?;
@@ -559,11 +627,16 @@ impl<'a> Machine<'a> {
                         BufferSpace::Private
                     };
                     let idx = self.buffers.len();
-                    self.buffers.push(Buffer::zeroed(elem, lanes, elements, space));
+                    self.buffers
+                        .push(Buffer::zeroed(elem, lanes, elements, space));
                     Value::Ptr(PtrValue {
                         buffer: idx,
                         offset: 0,
-                        dims: if dims.len() > 1 { dims[1..].to_vec() } else { vec![] },
+                        dims: if dims.len() > 1 {
+                            dims[1..].to_vec()
+                        } else {
+                            vec![]
+                        },
                     })
                 }
                 (_, Some(init)) => {
@@ -572,7 +645,9 @@ impl<'a> Machine<'a> {
                 }
                 (ty, None) => default_value(ty),
             };
-            env.last_mut().expect("env never empty").insert(v.name.clone(), value);
+            env.last_mut()
+                .expect("env never empty")
+                .insert(v.name.clone(), value);
         }
         Ok(())
     }
@@ -623,7 +698,11 @@ impl<'a> Machine<'a> {
                         // Address of an lvalue: produce a pointer when possible.
                         match self.eval_place(expr, env, depth)? {
                             Some(Place::BufferElem { buffer, index, .. }) => {
-                                Ok(Value::Ptr(PtrValue { buffer, offset: index, dims: vec![] }))
+                                Ok(Value::Ptr(PtrValue {
+                                    buffer,
+                                    offset: index,
+                                    dims: vec![],
+                                }))
                             }
                             _ => Ok(Value::int(0)),
                         }
@@ -679,7 +758,11 @@ impl<'a> Machine<'a> {
                 self.store_to(lhs, value.clone(), env, depth)?;
                 Ok(value)
             }
-            Expr::Conditional { cond, then_expr, else_expr } => {
+            Expr::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.tick(1)?;
                 self.counts.branches += 1;
                 if self.eval(cond, env, depth)?.as_bool() {
@@ -741,7 +824,13 @@ impl<'a> Machine<'a> {
     }
 
     /// Evaluate an expression used as an assignment target.
-    fn store_to(&mut self, lhs: &Expr, value: Value, env: &mut Env, depth: usize) -> Result<(), ExecError> {
+    fn store_to(
+        &mut self,
+        lhs: &Expr,
+        value: Value,
+        env: &mut Env,
+        depth: usize,
+    ) -> Result<(), ExecError> {
         match self.eval_place(lhs, env, depth)? {
             Some(Place::Var { name, lane }) => {
                 match lane {
@@ -760,7 +849,11 @@ impl<'a> Machine<'a> {
                 }
                 Ok(())
             }
-            Some(Place::BufferElem { buffer, index, lane }) => {
+            Some(Place::BufferElem {
+                buffer,
+                index,
+                lane,
+            }) => {
                 self.record_access(buffer, index, true);
                 if let Some(buf) = self.buffers.get_mut(buffer) {
                     match lane {
@@ -775,13 +868,28 @@ impl<'a> Machine<'a> {
     }
 
     /// Resolve an expression to a place, if it denotes one.
-    fn eval_place(&mut self, e: &Expr, env: &mut Env, depth: usize) -> Result<Option<Place>, ExecError> {
+    fn eval_place(
+        &mut self,
+        e: &Expr,
+        env: &mut Env,
+        depth: usize,
+    ) -> Result<Option<Place>, ExecError> {
         match e {
-            Expr::Ident(name) => Ok(Some(Place::Var { name: name.clone(), lane: None })),
-            Expr::Unary { op: UnOp::Deref, expr } => {
+            Expr::Ident(name) => Ok(Some(Place::Var {
+                name: name.clone(),
+                lane: None,
+            })),
+            Expr::Unary {
+                op: UnOp::Deref,
+                expr,
+            } => {
                 let v = self.eval(expr, env, depth)?;
                 if let Value::Ptr(p) = v {
-                    Ok(Some(Place::BufferElem { buffer: p.buffer, index: p.offset, lane: None }))
+                    Ok(Some(Place::BufferElem {
+                        buffer: p.buffer,
+                        index: p.offset,
+                        lane: None,
+                    }))
                 } else {
                     Ok(None)
                 }
@@ -800,22 +908,33 @@ impl<'a> Machine<'a> {
                         }
                         let stride: i64 = p.dims.iter().product::<usize>().max(1) as i64;
                         let flat = p.offset + idx * stride;
-                        if p.dims.len() >= 1 && stride > 1 {
+                        if !p.dims.is_empty() && stride > 1 {
                             // Still an aggregate; no scalar place.
-                            Ok(Some(Place::BufferElem { buffer: p.buffer, index: flat, lane: None }))
+                            Ok(Some(Place::BufferElem {
+                                buffer: p.buffer,
+                                index: flat,
+                                lane: None,
+                            }))
                         } else {
                             let coalesced = self.is_coalesced_index(idx);
                             if coalesced {
                                 self.counts.coalesced_accesses += 1;
                             }
-                            Ok(Some(Place::BufferElem { buffer: p.buffer, index: flat, lane: None }))
+                            Ok(Some(Place::BufferElem {
+                                buffer: p.buffer,
+                                index: flat,
+                                lane: None,
+                            }))
                         }
                     }
                     Value::Vector(_) => {
                         // Indexing a vector value: treat as lane access on the
                         // base variable when the base is a simple identifier.
                         if let Expr::Ident(name) = &**base {
-                            Ok(Some(Place::Var { name: name.clone(), lane: Some(idx.max(0) as usize) }))
+                            Ok(Some(Place::Var {
+                                name: name.clone(),
+                                lane: Some(idx.max(0) as usize),
+                            }))
                         } else {
                             Ok(None)
                         }
@@ -831,12 +950,19 @@ impl<'a> Machine<'a> {
                 }
                 let lane = component_lane(member);
                 match &**base {
-                    Expr::Ident(name) => Ok(Some(Place::Var { name: name.clone(), lane: Some(lane) })),
+                    Expr::Ident(name) => Ok(Some(Place::Var {
+                        name: name.clone(),
+                        lane: Some(lane),
+                    })),
                     Expr::Index { .. } => {
                         let inner = self.eval_place(base, env, depth)?;
                         match inner {
                             Some(Place::BufferElem { buffer, index, .. }) => {
-                                Ok(Some(Place::BufferElem { buffer, index, lane: Some(lane) }))
+                                Ok(Some(Place::BufferElem {
+                                    buffer,
+                                    index,
+                                    lane: Some(lane),
+                                }))
                             }
                             other => Ok(other),
                         }
@@ -857,7 +983,11 @@ impl<'a> Machine<'a> {
                     Some(l) => Value::Scalar(v.lane(*l)),
                 }
             }
-            Place::BufferElem { buffer, index, lane } => {
+            Place::BufferElem {
+                buffer,
+                index,
+                lane,
+            } => {
                 self.record_access(*buffer, *index, false);
                 match self.buffers.get(*buffer) {
                     None => Value::int(0),
@@ -872,11 +1002,16 @@ impl<'a> Machine<'a> {
 
     fn load_ptr(&mut self, p: &PtrValue) -> Value {
         self.record_access(p.buffer, p.offset, false);
-        self.buffers.get(p.buffer).map(|b| b.load(p.offset)).unwrap_or(Value::int(0))
+        self.buffers
+            .get(p.buffer)
+            .map(|b| b.load(p.offset))
+            .unwrap_or(Value::int(0))
     }
 
     fn record_access(&mut self, buffer: usize, index: i64, is_store: bool) {
-        let Some(buf) = self.buffers.get(buffer) else { return };
+        let Some(buf) = self.buffers.get(buffer) else {
+            return;
+        };
         if index < 0 || index as usize >= buf.elements().max(1) {
             self.counts.out_of_bounds += 1;
         }
@@ -935,7 +1070,10 @@ impl<'a> Machine<'a> {
         callee_env.push(HashMap::new());
         for (param, value) in func.params.iter().zip(arg_values) {
             let v = coerce_to_type(value, &param.ty);
-            callee_env.last_mut().expect("scope").insert(param.name.clone(), v);
+            callee_env
+                .last_mut()
+                .expect("scope")
+                .insert(param.name.clone(), v);
         }
         let body = match &func.body {
             Some(b) => b.clone(),
@@ -960,7 +1098,10 @@ impl<'a> Machine<'a> {
                 let dim = if args.is_empty() {
                     0
                 } else {
-                    self.eval(&args[0], env, depth)?.as_scalar().as_i64().clamp(0, 2) as usize
+                    self.eval(&args[0], env, depth)?
+                        .as_scalar()
+                        .as_i64()
+                        .clamp(0, 2) as usize
                 };
                 let wi = self.work_item;
                 let v = match callee {
@@ -1010,7 +1151,10 @@ impl<'a> Machine<'a> {
                 };
                 if let Value::Ptr(p) = ptr {
                     let old = self.load_ptr(&p).as_scalar().as_i64();
-                    let new = match callee.trim_start_matches("atomic_").trim_start_matches("atom_") {
+                    let new = match callee
+                        .trim_start_matches("atomic_")
+                        .trim_start_matches("atom_")
+                    {
                         "add" => old + operand,
                         "sub" => old - operand,
                         "inc" => old + 1,
@@ -1052,7 +1196,9 @@ impl<'a> Machine<'a> {
                 };
                 // convert_<type> / as_<type>: reinterpretation niceties are not
                 // modelled; values keep their numeric content.
-                let target = callee.trim_start_matches("convert_").trim_start_matches("as_");
+                let target = callee
+                    .trim_start_matches("convert_")
+                    .trim_start_matches("as_");
                 match Type::from_name(target.trim_end_matches("_sat").trim_end_matches("_rte")) {
                     Some(ty) => Ok(coerce_to_type(v, &ty)),
                     None => Ok(v),
@@ -1071,7 +1217,11 @@ impl<'a> Machine<'a> {
                     if let Value::Ptr(p) = ptr {
                         let mut v = Vec::with_capacity(lanes);
                         for lane in 0..lanes {
-                            let pv = PtrValue { buffer: p.buffer, offset: offset * lanes as i64 + lane as i64, dims: vec![] };
+                            let pv = PtrValue {
+                                buffer: p.buffer,
+                                offset: offset * lanes as i64 + lane as i64,
+                                dims: vec![],
+                            };
                             v.push(self.load_ptr(&pv).as_scalar());
                         }
                         return Ok(Value::Vector(v));
@@ -1259,8 +1409,16 @@ fn apply_binop(op: BinOp, a: &Value, b: &Value) -> Value {
     if let (Value::Ptr(p), other) = (a, b) {
         if matches!(op, BinOp::Add | BinOp::Sub) {
             let delta = other.as_scalar().as_i64();
-            let offset = if op == BinOp::Add { p.offset + delta } else { p.offset - delta };
-            return Value::Ptr(PtrValue { buffer: p.buffer, offset, dims: p.dims.clone() });
+            let offset = if op == BinOp::Add {
+                p.offset + delta
+            } else {
+                p.offset - delta
+            };
+            return Value::Ptr(PtrValue {
+                buffer: p.buffer,
+                offset,
+                dims: p.dims.clone(),
+            });
         }
     }
     if let (other, Value::Ptr(p)) = (a, b) {
@@ -1389,7 +1547,9 @@ fn apply_math(name: &str, args: &[Value]) -> Value {
                 Value::Vector((0..lanes).map(f).collect())
             }
         }
-        "step" => map_binary(&a, &b, |edge, x| Scalar::F(if x.as_f64() < edge.as_f64() { 0.0 } else { 1.0 })),
+        "step" => map_binary(&a, &b, |edge, x| {
+            Scalar::F(if x.as_f64() < edge.as_f64() { 0.0 } else { 1.0 })
+        }),
         "smoothstep" => {
             let f = |i: usize| {
                 let e0 = a.lane(i).as_f64();
@@ -1407,30 +1567,47 @@ fn apply_math(name: &str, args: &[Value]) -> Value {
         }
         "mad" | "fma" | "mad24" => {
             let lanes = a.lanes().max(b.lanes()).max(c.lanes());
-            let f = |i: usize| Scalar::F(a.lane(i).as_f64() * b.lane(i).as_f64() + c.lane(i).as_f64());
+            let f =
+                |i: usize| Scalar::F(a.lane(i).as_f64() * b.lane(i).as_f64() + c.lane(i).as_f64());
             if lanes == 1 {
                 Value::Scalar(f(0))
             } else {
                 Value::Vector((0..lanes).map(f).collect())
             }
         }
-        "mul24" | "mul_hi" => map_binary(&a, &b, |x, y| Scalar::I(x.as_i64().wrapping_mul(y.as_i64()))),
+        "mul24" | "mul_hi" => map_binary(&a, &b, |x, y| {
+            Scalar::I(x.as_i64().wrapping_mul(y.as_i64()))
+        }),
         "hadd" | "rhadd" => map_binary(&a, &b, |x, y| Scalar::I((x.as_i64() + y.as_i64()) / 2)),
-        "rotate" => map_binary(&a, &b, |x, y| Scalar::I(x.as_i64().rotate_left((y.as_i64() & 63) as u32))),
-        "clz" => map_unary(&a, |s| Scalar::I(i64::from((s.as_i64() as u32).leading_zeros()))),
+        "rotate" => map_binary(&a, &b, |x, y| {
+            Scalar::I(x.as_i64().rotate_left((y.as_i64() & 63) as u32))
+        }),
+        "clz" => map_unary(&a, |s| {
+            Scalar::I(i64::from((s.as_i64() as u32).leading_zeros()))
+        }),
         "popcount" => map_unary(&a, |s| Scalar::I(i64::from(s.as_i64().count_ones()))),
         "isnan" => map_unary(&a, |s| Scalar::I(i64::from(s.as_f64().is_nan()))),
         "isinf" => map_unary(&a, |s| Scalar::I(i64::from(s.as_f64().is_infinite()))),
         "isfinite" => map_unary(&a, |s| Scalar::I(i64::from(s.as_f64().is_finite()))),
-        "isequal" => map_binary(&a, &b, |x, y| Scalar::I(i64::from(x.as_f64() == y.as_f64()))),
-        "isnotequal" => map_binary(&a, &b, |x, y| Scalar::I(i64::from(x.as_f64() != y.as_f64()))),
+        "isequal" => map_binary(&a, &b, |x, y| {
+            Scalar::I(i64::from(x.as_f64() == y.as_f64()))
+        }),
+        "isnotequal" => map_binary(&a, &b, |x, y| {
+            Scalar::I(i64::from(x.as_f64() != y.as_f64()))
+        }),
         "isgreater" => map_binary(&a, &b, |x, y| Scalar::I(i64::from(x.as_f64() > y.as_f64()))),
         "isless" => map_binary(&a, &b, |x, y| Scalar::I(i64::from(x.as_f64() < y.as_f64()))),
         "any" => Value::int(i64::from((0..a.lanes()).any(|i| a.lane(i).as_bool()))),
         "all" => Value::int(i64::from((0..a.lanes()).all(|i| a.lane(i).as_bool()))),
         "select" => {
             let lanes = a.lanes().max(b.lanes()).max(c.lanes());
-            let f = |i: usize| if c.lane(i).as_bool() { b.lane(i) } else { a.lane(i) };
+            let f = |i: usize| {
+                if c.lane(i).as_bool() {
+                    b.lane(i)
+                } else {
+                    a.lane(i)
+                }
+            };
             if lanes == 1 {
                 Value::Scalar(f(0))
             } else {
@@ -1482,7 +1659,9 @@ fn apply_math(name: &str, args: &[Value]) -> Value {
             let len = acc.sqrt().max(1e-30);
             map_unary(&a, |s| Scalar::F(s.as_f64() / len))
         }
-        "ldexp" => map_binary(&a, &b, |x, y| Scalar::F(x.as_f64() * 2f64.powi(y.as_i64() as i32))),
+        "ldexp" => map_binary(&a, &b, |x, y| {
+            Scalar::F(x.as_f64() * 2f64.powi(y.as_i64() as i32))
+        }),
         "hypot" => map_binary(&a, &b, |x, y| Scalar::F(x.as_f64().hypot(y.as_f64()))),
         "copysign" => map_binary(&a, &b, |x, y| Scalar::F(x.as_f64().copysign(y.as_f64()))),
         "nextafter" => a,
@@ -1505,7 +1684,10 @@ fn component_lane(member: &str) -> usize {
         "lo" | "even" => 0,
         "hi" | "odd" => 1,
         _ => {
-            if let Some(rest) = member.strip_prefix('s').or_else(|| member.strip_prefix('S')) {
+            if let Some(rest) = member
+                .strip_prefix('s')
+                .or_else(|| member.strip_prefix('S'))
+            {
                 usize::from_str_radix(rest, 16).unwrap_or(0)
             } else {
                 0
@@ -1527,7 +1709,8 @@ mod tests {
     ) -> LaunchResult {
         let parsed = parse(src);
         assert!(parsed.is_ok(), "{}", parsed.diagnostics);
-        execute(&parsed.unit, kernel, args, ndrange, &ExecLimits::default()).expect("execution failed")
+        execute(&parsed.unit, kernel, args, ndrange, &ExecLimits::default())
+            .expect("execution failed")
     }
 
     fn float_buffer(values: &[f64]) -> Buffer {
@@ -1539,7 +1722,9 @@ mod tests {
     }
 
     fn buffer_values(b: &Buffer) -> Vec<f64> {
-        (0..b.elements()).map(|i| b.load(i as i64).as_scalar().as_f64()).collect()
+        (0..b.elements())
+            .map(|i| b.load(i as i64).as_scalar().as_f64())
+            .collect()
     }
 
     #[test]
@@ -1563,8 +1748,13 @@ mod tests {
             ],
             NDRange::linear(n, 4),
         );
-        let ArgBinding::GlobalBuffer(c_out) = &result.args[2] else { panic!() };
-        assert_eq!(buffer_values(c_out), vec![11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0]);
+        let ArgBinding::GlobalBuffer(c_out) = &result.args[2] else {
+            panic!()
+        };
+        assert_eq!(
+            buffer_values(c_out),
+            vec![11.0, 12.0, 13.0, 14.0, 15.0, 16.0, 17.0, 18.0]
+        );
         assert_eq!(result.counts.work_items_executed, 8);
         assert!(result.counts.global_loads >= 16);
         assert!(result.counts.global_stores >= 8);
@@ -1581,10 +1771,15 @@ mod tests {
         let result = run_kernel(
             src,
             "A",
-            vec![ArgBinding::GlobalBuffer(a), ArgBinding::Scalar(Scalar::I(2))],
+            vec![
+                ArgBinding::GlobalBuffer(a),
+                ArgBinding::Scalar(Scalar::I(2)),
+            ],
             NDRange::linear(4, 2),
         );
-        let ArgBinding::GlobalBuffer(out) = &result.args[0] else { panic!() };
+        let ArgBinding::GlobalBuffer(out) = &result.args[0] else {
+            panic!()
+        };
         assert_eq!(buffer_values(out), vec![1.0, 1.0, 0.0, 0.0]);
     }
 
@@ -1607,7 +1802,9 @@ mod tests {
             ],
             NDRange::linear(2, 2),
         );
-        let ArgBinding::GlobalBuffer(out) = &result.args[1] else { panic!() };
+        let ArgBinding::GlobalBuffer(out) = &result.args[1] else {
+            panic!()
+        };
         assert_eq!(buffer_values(out), vec![8.0, 15.0]);
     }
 
@@ -1637,7 +1834,9 @@ mod tests {
             ],
             NDRange::two_d(2, 2, 2, 2),
         );
-        let ArgBinding::GlobalBuffer(out) = &result.args[2] else { panic!() };
+        let ArgBinding::GlobalBuffer(out) = &result.args[2] else {
+            panic!()
+        };
         assert_eq!(buffer_values(out), vec![19.0, 22.0, 43.0, 50.0]);
     }
 
@@ -1663,7 +1862,9 @@ mod tests {
             ],
             NDRange::linear(4, 2),
         );
-        let ArgBinding::GlobalBuffer(out) = &result.args[1] else { panic!() };
+        let ArgBinding::GlobalBuffer(out) = &result.args[1] else {
+            panic!()
+        };
         assert_eq!(buffer_values(out), vec![2.0, 4.0, 6.0, 8.0]);
         assert_eq!(result.counts.barriers, 4);
         assert!(result.counts.local_accesses >= 8);
@@ -1690,7 +1891,9 @@ mod tests {
             ],
             NDRange::linear(8, 4),
         );
-        let ArgBinding::GlobalBuffer(out) = &result.args[1] else { panic!() };
+        let ArgBinding::GlobalBuffer(out) = &result.args[1] else {
+            panic!()
+        };
         let values: Vec<i64> = (0..4).map(|i| out.load(i).as_scalar().as_i64()).collect();
         assert_eq!(values, vec![3, 2, 2, 1]);
     }
@@ -1705,8 +1908,24 @@ mod tests {
             }
         }";
         let mut a = Buffer::zeroed(ScalarType::Float, 4, 2, BufferSpace::Global);
-        a.store(0, &Value::Vector(vec![Scalar::F(1.0), Scalar::F(2.0), Scalar::F(3.0), Scalar::F(4.0)]));
-        a.store(1, &Value::Vector(vec![Scalar::F(5.0), Scalar::F(6.0), Scalar::F(7.0), Scalar::F(8.0)]));
+        a.store(
+            0,
+            &Value::Vector(vec![
+                Scalar::F(1.0),
+                Scalar::F(2.0),
+                Scalar::F(3.0),
+                Scalar::F(4.0),
+            ]),
+        );
+        a.store(
+            1,
+            &Value::Vector(vec![
+                Scalar::F(5.0),
+                Scalar::F(6.0),
+                Scalar::F(7.0),
+                Scalar::F(8.0),
+            ]),
+        );
         let out = float_buffer(&[0.0; 2]);
         let result = run_kernel(
             src,
@@ -1718,7 +1937,9 @@ mod tests {
             ],
             NDRange::linear(2, 2),
         );
-        let ArgBinding::GlobalBuffer(o) = &result.args[1] else { panic!() };
+        let ArgBinding::GlobalBuffer(o) = &result.args[1] else {
+            panic!()
+        };
         assert_eq!(buffer_values(o), vec![10.0, 26.0]);
     }
 
@@ -1732,10 +1953,15 @@ mod tests {
         let result = run_kernel(
             src,
             "A",
-            vec![ArgBinding::GlobalBuffer(a), ArgBinding::Scalar(Scalar::I(2))],
+            vec![
+                ArgBinding::GlobalBuffer(a),
+                ArgBinding::Scalar(Scalar::I(2)),
+            ],
             NDRange::linear(2, 2),
         );
-        let ArgBinding::GlobalBuffer(out) = &result.args[0] else { panic!() };
+        let ArgBinding::GlobalBuffer(out) = &result.args[0] else {
+            panic!()
+        };
         let v = buffer_values(out);
         assert!((v[0] - (2.0 + 4.0 + 1.0)).abs() < 1e-6);
         assert!((v[1] - (3.0 + 0.0 + 0.0)).abs() < 1e-6);
@@ -1751,7 +1977,10 @@ mod tests {
         }";
         let parsed = parse(src);
         let a = Buffer::zeroed(ScalarType::Int, 1, 1, BufferSpace::Global);
-        let limits = ExecLimits { steps_per_work_item: 10_000, max_work_items: 0 };
+        let limits = ExecLimits {
+            steps_per_work_item: 10_000,
+            max_work_items: 0,
+        };
         let result = execute(
             &parsed.unit,
             "A",
@@ -1767,7 +1996,10 @@ mod tests {
         let src = "__kernel void A(__global float* a) { a[get_global_id(0)] = 1.0f; }";
         let a = float_buffer(&[0.0; 64]);
         let parsed = parse(src);
-        let limits = ExecLimits { steps_per_work_item: 10_000, max_work_items: 8 };
+        let limits = ExecLimits {
+            steps_per_work_item: 10_000,
+            max_work_items: 8,
+        };
         let result = execute(
             &parsed.unit,
             "A",
@@ -1783,9 +2015,21 @@ mod tests {
     #[test]
     fn missing_kernel_and_bad_args_error() {
         let parsed = parse("__kernel void A(__global int* a) { a[0] = 1; }");
-        let err = execute(&parsed.unit, "B", vec![], NDRange::linear(1, 1), &ExecLimits::default());
+        let err = execute(
+            &parsed.unit,
+            "B",
+            vec![],
+            NDRange::linear(1, 1),
+            &ExecLimits::default(),
+        );
         assert!(matches!(err.unwrap_err(), ExecError::MissingKernel(_)));
-        let err = execute(&parsed.unit, "A", vec![], NDRange::linear(1, 1), &ExecLimits::default());
+        let err = execute(
+            &parsed.unit,
+            "A",
+            vec![],
+            NDRange::linear(1, 1),
+            &ExecLimits::default(),
+        );
         assert!(matches!(err.unwrap_err(), ExecError::ArgumentMismatch(_)));
     }
 
@@ -1799,7 +2043,10 @@ mod tests {
         let result = run_kernel(
             src,
             "A",
-            vec![ArgBinding::GlobalBuffer(a), ArgBinding::Scalar(Scalar::I(100))],
+            vec![
+                ArgBinding::GlobalBuffer(a),
+                ArgBinding::Scalar(Scalar::I(100)),
+            ],
             NDRange::linear(4, 4),
         );
         assert!(result.counts.out_of_bounds > 0);
@@ -1831,7 +2078,9 @@ mod tests {
             ],
             NDRange::linear(8, 4),
         );
-        let ArgBinding::GlobalBuffer(out) = &result.args[1] else { panic!() };
+        let ArgBinding::GlobalBuffer(out) = &result.args[1] else {
+            panic!()
+        };
         let v = buffer_values(out);
         // Sequential work-item execution does not reproduce the true barrier
         // semantics of the tree reduction, but the kernel must still run,

@@ -29,7 +29,11 @@ pub struct PayloadOptions {
 
 impl Default for PayloadOptions {
     fn default() -> Self {
-        PayloadOptions { global_size: 1024, local_size: 64, seed: 0xDA7A }
+        PayloadOptions {
+            global_size: 1024,
+            local_size: 64,
+            seed: 0xDA7A,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ impl std::error::Error for PayloadError {}
 ///
 /// Returns [`PayloadError::UnsupportedArgument`] for struct/image/unknown
 /// argument types.
-pub fn generate_payload(sig: &KernelSignature, options: &PayloadOptions) -> Result<Payload, PayloadError> {
+pub fn generate_payload(
+    sig: &KernelSignature,
+    options: &PayloadOptions,
+) -> Result<Payload, PayloadError> {
     let mut rng = StdRng::seed_from_u64(options.seed);
     let sg = options.global_size.max(1);
     let mut args = Vec::with_capacity(sig.args.len());
@@ -89,7 +96,11 @@ pub fn generate_payload(sig: &KernelSignature, options: &PayloadOptions) -> Resu
     let mut from_device = 0usize;
     for arg in &sig.args {
         match &arg.ty {
-            Type::Pointer { pointee, address_space, .. } => {
+            Type::Pointer {
+                pointee,
+                address_space,
+                ..
+            } => {
                 let elem = pointee.element_scalar().ok_or_else(|| {
                     PayloadError::UnsupportedArgument(format!("{}: {}", arg.name, arg.ty))
                 })?;
@@ -132,11 +143,19 @@ pub fn generate_payload(sig: &KernelSignature, options: &PayloadOptions) -> Resu
                 args.push(ArgBinding::Scalar(value));
             }
             other => {
-                return Err(PayloadError::UnsupportedArgument(format!("{}: {}", arg.name, other)));
+                return Err(PayloadError::UnsupportedArgument(format!(
+                    "{}: {}",
+                    arg.name, other
+                )));
             }
         }
     }
-    Ok(Payload { args, bytes_to_device: to_device, bytes_from_device: from_device, global_size: sg })
+    Ok(Payload {
+        args,
+        bytes_to_device: to_device,
+        bytes_from_device: from_device,
+        global_size: sg,
+    })
 }
 
 /// Generate two payloads that differ only in their random buffer contents
@@ -159,7 +178,12 @@ pub fn estimated_transfer_bytes(sig: &KernelSignature, global_size: usize) -> (u
     let mut to_device = 0usize;
     let mut from_device = 0usize;
     for arg in &sig.args {
-        if let Type::Pointer { pointee, address_space, .. } = &arg.ty {
+        if let Type::Pointer {
+            pointee,
+            address_space,
+            ..
+        } = &arg.ty
+        {
             if *address_space == cl_frontend::ast::AddressSpace::Local {
                 continue;
             }
@@ -202,7 +226,11 @@ mod tests {
         let sig = signature(
             "__kernel void A(__global float* a, __local float* tmp, const int n, const float alpha) { a[0] = alpha + n + tmp[0]; }",
         );
-        let options = PayloadOptions { global_size: 256, local_size: 32, seed: 1 };
+        let options = PayloadOptions {
+            global_size: 256,
+            local_size: 32,
+            seed: 1,
+        };
         let p = generate_payload(&sig, &options).unwrap();
         assert_eq!(p.args.len(), 4);
         match &p.args[0] {
@@ -219,7 +247,15 @@ mod tests {
         let sig = signature(
             "__kernel void A(__global float* out, __constant float* coeff, const int n) { out[0] = coeff[0] + n; }",
         );
-        let p = generate_payload(&sig, &PayloadOptions { global_size: 128, local_size: 16, seed: 2 }).unwrap();
+        let p = generate_payload(
+            &sig,
+            &PayloadOptions {
+                global_size: 128,
+                local_size: 16,
+                seed: 2,
+            },
+        )
+        .unwrap();
         // both buffers go to the device, only the non-const one comes back
         assert_eq!(p.bytes_to_device, 2 * 128 * 4);
         assert_eq!(p.bytes_from_device, 128 * 4);
@@ -229,7 +265,15 @@ mod tests {
     #[test]
     fn vector_buffers_sized_by_lanes() {
         let sig = signature("__kernel void A(__global float4* a) { a[0] = a[1]; }");
-        let p = generate_payload(&sig, &PayloadOptions { global_size: 64, local_size: 16, seed: 3 }).unwrap();
+        let p = generate_payload(
+            &sig,
+            &PayloadOptions {
+                global_size: 64,
+                local_size: 16,
+                seed: 3,
+            },
+        )
+        .unwrap();
         match &p.args[0] {
             ArgBinding::GlobalBuffer(b) => {
                 assert_eq!(b.elements(), 64);
@@ -253,19 +297,40 @@ mod tests {
         let sig = signature("__kernel void A(__global float* a, const int n) { a[0] = n; }");
         let (a, b) = generate_payload_pair(&sig, &PayloadOptions::default()).unwrap();
         assert_eq!(a.args.len(), b.args.len());
-        let (ArgBinding::GlobalBuffer(ba), ArgBinding::GlobalBuffer(bb)) = (&a.args[0], &b.args[0]) else {
+        let (ArgBinding::GlobalBuffer(ba), ArgBinding::GlobalBuffer(bb)) = (&a.args[0], &b.args[0])
+        else {
             panic!()
         };
         assert_eq!(ba.elements(), bb.elements());
-        assert!(ba.differs_from(bb, 1e-12), "payload pair should have different contents");
+        assert!(
+            ba.differs_from(bb, 1e-12),
+            "payload pair should have different contents"
+        );
     }
 
     #[test]
     fn payloads_are_deterministic_per_seed() {
         let sig = signature("__kernel void A(__global float* a) { a[0] = 1.0f; }");
-        let p1 = generate_payload(&sig, &PayloadOptions { global_size: 32, local_size: 8, seed: 9 }).unwrap();
-        let p2 = generate_payload(&sig, &PayloadOptions { global_size: 32, local_size: 8, seed: 9 }).unwrap();
-        let (ArgBinding::GlobalBuffer(a), ArgBinding::GlobalBuffer(b)) = (&p1.args[0], &p2.args[0]) else {
+        let p1 = generate_payload(
+            &sig,
+            &PayloadOptions {
+                global_size: 32,
+                local_size: 8,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        let p2 = generate_payload(
+            &sig,
+            &PayloadOptions {
+                global_size: 32,
+                local_size: 8,
+                seed: 9,
+            },
+        )
+        .unwrap();
+        let (ArgBinding::GlobalBuffer(a), ArgBinding::GlobalBuffer(b)) = (&p1.args[0], &p2.args[0])
+        else {
             panic!()
         };
         assert!(!a.differs_from(b, 0.0));

@@ -174,16 +174,17 @@ pub struct Buffer {
 impl Buffer {
     /// Allocate a zero-filled buffer of `elements` elements.
     pub fn zeroed(elem: ScalarType, lanes: usize, elements: usize, space: BufferSpace) -> Buffer {
-        Buffer { elem, lanes, space, data: vec![Scalar::zero_of(elem); elements * lanes] }
+        Buffer {
+            elem,
+            lanes,
+            space,
+            data: vec![Scalar::zero_of(elem); elements * lanes],
+        }
     }
 
     /// Number of elements (not scalars).
     pub fn elements(&self) -> usize {
-        if self.lanes == 0 {
-            0
-        } else {
-            self.data.len() / self.lanes
-        }
+        self.data.len().checked_div(self.lanes).unwrap_or(0)
     }
 
     /// Size in bytes (as the host driver would allocate it).
@@ -253,7 +254,10 @@ impl Buffer {
         if self.data.len() != other.data.len() {
             return true;
         }
-        self.data.iter().zip(other.data.iter()).any(|(a, b)| !a.approx_eq(*b, epsilon))
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .any(|(a, b)| !a.approx_eq(*b, epsilon))
     }
 }
 
@@ -291,7 +295,12 @@ mod tests {
     #[test]
     fn buffer_load_store_vector() {
         let mut buf = Buffer::zeroed(ScalarType::Float, 4, 3, BufferSpace::Global);
-        let v = Value::Vector(vec![Scalar::F(1.0), Scalar::F(2.0), Scalar::F(3.0), Scalar::F(4.0)]);
+        let v = Value::Vector(vec![
+            Scalar::F(1.0),
+            Scalar::F(2.0),
+            Scalar::F(3.0),
+            Scalar::F(4.0),
+        ]);
         buf.store(1, &v);
         assert_eq!(buf.load(1), v);
         assert_eq!(buf.load_lane(1, 2), Scalar::F(3.0));

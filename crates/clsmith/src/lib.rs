@@ -31,7 +31,11 @@ pub struct ClsmithConfig {
 
 impl Default for ClsmithConfig {
     fn default() -> Self {
-        ClsmithConfig { num_variables: 8, num_statements: 12, max_expr_depth: 4 }
+        ClsmithConfig {
+            num_variables: 8,
+            num_statements: 12,
+            max_expr_depth: 4,
+        }
     }
 }
 
@@ -53,7 +57,7 @@ pub fn generate_kernel(seed: u64, config: &ClsmithConfig) -> ClsmithKernel {
     let mut vars = Vec::new();
     for i in 0..config.num_variables {
         let name = format!("g_{i}");
-        let ty = ["int", "uint", "long", "ulong"][rng.gen_range(0..4)];
+        let ty = ["int", "uint", "long", "ulong"][rng.gen_range(0..4usize)];
         let init = rng.gen_range(-128i64..128);
         body.push_str(&format!("  {ty} {name} = {init};\n"));
         vars.push(name);
@@ -88,7 +92,9 @@ pub fn generate_kernel(seed: u64, config: &ClsmithConfig) -> ClsmithKernel {
 
 /// Generate a population of kernels with consecutive seeds.
 pub fn generate_population(seed: u64, count: usize, config: &ClsmithConfig) -> Vec<ClsmithKernel> {
-    (0..count as u64).map(|i| generate_kernel(seed.wrapping_add(i), config)).collect()
+    (0..count as u64)
+        .map(|i| generate_kernel(seed.wrapping_add(i), config))
+        .collect()
 }
 
 fn gen_expr(rng: &mut StdRng, vars: &[String], depth: usize) -> String {
@@ -124,7 +130,12 @@ mod tests {
         for seed in 0..25 {
             let k = generate_kernel(seed, &ClsmithConfig::default());
             let r = compile(&k.source, &CompileOptions::default());
-            assert!(r.is_ok(), "seed {seed} failed:\n{}\n{}", k.source, r.diagnostics);
+            assert!(
+                r.is_ok(),
+                "seed {seed} failed:\n{}\n{}",
+                k.source,
+                r.diagnostics
+            );
             assert_eq!(r.kernels.len(), 1);
             assert!(r.kernel_counts[0].1.instructions >= 3);
         }
@@ -134,7 +145,9 @@ mod tests {
     fn kernels_have_clsmith_tells() {
         let k = generate_kernel(7, &ClsmithConfig::default());
         // single ulong* result argument — the "tell" the paper's judges used
-        assert!(k.source.contains("__kernel void entry(__global ulong* result)"));
+        assert!(k
+            .source
+            .contains("__kernel void entry(__global ulong* result)"));
         assert!(k.source.contains("crc"));
     }
 
@@ -152,8 +165,22 @@ mod tests {
 
     #[test]
     fn config_scales_size() {
-        let small = generate_kernel(1, &ClsmithConfig { num_variables: 2, num_statements: 2, max_expr_depth: 2 });
-        let large = generate_kernel(1, &ClsmithConfig { num_variables: 20, num_statements: 40, max_expr_depth: 5 });
+        let small = generate_kernel(
+            1,
+            &ClsmithConfig {
+                num_variables: 2,
+                num_statements: 2,
+                max_expr_depth: 2,
+            },
+        );
+        let large = generate_kernel(
+            1,
+            &ClsmithConfig {
+                num_variables: 20,
+                num_statements: 40,
+                max_expr_depth: 5,
+            },
+        );
         assert!(large.source.len() > small.source.len() * 3);
     }
 }

@@ -32,8 +32,11 @@ pub mod sampler;
 pub mod spec;
 pub mod synthesizer;
 
-pub use sampler::{sample_kernel, SampleOptions, SampledCandidate, StopReason};
+pub use sampler::{
+    sample_kernel, sample_kernels_batched, SampleOptions, SampledCandidate, StopReason,
+};
 pub use spec::{ArgSpec, ArgumentSpec};
 pub use synthesizer::{
     Clgen, ClgenOptions, ModelBackend, SynthesisReport, SynthesisStats, SynthesizedKernel,
+    MAX_SAMPLE_LANES,
 };

@@ -6,8 +6,9 @@
 //! reached or a maximum length is exceeded.
 
 use clgen_corpus::Vocabulary;
-use clgen_neural::{sample_distribution, LanguageModel};
+use clgen_neural::{sample_distribution_with, LanguageModel, StreamBatch};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Sampling parameters ("synthesis parameters" in Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,7 +21,10 @@ pub struct SampleOptions {
 
 impl Default for SampleOptions {
     fn default() -> Self {
-        SampleOptions { max_chars: 2048, temperature: 0.9 }
+        SampleOptions {
+            max_chars: 2048,
+            temperature: 0.9,
+        }
     }
 }
 
@@ -73,9 +77,10 @@ pub fn sample_kernel(
     }
     let mut generated = 0usize;
     let mut stop = StopReason::MaxLength;
+    let mut weights = Vec::new();
     while generated < options.max_chars {
         let probs = model.predict();
-        let id = sample_distribution(&probs, options.temperature, rng);
+        let id = sample_distribution_with(&probs, options.temperature, rng, &mut weights);
         let c = vocab.decode_char(id);
         model.feed(id);
         text.push(c);
@@ -92,7 +97,185 @@ pub fn sample_kernel(
             _ => {}
         }
     }
-    SampledCandidate { text, stop, generated_chars: generated }
+    SampledCandidate {
+        text,
+        stop,
+        generated_chars: generated,
+    }
+}
+
+/// Book-keeping for one candidate being sampled by the batched sampler.
+struct CandidateRun {
+    /// Index into `stream_seeds` / the result vector.
+    index: usize,
+    text: String,
+    depth: i32,
+    generated: usize,
+    /// Characters of the seed prefix still to be fed to the model.
+    seed_cursor: usize,
+    rng: StdRng,
+}
+
+/// Sample one candidate kernel per entry of `stream_seeds`, advancing up to
+/// `streams.num_streams()` candidates in lock-step through the model's
+/// batched path (Algorithm 1, multi-stream, with continuous batching).
+///
+/// Candidate `i` draws its characters from
+/// `StdRng::seed_from_u64(stream_seeds[i])`. There may be more candidates
+/// than streams: each stream is a *lane*, and the moment a lane's candidate
+/// finishes, the lane is reset and refilled with the next pending candidate
+/// (continuous batching), so the batch stays at full width — and the GEMM at
+/// full lane count — until the work runs out. A refilled lane feeds its seed
+/// prefix in the same batched rounds in which other lanes generate.
+///
+/// Determinism guarantee: the result is **byte-identical** to
+/// `stream_seeds.len()` serial [`sample_kernel`] calls over the same model,
+/// each with a fresh model state and the corresponding candidate RNG —
+/// batching and lane scheduling change throughput, never output. (For
+/// [`LstmStreams`] this rests on the batched GEMM's bitwise equivalence to
+/// serial matrix-vector products; see `clgen_neural::tensor`.)
+///
+/// [`LstmStreams`]: clgen_neural::LstmStreams
+///
+/// # Panics
+///
+/// Panics if `streams` has no lanes.
+pub fn sample_kernels_batched(
+    streams: &mut dyn StreamBatch,
+    vocab: &Vocabulary,
+    seed: &str,
+    options: &SampleOptions,
+    stream_seeds: &[u64],
+) -> Vec<SampledCandidate> {
+    let total = stream_seeds.len();
+    let lanes = streams.num_streams();
+    assert!(lanes > 0, "need at least one sample stream");
+    streams.reset();
+
+    let seed_ids: Vec<u32> = seed.chars().map(|c| vocab.encode_char(c)).collect();
+    let seed_chars: Vec<char> = seed.chars().collect();
+
+    let mut results: Vec<Option<SampledCandidate>> = (0..total).map(|_| None).collect();
+    let mut next_candidate = 0usize;
+    let mut active: Vec<Option<CandidateRun>> = (0..lanes).map(|_| None).collect();
+    let mut pairs: Vec<(usize, u32)> = Vec::with_capacity(lanes);
+    let mut probs = Vec::new();
+    let mut weights = Vec::new();
+
+    // Take the next pending candidate, completing zero-budget ones inline.
+    let start_next = |streams: &mut dyn StreamBatch,
+                      lane: usize,
+                      results: &mut Vec<Option<SampledCandidate>>,
+                      next_candidate: &mut usize|
+     -> Option<CandidateRun> {
+        loop {
+            if *next_candidate >= total {
+                return None;
+            }
+            let index = *next_candidate;
+            *next_candidate += 1;
+            if options.max_chars == 0 {
+                // Serial sampling would feed the seed and then stop at once;
+                // the fed characters influence nothing observable.
+                results[index] = Some(SampledCandidate {
+                    text: seed.to_string(),
+                    stop: StopReason::MaxLength,
+                    generated_chars: 0,
+                });
+                continue;
+            }
+            streams.reset_stream(lane);
+            let mut text = String::with_capacity(seed.len() + options.max_chars);
+            text.push_str(seed);
+            return Some(CandidateRun {
+                index,
+                text,
+                depth: 0,
+                generated: 0,
+                seed_cursor: 0,
+                rng: StdRng::seed_from_u64(stream_seeds[index]),
+            });
+        }
+    };
+
+    for (lane, slot) in active.iter_mut().enumerate() {
+        *slot = start_next(streams, lane, &mut results, &mut next_candidate);
+    }
+
+    loop {
+        pairs.clear();
+        for (lane, slot) in active.iter_mut().enumerate() {
+            while let Some(run) = slot.as_mut() {
+                // Seed phase: feed the common prefix, one character per
+                // round, tracking its brace depth.
+                if run.seed_cursor < seed_ids.len() {
+                    let id = seed_ids[run.seed_cursor];
+                    match seed_chars[run.seed_cursor] {
+                        '{' => run.depth += 1,
+                        '}' => run.depth -= 1,
+                        _ => {}
+                    }
+                    run.seed_cursor += 1;
+                    pairs.push((lane, id));
+                    break;
+                }
+                // Generate phase: draw from the lane's current distribution.
+                streams.probs_into(lane, &mut probs);
+                let id = sample_distribution_with(
+                    &probs,
+                    options.temperature,
+                    &mut run.rng,
+                    &mut weights,
+                );
+                let c = vocab.decode_char(id);
+                run.text.push(c);
+                run.generated += 1;
+                let mut stop = None;
+                match c {
+                    '{' => run.depth += 1,
+                    '}' => {
+                        run.depth -= 1;
+                        if run.depth <= 0 {
+                            stop = Some(StopReason::ClosedKernel);
+                        }
+                    }
+                    _ => {}
+                }
+                if stop.is_none() && run.generated >= options.max_chars {
+                    stop = Some(StopReason::MaxLength);
+                }
+                match stop {
+                    None => {
+                        pairs.push((lane, id));
+                        break;
+                    }
+                    Some(stop) => {
+                        // The final character is not fed: serial sampling
+                        // feeds it and immediately stops, so it never
+                        // influences output. Recycle the lane.
+                        let run = slot.take().expect("lane was active");
+                        results[run.index] = Some(SampledCandidate {
+                            text: run.text,
+                            stop,
+                            generated_chars: run.generated,
+                        });
+                        *slot = start_next(streams, lane, &mut results, &mut next_candidate);
+                        // Loop: the fresh candidate begins its seed phase in
+                        // this same round.
+                    }
+                }
+            }
+        }
+        if pairs.is_empty() {
+            break;
+        }
+        streams.feed_many(&pairs);
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every candidate completes before the sampler returns"))
+        .collect()
 }
 
 /// Sample a batch of candidates, re-seeding each one.
@@ -104,7 +287,9 @@ pub fn sample_batch(
     count: usize,
     rng: &mut StdRng,
 ) -> Vec<SampledCandidate> {
-    (0..count).map(|_| sample_kernel(model, vocab, seed, options, rng)).collect()
+    (0..count)
+        .map(|_| sample_kernel(model, vocab, seed, options, rng))
+        .collect()
 }
 
 #[cfg(test)]
@@ -122,7 +307,11 @@ mod tests {
 
     impl ScriptedModel {
         fn new(vocab: &Vocabulary, script: &str) -> ScriptedModel {
-            ScriptedModel { vocab: vocab.clone(), script: script.chars().collect(), pos: 0 }
+            ScriptedModel {
+                vocab: vocab.clone(),
+                script: script.chars().collect(),
+                pos: 0,
+            }
         }
     }
 
@@ -136,7 +325,11 @@ mod tests {
         fn feed(&mut self, _id: u32) {}
         fn predict(&self) -> Vec<f32> {
             let mut dist = vec![0.0f32; self.vocab.len()];
-            let c = self.script.get(self.pos.min(self.script.len() - 1)).copied().unwrap_or('}');
+            let c = self
+                .script
+                .get(self.pos.min(self.script.len() - 1))
+                .copied()
+                .unwrap_or('}');
             dist[self.vocab.encode_char(c) as usize] = 1.0;
             dist
         }
@@ -182,7 +375,13 @@ mod tests {
             fed: 0,
         };
         let mut rng = StdRng::seed_from_u64(0);
-        let out = sample_kernel(&mut model, &vocab, seed, &SampleOptions::default(), &mut rng);
+        let out = sample_kernel(
+            &mut model,
+            &vocab,
+            seed,
+            &SampleOptions::default(),
+            &mut rng,
+        );
         assert_eq!(out.stop, StopReason::ClosedKernel);
         assert!(out.text.ends_with('}'), "{}", out.text);
         assert!(!out.text.contains("extra text"));
@@ -202,7 +401,10 @@ mod tests {
             fed: 0,
         };
         let mut rng = StdRng::seed_from_u64(0);
-        let options = SampleOptions { max_chars: 40, temperature: 1.0 };
+        let options = SampleOptions {
+            max_chars: 40,
+            temperature: 1.0,
+        };
         let out = sample_kernel(&mut model, &vocab, seed, &options, &mut rng);
         assert_eq!(out.stop, StopReason::MaxLength);
         assert_eq!(out.generated_chars, 40);
@@ -219,7 +421,14 @@ mod tests {
             fed: 0,
         };
         let mut rng = StdRng::seed_from_u64(0);
-        let batch = sample_batch(&mut model, &vocab, seed, &SampleOptions::default(), 5, &mut rng);
+        let batch = sample_batch(
+            &mut model,
+            &vocab,
+            seed,
+            &SampleOptions::default(),
+            5,
+            &mut rng,
+        );
         assert_eq!(batch.len(), 5);
     }
 }

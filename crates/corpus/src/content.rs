@@ -44,8 +44,16 @@ pub struct ContentFile {
 
 impl ContentFile {
     /// Construct a content file.
-    pub fn new(repository: impl Into<String>, path: impl Into<String>, text: impl Into<String>) -> Self {
-        ContentFile { repository: repository.into(), path: path.into(), text: text.into() }
+    pub fn new(
+        repository: impl Into<String>,
+        path: impl Into<String>,
+        text: impl Into<String>,
+    ) -> Self {
+        ContentFile {
+            repository: repository.into(),
+            path: path.into(),
+            text: text.into(),
+        }
     }
 
     /// Number of lines in the file.
@@ -81,6 +89,9 @@ mod tests {
     #[test]
     fn reject_reason_display() {
         assert_eq!(RejectReason::NoKernel.to_string(), "no kernel function");
-        assert_eq!(RejectReason::UndeclaredIdentifiers.to_string(), "undeclared identifiers");
+        assert_eq!(
+            RejectReason::UndeclaredIdentifiers.to_string(),
+            "undeclared identifiers"
+        );
     }
 }

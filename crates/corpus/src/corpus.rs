@@ -123,12 +123,19 @@ impl Corpus {
         }
 
         let undeclared_stats = no_shim_stats.as_ref().unwrap_or(&filter_stats);
-        let mut undeclared_counts: Vec<usize> =
-            undeclared_stats.undeclared_identifiers.values().copied().collect();
+        let mut undeclared_counts: Vec<usize> = undeclared_stats
+            .undeclared_identifiers
+            .values()
+            .copied()
+            .collect();
         undeclared_counts.sort_unstable_by(|a, b| b.cmp(a));
         let total_undeclared: usize = undeclared_counts.iter().sum();
         let top60: usize = undeclared_counts.iter().take(60).sum();
-        let top60_coverage = if total_undeclared == 0 { 0.0 } else { top60 as f64 / total_undeclared as f64 };
+        let top60_coverage = if total_undeclared == 0 {
+            0.0
+        } else {
+            top60 as f64 / total_undeclared as f64
+        };
 
         let stats = CorpusStats {
             repositories: mining.repositories,
@@ -210,7 +217,10 @@ mod tests {
         assert!(corpus.stats.corpus_lines > 0);
         // every corpus kernel is standalone-compilable
         for src in corpus.sources() {
-            assert!(cl_frontend::parse_and_check(src).is_ok(), "not self contained:\n{src}");
+            assert!(
+                cl_frontend::parse_and_check(src).is_ok(),
+                "not self contained:\n{src}"
+            );
         }
     }
 
@@ -240,7 +250,9 @@ mod tests {
         options.miner.repositories = 30;
         options.measure_no_shim_ablation = true;
         let corpus = Corpus::build(&options);
-        assert!(corpus.stats.discard_rate_with_shim <= corpus.stats.discard_rate_without_shim + 1e-9);
+        assert!(
+            corpus.stats.discard_rate_with_shim <= corpus.stats.discard_rate_without_shim + 1e-9
+        );
         assert!(corpus.stats.discard_rate_without_shim.is_finite());
     }
 

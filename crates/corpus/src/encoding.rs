@@ -101,7 +101,7 @@ mod tests {
     fn unknown_characters_map_to_reserved_id() {
         let vocab = Vocabulary::from_text("abc");
         assert_eq!(vocab.encode_char('z'), UNKNOWN_ID);
-        assert_eq!(vocab.encode_char('a') != UNKNOWN_ID, true);
+        assert!(vocab.encode_char('a') != UNKNOWN_ID);
         assert!(!vocab.covers("xyz"));
     }
 

@@ -26,7 +26,10 @@ pub struct FilterConfig {
 
 impl Default for FilterConfig {
     fn default() -> Self {
-        FilterConfig { use_shim: true, min_instructions: 3 }
+        FilterConfig {
+            use_shim: true,
+            min_instructions: 3,
+        }
     }
 }
 
@@ -34,7 +37,10 @@ impl FilterConfig {
     /// Filter configuration without the shim header (for the ablation in the
     /// corpus statistics experiment).
     pub fn without_shim() -> Self {
-        FilterConfig { use_shim: false, min_instructions: 3 }
+        FilterConfig {
+            use_shim: false,
+            min_instructions: 3,
+        }
     }
 }
 
@@ -62,7 +68,10 @@ pub fn compile_options(config: &FilterConfig) -> CompileOptions {
     if config.use_shim {
         pp = pp.include(SHIM_INCLUDE_NAME, &shim_header());
     }
-    CompileOptions { preprocess: pp, extra_type_names: Vec::new() }
+    CompileOptions {
+        preprocess: pp,
+        extra_type_names: Vec::new(),
+    }
 }
 
 /// Run the rejection filter on a single source text.
@@ -91,7 +100,9 @@ fn decide(compile: &CompileResult, config: &FilterConfig) -> Result<(), RejectRe
     if compile.diagnostics.has_errors() {
         // Classify: if *all* error diagnostics are undeclared identifiers /
         // unknown types, the shim is the missing piece.
-        let undeclared = compile.diagnostics.count_kind(DiagnosticKind::UndeclaredIdentifier)
+        let undeclared = compile
+            .diagnostics
+            .count_kind(DiagnosticKind::UndeclaredIdentifier)
             + compile.diagnostics.count_kind(DiagnosticKind::UnknownType);
         let total_errors = compile.diagnostics.error_count();
         if undeclared > 0 && undeclared == total_errors {
@@ -143,8 +154,14 @@ impl FilterStats {
 }
 
 /// Run the rejection filter over a whole corpus and gather statistics.
-pub fn filter_corpus(files: &[ContentFile], config: &FilterConfig) -> (Vec<(ContentFile, FilterVerdict)>, FilterStats) {
-    let mut stats = FilterStats { total: files.len(), ..Default::default() };
+pub fn filter_corpus(
+    files: &[ContentFile],
+    config: &FilterConfig,
+) -> (Vec<(ContentFile, FilterVerdict)>, FilterStats) {
+    let mut stats = FilterStats {
+        total: files.len(),
+        ..Default::default()
+    };
     let mut results = Vec::with_capacity(files.len());
     for file in files {
         let verdict = filter_content_file(file, config);
@@ -156,7 +173,10 @@ pub fn filter_corpus(files: &[ContentFile], config: &FilterConfig) -> (Vec<(Cont
             Err(reason) => {
                 *stats.rejected.entry(reason).or_insert(0) += 1;
                 for name in verdict.compile.undeclared.keys() {
-                    *stats.undeclared_identifiers.entry(name.clone()).or_insert(0) += 1;
+                    *stats
+                        .undeclared_identifiers
+                        .entry(name.clone())
+                        .or_insert(0) += 1;
                 }
             }
         }
@@ -187,13 +207,19 @@ mod tests {
 
     #[test]
     fn rejects_no_kernel() {
-        let v = filter_source("inline float sq(float x) { return x * x; }", &FilterConfig::default());
+        let v = filter_source(
+            "inline float sq(float x) { return x * x; }",
+            &FilterConfig::default(),
+        );
         assert_eq!(v.decision, Err(RejectReason::NoKernel));
     }
 
     #[test]
     fn rejects_trivial_kernel() {
-        let v = filter_source("__kernel void A(__global float* a) { }", &FilterConfig::default());
+        let v = filter_source(
+            "__kernel void A(__global float* a) { }",
+            &FilterConfig::default(),
+        );
         assert_eq!(v.decision, Err(RejectReason::TooFewInstructions));
     }
 
@@ -220,7 +246,11 @@ mod tests {
         // qualitative shape on a moderately sized synthetic corpus: the shim
         // strictly reduces the discard rate and both rates are in a plausible
         // band around the paper's numbers.
-        let files = mine(&MinerConfig { repositories: 100, files_per_repo: (1, 4), seed: 77 });
+        let files = mine(&MinerConfig {
+            repositories: 100,
+            files_per_repo: (1, 4),
+            seed: 77,
+        });
         let (_, with_shim) = filter_corpus(&files, &FilterConfig::default());
         let (_, without_shim) = filter_corpus(&files, &FilterConfig::without_shim());
         assert!(
@@ -229,15 +259,25 @@ mod tests {
             with_shim.discard_rate(),
             without_shim.discard_rate()
         );
-        assert!(without_shim.discard_rate() > 0.25 && without_shim.discard_rate() < 0.55,
-            "without-shim discard rate {} out of expected band", without_shim.discard_rate());
-        assert!(with_shim.discard_rate() > 0.15 && with_shim.discard_rate() < 0.45,
-            "with-shim discard rate {} out of expected band", with_shim.discard_rate());
+        assert!(
+            without_shim.discard_rate() > 0.25 && without_shim.discard_rate() < 0.55,
+            "without-shim discard rate {} out of expected band",
+            without_shim.discard_rate()
+        );
+        assert!(
+            with_shim.discard_rate() > 0.15 && with_shim.discard_rate() < 0.45,
+            "with-shim discard rate {} out of expected band",
+            with_shim.discard_rate()
+        );
     }
 
     #[test]
     fn undeclared_identifier_statistics_collected() {
-        let files = mine(&MinerConfig { repositories: 80, files_per_repo: (2, 4), seed: 3 });
+        let files = mine(&MinerConfig {
+            repositories: 80,
+            files_per_repo: (2, 4),
+            seed: 3,
+        });
         let (_, stats) = filter_corpus(&files, &FilterConfig::without_shim());
         assert!(
             !stats.undeclared_identifiers.is_empty(),

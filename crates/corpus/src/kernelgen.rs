@@ -111,7 +111,11 @@ pub struct KernelGenConfig {
 
 impl Default for KernelGenConfig {
     fn default() -> Self {
-        KernelGenConfig { naming: NamingStyle::Snake, elem_type: "float", guard_probability: 0.7 }
+        KernelGenConfig {
+            naming: NamingStyle::Snake,
+            elem_type: "float",
+            guard_probability: 0.7,
+        }
     }
 }
 
@@ -160,7 +164,12 @@ pub fn generate_kernel_of(
         KernelFamily::Branchy => gen_branchy(rng, config, &mut namer, &name),
         KernelFamily::NBody => gen_nbody(rng, config, &mut namer, &name),
     };
-    GeneratedKernel { source, family, name, elem_type: config.elem_type }
+    GeneratedKernel {
+        source,
+        family,
+        name,
+        elem_type: config.elem_type,
+    }
 }
 
 /// Generate `count` kernels with default configuration variety (naming style
@@ -202,18 +211,68 @@ impl Namer {
             KernelFamily::Map => ["apply", "map", "transform", "update", "scale_array"],
             KernelFamily::Zip => ["combine", "vec_add", "elementwise", "blend", "mix_arrays"],
             KernelFamily::Saxpy => ["saxpy", "axpy", "fma_kernel", "scale_add", "daxpy"],
-            KernelFamily::Reduction => ["reduce", "sum_reduce", "block_reduce", "reduce_local", "fold"],
+            KernelFamily::Reduction => [
+                "reduce",
+                "sum_reduce",
+                "block_reduce",
+                "reduce_local",
+                "fold",
+            ],
             KernelFamily::Stencil1D => ["stencil", "blur1d", "smooth", "diffuse", "convolve1d"],
             KernelFamily::Stencil2D => ["stencil2d", "jacobi", "laplacian", "heat_step", "blur2d"],
-            KernelFamily::MatMul => ["matmul", "gemm", "mat_mult", "matrix_multiply", "sgemm_naive"],
-            KernelFamily::MatMulTiled => ["matmul_tiled", "gemm_local", "mm_shared", "block_gemm", "tiled_mm"],
-            KernelFamily::Transpose => ["transpose", "mat_transpose", "flip", "transpose_naive", "permute"],
-            KernelFamily::Histogram => ["histogram", "hist256", "bin_count", "count_values", "histo"],
-            KernelFamily::Scan => ["scan", "prefix_sum", "inclusive_scan", "cumsum", "scan_block"],
+            KernelFamily::MatMul => [
+                "matmul",
+                "gemm",
+                "mat_mult",
+                "matrix_multiply",
+                "sgemm_naive",
+            ],
+            KernelFamily::MatMulTiled => [
+                "matmul_tiled",
+                "gemm_local",
+                "mm_shared",
+                "block_gemm",
+                "tiled_mm",
+            ],
+            KernelFamily::Transpose => [
+                "transpose",
+                "mat_transpose",
+                "flip",
+                "transpose_naive",
+                "permute",
+            ],
+            KernelFamily::Histogram => {
+                ["histogram", "hist256", "bin_count", "count_values", "histo"]
+            }
+            KernelFamily::Scan => [
+                "scan",
+                "prefix_sum",
+                "inclusive_scan",
+                "cumsum",
+                "scan_block",
+            ],
             KernelFamily::DotProduct => ["dot", "dot_product", "inner_product", "sdot", "vdot"],
-            KernelFamily::Gather => ["gather", "permute_copy", "index_copy", "reorder", "scatter_read"],
-            KernelFamily::VectorOps => ["vec4_op", "simd_mul", "float4_add", "vec_math", "wide_update"],
-            KernelFamily::Branchy => ["classify", "threshold", "select_values", "clip", "filter_values"],
+            KernelFamily::Gather => [
+                "gather",
+                "permute_copy",
+                "index_copy",
+                "reorder",
+                "scatter_read",
+            ],
+            KernelFamily::VectorOps => [
+                "vec4_op",
+                "simd_mul",
+                "float4_add",
+                "vec_math",
+                "wide_update",
+            ],
+            KernelFamily::Branchy => [
+                "classify",
+                "threshold",
+                "select_values",
+                "clip",
+                "filter_values",
+            ],
             KernelFamily::NBody => ["nbody", "body_force", "accel_step", "gravity", "interact"],
         };
         let pick = base[rng.gen_range(0..base.len())];
@@ -318,7 +377,11 @@ impl Namer {
             }),
         }
         .chars()
-        .chain(if self.salt % 7 == 0 { Some('2') } else { None })
+        .chain(if self.salt.is_multiple_of(7) {
+            Some('2')
+        } else {
+            None
+        })
         .collect()
     }
 }
@@ -426,7 +489,12 @@ fn gen_saxpy(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name
     )
 }
 
-fn gen_reduction(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+fn gen_reduction(
+    rng: &mut StdRng,
+    config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
     let elem = config.elem_type;
     let input = namer.var("input");
     let output = namer.var("output");
@@ -445,8 +513,17 @@ fn gen_reduction(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, 
     )
 }
 
-fn gen_stencil1d(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
-    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+fn gen_stencil1d(
+    rng: &mut StdRng,
+    config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
+    let elem = if config.elem_type == "int" {
+        "float"
+    } else {
+        config.elem_type
+    };
     let input = namer.var("input");
     let output = namer.var("output");
     let count = namer.var("count");
@@ -457,8 +534,17 @@ fn gen_stencil1d(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, 
     )
 }
 
-fn gen_stencil2d(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
-    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+fn gen_stencil2d(
+    _rng: &mut StdRng,
+    config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
+    let elem = if config.elem_type == "int" {
+        "float"
+    } else {
+        config.elem_type
+    };
     let input = namer.var("input");
     let output = namer.var("output");
     let width = namer.var("width");
@@ -468,8 +554,17 @@ fn gen_stencil2d(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer,
     )
 }
 
-fn gen_matmul(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
-    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+fn gen_matmul(
+    _rng: &mut StdRng,
+    config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
+    let elem = if config.elem_type == "int" {
+        "float"
+    } else {
+        config.elem_type
+    };
     let a = namer.var("input");
     let b = namer.var("input2");
     let c = namer.var("output");
@@ -480,8 +575,17 @@ fn gen_matmul(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, na
     )
 }
 
-fn gen_matmul_tiled(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
-    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+fn gen_matmul_tiled(
+    _rng: &mut StdRng,
+    config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
+    let elem = if config.elem_type == "int" {
+        "float"
+    } else {
+        config.elem_type
+    };
     let a = namer.var("input");
     let b = namer.var("input2");
     let c = namer.var("output");
@@ -491,7 +595,12 @@ fn gen_matmul_tiled(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Nam
     )
 }
 
-fn gen_transpose(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+fn gen_transpose(
+    _rng: &mut StdRng,
+    config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
     let elem = config.elem_type;
     let input = namer.var("input");
     let output = namer.var("output");
@@ -502,11 +611,16 @@ fn gen_transpose(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer,
     )
 }
 
-fn gen_histogram(rng: &mut StdRng, _config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+fn gen_histogram(
+    rng: &mut StdRng,
+    _config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
     let input = namer.var("input");
     let count = namer.var("count");
     let gid = namer.var("index");
-    let bins = [64, 128, 256][rng.gen_range(0..3)];
+    let bins = [64, 128, 256][rng.gen_range(0..3usize)];
     format!(
         "__kernel void {name}(__global uint* {input}, __global uint* histogram, const int {count}) {{\n  int {gid} = get_global_id(0);\n  if ({gid} < {count}) {{\n    uint bin = {input}[{gid}] % {bins}u;\n    atomic_inc(&histogram[bin]);\n  }}\n}}\n"
     )
@@ -524,7 +638,11 @@ fn gen_scan(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name
 }
 
 fn gen_dot(_rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
-    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+    let elem = if config.elem_type == "int" {
+        "float"
+    } else {
+        config.elem_type
+    };
     let a = namer.var("input");
     let b = namer.var("input2");
     let output = namer.var("output");
@@ -541,25 +659,39 @@ fn gen_gather(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, nam
     let output = namer.var("output");
     let count = namer.var("count");
     let gid = namer.var("index");
-    let stride = [7, 13, 17, 31][rng.gen_range(0..4)];
+    let stride = [7, 13, 17, 31][rng.gen_range(0..4usize)];
     format!(
         "__kernel void {name}(__global {elem}* {input}, __global int* indices, __global {elem}* {output}, const int {count}) {{\n  int {gid} = get_global_id(0);\n  if ({gid} < {count}) {{\n    int where = (indices[{gid}] * {stride}) % {count};\n    {output}[{gid}] = {input}[where];\n  }}\n}}\n"
     )
 }
 
-fn gen_vector_ops(rng: &mut StdRng, _config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+fn gen_vector_ops(
+    rng: &mut StdRng,
+    _config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
     let input = namer.var("input");
     let output = namer.var("output");
     let count = namer.var("count");
     let gid = namer.var("index");
-    let width = [4, 8, 16][rng.gen_range(0..3)];
+    let width = [4, 8, 16][rng.gen_range(0..3usize)];
     format!(
         "__kernel void {name}(__global float{width}* {input}, __global float{width}* {output}, const int {count}) {{\n  int {gid} = get_global_id(0);\n  if ({gid} < {count}) {{\n    float{width} v = {input}[{gid}];\n    {output}[{gid}] = v * v + (float{width})(1.0f);\n  }}\n}}\n"
     )
 }
 
-fn gen_branchy(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
-    let elem = if config.elem_type == "int" { "float" } else { config.elem_type };
+fn gen_branchy(
+    rng: &mut StdRng,
+    config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
+    let elem = if config.elem_type == "int" {
+        "float"
+    } else {
+        config.elem_type
+    };
     let input = namer.var("input");
     let output = namer.var("output");
     let count = namer.var("count");
@@ -570,7 +702,12 @@ fn gen_branchy(rng: &mut StdRng, config: &KernelGenConfig, namer: &mut Namer, na
     )
 }
 
-fn gen_nbody(_rng: &mut StdRng, _config: &KernelGenConfig, namer: &mut Namer, name: &str) -> String {
+fn gen_nbody(
+    _rng: &mut StdRng,
+    _config: &KernelGenConfig,
+    namer: &mut Namer,
+    name: &str,
+) -> String {
     let count = namer.var("count");
     format!(
         "__kernel void {name}(__global float4* positions, __global float4* accelerations, const int {count}) {{\n  int i = get_global_id(0);\n  float4 my_pos = positions[i];\n  float4 accel = (float4)(0.0f, 0.0f, 0.0f, 0.0f);\n  for (int j = 0; j < {count}; j++) {{\n    float4 other = positions[j];\n    float4 delta = other - my_pos;\n    float dist_sq = delta.x * delta.x + delta.y * delta.y + delta.z * delta.z + 0.0001f;\n    float inv_dist = rsqrt(dist_sq);\n    float strength = other.w * inv_dist * inv_dist * inv_dist;\n    accel += delta * strength;\n  }}\n  accelerations[i] = accel;\n}}\n"
@@ -586,8 +723,17 @@ mod tests {
     fn every_family_produces_compilable_code() {
         let mut rng = StdRng::seed_from_u64(7);
         for (family, _) in FAMILY_WEIGHTS {
-            for naming in [NamingStyle::Snake, NamingStyle::Camel, NamingStyle::Terse, NamingStyle::Prefixed] {
-                let config = KernelGenConfig { naming, elem_type: "float", guard_probability: 0.5 };
+            for naming in [
+                NamingStyle::Snake,
+                NamingStyle::Camel,
+                NamingStyle::Terse,
+                NamingStyle::Prefixed,
+            ] {
+                let config = KernelGenConfig {
+                    naming,
+                    elem_type: "float",
+                    guard_probability: 0.5,
+                };
                 let kernel = generate_kernel_of(&mut rng, &config, *family);
                 let r = compile(&kernel.source, &CompileOptions::default());
                 assert!(
@@ -615,19 +761,38 @@ mod tests {
     fn population_is_diverse() {
         let kernels = generate_population(1, 200);
         let families: std::collections::HashSet<_> = kernels.iter().map(|k| k.family).collect();
-        assert!(families.len() >= 10, "only {} families sampled", families.len());
-        let unique_sources: std::collections::HashSet<_> = kernels.iter().map(|k| &k.source).collect();
+        assert!(
+            families.len() >= 10,
+            "only {} families sampled",
+            families.len()
+        );
+        let unique_sources: std::collections::HashSet<_> =
+            kernels.iter().map(|k| &k.source).collect();
         assert!(unique_sources.len() > 150, "too many duplicate kernels");
     }
 
     #[test]
     fn int_element_type_works() {
         let mut rng = StdRng::seed_from_u64(3);
-        let config = KernelGenConfig { naming: NamingStyle::Snake, elem_type: "int", guard_probability: 1.0 };
-        for family in [KernelFamily::Map, KernelFamily::Zip, KernelFamily::Saxpy, KernelFamily::Reduction] {
+        let config = KernelGenConfig {
+            naming: NamingStyle::Snake,
+            elem_type: "int",
+            guard_probability: 1.0,
+        };
+        for family in [
+            KernelFamily::Map,
+            KernelFamily::Zip,
+            KernelFamily::Saxpy,
+            KernelFamily::Reduction,
+        ] {
             let kernel = generate_kernel_of(&mut rng, &config, family);
             let r = compile(&kernel.source, &CompileOptions::default());
-            assert!(r.is_ok(), "{family:?}:\n{}\n{}", kernel.source, r.diagnostics);
+            assert!(
+                r.is_ok(),
+                "{family:?}:\n{}\n{}",
+                kernel.source,
+                r.diagnostics
+            );
         }
     }
 }

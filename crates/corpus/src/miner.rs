@@ -33,14 +33,22 @@ impl Default for MinerConfig {
     fn default() -> Self {
         // Defaults scaled down from the paper's 793 repositories / 8078 files
         // to keep experiment turnaround on a laptop reasonable.
-        MinerConfig { repositories: 120, files_per_repo: (1, 8), seed: 0xC161 }
+        MinerConfig {
+            repositories: 120,
+            files_per_repo: (1, 8),
+            seed: 0xC161,
+        }
     }
 }
 
 impl MinerConfig {
     /// A small configuration for unit tests.
     pub fn small(seed: u64) -> Self {
-        MinerConfig { repositories: 12, files_per_repo: (1, 4), seed }
+        MinerConfig {
+            repositories: 12,
+            files_per_repo: (1, 4),
+            seed,
+        }
     }
 }
 
@@ -104,18 +112,36 @@ pub fn mine(config: &MinerConfig) -> Vec<ContentFile> {
 }
 
 fn repo_name(rng: &mut StdRng) -> String {
-    let adjectives = ["fast", "parallel", "tiny", "open", "gpu", "hetero", "turbo", "deep", "sparse"];
-    let nouns = ["solver", "bench", "fluid", "nn", "cl-kit", "raytrace", "miner", "dsp", "sim", "linalg"];
-    format!("{}-{}", adjectives[rng.gen_range(0..adjectives.len())], nouns[rng.gen_range(0..nouns.len())])
+    let adjectives = [
+        "fast", "parallel", "tiny", "open", "gpu", "hetero", "turbo", "deep", "sparse",
+    ];
+    let nouns = [
+        "solver", "bench", "fluid", "nn", "cl-kit", "raytrace", "miner", "dsp", "sim", "linalg",
+    ];
+    format!(
+        "{}-{}",
+        adjectives[rng.gen_range(0..adjectives.len())],
+        nouns[rng.gen_range(0..nouns.len())]
+    )
 }
 
 fn dir_name(rng: &mut StdRng) -> String {
-    let dirs = ["src", "kernels", "cl", "opencl", "src/device", "gpu", "lib/kernels"];
+    let dirs = [
+        "src",
+        "kernels",
+        "cl",
+        "opencl",
+        "src/device",
+        "gpu",
+        "lib/kernels",
+    ];
     dirs[rng.gen_range(0..dirs.len())].to_string()
 }
 
 fn file_name(rng: &mut StdRng, idx: usize) -> String {
-    let stems = ["kernels", "compute", "device", "math", "core", "ops", "physics", "filters"];
+    let stems = [
+        "kernels", "compute", "device", "math", "core", "ops", "physics", "filters",
+    ];
     let ext = if rng.gen_bool(0.85) { "cl" } else { "ocl" };
     format!("{}_{idx}.{ext}", stems[rng.gen_range(0..stems.len())])
 }
@@ -130,7 +156,7 @@ fn render_file(rng: &mut StdRng, kind: FileKind, naming: NamingStyle) -> String 
         FileKind::TrivialKernel => render_trivial(rng, naming),
         FileKind::Truncated => {
             let full = render_clean(rng, naming, false, false);
-            let cut = full.len() * rng.gen_range(30..70) / 100;
+            let cut = full.len() * rng.gen_range(30..70usize) / 100;
             full[..cut].to_string()
         }
     }
@@ -141,7 +167,12 @@ fn render_file(rng: &mut StdRng, kind: FileKind, naming: NamingStyle) -> String 
 /// shim-covered identifiers *without* defining them (they were defined in the
 /// host project). When `use_unknown_idents` is set, identifiers that not even
 /// the shim covers are used.
-fn render_clean(rng: &mut StdRng, naming: NamingStyle, use_shim_idents: bool, use_unknown_idents: bool) -> String {
+fn render_clean(
+    rng: &mut StdRng,
+    naming: NamingStyle,
+    use_shim_idents: bool,
+    use_unknown_idents: bool,
+) -> String {
     let mut out = String::new();
     if rng.gen_bool(0.4) {
         out.push_str(license_header(rng));
@@ -155,14 +186,18 @@ fn render_clean(rng: &mut StdRng, naming: NamingStyle, use_shim_idents: bool, us
         out.push_str("#define BLOCK 64\n#define SCALE_FACTOR 1.5f\n\n");
     }
     let elem_type: &'static str = if use_shim_idents {
-        ["FLOAT_T", "DTYPE", "real_t", "VALUE_TYPE"][rng.gen_range(0..4)]
+        ["FLOAT_T", "DTYPE", "real_t", "VALUE_TYPE"][rng.gen_range(0..4usize)]
     } else if rng.gen_bool(0.85) {
         "float"
     } else {
         "int"
     };
     let n_kernels = rng.gen_range(1..=4);
-    let config = KernelGenConfig { naming, elem_type: "float", guard_probability: 0.7 };
+    let config = KernelGenConfig {
+        naming,
+        elem_type: "float",
+        guard_probability: 0.7,
+    };
     for i in 0..n_kernels {
         if rng.gen_bool(0.5) {
             out.push_str(comment_block(rng));
@@ -175,13 +210,18 @@ fn render_clean(rng: &mut StdRng, naming: NamingStyle, use_shim_idents: bool, us
         }
         if use_shim_idents && rng.gen_bool(0.6) {
             // Reference a workgroup-size constant assumed to come from the host build.
-            let constant = ["WG_SIZE", "BLOCK_SIZE", "TILE_SIZE", "LOCAL_SIZE"][rng.gen_range(0..4)];
+            let constant =
+                ["WG_SIZE", "BLOCK_SIZE", "TILE_SIZE", "LOCAL_SIZE"][rng.gen_range(0..4usize)];
             kernel = kernel.replace("get_local_size(0)", constant);
         }
         if use_unknown_idents && i == 0 {
             // An identifier neither defined locally nor covered by the shim.
-            let unknown = ["NUM_PARTICLES_PER_CELL", "kSimulationRate", "g_solver_params", "MY_PROJECT_EPS"]
-                [rng.gen_range(0..4)];
+            let unknown = [
+                "NUM_PARTICLES_PER_CELL",
+                "kSimulationRate",
+                "g_solver_params",
+                "MY_PROJECT_EPS",
+            ][rng.gen_range(0..4usize)];
             kernel = kernel.replace(
                 "get_global_id(0);",
                 &format!("get_global_id(0) + {unknown};"),
@@ -287,7 +327,11 @@ mod tests {
 
     #[test]
     fn mining_produces_requested_scale() {
-        let config = MinerConfig { repositories: 20, files_per_repo: (1, 5), seed: 1 };
+        let config = MinerConfig {
+            repositories: 20,
+            files_per_repo: (1, 5),
+            seed: 1,
+        };
         let files = mine(&config);
         let stats = mining_stats(&files);
         assert_eq!(stats.repositories, 20);
@@ -298,22 +342,47 @@ mod tests {
 
     #[test]
     fn corpus_contains_noise_and_signal() {
-        let files = mine(&MinerConfig { repositories: 60, files_per_repo: (2, 5), seed: 5 });
+        let files = mine(&MinerConfig {
+            repositories: 60,
+            files_per_repo: (2, 5),
+            seed: 5,
+        });
         let with_kernel = files.iter().filter(|f| f.text.contains("__kernel")).count();
-        let with_comments = files.iter().filter(|f| f.text.contains("//") || f.text.contains("/*")).count();
-        let host_code = files.iter().filter(|f| f.text.contains("int main") || f.text.contains("class ")).count();
-        assert!(with_kernel > files.len() / 2, "most files should contain kernels");
-        assert!(with_comments > files.len() / 4, "comments should be present");
+        let with_comments = files
+            .iter()
+            .filter(|f| f.text.contains("//") || f.text.contains("/*"))
+            .count();
+        let host_code = files
+            .iter()
+            .filter(|f| f.text.contains("int main") || f.text.contains("class "))
+            .count();
+        assert!(
+            with_kernel > files.len() / 2,
+            "most files should contain kernels"
+        );
+        assert!(
+            with_comments > files.len() / 4,
+            "comments should be present"
+        );
         assert!(host_code > 0, "some host code should be mis-scraped");
     }
 
     #[test]
     fn some_files_need_the_shim() {
-        let files = mine(&MinerConfig { repositories: 80, files_per_repo: (2, 5), seed: 11 });
+        let files = mine(&MinerConfig {
+            repositories: 80,
+            files_per_repo: (2, 5),
+            seed: 11,
+        });
         let needs_shim = files
             .iter()
-            .filter(|f| f.text.contains("FLOAT_T") || f.text.contains("DTYPE") || f.text.contains("WG_SIZE"))
+            .filter(|f| {
+                f.text.contains("FLOAT_T") || f.text.contains("DTYPE") || f.text.contains("WG_SIZE")
+            })
             .count();
-        assert!(needs_shim > 0, "shim-dependent files should appear in the corpus");
+        assert!(
+            needs_shim > 0,
+            "shim-dependent files should appear in the corpus"
+        );
     }
 }

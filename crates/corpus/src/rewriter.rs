@@ -13,10 +13,10 @@
 
 use crate::content::{ContentFile, CorpusKernel};
 use crate::filter::{filter_content_file, FilterConfig, FilterVerdict};
+use cl_frontend::analyze_kernels;
 use cl_frontend::ast::{Item, TranslationUnit};
 use cl_frontend::printer::print_unit;
 use cl_frontend::rewrite::rewrite_identifiers;
-use cl_frontend::analyze_kernels;
 
 /// The result of rewriting one content file.
 #[derive(Debug, Clone)]
@@ -58,8 +58,10 @@ fn contains_word(haystack: &str, needle: &str) -> bool {
     while let Some(pos) = haystack[start..].find(needle) {
         let begin = start + pos;
         let end = begin + needle.len();
-        let before_ok = begin == 0 || !(bytes[begin - 1].is_ascii_alphanumeric() || bytes[begin - 1] == b'_');
-        let after_ok = end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
+        let before_ok =
+            begin == 0 || !(bytes[begin - 1].is_ascii_alphanumeric() || bytes[begin - 1] == b'_');
+        let after_ok =
+            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
         if before_ok && after_ok {
             return true;
         }
@@ -137,9 +139,17 @@ pub fn rewrite_unit_to_kernels(
             .find(|(name, _)| name == &f.name)
             .map(|(_, c)| c.instructions)
             .unwrap_or(0);
-        kernels.push(CorpusKernel { source, repository: repository.to_string(), instructions });
+        kernels.push(CorpusKernel {
+            source,
+            repository: repository.to_string(),
+            instructions,
+        });
     }
-    RewrittenFile { kernels, lines_before, lines_after }
+    RewrittenFile {
+        kernels,
+        lines_before,
+        lines_after,
+    }
 }
 
 /// Run filter + rewrite over one content file. Returns `None` if the file is
@@ -186,11 +196,19 @@ mod tests {
         let out = process_content_file(&f, &FilterConfig::default()).expect("accepted");
         assert_eq!(out.kernels.len(), 2);
         // The helper is pulled into the kernel that uses it, and only that one.
-        let uses_helper: Vec<bool> = out.kernels.iter().map(|k| k.source.contains("inline float")).collect();
+        let uses_helper: Vec<bool> = out
+            .kernels
+            .iter()
+            .map(|k| k.source.contains("inline float"))
+            .collect();
         assert_eq!(uses_helper.iter().filter(|b| **b).count(), 1, "{out:?}");
         for k in &out.kernels {
             let check = cl_frontend::parse_and_check(&k.source);
-            assert!(check.is_ok(), "corpus kernel is not self-contained:\n{}", k.source);
+            assert!(
+                check.is_ok(),
+                "corpus kernel is not self-contained:\n{}",
+                k.source
+            );
         }
     }
 
@@ -204,9 +222,18 @@ mod tests {
         let src = &out.kernels[0].source;
         // WG_SIZE is a macro and is expanded; FLOAT_T is a typedef which is
         // renamed and kept, but the 37 other shim typedefs must not leak in.
-        assert!(!src.contains("WG_SIZE"), "constants should be macro-expanded:\n{src}");
-        assert!(!src.contains("INDEX_TYPE"), "unreferenced shim typedef leaked:\n{src}");
-        assert!(src.matches("typedef").count() <= 2, "too many typedefs leaked:\n{src}");
+        assert!(
+            !src.contains("WG_SIZE"),
+            "constants should be macro-expanded:\n{src}"
+        );
+        assert!(
+            !src.contains("INDEX_TYPE"),
+            "unreferenced shim typedef leaked:\n{src}"
+        );
+        assert!(
+            src.matches("typedef").count() <= 2,
+            "too many typedefs leaked:\n{src}"
+        );
         let check = cl_frontend::parse_and_check(src);
         assert!(check.is_ok(), "corpus kernel is not self-contained:\n{src}");
     }
@@ -231,7 +258,10 @@ mod tests {
         );
         let out = process_content_file(&f, &FilterConfig::default()).expect("accepted");
         let total_chars: usize = out.kernels.iter().map(|k| k.source.len()).sum();
-        assert!(total_chars < f.text.len(), "rewritten corpus should be smaller than the raw file");
+        assert!(
+            total_chars < f.text.len(),
+            "rewritten corpus should be smaller than the raw file"
+        );
     }
 
     #[test]

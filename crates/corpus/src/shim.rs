@@ -156,7 +156,11 @@ mod tests {
     fn shim_header_is_parseable() {
         let header = shim_header();
         let r = compile(&header, &CompileOptions::default());
-        assert!(r.is_ok(), "shim header does not compile:\n{}", r.diagnostics);
+        assert!(
+            r.is_ok(),
+            "shim header does not compile:\n{}",
+            r.diagnostics
+        );
     }
 
     #[test]

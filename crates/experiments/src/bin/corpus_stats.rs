@@ -7,32 +7,72 @@ use clgen_corpus::{Corpus, CorpusOptions, MinerConfig};
 use experiments::{print_table, scaled};
 
 fn main() {
-    let mut options = CorpusOptions::default();
-    options.miner = MinerConfig {
-        repositories: scaled(250, 40),
-        files_per_repo: (1, 8),
-        seed: 0xC161,
+    let options = CorpusOptions {
+        miner: MinerConfig {
+            repositories: scaled(250, 40),
+            files_per_repo: (1, 8),
+            seed: 0xC161,
+        },
+        measure_no_shim_ablation: true,
+        ..Default::default()
     };
-    options.measure_no_shim_ablation = true;
     let corpus = Corpus::build(&options);
     let s = &corpus.stats;
     let rows = vec![
-        vec!["repositories mined".into(), s.repositories.to_string(), "793".into()],
-        vec!["content files".into(), s.content_files.to_string(), "8078".into()],
+        vec![
+            "repositories mined".into(),
+            s.repositories.to_string(),
+            "793".into(),
+        ],
+        vec![
+            "content files".into(),
+            s.content_files.to_string(),
+            "8078".into(),
+        ],
         vec!["raw lines".into(), s.raw_lines.to_string(), "2.8M".into()],
-        vec!["discard rate (no shim)".into(), format!("{:.1}%", s.discard_rate_without_shim * 100.0), "40%".into()],
-        vec!["discard rate (with shim)".into(), format!("{:.1}%", s.discard_rate_with_shim * 100.0), "32%".into()],
-        vec!["distinct undeclared identifiers".into(), s.distinct_undeclared_identifiers.to_string(), "-".into()],
-        vec!["top-60 undeclared coverage".into(), format!("{:.0}%", s.top60_undeclared_coverage * 100.0), "50%".into()],
-        vec!["corpus kernels".into(), s.corpus_kernels.to_string(), "9487".into()],
-        vec!["corpus lines".into(), s.corpus_lines.to_string(), "1.3M".into()],
-        vec!["vocabulary reduction".into(), format!("{:.0}%", s.vocabulary_reduction() * 100.0), "84%".into()],
+        vec![
+            "discard rate (no shim)".into(),
+            format!("{:.1}%", s.discard_rate_without_shim * 100.0),
+            "40%".into(),
+        ],
+        vec![
+            "discard rate (with shim)".into(),
+            format!("{:.1}%", s.discard_rate_with_shim * 100.0),
+            "32%".into(),
+        ],
+        vec![
+            "distinct undeclared identifiers".into(),
+            s.distinct_undeclared_identifiers.to_string(),
+            "-".into(),
+        ],
+        vec![
+            "top-60 undeclared coverage".into(),
+            format!("{:.0}%", s.top60_undeclared_coverage * 100.0),
+            "50%".into(),
+        ],
+        vec![
+            "corpus kernels".into(),
+            s.corpus_kernels.to_string(),
+            "9487".into(),
+        ],
+        vec![
+            "corpus lines".into(),
+            s.corpus_lines.to_string(),
+            "1.3M".into(),
+        ],
+        vec![
+            "vocabulary reduction".into(),
+            format!("{:.0}%", s.vocabulary_reduction() * 100.0),
+            "84%".into(),
+        ],
     ];
     print_table(
         "Corpus statistics (§4.1, Listing 1, Figure 5)",
         &["statistic", "measured", "paper"],
         &rows,
     );
-    println!("\nShim injection reduces the discard rate by {:.1} percentage points (paper: 8).",
-        (s.discard_rate_without_shim - s.discard_rate_with_shim) * 100.0);
+    println!(
+        "\nShim injection reduces the discard rate by {:.1} percentage points (paper: 8).",
+        (s.discard_rate_without_shim - s.discard_rate_with_shim) * 100.0
+    );
 }

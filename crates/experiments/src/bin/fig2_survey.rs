@@ -32,9 +32,19 @@ fn main() {
         .iter()
         .map(|(suite, avg)| vec![suite.to_string(), format!("{avg:.1}")])
         .collect();
-    print_table("Figure 2: benchmarks used per GPGPU paper (survey)", &["suite", "avg. benchmarks/paper"], &rows);
+    print_table(
+        "Figure 2: benchmarks used per GPGPU paper (survey)",
+        &["suite", "avg. benchmarks/paper"],
+        &rows,
+    );
     let top7: f64 = SURVEY.iter().take(7).map(|(_, v)| v).sum();
     let total: f64 = SURVEY.iter().map(|(_, v)| v).sum();
-    println!("\nThe 7 most used suites account for {:.0}% of results (paper: 92%).", top7 / total * 100.0);
-    println!("Average benchmarks per paper: {:.0} (paper: 17).", total.ceil());
+    println!(
+        "\nThe 7 most used suites account for {:.0}% of results (paper: 92%).",
+        top7 / total * 100.0
+    );
+    println!(
+        "Average benchmarks per paper: {:.0} (paper: 17).",
+        total.ceil()
+    );
 }

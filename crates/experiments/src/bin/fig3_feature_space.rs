@@ -5,60 +5,95 @@
 
 use cldrive::Platform;
 use experiments::{
-    build_suite_dataset, build_synthetic_dataset, print_table, synthesize_kernels, DatasetConfig,
-    SyntheticConfig, scaled,
+    build_suite_dataset, build_synthetic_dataset, print_table, scaled, synthesize_kernels,
+    DatasetConfig, SyntheticConfig,
 };
 use grewe_features::{FeatureSet, Pca};
 use predictive::{leave_one_out, TreeConfig};
 
 fn main() {
     let platform = Platform::nvidia();
-    let config = DatasetConfig { feature_set: FeatureSet::Grewe, ..Default::default() };
+    let config = DatasetConfig {
+        feature_set: FeatureSet::Grewe,
+        ..Default::default()
+    };
     eprintln!("building suite dataset on the NVIDIA platform...");
     let dataset = build_suite_dataset(&platform, &config);
     let parboil = dataset.of_suite("Parboil");
 
     // Fit PCA on the Parboil feature rows.
-    let rows: Vec<Vec<f64>> = parboil.examples.iter().map(|e| e.features.clone()).collect();
+    let rows: Vec<Vec<f64>> = parboil
+        .examples
+        .iter()
+        .map(|e| e.features.clone())
+        .collect();
     let (_, projected) = Pca::fit_transform(&rows, 2);
 
     // (a) leave-one-out predictions using the rest of the suites as training data.
     let tree = TreeConfig::default();
     let baseline = leave_one_out(&dataset, None, &tree);
-    let correct_of = |results: &[predictive::BenchmarkResult]| -> std::collections::HashMap<String, bool> {
-        results
-            .iter()
-            .map(|r| (r.benchmark.clone(), r.metrics.accuracy > 0.5))
-            .collect()
-    };
+    let correct_of =
+        |results: &[predictive::BenchmarkResult]| -> std::collections::HashMap<String, bool> {
+            results
+                .iter()
+                .map(|r| (r.benchmark.clone(), r.metrics.accuracy > 0.5))
+                .collect()
+        };
     let base_correct = correct_of(&baseline);
 
     // (b) with additional neighbouring observations from CLgen.
     let mut synth_config = SyntheticConfig::default();
     synth_config.target_kernels = scaled(120, 20);
     synth_config.max_attempts = synth_config.target_kernels * 25;
-    eprintln!("synthesizing {} CLgen kernels for the augmentation...", synth_config.target_kernels);
+    eprintln!(
+        "synthesizing {} CLgen kernels for the augmentation...",
+        synth_config.target_kernels
+    );
     let kernels = synthesize_kernels(&synth_config);
-    let synth = build_synthetic_dataset(&kernels, &platform, FeatureSet::Grewe, &synth_config.dataset_sizes);
+    let synth = build_synthetic_dataset(
+        &kernels,
+        &platform,
+        FeatureSet::Grewe,
+        &synth_config.dataset_sizes,
+    );
     eprintln!("augmentation: {} synthetic examples", synth.len());
     let augmented = leave_one_out(&dataset, Some(&synth), &tree);
     let aug_correct = correct_of(&augmented);
 
     let mut rows_out = Vec::new();
     for (example, point) in parboil.examples.iter().zip(&projected) {
-        if !rows_out.iter().any(|r: &Vec<String>| r[0] == example.benchmark) {
+        if !rows_out
+            .iter()
+            .any(|r: &Vec<String>| r[0] == example.benchmark)
+        {
             rows_out.push(vec![
                 example.benchmark.clone(),
                 format!("{:+.2}", point[0]),
                 format!("{:+.2}", point[1]),
-                if *base_correct.get(&example.benchmark).unwrap_or(&false) { "correct" } else { "INCORRECT" }.into(),
-                if *aug_correct.get(&example.benchmark).unwrap_or(&false) { "correct" } else { "INCORRECT" }.into(),
+                if *base_correct.get(&example.benchmark).unwrap_or(&false) {
+                    "correct"
+                } else {
+                    "INCORRECT"
+                }
+                .into(),
+                if *aug_correct.get(&example.benchmark).unwrap_or(&false) {
+                    "correct"
+                } else {
+                    "INCORRECT"
+                }
+                .into(),
             ]);
         }
     }
     print_table(
         "Figure 3: Parboil feature space (PCA projection, NVIDIA platform)",
-        &["benchmark", "PC1", "PC2", "(a) baseline", "(b) with added observations"],
+        &[
+            "benchmark",
+            "PC1",
+            "PC2",
+            "(a) baseline",
+            "(b) with added observations",
+        ],
         &rows_out,
     );
     let base_wrong = rows_out.iter().filter(|r| r[3] == "INCORRECT").count();

@@ -9,8 +9,8 @@
 
 use cldrive::Platform;
 use experiments::{
-    build_suite_dataset, build_synthetic_dataset, print_table, synthesize_kernels, DatasetConfig,
-    SyntheticConfig, scaled,
+    build_suite_dataset, build_synthetic_dataset, print_table, scaled, synthesize_kernels,
+    DatasetConfig, SyntheticConfig,
 };
 use grewe_features::FeatureSet;
 use predictive::{geomean_speedup, leave_one_out, TreeConfig};
@@ -19,7 +19,10 @@ fn main() {
     let mut synth_config = SyntheticConfig::default();
     synth_config.target_kernels = scaled(300, 30);
     synth_config.max_attempts = synth_config.target_kernels * 25;
-    eprintln!("synthesizing {} CLgen kernels (paper: 1000)...", synth_config.target_kernels);
+    eprintln!(
+        "synthesizing {} CLgen kernels (paper: 1000)...",
+        synth_config.target_kernels
+    );
     let kernels = synthesize_kernels(&synth_config);
     eprintln!("accepted {} synthetic kernels", kernels.len());
 
@@ -27,15 +30,28 @@ fn main() {
     let mut summary_rows = Vec::new();
     for platform in [Platform::amd(), Platform::nvidia()] {
         eprintln!("building {} dataset...", platform.name);
-        let config = DatasetConfig { feature_set: FeatureSet::Grewe, ..Default::default() };
+        let config = DatasetConfig {
+            feature_set: FeatureSet::Grewe,
+            ..Default::default()
+        };
         let dataset = build_suite_dataset(&platform, &config);
         let npb = dataset.of_suite("NPB");
         // Training pool: all other suites (as in the paper, the NPB programs under
         // test are held out by LOOCV; the remaining suites provide training data).
-        let synth = build_synthetic_dataset(&kernels, &platform, FeatureSet::Grewe, &synth_config.dataset_sizes);
+        let synth = build_synthetic_dataset(
+            &kernels,
+            &platform,
+            FeatureSet::Grewe,
+            &synth_config.dataset_sizes,
+        );
         eprintln!("  synthetic examples: {}", synth.len());
         let others = predictive::Dataset {
-            examples: dataset.examples.iter().filter(|e| e.suite != "NPB").cloned().collect(),
+            examples: dataset
+                .examples
+                .iter()
+                .filter(|e| e.suite != "NPB")
+                .cloned()
+                .collect(),
         };
 
         let baseline = leave_one_out(&npb, Some(&others), &tree);
@@ -52,9 +68,16 @@ fn main() {
         }
         let base_avg = geomean_speedup(&baseline);
         let clgen_avg = geomean_speedup(&with_clgen);
-        rows.push(vec!["AVERAGE".into(), format!("{base_avg:.2}x"), format!("{clgen_avg:.2}x")]);
+        rows.push(vec![
+            "AVERAGE".into(),
+            format!("{base_avg:.2}x"),
+            format!("{clgen_avg:.2}x"),
+        ]);
         print_table(
-            &format!("Figure 7 ({}): NPB speedup over best static mapping", platform.name),
+            &format!(
+                "Figure 7 ({}): NPB speedup over best static mapping",
+                platform.name
+            ),
             &["benchmark", "Grewe et al.", "w. CLgen"],
             &rows,
         );

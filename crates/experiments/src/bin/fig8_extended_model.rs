@@ -8,8 +8,8 @@
 
 use cldrive::Platform;
 use experiments::{
-    build_suite_dataset, build_synthetic_dataset, print_table, synthesize_kernels, DatasetConfig,
-    SyntheticConfig, scaled,
+    build_suite_dataset, build_synthetic_dataset, print_table, scaled, synthesize_kernels,
+    DatasetConfig, SyntheticConfig,
 };
 use grewe_features::FeatureSet;
 use predictive::{aggregate, geomean_speedup, leave_one_out, TreeConfig};
@@ -18,19 +18,36 @@ fn main() {
     let mut synth_config = SyntheticConfig::default();
     synth_config.target_kernels = scaled(300, 30);
     synth_config.max_attempts = synth_config.target_kernels * 25;
-    eprintln!("synthesizing {} CLgen kernels...", synth_config.target_kernels);
+    eprintln!(
+        "synthesizing {} CLgen kernels...",
+        synth_config.target_kernels
+    );
     let kernels = synthesize_kernels(&synth_config);
     eprintln!("accepted {} synthetic kernels", kernels.len());
 
     let tree = TreeConfig::default();
     let mut summary = Vec::new();
     for platform in [Platform::amd(), Platform::nvidia()] {
-        eprintln!("building {} datasets (Grewe + extended features)...", platform.name);
-        let grewe_cfg = DatasetConfig { feature_set: FeatureSet::Grewe, ..Default::default() };
-        let ext_cfg = DatasetConfig { feature_set: FeatureSet::Extended, ..Default::default() };
+        eprintln!(
+            "building {} datasets (Grewe + extended features)...",
+            platform.name
+        );
+        let grewe_cfg = DatasetConfig {
+            feature_set: FeatureSet::Grewe,
+            ..Default::default()
+        };
+        let ext_cfg = DatasetConfig {
+            feature_set: FeatureSet::Extended,
+            ..Default::default()
+        };
         let grewe_data = build_suite_dataset(&platform, &grewe_cfg);
         let ext_data = build_suite_dataset(&platform, &ext_cfg);
-        let synth_ext = build_synthetic_dataset(&kernels, &platform, FeatureSet::Extended, &synth_config.dataset_sizes);
+        let synth_ext = build_synthetic_dataset(
+            &kernels,
+            &platform,
+            FeatureSet::Extended,
+            &synth_config.dataset_sizes,
+        );
 
         // Original model: Grewe features, no synthetic training data.
         let original = leave_one_out(&grewe_data, None, &tree);
@@ -39,8 +56,16 @@ fn main() {
 
         let mut per_suite = Vec::new();
         for suite in grewe_data.suites() {
-            let orig: Vec<_> = original.iter().filter(|r| r.suite == suite).cloned().collect();
-            let ext: Vec<_> = extended.iter().filter(|r| r.suite == suite).cloned().collect();
+            let orig: Vec<_> = original
+                .iter()
+                .filter(|r| r.suite == suite)
+                .cloned()
+                .collect();
+            let ext: Vec<_> = extended
+                .iter()
+                .filter(|r| r.suite == suite)
+                .cloned()
+                .collect();
             per_suite.push(vec![
                 suite.clone(),
                 format!("{:.2}x", geomean_speedup(&orig)),
@@ -49,8 +74,16 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Figure 8 ({}): per-suite speedup over best static mapping", platform.name),
-            &["suite", "Grewe et al.", "extended + CLgen", "ext. % of oracle"],
+            &format!(
+                "Figure 8 ({}): per-suite speedup over best static mapping",
+                platform.name
+            ),
+            &[
+                "suite",
+                "Grewe et al.",
+                "extended + CLgen",
+                "ext. % of oracle",
+            ],
             &per_suite,
         );
         let orig_avg = geomean_speedup(&original);

@@ -13,16 +13,31 @@ use experiments::{data::static_features_of_sources, print_table, scaled, Synthet
 use std::collections::HashSet;
 use suites::all_benchmarks;
 
-fn match_count(features: &[grewe_features::StaticFeatures], benchmark_keys: &HashSet<(u64, u64, u64, u64, u64)>) -> usize {
-    features.iter().filter(|f| benchmark_keys.contains(&f.match_key_with_branches())).count()
+fn match_count(
+    features: &[grewe_features::StaticFeatures],
+    benchmark_keys: &HashSet<(u64, u64, u64, u64, u64)>,
+) -> usize {
+    features
+        .iter()
+        .filter(|f| benchmark_keys.contains(&f.match_key_with_branches()))
+        .count()
 }
 
 fn main() {
     // Static feature keys (including the branch feature, §8.3) of the benchmarks.
-    let benchmark_sources: Vec<String> = all_benchmarks().iter().map(|b| b.source.clone()).collect();
-    let benchmark_features = static_features_of_sources(benchmark_sources.iter().map(String::as_str));
-    let benchmark_keys: HashSet<_> = benchmark_features.iter().map(|f| f.match_key_with_branches()).collect();
-    eprintln!("{} benchmark kernels, {} distinct feature keys", benchmark_features.len(), benchmark_keys.len());
+    let benchmark_sources: Vec<String> =
+        all_benchmarks().iter().map(|b| b.source.clone()).collect();
+    let benchmark_features =
+        static_features_of_sources(benchmark_sources.iter().map(String::as_str));
+    let benchmark_keys: HashSet<_> = benchmark_features
+        .iter()
+        .map(|f| f.match_key_with_branches())
+        .collect();
+    eprintln!(
+        "{} benchmark kernels, {} distinct feature keys",
+        benchmark_features.len(),
+        benchmark_keys.len()
+    );
 
     let total = scaled(1000, 100);
     let checkpoints: Vec<usize> = vec![total / 10, total / 4, total / 2, total];
@@ -32,12 +47,14 @@ fn main() {
     let mut clgen = Clgen::new(synth_config.clgen.clone());
     eprintln!("sampling {total} CLgen kernels...");
     let clgen_report = clgen.synthesize(total, total * 30, Some(&ArgumentSpec::paper_default()));
-    let clgen_features = static_features_of_sources(clgen_report.kernels.iter().map(|k| k.source.as_str()));
+    let clgen_features =
+        static_features_of_sources(clgen_report.kernels.iter().map(|k| k.source.as_str()));
 
     // CLSmith kernels.
     eprintln!("generating {total} CLSmith kernels...");
     let clsmith_kernels = clsmith::generate_population(0xC15, total, &ClsmithConfig::default());
-    let clsmith_features = static_features_of_sources(clsmith_kernels.iter().map(|k| k.source.as_str()));
+    let clsmith_features =
+        static_features_of_sources(clsmith_kernels.iter().map(|k| k.source.as_str()));
 
     // "GitHub" corpus kernels (the synthetic miner population, rewritten).
     eprintln!("building GitHub-style corpus...");
@@ -46,12 +63,24 @@ fn main() {
 
     let mut rows = Vec::new();
     for &n in &checkpoints {
-        let clgen_n = match_count(&clgen_features[..n.min(clgen_features.len())], &benchmark_keys);
-        let clsmith_n = match_count(&clsmith_features[..n.min(clsmith_features.len())], &benchmark_keys);
-        let github_n = match_count(&github_features[..n.min(github_features.len())], &benchmark_keys);
+        let clgen_n = match_count(
+            &clgen_features[..n.min(clgen_features.len())],
+            &benchmark_keys,
+        );
+        let clsmith_n = match_count(
+            &clsmith_features[..n.min(clsmith_features.len())],
+            &benchmark_keys,
+        );
+        let github_n = match_count(
+            &github_features[..n.min(github_features.len())],
+            &benchmark_keys,
+        );
         rows.push(vec![
             n.to_string(),
-            format!("{github_n} ({} kernels available)", github_features.len().min(n)),
+            format!(
+                "{github_n} ({} kernels available)",
+                github_features.len().min(n)
+            ),
             clsmith_n.to_string(),
             clgen_n.to_string(),
         ]);
@@ -61,8 +90,17 @@ fn main() {
         &["#kernels sampled", "GitHub", "CLSmith", "CLgen"],
         &rows,
     );
-    let clgen_rate = match_count(&clgen_features, &benchmark_keys) as f64 / clgen_features.len().max(1) as f64;
-    let clsmith_rate = match_count(&clsmith_features, &benchmark_keys) as f64 / clsmith_features.len().max(1) as f64;
-    println!("\nMatch rates: CLgen {:.1}%, CLSmith {:.2}% (paper: >33% vs 0.53%).", clgen_rate * 100.0, clsmith_rate * 100.0);
-    println!("GitHub corpus is finite ({} kernels); CLgen sampling is unbounded.", github_features.len());
+    let clgen_rate =
+        match_count(&clgen_features, &benchmark_keys) as f64 / clgen_features.len().max(1) as f64;
+    let clsmith_rate = match_count(&clsmith_features, &benchmark_keys) as f64
+        / clsmith_features.len().max(1) as f64;
+    println!(
+        "\nMatch rates: CLgen {:.1}%, CLSmith {:.2}% (paper: >33% vs 0.53%).",
+        clgen_rate * 100.0,
+        clsmith_rate * 100.0
+    );
+    println!(
+        "GitHub corpus is finite ({} kernels); CLgen sampling is unbounded.",
+        github_features.len()
+    );
 }

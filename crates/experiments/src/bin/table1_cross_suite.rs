@@ -13,12 +13,22 @@ use suites::Suite;
 
 fn main() {
     let platform = Platform::amd();
-    let config = DatasetConfig { feature_set: FeatureSet::Grewe, ..Default::default() };
+    let config = DatasetConfig {
+        feature_set: FeatureSet::Grewe,
+        ..Default::default()
+    };
     eprintln!("building suite dataset on the AMD platform...");
     let dataset = build_suite_dataset(&platform, &config);
-    eprintln!("dataset: {} examples over {} suites", dataset.len(), dataset.suites().len());
+    eprintln!(
+        "dataset: {} examples over {} suites",
+        dataset.len(),
+        dataset.suites().len()
+    );
 
-    let suite_names: Vec<String> = Suite::all().iter().map(|s| s.short_name().to_string()).collect();
+    let suite_names: Vec<String> = Suite::all()
+        .iter()
+        .map(|s| s.short_name().to_string())
+        .collect();
     let mut headers: Vec<&str> = vec!["train \\ test"];
     let header_strings: Vec<String> = suite_names.clone();
     headers.extend(header_strings.iter().map(String::as_str));

@@ -13,12 +13,25 @@ fn main() {
     let rows: Vec<Vec<String>> = inv
         .iter()
         .map(|(suite, benchmarks, kernels)| {
-            vec![suite.short_name().to_string(), benchmarks.to_string(), kernels.to_string()]
+            vec![
+                suite.short_name().to_string(),
+                benchmarks.to_string(),
+                kernels.to_string(),
+            ]
         })
         .collect();
-    print_table("Table 3: benchmark inventory (this reproduction)", &["suite", "#benchmarks", "#kernels"], &rows);
+    print_table(
+        "Table 3: benchmark inventory (this reproduction)",
+        &["suite", "#benchmarks", "#kernels"],
+        &rows,
+    );
     let total_b: usize = inv.iter().map(|(_, b, _)| b).sum();
     let total_k: usize = inv.iter().map(|(_, _, k)| k).sum();
-    println!("\nTotal: {total_b} benchmarks, {total_k} kernels (paper: 71 benchmarks, 256 kernels).");
-    println!("NPB dataset classes: {:?}", NPB_CLASSES.iter().map(|(c, _)| *c).collect::<Vec<_>>());
+    println!(
+        "\nTotal: {total_b} benchmarks, {total_k} kernels (paper: 71 benchmarks, 256 kernels)."
+    );
+    println!(
+        "NPB dataset classes: {:?}",
+        NPB_CLASSES.iter().map(|(c, _)| *c).collect::<Vec<_>>()
+    );
 }

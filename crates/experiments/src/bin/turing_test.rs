@@ -27,8 +27,10 @@ fn style_features(source: &str) -> Vec<f64> {
     let args = compiled.kernels.first().map(|k| k.args.len()).unwrap_or(0);
     let chars = source.len() as f64;
     let lines = source.lines().count().max(1) as f64;
-    let bitwise = source.matches('^').count() + source.matches('&').count() + source.matches(">>").count();
-    let float_lits = source.matches("f;").count() + source.matches("f)").count() + source.matches("0f").count();
+    let bitwise =
+        source.matches('^').count() + source.matches('&').count() + source.matches(">>").count();
+    let float_lits =
+        source.matches("f;").count() + source.matches("f)").count() + source.matches("0f").count();
     vec![
         args as f64,
         counts.instructions as f64,
@@ -58,9 +60,28 @@ fn judge_accuracy(human: &[String], machine: &[String]) -> f64 {
         samples.push((style_features(src), 1));
     }
     // interleaved split: even indices train, odd test (deterministic, balanced)
-    let train: Vec<_> = samples.iter().cloned().enumerate().filter(|(i, _)| i % 2 == 0).map(|(_, s)| s).collect();
-    let test: Vec<_> = samples.iter().cloned().enumerate().filter(|(i, _)| i % 2 == 1).map(|(_, s)| s).collect();
-    let tree = DecisionTree::train(&train, &TreeConfig { max_depth: 6, min_samples_split: 4, min_samples_leaf: 2 });
+    let train: Vec<_> = samples
+        .iter()
+        .cloned()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 0)
+        .map(|(_, s)| s)
+        .collect();
+    let test: Vec<_> = samples
+        .iter()
+        .cloned()
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, s)| s)
+        .collect();
+    let tree = DecisionTree::train(
+        &train,
+        &TreeConfig {
+            max_depth: 6,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+        },
+    );
     tree.accuracy(&test)
 }
 
@@ -73,18 +94,32 @@ fn main() {
     let clgen_sources: Vec<String> = report.kernels.iter().map(|k| k.source.clone()).collect();
     // Human pool: rewritten kernels from the (GitHub-style) corpus, as in the
     // paper's study where all kernels were passed through the code rewriter.
-    let human_sources: Vec<String> = clgen.corpus().sources().take(pool).map(str::to_string).collect();
-    let clsmith_sources: Vec<String> = clsmith::generate_population(3, pool, &ClsmithConfig::default())
-        .into_iter()
-        .map(|k| k.source)
+    let human_sources: Vec<String> = clgen
+        .corpus()
+        .sources()
+        .take(pool)
+        .map(str::to_string)
         .collect();
+    let clsmith_sources: Vec<String> =
+        clsmith::generate_population(3, pool, &ClsmithConfig::default())
+            .into_iter()
+            .map(|k| k.source)
+            .collect();
 
     let clgen_accuracy = judge_accuracy(&human_sources, &clgen_sources);
     let clsmith_accuracy = judge_accuracy(&human_sources, &clsmith_sources);
 
     let rows = vec![
-        vec!["CLgen vs hand-written".into(), format!("{:.0}%", clgen_accuracy * 100.0), "52% (chance)".into()],
-        vec!["CLSmith vs hand-written (control)".into(), format!("{:.0}%", clsmith_accuracy * 100.0), "96%".into()],
+        vec![
+            "CLgen vs hand-written".into(),
+            format!("{:.0}%", clgen_accuracy * 100.0),
+            "52% (chance)".into(),
+        ],
+        vec![
+            "CLSmith vs hand-written (control)".into(),
+            format!("{:.0}%", clsmith_accuracy * 100.0),
+            "96%".into(),
+        ],
     ];
     print_table(
         "§6.1 likeness to hand-written code (machine judge accuracy; 50% = indistinguishable)",

@@ -19,7 +19,10 @@ pub struct DatasetConfig {
 
 impl Default for DatasetConfig {
     fn default() -> Self {
-        DatasetConfig { feature_set: FeatureSet::Grewe, driver: suite_driver_options() }
+        DatasetConfig {
+            feature_set: FeatureSet::Grewe,
+            driver: suite_driver_options(),
+        }
     }
 }
 
@@ -73,7 +76,9 @@ pub fn build_dataset_from_benchmarks(
         if !compiled.is_ok() || compiled.kernels.is_empty() {
             continue;
         }
-        let Some(statics) = benchmark_static_features(&benchmark.source) else { continue };
+        let Some(statics) = benchmark_static_features(&benchmark.source) else {
+            continue;
+        };
         for &size in &benchmark.dataset_sizes {
             // Aggregate CPU/GPU times over all kernels of the benchmark (a
             // benchmark maps to one device as a whole).
@@ -82,7 +87,9 @@ pub fn build_dataset_from_benchmarks(
             let mut transfer = 0.0f64;
             let mut any = false;
             for sig in &compiled.kernels {
-                let Ok(run) = driver.run_kernel(&compiled.unit, sig, size) else { continue };
+                let Ok(run) = driver.run_kernel(&compiled.unit, sig, size) else {
+                    continue;
+                };
                 cpu += run.cpu_time;
                 gpu += run.gpu_time;
                 transfer += run.workload.transfer_bytes;
@@ -139,12 +146,13 @@ impl Default for SyntheticConfig {
 impl SyntheticConfig {
     /// A configuration small enough for unit tests.
     pub fn small() -> SyntheticConfig {
-        let mut config = SyntheticConfig::default();
-        config.target_kernels = 12;
-        config.max_attempts = 400;
-        config.clgen = ClgenOptions::small(0x51A7);
+        let mut config = SyntheticConfig {
+            target_kernels: 12,
+            max_attempts: 400,
+            clgen: ClgenOptions::small(0x51A7),
+            dataset_sizes: vec![1 << 12, 1 << 18],
+        };
         config.clgen.corpus.miner.repositories = 40;
-        config.dataset_sizes = vec![1 << 12, 1 << 18];
         config
     }
 }
@@ -152,7 +160,11 @@ impl SyntheticConfig {
 /// Run the CLgen pipeline and return the accepted synthetic kernels.
 pub fn synthesize_kernels(config: &SyntheticConfig) -> Vec<SynthesizedKernel> {
     let mut clgen = Clgen::new(config.clgen.clone());
-    let report = clgen.synthesize(config.target_kernels, config.max_attempts, Some(&ArgumentSpec::paper_default()));
+    let report = clgen.synthesize(
+        config.target_kernels,
+        config.max_attempts,
+        Some(&ArgumentSpec::paper_default()),
+    );
     report.kernels
 }
 
@@ -178,10 +190,14 @@ pub fn build_synthetic_dataset(
         if !compiled.is_ok() || compiled.kernels.is_empty() {
             continue;
         }
-        let Some(statics) = benchmark_static_features(&kernel.source) else { continue };
+        let Some(statics) = benchmark_static_features(&kernel.source) else {
+            continue;
+        };
         let sig = &compiled.kernels[0];
         for &size in dataset_sizes {
-            let Ok(run) = driver.run_kernel(&compiled.unit, sig, size) else { continue };
+            let Ok(run) = driver.run_kernel(&compiled.unit, sig, size) else {
+                continue;
+            };
             let features = GreweFeatures {
                 static_features: statics,
                 transfer: run.workload.transfer_bytes,
@@ -202,7 +218,9 @@ pub fn build_synthetic_dataset(
 
 /// Static feature records (with the branch count) for a set of kernel sources;
 /// used by Figure 9 and the Turing test.
-pub fn static_features_of_sources<'a>(sources: impl Iterator<Item = &'a str>) -> Vec<StaticFeatures> {
+pub fn static_features_of_sources<'a>(
+    sources: impl Iterator<Item = &'a str>,
+) -> Vec<StaticFeatures> {
     sources.filter_map(benchmark_static_features).collect()
 }
 
@@ -214,7 +232,11 @@ mod tests {
     fn suite_dataset_covers_all_suites() {
         let config = DatasetConfig {
             feature_set: FeatureSet::Grewe,
-            driver: DriverOptions { profile_elements_cap: 256, profile_work_item_cap: 64, ..suite_driver_options() },
+            driver: DriverOptions {
+                profile_elements_cap: 256,
+                profile_work_item_cap: 64,
+                ..suite_driver_options()
+            },
         };
         // Restrict to two suites to keep the test fast.
         let benchmarks: Vec<Benchmark> = suites::suite_benchmarks(suites::Suite::NvidiaSdk)
@@ -230,7 +252,11 @@ mod tests {
             assert!(e.cpu_time > 0.0 && e.gpu_time > 0.0);
         }
         // both mappings appear somewhere (the learning problem is non-trivial)
-        assert!(dataset.gpu_fraction() > 0.0 && dataset.gpu_fraction() < 1.0, "gpu fraction {}", dataset.gpu_fraction());
+        assert!(
+            dataset.gpu_fraction() > 0.0 && dataset.gpu_fraction() < 1.0,
+            "gpu fraction {}",
+            dataset.gpu_fraction()
+        );
     }
 
     #[test]
@@ -238,8 +264,16 @@ mod tests {
         let config = SyntheticConfig::small();
         let kernels = synthesize_kernels(&config);
         assert!(!kernels.is_empty(), "CLgen produced no kernels");
-        let dataset = build_synthetic_dataset(&kernels, &Platform::amd(), FeatureSet::Grewe, &config.dataset_sizes);
-        assert!(!dataset.is_empty(), "no synthetic kernels survived the driver");
+        let dataset = build_synthetic_dataset(
+            &kernels,
+            &Platform::amd(),
+            FeatureSet::Grewe,
+            &config.dataset_sizes,
+        );
+        assert!(
+            !dataset.is_empty(),
+            "no synthetic kernels survived the driver"
+        );
         assert!(dataset.examples.iter().all(|e| e.suite == "CLgen"));
     }
 }

@@ -24,7 +24,8 @@ pub mod data;
 pub mod report;
 
 pub use data::{
-    build_suite_dataset, build_synthetic_dataset, synthesize_kernels, DatasetConfig, SyntheticConfig,
+    build_suite_dataset, build_synthetic_dataset, synthesize_kernels, DatasetConfig,
+    SyntheticConfig,
 };
 pub use report::{format_table, print_table};
 
@@ -32,7 +33,10 @@ pub use report::{format_table, print_table};
 /// defaulting to 1.0. Experiment binaries multiply their sample counts by this
 /// factor so that quick sanity runs and full reproductions use the same code.
 pub fn scale_factor() -> f64 {
-    std::env::var("CLGEN_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+    std::env::var("CLGEN_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Scale a count by [`scale_factor`], keeping at least `min`.

@@ -53,7 +53,12 @@ impl StaticFeatures {
     /// The integer-valued static feature tuple used for exact feature-value
     /// matching in Figure 9 (`comp`, `mem`, `localmem`, `coalesced`).
     pub fn match_key(&self) -> (u64, u64, u64, u64) {
-        (self.comp as u64, self.mem as u64, self.localmem as u64, self.coalesced as u64)
+        (
+            self.comp as u64,
+            self.mem as u64,
+            self.localmem as u64,
+            self.coalesced as u64,
+        )
     }
 
     /// Match key including the branch feature (used for the extended model's
@@ -161,11 +166,14 @@ mod tests {
         let counts = analyze_function(&parsed.unit, &kernel);
         let driver = HostDriver::with_options(Platform::amd(), DriverOptions::quick());
         let compiled = cl_frontend::compile(src, &Default::default());
-        let run = driver.run_kernel(&parsed.unit, &compiled.kernels[0], size).unwrap();
+        let run = driver
+            .run_kernel(&parsed.unit, &compiled.kernels[0], size)
+            .unwrap();
         GreweFeatures::new(&counts, &run)
     }
 
-    const VECADD: &str = "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+    const VECADD: &str =
+        "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
         int e = get_global_id(0);
         if (e < d) { c[e] = a[e] + b[e]; }
     }";
@@ -224,6 +232,9 @@ mod tests {
         let branchy = features_of(branchy_src, 256);
         // The Listing-2 phenomenon: indistinguishable on the four static
         // features, separated once the branch feature is added.
-        assert_ne!(plain.static_features.match_key_with_branches(), branchy.static_features.match_key_with_branches());
+        assert_ne!(
+            plain.static_features.match_key_with_branches(),
+            branchy.static_features.match_key_with_branches()
+        );
     }
 }

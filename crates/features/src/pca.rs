@@ -27,7 +27,10 @@ impl Pca {
     pub fn fit(rows: &[Vec<f64>], n_components: usize) -> Pca {
         assert!(!rows.is_empty(), "PCA requires at least one row");
         let dims = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == dims), "inconsistent row lengths");
+        assert!(
+            rows.iter().all(|r| r.len() == dims),
+            "inconsistent row lengths"
+        );
         let n = rows.len() as f64;
         let mut means = vec![0.0; dims];
         for row in rows {
@@ -42,11 +45,19 @@ impl Pca {
                 *s += (v - m) * (v - m);
             }
         }
-        scales.iter_mut().for_each(|s| *s = (*s / n).sqrt().max(1e-12));
+        scales
+            .iter_mut()
+            .for_each(|s| *s = (*s / n).sqrt().max(1e-12));
         // standardised data
         let data: Vec<Vec<f64>> = rows
             .iter()
-            .map(|r| r.iter().zip(&means).zip(&scales).map(|((v, m), s)| (v - m) / s).collect())
+            .map(|r| {
+                r.iter()
+                    .zip(&means)
+                    .zip(&scales)
+                    .map(|((v, m), s)| (v - m) / s)
+                    .collect()
+            })
             .collect();
         // covariance matrix (dims x dims)
         let mut cov = vec![vec![0.0; dims]; dims];
@@ -78,7 +89,12 @@ impl Pca {
             components.push(vec);
             explained.push(value.max(0.0));
         }
-        Pca { means, scales, components, explained_variance: explained }
+        Pca {
+            means,
+            scales,
+            components,
+            explained_variance: explained,
+        }
     }
 
     /// Project a single row onto the fitted components.
@@ -103,12 +119,19 @@ impl Pca {
     }
 }
 
-fn power_iteration(matrix: &[Vec<f64>], iterations: usize, tolerance: f64, seed: u64) -> (Vec<f64>, f64) {
+fn power_iteration(
+    matrix: &[Vec<f64>],
+    iterations: usize,
+    tolerance: f64,
+    seed: u64,
+) -> (Vec<f64>, f64) {
     let dims = matrix.len();
     // Deterministic pseudo-random start vector.
     let mut v: Vec<f64> = (0..dims)
         .map(|i| {
-            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed * 1442695040888963407 + 1);
+            let x = (i as u64)
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seed * 1442695040888963407 + 1);
             ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0 + 1e-3
         })
         .collect();
@@ -203,8 +226,15 @@ mod tests {
             let norm: f64 = pca.components[i].iter().map(|v| v * v).sum();
             assert!((norm - 1.0).abs() < 1e-6);
             for j in i + 1..pca.components.len() {
-                let dot: f64 = pca.components[i].iter().zip(&pca.components[j]).map(|(a, b)| a * b).sum();
-                assert!(dot.abs() < 0.05, "components {i} and {j} not orthogonal: {dot}");
+                let dot: f64 = pca.components[i]
+                    .iter()
+                    .zip(&pca.components[j])
+                    .map(|(a, b)| a * b)
+                    .sum();
+                assert!(
+                    dot.abs() < 0.05,
+                    "components {i} and {j} not orthogonal: {dot}"
+                );
             }
         }
     }

@@ -32,7 +32,10 @@ pub mod ngram;
 pub mod tensor;
 pub mod train;
 
-pub use lm::{argmax, sample_distribution, LanguageModel, StatefulLstm};
-pub use lstm::{LstmConfig, LstmModel};
+pub use lm::{
+    argmax, sample_distribution, sample_distribution_with, ClonedStreams, LanguageModel,
+    LstmStreams, NgramStreams, StatefulLstm, StreamBatch,
+};
+pub use lstm::{BatchState, LstmConfig, LstmModel, Workspace};
 pub use ngram::{NgramConfig, NgramModel};
 pub use train::{evaluate, train, EpochReport, TrainConfig};

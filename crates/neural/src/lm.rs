@@ -5,7 +5,7 @@
 //! Both the LSTM (the paper's model) and the n-gram ablation baseline
 //! implement this trait, so the synthesizer is generic over the model class.
 
-use crate::lstm::{LstmModel, LstmState};
+use crate::lstm::{BatchState, LstmModel, LstmState, Workspace};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -25,11 +25,13 @@ pub trait LanguageModel {
 }
 
 /// Adapter making [`LstmModel`] usable through the [`LanguageModel`] trait by
-/// carrying its recurrent state and the last prediction.
+/// carrying its recurrent state, a scratch [`Workspace`] and the last
+/// prediction. Feeding a character performs no heap allocation.
 #[derive(Debug, Clone)]
 pub struct StatefulLstm {
     model: LstmModel,
     state: LstmState,
+    ws: Workspace,
     last_probs: Vec<f32>,
 }
 
@@ -37,8 +39,14 @@ impl StatefulLstm {
     /// Wrap a trained LSTM for sampling.
     pub fn new(model: LstmModel) -> StatefulLstm {
         let state = model.initial_state();
+        let ws = model.workspace(1);
         let vocab = model.config.vocab_size;
-        StatefulLstm { model, state, last_probs: vec![1.0 / vocab as f32; vocab] }
+        StatefulLstm {
+            model,
+            state,
+            ws,
+            last_probs: vec![1.0 / vocab as f32; vocab],
+        }
     }
 
     /// Access the wrapped model.
@@ -60,11 +68,13 @@ impl LanguageModel for StatefulLstm {
     fn reset(&mut self) {
         self.state = self.model.initial_state();
         let vocab = self.vocab_size();
-        self.last_probs = vec![1.0 / vocab as f32; vocab];
+        self.last_probs.clear();
+        self.last_probs.resize(vocab, 1.0 / vocab as f32);
     }
 
     fn feed(&mut self, id: u32) {
-        self.last_probs = self.model.predict(&mut self.state, id);
+        let probs = self.model.predict_into(&mut self.state, id, &mut self.ws);
+        self.last_probs.copy_from_slice(probs);
     }
 
     fn predict(&self) -> Vec<f32> {
@@ -72,22 +82,301 @@ impl LanguageModel for StatefulLstm {
     }
 }
 
+/// A set of independent sample streams advancing through shared model
+/// weights, the engine behind multi-stream batched sampling.
+///
+/// Streams are identified by their index `0..num_streams()`. The caller
+/// drives them with [`feed_many`](StreamBatch::feed_many) (one character per
+/// listed stream) and reads each stream's current next-character distribution
+/// with [`probs_into`](StreamBatch::probs_into). A stream that has not been
+/// fed since the last [`reset`](StreamBatch::reset) predicts the uniform
+/// distribution, mirroring [`StatefulLstm`].
+pub trait StreamBatch {
+    /// Size of the character vocabulary.
+    fn vocab_size(&self) -> usize;
+
+    /// Number of streams in the batch.
+    fn num_streams(&self) -> usize;
+
+    /// Reset every stream to the start-of-sequence state.
+    fn reset(&mut self);
+
+    /// Reset a single stream to the start-of-sequence state, leaving the
+    /// others untouched. This is what lets a sampler recycle a finished
+    /// stream's lane for a fresh candidate (continuous batching).
+    fn reset_stream(&mut self, stream: usize);
+
+    /// Advance the listed streams by one character each: for every
+    /// `(stream, id)` pair, feed `id` into `stream`. A stream may appear at
+    /// most once per call.
+    fn feed_many(&mut self, pairs: &[(usize, u32)]);
+
+    /// Write stream `stream`'s distribution over the next character into
+    /// `out` (replacing its contents).
+    fn probs_into(&self, stream: usize, out: &mut Vec<f32>);
+}
+
+/// Multi-stream sampling over a shared [`LstmModel`]: every
+/// [`feed_many`](StreamBatch::feed_many) advances all listed streams as one
+/// batched matrix product per layer ([`LstmModel::predict_batch_sel`]), so
+/// weights are read once per batch instead of once per stream, and the
+/// per-lane arithmetic is bitwise identical to serial sampling.
+#[derive(Debug)]
+pub struct LstmStreams<'a> {
+    model: &'a LstmModel,
+    /// Lane-interleaved recurrent state, resident across steps.
+    bs: BatchState,
+    ws: Workspace,
+    /// For each stream, its position in the most recent softmax set
+    /// (`None` if not part of the last feed).
+    probs_pos: Vec<Option<usize>>,
+    /// Whether each stream has been fed since its last reset.
+    fed: Vec<bool>,
+    sel: Vec<usize>,
+    ids: Vec<u32>,
+    /// Saved state of lanes not fed in the current call (see `feed_many`);
+    /// pooled to avoid per-call allocation.
+    saved_lanes: Vec<(usize, Vec<f32>)>,
+    saved_pool: Vec<Vec<f32>>,
+}
+
+impl<'a> LstmStreams<'a> {
+    /// `n` fresh streams over `model`. Holding `&LstmModel` guarantees the
+    /// weights cannot change while the batch is alive, so the workspace's
+    /// embedding cache stays valid.
+    pub fn new(model: &'a LstmModel, n: usize) -> LstmStreams<'a> {
+        assert!(n > 0, "need at least one stream");
+        LstmStreams {
+            model,
+            bs: BatchState::new(&model.config, n),
+            ws: model.workspace(n),
+            probs_pos: vec![None; n],
+            fed: vec![false; n],
+            sel: Vec::with_capacity(n),
+            ids: vec![0; n],
+            saved_lanes: Vec::new(),
+            saved_pool: Vec::new(),
+        }
+    }
+}
+
+impl StreamBatch for LstmStreams<'_> {
+    fn vocab_size(&self) -> usize {
+        self.model.config.vocab_size
+    }
+
+    fn num_streams(&self) -> usize {
+        self.bs.width()
+    }
+
+    fn reset(&mut self) {
+        for lane in 0..self.bs.width() {
+            self.bs.reset_lane(lane);
+        }
+        self.probs_pos.iter_mut().for_each(|l| *l = None);
+        self.fed.iter_mut().for_each(|f| *f = false);
+    }
+
+    fn reset_stream(&mut self, stream: usize) {
+        self.bs.reset_lane(stream);
+        self.probs_pos[stream] = None;
+        self.fed[stream] = false;
+    }
+
+    fn feed_many(&mut self, pairs: &[(usize, u32)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        // The batch advances at full width every step (resident state, no
+        // gathers): lanes not being fed receive a dummy character and have
+        // their state restored afterwards, upholding the trait contract that
+        // unfed streams are untouched. In the hot path (every live lane fed,
+        // as the batched sampler does) no lane needs saving, so this costs
+        // nothing. Softmax runs only for the lanes actually fed.
+        self.sel.clear();
+        self.ids.iter_mut().for_each(|id| *id = 0);
+        for &(stream, id) in pairs {
+            self.sel.push(stream);
+            self.ids[stream] = id;
+        }
+        if self.sel.len() < self.bs.width() {
+            let mut fed = vec![false; self.bs.width()];
+            for &stream in &self.sel {
+                fed[stream] = true;
+            }
+            for (lane, _) in fed.iter().enumerate().filter(|(_, f)| !**f) {
+                let mut buf = self.saved_pool.pop().unwrap_or_default();
+                self.bs.snapshot_lane(lane, &mut buf);
+                self.saved_lanes.push((lane, buf));
+            }
+        }
+        self.model
+            .predict_batch_resident(&mut self.bs, &self.ids, &self.sel, &mut self.ws);
+        for (lane, buf) in self.saved_lanes.drain(..) {
+            self.bs.restore_lane(lane, &buf);
+            self.saved_pool.push(buf);
+        }
+        // Positions from earlier calls are stale: the probs buffer was
+        // rewritten. Streams fed earlier but not in this batch fall back to
+        // an exact recomputation from their (restored) hidden state.
+        self.probs_pos.iter_mut().for_each(|l| *l = None);
+        for (pos, &stream) in self.sel.iter().enumerate() {
+            self.probs_pos[stream] = Some(pos);
+            self.fed[stream] = true;
+        }
+    }
+
+    fn probs_into(&self, stream: usize, out: &mut Vec<f32>) {
+        out.clear();
+        match self.probs_pos[stream] {
+            Some(pos) => out.extend_from_slice(self.ws.probs_lane(pos)),
+            None if self.fed[stream] => self.model.lane_distribution(&self.bs, stream, out),
+            None => out.resize(self.vocab_size(), 1.0 / self.vocab_size() as f32),
+        }
+    }
+}
+
+/// Fallback [`StreamBatch`] for model classes without a batched kernel
+/// (e.g. the n-gram baseline): `n` independent clones advanced serially.
+/// Batched sampling through this adapter is trivially identical to serial
+/// sampling, since it *is* serial sampling.
+#[derive(Debug, Clone)]
+pub struct ClonedStreams<M> {
+    streams: Vec<M>,
+}
+
+impl<M: LanguageModel + Clone> ClonedStreams<M> {
+    /// `n` fresh streams, each a reset clone of `model`.
+    pub fn new(model: &M, n: usize) -> ClonedStreams<M> {
+        let mut streams = vec![model.clone(); n];
+        for s in &mut streams {
+            s.reset();
+        }
+        ClonedStreams { streams }
+    }
+}
+
+impl<M: LanguageModel + Clone> StreamBatch for ClonedStreams<M> {
+    fn vocab_size(&self) -> usize {
+        self.streams.first().map(|s| s.vocab_size()).unwrap_or(0)
+    }
+
+    fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn reset(&mut self) {
+        for s in &mut self.streams {
+            s.reset();
+        }
+    }
+
+    fn reset_stream(&mut self, stream: usize) {
+        self.streams[stream].reset();
+    }
+
+    fn feed_many(&mut self, pairs: &[(usize, u32)]) {
+        for &(stream, id) in pairs {
+            self.streams[stream].feed(id);
+        }
+    }
+
+    fn probs_into(&self, stream: usize, out: &mut Vec<f32>) {
+        *out = self.streams[stream].predict();
+    }
+}
+
+/// Multi-stream sampling over a shared [`NgramModel`]: every stream carries
+/// only its rolling character history while the (potentially large) count
+/// tables are borrowed, so spawning a batch costs nothing. Prediction per
+/// stream is exactly [`NgramModel::predict`] over that history.
+///
+/// [`NgramModel`]: crate::ngram::NgramModel
+/// [`NgramModel::predict`]: crate::lm::LanguageModel::predict
+#[derive(Debug)]
+pub struct NgramStreams<'a> {
+    model: &'a crate::ngram::NgramModel,
+    histories: Vec<Vec<u32>>,
+}
+
+impl<'a> NgramStreams<'a> {
+    /// `n` fresh streams over `model`.
+    pub fn new(model: &'a crate::ngram::NgramModel, n: usize) -> NgramStreams<'a> {
+        NgramStreams {
+            model,
+            histories: vec![Vec::new(); n],
+        }
+    }
+}
+
+impl StreamBatch for NgramStreams<'_> {
+    fn vocab_size(&self) -> usize {
+        self.model.vocab_size()
+    }
+
+    fn num_streams(&self) -> usize {
+        self.histories.len()
+    }
+
+    fn reset(&mut self) {
+        for h in &mut self.histories {
+            h.clear();
+        }
+    }
+
+    fn reset_stream(&mut self, stream: usize) {
+        self.histories[stream].clear();
+    }
+
+    fn feed_many(&mut self, pairs: &[(usize, u32)]) {
+        // Mirrors `NgramModel::feed`: keep only the context window.
+        let keep = self.model.config().context;
+        for &(stream, id) in pairs {
+            let history = &mut self.histories[stream];
+            history.push(id);
+            if history.len() > keep {
+                let excess = history.len() - keep;
+                history.drain(..excess);
+            }
+        }
+    }
+
+    fn probs_into(&self, stream: usize, out: &mut Vec<f32>) {
+        *out = self.model.distribution_for(&self.histories[stream]);
+    }
+}
+
 /// Sample an index from a probability distribution with a temperature
 /// adjustment. Temperature 1.0 samples the distribution as-is; lower values
 /// sharpen it (more deterministic), higher values flatten it.
 pub fn sample_distribution(probs: &[f32], temperature: f32, rng: &mut StdRng) -> u32 {
+    let mut weights = Vec::new();
+    sample_distribution_with(probs, temperature, rng, &mut weights)
+}
+
+/// [`sample_distribution`] over a caller-provided weight buffer, so hot
+/// sampling loops perform no per-character allocation. The draw (and RNG
+/// consumption) is identical to [`sample_distribution`].
+pub fn sample_distribution_with(
+    probs: &[f32],
+    temperature: f32,
+    rng: &mut StdRng,
+    weights: &mut Vec<f64>,
+) -> u32 {
     assert!(!probs.is_empty());
     let temperature = temperature.max(1e-3);
     // Re-weight: p^(1/T), renormalise.
-    let mut weights: Vec<f64> = probs
-        .iter()
-        .map(|&p| f64::from(p.max(1e-12)).powf(1.0 / f64::from(temperature)))
-        .collect();
+    weights.clear();
+    weights.extend(
+        probs
+            .iter()
+            .map(|&p| f64::from(p.max(1e-12)).powf(1.0 / f64::from(temperature))),
+    );
     let total: f64 = weights.iter().sum();
     if total <= 0.0 {
         return rng.gen_range(0..probs.len()) as u32;
     }
-    for w in &mut weights {
+    for w in weights.iter_mut() {
         *w /= total;
     }
     let mut draw: f64 = rng.gen();
@@ -152,7 +441,10 @@ mod tests {
         for _ in 0..500 {
             counts[sample_distribution(&probs, 0.05, &mut rng) as usize] += 1;
         }
-        assert!(counts[1] > 480, "low temperature should pick the mode almost always: {counts:?}");
+        assert!(
+            counts[1] > 480,
+            "low temperature should pick the mode almost always: {counts:?}"
+        );
         assert_eq!(argmax(&probs), 1);
     }
 
@@ -167,5 +459,52 @@ mod tests {
         // With a hot temperature the minority classes appear far more often
         // than their base probability would suggest.
         assert!(counts[0] + counts[2] > 400, "{counts:?}");
+    }
+
+    /// The `StreamBatch` contract: feeding a subset of streams must leave
+    /// the other streams untouched, and every stream's distribution must
+    /// stay bitwise identical to an independent serial model fed the same
+    /// characters (regression test for the full-width resident advance).
+    #[test]
+    fn lstm_streams_subset_feeds_leave_other_streams_untouched() {
+        use crate::lstm::{LstmConfig, LstmModel};
+
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: 7,
+            hidden_size: 12,
+            num_layers: 2,
+            seed: 21,
+        });
+        let mut streams = LstmStreams::new(&model, 3);
+        let mut serial: Vec<StatefulLstm> =
+            (0..3).map(|_| StatefulLstm::new(model.clone())).collect();
+
+        // Interleaved subset feeds, including re-feeding a stream that sat
+        // out a round and querying a stream long after its last feed.
+        let rounds: Vec<Vec<(usize, u32)>> = vec![
+            vec![(0, 1), (2, 3)],
+            vec![(1, 5)],
+            vec![(0, 2)],
+            vec![(0, 6), (1, 0), (2, 4)],
+        ];
+        let mut probs = Vec::new();
+        for pairs in rounds {
+            for &(stream, id) in &pairs {
+                serial[stream].feed(id);
+            }
+            streams.feed_many(&pairs);
+            for (stream, reference) in serial.iter().enumerate() {
+                streams.probs_into(stream, &mut probs);
+                let expect = reference.predict();
+                assert_eq!(probs.len(), expect.len());
+                for (a, b) in probs.iter().zip(expect.iter()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "stream {stream} diverged from serial"
+                    );
+                }
+            }
+        }
     }
 }

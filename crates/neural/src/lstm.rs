@@ -6,7 +6,9 @@
 //! layer — scaled by configuration to sizes a CPU can train in minutes. The
 //! forward pass doubles as the sampling engine used by the synthesizer.
 
-use crate::tensor::{sigmoid, softmax_in_place, Matrix};
+use crate::tensor::{
+    fast_tanh, lstm_cell_cached, lstm_cell_fused_batch, sigmoid, softmax_in_place, Matrix,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -27,13 +29,23 @@ pub struct LstmConfig {
 impl LstmConfig {
     /// A small configuration suitable for unit tests and CPU-scale training.
     pub fn small(vocab_size: usize) -> LstmConfig {
-        LstmConfig { vocab_size, hidden_size: 64, num_layers: 2, seed: 0x15F3 }
+        LstmConfig {
+            vocab_size,
+            hidden_size: 64,
+            num_layers: 2,
+            seed: 0x15F3,
+        }
     }
 
     /// The paper's configuration (3 x 2048). Provided for completeness; on a
     /// CPU this is only practical for inference over a pre-trained checkpoint.
     pub fn paper(vocab_size: usize) -> LstmConfig {
-        LstmConfig { vocab_size, hidden_size: 2048, num_layers: 3, seed: 0x15F3 }
+        LstmConfig {
+            vocab_size,
+            hidden_size: 2048,
+            num_layers: 3,
+            seed: 0x15F3,
+        }
     }
 }
 
@@ -110,6 +122,58 @@ pub struct StepCache {
     pub input_id: u32,
 }
 
+impl StepCache {
+    /// An empty cache; [`StepCache::ensure_shape`] sizes it for a model.
+    pub fn empty() -> StepCache {
+        StepCache {
+            inputs: Vec::new(),
+            i: Vec::new(),
+            f: Vec::new(),
+            g: Vec::new(),
+            o: Vec::new(),
+            c: Vec::new(),
+            tanh_c: Vec::new(),
+            h_prev: Vec::new(),
+            c_prev: Vec::new(),
+            h: Vec::new(),
+            input_id: 0,
+        }
+    }
+
+    /// Resize every buffer for `config` (idempotent), so the cache can be
+    /// reused across timesteps without reallocating.
+    pub fn ensure_shape(&mut self, config: &LstmConfig) {
+        let hs = config.hidden_size;
+        let layers = config.num_layers;
+        let fit = |bufs: &mut Vec<Vec<f32>>| {
+            bufs.resize_with(layers, Vec::new);
+            for buf in bufs.iter_mut() {
+                buf.resize(hs, 0.0);
+            }
+        };
+        // Layer 0 reads the one-hot character directly, so its input slot
+        // stays empty; higher layers read the hidden vector below.
+        self.inputs.resize_with(layers, Vec::new);
+        self.inputs[0].clear();
+        for buf in self.inputs.iter_mut().skip(1) {
+            buf.resize(hs, 0.0);
+        }
+        for bufs in [
+            &mut self.i,
+            &mut self.f,
+            &mut self.g,
+            &mut self.o,
+            &mut self.c,
+            &mut self.tanh_c,
+            &mut self.h_prev,
+            &mut self.c_prev,
+            &mut self.h,
+        ] {
+            fit(bufs);
+        }
+    }
+}
+
 /// Gradients with the same shape as the model parameters.
 #[derive(Debug, Clone)]
 pub struct LstmGradients {
@@ -144,6 +208,285 @@ impl LstmGradients {
         self.w_out.scale(s);
         self.b_out.iter_mut().for_each(|v| *v *= s);
     }
+
+    /// Reset every gradient to zero so the buffers can be reused across
+    /// truncated-BPTT chunks without reallocating.
+    pub fn fill_zero(&mut self) {
+        for l in &mut self.layers {
+            l.w_x.fill_zero();
+            l.w_h.fill_zero();
+            l.b.iter_mut().for_each(|v| *v = 0.0);
+        }
+        self.w_out.fill_zero();
+        self.b_out.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Backpropagation scratch buffers (one set per [`Workspace`]).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BpttScratch {
+    /// Per-layer gradient flowing into the next-older hidden state.
+    dh_next: Vec<Vec<f32>>,
+    /// Per-layer gradient flowing into the next-older cell state.
+    dc_next: Vec<Vec<f32>>,
+    dlogits: Vec<f32>,
+    dh_above: Vec<f32>,
+    dh: Vec<f32>,
+    dz: Vec<f32>,
+    dc_prev: Vec<f32>,
+}
+
+impl BpttScratch {
+    fn ensure_shape(&mut self, config: &LstmConfig) {
+        let hs = config.hidden_size;
+        for bufs in [&mut self.dh_next, &mut self.dc_next] {
+            bufs.resize_with(config.num_layers, Vec::new);
+            for buf in bufs.iter_mut() {
+                buf.resize(hs, 0.0);
+            }
+        }
+        self.dlogits.resize(config.vocab_size, 0.0);
+        self.dh_above.resize(hs, 0.0);
+        self.dh.resize(hs, 0.0);
+        self.dz.resize(4 * hs, 0.0);
+        self.dc_prev.resize(hs, 0.0);
+    }
+}
+
+/// Recurrent state for a fixed-width batch of independent streams, stored
+/// lane-interleaved (element `j` of lane `b` at `j * width + b`) so the
+/// batched forward pass reads and writes it directly — no per-step gather or
+/// scatter. Lanes are independent columns; resetting one lane never touches
+/// the others.
+#[derive(Debug, Clone)]
+pub struct BatchState {
+    width: usize,
+    /// Hidden vectors per layer, interleaved.
+    h: Vec<Vec<f32>>,
+    /// Cell vectors per layer, interleaved.
+    c: Vec<Vec<f32>>,
+}
+
+impl BatchState {
+    /// A zero state for `width` lanes of a `config`-shaped model.
+    pub fn new(config: &LstmConfig, width: usize) -> BatchState {
+        BatchState {
+            width,
+            h: vec![vec![0.0; config.hidden_size * width]; config.num_layers],
+            c: vec![vec![0.0; config.hidden_size * width]; config.num_layers],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Reset one lane to the start-of-sequence state.
+    pub fn reset_lane(&mut self, lane: usize) {
+        assert!(lane < self.width, "lane out of range");
+        for buf in self.h.iter_mut().chain(self.c.iter_mut()) {
+            for v in buf[lane..].iter_mut().step_by(self.width) {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Append one lane's hidden and cell values to `buf` (for
+    /// [`BatchState::restore_lane`]).
+    pub fn snapshot_lane(&self, lane: usize, buf: &mut Vec<f32>) {
+        assert!(lane < self.width, "lane out of range");
+        buf.clear();
+        for src in self.h.iter().chain(self.c.iter()) {
+            buf.extend(src[lane..].iter().step_by(self.width));
+        }
+    }
+
+    /// Restore a lane from a [`BatchState::snapshot_lane`] buffer.
+    pub fn restore_lane(&mut self, lane: usize, buf: &[f32]) {
+        assert!(lane < self.width, "lane out of range");
+        let mut values = buf.iter();
+        for dst in self.h.iter_mut().chain(self.c.iter_mut()) {
+            for v in dst[lane..].iter_mut().step_by(self.width) {
+                *v = *values.next().expect("snapshot buffer too short");
+            }
+        }
+        assert!(values.next().is_none(), "snapshot buffer too long");
+    }
+
+    /// Copy a per-stream [`LstmState`] into one lane.
+    pub fn load_lane(&mut self, lane: usize, state: &LstmState) {
+        assert!(lane < self.width, "lane out of range");
+        for (dst, src) in self.h.iter_mut().zip(state.h.iter()) {
+            for (j, &v) in src.iter().enumerate() {
+                dst[j * self.width + lane] = v;
+            }
+        }
+        for (dst, src) in self.c.iter_mut().zip(state.c.iter()) {
+            for (j, &v) in src.iter().enumerate() {
+                dst[j * self.width + lane] = v;
+            }
+        }
+    }
+
+    /// Copy one lane out into a per-stream [`LstmState`].
+    pub fn store_lane(&self, lane: usize, state: &mut LstmState) {
+        assert!(lane < self.width, "lane out of range");
+        for (src, dst) in self.h.iter().zip(state.h.iter_mut()) {
+            for (j, v) in dst.iter_mut().enumerate() {
+                *v = src[j * self.width + lane];
+            }
+        }
+        for (src, dst) in self.c.iter().zip(state.c.iter_mut()) {
+            for (j, v) in dst.iter_mut().enumerate() {
+                *v = src[j * self.width + lane];
+            }
+        }
+    }
+}
+
+/// Preallocated per-model scratch buffers for the forward, sampling and
+/// training hot paths.
+///
+/// A `Workspace` owns everything the numeric core would otherwise allocate
+/// per character: the gate pre-activation block, gather buffers for batched
+/// inputs/hidden states, the logits/softmax buffers, plus the per-timestep
+/// activation caches and backpropagation scratch used by truncated BPTT.
+/// Create one with [`LstmModel::workspace`] and reuse it across calls; all
+/// batched entry points grow it on demand, so a workspace sized for batch 1
+/// can later serve batch 32.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    config: LstmConfig,
+    /// Lane capacity the interleaved buffers are currently sized for.
+    capacity: usize,
+    /// Gate pre-activations, `4H` rows of `capacity` interleaved lanes.
+    z: Vec<f32>,
+    /// Gathered layer inputs, `H x capacity`.
+    xbuf: Vec<f32>,
+    /// Gathered hidden states, `H x capacity`.
+    hbuf: Vec<f32>,
+    /// Output logits, `V x capacity` (lane-interleaved).
+    logits: Vec<f32>,
+    /// Per-stream softmax outputs, batch-major: lane `b` occupies
+    /// `probs[b*V..(b+1)*V]`.
+    probs: Vec<f32>,
+    /// One-hot column indices for the current batch.
+    cols: Vec<usize>,
+    /// Transposed layer-0 input weights (`V x 4H`), so the one-hot embedding
+    /// add reads a contiguous row per lane instead of a strided column.
+    /// Built from the model by [`LstmModel::workspace`]; empty until then.
+    /// A workspace must not be shared between models, and sampling must not
+    /// run concurrently with weight updates (the stream types enforce this by
+    /// borrowing the model).
+    embed_t: Vec<f32>,
+    /// Scratch batch state for the gather/scatter compatibility wrapper
+    /// [`LstmModel::predict_batch_sel`].
+    batch_scratch: Option<BatchState>,
+    /// Reusable per-timestep activation caches for truncated BPTT.
+    pub(crate) caches: Vec<StepCache>,
+    /// Reusable per-timestep softmax outputs for truncated BPTT.
+    pub(crate) step_probs: Vec<Vec<f32>>,
+    /// Backpropagation scratch.
+    pub(crate) bptt: BpttScratch,
+}
+
+impl Workspace {
+    /// A workspace for `config`, pre-sized for `capacity` parallel lanes.
+    pub fn new(config: &LstmConfig, capacity: usize) -> Workspace {
+        let mut ws = Workspace {
+            config: *config,
+            capacity: 0,
+            z: Vec::new(),
+            xbuf: Vec::new(),
+            hbuf: Vec::new(),
+            logits: Vec::new(),
+            probs: Vec::new(),
+            cols: Vec::new(),
+            embed_t: Vec::new(),
+            batch_scratch: None,
+            caches: Vec::new(),
+            step_probs: Vec::new(),
+            bptt: BpttScratch::default(),
+        };
+        ws.ensure_lanes(capacity.max(1));
+        ws
+    }
+
+    /// Drop the cached transposed embedding so the next prediction rebuilds
+    /// it from the current weights. Called by the training entry points
+    /// whenever they update the model; callers applying gradients directly
+    /// must not reuse a prediction workspace without doing the same.
+    pub fn invalidate_embed(&mut self) {
+        self.embed_t.clear();
+    }
+
+    /// Cache the transposed layer-0 input weights of `model` for the
+    /// embedding fast path (idempotent).
+    fn ensure_embed(&mut self, model: &LstmModel) {
+        let hs4 = 4 * self.config.hidden_size;
+        let nv = self.config.vocab_size;
+        if self.embed_t.len() == nv * hs4 {
+            return;
+        }
+        self.embed_t.resize(nv * hs4, 0.0);
+        let w_x = &model.layers[0].w_x;
+        for r in 0..hs4 {
+            for col in 0..nv {
+                self.embed_t[col * hs4 + r] = w_x.get(r, col);
+            }
+        }
+    }
+
+    /// Grow the interleaved buffers to hold at least `width` lanes.
+    fn ensure_lanes(&mut self, width: usize) {
+        if width <= self.capacity {
+            return;
+        }
+        let hs = self.config.hidden_size;
+        self.z.resize(4 * hs * width, 0.0);
+        self.xbuf.resize(hs * width, 0.0);
+        self.hbuf.resize(hs * width, 0.0);
+        self.logits.resize(self.config.vocab_size * width, 0.0);
+        self.probs.resize(self.config.vocab_size * width, 0.0);
+        self.capacity = width;
+    }
+
+    /// Grow the BPTT cache pool to at least `steps` timesteps.
+    pub(crate) fn ensure_caches(&mut self, steps: usize) {
+        let config = self.config;
+        if self.caches.len() < steps {
+            self.caches.resize_with(steps, StepCache::empty);
+        }
+        for cache in self.caches.iter_mut().take(steps) {
+            cache.ensure_shape(&config);
+        }
+        if self.step_probs.len() < steps {
+            self.step_probs.resize_with(steps, Vec::new);
+        }
+        for probs in self.step_probs.iter_mut().take(steps) {
+            probs.resize(config.vocab_size, 0.0);
+        }
+        self.bptt.ensure_shape(&config);
+    }
+
+    /// The softmax output of lane `lane` from the most recent batched
+    /// prediction.
+    pub fn probs_lane(&self, lane: usize) -> &[f32] {
+        let v = self.config.vocab_size;
+        &self.probs[lane * v..(lane + 1) * v]
+    }
+
+    /// Disjoint borrows of the forward-pass training buffers: the cache
+    /// pool, the per-timestep softmax outputs, and the gate scratch.
+    pub(crate) fn bptt_buffers(&mut self) -> (&mut [StepCache], &mut [Vec<f32>], &mut [f32]) {
+        (&mut self.caches, &mut self.step_probs, &mut self.z)
+    }
+
+    /// Disjoint borrows of the backward-pass buffers.
+    pub(crate) fn backward_buffers(&mut self) -> (&[StepCache], &[Vec<f32>], &mut BpttScratch) {
+        (&self.caches, &self.step_probs, &mut self.bptt)
+    }
 }
 
 /// The LSTM character language model.
@@ -167,7 +510,11 @@ impl LstmModel {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut layers = Vec::with_capacity(config.num_layers);
         for l in 0..config.num_layers {
-            let input = if l == 0 { config.vocab_size } else { config.hidden_size };
+            let input = if l == 0 {
+                config.vocab_size
+            } else {
+                config.hidden_size
+            };
             layers.push(LstmLayer::new(input, config.hidden_size, &mut rng));
         }
         let w_out = Matrix::uniform(
@@ -176,7 +523,12 @@ impl LstmModel {
             (1.0 / config.hidden_size as f32).sqrt(),
             &mut rng,
         );
-        LstmModel { config, layers, w_out, b_out: vec![0.0; config.vocab_size] }
+        LstmModel {
+            config,
+            layers,
+            w_out,
+            b_out: vec![0.0; config.vocab_size],
+        }
     }
 
     /// Total number of trainable parameters.
@@ -231,8 +583,8 @@ impl LstmModel {
             if l == 0 {
                 // One-hot input: add the id-th column of W_x.
                 let col = input_id as usize % self.config.vocab_size;
-                for r in 0..4 * hs {
-                    z[r] += layer.w_x.get(r, col);
+                for (r, zv) in z.iter_mut().enumerate() {
+                    *zv += layer.w_x.get(r, col);
                 }
                 cache.inputs.push(Vec::new());
             } else {
@@ -251,10 +603,10 @@ impl LstmModel {
             for j in 0..hs {
                 gi[j] = sigmoid(z[j]);
                 gf[j] = sigmoid(z[hs + j]);
-                gg[j] = z[2 * hs + j].tanh();
+                gg[j] = fast_tanh(z[2 * hs + j]);
                 go[j] = sigmoid(z[3 * hs + j]);
                 c_new[j] = gf[j] * state.c[l][j] + gi[j] * gg[j];
-                tanh_c[j] = c_new[j].tanh();
+                tanh_c[j] = fast_tanh(c_new[j]);
                 h_new[j] = go[j] * tanh_c[j];
             }
             state.c[l] = c_new.clone();
@@ -280,6 +632,248 @@ impl LstmModel {
         self.step(state, input_id).0
     }
 
+    /// A scratch workspace sized for `capacity` parallel sample streams,
+    /// with this model's embedding cache pre-built.
+    pub fn workspace(&self, capacity: usize) -> Workspace {
+        let mut ws = Workspace::new(&self.config, capacity);
+        ws.ensure_embed(self);
+        ws
+    }
+
+    /// Allocation-free forward step for sampling: advances `state` by one
+    /// character and returns the softmax distribution from the workspace.
+    ///
+    /// Numerically this is the single-lane case of [`predict_batch`]
+    /// (bitwise identical to [`LstmModel::predict`]), without the per-step
+    /// gate/cache allocations of [`LstmModel::step`].
+    ///
+    /// [`predict_batch`]: LstmModel::predict_batch
+    pub fn predict_into<'w>(
+        &self,
+        state: &mut LstmState,
+        input_id: u32,
+        ws: &'w mut Workspace,
+    ) -> &'w [f32] {
+        self.predict_batch_sel(std::slice::from_mut(state), &[0], &[input_id], ws);
+        ws.probs_lane(0)
+    }
+
+    /// Advance `states.len()` independent sample streams by one character
+    /// each, as one matrix-matrix product per layer against the shared
+    /// weights. `inputs[i]` is fed to `states[i]`; stream `i`'s softmax
+    /// output is afterwards available as `ws.probs_lane(i)`.
+    pub fn predict_batch(&self, states: &mut [LstmState], inputs: &[u32], ws: &mut Workspace) {
+        let sel: Vec<usize> = (0..states.len()).collect();
+        self.predict_batch_sel(states, &sel, inputs, ws);
+    }
+
+    /// [`predict_batch`](LstmModel::predict_batch) over a subset of streams:
+    /// lane `b` of the batch advances `states[sel[b]]` with `inputs[b]`.
+    ///
+    /// Because the batched GEMM accumulates every output element in the same
+    /// order as the serial matrix-vector product (see
+    /// [`Matrix::matmul_add_into`]) and the fused cell update is element-wise,
+    /// every lane's new state and distribution are bitwise identical to a
+    /// serial [`LstmModel::predict`] on that stream — the foundation of the
+    /// batched sampler's determinism guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sel.len() != inputs.len()`, an index is out of bounds, or
+    /// `sel` names the same stream twice.
+    pub fn predict_batch_sel(
+        &self,
+        states: &mut [LstmState],
+        sel: &[usize],
+        inputs: &[u32],
+        ws: &mut Workspace,
+    ) {
+        let width = sel.len();
+        assert_eq!(inputs.len(), width, "one input per selected stream");
+        assert!(
+            {
+                let mut seen = sel.to_vec();
+                seen.sort_unstable();
+                seen.windows(2).all(|w| w[0] != w[1])
+            },
+            "sel must not repeat streams"
+        );
+        if width == 0 {
+            return;
+        }
+        // Gather the selected states into the scratch batch, advance it
+        // resident, and scatter back.
+        let mut bs = match ws.batch_scratch.take() {
+            Some(bs) if bs.width() == width => bs,
+            _ => BatchState::new(&self.config, width),
+        };
+        for (lane, &s) in sel.iter().enumerate() {
+            bs.load_lane(lane, &states[s]);
+        }
+        let mut softmax_lanes = std::mem::take(&mut ws.cols);
+        softmax_lanes.clear();
+        softmax_lanes.extend(0..width);
+        self.predict_batch_resident(&mut bs, inputs, &softmax_lanes, ws);
+        ws.cols = softmax_lanes;
+        for (lane, &s) in sel.iter().enumerate() {
+            bs.store_lane(lane, &mut states[s]);
+        }
+        ws.batch_scratch = Some(bs);
+    }
+
+    /// The resident batched forward step: advance every lane of `bs` by one
+    /// character (`inputs[lane]`) as one GEMM per weight matrix, with no
+    /// gather or scatter of the recurrent state. Softmax distributions are
+    /// produced only for the lanes listed in `softmax_lanes`; lane
+    /// `softmax_lanes[i]`'s distribution lands in `ws.probs_lane(i)`.
+    ///
+    /// Per lane this is bitwise identical to [`LstmModel::predict`]; see
+    /// [`predict_batch_sel`](LstmModel::predict_batch_sel).
+    pub fn predict_batch_resident(
+        &self,
+        bs: &mut BatchState,
+        inputs: &[u32],
+        softmax_lanes: &[usize],
+        ws: &mut Workspace,
+    ) {
+        let hs = self.config.hidden_size;
+        let nv = self.config.vocab_size;
+        let width = bs.width();
+        assert_eq!(inputs.len(), width, "one input per lane");
+        ws.ensure_lanes(width);
+        ws.ensure_embed(self);
+        let Workspace {
+            z,
+            logits,
+            probs,
+            embed_t,
+            ..
+        } = ws;
+        let z = &mut z[..4 * hs * width];
+        let hs4 = 4 * hs;
+
+        for (l, layer) in self.layers.iter().enumerate() {
+            // z = b, broadcast across lanes.
+            for (r, &bias) in layer.b.iter().enumerate() {
+                z[r * width..(r + 1) * width].fill(bias);
+            }
+            // z += W_x * x: layer 0 adds the embedding row of each lane's
+            // character (contiguous thanks to the transposed cache), higher
+            // layers run a GEMM over the freshly-updated hidden state below.
+            if l == 0 {
+                for (lane, &id) in inputs.iter().enumerate() {
+                    let col = id as usize % nv;
+                    let row = &embed_t[col * hs4..(col + 1) * hs4];
+                    for (r, &w) in row.iter().enumerate() {
+                        z[r * width + lane] += w;
+                    }
+                }
+            } else {
+                layer.w_x.matmul_add_into(&bs.h[l - 1], width, z);
+            }
+            // z += W_h * h_prev (this layer's resident state, pre-update).
+            layer.w_h.matmul_add_into(&bs.h[l], width, z);
+            // Fused gate activation + state update across all lanes.
+            lstm_cell_fused_batch(z, width, &mut bs.c[l], &mut bs.h[l]);
+        }
+
+        // Output projection over the resident top hidden state, then softmax
+        // for the requested lanes.
+        let logits = &mut logits[..nv * width];
+        for (r, &bias) in self.b_out.iter().enumerate() {
+            logits[r * width..(r + 1) * width].fill(bias);
+        }
+        self.w_out
+            .matmul_add_into(&bs.h[self.config.num_layers - 1], width, logits);
+        for (pos, &lane) in softmax_lanes.iter().enumerate() {
+            let dst = &mut probs[pos * nv..(pos + 1) * nv];
+            for (r, p) in dst.iter_mut().enumerate() {
+                *p = logits[r * width + lane];
+            }
+            softmax_in_place(dst);
+        }
+    }
+
+    /// Recompute one lane's next-character distribution from its resident
+    /// hidden state, without advancing anything. Bitwise identical to the
+    /// softmax [`predict_batch_resident`](LstmModel::predict_batch_resident)
+    /// produced for that lane at its last step (the logits accumulate over
+    /// the hidden vector in the same order).
+    pub fn lane_distribution(&self, bs: &BatchState, lane: usize, out: &mut Vec<f32>) {
+        let width = bs.width();
+        assert!(lane < width, "lane out of range");
+        let top = &bs.h[self.config.num_layers - 1];
+        out.clear();
+        out.extend_from_slice(&self.b_out);
+        for (dst, row) in out
+            .iter_mut()
+            .zip(self.w_out.data().chunks_exact(self.w_out.cols()))
+        {
+            let mut acc = 0.0f32;
+            for (&w, &h) in row.iter().zip(top[lane..].iter().step_by(width)) {
+                acc += w * h;
+            }
+            *dst += acc;
+        }
+        softmax_in_place(out);
+    }
+
+    /// Training forward step writing into reusable buffers: like
+    /// [`LstmModel::step`] but with the activation cache, softmax output and
+    /// gate scratch provided by the caller, so truncated BPTT performs no
+    /// per-timestep allocation. `gate_scratch` must hold at least `4H`
+    /// elements (a [`Workspace`]'s gate buffer qualifies).
+    pub fn step_into(
+        &self,
+        state: &mut LstmState,
+        input_id: u32,
+        cache: &mut StepCache,
+        probs: &mut Vec<f32>,
+        gate_scratch: &mut [f32],
+    ) {
+        let hs = self.config.hidden_size;
+        cache.ensure_shape(&self.config);
+        cache.input_id = input_id;
+        let z = &mut gate_scratch[..4 * hs];
+        for l in 0..self.config.num_layers {
+            cache.h_prev[l].copy_from_slice(&state.h[l]);
+            cache.c_prev[l].copy_from_slice(&state.c[l]);
+        }
+        for (l, layer) in self.layers.iter().enumerate() {
+            z.copy_from_slice(&layer.b);
+            if l == 0 {
+                let col = input_id as usize % self.config.vocab_size;
+                for (r, zv) in z.iter_mut().enumerate() {
+                    *zv += layer.w_x.get(r, col);
+                }
+            } else {
+                // The layer input is the hidden state below, updated this step.
+                let (inputs, h) = (&mut cache.inputs, &cache.h);
+                inputs[l].copy_from_slice(&h[l - 1]);
+                layer.w_x.matvec_add(&cache.inputs[l], z);
+            }
+            layer.w_h.matvec_add(&cache.h_prev[l], z);
+            lstm_cell_cached(
+                z,
+                &cache.c_prev[l],
+                &mut cache.i[l],
+                &mut cache.f[l],
+                &mut cache.g[l],
+                &mut cache.o[l],
+                &mut cache.c[l],
+                &mut cache.tanh_c[l],
+                &mut cache.h[l],
+            );
+            state.c[l].copy_from_slice(&cache.c[l]);
+            state.h[l].copy_from_slice(&cache.h[l]);
+        }
+        probs.clear();
+        probs.extend_from_slice(&self.b_out);
+        self.w_out
+            .matvec_add(&cache.h[self.config.num_layers - 1], probs);
+        softmax_in_place(probs);
+    }
+
     /// Backpropagate through a sequence of cached steps.
     ///
     /// `probs_and_targets` holds, for each timestep, the softmax output of the
@@ -292,38 +886,70 @@ impl LstmModel {
         grads: &mut LstmGradients,
     ) -> f32 {
         assert_eq!(caches.len(), probs_and_targets.len());
+        let probs: Vec<&[f32]> = probs_and_targets
+            .iter()
+            .map(|(p, _)| p.as_slice())
+            .collect();
+        let targets: Vec<u32> = probs_and_targets.iter().map(|(_, t)| *t).collect();
+        let mut scratch = BpttScratch::default();
+        self.backward_core(caches, &probs, &targets, grads, &mut scratch)
+    }
+
+    /// Backpropagation core over caller-provided scratch buffers: no
+    /// allocation per timestep or per layer. [`LstmModel::backward`] wraps
+    /// this with a fresh scratch; the training loop reuses the scratch in its
+    /// [`Workspace`] across every chunk of every epoch.
+    pub(crate) fn backward_core(
+        &self,
+        caches: &[StepCache],
+        probs: &[&[f32]],
+        targets: &[u32],
+        grads: &mut LstmGradients,
+        scratch: &mut BpttScratch,
+    ) -> f32 {
+        assert_eq!(caches.len(), probs.len());
+        assert_eq!(caches.len(), targets.len());
         let hs = self.config.hidden_size;
         let num_layers = self.config.num_layers;
         let mut loss = 0.0f32;
-        // Backward-through-time carried gradients.
-        let mut dh_next = vec![vec![0.0f32; hs]; num_layers];
-        let mut dc_next = vec![vec![0.0f32; hs]; num_layers];
+        scratch.ensure_shape(&self.config);
+        let BpttScratch {
+            dh_next,
+            dc_next,
+            dlogits,
+            dh_above,
+            dh,
+            dz,
+            dc_prev,
+        } = scratch;
+        // Backward-through-time carried gradients start at zero.
+        for buf in dh_next.iter_mut().chain(dc_next.iter_mut()) {
+            buf.iter_mut().for_each(|v| *v = 0.0);
+        }
         for t in (0..caches.len()).rev() {
             let cache = &caches[t];
-            let (probs, target) = &probs_and_targets[t];
-            let target = *target as usize % self.config.vocab_size;
-            loss -= probs[target].max(1e-12).ln();
+            let step_probs = probs[t];
+            let target = targets[t] as usize % self.config.vocab_size;
+            loss -= step_probs[target].max(1e-12).ln();
             // dlogits = probs - one_hot(target)
-            let mut dlogits = probs.clone();
+            dlogits.copy_from_slice(step_probs);
             dlogits[target] -= 1.0;
             // Output layer gradients.
             let h_top = &cache.h[num_layers - 1];
-            grads.w_out.add_outer(&dlogits, h_top);
+            grads.w_out.add_outer(dlogits, h_top);
             for (db, dl) in grads.b_out.iter_mut().zip(dlogits.iter()) {
                 *db += dl;
             }
             // Gradient flowing into the top layer's hidden state.
-            let mut dh_above = vec![0.0f32; hs];
-            self.w_out.matvec_transpose_add(&dlogits, &mut dh_above);
+            dh_above.iter_mut().for_each(|v| *v = 0.0);
+            self.w_out.matvec_transpose_add(dlogits, dh_above);
             for l in (0..num_layers).rev() {
                 let layer = &self.layers[l];
                 let glayer = &mut grads.layers[l];
-                let mut dh = dh_above.clone();
+                dh.copy_from_slice(dh_above);
                 for (dst, src) in dh.iter_mut().zip(dh_next[l].iter()) {
                     *dst += src;
                 }
-                let mut dz = vec![0.0f32; 4 * hs];
-                let mut dc_prev = vec![0.0f32; hs];
                 for j in 0..hs {
                     let o = cache.o[l][j];
                     let tanh_c = cache.tanh_c[l][j];
@@ -342,30 +968,29 @@ impl LstmModel {
                     dz[2 * hs + j] = dg * (1.0 - g * g);
                     dz[3 * hs + j] = do_ * o * (1.0 - o);
                 }
-                dc_next[l] = dc_prev;
+                dc_next[l].copy_from_slice(dc_prev);
                 // Parameter gradients.
                 if l == 0 {
                     let col = cache.input_id as usize % self.config.vocab_size;
-                    for r in 0..4 * hs {
-                        let v = glayer.w_x.get(r, col) + dz[r];
+                    for (r, &dzv) in dz.iter().enumerate() {
+                        let v = glayer.w_x.get(r, col) + dzv;
                         glayer.w_x.set(r, col, v);
                     }
                 } else {
-                    glayer.w_x.add_outer(&dz, &cache.inputs[l]);
+                    glayer.w_x.add_outer(dz, &cache.inputs[l]);
                 }
-                glayer.w_h.add_outer(&dz, &cache.h_prev[l]);
+                glayer.w_h.add_outer(dz, &cache.h_prev[l]);
                 for (db, d) in glayer.b.iter_mut().zip(dz.iter()) {
                     *db += d;
                 }
                 // Gradient into the previous hidden state (recurrent path).
-                let mut dh_prev = vec![0.0f32; hs];
-                layer.w_h.matvec_transpose_add(&dz, &mut dh_prev);
-                dh_next[l] = dh_prev;
+                let dh_prev = &mut dh_next[l];
+                dh_prev.iter_mut().for_each(|v| *v = 0.0);
+                layer.w_h.matvec_transpose_add(dz, dh_prev);
                 // Gradient into the layer below's hidden output at this step.
                 if l > 0 {
-                    let mut dx = vec![0.0f32; layer.w_x.cols()];
-                    layer.w_x.matvec_transpose_add(&dz, &mut dx);
-                    dh_above = dx;
+                    dh_above.iter_mut().for_each(|v| *v = 0.0);
+                    layer.w_x.matvec_transpose_add(dz, dh_above);
                 }
             }
         }
@@ -394,7 +1019,12 @@ mod tests {
 
     #[test]
     fn parameter_count_matches_config() {
-        let config = LstmConfig { vocab_size: 10, hidden_size: 8, num_layers: 2, seed: 1 };
+        let config = LstmConfig {
+            vocab_size: 10,
+            hidden_size: 8,
+            num_layers: 2,
+            seed: 1,
+        };
         let model = LstmModel::new(config);
         // layer0: 32*10 + 32*8 + 32; layer1: 32*8 + 32*8 + 32; out: 10*8 + 10
         let expected = (32 * 10 + 32 * 8 + 32) + (32 * 8 + 32 * 8 + 32) + (10 * 8 + 10);
@@ -423,15 +1053,30 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = LstmModel::new(LstmConfig { vocab_size: 12, hidden_size: 16, num_layers: 2, seed: 7 });
-        let b = LstmModel::new(LstmConfig { vocab_size: 12, hidden_size: 16, num_layers: 2, seed: 7 });
+        let a = LstmModel::new(LstmConfig {
+            vocab_size: 12,
+            hidden_size: 16,
+            num_layers: 2,
+            seed: 7,
+        });
+        let b = LstmModel::new(LstmConfig {
+            vocab_size: 12,
+            hidden_size: 16,
+            num_layers: 2,
+            seed: 7,
+        });
         assert_eq!(a, b);
     }
 
     #[test]
     fn gradient_check_small_model() {
         // Numerical gradient check on a tiny model and short sequence.
-        let config = LstmConfig { vocab_size: 5, hidden_size: 4, num_layers: 2, seed: 3 };
+        let config = LstmConfig {
+            vocab_size: 5,
+            hidden_size: 4,
+            num_layers: 2,
+            seed: 3,
+        };
         let mut model = LstmModel::new(config);
         let sequence: Vec<u32> = vec![1, 2, 3, 4, 0, 2];
         let loss_of = |m: &LstmModel| -> f32 {
@@ -490,6 +1135,126 @@ mod tests {
             (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs().max(analytic.abs())),
             "output gradient mismatch: numeric {numeric} vs analytic {analytic}"
         );
+    }
+
+    /// The alloc-free sampling path must be bitwise identical to the
+    /// reference `step()` — batched sampling's determinism guarantee begins
+    /// here.
+    #[test]
+    fn predict_into_bitwise_matches_step() {
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: 17,
+            hidden_size: 24,
+            num_layers: 3,
+            seed: 9,
+        });
+        let mut state_ref = model.initial_state();
+        let mut state_new = model.initial_state();
+        let mut ws = model.workspace(1);
+        for id in [3u32, 0, 16, 7, 7, 1, 12] {
+            let (probs_ref, _) = model.step(&mut state_ref, id);
+            let probs_new = model.predict_into(&mut state_new, id, &mut ws).to_vec();
+            for (a, b) in probs_ref.iter().zip(probs_new.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "probs diverge");
+            }
+            assert_eq!(state_ref, state_new, "states diverge");
+        }
+    }
+
+    /// Batched multi-stream prediction equals per-stream serial prediction,
+    /// bitwise, including when only a subset of streams advances.
+    #[test]
+    fn predict_batch_sel_bitwise_matches_serial() {
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: 11,
+            hidden_size: 16,
+            num_layers: 2,
+            seed: 4,
+        });
+        let n = 5;
+        let mut serial: Vec<LstmState> = (0..n).map(|_| model.initial_state()).collect();
+        let mut batched: Vec<LstmState> = (0..n).map(|_| model.initial_state()).collect();
+        let mut ws = model.workspace(n);
+        let mut ws1 = model.workspace(1);
+        // Rounds feed different subsets with different characters.
+        let rounds: Vec<Vec<(usize, u32)>> = vec![
+            (0..n).map(|i| (i, i as u32)).collect(),
+            vec![(0, 1), (2, 9), (4, 10)],
+            vec![(3, 5)],
+            (0..n).map(|i| (i, (10 - i) as u32)).collect(),
+        ];
+        for pairs in rounds {
+            let sel: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+            let ids: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+            model.predict_batch_sel(&mut batched, &sel, &ids, &mut ws);
+            for (lane, &(stream, id)) in pairs.iter().enumerate() {
+                let probs_serial = model
+                    .predict_into(&mut serial[stream], id, &mut ws1)
+                    .to_vec();
+                for (a, b) in probs_serial.iter().zip(ws.probs_lane(lane).iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "stream {stream} probs diverge");
+                }
+                assert_eq!(
+                    serial[stream], batched[stream],
+                    "stream {stream} state diverges"
+                );
+            }
+        }
+    }
+
+    /// The buffer-reusing training step must reproduce `step()` exactly:
+    /// same distribution, same state, same cached activations.
+    #[test]
+    fn step_into_matches_step() {
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: 9,
+            hidden_size: 12,
+            num_layers: 2,
+            seed: 2,
+        });
+        let mut state_ref = model.initial_state();
+        let mut state_new = model.initial_state();
+        let mut cache = StepCache::empty();
+        let mut probs = Vec::new();
+        let mut gates = vec![0.0f32; 4 * 12];
+        for id in [1u32, 8, 0, 3, 3] {
+            let (probs_ref, cache_ref) = model.step(&mut state_ref, id);
+            model.step_into(&mut state_new, id, &mut cache, &mut probs, &mut gates);
+            assert_eq!(probs_ref, probs);
+            assert_eq!(state_ref, state_new);
+            for l in 0..2 {
+                assert_eq!(cache_ref.i[l], cache.i[l]);
+                assert_eq!(cache_ref.f[l], cache.f[l]);
+                assert_eq!(cache_ref.g[l], cache.g[l]);
+                assert_eq!(cache_ref.o[l], cache.o[l]);
+                assert_eq!(cache_ref.c[l], cache.c[l]);
+                assert_eq!(cache_ref.tanh_c[l], cache.tanh_c[l]);
+                assert_eq!(cache_ref.h[l], cache.h[l]);
+                assert_eq!(cache_ref.h_prev[l], cache.h_prev[l]);
+                assert_eq!(cache_ref.c_prev[l], cache.c_prev[l]);
+                if l > 0 {
+                    assert_eq!(cache_ref.inputs[l], cache.inputs[l]);
+                }
+            }
+            assert_eq!(cache_ref.input_id, cache.input_id);
+        }
+    }
+
+    /// A workspace sized for one lane grows transparently to serve a batch.
+    #[test]
+    fn workspace_grows_on_demand() {
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: 8,
+            hidden_size: 8,
+            num_layers: 1,
+            seed: 1,
+        });
+        let mut ws = model.workspace(1);
+        let mut states: Vec<LstmState> = (0..6).map(|_| model.initial_state()).collect();
+        let inputs: Vec<u32> = (0..6).collect();
+        model.predict_batch(&mut states, &inputs, &mut ws);
+        let sum: f32 = ws.probs_lane(5).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub struct NgramConfig {
 
 impl Default for NgramConfig {
     fn default() -> Self {
-        NgramConfig { context: 8, smoothing_tenths: 1 }
+        NgramConfig {
+            context: 8,
+            smoothing_tenths: 1,
+        }
     }
 }
 
@@ -61,15 +64,30 @@ impl NgramModel {
                     continue;
                 }
                 let ctx = data[idx - ctx_len..idx].to_vec();
-                *tables[ctx_len - 1].entry(ctx).or_default().entry(c).or_insert(0) += 1;
+                *tables[ctx_len - 1]
+                    .entry(ctx)
+                    .or_default()
+                    .entry(c)
+                    .or_insert(0) += 1;
             }
         }
-        NgramModel { config, vocab_size, tables, unigrams, history: Vec::new() }
+        NgramModel {
+            config,
+            vocab_size,
+            tables,
+            unigrams,
+            history: Vec::new(),
+        }
     }
 
     /// Number of distinct contexts stored at the maximum order.
     pub fn context_count(&self) -> usize {
         self.tables.last().map(HashMap::len).unwrap_or(0)
+    }
+
+    /// The model's hyper-parameters.
+    pub fn config(&self) -> NgramConfig {
+        self.config
     }
 
     /// Distribution over the next character given an explicit history.
@@ -92,8 +110,8 @@ impl NgramModel {
         }
         // Unigram fallback with additive smoothing.
         let alpha = self.config.smoothing_tenths as f32 / 10.0;
-        let total: f32 = self.unigrams.iter().map(|&n| n as f32).sum::<f32>()
-            + alpha * self.vocab_size as f32;
+        let total: f32 =
+            self.unigrams.iter().map(|&n| n as f32).sum::<f32>() + alpha * self.vocab_size as f32;
         self.unigrams
             .iter()
             .map(|&n| (n as f32 + alpha) / total.max(1e-9))
@@ -137,9 +155,21 @@ mod tests {
     #[test]
     fn learns_deterministic_continuations() {
         let (data, vocab) = encode("abcabcabcabcabcabc");
-        let model = NgramModel::train(&data, vocab, NgramConfig { context: 3, smoothing_tenths: 1 });
+        let model = NgramModel::train(
+            &data,
+            vocab,
+            NgramConfig {
+                context: 3,
+                smoothing_tenths: 1,
+            },
+        );
         let dist = model.distribution_for(&encode("ab").0);
-        let argmax = dist.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let argmax = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(argmax as u8 as char, 'c');
     }
 
@@ -157,11 +187,23 @@ mod tests {
     #[test]
     fn stateful_interface_tracks_history() {
         let (data, vocab) = encode("xyxyxyxyxy");
-        let mut model = NgramModel::train(&data, vocab, NgramConfig { context: 2, smoothing_tenths: 1 });
+        let mut model = NgramModel::train(
+            &data,
+            vocab,
+            NgramConfig {
+                context: 2,
+                smoothing_tenths: 1,
+            },
+        );
         model.reset();
         model.feed(u32::from(b'x'));
         let dist = model.predict();
-        let argmax = dist.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        let argmax = dist
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
         assert_eq!(argmax as u8 as char, 'y');
         assert_eq!(model.vocab_size(), vocab);
     }
@@ -169,11 +211,21 @@ mod tests {
     #[test]
     fn distribution_sums_to_one_at_all_orders() {
         let (data, vocab) = encode("__kernel void A(__global float* a) { a[0] = 1.0f; }");
-        let model = NgramModel::train(&data, vocab, NgramConfig { context: 6, smoothing_tenths: 1 });
+        let model = NgramModel::train(
+            &data,
+            vocab,
+            NgramConfig {
+                context: 6,
+                smoothing_tenths: 1,
+            },
+        );
         for history in ["", "_", "__ker", "float* a", "unseen!!"] {
             let dist = model.distribution_for(&encode(history).0);
             let sum: f32 = dist.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-3, "history {history:?} sums to {sum}");
+            assert!(
+                (sum - 1.0).abs() < 1e-3,
+                "history {history:?} sums to {sum}"
+            );
         }
     }
 

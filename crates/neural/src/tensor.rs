@@ -20,12 +20,18 @@ pub struct Matrix {
 impl Matrix {
     /// A zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A matrix with entries drawn uniformly from `[-scale, scale]`.
     pub fn uniform(rows: usize, cols: usize, scale: f32, rng: &mut StdRng) -> Matrix {
-        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..=scale)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..=scale))
+            .collect();
         Matrix { rows, cols, data }
     }
 
@@ -80,31 +86,98 @@ impl Matrix {
     ///
     /// Panics if `x.len() != cols`.
     pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0f32; self.rows];
-        for r in 0..self.rows {
-            let row = self.row(r);
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = self * x` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols` or `y.len() != rows`.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
+        for (dst, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = 0.0f32;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += a * b;
             }
-            y[r] = acc;
+            *dst = acc;
         }
-        y
     }
 
     /// `y += self * x` (accumulating matrix-vector product).
     pub fn matvec_add(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec output mismatch");
-        for r in 0..self.rows {
-            let row = self.row(r);
+        for (dst, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
             let mut acc = 0.0f32;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += a * b;
             }
-            y[r] += acc;
+            *dst += acc;
         }
+    }
+
+    /// `y += self * x` over a batch of `width` column vectors (GEMM).
+    ///
+    /// `x` holds a `cols x width` matrix and `y` a `rows x width` matrix,
+    /// both row-major — equivalently, `width` column vectors stored
+    /// interleaved, column `b` of `x` being `x[k * width + b]` for
+    /// `k in 0..cols`. This is the batched hot path of LSTM sampling: each of
+    /// the `width` lanes is an independent sample stream sharing the weights.
+    ///
+    /// The kernel is blocked over [`GEMM_LANES`] columns with one independent
+    /// accumulator per lane, so the compiler can keep the lanes in vector
+    /// registers; crucially, each output element still accumulates over `k`
+    /// in exactly the order [`Matrix::matvec_add`] uses, so a batched product
+    /// is bitwise identical to `width` separate matrix-vector products. The
+    /// multi-stream sampler's determinism guarantee (batched sampling ==
+    /// serial sampling) rests on this property; see
+    /// `batched_gemm_bitwise_equals_matvec` in this module's tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols * width` or `y.len() != rows * width`.
+    pub fn matmul_add_into(&self, x: &[f32], width: usize, y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols * width, "matmul input mismatch");
+        assert_eq!(y.len(), self.rows * width, "matmul output mismatch");
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let yrow = &mut y[r * width..(r + 1) * width];
+            let mut b0 = 0;
+            while b0 + GEMM_LANES <= width {
+                gemm_lane_block::<GEMM_LANES>(row, x, width, b0, yrow);
+                b0 += GEMM_LANES;
+            }
+            // Half-width block so ragged batch tails (width % 8 in 4..8)
+            // still get independent accumulators instead of the scalar path.
+            if b0 + GEMM_LANES / 2 <= width {
+                gemm_lane_block::<{ GEMM_LANES / 2 }>(row, x, width, b0, yrow);
+                b0 += GEMM_LANES / 2;
+            }
+            for b in b0..width {
+                let mut acc = 0.0f32;
+                for (&w, xk) in row.iter().zip(x.chunks_exact(width)) {
+                    acc += w * xk[b];
+                }
+                yrow[b] += acc;
+            }
+        }
+    }
+
+    /// `self * other` (matrix-matrix product), allocating the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.rows() != cols`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(other.rows(), self.cols, "matmul dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols());
+        self.matmul_add_into(other.data(), other.cols(), &mut out.data);
+        out
     }
 
     /// `y += self^T * x` (transposed matrix-vector product), used in
@@ -112,14 +185,12 @@ impl Matrix {
     pub fn matvec_transpose_add(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.rows, "matvecT dimension mismatch");
         assert_eq!(y.len(), self.cols, "matvecT output mismatch");
-        for r in 0..self.rows {
-            let row = self.row(r);
-            let xr = x[r];
+        for (&xr, row) in x.iter().zip(self.data.chunks_exact(self.cols)) {
             if xr == 0.0 {
                 continue;
             }
-            for (c, a) in row.iter().enumerate() {
-                y[c] += a * xr;
+            for (dst, a) in y.iter_mut().zip(row.iter()) {
+                *dst += a * xr;
             }
         }
     }
@@ -128,12 +199,10 @@ impl Matrix {
     pub fn add_outer(&mut self, a: &[f32], b: &[f32]) {
         assert_eq!(a.len(), self.rows, "outer product row mismatch");
         assert_eq!(b.len(), self.cols, "outer product col mismatch");
-        for r in 0..self.rows {
-            let ar = a[r];
+        for (&ar, row) in a.iter().zip(self.data.chunks_exact_mut(self.cols)) {
             if ar == 0.0 {
                 continue;
             }
-            let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
             for (dst, bv) in row.iter_mut().zip(b.iter()) {
                 *dst += ar * bv;
             }
@@ -175,22 +244,223 @@ impl Matrix {
     }
 }
 
-/// Element-wise sigmoid.
+/// Fast `e^x` for `f32`: Cody-Waite range reduction plus a degree-6
+/// polynomial (the classic Cephes `expf` scheme), accurate to ~1 ulp over
+/// the full range and an order of magnitude faster than the libm call. The
+/// LSTM cell update performs five transcendental evaluations per hidden unit
+/// per character, so this is squarely on the sampling hot path.
+#[inline(always)]
+pub fn fast_exp(x: f32) -> f32 {
+    const EXP_HI: f32 = 88.376_26;
+    const EXP_LO: f32 = -87.336_55;
+    const LOG2E: f32 = std::f32::consts::LOG2_E;
+    const C1: f32 = 0.693_359_4;
+    const C2: f32 = -2.121_944_4e-4;
+    let x = x.clamp(EXP_LO, EXP_HI);
+    // Round x / ln2 to the nearest integer without a libm call: adding and
+    // subtracting 1.5 * 2^23 forces rounding at the unit place (|fx| < 2^22
+    // holds for the clamped range).
+    let fx = x * LOG2E;
+    let n = (fx + 12_582_912.0f32) - 12_582_912.0f32;
+    let g = x - n * C1 - n * C2;
+    let z = g * g;
+    let mut y = 1.987_569_2e-4f32;
+    y = y * g + 1.398_199_9e-3;
+    y = y * g + 8.333_452e-3;
+    y = y * g + 4.166_579_6e-2;
+    y = y * g + 1.666_666_6e-1;
+    y = y * g + 5e-1;
+    y = y * z + g + 1.0;
+    // Scale by 2^n through the exponent bits; n stays in [-127, 128] for the
+    // clamped input range, so the bias arithmetic cannot overflow.
+    let scale = f32::from_bits((((n as i32) + 127) << 23) as u32);
+    y * scale
+}
+
+/// Fast hyperbolic tangent built on [`fast_exp`]; relative error is below
+/// `1e-6` across the range and the saturated tails are exact.
+#[inline(always)]
+pub fn fast_tanh(x: f32) -> f32 {
+    let e2x = fast_exp(2.0 * x);
+    (e2x - 1.0) / (e2x + 1.0)
+}
+
+/// Element-wise sigmoid (built on [`fast_exp`]; `sigmoid(0) == 0.5` exactly).
+#[inline(always)]
 pub fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
+    1.0 / (1.0 + fast_exp(-x))
+}
+
+/// Fused LSTM cell update, in place (the sampling fast path).
+///
+/// `z` holds the four stacked pre-activation gate blocks (input, forget,
+/// cell candidate, output — each `c.len()` wide, the layout produced by
+/// `W_x x + W_h h + b`). The cell state `c` and hidden state `h` are updated
+/// in place; gate activations are not retained, so this variant cannot feed
+/// backpropagation — use [`lstm_cell_cached`] when training.
+///
+/// # Panics
+///
+/// Panics if `z.len() != 4 * c.len()` or `h.len() != c.len()`.
+pub fn lstm_cell_inplace(z: &[f32], c: &mut [f32], h: &mut [f32]) {
+    let hs = c.len();
+    assert_eq!(z.len(), 4 * hs, "gate block mismatch");
+    assert_eq!(h.len(), hs, "hidden/cell size mismatch");
+    for j in 0..hs {
+        let gi = sigmoid(z[j]);
+        let gf = sigmoid(z[hs + j]);
+        let gg = fast_tanh(z[2 * hs + j]);
+        let go = sigmoid(z[3 * hs + j]);
+        let c_new = gf * c[j] + gi * gg;
+        c[j] = c_new;
+        h[j] = go * fast_tanh(c_new);
+    }
+}
+
+/// Fused LSTM cell update over a whole interleaved batch, in place.
+///
+/// All buffers are lane-interleaved: gate row `r` of lane `b` lives at
+/// `z[r * width + b]`, and cell/hidden element `j` of lane `b` at
+/// `c[j * width + b]` / `h[j * width + b]`. The lane-inner loop is pure
+/// branchless arithmetic ([`fast_exp`] under the hood), so the compiler can
+/// vectorise across lanes; per element the operations and their order are
+/// exactly those of [`lstm_cell_inplace`], so resident batched updates stay
+/// bitwise identical to serial ones.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with `width` and `c.len()`.
+pub fn lstm_cell_fused_batch(z: &[f32], width: usize, c: &mut [f32], h: &mut [f32]) {
+    assert_eq!(
+        c.len() % width.max(1),
+        0,
+        "cell buffer must be a lane multiple"
+    );
+    let hs = c.len() / width.max(1);
+    assert_eq!(z.len(), 4 * hs * width, "gate block mismatch");
+    assert_eq!(h.len(), hs * width, "hidden/cell size mismatch");
+    for j in 0..hs {
+        let (zi, zf) = (
+            &z[j * width..(j + 1) * width],
+            &z[(hs + j) * width..(hs + j + 1) * width],
+        );
+        let zg = &z[(2 * hs + j) * width..(2 * hs + j + 1) * width];
+        let zo = &z[(3 * hs + j) * width..(3 * hs + j + 1) * width];
+        let cj = &mut c[j * width..(j + 1) * width];
+        let hj = &mut h[j * width..(j + 1) * width];
+        for b in 0..width {
+            let gi = sigmoid(zi[b]);
+            let gf = sigmoid(zf[b]);
+            let gg = fast_tanh(zg[b]);
+            let go = sigmoid(zo[b]);
+            let c_new = gf * cj[b] + gi * gg;
+            cj[b] = c_new;
+            hj[b] = go * fast_tanh(c_new);
+        }
+    }
+}
+
+/// Fused LSTM cell update retaining gate activations for backpropagation.
+///
+/// Writes the input/forget/candidate/output gate activations, the new cell
+/// state, `tanh(c)` and the new hidden state into the caller's buffers (all
+/// `c_prev.len()` wide). Element-wise operations and their order match
+/// [`lstm_cell_inplace`] exactly.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with `c_prev.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_cell_cached(
+    z: &[f32],
+    c_prev: &[f32],
+    gi: &mut [f32],
+    gf: &mut [f32],
+    gg: &mut [f32],
+    go: &mut [f32],
+    c_new: &mut [f32],
+    tanh_c: &mut [f32],
+    h_new: &mut [f32],
+) {
+    let hs = c_prev.len();
+    assert_eq!(z.len(), 4 * hs, "gate block mismatch");
+    for buf in [
+        &gi[..],
+        &gf[..],
+        &gg[..],
+        &go[..],
+        &c_new[..],
+        &tanh_c[..],
+        &h_new[..],
+    ] {
+        assert_eq!(buf.len(), hs, "cache buffer size mismatch");
+    }
+    for j in 0..hs {
+        gi[j] = sigmoid(z[j]);
+        gf[j] = sigmoid(z[hs + j]);
+        gg[j] = fast_tanh(z[2 * hs + j]);
+        go[j] = sigmoid(z[3 * hs + j]);
+        c_new[j] = gf[j] * c_prev[j] + gi[j] * gg[j];
+        tanh_c[j] = fast_tanh(c_new[j]);
+        h_new[j] = go[j] * tanh_c[j];
+    }
+}
+
+/// Number of batch lanes processed together by [`Matrix::matmul_add_into`].
+/// Eight independent f32 accumulators fill a 256-bit vector register and
+/// break the single-accumulator dependency chain that bounds `matvec`.
+pub const GEMM_LANES: usize = 8;
+
+/// One `L`-lane block of the batched GEMM: `yrow[b0..b0+L] += row · x`,
+/// where lane `b` of `x` is the strided column `x[k * width + b0 + b]`.
+/// Fixed-size array accumulators and per-`k` array views let the compiler
+/// keep the lanes in vector registers with no per-element bounds checks;
+/// each lane accumulates over `k` in index order (bitwise equal to
+/// [`Matrix::matvec_add`]).
+#[inline(always)]
+fn gemm_lane_block<const L: usize>(
+    row: &[f32],
+    x: &[f32],
+    width: usize,
+    b0: usize,
+    yrow: &mut [f32],
+) {
+    let mut acc = [0.0f32; L];
+    for (&w, xk) in row.iter().zip(x.chunks_exact(width)) {
+        let xs: &[f32; L] = xk[b0..b0 + L].try_into().expect("lane block in bounds");
+        for l in 0..L {
+            acc[l] += w * xs[l];
+        }
+    }
+    let ys: &mut [f32] = &mut yrow[b0..b0 + L];
+    for l in 0..L {
+        ys[l] += acc[l];
+    }
 }
 
 /// Numerically-stable softmax over a slice, in place.
+///
+/// Degenerate inputs whose exponential mass underflows to zero (e.g. a
+/// slice of `-inf` logits) fall back to the uniform distribution, so the
+/// result is always a valid probability distribution.
 pub fn softmax_in_place(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
     let max = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let mut sum = 0.0f32;
     for v in x.iter_mut() {
-        *v = (*v - max).exp();
+        *v = fast_exp(*v - max);
         sum += *v;
     }
-    if sum > 0.0 {
+    if sum > 0.0 && sum.is_finite() {
         for v in x.iter_mut() {
             *v /= sum;
+        }
+    } else {
+        let uniform = 1.0 / x.len() as f32;
+        for v in x.iter_mut() {
+            *v = uniform;
         }
     }
 }
@@ -277,5 +547,184 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn from_vec_checks_shape() {
         let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    /// Naive three-loop reference GEMM for the equivalence tests.
+    fn matmul_reference(a: &Matrix, x: &[f32], width: usize) -> Vec<f32> {
+        let mut y = vec![0.0f32; a.rows() * width];
+        for r in 0..a.rows() {
+            for b in 0..width {
+                let mut acc = 0.0f64;
+                for k in 0..a.cols() {
+                    acc += f64::from(a.get(r, k)) * f64::from(x[k * width + b]);
+                }
+                y[r * width + b] = acc as f32;
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for (rows, cols) in [(1, 1), (3, 7), (16, 16), (64, 33)] {
+            let m = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let mut y = vec![f32::NAN; rows];
+            m.matvec_into(&x, &mut y);
+            assert_eq!(y, m.matvec(&x));
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(12);
+        // Widths straddling the lane block (1, partial, exact, multi-block).
+        for (rows, cols, width) in [(5, 3, 1), (8, 8, 3), (16, 9, 8), (7, 13, 11), (32, 17, 24)] {
+            let m = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            let x: Vec<f32> = (0..cols * width)
+                .map(|_| rng.gen_range(-2.0f32..2.0))
+                .collect();
+            let mut y = vec![0.0f32; rows * width];
+            m.matmul_add_into(&x, width, &mut y);
+            let reference = matmul_reference(&m, &x, width);
+            for (got, want) in y.iter().zip(reference.iter()) {
+                assert!((got - want).abs() < 1e-5, "gemm mismatch: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Matrix::uniform(9, 5, 1.0, &mut rng);
+        let b = Matrix::uniform(5, 12, 1.0, &mut rng);
+        let c = a.matmul(&b);
+        assert_eq!(c.rows(), 9);
+        assert_eq!(c.cols(), 12);
+        let reference = matmul_reference(&a, b.data(), 12);
+        for (got, want) in c.data().iter().zip(reference.iter()) {
+            assert!((got - want).abs() < 1e-5);
+        }
+    }
+
+    /// The determinism guarantee of batched sampling: every column of a
+    /// batched product is bitwise identical to the serial matrix-vector
+    /// product of that column.
+    #[test]
+    fn batched_gemm_bitwise_equals_matvec() {
+        let mut rng = StdRng::seed_from_u64(14);
+        for width in [1, 2, 7, 8, 9, 16, 19] {
+            let m = Matrix::uniform(24, 31, 1.0, &mut rng);
+            let cols: Vec<Vec<f32>> = (0..width)
+                .map(|_| (0..31).map(|_| rng.gen_range(-3.0f32..3.0)).collect())
+                .collect();
+            // Interleave the columns into the GEMM layout.
+            let mut x = vec![0.0f32; 31 * width];
+            for (b, col) in cols.iter().enumerate() {
+                for (k, &v) in col.iter().enumerate() {
+                    x[k * width + b] = v;
+                }
+            }
+            let mut y = vec![0.0f32; 24 * width];
+            m.matmul_add_into(&x, width, &mut y);
+            for (b, col) in cols.iter().enumerate() {
+                let serial = m.matvec(col);
+                for r in 0..24 {
+                    assert_eq!(
+                        y[r * width + b].to_bits(),
+                        serial[r].to_bits(),
+                        "lane {b} row {r} differs from serial matvec"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_cell_matches_scalar_reference() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let hs = 13;
+        let z: Vec<f32> = (0..4 * hs).map(|_| rng.gen_range(-3.0f32..3.0)).collect();
+        let c0: Vec<f32> = (0..hs).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+
+        // Scalar reference (the original per-gate formulation).
+        let mut c_ref = c0.clone();
+        let mut h_ref = vec![0.0f32; hs];
+        for j in 0..hs {
+            let gi = sigmoid(z[j]);
+            let gf = sigmoid(z[hs + j]);
+            let gg = fast_tanh(z[2 * hs + j]);
+            let go = sigmoid(z[3 * hs + j]);
+            c_ref[j] = gf * c0[j] + gi * gg;
+            h_ref[j] = go * fast_tanh(c_ref[j]);
+        }
+
+        // In-place variant.
+        let mut c = c0.clone();
+        let mut h = vec![0.0f32; hs];
+        lstm_cell_inplace(&z, &mut c, &mut h);
+        assert_eq!(c, c_ref);
+        assert_eq!(h, h_ref);
+
+        // Cached variant agrees and fills consistent gate activations.
+        let (mut gi, mut gf, mut gg, mut go) =
+            (vec![0.0; hs], vec![0.0; hs], vec![0.0; hs], vec![0.0; hs]);
+        let (mut c_new, mut tanh_c, mut h_new) = (vec![0.0; hs], vec![0.0; hs], vec![0.0; hs]);
+        lstm_cell_cached(
+            &z,
+            &c0,
+            &mut gi,
+            &mut gf,
+            &mut gg,
+            &mut go,
+            &mut c_new,
+            &mut tanh_c,
+            &mut h_new,
+        );
+        assert_eq!(c_new, c_ref);
+        assert_eq!(h_new, h_ref);
+        for j in 0..hs {
+            assert!((tanh_c[j] - fast_tanh(c_new[j])).abs() < 1e-6);
+            assert!((h_new[j] - go[j] * tanh_c[j]).abs() < 1e-6);
+        }
+
+        // Batched variant on an interleaved two-stream buffer: lane 1 holds
+        // the reference problem, lane 0 independent garbage; lane 1's result
+        // must match the scalar reference bitwise.
+        let width = 2;
+        let mut z2 = vec![0.0f32; 4 * hs * width];
+        for (row, &v) in z.iter().enumerate() {
+            z2[row * width + 1] = v;
+            z2[row * width] = rng.gen_range(-3.0f32..3.0);
+        }
+        let mut c_batch = vec![0.0f32; hs * width];
+        let mut h_batch = vec![0.0f32; hs * width];
+        for j in 0..hs {
+            c_batch[j * width + 1] = c0[j];
+            c_batch[j * width] = rng.gen_range(-1.0f32..1.0);
+        }
+        lstm_cell_fused_batch(&z2, width, &mut c_batch, &mut h_batch);
+        for j in 0..hs {
+            assert_eq!(c_batch[j * width + 1], c_ref[j]);
+            assert_eq!(h_batch[j * width + 1], h_ref[j]);
+        }
+    }
+
+    #[test]
+    fn softmax_degenerate_inputs_fall_back_to_uniform() {
+        // All -inf: exponential mass is zero; the old behaviour left raw
+        // exponentials (NaN) behind.
+        let mut x = vec![f32::NEG_INFINITY; 4];
+        softmax_in_place(&mut x);
+        assert!(x.iter().all(|v| (*v - 0.25).abs() < 1e-6), "{x:?}");
+        // A NaN poisons the sum; still a valid distribution afterwards.
+        let mut y = vec![0.0, f32::NAN, 0.0];
+        softmax_in_place(&mut y);
+        let sum: f32 = y.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5, "{y:?}");
+        // Empty slice is a no-op.
+        let mut empty: Vec<f32> = vec![];
+        softmax_in_place(&mut empty);
     }
 }

@@ -5,7 +5,7 @@
 //! module implements that schedule with truncated back-propagation through
 //! time and global-norm gradient clipping.
 
-use crate::lstm::{LstmGradients, LstmModel};
+use crate::lstm::{LstmGradients, LstmModel, Workspace};
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -41,12 +41,19 @@ impl Default for TrainConfig {
 impl TrainConfig {
     /// A configuration small enough for unit tests (few epochs, short unroll).
     pub fn quick() -> TrainConfig {
-        TrainConfig { epochs: 4, learning_rate: 0.05, decay_factor: 0.7, decay_every: 2, unroll: 24, clip_norm: 5.0 }
+        TrainConfig {
+            epochs: 4,
+            learning_rate: 0.05,
+            decay_factor: 0.7,
+            decay_every: 2,
+            unroll: 24,
+            clip_norm: 5.0,
+        }
     }
 
     /// Learning rate in effect at the given (0-based) epoch.
     pub fn lr_at_epoch(&self, epoch: usize) -> f32 {
-        let decays = if self.decay_every == 0 { 0 } else { epoch / self.decay_every };
+        let decays = epoch.checked_div(self.decay_every).unwrap_or(0);
         self.learning_rate * self.decay_factor.powi(decays as i32)
     }
 }
@@ -75,8 +82,15 @@ pub fn train(
     config: &TrainConfig,
     mut on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
 ) -> Vec<EpochReport> {
-    assert!(data.len() >= 2, "training data must contain at least two characters");
+    assert!(
+        data.len() >= 2,
+        "training data must contain at least two characters"
+    );
     let mut reports = Vec::with_capacity(config.epochs);
+    // One workspace and one gradient buffer serve the whole run: BPTT
+    // performs no per-timestep (or even per-chunk) allocation.
+    let mut ws = model.workspace(1);
+    let mut grads = model.zero_gradients();
     for epoch in 0..config.epochs {
         let lr = config.lr_at_epoch(epoch);
         let mut total_loss = 0.0f64;
@@ -87,14 +101,27 @@ pub fn train(
             let end = (pos + config.unroll).min(data.len() - 1);
             let inputs = &data[pos..end];
             let targets = &data[pos + 1..end + 1];
-            let loss = train_chunk(model, &mut state, inputs, targets, lr, config.clip_norm);
+            let loss = train_chunk_ws(
+                model,
+                &mut state,
+                inputs,
+                targets,
+                lr,
+                config.clip_norm,
+                &mut ws,
+                &mut grads,
+            );
             total_loss += loss as f64;
             total_chars += inputs.len();
             pos = end;
         }
         let report = EpochReport {
             epoch,
-            loss_per_char: if total_chars == 0 { 0.0 } else { (total_loss / total_chars as f64) as f32 },
+            loss_per_char: if total_chars == 0 {
+                0.0
+            } else {
+                (total_loss / total_chars as f64) as f32
+            },
             learning_rate: lr,
             characters: total_chars,
         };
@@ -108,6 +135,9 @@ pub fn train(
 
 /// Run one truncated-BPTT chunk: forward over `inputs`, backprop against
 /// `targets`, clip and apply gradients. Returns the summed loss.
+///
+/// Convenience wrapper allocating fresh scratch; hot loops should hold a
+/// [`Workspace`] and gradient buffer and call [`train_chunk_ws`] instead.
 pub fn train_chunk(
     model: &mut LstmModel,
     state: &mut crate::lstm::LstmState,
@@ -116,18 +146,48 @@ pub fn train_chunk(
     lr: f32,
     clip_norm: f32,
 ) -> f32 {
-    assert_eq!(inputs.len(), targets.len());
-    let mut caches = Vec::with_capacity(inputs.len());
-    let mut pt = Vec::with_capacity(inputs.len());
-    for (&x, &y) in inputs.iter().zip(targets.iter()) {
-        let (probs, cache) = model.step(state, x);
-        caches.push(cache);
-        pt.push((probs, y));
-    }
+    let mut ws = model.workspace(1);
     let mut grads = model.zero_gradients();
-    let loss = model.backward(&caches, &pt, &mut grads);
-    clip_gradients(&mut grads, clip_norm);
-    model.apply_gradients(&grads, lr);
+    train_chunk_ws(
+        model, state, inputs, targets, lr, clip_norm, &mut ws, &mut grads,
+    )
+}
+
+/// [`train_chunk`] over caller-provided scratch: the workspace's cache pool,
+/// gate buffer and backprop scratch are reused, and `grads` is zeroed in
+/// place, so steady-state training performs no heap allocation at all.
+#[allow(clippy::too_many_arguments)]
+pub fn train_chunk_ws(
+    model: &mut LstmModel,
+    state: &mut crate::lstm::LstmState,
+    inputs: &[u32],
+    targets: &[u32],
+    lr: f32,
+    clip_norm: f32,
+    ws: &mut Workspace,
+    grads: &mut LstmGradients,
+) -> f32 {
+    assert_eq!(inputs.len(), targets.len());
+    let steps = inputs.len();
+    ws.ensure_caches(steps);
+    // Forward pass into the reusable per-timestep caches.
+    {
+        let (caches, step_probs, gates) = ws.bptt_buffers();
+        for (t, &x) in inputs.iter().enumerate() {
+            model.step_into(state, x, &mut caches[t], &mut step_probs[t], gates);
+        }
+    }
+    grads.fill_zero();
+    let loss = {
+        let (caches, step_probs, scratch) = ws.backward_buffers();
+        let probs: Vec<&[f32]> = step_probs[..steps].iter().map(|p| p.as_slice()).collect();
+        model.backward_core(&caches[..steps], &probs, targets, grads, scratch)
+    };
+    clip_gradients(grads, clip_norm);
+    model.apply_gradients(grads, lr);
+    // The layer-0 weights just changed: a cached transposed embedding in
+    // this workspace would silently serve stale values to later predictions.
+    ws.invalidate_embed();
     loss
 }
 
@@ -148,9 +208,10 @@ pub fn evaluate(model: &LstmModel, data: &[u32]) -> f32 {
         return 0.0;
     }
     let mut state = model.initial_state();
+    let mut ws = model.workspace(1);
     let mut loss = 0.0f64;
     for w in data.windows(2) {
-        let probs = model.predict(&mut state, w[0]);
+        let probs = model.predict_into(&mut state, w[0], &mut ws);
         loss -= f64::from(probs[w[1] as usize % probs.len()].max(1e-12).ln());
     }
     (loss / (data.len() - 1) as f64) as f32
@@ -179,9 +240,21 @@ mod tests {
     fn training_reduces_loss_on_regular_sequence() {
         let vocab = 6;
         let data = toy_data(vocab, 600);
-        let mut model = LstmModel::new(LstmConfig { vocab_size: vocab, hidden_size: 24, num_layers: 1, seed: 11 });
+        let mut model = LstmModel::new(LstmConfig {
+            vocab_size: vocab,
+            hidden_size: 24,
+            num_layers: 1,
+            seed: 11,
+        });
         let before = evaluate(&model, &data);
-        let config = TrainConfig { epochs: 6, learning_rate: 0.1, decay_factor: 0.8, decay_every: 3, unroll: 32, clip_norm: 5.0 };
+        let config = TrainConfig {
+            epochs: 6,
+            learning_rate: 0.1,
+            decay_factor: 0.8,
+            decay_every: 3,
+            unroll: 32,
+            clip_norm: 5.0,
+        };
         let reports = train(&mut model, &data, &config, None);
         let after = evaluate(&model, &data);
         assert_eq!(reports.len(), 6);
@@ -197,16 +270,36 @@ mod tests {
     fn trained_model_predicts_cycle() {
         let vocab = 4;
         let data = toy_data(vocab, 800);
-        let mut model = LstmModel::new(LstmConfig { vocab_size: vocab, hidden_size: 16, num_layers: 1, seed: 2 });
-        let config = TrainConfig { epochs: 10, learning_rate: 0.15, decay_factor: 0.9, decay_every: 4, unroll: 16, clip_norm: 5.0 };
+        let mut model = LstmModel::new(LstmConfig {
+            vocab_size: vocab,
+            hidden_size: 16,
+            num_layers: 1,
+            seed: 2,
+        });
+        let config = TrainConfig {
+            epochs: 10,
+            learning_rate: 0.15,
+            decay_factor: 0.9,
+            decay_every: 4,
+            unroll: 16,
+            clip_norm: 5.0,
+        };
         train(&mut model, &data, &config, None);
         // After 0,1,2 the model should put most probability on 3.
         let mut state = model.initial_state();
         model.predict(&mut state, 0);
         model.predict(&mut state, 1);
         let probs = model.predict(&mut state, 2);
-        let argmax = probs.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
-        assert_eq!(argmax, 3, "model failed to learn the cyclic sequence: {probs:?}");
+        let argmax = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(
+            argmax, 3,
+            "model failed to learn the cyclic sequence: {probs:?}"
+        );
     }
 
     #[test]
@@ -221,7 +314,12 @@ mod tests {
     #[test]
     fn epoch_callback_invoked() {
         let data = toy_data(4, 100);
-        let mut model = LstmModel::new(LstmConfig { vocab_size: 4, hidden_size: 8, num_layers: 1, seed: 5 });
+        let mut model = LstmModel::new(LstmConfig {
+            vocab_size: 4,
+            hidden_size: 8,
+            num_layers: 1,
+            seed: 5,
+        });
         let mut seen = 0usize;
         let mut cb = |_r: &EpochReport| seen += 1;
         train(&mut model, &data, &TrainConfig::quick(), Some(&mut cb));

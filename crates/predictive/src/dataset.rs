@@ -109,20 +109,37 @@ impl Dataset {
 
     /// Examples belonging to a suite.
     pub fn of_suite(&self, suite: &str) -> Dataset {
-        Dataset { examples: self.examples.iter().filter(|e| e.suite == suite).cloned().collect() }
+        Dataset {
+            examples: self
+                .examples
+                .iter()
+                .filter(|e| e.suite == suite)
+                .cloned()
+                .collect(),
+        }
     }
 
     /// Examples NOT belonging to a benchmark (training set for LOOCV).
     pub fn excluding_benchmark(&self, benchmark: &str) -> Dataset {
         Dataset {
-            examples: self.examples.iter().filter(|e| e.benchmark != benchmark).cloned().collect(),
+            examples: self
+                .examples
+                .iter()
+                .filter(|e| e.benchmark != benchmark)
+                .cloned()
+                .collect(),
         }
     }
 
     /// Examples belonging to a benchmark (test set for LOOCV).
     pub fn of_benchmark(&self, benchmark: &str) -> Dataset {
         Dataset {
-            examples: self.examples.iter().filter(|e| e.benchmark == benchmark).cloned().collect(),
+            examples: self
+                .examples
+                .iter()
+                .filter(|e| e.benchmark == benchmark)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -143,7 +160,11 @@ impl Dataset {
         if self.is_empty() {
             return 0.0;
         }
-        self.examples.iter().filter(|e| e.oracle() == CLASS_GPU).count() as f64 / self.len() as f64
+        self.examples
+            .iter()
+            .filter(|e| e.oracle() == CLASS_GPU)
+            .count() as f64
+            / self.len() as f64
     }
 
     /// The best *static* mapping for this dataset: the single device that
@@ -203,7 +224,10 @@ impl EvalMetrics {
 /// evaluation set, which is how the paper picks the per-platform baseline).
 pub fn evaluate(examples: &[Example], predictions: &[usize], static_class: usize) -> EvalMetrics {
     assert_eq!(examples.len(), predictions.len());
-    let mut metrics = EvalMetrics { count: examples.len(), ..Default::default() };
+    let mut metrics = EvalMetrics {
+        count: examples.len(),
+        ..Default::default()
+    };
     if examples.is_empty() {
         return metrics;
     }

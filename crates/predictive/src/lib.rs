@@ -34,5 +34,7 @@ pub mod model;
 pub mod tree;
 
 pub use dataset::{evaluate, Dataset, EvalMetrics, Example, CLASS_CPU, CLASS_GPU};
-pub use model::{aggregate, cross_suite, geomean_speedup, leave_one_out, BenchmarkResult, MappingModel};
+pub use model::{
+    aggregate, cross_suite, geomean_speedup, leave_one_out, BenchmarkResult, MappingModel,
+};
 pub use tree::{DecisionTree, TreeConfig};

@@ -25,7 +25,9 @@ impl MappingModel {
     /// Train with explicit tree hyper-parameters.
     pub fn train_with(dataset: &Dataset, config: &TreeConfig) -> MappingModel {
         let pairs = dataset.training_pairs();
-        MappingModel { tree: DecisionTree::train(&pairs, config) }
+        MappingModel {
+            tree: DecisionTree::train(&pairs, config),
+        }
     }
 
     /// Predict the mapping class for one example.
@@ -80,7 +82,11 @@ pub fn leave_one_out(
         let predictions = model.predict_all(&test);
         let metrics = evaluate(&test.examples, &predictions, static_class);
         let suite = test.examples[0].suite.clone();
-        results.push(BenchmarkResult { benchmark, suite, metrics });
+        results.push(BenchmarkResult {
+            benchmark,
+            suite,
+            metrics,
+        });
     }
     results
 }
@@ -149,7 +155,11 @@ mod tests {
             for i in 0..per_benchmark {
                 let size = (b * per_benchmark + i + 1) as f64 * 20.0;
                 let gpu_better = size > 100.0;
-                let (cpu, gpu) = if gpu_better { (size, size / 3.0) } else { (size / 10.0, size) };
+                let (cpu, gpu) = if gpu_better {
+                    (size, size / 3.0)
+                } else {
+                    (size / 10.0, size)
+                };
                 d.push(Example {
                     features: vec![size, (i % 3) as f64],
                     benchmark: format!("bench{b}"),
@@ -224,7 +234,11 @@ mod tests {
                 gpu_time: if gpu_better { 1.0 } else { 10.0 },
             });
         }
-        let augmented = aggregate(&leave_one_out(&sparse, Some(&synth), &TreeConfig::default()));
+        let augmented = aggregate(&leave_one_out(
+            &sparse,
+            Some(&synth),
+            &TreeConfig::default(),
+        ));
         assert!(
             augmented.performance_vs_oracle() > baseline.performance_vs_oracle(),
             "augmentation should help: baseline {:.3}, augmented {:.3}",

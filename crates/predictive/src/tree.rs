@@ -20,7 +20,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        TreeConfig { max_depth: 8, min_samples_split: 4, min_samples_leaf: 1 }
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 4,
+            min_samples_leaf: 1,
+        }
     }
 }
 
@@ -67,11 +71,18 @@ impl DecisionTree {
     pub fn train(samples: &[(Vec<f64>, usize)], config: &TreeConfig) -> DecisionTree {
         assert!(!samples.is_empty(), "cannot train on an empty sample set");
         let num_features = samples[0].0.len();
-        assert!(samples.iter().all(|(f, _)| f.len() == num_features), "inconsistent feature lengths");
+        assert!(
+            samples.iter().all(|(f, _)| f.len() == num_features),
+            "inconsistent feature lengths"
+        );
         let num_classes = samples.iter().map(|(_, l)| *l).max().unwrap_or(0) + 1;
         let indices: Vec<usize> = (0..samples.len()).collect();
         let root = build_node(samples, &indices, num_classes, config, 0);
-        DecisionTree { root, num_classes, num_features }
+        DecisionTree {
+            root,
+            num_classes,
+            num_features,
+        }
     }
 
     /// Predict the class of a feature vector.
@@ -80,7 +91,12 @@ impl DecisionTree {
         loop {
             match node {
                 Node::Leaf { class, .. } => return *class,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let value = features.get(*feature).copied().unwrap_or(0.0);
                     node = if value <= *threshold { left } else { right };
                 }
@@ -115,12 +131,19 @@ impl DecisionTree {
         if samples.is_empty() {
             return 0.0;
         }
-        let correct = samples.iter().filter(|(f, l)| self.predict(f) == *l).count();
+        let correct = samples
+            .iter()
+            .filter(|(f, l)| self.predict(f) == *l)
+            .count();
         correct as f64 / samples.len() as f64
     }
 }
 
-fn class_counts(samples: &[(Vec<f64>, usize)], indices: &[usize], num_classes: usize) -> Vec<usize> {
+fn class_counts(
+    samples: &[(Vec<f64>, usize)],
+    indices: &[usize],
+    num_classes: usize,
+) -> Vec<usize> {
     let mut counts = vec![0usize; num_classes];
     for &i in indices {
         counts[samples[i].1] += 1;
@@ -134,7 +157,10 @@ fn gini(counts: &[usize]) -> f64 {
         return 0.0;
     }
     let total = total as f64;
-    1.0 - counts.iter().map(|&c| (c as f64 / total).powi(2)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c as f64 / total).powi(2))
+        .sum::<f64>()
 }
 
 fn majority(counts: &[usize]) -> usize {
@@ -155,11 +181,11 @@ fn build_node(
 ) -> Node {
     let counts = class_counts(samples, indices, num_classes);
     let node_gini = gini(&counts);
-    if depth >= config.max_depth
-        || indices.len() < config.min_samples_split
-        || node_gini == 0.0
-    {
-        return Node::Leaf { class: majority(&counts), counts };
+    if depth >= config.max_depth || indices.len() < config.min_samples_split || node_gini == 0.0 {
+        return Node::Leaf {
+            class: majority(&counts),
+            counts,
+        };
     }
     let num_features = samples[indices[0]].0.len();
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
@@ -173,14 +199,23 @@ fn build_node(
         }
         for w in values.windows(2) {
             let threshold = (w[0] + w[1]) / 2.0;
-            let left: Vec<usize> = indices.iter().copied().filter(|&i| samples[i].0[feature] <= threshold).collect();
-            let right: Vec<usize> = indices.iter().copied().filter(|&i| samples[i].0[feature] > threshold).collect();
+            let left: Vec<usize> = indices
+                .iter()
+                .copied()
+                .filter(|&i| samples[i].0[feature] <= threshold)
+                .collect();
+            let right: Vec<usize> = indices
+                .iter()
+                .copied()
+                .filter(|&i| samples[i].0[feature] > threshold)
+                .collect();
             if left.len() < config.min_samples_leaf || right.len() < config.min_samples_leaf {
                 continue;
             }
             let gl = gini(&class_counts(samples, &left, num_classes));
             let gr = gini(&class_counts(samples, &right, num_classes));
-            let weighted = (left.len() as f64 * gl + right.len() as f64 * gr) / indices.len() as f64;
+            let weighted =
+                (left.len() as f64 * gl + right.len() as f64 * gr) / indices.len() as f64;
             if best.map(|(_, _, b)| weighted < b - 1e-12).unwrap_or(true) {
                 best = Some((feature, threshold, weighted));
             }
@@ -188,18 +223,39 @@ fn build_node(
     }
     match best {
         Some((feature, threshold, weighted)) if weighted < node_gini - 1e-12 => {
-            let left_idx: Vec<usize> =
-                indices.iter().copied().filter(|&i| samples[i].0[feature] <= threshold).collect();
-            let right_idx: Vec<usize> =
-                indices.iter().copied().filter(|&i| samples[i].0[feature] > threshold).collect();
+            let left_idx: Vec<usize> = indices
+                .iter()
+                .copied()
+                .filter(|&i| samples[i].0[feature] <= threshold)
+                .collect();
+            let right_idx: Vec<usize> = indices
+                .iter()
+                .copied()
+                .filter(|&i| samples[i].0[feature] > threshold)
+                .collect();
             Node::Split {
                 feature,
                 threshold,
-                left: Box::new(build_node(samples, &left_idx, num_classes, config, depth + 1)),
-                right: Box::new(build_node(samples, &right_idx, num_classes, config, depth + 1)),
+                left: Box::new(build_node(
+                    samples,
+                    &left_idx,
+                    num_classes,
+                    config,
+                    depth + 1,
+                )),
+                right: Box::new(build_node(
+                    samples,
+                    &right_idx,
+                    num_classes,
+                    config,
+                    depth + 1,
+                )),
             }
         }
-        _ => Node::Leaf { class: majority(&counts), counts },
+        _ => Node::Leaf {
+            class: majority(&counts),
+            counts,
+        },
     }
 }
 
@@ -222,8 +278,9 @@ mod tests {
 
     #[test]
     fn learns_threshold_rule() {
-        let data: Vec<(Vec<f64>, usize)> =
-            (0..50).map(|i| (vec![i as f64], usize::from(i >= 25))).collect();
+        let data: Vec<(Vec<f64>, usize)> = (0..50)
+            .map(|i| (vec![i as f64], usize::from(i >= 25)))
+            .collect();
         let tree = DecisionTree::train(&data, &TreeConfig::default());
         assert_eq!(tree.predict(&[3.0]), 0);
         assert_eq!(tree.predict(&[40.0]), 1);
@@ -234,14 +291,32 @@ mod tests {
     #[test]
     fn learns_conjunction_with_depth_two() {
         let data = and_data();
-        let tree = DecisionTree::train(&data, &TreeConfig { max_depth: 3, min_samples_split: 2, min_samples_leaf: 1 });
-        assert!(tree.accuracy(&data) > 0.95, "accuracy {}", tree.accuracy(&data));
+        let tree = DecisionTree::train(
+            &data,
+            &TreeConfig {
+                max_depth: 3,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+            },
+        );
+        assert!(
+            tree.accuracy(&data) > 0.95,
+            "accuracy {}",
+            tree.accuracy(&data)
+        );
     }
 
     #[test]
     fn depth_limit_respected() {
         let data = and_data();
-        let tree = DecisionTree::train(&data, &TreeConfig { max_depth: 1, min_samples_split: 2, min_samples_leaf: 1 });
+        let tree = DecisionTree::train(
+            &data,
+            &TreeConfig {
+                max_depth: 1,
+                min_samples_split: 2,
+                min_samples_leaf: 1,
+            },
+        );
         assert!(tree.depth() <= 1);
     }
 
@@ -255,14 +330,18 @@ mod tests {
 
     #[test]
     fn handles_constant_features() {
-        let data: Vec<(Vec<f64>, usize)> = (0..10).map(|i| (vec![1.0, i as f64], usize::from(i >= 5))).collect();
+        let data: Vec<(Vec<f64>, usize)> = (0..10)
+            .map(|i| (vec![1.0, i as f64], usize::from(i >= 5)))
+            .collect();
         let tree = DecisionTree::train(&data, &TreeConfig::default());
         assert_eq!(tree.accuracy(&data), 1.0);
     }
 
     #[test]
     fn multiclass_supported() {
-        let data: Vec<(Vec<f64>, usize)> = (0..60).map(|i| (vec![i as f64], (i / 20) as usize)).collect();
+        let data: Vec<(Vec<f64>, usize)> = (0..60)
+            .map(|i| (vec![i as f64], (i / 20) as usize))
+            .collect();
         let tree = DecisionTree::train(&data, &TreeConfig::default());
         assert_eq!(tree.num_classes, 3);
         assert_eq!(tree.predict(&[10.0]), 0);

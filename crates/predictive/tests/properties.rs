@@ -5,7 +5,11 @@ use proptest::prelude::*;
 
 fn arbitrary_examples() -> impl Strategy<Value = Vec<Example>> {
     proptest::collection::vec(
-        (0.1f64..1000.0, 0.1f64..1000.0, proptest::collection::vec(-100.0f64..100.0, 3)),
+        (
+            0.1f64..1000.0,
+            0.1f64..1000.0,
+            proptest::collection::vec(-100.0f64..100.0, 3),
+        ),
         2..40,
     )
     .prop_map(|rows| {

@@ -4,10 +4,10 @@
 //! a single dependency. See the individual crates for documentation:
 //! [`clgen`], [`cldrive`], [`grewe_features`], [`predictive`].
 pub use cl_frontend;
+pub use cldrive;
 pub use clgen;
 pub use clgen_corpus;
 pub use clgen_neural;
-pub use cldrive;
 pub use clsmith;
 pub use grewe_features;
 pub use predictive;

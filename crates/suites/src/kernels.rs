@@ -9,7 +9,12 @@
 use crate::{Benchmark, Suite, DEFAULT_SIZES, NPB_CLASSES, PARBOIL_SIZES};
 
 fn bench(suite: Suite, name: &str, source: &str, sizes: &[usize]) -> Benchmark {
-    Benchmark { suite, name: name.to_string(), source: source.to_string(), dataset_sizes: sizes.to_vec() }
+    Benchmark {
+        suite,
+        name: name.to_string(),
+        source: source.to_string(),
+        dataset_sizes: sizes.to_vec(),
+    }
 }
 
 fn npb_sizes() -> Vec<usize> {
@@ -858,13 +863,20 @@ mod tests {
     fn suites_have_distinct_character() {
         // PolyBench has no data-dependent branching at all.
         for b in polybench() {
-            assert!(!b.source.contains("if ("), "{} should be branch-free", b.id());
+            assert!(
+                !b.source.contains("if ("),
+                "{} should be branch-free",
+                b.id()
+            );
         }
         // SHOC includes at least one local-memory reduction and one atomics kernel.
         assert!(shoc().iter().any(|b| b.source.contains("__local")));
         assert!(shoc().iter().any(|b| b.source.contains("atomic_")));
         // Rodinia is branch-heavy.
-        let branchy = rodinia().iter().filter(|b| b.source.contains("if (")).count();
+        let branchy = rodinia()
+            .iter()
+            .filter(|b| b.source.contains("if ("))
+            .count();
         assert!(branchy >= 5);
     }
 }

@@ -123,7 +123,10 @@ pub fn suite_benchmarks(suite: Suite) -> Vec<Benchmark> {
 
 /// Every benchmark of every suite.
 pub fn all_benchmarks() -> Vec<Benchmark> {
-    Suite::all().into_iter().flat_map(suite_benchmarks).collect()
+    Suite::all()
+        .into_iter()
+        .flat_map(suite_benchmarks)
+        .collect()
 }
 
 /// Summary row for Table 3: (suite, number of benchmarks, number of kernels).
@@ -135,7 +138,9 @@ pub fn inventory() -> Vec<(Suite, usize, usize)> {
             let kernels: usize = benchmarks
                 .iter()
                 .map(|b| {
-                    cl_frontend::compile(&b.source, &Default::default()).kernels.len()
+                    cl_frontend::compile(&b.source, &Default::default())
+                        .kernels
+                        .len()
                 })
                 .sum();
             (suite, benchmarks.len(), kernels)
@@ -152,7 +157,12 @@ mod tests {
     fn every_benchmark_compiles_cleanly() {
         for b in all_benchmarks() {
             let r = compile(&b.source, &CompileOptions::default());
-            assert!(r.is_ok(), "{} failed to compile:\n{}", b.id(), r.diagnostics);
+            assert!(
+                r.is_ok(),
+                "{} failed to compile:\n{}",
+                b.id(),
+                r.diagnostics
+            );
             assert!(!r.kernels.is_empty(), "{} has no kernels", b.id());
             assert!(r.max_kernel_instructions() >= 3, "{} is trivial", b.id());
         }
@@ -163,14 +173,24 @@ mod tests {
         let npb = suite_benchmarks(Suite::Npb);
         assert_eq!(npb.len(), 7, "NPB has 7 programs");
         for b in &npb {
-            assert_eq!(b.dataset_sizes.len(), 5, "NPB programs have 5 dataset classes");
+            assert_eq!(
+                b.dataset_sizes.len(),
+                5,
+                "NPB programs have 5 dataset classes"
+            );
         }
         for b in suite_benchmarks(Suite::Parboil) {
             assert_eq!(b.dataset_sizes.len(), PARBOIL_SIZES.len());
         }
         assert_eq!(Suite::all().len(), 7);
-        let total: usize = Suite::all().iter().map(|s| suite_benchmarks(*s).len()).sum();
-        assert!(total >= 40, "expected a substantial benchmark population, got {total}");
+        let total: usize = Suite::all()
+            .iter()
+            .map(|s| suite_benchmarks(*s).len())
+            .sum();
+        assert!(
+            total >= 40,
+            "expected a substantial benchmark population, got {total}"
+        );
     }
 
     #[test]
@@ -179,7 +199,10 @@ mod tests {
         // stand-in suite must reproduce that idiom.
         let npb = suite_benchmarks(Suite::Npb);
         let with_local = npb.iter().filter(|b| b.source.contains("__local")).count();
-        assert!(with_local * 2 > npb.len(), "most NPB programs should use local memory");
+        assert!(
+            with_local * 2 > npb.len(),
+            "most NPB programs should use local memory"
+        );
     }
 
     #[test]

@@ -42,20 +42,37 @@ __kernel void saxpy(/* SAXPY kernel */
     let needs_shim = "__kernel void scale(__global FLOAT_T* data, const int n) {\n  int i = get_global_id(0);\n  if (i < n) { data[i] *= 2.0f + WG_SIZE; }\n}";
     let without = filter_source(needs_shim, &FilterConfig::without_shim());
     let with = filter_source(needs_shim, &FilterConfig::default());
-    println!("\nshim header demo: without shim accepted = {}, with shim accepted = {}", without.accepted(), with.accepted());
+    println!(
+        "\nshim header demo: without shim accepted = {}, with shim accepted = {}",
+        without.accepted(),
+        with.accepted()
+    );
 
     // 3. Corpus-scale statistics (a small run of the §4.1 numbers).
     println!("\nbuilding a corpus from 80 synthetic repositories...");
     let options = CorpusOptions {
-        miner: MinerConfig { repositories: 80, files_per_repo: (1, 6), seed: 7 },
+        miner: MinerConfig {
+            repositories: 80,
+            files_per_repo: (1, 6),
+            seed: 7,
+        },
         measure_no_shim_ablation: true,
         ..Default::default()
     };
     let corpus = Corpus::build(&options);
     let s = &corpus.stats;
     println!("  content files:        {}", s.content_files);
-    println!("  discard rate no shim: {:.1}%", s.discard_rate_without_shim * 100.0);
-    println!("  discard rate w/ shim: {:.1}%", s.discard_rate_with_shim * 100.0);
+    println!(
+        "  discard rate no shim: {:.1}%",
+        s.discard_rate_without_shim * 100.0
+    );
+    println!(
+        "  discard rate w/ shim: {:.1}%",
+        s.discard_rate_with_shim * 100.0
+    );
     println!("  corpus kernels:       {}", s.corpus_kernels);
-    println!("  vocabulary reduction: {:.0}%", s.vocabulary_reduction() * 100.0);
+    println!(
+        "  vocabulary reduction: {:.0}%",
+        s.vocabulary_reduction() * 100.0
+    );
 }

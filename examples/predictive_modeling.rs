@@ -9,14 +9,18 @@
 
 use clgen_repro::cldrive::Platform;
 use experiments::{
-    build_suite_dataset, build_synthetic_dataset, synthesize_kernels, DatasetConfig, SyntheticConfig,
+    build_suite_dataset, build_synthetic_dataset, synthesize_kernels, DatasetConfig,
+    SyntheticConfig,
 };
 use grewe_features::FeatureSet;
 use predictive::{aggregate, geomean_speedup, leave_one_out, TreeConfig};
 
 fn main() {
     let platform = Platform::amd();
-    println!("building benchmark-suite dataset on the {} platform...", platform.name);
+    println!(
+        "building benchmark-suite dataset on the {} platform...",
+        platform.name
+    );
     let dataset = build_suite_dataset(&platform, &DatasetConfig::default());
     println!(
         "dataset: {} examples, {} benchmarks, {} suites ({:.0}% GPU-optimal)",
@@ -38,10 +42,23 @@ fn main() {
     );
 
     println!("\nsynthesizing CLgen benchmarks for training-set augmentation...");
-    let config = SyntheticConfig { target_kernels: 60, max_attempts: 2000, ..Default::default() };
+    let config = SyntheticConfig {
+        target_kernels: 60,
+        max_attempts: 2000,
+        ..Default::default()
+    };
     let kernels = synthesize_kernels(&config);
-    let synthetic = build_synthetic_dataset(&kernels, &platform, FeatureSet::Grewe, &config.dataset_sizes);
-    println!("  {} synthetic kernels -> {} training examples", kernels.len(), synthetic.len());
+    let synthetic = build_synthetic_dataset(
+        &kernels,
+        &platform,
+        FeatureSet::Grewe,
+        &config.dataset_sizes,
+    );
+    println!(
+        "  {} synthetic kernels -> {} training examples",
+        kernels.len(),
+        synthetic.len()
+    );
 
     let augmented = leave_one_out(&dataset, Some(&synthetic), &tree);
     let aug = aggregate(&augmented);

@@ -32,7 +32,10 @@ fn main() {
         report.stats.acceptance_rate() * 100.0
     );
     for (i, kernel) in report.kernels.iter().enumerate() {
-        println!("\n--- synthesized kernel {i} ({} static instructions) ---", kernel.instructions);
+        println!(
+            "\n--- synthesized kernel {i} ({} static instructions) ---",
+            kernel.instructions
+        );
         println!("{}", kernel.source.trim());
     }
 

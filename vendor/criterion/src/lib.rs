@@ -1,0 +1,181 @@
+//! Vendored micro-benchmark harness.
+//!
+//! Implements the subset of the `criterion` API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//! Timing is a simple calibrated loop (warm-up, then enough iterations to
+//! fill a measurement window) reporting the mean wall-clock time per
+//! iteration; there is no statistical analysis or HTML report.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How batched inputs are sized in [`Bencher::iter_batched`]. The vendored
+/// harness treats all variants identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Collects timing for one benchmark.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_ns: f64,
+    iterations: u64,
+}
+
+const WARMUP: Duration = Duration::from_millis(60);
+const MEASURE: Duration = Duration::from_millis(240);
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            mean_ns: f64::NAN,
+            iterations: 0,
+        }
+    }
+
+    /// Benchmark `routine` by calling it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: how many iterations fit the window?
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((MEASURE.as_secs_f64() / per_iter) as u64).clamp(1, 1_000_000_000);
+        let timer = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        let elapsed = timer.elapsed();
+        self.iterations = target;
+        self.mean_ns = elapsed.as_nanos() as f64 / target as f64;
+    }
+
+    /// Benchmark `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            let input = setup();
+            black_box(routine(input));
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_secs_f64() / warm_iters.max(1) as f64;
+        let target = ((MEASURE.as_secs_f64() / per_iter) as u64).clamp(1, 1_000_000_000);
+        let mut total = Duration::ZERO;
+        for _ in 0..target {
+            let input = setup();
+            let timer = Instant::now();
+            black_box(routine(input));
+            total += timer.elapsed();
+        }
+        self.iterations = target;
+        self.mean_ns = total.as_nanos() as f64 / target as f64;
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new();
+        f(&mut bencher);
+        println!(
+            "{name:<44} time: {:>12}   ({} iterations)",
+            format_ns(bencher.mean_ns),
+            bencher.iterations
+        );
+        self.results.push((name.to_string(), bencher.mean_ns));
+        self
+    }
+
+    /// Mean nanoseconds per iteration recorded for `name`, if it has run.
+    pub fn mean_ns(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, ns)| *ns)
+    }
+}
+
+/// Group benchmark functions under a single runner entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_mean() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let ns = c.mean_ns("noop_sum").unwrap();
+        assert!(ns > 0.0 && ns < 1e7, "implausible mean: {ns}");
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert!(c.mean_ns("batched").unwrap() > 0.0);
+    }
+}

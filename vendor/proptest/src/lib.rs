@@ -1,0 +1,542 @@
+//! Vendored mini property-testing harness.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of the `proptest` API the workspace's property tests use: the
+//! [`proptest!`] macro, range/`Just`/tuple/`prop_map`/`prop_oneof` strategies,
+//! `collection::vec`, `any::<T>()` and the `prop_assert*` macros. Failing
+//! cases panic immediately (there is no shrinking); cases are generated from
+//! a fixed seed so every run explores the same inputs.
+
+#![warn(missing_docs)]
+
+use rand::prelude::*;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values of an associated type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between same-typed strategies (backs [`prop_oneof!`]).
+#[derive(Debug, Clone)]
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Choose uniformly among `options`.
+    pub fn new(options: Vec<S>) -> Union<S> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// String-pattern strategies: in `proptest`, a `&str` is itself a strategy
+/// whose value is a `String` matching the regex. This vendored version
+/// supports the subset of regex syntax the workspace's tests use: literal
+/// characters, character classes (`[a-z0-9\\n]`, ranges and escapes), the
+/// printable-character class `\PC`, and the quantifiers `*` and `{m,n}`.
+mod string_pattern {
+    use super::*;
+
+    enum Atom {
+        Literal(char),
+        /// Inclusive character ranges to choose among.
+        Class(Vec<(char, char)>),
+        /// Any printable character (`\PC`: not a control character).
+        Printable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Atom {
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    return Atom::Class(ranges);
+                }
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let mut hi = chars.next().expect("unterminated range in class");
+                    if hi == '\\' {
+                        hi = unescape(chars.next().expect("dangling escape in class"));
+                    }
+                    assert!(lo <= hi, "invalid range {lo:?}-{hi:?} in pattern class");
+                    ranges.push((lo, hi));
+                }
+                '\\' => {
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(unescape(chars.next().expect("dangling escape in class")));
+                }
+                other => {
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(other);
+                }
+            }
+        }
+        panic!("unterminated character class in pattern");
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+        match chars.peek() {
+            Some('*') => {
+                chars.next();
+                (0, 32)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 32)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => parse_class(&mut chars),
+                '\\' => match chars.next().expect("dangling escape in pattern") {
+                    'P' => {
+                        let class = chars.next().expect("\\P needs a category");
+                        assert_eq!(class, 'C', "only \\PC (printable) is supported");
+                        Atom::Printable
+                    }
+                    other => Atom::Literal(unescape(other)),
+                },
+                other => Atom::Literal(other),
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    // Printable pool: ASCII printable plus a few multi-byte characters so
+    // lexer totality is exercised on non-ASCII input too.
+    const EXTRA_PRINTABLE: &[char] = &['é', 'ß', 'λ', '中', '🦀', '\u{00A0}'];
+
+    fn gen_atom(atom: &Atom, rng: &mut StdRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::Printable => {
+                if rng.gen_bool(0.9) {
+                    rng.gen_range(0x20u32..0x7F) as u8 as char
+                } else {
+                    EXTRA_PRINTABLE[rng.gen_range(0..EXTRA_PRINTABLE.len())]
+                }
+            }
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).expect("invalid char in class");
+                    }
+                    pick -= span;
+                }
+                unreachable!("class selection out of bounds")
+            }
+        }
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for piece in parse(self) {
+                let count = rng.gen_range(piece.min..=piece.max);
+                for _ in 0..count {
+                    out.push(gen_atom(&piece.atom, rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Types with a canonical "anything goes" strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Produce an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> u32 {
+        rng.gen::<u64>() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut StdRng) -> usize {
+        rng.gen::<u64>() as usize
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut StdRng) -> f32 {
+        rng.gen_range(-1.0e6f32..1.0e6)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.gen_range(-1.0e9f64..1.0e9)
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for a type: `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::*;
+
+    /// Length specifications accepted by [`vec`]: a fixed length, `lo..hi`,
+    /// or `lo..=hi` (mirrors `proptest`'s `Into<SizeRange>` argument).
+    pub trait SizeRange {
+        /// Draw a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for vectors with element strategy `S` and length in `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        elem: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample_len(rng);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// A vector strategy: `vec(0u32..20, 1..16)` or `vec(-1.0f64..1.0, 3)`.
+    pub fn vec<S: Strategy, Z: SizeRange>(elem: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { elem, size }
+    }
+}
+
+/// Drive one property: generate `cases` inputs and invoke `body` on each.
+pub fn run_property<S: Strategy>(
+    config: &ProptestConfig,
+    strategy: &S,
+    mut body: impl FnMut(S::Value),
+) {
+    // Fixed base seed: every run explores the same deterministic case list.
+    let mut rng = StdRng::seed_from_u64(0x_C1_0E_5E_ED);
+    for _ in 0..config.cases {
+        body(strategy.generate(&mut rng));
+    }
+}
+
+/// Assert inside a property (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($strat),+])
+    };
+}
+
+/// Define property tests: see the `proptest` crate for the full syntax. This
+/// vendored version supports an optional `#![proptest_config(...)]` header
+/// followed by `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::run_property(&__config, &__strategy, |__value| {
+                let ($($pat,)+) = __value;
+                $body
+            });
+        }
+        $crate::__proptest_items! { $cfg; $($rest)* }
+    };
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges produce in-bounds values.
+        #[test]
+        fn range_in_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        /// Vec strategy honours the length range.
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u32..5, 2..8)) {
+            prop_assert!(v.len() >= 2 && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        /// prop_map and prop_oneof compose.
+        #[test]
+        fn map_and_oneof(s in prop_oneof![Just("a"), Just("b")].prop_map(|s| s.to_string())) {
+            prop_assert!(s == "a" || s == "b");
+        }
+    }
+
+    #[test]
+    fn macro_generated_tests_run() {
+        range_in_bounds();
+        vec_lengths();
+        map_and_oneof();
+    }
+}

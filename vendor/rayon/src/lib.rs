@@ -1,0 +1,203 @@
+//! Vendored data-parallel fan-out.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the narrow slice of the `rayon` API the workspace uses: `into_par_iter()`
+//! on vectors (and `par_iter()` on slices) followed by `map(...)`,
+//! `filter_map(...)` and an order-preserving `collect()`. Work is split into
+//! contiguous chunks executed on `std::thread::scope` threads, one per
+//! available core (capped by the item count), so results arrive in input
+//! order with no work stealing.
+
+#![warn(missing_docs)]
+
+/// Number of worker threads used for parallel fan-out.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` over `items` on worker threads, preserving input order.
+fn fan_out<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: F) -> Vec<R> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Split into `threads` contiguous chunks of near-equal size.
+    let chunk = n.div_ceil(threads);
+    let mut remaining = items;
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    while remaining.len() > chunk {
+        let tail = remaining.split_off(chunk);
+        chunks.push(std::mem::replace(&mut remaining, tail));
+    }
+    chunks.push(remaining);
+    let f = &f;
+    let mut results: Vec<Vec<R>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("rayon worker panicked"));
+        }
+    });
+    results.into_iter().flatten().collect()
+}
+
+/// A parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// A filter-mapped parallel iterator.
+pub struct ParFilterMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Transform every item with `f` in parallel.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Transform and filter every item with `f` in parallel.
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync>(self, f: F) -> ParFilterMap<T, F> {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Execute the pipeline, collecting results in input order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_ordered(fan_out(self.items, self.f))
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> Option<R> + Sync> ParFilterMap<T, F> {
+    /// Execute the pipeline, collecting retained results in input order.
+    pub fn collect<C: FromParallel<R>>(self) -> C {
+        C::from_ordered(fan_out(self.items, self.f).into_iter().flatten().collect())
+    }
+}
+
+/// Collection targets for parallel `collect()`.
+pub trait FromParallel<R> {
+    /// Build the collection from results already in input order.
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Vec<R> {
+        items
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring `rayon`'s trait.
+pub trait IntoParallelIterator {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The reference item type produced.
+    type Item: Send;
+
+    /// Iterate the collection's elements by reference, in parallel.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let squares: Vec<u64> = input.clone().into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 10_000);
+        for (i, sq) in squares.iter().enumerate() {
+            assert_eq!(*sq, (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let input: Vec<u32> = (0..1000).collect();
+        let evens: Vec<u32> = input
+            .into_par_iter()
+            .filter_map(|x| (x % 2 == 0).then_some(x))
+            .collect();
+        assert_eq!(evens, (0..1000).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let input: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = input.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[99], 2);
+        assert_eq!(input.len(), 100);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,19 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model and corpus
+//! types to declare that they are snapshot-able, but no code path currently
+//! serialises to a wire format (there is no `serde_json` in the build
+//! environment). The traits are therefore empty markers; the derive macros in
+//! [`serde_derive`] emit the corresponding empty impls. When a real
+//! serialisation backend becomes available the markers can be replaced by the
+//! upstream crate without touching call sites.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type has a stable, serialisable shape.
+pub trait Serialize {}
+
+/// Marker: the type can be reconstructed from serialised data.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,83 @@
+//! Derive macros for the vendored `serde` marker traits.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`, which are not
+//! available in the offline build environment). The derives scan the item for
+//! its name and emit an empty marker impl. Generic types are supported for
+//! plain type parameters without bounds-carrying `where` clauses, which
+//! covers every derive site in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(type_name, generic_params)` from a `struct`/`enum` item.
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`), doc comments, visibility and other
+    // modifiers until the `struct` / `enum` keyword.
+    for tt in tokens.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                break;
+            }
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    // Collect simple generic parameters: `<A, B>` (no bounds used in-tree).
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1usize;
+            for tt in tokens {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenTree::Ident(id) if depth == 1 => params.push(id.to_string()),
+                    _ => {}
+                }
+            }
+        }
+    }
+    (name, params)
+}
+
+fn marker_impl(input: TokenStream, make: impl Fn(&str, &str, &str) -> String) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let generics = if params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", params.join(", "))
+    };
+    make(&name, &generics, &generics)
+        .parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+/// Derive the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, |name, gen_decl, gen_use| {
+        format!("impl{gen_decl} ::serde::Serialize for {name}{gen_use} {{}}")
+    })
+}
+
+/// Derive the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, |name, gen_decl, gen_use| {
+        let decl = if gen_decl.is_empty() {
+            "<'de>".to_string()
+        } else {
+            format!("<'de, {}", &gen_decl[1..])
+        };
+        format!("impl{decl} ::serde::Deserialize<'de> for {name}{gen_use} {{}}")
+    })
+}
