@@ -12,7 +12,7 @@ fn bench_ablations(c: &mut Criterion) {
     let spec = ArgumentSpec::paper_default();
     let mut ngram_options = ClgenOptions::small(5);
     ngram_options.corpus.miner.repositories = 30;
-    let mut ngram_clgen = Clgen::new(ngram_options);
+    let mut ngram_clgen = Clgen::try_new(ngram_options).expect("pipeline");
     c.bench_function("ablation/model_class/ngram_sample", |b| {
         b.iter(|| ngram_clgen.sample_candidate(Some(&spec)))
     });
@@ -31,7 +31,7 @@ fn bench_ablations(c: &mut Criterion) {
             clip_norm: 5.0,
         },
     };
-    let mut lstm_clgen = Clgen::new(lstm_options);
+    let mut lstm_clgen = Clgen::try_new(lstm_options).expect("pipeline");
     c.bench_function("ablation/model_class/lstm_sample", |b| {
         b.iter(|| lstm_clgen.sample_candidate(Some(&spec)))
     });

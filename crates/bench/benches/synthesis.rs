@@ -4,8 +4,11 @@
 //! `BENCH_synthesis.json` numbers come from the `record_synthesis` binary in
 //! this crate, which measures the same paths end to end.
 
+// The eager facade's drivers are part of what this suite measures.
+#![allow(deprecated)]
+
 use clgen::sampler::{sample_kernel, sample_kernels_batched, SampleOptions};
-use clgen::{ArgumentSpec, Clgen, ClgenOptions};
+use clgen::{ArgumentSpec, Clgen, ClgenOptions, SamplerConfig};
 use clgen_corpus::Vocabulary;
 use clgen_neural::lstm::{LstmConfig, LstmModel};
 use clgen_neural::{LstmStreams, StatefulLstm};
@@ -20,7 +23,8 @@ const SEED_TEXT: &str =
 fn bench_synthesis(c: &mut Criterion) {
     let mut options = ClgenOptions::small(17);
     options.corpus.miner.repositories = 40;
-    let mut clgen = Clgen::new(options);
+    let sample_options = options.sample;
+    let mut clgen = Clgen::try_new(options).expect("pipeline");
     let spec = ArgumentSpec::paper_default();
 
     c.bench_function("clgen/sample_candidate", |b| {
@@ -37,6 +41,17 @@ fn bench_synthesis(c: &mut Criterion) {
     });
     c.bench_function("clgen/synthesize_batched_64_attempts", |b| {
         b.iter(|| clgen.synthesize_batched(usize::MAX, 64, Some(&spec), 16))
+    });
+    // The same 64-attempt run through the staged API's pull-based stream.
+    let sampler = clgen.trained_model().sampler(
+        SamplerConfig::new(17)
+            .with_spec(spec.clone())
+            .with_sample(sample_options)
+            .with_lanes(16)
+            .with_max_attempts(64),
+    );
+    c.bench_function("clgen/stream_64_attempts", |b| {
+        b.iter(|| sampler.stream().count())
     });
     c.bench_function("clsmith/generate_kernel", |b| {
         let mut seed = 0u64;

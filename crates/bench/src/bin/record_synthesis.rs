@@ -18,6 +18,10 @@
 //! covered by the `batched_determinism` test suite; this binary measures
 //! speed only.
 
+// The serial/batched drivers of the eager facade are exactly the paths this
+// recorder measures; keep exercising them even though new code streams.
+#![allow(deprecated)]
+
 use clgen::sampler::{sample_kernel, sample_kernels_batched, SampleOptions};
 use clgen::{ArgumentSpec, Clgen, ClgenOptions};
 use clgen_corpus::Vocabulary;
@@ -119,7 +123,7 @@ fn main() {
     let build = || {
         let mut o = ClgenOptions::small(17);
         o.corpus.miner.repositories = 40;
-        Clgen::new(o)
+        Clgen::try_new(o).expect("pipeline")
     };
     let spec = ArgumentSpec::paper_default();
     let attempts = 512;

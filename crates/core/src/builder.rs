@@ -1,0 +1,299 @@
+//! The entry stage of the pipeline: [`ClgenBuilder`] configures a run and
+//! produces a [`CorpusStage`] — a built (or loaded) corpus with its character
+//! vocabulary — from which models are trained.
+//!
+//! The stages mirror Figure 4 of the paper explicitly:
+//!
+//! ```text
+//! ClgenBuilder ──build_corpus()──▶ CorpusStage ──train()──▶ TrainedModel
+//!                                      │                        │
+//!                                   save/load              save/load
+//!                                      ▼                        ▼
+//!                                 corpus file             checkpoint file
+//! ```
+//!
+//! Each stage is individually usable: a corpus can be built once and saved,
+//! then reloaded to train several model variants; a trained model can be
+//! saved and later reopened for sampling in a fresh process without its
+//! corpus.
+
+use crate::error::ClgenError;
+use crate::model::TrainedModel;
+use crate::synthesizer::{ClgenOptions, ModelBackend};
+use clgen_corpus::{Corpus, CorpusOptions, Vocabulary};
+use clgen_neural::lstm::{LstmConfig, LstmModel};
+use clgen_neural::ngram::NgramModel;
+use clgen_neural::train::train;
+use clgen_neural::{LanguageModelBackend, StatefulLstm};
+use clgen_wire::{Decoder, Encoder, WireError};
+use std::path::Path;
+
+/// Magic header of a saved corpus stage file.
+pub const CORPUS_STAGE_MAGIC: &str = "CLGENCRP";
+/// Current corpus stage container version.
+pub const CORPUS_STAGE_VERSION: u32 = 1;
+
+/// Configures a pipeline run and produces its first stage.
+#[derive(Debug, Clone, Default)]
+pub struct ClgenBuilder {
+    options: ClgenOptions,
+}
+
+impl ClgenBuilder {
+    /// A builder with default options.
+    pub fn new() -> ClgenBuilder {
+        ClgenBuilder::default()
+    }
+
+    /// A builder starting from explicit options.
+    pub fn with_options(options: ClgenOptions) -> ClgenBuilder {
+        ClgenBuilder { options }
+    }
+
+    /// Set the corpus construction options.
+    pub fn corpus_options(mut self, corpus: CorpusOptions) -> ClgenBuilder {
+        self.options.corpus = corpus;
+        self
+    }
+
+    /// Set the model backend to train.
+    pub fn backend(mut self, backend: ModelBackend) -> ClgenBuilder {
+        self.options.backend = backend;
+        self
+    }
+
+    /// Set the sampling parameters carried into the sampler stage.
+    pub fn sample(mut self, sample: crate::sampler::SampleOptions) -> ClgenBuilder {
+        self.options.sample = sample;
+        self
+    }
+
+    /// Set the run seed (weight initialisation and sampling RNG streams).
+    pub fn seed(mut self, seed: u64) -> ClgenBuilder {
+        self.options.seed = seed;
+        self
+    }
+
+    /// The accumulated options.
+    pub fn options(&self) -> &ClgenOptions {
+        &self.options
+    }
+
+    /// Build the corpus stage by mining synthetic repositories and running
+    /// the full filter + rewrite pipeline.
+    pub fn build_corpus(self) -> Result<CorpusStage, ClgenError> {
+        let corpus = Corpus::build(&self.options.corpus);
+        CorpusStage::from_corpus(corpus, self.options)
+    }
+
+    /// Build the corpus stage from an already-assembled corpus.
+    pub fn adopt_corpus(self, corpus: Corpus) -> Result<CorpusStage, ClgenError> {
+        CorpusStage::from_corpus(corpus, self.options)
+    }
+
+    /// Load a corpus stage previously saved with [`CorpusStage::save`].
+    pub fn load_corpus(self, path: impl AsRef<Path>) -> Result<CorpusStage, ClgenError> {
+        CorpusStage::load(path, self.options)
+    }
+}
+
+/// The corpus stage: a built or loaded corpus plus the character vocabulary
+/// and encoded training text derived from it.
+#[derive(Debug, Clone)]
+pub struct CorpusStage {
+    corpus: Corpus,
+    vocab: Vocabulary,
+    encoded: Vec<u32>,
+    options: ClgenOptions,
+}
+
+impl CorpusStage {
+    fn from_corpus(corpus: Corpus, options: ClgenOptions) -> Result<CorpusStage, ClgenError> {
+        if corpus.is_empty() {
+            return Err(ClgenError::EmptyCorpus);
+        }
+        let text = corpus.training_text();
+        let vocab = Vocabulary::from_text(&text);
+        if vocab.is_empty() {
+            return Err(ClgenError::EmptyVocabulary);
+        }
+        let encoded = vocab.encode(&text);
+        Ok(CorpusStage {
+            corpus,
+            vocab,
+            encoded,
+            options,
+        })
+    }
+
+    /// The corpus backing this stage.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The character vocabulary of the corpus.
+    pub fn vocabulary(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The options the stage was built with.
+    pub fn options(&self) -> &ClgenOptions {
+        &self.options
+    }
+
+    /// Give up the stage, keeping only the corpus.
+    pub fn into_corpus(self) -> Corpus {
+        self.corpus
+    }
+
+    /// Train the backend configured in the options over this corpus.
+    pub fn train(&self) -> Result<TrainedModel, ClgenError> {
+        self.train_backend(&self.options.backend, self.options.seed)
+    }
+
+    /// Train an explicit backend over this corpus (the same corpus stage can
+    /// train several model variants).
+    pub fn train_backend(
+        &self,
+        backend: &ModelBackend,
+        seed: u64,
+    ) -> Result<TrainedModel, ClgenError> {
+        let trained: Box<dyn LanguageModelBackend> = match backend {
+            ModelBackend::Lstm {
+                hidden_size,
+                num_layers,
+                train: tc,
+            } => {
+                let config = LstmConfig {
+                    vocab_size: self.vocab.len(),
+                    hidden_size: *hidden_size,
+                    num_layers: *num_layers,
+                    seed,
+                };
+                let mut lstm = LstmModel::new(config);
+                train(&mut lstm, &self.encoded, tc, None);
+                Box::new(StatefulLstm::new(lstm))
+            }
+            ModelBackend::Ngram(config) => {
+                Box::new(NgramModel::train(&self.encoded, self.vocab.len(), *config))
+            }
+        };
+        TrainedModel::from_parts(self.vocab.clone(), trained)
+    }
+
+    /// Serialize the stage (corpus + vocabulary) to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.magic(CORPUS_STAGE_MAGIC);
+        enc.u32(CORPUS_STAGE_VERSION);
+        self.vocab.encode_into(&mut enc);
+        self.corpus.encode_into(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Write the stage to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ClgenError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Load a stage saved with [`CorpusStage::save`]. The stored vocabulary
+    /// is used as-is (ids must match any model trained from the stage before
+    /// it was saved), and the encoded training text is rebuilt from it.
+    pub fn load(path: impl AsRef<Path>, options: ClgenOptions) -> Result<CorpusStage, ClgenError> {
+        let bytes = std::fs::read(path)?;
+        let mut dec = Decoder::new(&bytes);
+        dec.magic(CORPUS_STAGE_MAGIC)?;
+        let version = dec.u32()?;
+        if version != CORPUS_STAGE_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                found: version,
+                supported: CORPUS_STAGE_VERSION,
+            }
+            .into());
+        }
+        let vocab = Vocabulary::decode_from(&mut dec)?;
+        let corpus = Corpus::decode_from(&mut dec)?;
+        dec.finish()?;
+        if corpus.is_empty() {
+            return Err(ClgenError::EmptyCorpus);
+        }
+        if vocab.is_empty() {
+            return Err(ClgenError::EmptyVocabulary);
+        }
+        let encoded = vocab.encode(&corpus.training_text());
+        Ok(CorpusStage {
+            corpus,
+            vocab,
+            encoded,
+            options,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clgen_corpus::CorpusStats;
+
+    #[test]
+    fn empty_corpus_is_a_typed_error_not_a_panic() {
+        let empty = Corpus {
+            kernels: Vec::new(),
+            stats: CorpusStats::default(),
+        };
+        let result = ClgenBuilder::new().adopt_corpus(empty);
+        assert!(matches!(result, Err(ClgenError::EmptyCorpus)));
+    }
+
+    #[test]
+    fn corpus_stage_roundtrips_through_a_file() {
+        let stage = ClgenBuilder::with_options(ClgenOptions::small(23))
+            .build_corpus()
+            .expect("small corpus builds");
+        let path = std::env::temp_dir().join(format!(
+            "clgen-corpus-stage-{}-{}.bin",
+            std::process::id(),
+            line!()
+        ));
+        stage.save(&path).unwrap();
+        let loaded = ClgenBuilder::with_options(ClgenOptions::small(23))
+            .load_corpus(&path)
+            .unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.vocabulary(), stage.vocabulary());
+        assert_eq!(
+            loaded.corpus().training_text(),
+            stage.corpus().training_text()
+        );
+        assert_eq!(loaded.encoded, stage.encoded);
+    }
+
+    #[test]
+    fn one_corpus_stage_trains_multiple_backends() {
+        let stage = ClgenBuilder::with_options(ClgenOptions::small(31))
+            .build_corpus()
+            .unwrap();
+        let ngram = stage.train().unwrap();
+        assert_eq!(ngram.backend_kind(), "ngram");
+        let lstm = stage
+            .train_backend(
+                &ModelBackend::Lstm {
+                    hidden_size: 8,
+                    num_layers: 1,
+                    train: clgen_neural::TrainConfig {
+                        epochs: 1,
+                        learning_rate: 0.05,
+                        decay_factor: 0.9,
+                        decay_every: 2,
+                        unroll: 16,
+                        clip_norm: 5.0,
+                    },
+                },
+                31,
+            )
+            .unwrap();
+        assert_eq!(lstm.backend_kind(), "lstm");
+        assert_eq!(lstm.vocabulary(), ngram.vocabulary());
+    }
+}

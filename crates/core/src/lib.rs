@@ -5,37 +5,64 @@
 //! benchmark synthesizer driven by a language model learned from a corpus of
 //! human-written code.
 //!
-//! The pipeline (Figure 4 of the paper) is:
+//! The pipeline (Figure 4 of the paper) is exposed as explicit,
+//! individually-usable stages:
 //!
-//! 1. build a language corpus with [`clgen_corpus`] (mining, rejection
-//!    filtering, code rewriting),
-//! 2. train a character-level language model over it ([`clgen_neural`]),
-//! 3. sample candidate kernels with Algorithm 1 ([`sampler`]), optionally
-//!    constrained by an [argument specification](spec::ArgumentSpec),
-//! 4. keep only candidates that pass the rejection filter
-//!    ([`synthesizer::Clgen::synthesize`]).
+//! 1. [`ClgenBuilder`] builds (or loads) a [`CorpusStage`] — the mined,
+//!    filtered, rewritten corpus plus its character vocabulary
+//!    ([`clgen_corpus`]),
+//! 2. the corpus stage trains a [`TrainedModel`] — any
+//!    [`LanguageModelBackend`](clgen_neural::LanguageModelBackend)
+//!    behind one object, with versioned [`save`](TrainedModel::save) /
+//!    [`load`](TrainedModel::load) checkpoints that sample byte-identically
+//!    to the original,
+//! 3. a trained model opens [`Sampler`] sessions whose lazy
+//!    [`SynthesisStream`] iterator samples candidates (Algorithm 1,
+//!    batched multi-stream with continuous batching), rejection-filters
+//!    them in a pipelined worker, and yields accepted kernels with
+//!    per-kernel statistics.
 //!
 //! ```
-//! use clgen::{ArgumentSpec, Clgen, ClgenOptions};
+//! use clgen::{ArgumentSpec, ClgenBuilder, ClgenOptions, SamplerConfig};
 //!
-//! let mut clgen = Clgen::new(ClgenOptions::small(42));
-//! let report = clgen.synthesize(2, 100, Some(&ArgumentSpec::paper_default()));
-//! assert!(report.stats.attempts > 0);
-//! for kernel in &report.kernels {
-//!     assert!(kernel.source.contains("__kernel"));
+//! let stage = ClgenBuilder::with_options(ClgenOptions::small(42))
+//!     .build_corpus()
+//!     .expect("corpus");
+//! let model = stage.train().expect("training");
+//! let sampler = model.sampler(
+//!     SamplerConfig::new(42)
+//!         .with_spec(ArgumentSpec::paper_default())
+//!         .with_max_attempts(100),
+//! );
+//! for accepted in sampler.stream().take(2) {
+//!     assert!(accepted.kernel.source.contains("__kernel"));
+//!     assert!(accepted.stats.attempts >= 1);
 //! }
 //! ```
+//!
+//! The original eager facade, [`Clgen`], remains as a thin wrapper over the
+//! stages for one-shot use.
 
 #![warn(missing_docs)]
 
+pub mod builder;
+pub mod error;
+pub mod model;
 pub mod sampler;
 pub mod spec;
+pub mod stream;
 pub mod synthesizer;
 
+pub use builder::{ClgenBuilder, CorpusStage, CORPUS_STAGE_MAGIC, CORPUS_STAGE_VERSION};
+pub use error::ClgenError;
+pub use model::{TrainedModel, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use sampler::{
     sample_kernel, sample_kernels_batched, SampleOptions, SampledCandidate, StopReason,
 };
 pub use spec::{ArgSpec, ArgumentSpec};
+pub use stream::{
+    KernelStats, Sampler, SamplerConfig, StreamedKernel, SynthesisStream, PIPELINE_DEPTH,
+};
 pub use synthesizer::{
     Clgen, ClgenOptions, ModelBackend, SynthesisReport, SynthesisStats, SynthesizedKernel,
     MAX_SAMPLE_LANES,

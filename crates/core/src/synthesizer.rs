@@ -1,30 +1,40 @@
-//! The CLgen synthesizer: corpus → language model → iterative sampling →
-//! rejection filtering (Figure 4 of the paper).
+//! The legacy one-shot CLgen entry point and the shared synthesis data types.
 //!
-//! Two synthesis drivers are provided. [`Clgen::synthesize`] is the paper's
-//! serial loop: sample one candidate, filter it, repeat.
-//! [`Clgen::synthesize_batched`] is the production path: it advances a batch
-//! of independent sample streams through the model's shared weights as one
-//! matrix product per layer, and hands each finished batch to a rayon
-//! fan-out of the rejection filter running on a separate thread, so filtering
-//! of finished candidates overlaps with sampling of live ones.
+//! The synthesizer is organised as explicit stages (Figure 4 of the paper):
+//! [`ClgenBuilder`] builds or loads a
+//! [`CorpusStage`](crate::builder::CorpusStage), which trains or loads a
+//! [`TrainedModel`], which opens [`Sampler`](crate::stream::Sampler) sessions
+//! exposing the lazy [`SynthesisStream`](crate::stream::SynthesisStream)
+//! iterator. This module keeps the original eager facade, [`Clgen`], as a
+//! thin wrapper over those stages: one constructor that mines, trains and
+//! returns a ready synthesizer, plus the classic `synthesize*` drivers. New
+//! code should use the stages directly — they separate "have a trained
+//! model" from "built it just now in this process", which is what enables
+//! checkpointing and sampling services.
 
-use crate::sampler::{sample_kernel, sample_kernels_batched, SampleOptions, SampledCandidate};
+use crate::builder::ClgenBuilder;
+use crate::error::ClgenError;
+use crate::model::TrainedModel;
+use crate::sampler::{sample_kernels_batched, SampleOptions, SampledCandidate};
 use crate::spec::{ArgumentSpec, FREE_SEED};
-use clgen_corpus::filter::{filter_source, FilterConfig};
-use clgen_corpus::rewriter::rewrite_unit_to_kernels;
+use crate::stream::{filter_candidate, stream_seed, SamplerConfig};
+use clgen_corpus::filter::FilterConfig;
 use clgen_corpus::{Corpus, CorpusOptions, RejectReason, Vocabulary};
-use clgen_neural::lstm::{LstmConfig, LstmModel};
-use clgen_neural::ngram::{NgramConfig, NgramModel};
-use clgen_neural::train::{train, TrainConfig};
-use clgen_neural::{LanguageModel, LstmStreams, NgramStreams, StatefulLstm, StreamBatch};
+use clgen_neural::ngram::NgramConfig;
+use clgen_neural::train::TrainConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rayon::prelude::*;
 use std::collections::HashMap;
-use std::sync::mpsc;
 
-/// Which model class backs the synthesizer.
+/// Which model class the training stage builds.
+///
+/// This enum is *training configuration*: it names a built-in backend and its
+/// hyper-parameters. The trained artifact itself is a
+/// `Box<dyn LanguageModelBackend>` inside [`TrainedModel`], so model classes
+/// beyond these two can join the pipeline via
+/// [`TrainedModel::from_parts`] and a
+/// [`BackendRegistry`](clgen_neural::BackendRegistry) entry — without
+/// touching this enum.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModelBackend {
     /// The paper's character-level LSTM. `hidden_size`/`num_layers` scale the
@@ -130,98 +140,23 @@ pub struct SynthesisReport {
     pub stats: SynthesisStats,
 }
 
-/// The trained model backing a [`Clgen`] instance, kept concrete (rather
-/// than boxed behind [`LanguageModel`]) so the batched sampler can reach the
-/// model-class-specific multi-stream kernel.
-// One instance lives per `Clgen`, so the size spread between variants is
-// irrelevant next to the indirection a box would add on the sampling path.
-#[allow(clippy::large_enum_variant)]
-enum BackendModel {
-    Lstm(StatefulLstm),
-    Ngram(NgramModel),
-}
-
-impl BackendModel {
-    fn as_language_model(&mut self) -> &mut dyn LanguageModel {
-        match self {
-            BackendModel::Lstm(m) => m,
-            BackendModel::Ngram(m) => m,
-        }
-    }
-
-    /// `n` independent sample streams sharing this model's weights: the LSTM
-    /// gets the batched GEMM path; the n-gram baseline gets lightweight
-    /// per-stream histories over the shared count tables (its per-character
-    /// work is a table lookup, so there is no batched kernel to exploit).
-    fn make_streams(&self, n: usize) -> Box<dyn StreamBatch + '_> {
-        match self {
-            BackendModel::Lstm(m) => Box::new(LstmStreams::new(m.model(), n)),
-            BackendModel::Ngram(m) => Box::new(NgramStreams::new(m, n)),
-        }
-    }
-}
-
-/// Run one candidate through the rejection filter, returning the formatted
-/// kernel if accepted. Pure function of the candidate text and filter
-/// configuration, so batches of candidates can be filtered on worker threads
-/// while the synthesizer keeps sampling.
-fn filter_candidate(
-    filter: &FilterConfig,
-    candidate: &SampledCandidate,
-) -> Result<SynthesizedKernel, RejectReason> {
-    let verdict = filter_source(&candidate.text, filter);
-    match verdict.decision {
-        Err(reason) => Err(reason),
-        Ok(()) => {
-            // Re-format through the corpus rewriter so the output is in the
-            // same canonical style as the training corpus.
-            let rewritten = rewrite_unit_to_kernels(verdict.compile.unit.clone(), "clgen", 0);
-            let kernel = rewritten
-                .kernels
-                .into_iter()
-                .max_by_key(|k| k.instructions)
-                .ok_or(RejectReason::NoKernel)?;
-            Ok(SynthesizedKernel {
-                source: kernel.source,
-                raw: candidate.text.clone(),
-                instructions: kernel.instructions,
-            })
-        }
-    }
-}
-
-/// Candidates assigned per lane per round of [`Clgen::synthesize_batched`].
-/// Oversubscribing the lanes lets continuous batching keep the batched GEMM
-/// at full width even as individual kernels finish at different lengths;
-/// the cost is coarser stopping granularity (overshoot is bounded by two
-/// rounds).
-const ROUND_OVERSUBSCRIPTION: usize = 4;
-
 /// Lane-width cap for [`Clgen::sample_candidates_batched`]: wider batches
 /// stop paying off well before this (the GEMM is register- not
 /// bandwidth-blocked) while state buffers keep growing, so larger requests
 /// run as continuous batching over this many lanes instead.
 pub const MAX_SAMPLE_LANES: usize = 32;
 
-/// Derive the RNG seed of sample stream `index` from the run seed
-/// (SplitMix64 finaliser: well-distributed, deterministic, independent of
-/// batch size).
-fn stream_seed(run_seed: u64, index: u64) -> u64 {
-    let mut z = run_seed
-        ^ index
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(0x5EED_CAFE);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// An end-to-end CLgen instance: a trained model over a corpus, ready to
 /// synthesize benchmarks.
+///
+/// This is the eager facade over the staged pipeline — everything it does is
+/// a thin delegation to [`CorpusStage`](crate::builder::CorpusStage),
+/// [`TrainedModel`] and [`Sampler`](crate::stream::Sampler). It stays
+/// supported for callers that want the one-shot "mine, train, synthesize"
+/// flow in a single object.
 pub struct Clgen {
     corpus: Corpus,
-    vocab: Vocabulary,
-    model: BackendModel,
+    model: TrainedModel,
     options: ClgenOptions,
     rng: StdRng,
     filter: FilterConfig,
@@ -234,54 +169,64 @@ impl std::fmt::Debug for Clgen {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Clgen")
             .field("corpus_kernels", &self.corpus.len())
-            .field("vocab_size", &self.vocab.len())
+            .field("vocab_size", &self.model.vocabulary().len())
             .field("options", &self.options)
             .finish_non_exhaustive()
     }
 }
 
 impl Clgen {
-    /// Build a corpus (mining + filtering + rewriting) and train a model on it.
+    /// Build a corpus (mining + filtering + rewriting) and train a model on
+    /// it, panicking if any stage fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mined corpus is empty. Use
+    /// [`ClgenBuilder`] (or
+    /// [`Clgen::try_new`]) for a fallible pipeline.
+    #[deprecated(
+        note = "use ClgenBuilder::build_corpus()?.train()? (or Clgen::try_new) — this wrapper panics on pipeline errors"
+    )]
     pub fn new(options: ClgenOptions) -> Clgen {
+        Clgen::try_new(options).expect("CLgen pipeline failed")
+    }
+
+    /// Fallible variant of [`Clgen::new`].
+    pub fn try_new(options: ClgenOptions) -> Result<Clgen, ClgenError> {
         let corpus = Corpus::build(&options.corpus);
         Clgen::from_corpus(corpus, options)
     }
 
     /// Train a model on an already-built corpus.
-    pub fn from_corpus(corpus: Corpus, options: ClgenOptions) -> Clgen {
-        assert!(!corpus.is_empty(), "cannot train CLgen on an empty corpus");
-        let text = corpus.training_text();
-        let vocab = Vocabulary::from_text(&text);
-        let encoded = vocab.encode(&text);
-        let model = match &options.backend {
-            ModelBackend::Lstm {
-                hidden_size,
-                num_layers,
-                train: tc,
-            } => {
-                let config = LstmConfig {
-                    vocab_size: vocab.len(),
-                    hidden_size: *hidden_size,
-                    num_layers: *num_layers,
-                    seed: options.seed,
-                };
-                let mut lstm = LstmModel::new(config);
-                train(&mut lstm, &encoded, tc, None);
-                BackendModel::Lstm(StatefulLstm::new(lstm))
-            }
-            ModelBackend::Ngram(config) => {
-                BackendModel::Ngram(NgramModel::train(&encoded, vocab.len(), *config))
-            }
-        };
+    pub fn from_corpus(corpus: Corpus, options: ClgenOptions) -> Result<Clgen, ClgenError> {
+        let stage = ClgenBuilder::with_options(options.clone()).adopt_corpus(corpus)?;
+        let model = stage.train()?;
+        let corpus = stage.into_corpus();
         let rng = StdRng::seed_from_u64(options.seed ^ 0x5EED);
-        Clgen {
+        Ok(Clgen {
             corpus,
-            vocab,
             model,
             options,
             rng,
             // Synthesized code must stand alone: no shim, paper's minimum of 3
             // static instructions.
+            filter: FilterConfig {
+                use_shim: false,
+                min_instructions: 3,
+            },
+            streams_spawned: 0,
+        })
+    }
+
+    /// Wrap an already-trained model (e.g. loaded from a checkpoint) in the
+    /// eager facade, with `corpus` attached for the corpus accessors.
+    pub fn from_trained(corpus: Corpus, model: TrainedModel, options: ClgenOptions) -> Clgen {
+        let rng = StdRng::seed_from_u64(options.seed ^ 0x5EED);
+        Clgen {
+            corpus,
+            model,
+            options,
+            rng,
             filter: FilterConfig {
                 use_shim: false,
                 min_instructions: 3,
@@ -297,7 +242,30 @@ impl Clgen {
 
     /// The character vocabulary of the model.
     pub fn vocabulary(&self) -> &Vocabulary {
-        &self.vocab
+        self.model.vocabulary()
+    }
+
+    /// The trained-model stage backing this instance.
+    pub fn trained_model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// Give up the facade, keeping the trained model (e.g. to save it).
+    pub fn into_trained_model(self) -> TrainedModel {
+        self.model
+    }
+
+    /// The [`SamplerConfig`] equivalent to this instance's options, for
+    /// migrating to the staged API.
+    pub fn sampler_config(&self) -> SamplerConfig {
+        SamplerConfig {
+            sample: self.options.sample,
+            spec: None,
+            lanes: 8,
+            seed: self.options.seed,
+            max_attempts: None,
+            filter: self.filter.clone(),
+        }
     }
 
     /// Sample one raw candidate (no filtering).
@@ -306,13 +274,8 @@ impl Clgen {
             Some(spec) => spec.seed_text(),
             None => FREE_SEED.to_string(),
         };
-        sample_kernel(
-            self.model.as_language_model(),
-            &self.vocab,
-            &seed,
-            &self.options.sample,
-            &mut self.rng,
-        )
+        self.model
+            .sample_serial(&seed, &self.options.sample, &mut self.rng)
     }
 
     /// Sample `count` raw candidates as one multi-stream batch (no
@@ -339,10 +302,10 @@ impl Clgen {
         // Lane width is capped: beyond MAX_SAMPLE_LANES, continuous batching
         // recycles lanes instead of growing the GEMM (and the state buffers)
         // without bound.
-        let mut streams = self.model.make_streams(count.min(MAX_SAMPLE_LANES));
+        let mut streams = self.model.streams(count.min(MAX_SAMPLE_LANES));
         sample_kernels_batched(
             streams.as_mut(),
-            &self.vocab,
+            self.model.vocabulary(),
             &seed,
             &self.options.sample,
             &seeds,
@@ -360,6 +323,15 @@ impl Clgen {
 
     /// Synthesize until `target` kernels have been accepted or `max_attempts`
     /// candidates have been sampled, whichever comes first.
+    ///
+    /// This is the paper's serial loop: one candidate sampled and filtered at
+    /// a time, all candidates drawing from one shared RNG. The staged
+    /// equivalent is a [`SynthesisStream`](crate::stream::SynthesisStream)
+    /// (which uses derived per-candidate RNG streams and batched sampling —
+    /// faster, and deterministic under batching).
+    #[deprecated(
+        note = "open a Sampler session on the TrainedModel stage and pull its SynthesisStream"
+    )]
     pub fn synthesize(
         &mut self,
         target: usize,
@@ -384,20 +356,23 @@ impl Clgen {
         report
     }
 
-    /// Batched, pipelined synthesis: sample rounds of candidates through the
-    /// multi-stream sampler over `batch_size` lanes (each round oversubscribes
-    /// the lanes [`ROUND_OVERSUBSCRIPTION`]-fold so continuous batching keeps
-    /// the GEMM at full width), and run the rejection filter as a rayon
-    /// fan-out on a separate thread so filtering of round `k` overlaps with
-    /// sampling of round `k+1`.
+    /// Batched, pipelined synthesis over `batch_size` lanes: a thin wrapper
+    /// around a [`SynthesisStream`](crate::stream::SynthesisStream) session.
     ///
     /// Stops once `target` kernels have been accepted or `max_attempts`
-    /// candidates sampled. Because whole rounds are committed before their
-    /// filter results return, the report may contain up to two rounds more
-    /// attempts (and correspondingly more accepted kernels) than the serial
-    /// driver would have made; all sampled candidates are fully accounted in
+    /// candidates sampled. Because whole rounds of candidates are committed
+    /// to the pipeline before their filter results return, the report may
+    /// contain a bounded overshoot of extra attempts (and correspondingly
+    /// more accepted kernels); all sampled candidates are fully accounted in
     /// the statistics. Results are deterministic for a given run seed and
     /// batch size, and kernels are reported in stream order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    #[deprecated(
+        note = "open a Sampler session on the TrainedModel stage and pull its SynthesisStream"
+    )]
     pub fn synthesize_batched(
         &mut self,
         target: usize,
@@ -406,105 +381,27 @@ impl Clgen {
         batch_size: usize,
     ) -> SynthesisReport {
         assert!(batch_size > 0, "batch size must be positive");
-        let filter = self.filter.clone();
-        let seed_text = match spec {
-            Some(spec) => spec.seed_text(),
-            None => FREE_SEED.to_string(),
+        let config = SamplerConfig {
+            sample: self.options.sample,
+            spec: spec.cloned(),
+            lanes: batch_size,
+            seed: self.options.seed,
+            max_attempts: Some(max_attempts),
+            filter: self.filter.clone(),
         };
-        let run_seed = self.options.seed;
-        let sample_options = self.options.sample;
-        let round_size = batch_size * ROUND_OVERSUBSCRIPTION;
-        // One stream batch serves the whole run; lanes are recycled between
-        // candidates and rounds.
-        let mut streams = self.model.make_streams(batch_size);
-        let mut report = SynthesisReport::default();
-        let (batch_tx, batch_rx) = mpsc::channel::<Vec<SampledCandidate>>();
-        type FilteredBatch = Vec<(SampledCandidate, Result<SynthesizedKernel, RejectReason>)>;
-        let (result_tx, result_rx) = mpsc::channel::<FilteredBatch>();
-
-        std::thread::scope(|scope| {
-            // Filter stage: each incoming batch fans out over the rayon
-            // worker pool; result order inside a batch follows stream order.
-            scope.spawn(move || {
-                while let Ok(batch) = batch_rx.recv() {
-                    let filtered: FilteredBatch = batch
-                        .into_par_iter()
-                        .map(|candidate| {
-                            let verdict = filter_candidate(&filter, &candidate);
-                            (candidate, verdict)
-                        })
-                        .collect();
-                    if result_tx.send(filtered).is_err() {
-                        break;
-                    }
-                }
-            });
-
-            let absorb = |batch: FilteredBatch, report: &mut SynthesisReport| {
-                for (candidate, verdict) in batch {
-                    report.stats.attempts += 1;
-                    report.stats.generated_chars += candidate.generated_chars;
-                    match verdict {
-                        Ok(kernel) => {
-                            report.stats.accepted += 1;
-                            report.kernels.push(kernel);
-                        }
-                        Err(reason) => {
-                            *report.stats.rejected.entry(reason).or_insert(0) += 1;
-                        }
-                    }
-                }
-            };
-
-            let mut sampled = 0usize;
-            let mut in_flight = 0usize;
-            loop {
-                // `kernels.len()` reflects every absorbed round; with the
-                // fixed pipeline depth below, which rounds have been absorbed
-                // before each decision is deterministic, so the whole run is
-                // reproducible for a given seed and batch size.
-                if report.kernels.len() < target && sampled < max_attempts {
-                    let n = round_size.min(max_attempts - sampled);
-                    let seeds: Vec<u64> = (0..n as u64)
-                        .map(|i| stream_seed(run_seed, self.streams_spawned + i))
-                        .collect();
-                    self.streams_spawned += n as u64;
-                    let candidates = sample_kernels_batched(
-                        streams.as_mut(),
-                        &self.vocab,
-                        &seed_text,
-                        &sample_options,
-                        &seeds,
-                    );
-                    sampled += n;
-                    if batch_tx.send(candidates).is_err() {
-                        break;
-                    }
-                    in_flight += 1;
-                    // Pipeline depth 2: round k filters while round k+1
-                    // samples; block before starting round k+2 so progress
-                    // checks never race the filter stage.
-                    if in_flight == 2 {
-                        let batch = result_rx.recv().expect("filter stage hung up early");
-                        in_flight -= 1;
-                        absorb(batch, &mut report);
-                    }
-                } else if in_flight > 0 {
-                    let batch = result_rx.recv().expect("filter stage hung up early");
-                    in_flight -= 1;
-                    absorb(batch, &mut report);
-                } else {
-                    break;
-                }
-            }
-            // Dropping the sender ends the filter thread's receive loop.
-            drop(batch_tx);
-        });
+        let report = self
+            .model
+            .sampler(config)
+            .synthesize_from(target, self.streams_spawned);
+        // The drained report accounts for every dispatched candidate, so the
+        // attempt count is exactly how far the stream counter advanced.
+        self.streams_spawned += report.stats.attempts as u64;
         report
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy facade is exactly what these tests pin down
 mod tests {
     use super::*;
 
@@ -579,6 +476,18 @@ mod tests {
             report.stats.accepted + report.stats.rejected.values().sum::<usize>(),
             report.stats.attempts
         );
+    }
+
+    #[test]
+    fn empty_corpus_returns_typed_error() {
+        let empty = Corpus {
+            kernels: Vec::new(),
+            stats: Default::default(),
+        };
+        assert!(matches!(
+            Clgen::from_corpus(empty, ClgenOptions::small(1)),
+            Err(ClgenError::EmptyCorpus)
+        ));
     }
 
     #[test]

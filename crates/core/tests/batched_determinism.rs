@@ -4,6 +4,7 @@
 //! exercises the whole batched numeric stack (GEMM lanes, fused gates,
 //! softmax transpose); for the n-gram baseline it exercises the cloned-stream
 //! fallback.
+#![allow(deprecated)] // the legacy eager facade is part of what these tests pin
 
 use clgen::sampler::{sample_kernel, sample_kernels_batched, SampleOptions};
 use clgen::{ArgumentSpec, Clgen, ClgenOptions};

@@ -1,0 +1,234 @@
+//! The checkpoint persistence contract: a model saved and re-loaded samples
+//! **byte-identically** to the model that saved it, for both built-in
+//! backends. The property is exercised at the stream level — whole
+//! `SynthesisStream` sessions over original vs round-tripped models must
+//! agree on every accepted kernel, every statistic and every per-kernel
+//! cost — alongside the existing batched-determinism tests.
+
+use clgen::{
+    ArgumentSpec, ClgenBuilder, ClgenOptions, ModelBackend, SampleOptions, SamplerConfig,
+    TrainedModel,
+};
+use clgen_corpus::Vocabulary;
+use clgen_neural::lstm::{LstmConfig, LstmModel};
+use clgen_neural::ngram::{NgramConfig, NgramModel};
+use clgen_neural::train::TrainConfig;
+use clgen_neural::StatefulLstm;
+use proptest::prelude::*;
+
+const SEED_TEXT: &str = "__kernel void A(__global float* a, __global float* b, const int c) {";
+
+/// Corpus-like text whose characters define the vocabulary for the toy
+/// models (must cover the seed text).
+fn vocab_text() -> String {
+    format!(
+        "{SEED_TEXT}\n  int d = get_global_id(0);\n  if (d < c) {{\n    b[d] = a[d] + 1.0f;\n  }}\n}}\n"
+    )
+}
+
+/// Collect one full stream session: (accepted kernels, stats snapshot).
+fn run_session(model: &TrainedModel, run_seed: u64, temperature: f32) -> Vec<(String, String)> {
+    let sampler = model.sampler(
+        SamplerConfig::new(run_seed)
+            .with_spec(ArgumentSpec::paper_default())
+            .with_sample(SampleOptions {
+                max_chars: 96,
+                temperature,
+            })
+            .with_lanes(4)
+            .with_max_attempts(64),
+    );
+    sampler
+        .stream()
+        .map(|k| (k.kernel.source, k.kernel.raw))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// LSTM: checkpoint round-trip yields bitwise-identical weights and a
+    /// byte-identical sample stream.
+    #[test]
+    fn lstm_checkpoint_roundtrip_streams_identically(
+        base_seed in any::<u64>(),
+        temperature in 0.5f32..1.5,
+    ) {
+        let text = vocab_text();
+        let vocab = Vocabulary::from_text(&text);
+        let lstm = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: 16,
+            num_layers: 2,
+            seed: base_seed ^ 0xC0DE,
+        });
+        let original =
+            TrainedModel::from_parts(vocab, Box::new(StatefulLstm::new(lstm))).unwrap();
+
+        let bytes = original.to_bytes();
+        let reloaded = TrainedModel::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(reloaded.backend_kind(), "lstm");
+        prop_assert_eq!(reloaded.vocabulary(), original.vocabulary());
+        // Deterministic encoding: the reloaded model re-encodes to the same
+        // bytes (weights survived bit-for-bit).
+        prop_assert_eq!(&reloaded.to_bytes(), &bytes);
+
+        let a = run_session(&original, base_seed, temperature);
+        let b = run_session(&reloaded, base_seed, temperature);
+        prop_assert_eq!(a, b, "sample streams diverged after checkpoint round-trip");
+    }
+
+    /// N-gram: same contract through the count-table codec.
+    #[test]
+    fn ngram_checkpoint_roundtrip_streams_identically(
+        base_seed in any::<u64>(),
+        context in 2usize..6,
+    ) {
+        let text = vocab_text().repeat(3);
+        let vocab = Vocabulary::from_text(&text);
+        let encoded = vocab.encode(&text);
+        let model = NgramModel::train(
+            &encoded,
+            vocab.len(),
+            NgramConfig { context, smoothing_tenths: 1 },
+        );
+        let original = TrainedModel::from_parts(vocab, Box::new(model)).unwrap();
+
+        let bytes = original.to_bytes();
+        let reloaded = TrainedModel::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(reloaded.backend_kind(), "ngram");
+        prop_assert_eq!(&reloaded.to_bytes(), &bytes);
+
+        let a = run_session(&original, base_seed, 0.9);
+        let b = run_session(&reloaded, base_seed, 0.9);
+        prop_assert_eq!(a, b, "sample streams diverged after checkpoint round-trip");
+    }
+}
+
+/// End-to-end through real files and the full staged pipeline: build a
+/// corpus, train both backends, save each checkpoint to disk, load it back
+/// and require the loaded model's synthesis run to match the original's
+/// byte for byte (kernels, raw candidate texts and statistics).
+#[test]
+fn trained_models_roundtrip_through_files() {
+    let mut options = ClgenOptions::small(4242);
+    options.corpus.miner.repositories = 20;
+    let stage = ClgenBuilder::with_options(options)
+        .build_corpus()
+        .expect("corpus builds");
+
+    let backends = [
+        ModelBackend::Ngram(NgramConfig::default()),
+        ModelBackend::Lstm {
+            hidden_size: 24,
+            num_layers: 1,
+            train: TrainConfig {
+                epochs: 1,
+                learning_rate: 0.05,
+                decay_factor: 0.9,
+                decay_every: 2,
+                unroll: 24,
+                clip_norm: 5.0,
+            },
+        },
+    ];
+
+    for (i, backend) in backends.iter().enumerate() {
+        let original = stage.train_backend(backend, 4242).expect("training");
+        let path =
+            std::env::temp_dir().join(format!("clgen-ckpt-{}-{}.bin", std::process::id(), i));
+        original.save(&path).expect("save");
+        let reloaded = TrainedModel::load(&path).expect("load");
+        std::fs::remove_file(&path).ok();
+
+        let synth = |model: &TrainedModel| {
+            let sampler = model.sampler(
+                SamplerConfig::new(7)
+                    .with_spec(ArgumentSpec::paper_default())
+                    .with_sample(SampleOptions {
+                        max_chars: 256,
+                        temperature: 0.8,
+                    })
+                    .with_lanes(8)
+                    .with_max_attempts(64),
+            );
+            sampler.synthesize(4)
+        };
+        let a = synth(&original);
+        let b = synth(&reloaded);
+        assert_eq!(
+            a.stats,
+            b.stats,
+            "stats diverged for {:?}",
+            reloaded.backend_kind()
+        );
+        assert_eq!(a.kernels.len(), b.kernels.len());
+        for (ka, kb) in a.kernels.iter().zip(b.kernels.iter()) {
+            assert_eq!(ka.source, kb.source);
+            assert_eq!(ka.raw, kb.raw);
+        }
+    }
+}
+
+/// Per-kernel stream statistics are self-consistent and reproducible.
+#[test]
+fn stream_kernel_stats_are_consistent() {
+    let mut options = ClgenOptions::small(99);
+    options.corpus.miner.repositories = 30;
+    let stage = ClgenBuilder::with_options(options)
+        .build_corpus()
+        .expect("corpus builds");
+    let model = stage.train().expect("training");
+    let sampler = model.sampler(
+        SamplerConfig::new(99)
+            .with_spec(ArgumentSpec::paper_default())
+            .with_sample(SampleOptions {
+                max_chars: 512,
+                temperature: 0.8,
+            })
+            .with_lanes(4)
+            .with_max_attempts(80),
+    );
+    let mut stream = sampler.stream();
+    let kernels: Vec<_> = stream.by_ref().collect();
+    assert!(
+        !kernels.is_empty(),
+        "expected acceptances from the small corpus"
+    );
+
+    // Stream exhausted: the whole-run stats cover exactly the attempt budget,
+    // and the per-kernel windows partition the attempts up to the trailing
+    // rejected tail.
+    let stats = stream.stats().clone();
+    assert_eq!(stats.attempts, 80);
+    assert_eq!(stats.accepted, kernels.len());
+    assert_eq!(
+        stats.accepted + stats.rejected.values().sum::<usize>(),
+        stats.attempts
+    );
+    let window_attempts: usize = kernels.iter().map(|k| k.stats.attempts).sum();
+    assert!(window_attempts <= stats.attempts);
+    let mut last_index = None;
+    for k in &kernels {
+        assert!(k.stats.attempts >= 1);
+        assert!(
+            k.stats.rejected.values().sum::<usize>() == k.stats.attempts - 1,
+            "window rejections + the accept account for every window attempt"
+        );
+        if let Some(prev) = last_index {
+            assert!(
+                k.stats.candidate_index > prev,
+                "indices increase in stream order"
+            );
+        }
+        last_index = Some(k.stats.candidate_index);
+    }
+
+    // Same session config, fresh stream: identical run.
+    let again: Vec<_> = sampler.stream().collect();
+    assert_eq!(again.len(), kernels.len());
+    for (a, b) in kernels.iter().zip(again.iter()) {
+        assert_eq!(a.kernel.source, b.kernel.source);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -5,8 +5,12 @@ use crate::content::{ContentFile, CorpusKernel, RejectReason};
 use crate::filter::{filter_corpus, FilterConfig, FilterStats};
 use crate::miner::{mine, mining_stats, MinerConfig, MiningStats};
 use crate::rewriter::rewrite_file;
+use clgen_wire::{Decoder, Encoder, WireError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+
+/// Version of the corpus wire block written by [`Corpus::encode_into`].
+pub const CORPUS_WIRE_VERSION: u32 = 1;
 
 /// A fully assembled language corpus.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -182,6 +186,69 @@ impl Corpus {
     pub fn sources(&self) -> impl Iterator<Item = &str> {
         self.kernels.iter().map(|k| k.source.as_str())
     }
+
+    /// Append this corpus (kernels + construction statistics) to a
+    /// checkpoint as a versioned block.
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        enc.u32(CORPUS_WIRE_VERSION);
+        enc.usize(self.kernels.len());
+        for k in &self.kernels {
+            enc.str(&k.source);
+            enc.str(&k.repository);
+            enc.usize(k.instructions);
+        }
+        let s = &self.stats;
+        enc.usize(s.repositories);
+        enc.usize(s.content_files);
+        enc.usize(s.raw_lines);
+        enc.usize(s.accepted_files);
+        enc.f64(s.discard_rate_with_shim);
+        enc.f64(s.discard_rate_without_shim);
+        enc.usize(s.distinct_undeclared_identifiers);
+        enc.f64(s.top60_undeclared_coverage);
+        enc.usize(s.corpus_kernels);
+        enc.usize(s.corpus_lines);
+        enc.usize(s.vocabulary_before);
+        enc.usize(s.vocabulary_after);
+    }
+
+    /// Decode a corpus written by [`Corpus::encode_into`].
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Corpus, WireError> {
+        let version = dec.u32()?;
+        if version != CORPUS_WIRE_VERSION {
+            return Err(WireError::UnsupportedVersion {
+                found: version,
+                supported: CORPUS_WIRE_VERSION,
+            });
+        }
+        let count = dec.usize_bounded(8, "corpus kernel count")?;
+        let mut kernels = Vec::with_capacity(count);
+        for _ in 0..count {
+            let source = dec.str()?.to_string();
+            let repository = dec.str()?.to_string();
+            let instructions = dec.usize("instruction count")?;
+            kernels.push(CorpusKernel {
+                source,
+                repository,
+                instructions,
+            });
+        }
+        let stats = CorpusStats {
+            repositories: dec.usize("repositories")?,
+            content_files: dec.usize("content files")?,
+            raw_lines: dec.usize("raw lines")?,
+            accepted_files: dec.usize("accepted files")?,
+            discard_rate_with_shim: dec.f64()?,
+            discard_rate_without_shim: dec.f64()?,
+            distinct_undeclared_identifiers: dec.usize("undeclared identifiers")?,
+            top60_undeclared_coverage: dec.f64()?,
+            corpus_kernels: dec.usize("corpus kernels")?,
+            corpus_lines: dec.usize("corpus lines")?,
+            vocabulary_before: dec.usize("vocabulary before")?,
+            vocabulary_after: dec.usize("vocabulary after")?,
+        };
+        Ok(Corpus { kernels, stats })
+    }
 }
 
 /// Split text into identifier-ish words (bag-of-words vocabulary).
@@ -254,6 +321,24 @@ mod tests {
             corpus.stats.discard_rate_with_shim <= corpus.stats.discard_rate_without_shim + 1e-9
         );
         assert!(corpus.stats.discard_rate_without_shim.is_finite());
+    }
+
+    #[test]
+    fn corpus_wire_roundtrip() {
+        let corpus = Corpus::build(&CorpusOptions::small(17));
+        let mut enc = Encoder::new();
+        corpus.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = Corpus::decode_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back.len(), corpus.len());
+        assert_eq!(back.training_text(), corpus.training_text());
+        assert_eq!(back.stats.corpus_kernels, corpus.stats.corpus_kernels);
+        assert_eq!(
+            back.stats.discard_rate_with_shim.to_bits(),
+            corpus.stats.discard_rate_with_shim.to_bits()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! provides encode/decode between text and index sequences, plus the special
 //! start/end-of-kernel markers used when assembling training batches.
 
+use clgen_wire::{Decoder, Encoder, WireError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -29,8 +30,17 @@ impl Vocabulary {
         let mut set: Vec<char> = text.chars().collect();
         set.sort_unstable();
         set.dedup();
+        Vocabulary::from_alphabet(set)
+    }
+
+    /// Rebuild a vocabulary from an explicit alphabet, **preserving its
+    /// order**: `alphabet[i]` gets id `i + 1` (id 0 stays the unknown entry).
+    /// This is the checkpoint-loading constructor — ids must match the
+    /// vocabulary the model was trained with exactly, so the alphabet is
+    /// *not* re-sorted or deduplicated.
+    pub fn from_alphabet(alphabet: impl IntoIterator<Item = char>) -> Vocabulary {
         let mut chars = vec!['\u{FFFD}'];
-        chars.extend(set);
+        chars.extend(alphabet);
         let index = chars
             .iter()
             .enumerate()
@@ -38,6 +48,20 @@ impl Vocabulary {
             .map(|(i, c)| (*c, i as TokenId))
             .collect();
         Vocabulary { chars, index }
+    }
+
+    /// Append this vocabulary to a checkpoint (the alphabet in id order).
+    pub fn encode_into(&self, enc: &mut Encoder) {
+        let alphabet: String = self.chars[1..].iter().collect();
+        enc.str(&alphabet);
+    }
+
+    /// Decode a vocabulary written by [`Vocabulary::encode_into`]. The
+    /// decoded vocabulary assigns every character the same id it had when
+    /// saved.
+    pub fn decode_from(dec: &mut Decoder<'_>) -> Result<Vocabulary, WireError> {
+        let alphabet = dec.str()?;
+        Ok(Vocabulary::from_alphabet(alphabet.chars()))
     }
 
     /// Number of entries (including the unknown entry).
@@ -113,6 +137,22 @@ mod tests {
         // ' ', 'e', 'k', 'l', 'n', 'r' + unknown
         assert_eq!(a.len(), 7);
         assert_eq!(a.alphabet().len(), 6);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_every_id() {
+        let text = "__kernel void A(__global float* a) {\n  a[0] = 1.0f;\n}\n";
+        let vocab = Vocabulary::from_text(text);
+        let mut enc = Encoder::new();
+        vocab.encode_into(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = Vocabulary::decode_from(&mut dec).unwrap();
+        dec.finish().unwrap();
+        assert_eq!(back, vocab);
+        for c in text.chars() {
+            assert_eq!(back.encode_char(c), vocab.encode_char(c));
+        }
     }
 
     #[test]

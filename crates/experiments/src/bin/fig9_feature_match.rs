@@ -7,7 +7,7 @@
 //! the GitHub corpus is finite. The reproduction checks the ordering
 //! CLgen >> CLSmith and CLgen ~ GitHub at equal counts.
 
-use clgen::{ArgumentSpec, Clgen};
+use clgen::{ArgumentSpec, ClgenBuilder, SamplerConfig};
 use clsmith::ClsmithConfig;
 use experiments::{data::static_features_of_sources, print_table, scaled, SyntheticConfig};
 use std::collections::HashSet;
@@ -42,11 +42,20 @@ fn main() {
     let total = scaled(1000, 100);
     let checkpoints: Vec<usize> = vec![total / 10, total / 4, total / 2, total];
 
-    // CLgen kernels.
+    // CLgen kernels, through the staged pipeline.
     let synth_config = SyntheticConfig::default();
-    let mut clgen = Clgen::new(synth_config.clgen.clone());
+    let stage = ClgenBuilder::with_options(synth_config.clgen.clone())
+        .build_corpus()
+        .expect("corpus construction failed");
+    let model = stage.train().expect("model training failed");
     eprintln!("sampling {total} CLgen kernels...");
-    let clgen_report = clgen.synthesize(total, total * 30, Some(&ArgumentSpec::paper_default()));
+    let sampler = model.sampler(
+        SamplerConfig::new(synth_config.clgen.seed)
+            .with_spec(ArgumentSpec::paper_default())
+            .with_sample(synth_config.clgen.sample)
+            .with_max_attempts(total * 30),
+    );
+    let clgen_report = sampler.synthesize(total);
     let clgen_features =
         static_features_of_sources(clgen_report.kernels.iter().map(|k| k.source.as_str()));
 
@@ -58,8 +67,7 @@ fn main() {
 
     // "GitHub" corpus kernels (the synthetic miner population, rewritten).
     eprintln!("building GitHub-style corpus...");
-    let corpus = clgen.corpus();
-    let github_features = static_features_of_sources(corpus.sources());
+    let github_features = static_features_of_sources(stage.corpus().sources());
 
     let mut rows = Vec::new();
     for &n in &checkpoints {

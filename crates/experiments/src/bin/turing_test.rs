@@ -9,7 +9,7 @@
 //! from the (rewritten) human corpus while easily separating CLSmith, the
 //! paper's qualitative finding is reproduced.
 
-use clgen::{ArgumentSpec, Clgen};
+use clgen::{ArgumentSpec, ClgenBuilder, SamplerConfig};
 use clsmith::ClsmithConfig;
 use experiments::{print_table, scaled, SyntheticConfig};
 use predictive::{DecisionTree, TreeConfig};
@@ -89,12 +89,21 @@ fn main() {
     let pool = scaled(100, 30);
     let synth_config = SyntheticConfig::default();
     eprintln!("building corpus and synthesizing {pool} CLgen kernels...");
-    let mut clgen = Clgen::new(synth_config.clgen.clone());
-    let report = clgen.synthesize(pool, pool * 30, Some(&ArgumentSpec::paper_default()));
+    let stage = ClgenBuilder::with_options(synth_config.clgen.clone())
+        .build_corpus()
+        .expect("corpus construction failed");
+    let model = stage.train().expect("model training failed");
+    let sampler = model.sampler(
+        SamplerConfig::new(synth_config.clgen.seed)
+            .with_spec(ArgumentSpec::paper_default())
+            .with_sample(synth_config.clgen.sample)
+            .with_max_attempts(pool * 30),
+    );
+    let report = sampler.synthesize(pool);
     let clgen_sources: Vec<String> = report.kernels.iter().map(|k| k.source.clone()).collect();
     // Human pool: rewritten kernels from the (GitHub-style) corpus, as in the
     // paper's study where all kernels were passed through the code rewriter.
-    let human_sources: Vec<String> = clgen
+    let human_sources: Vec<String> = stage
         .corpus()
         .sources()
         .take(pool)

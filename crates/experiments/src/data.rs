@@ -3,7 +3,7 @@
 use cl_frontend::analysis::analyze_function;
 use cl_frontend::compile;
 use cldrive::{DriverOptions, HostDriver, Platform};
-use clgen::{ArgumentSpec, Clgen, ClgenOptions, SynthesizedKernel};
+use clgen::{ArgumentSpec, ClgenBuilder, ClgenOptions, SamplerConfig, SynthesizedKernel};
 use grewe_features::{FeatureSet, GreweFeatures, StaticFeatures};
 use predictive::{Dataset, Example};
 use suites::{all_benchmarks, Benchmark};
@@ -157,15 +157,20 @@ impl SyntheticConfig {
     }
 }
 
-/// Run the CLgen pipeline and return the accepted synthetic kernels.
+/// Run the staged CLgen pipeline (corpus → model → sampler stream) and
+/// return the accepted synthetic kernels.
 pub fn synthesize_kernels(config: &SyntheticConfig) -> Vec<SynthesizedKernel> {
-    let mut clgen = Clgen::new(config.clgen.clone());
-    let report = clgen.synthesize(
-        config.target_kernels,
-        config.max_attempts,
-        Some(&ArgumentSpec::paper_default()),
+    let stage = ClgenBuilder::with_options(config.clgen.clone())
+        .build_corpus()
+        .expect("corpus construction failed");
+    let model = stage.train().expect("model training failed");
+    let sampler = model.sampler(
+        SamplerConfig::new(config.clgen.seed)
+            .with_spec(ArgumentSpec::paper_default())
+            .with_sample(config.clgen.sample)
+            .with_max_attempts(config.max_attempts),
     );
-    report.kernels
+    sampler.synthesize(config.target_kernels).kernels
 }
 
 /// Drive synthesized kernels and convert them into dataset examples

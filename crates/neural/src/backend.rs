@@ -1,0 +1,212 @@
+//! Open backend abstraction for trained language models.
+//!
+//! The synthesizer used to hard-code a two-variant enum over the LSTM and the
+//! n-gram baseline; every new model class meant editing that enum and every
+//! match on it. This module replaces the closed enum with an object-safe
+//! trait, [`LanguageModelBackend`], that any trained model class implements
+//! once: it exposes the serial sampling interface, the multi-stream batched
+//! sampling interface, and a versioned weight codec. A
+//! [`BackendRegistry`] maps checkpoint tags back to decoders so checkpoints
+//! of future backends load through the same entry point as the built-in ones.
+
+use crate::checkpoint;
+use crate::lm::{LanguageModel, LstmStreams, NgramStreams, StatefulLstm, StreamBatch};
+use crate::ngram::NgramModel;
+use clgen_wire::{Decoder, Encoder, WireError};
+
+/// A trained, sample-ready language model of any class.
+///
+/// This is the artifact that flows between pipeline stages: training (or
+/// checkpoint loading) produces a `Box<dyn LanguageModelBackend>`, and the
+/// sampler consumes it without knowing the model class. Implementations must
+/// guarantee that [`streams`](LanguageModelBackend::streams) produces batched
+/// sampling byte-identical to serial sampling through
+/// [`serial`](LanguageModelBackend::serial) (see the `StreamBatch` contract).
+pub trait LanguageModelBackend: Send {
+    /// Stable tag identifying the model class in checkpoints
+    /// (e.g. `"lstm"`, `"ngram"`).
+    fn kind(&self) -> &'static str;
+
+    /// Size of the character vocabulary the model predicts over.
+    fn vocab_size(&self) -> usize;
+
+    /// The stateful serial sampling interface (Algorithm 1's single-stream
+    /// view of the model).
+    fn serial(&mut self) -> &mut dyn LanguageModel;
+
+    /// `n` independent sample streams sharing this model's weights. Model
+    /// classes with a batched kernel (the LSTM's GEMM path) return it here;
+    /// classes whose per-character work is a table lookup return lightweight
+    /// per-stream histories.
+    fn streams(&self, n: usize) -> Box<dyn StreamBatch + '_>;
+
+    /// Append this model's weights to a checkpoint. The encoding must be
+    /// self-delimiting and versioned; [`BackendRegistry`] routes the matching
+    /// decoder by [`kind`](LanguageModelBackend::kind).
+    fn encode_weights(&self, enc: &mut Encoder);
+}
+
+impl LanguageModelBackend for StatefulLstm {
+    fn kind(&self) -> &'static str {
+        checkpoint::LSTM_KIND
+    }
+
+    fn vocab_size(&self) -> usize {
+        self.model().config.vocab_size
+    }
+
+    fn serial(&mut self) -> &mut dyn LanguageModel {
+        self
+    }
+
+    fn streams(&self, n: usize) -> Box<dyn StreamBatch + '_> {
+        Box::new(LstmStreams::new(self.model(), n))
+    }
+
+    fn encode_weights(&self, enc: &mut Encoder) {
+        checkpoint::encode_lstm(self.model(), enc);
+    }
+}
+
+impl LanguageModelBackend for NgramModel {
+    fn kind(&self) -> &'static str {
+        checkpoint::NGRAM_KIND
+    }
+
+    fn vocab_size(&self) -> usize {
+        LanguageModel::vocab_size(self)
+    }
+
+    fn serial(&mut self) -> &mut dyn LanguageModel {
+        self
+    }
+
+    fn streams(&self, n: usize) -> Box<dyn StreamBatch + '_> {
+        Box::new(NgramStreams::new(self, n))
+    }
+
+    fn encode_weights(&self, enc: &mut Encoder) {
+        checkpoint::encode_ngram(self, enc);
+    }
+}
+
+/// A weight decoder for one model class.
+pub type BackendDecoder =
+    Box<dyn Fn(&mut Decoder<'_>) -> Result<Box<dyn LanguageModelBackend>, WireError> + Send + Sync>;
+
+/// Maps checkpoint tags to weight decoders, so checkpoints of any registered
+/// model class load through one entry point.
+///
+/// [`BackendRegistry::builtin`] knows the in-tree classes; downstream crates
+/// register additional ones with [`BackendRegistry::register`] and pass the
+/// registry to the checkpoint loader.
+pub struct BackendRegistry {
+    entries: Vec<(String, BackendDecoder)>,
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendRegistry")
+            .field("kinds", &self.kinds().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl BackendRegistry {
+    /// A registry with no entries.
+    pub fn empty() -> BackendRegistry {
+        BackendRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry knowing the built-in model classes (`"lstm"`, `"ngram"`).
+    pub fn builtin() -> BackendRegistry {
+        let mut registry = BackendRegistry::empty();
+        registry.register(checkpoint::LSTM_KIND, |dec| {
+            checkpoint::decode_lstm(dec)
+                .map(|model| Box::new(StatefulLstm::new(model)) as Box<dyn LanguageModelBackend>)
+        });
+        registry.register(checkpoint::NGRAM_KIND, |dec| {
+            checkpoint::decode_ngram(dec)
+                .map(|model| Box::new(model) as Box<dyn LanguageModelBackend>)
+        });
+        registry
+    }
+
+    /// Register (or replace) the decoder for a model-class tag.
+    pub fn register(
+        &mut self,
+        kind: impl Into<String>,
+        decode: impl Fn(&mut Decoder<'_>) -> Result<Box<dyn LanguageModelBackend>, WireError>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        let kind = kind.into();
+        self.entries.retain(|(k, _)| *k != kind);
+        self.entries.push((kind, Box::new(decode)));
+    }
+
+    /// The decoder registered for `kind`, if any.
+    pub fn decoder(&self, kind: &str) -> Option<&BackendDecoder> {
+        self.entries.iter().find(|(k, _)| k == kind).map(|(_, d)| d)
+    }
+
+    /// Tags with a registered decoder.
+    pub fn kinds(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lstm::{LstmConfig, LstmModel};
+    use crate::ngram::NgramConfig;
+
+    #[test]
+    fn boxed_backends_expose_serial_and_streams() {
+        let data: Vec<u32> = (0..200).map(|i| i % 7).collect();
+        let mut backends: Vec<Box<dyn LanguageModelBackend>> = vec![
+            Box::new(StatefulLstm::new(LstmModel::new(LstmConfig {
+                vocab_size: 7,
+                hidden_size: 8,
+                num_layers: 1,
+                seed: 5,
+            }))),
+            Box::new(NgramModel::train(&data, 7, NgramConfig::default())),
+        ];
+        for backend in &mut backends {
+            assert_eq!(backend.vocab_size(), 7);
+            let lm = backend.serial();
+            lm.reset();
+            lm.feed(3);
+            let probs = lm.predict();
+            assert_eq!(probs.len(), 7);
+            let sum: f32 = probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3);
+            let mut streams = backend.streams(2);
+            assert_eq!(streams.num_streams(), 2);
+            streams.feed_many(&[(0, 1), (1, 2)]);
+            let mut out = Vec::new();
+            streams.probs_into(0, &mut out);
+            assert_eq!(out.len(), 7);
+        }
+    }
+
+    #[test]
+    fn registry_routes_by_kind_and_replaces_duplicates() {
+        let registry = BackendRegistry::builtin();
+        assert!(registry.decoder(checkpoint::LSTM_KIND).is_some());
+        assert!(registry.decoder(checkpoint::NGRAM_KIND).is_some());
+        assert!(registry.decoder("transformer").is_none());
+
+        let mut registry = BackendRegistry::builtin();
+        registry.register(checkpoint::NGRAM_KIND, |dec| {
+            checkpoint::decode_ngram(dec)
+                .map(|model| Box::new(model) as Box<dyn LanguageModelBackend>)
+        });
+        assert_eq!(registry.kinds().count(), 2, "re-registering replaces");
+    }
+}

@@ -26,12 +26,15 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod checkpoint;
 pub mod lm;
 pub mod lstm;
 pub mod ngram;
 pub mod tensor;
 pub mod train;
 
+pub use backend::{BackendDecoder, BackendRegistry, LanguageModelBackend};
 pub use lm::{
     argmax, sample_distribution, sample_distribution_with, ClonedStreams, LanguageModel,
     LstmStreams, NgramStreams, StatefulLstm, StreamBatch,

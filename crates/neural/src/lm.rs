@@ -342,7 +342,7 @@ impl StreamBatch for NgramStreams<'_> {
     }
 
     fn probs_into(&self, stream: usize, out: &mut Vec<f32>) {
-        *out = self.model.distribution_for(&self.histories[stream]);
+        self.model.distribution_into(&self.histories[stream], out);
     }
 }
 

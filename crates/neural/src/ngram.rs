@@ -16,6 +16,9 @@ use crate::lm::LanguageModel;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// One back-off order's count table: context ids → next-character counts.
+pub(crate) type NgramTable = HashMap<Vec<u32>, HashMap<u32, u32>>;
+
 /// Hyper-parameters for the n-gram model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NgramConfig {
@@ -80,6 +83,33 @@ impl NgramModel {
         }
     }
 
+    /// Reassemble a model from decoded checkpoint parts (crate-internal; the
+    /// public path is the checkpoint codec).
+    pub(crate) fn from_parts(
+        config: NgramConfig,
+        vocab_size: usize,
+        tables: Vec<NgramTable>,
+        unigrams: Vec<u32>,
+    ) -> NgramModel {
+        NgramModel {
+            config,
+            vocab_size,
+            tables,
+            unigrams,
+            history: Vec::new(),
+        }
+    }
+
+    /// The per-order count tables (index `k` holds contexts of length `k+1`).
+    pub(crate) fn tables(&self) -> &[NgramTable] {
+        &self.tables
+    }
+
+    /// The unigram counts.
+    pub(crate) fn unigrams(&self) -> &[u32] {
+        &self.unigrams
+    }
+
     /// Number of distinct contexts stored at the maximum order.
     pub fn context_count(&self) -> usize {
         self.tables.last().map(HashMap::len).unwrap_or(0)
@@ -92,6 +122,17 @@ impl NgramModel {
 
     /// Distribution over the next character given an explicit history.
     pub fn distribution_for(&self, history: &[u32]) -> Vec<f32> {
+        let mut dist = Vec::new();
+        self.distribution_into(history, &mut dist);
+        dist
+    }
+
+    /// [`distribution_for`](NgramModel::distribution_for) into a
+    /// caller-provided buffer, so hot sampling loops (the multi-stream
+    /// sampler queries one distribution per stream per character) perform no
+    /// per-step allocation. The computed values are identical to
+    /// [`distribution_for`](NgramModel::distribution_for).
+    pub fn distribution_into(&self, history: &[u32], out: &mut Vec<f32>) {
         // Back off from the longest matching context to shorter ones; fall back
         // to smoothed unigrams.
         let max_ctx = self.config.context.min(history.len());
@@ -100,11 +141,12 @@ impl NgramModel {
             if let Some(counts) = self.tables[ctx_len - 1].get(ctx) {
                 let total: u32 = counts.values().sum();
                 if total > 0 {
-                    let mut dist = vec![0.0f32; self.vocab_size];
+                    out.clear();
+                    out.resize(self.vocab_size, 0.0);
                     for (&c, &n) in counts {
-                        dist[c as usize % self.vocab_size] = n as f32 / total as f32;
+                        out[c as usize % self.vocab_size] = n as f32 / total as f32;
                     }
-                    return dist;
+                    return;
                 }
             }
         }
@@ -112,10 +154,12 @@ impl NgramModel {
         let alpha = self.config.smoothing_tenths as f32 / 10.0;
         let total: f32 =
             self.unigrams.iter().map(|&n| n as f32).sum::<f32>() + alpha * self.vocab_size as f32;
-        self.unigrams
-            .iter()
-            .map(|&n| (n as f32 + alpha) / total.max(1e-9))
-            .collect()
+        out.clear();
+        out.extend(
+            self.unigrams
+                .iter()
+                .map(|&n| (n as f32 + alpha) / total.max(1e-9)),
+        );
     }
 }
 
@@ -226,6 +270,21 @@ mod tests {
                 (sum - 1.0).abs() < 1e-3,
                 "history {history:?} sums to {sum}"
             );
+        }
+    }
+
+    #[test]
+    fn distribution_into_matches_distribution_for_bitwise() {
+        let (data, vocab) = encode("__kernel void A(__global float* a) { a[0] = 1.0f; }");
+        let model = NgramModel::train(&data, vocab, NgramConfig::default());
+        let mut buf = vec![9.0f32; 3]; // stale contents must be fully replaced
+        for history in ["", "_", "__ker", "float* a", "unseen!!"] {
+            let expect = model.distribution_for(&encode(history).0);
+            model.distribution_into(&encode(history).0, &mut buf);
+            assert_eq!(buf.len(), expect.len());
+            for (a, b) in buf.iter().zip(expect.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

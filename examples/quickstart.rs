@@ -1,47 +1,59 @@
-//! Quickstart: build a corpus, train CLgen, synthesize a handful of OpenCL
-//! benchmarks and run them through the host driver.
+//! Quickstart: run the staged CLgen pipeline — build a corpus, train a
+//! model, open a sampling session, stream synthesized OpenCL benchmarks and
+//! execute one through the host driver.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
 use clgen_repro::cldrive::{DriverOptions, HostDriver, Platform};
-use clgen_repro::clgen::{ArgumentSpec, Clgen, ClgenOptions};
+use clgen_repro::clgen::{ArgumentSpec, ClgenBuilder, ClgenOptions, SamplerConfig};
 
 fn main() {
-    // 1. Build a corpus from the synthetic GitHub miner, train the default
-    //    language model and assemble the synthesizer.
-    println!("building corpus and training CLgen (small configuration)...");
+    // 1. Corpus stage: mine the synthetic GitHub population, filter and
+    //    rewrite it, derive the character vocabulary.
+    println!("building corpus (small configuration)...");
     let mut options = ClgenOptions::small(42);
     options.corpus.miner.repositories = 60;
-    let mut clgen = Clgen::new(options);
+    let sample_options = options.sample;
+    let stage = ClgenBuilder::with_options(options)
+        .build_corpus()
+        .expect("corpus construction failed");
     println!(
         "corpus: {} kernels, vocabulary of {} characters",
-        clgen.corpus().len(),
-        clgen.vocabulary().len()
+        stage.corpus().len(),
+        stage.vocabulary().len()
     );
 
-    // 2. Synthesize benchmarks with the paper's argument specification: three
-    //    float arrays and a read-only integer (Figure 6).
-    let spec = ArgumentSpec::paper_default();
-    let report = clgen.synthesize(5, 500, Some(&spec));
-    println!(
-        "\nsynthesized {} kernels in {} attempts ({:.0}% acceptance)",
-        report.kernels.len(),
-        report.stats.attempts,
-        report.stats.acceptance_rate() * 100.0
+    // 2. Training stage: fit the configured language model (n-gram default).
+    println!("training the language model...");
+    let model = stage.train().expect("model training failed");
+
+    // 3. Sampling stage: open a session constrained by the paper's argument
+    //    specification — three float arrays and a read-only integer
+    //    (Figure 6) — and pull kernels lazily from the synthesis stream.
+    let sampler = model.sampler(
+        SamplerConfig::new(42)
+            .with_spec(ArgumentSpec::paper_default())
+            .with_sample(sample_options)
+            .with_max_attempts(500),
     );
-    for (i, kernel) in report.kernels.iter().enumerate() {
+    let mut kernels = Vec::new();
+    for accepted in sampler.stream().take(5) {
         println!(
-            "\n--- synthesized kernel {i} ({} static instructions) ---",
-            kernel.instructions
+            "\n--- synthesized kernel {} ({} static instructions, {} attempts to find) ---",
+            kernels.len(),
+            accepted.kernel.instructions,
+            accepted.stats.attempts
         );
-        println!("{}", kernel.source.trim());
+        println!("{}", accepted.kernel.source.trim());
+        kernels.push(accepted.kernel);
     }
+    println!("\nsynthesized {} kernels", kernels.len());
 
-    // 3. Execute the first kernel with the host driver on the AMD platform and
-    //    report which device the analytic models prefer.
-    if let Some(kernel) = report.kernels.first() {
+    // 4. Execute the first kernel with the host driver on the AMD platform
+    //    and report which device the analytic models prefer.
+    if let Some(kernel) = kernels.first() {
         let driver = HostDriver::with_options(Platform::amd(), DriverOptions::quick());
         match driver.run_source(&kernel.source, &[4096, 1 << 20]) {
             Ok(runs) => {

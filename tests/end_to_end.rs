@@ -1,5 +1,6 @@
 //! Cross-crate integration tests: the full CLgen pipeline from corpus to
 //! synthesized benchmark to driver record to predictive model.
+#![allow(deprecated)] // pins the legacy serial driver (RNG-stream-sensitive seeds)
 
 use clgen_repro::cldrive::{DriverOptions, HostDriver, Platform};
 use clgen_repro::clgen::{ArgumentSpec, Clgen, ClgenOptions};
@@ -13,7 +14,7 @@ use experiments::DatasetConfig;
 fn synthesized_kernels_flow_through_driver_and_features() {
     let mut options = ClgenOptions::small(2024);
     options.corpus.miner.repositories = 40;
-    let mut clgen = Clgen::new(options);
+    let mut clgen = Clgen::try_new(options).expect("pipeline");
     let report = clgen.synthesize(4, 300, Some(&ArgumentSpec::paper_default()));
     assert!(!report.kernels.is_empty(), "no kernels synthesized");
 

@@ -379,7 +379,7 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
 pub mod collection {
     use super::*;
 
-    /// Length specifications accepted by [`vec`]: a fixed length, `lo..hi`,
+    /// Length specifications accepted by [`vec()`]: a fixed length, `lo..hi`,
     /// or `lo..=hi` (mirrors `proptest`'s `Into<SizeRange>` argument).
     pub trait SizeRange {
         /// Draw a length.
