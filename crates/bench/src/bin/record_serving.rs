@@ -1,0 +1,244 @@
+//! Record serving-throughput measurements to `BENCH_serving.json`.
+//!
+//! Drives a real `clgen-serve` instance (checkpoint-loaded small LSTM,
+//! cross-request continuous batching over shared lanes) with a closed-loop
+//! load generator at several concurrency levels, and compares it against the
+//! **one-`Sampler`-per-request baseline**: the same requests, each answered
+//! by its own perfectly-sized `Sampler` session on the caller's thread (what
+//! a naive service without cross-request batching would do). Both sides
+//! sample the *identical* candidate workload — per-request candidate seeds
+//! come from the same `stream_seed` derivation — so the comparison is pure
+//! scheduling: N per-request sessions vs one shared batched forward pass.
+//! The served side additionally pays its HTTP framing, so its win is
+//! understated if anything.
+//!
+//! Run from the workspace root with:
+//!
+//! ```text
+//! cargo run --release -p clgen-bench --bin record_serving
+//! ```
+//!
+//! The model is deliberately untrained (sampling throughput depends only on
+//! the network shape; an untrained model rarely closes a kernel, so every
+//! candidate runs its full character budget and the workload is uniform).
+//! Response-body determinism of the served path is covered by
+//! `crates/serve/tests/serve_roundtrip.rs`; this binary measures speed only.
+
+use clgen::{SamplerConfig, StatsSummary, TrainedModel};
+use clgen_corpus::Vocabulary;
+use clgen_neural::lstm::{LstmConfig, LstmModel};
+use clgen_neural::StatefulLstm;
+use clgen_serve::{client, json, Server, ServerConfig, SynthesisParams};
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Candidates sampled per request (the request's `max_attempts`; the kernel
+/// target is set high so every request samples exactly this many).
+const ATTEMPTS_PER_REQUEST: usize = 2;
+/// Generated-character budget per candidate.
+const MAX_CHARS: usize = 256;
+/// Requests per concurrency level (split across the client threads).
+const REQUESTS_PER_LEVEL: usize = 48;
+/// Lanes of the shared continuously-batched server run.
+const SERVER_LANES: usize = 16;
+
+const CONCURRENCY_LEVELS: [usize; 4] = [1, 2, 4, 8];
+
+fn vocab_text() -> String {
+    let seed = "__kernel void A(__global float* a, __global float* b, const int c) {";
+    format!(
+        "{seed}\n  int d = get_global_id(0);\n  if (d < c) {{\n    b[d] = a[d] + 1.0f;\n  }}\n}}\n"
+    )
+}
+
+fn request_params(index: usize) -> SynthesisParams {
+    SynthesisParams {
+        count: 1024, // never met (untrained model): every request runs its attempt cap
+        temperature: 0.9,
+        max_chars: MAX_CHARS,
+        seed: 5000 + index as u64,
+        max_attempts: ATTEMPTS_PER_REQUEST,
+    }
+}
+
+struct Measurement {
+    seconds: f64,
+    summary: StatsSummary,
+    requests: usize,
+}
+
+impl Measurement {
+    fn chars_per_sec(&self) -> f64 {
+        self.summary.generated_chars as f64 / self.seconds
+    }
+
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.seconds
+    }
+}
+
+/// Split `REQUESTS_PER_LEVEL` request indices across `concurrency` client
+/// threads and run `one_request` on each, aggregating via [`StatsSummary`].
+fn run_level(
+    concurrency: usize,
+    one_request: impl Fn(usize) -> StatsSummary + Sync,
+) -> Measurement {
+    let start = Instant::now();
+    let summaries: Vec<StatsSummary> = std::thread::scope(|scope| {
+        let one_request = &one_request;
+        let handles: Vec<_> = (0..concurrency)
+            .map(|thread| {
+                scope.spawn(move || {
+                    (thread..REQUESTS_PER_LEVEL)
+                        .step_by(concurrency)
+                        .map(one_request)
+                        .sum::<StatsSummary>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    Measurement {
+        seconds: start.elapsed().as_secs_f64(),
+        summary: summaries.into_iter().sum(),
+        requests: REQUESTS_PER_LEVEL,
+    }
+}
+
+/// One request over the wire against the batching server.
+fn served_request(addr: SocketAddr, index: usize) -> StatsSummary {
+    let reply =
+        client::synthesize(addr, &request_params(index)).expect("synthesize request succeeds");
+    assert_eq!(reply.status, 200, "unexpected status for request {index}");
+    let lines = reply.lines();
+    let done = lines.last().expect("response has a summary line");
+    StatsSummary {
+        kernels: json::extract_u64(done, "kernels").unwrap_or(0) as usize,
+        attempts: json::extract_u64(done, "attempts").expect("summary attempts") as usize,
+        generated_chars: json::extract_u64(done, "generated_chars").expect("summary chars")
+            as usize,
+        rejected: Default::default(),
+    }
+}
+
+/// One request through its own `Sampler` session (the no-cross-request-
+/// batching baseline): lanes sized exactly to the request, free seed, same
+/// candidate seeds, same filter.
+fn baseline_request(model: &TrainedModel, index: usize) -> StatsSummary {
+    let params = request_params(index);
+    let sampler = model.sampler(
+        SamplerConfig::new(params.seed)
+            .with_sample(clgen::SampleOptions {
+                max_chars: params.max_chars,
+                temperature: params.temperature,
+            })
+            .with_lanes(params.max_attempts)
+            .with_max_attempts(params.max_attempts),
+    );
+    let report = sampler.synthesize(usize::MAX);
+    StatsSummary {
+        kernels: report.stats.accepted,
+        attempts: report.stats.attempts,
+        generated_chars: report.stats.generated_chars,
+        rejected: report.stats.rejected.clone(),
+    }
+}
+
+fn main() {
+    // An untrained small LSTM, persisted and re-loaded through the real
+    // checkpoint path the server boots from.
+    let vocab = Vocabulary::from_text(&vocab_text());
+    let config = LstmConfig::small(vocab.len());
+    let model =
+        TrainedModel::from_parts(vocab, Box::new(StatefulLstm::new(LstmModel::new(config))))
+            .expect("model assembles");
+    let ckpt =
+        std::env::temp_dir().join(format!("clgen-serving-bench-{}.ckpt", std::process::id()));
+    model.save(&ckpt).expect("checkpoint saves");
+    let served_model = TrainedModel::load(&ckpt).expect("checkpoint loads");
+    std::fs::remove_file(&ckpt).ok();
+
+    let handle = Server::start(
+        served_model,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            lanes: SERVER_LANES,
+            queue_cap: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = handle.addr();
+
+    // Warm-up both paths (page in weights, fill allocator pools).
+    let _ = served_request(addr, 0);
+    let _ = baseline_request(&model, 0);
+
+    struct Level {
+        concurrency: usize,
+        served: Measurement,
+        baseline: Measurement,
+    }
+    let levels: Vec<Level> = CONCURRENCY_LEVELS
+        .iter()
+        .map(|&concurrency| {
+            let served = run_level(concurrency, |i| served_request(addr, i));
+            let baseline = run_level(concurrency, |i| baseline_request(&model, i));
+            println!(
+                "concurrency {concurrency}: served {:>8.0} chars/sec vs baseline {:>8.0} chars/sec ({:.2}x)",
+                served.chars_per_sec(),
+                baseline.chars_per_sec(),
+                served.chars_per_sec() / baseline.chars_per_sec()
+            );
+            println!("  served totals:   {}", served.summary);
+            println!("  baseline totals: {}", baseline.summary);
+            Level {
+                concurrency,
+                served,
+                baseline,
+            }
+        })
+        .collect();
+
+    handle.shutdown();
+
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"serving_throughput\",\n");
+    writeln!(
+        out,
+        "  \"config\": {{\"hidden_size\": {}, \"num_layers\": {}, \"vocab_size\": {}, \
+         \"server_lanes\": {SERVER_LANES}, \"attempts_per_request\": {ATTEMPTS_PER_REQUEST}, \
+         \"max_chars\": {MAX_CHARS}, \"requests_per_level\": {REQUESTS_PER_LEVEL}, \
+         \"baseline\": \"one perfectly-sized Sampler session per request, thread per client\"}},",
+        config.hidden_size, config.num_layers, config.vocab_size
+    )
+    .unwrap();
+    out.push_str("  \"levels\": [\n");
+    for (i, level) in levels.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"concurrency\": {}, \
+             \"served\": {{\"seconds\": {:.4}, \"chars_per_sec\": {:.0}, \"requests_per_sec\": {:.1}}}, \
+             \"per_request_baseline\": {{\"seconds\": {:.4}, \"chars_per_sec\": {:.0}, \"requests_per_sec\": {:.1}}}, \
+             \"speedup\": {:.2}}}{}",
+            level.concurrency,
+            level.served.seconds,
+            level.served.chars_per_sec(),
+            level.served.requests_per_sec(),
+            level.baseline.seconds,
+            level.baseline.chars_per_sec(),
+            level.baseline.requests_per_sec(),
+            level.served.chars_per_sec() / level.baseline.chars_per_sec(),
+            if i + 1 == levels.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_serving.json", &out).expect("write BENCH_serving.json");
+    println!("{out}");
+}

@@ -202,7 +202,13 @@ impl CorpusStage {
     /// it was saved), and the encoded training text is rebuilt from it.
     pub fn load(path: impl AsRef<Path>, options: ClgenOptions) -> Result<CorpusStage, ClgenError> {
         let bytes = std::fs::read(path)?;
-        let mut dec = Decoder::new(&bytes);
+        CorpusStage::from_bytes(&bytes, options)
+    }
+
+    /// Decode a stage serialized by [`CorpusStage::to_bytes`]. Truncated or
+    /// corrupt input is a typed [`ClgenError`], never a panic.
+    pub fn from_bytes(bytes: &[u8], options: ClgenOptions) -> Result<CorpusStage, ClgenError> {
+        let mut dec = Decoder::new(bytes);
         dec.magic(CORPUS_STAGE_MAGIC)?;
         let version = dec.u32()?;
         if version != CORPUS_STAGE_VERSION {

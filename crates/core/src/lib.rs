@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod engine;
 pub mod error;
 pub mod model;
 pub mod sampler;
@@ -54,6 +55,7 @@ pub mod stream;
 pub mod synthesizer;
 
 pub use builder::{ClgenBuilder, CorpusStage, CORPUS_STAGE_MAGIC, CORPUS_STAGE_VERSION};
+pub use engine::BatchEngine;
 pub use error::ClgenError;
 pub use model::{TrainedModel, CHECKPOINT_MAGIC, CHECKPOINT_VERSION};
 pub use sampler::{
@@ -61,7 +63,8 @@ pub use sampler::{
 };
 pub use spec::{ArgSpec, ArgumentSpec};
 pub use stream::{
-    KernelStats, Sampler, SamplerConfig, StreamedKernel, SynthesisStream, PIPELINE_DEPTH,
+    filter_candidate, stream_seed, KernelStats, Sampler, SamplerConfig, StatsSummary,
+    StreamedKernel, SynthesisStream, PIPELINE_DEPTH,
 };
 pub use synthesizer::{
     Clgen, ClgenOptions, ModelBackend, SynthesisReport, SynthesisStats, SynthesizedKernel,

@@ -5,10 +5,10 @@
 //! brace depth of the emitted text, until the kernel's closing brace is
 //! reached or a maximum length is exceeded.
 
+use crate::engine::BatchEngine;
 use clgen_corpus::Vocabulary;
 use clgen_neural::{sample_distribution_with, LanguageModel, StreamBatch};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Sampling parameters ("synthesis parameters" in Figure 4).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -104,29 +104,18 @@ pub fn sample_kernel(
     }
 }
 
-/// Book-keeping for one candidate being sampled by the batched sampler.
-struct CandidateRun {
-    /// Index into `stream_seeds` / the result vector.
-    index: usize,
-    text: String,
-    depth: i32,
-    generated: usize,
-    /// Characters of the seed prefix still to be fed to the model.
-    seed_cursor: usize,
-    rng: StdRng,
-}
-
 /// Sample one candidate kernel per entry of `stream_seeds`, advancing up to
 /// `streams.num_streams()` candidates in lock-step through the model's
 /// batched path (Algorithm 1, multi-stream, with continuous batching).
 ///
 /// Candidate `i` draws its characters from
 /// `StdRng::seed_from_u64(stream_seeds[i])`. There may be more candidates
-/// than streams: each stream is a *lane*, and the moment a lane's candidate
+/// than streams: each stream is a *lane*, and as soon as a lane's candidate
 /// finishes, the lane is reset and refilled with the next pending candidate
-/// (continuous batching), so the batch stays at full width — and the GEMM at
-/// full lane count — until the work runs out. A refilled lane feeds its seed
-/// prefix in the same batched rounds in which other lanes generate.
+/// (continuous batching, via [`BatchEngine`]), so the batch stays at full
+/// width — and the GEMM at full lane count — until the work runs out. A
+/// refilled lane feeds its seed prefix in the same batched rounds in which
+/// other lanes generate.
 ///
 /// Determinism guarantee: the result is **byte-identical** to
 /// `stream_seeds.len()` serial [`sample_kernel`] calls over the same model,
@@ -148,128 +137,37 @@ pub fn sample_kernels_batched(
     stream_seeds: &[u64],
 ) -> Vec<SampledCandidate> {
     let total = stream_seeds.len();
-    let lanes = streams.num_streams();
-    assert!(lanes > 0, "need at least one sample stream");
+    assert!(streams.num_streams() > 0, "need at least one sample stream");
     streams.reset();
-
-    let seed_ids: Vec<u32> = seed.chars().map(|c| vocab.encode_char(c)).collect();
-    let seed_chars: Vec<char> = seed.chars().collect();
+    let mut engine = BatchEngine::new(streams, vocab);
 
     let mut results: Vec<Option<SampledCandidate>> = (0..total).map(|_| None).collect();
     let mut next_candidate = 0usize;
-    let mut active: Vec<Option<CandidateRun>> = (0..lanes).map(|_| None).collect();
-    let mut pairs: Vec<(usize, u32)> = Vec::with_capacity(lanes);
-    let mut probs = Vec::new();
-    let mut weights = Vec::new();
-
-    // Take the next pending candidate, completing zero-budget ones inline.
-    let start_next = |streams: &mut dyn StreamBatch,
-                      lane: usize,
-                      results: &mut Vec<Option<SampledCandidate>>,
-                      next_candidate: &mut usize|
-     -> Option<CandidateRun> {
-        loop {
-            if *next_candidate >= total {
-                return None;
-            }
-            let index = *next_candidate;
-            *next_candidate += 1;
-            if options.max_chars == 0 {
-                // Serial sampling would feed the seed and then stop at once;
-                // the fed characters influence nothing observable.
-                results[index] = Some(SampledCandidate {
-                    text: seed.to_string(),
-                    stop: StopReason::MaxLength,
-                    generated_chars: 0,
-                });
-                continue;
-            }
-            streams.reset_stream(lane);
-            let mut text = String::with_capacity(seed.len() + options.max_chars);
-            text.push_str(seed);
-            return Some(CandidateRun {
-                index,
-                text,
-                depth: 0,
-                generated: 0,
-                seed_cursor: 0,
-                rng: StdRng::seed_from_u64(stream_seeds[index]),
-            });
-        }
-    };
-
-    for (lane, slot) in active.iter_mut().enumerate() {
-        *slot = start_next(streams, lane, &mut results, &mut next_candidate);
-    }
-
+    let mut completed: Vec<(u64, SampledCandidate)> = Vec::new();
     loop {
-        pairs.clear();
-        for (lane, slot) in active.iter_mut().enumerate() {
-            while let Some(run) = slot.as_mut() {
-                // Seed phase: feed the common prefix, one character per
-                // round, tracking its brace depth.
-                if run.seed_cursor < seed_ids.len() {
-                    let id = seed_ids[run.seed_cursor];
-                    match seed_chars[run.seed_cursor] {
-                        '{' => run.depth += 1,
-                        '}' => run.depth -= 1,
-                        _ => {}
-                    }
-                    run.seed_cursor += 1;
-                    pairs.push((lane, id));
-                    break;
-                }
-                // Generate phase: draw from the lane's current distribution.
-                streams.probs_into(lane, &mut probs);
-                let id = sample_distribution_with(
-                    &probs,
-                    options.temperature,
-                    &mut run.rng,
-                    &mut weights,
-                );
-                let c = vocab.decode_char(id);
-                run.text.push(c);
-                run.generated += 1;
-                let mut stop = None;
-                match c {
-                    '{' => run.depth += 1,
-                    '}' => {
-                        run.depth -= 1;
-                        if run.depth <= 0 {
-                            stop = Some(StopReason::ClosedKernel);
-                        }
-                    }
-                    _ => {}
-                }
-                if stop.is_none() && run.generated >= options.max_chars {
-                    stop = Some(StopReason::MaxLength);
-                }
-                match stop {
-                    None => {
-                        pairs.push((lane, id));
-                        break;
-                    }
-                    Some(stop) => {
-                        // The final character is not fed: serial sampling
-                        // feeds it and immediately stops, so it never
-                        // influences output. Recycle the lane.
-                        let run = slot.take().expect("lane was active");
-                        results[run.index] = Some(SampledCandidate {
-                            text: run.text,
-                            stop,
-                            generated_chars: run.generated,
-                        });
-                        *slot = start_next(streams, lane, &mut results, &mut next_candidate);
-                        // Loop: the fresh candidate begins its seed phase in
-                        // this same round.
-                    }
-                }
+        // Continuous batching: refill every free lane with the next pending
+        // candidate before advancing, so the batch stays at full width until
+        // the work runs out.
+        while next_candidate < total {
+            let Some(lane) = engine.free_lane() else {
+                break;
+            };
+            let ticket = next_candidate as u64;
+            if let Some(done) =
+                engine.admit(lane, ticket, seed, *options, stream_seeds[next_candidate])
+            {
+                // Zero-budget candidates complete at admission.
+                results[next_candidate] = Some(done);
             }
+            next_candidate += 1;
         }
-        if pairs.is_empty() {
+        if engine.occupied_lanes() == 0 {
             break;
         }
-        streams.feed_many(&pairs);
+        engine.step_into(&mut completed);
+        for (ticket, candidate) in completed.drain(..) {
+            results[ticket as usize] = Some(candidate);
+        }
     }
 
     results

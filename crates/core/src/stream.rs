@@ -40,7 +40,12 @@ pub const PIPELINE_DEPTH: usize = 2;
 /// Derive the RNG seed of sample stream `index` from the run seed
 /// (SplitMix64 finaliser: well-distributed, deterministic, independent of
 /// batch size).
-pub(crate) fn stream_seed(run_seed: u64, index: u64) -> u64 {
+///
+/// This derivation is shared by every consumer of the batched sampler — the
+/// [`SynthesisStream`] rounds here and the per-request candidate streams of
+/// the synthesis service — so candidate `index` of a given run seed samples
+/// identically no matter which driver dispatched it.
+pub fn stream_seed(run_seed: u64, index: u64) -> u64 {
     let mut z = run_seed
         ^ index
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -53,8 +58,9 @@ pub(crate) fn stream_seed(run_seed: u64, index: u64) -> u64 {
 /// Run one candidate through the rejection filter, returning the formatted
 /// kernel if accepted. Pure function of the candidate text and filter
 /// configuration, so batches of candidates can be filtered on worker threads
-/// while the synthesizer keeps sampling.
-pub(crate) fn filter_candidate(
+/// while the synthesizer keeps sampling — the [`SynthesisStream`] pipeline
+/// and the synthesis service both fan this out over the rayon pool.
+pub fn filter_candidate(
     filter: &FilterConfig,
     candidate: &SampledCandidate,
 ) -> Result<SynthesizedKernel, RejectReason> {
@@ -158,6 +164,113 @@ pub struct KernelStats {
     /// sequence (its RNG stream is a deterministic function of the run seed
     /// and this index).
     pub candidate_index: u64,
+}
+
+/// The aggregate form of [`KernelStats`]: totals over any number of
+/// per-kernel cost windows (and, transitively, over other summaries).
+///
+/// This is the one accumulation implementation shared by every consumer that
+/// folds per-kernel costs into run totals — the synthesis service's `/stats`
+/// endpoint and the serving-bench recorder both merge into a `StatsSummary`
+/// instead of keeping ad-hoc counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSummary {
+    /// Accepted kernels folded in.
+    pub kernels: usize,
+    /// Candidates sampled across those kernels' windows.
+    pub attempts: usize,
+    /// Characters generated across those candidates.
+    pub generated_chars: usize,
+    /// Rejections by reason among those candidates.
+    pub rejected: HashMap<RejectReason, usize>,
+}
+
+impl StatsSummary {
+    /// Fold one *accepted* kernel's cost window into the totals.
+    pub fn merge(&mut self, stats: &KernelStats) {
+        self.kernels += 1;
+        self.merge_window(stats);
+    }
+
+    /// Fold a cost window that ends without an acceptance (the trailing
+    /// rejections after a run's last accepted kernel): attempts, characters
+    /// and rejections are accounted, the kernel count is not.
+    pub fn merge_window(&mut self, window: &KernelStats) {
+        self.attempts += window.attempts;
+        self.generated_chars += window.generated_chars;
+        for (&reason, &count) in &window.rejected {
+            *self.rejected.entry(reason).or_insert(0) += count;
+        }
+    }
+
+    /// Fold another summary into the totals.
+    pub fn merge_summary(&mut self, other: &StatsSummary) {
+        self.kernels += other.kernels;
+        self.attempts += other.attempts;
+        self.generated_chars += other.generated_chars;
+        for (&reason, &count) in &other.rejected {
+            *self.rejected.entry(reason).or_insert(0) += count;
+        }
+    }
+
+    /// Fraction of sampled candidates that were accepted.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.kernels as f64 / self.attempts as f64
+        }
+    }
+}
+
+impl<'a> std::iter::Sum<&'a KernelStats> for StatsSummary {
+    fn sum<I: Iterator<Item = &'a KernelStats>>(iter: I) -> StatsSummary {
+        let mut summary = StatsSummary::default();
+        for stats in iter {
+            summary.merge(stats);
+        }
+        summary
+    }
+}
+
+impl std::iter::Sum<StatsSummary> for StatsSummary {
+    fn sum<I: Iterator<Item = StatsSummary>>(iter: I) -> StatsSummary {
+        let mut summary = StatsSummary::default();
+        for other in iter {
+            summary.merge_summary(&other);
+        }
+        summary
+    }
+}
+
+impl std::fmt::Display for StatsSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} kernels from {} attempts ({:.1}% accepted), {} chars generated",
+            self.kernels,
+            self.attempts,
+            self.acceptance_rate() * 100.0,
+            self.generated_chars
+        )?;
+        if !self.rejected.is_empty() {
+            // Sorted for a deterministic rendering.
+            let mut reasons: Vec<(String, usize)> = self
+                .rejected
+                .iter()
+                .map(|(reason, &count)| (reason.to_string(), count))
+                .collect();
+            reasons.sort();
+            f.write_str("; rejections: ")?;
+            for (i, (reason, count)) in reasons.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{reason} x{count}")?;
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One accepted kernel pulled from a [`SynthesisStream`], with the per-kernel

@@ -1,0 +1,139 @@
+//! Decode-path robustness: feeding truncated or mutated checkpoint bytes to
+//! the model and corpus-stage loaders must produce a typed [`ClgenError`],
+//! never a panic (and never an unbounded allocation — every length that
+//! drives an allocation is sanity-bounded by the remaining input inside
+//! `clgen-wire`).
+//!
+//! The strategy mirrors how checkpoints actually go bad: truncation (a
+//! partial write or download) and byte corruption (bit rot, a bad transfer).
+//! Each case decodes a well-formed checkpoint whose bytes have been mutated;
+//! whatever the result, it must be a `Result`, and a successful decode must
+//! re-encode without panicking either.
+
+use clgen::{ClgenBuilder, ClgenError, ClgenOptions, CorpusStage, TrainedModel};
+use clgen_corpus::Vocabulary;
+use clgen_neural::lstm::{LstmConfig, LstmModel};
+use clgen_neural::ngram::{NgramConfig, NgramModel};
+use clgen_neural::StatefulLstm;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Well-formed checkpoint bytes for both built-in backends, built once.
+fn model_checkpoints() -> &'static Vec<Vec<u8>> {
+    static CHECKPOINTS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    CHECKPOINTS.get_or_init(|| {
+        let text = "__kernel void A(__global float* a) { a[0] = 1.0f; }\n".repeat(3);
+        let vocab = Vocabulary::from_text(&text);
+        let encoded = vocab.encode(&text);
+        let ngram = NgramModel::train(&encoded, vocab.len(), NgramConfig::default());
+        let lstm = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: 12,
+            num_layers: 2,
+            seed: 7,
+        });
+        vec![
+            TrainedModel::from_parts(vocab.clone(), Box::new(ngram))
+                .unwrap()
+                .to_bytes(),
+            TrainedModel::from_parts(vocab, Box::new(StatefulLstm::new(lstm)))
+                .unwrap()
+                .to_bytes(),
+        ]
+    })
+}
+
+/// Well-formed corpus-stage bytes, built once.
+fn corpus_stage_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut options = ClgenOptions::small(17);
+        options.corpus.miner.repositories = 20;
+        ClgenBuilder::with_options(options)
+            .build_corpus()
+            .expect("small corpus builds")
+            .to_bytes()
+    })
+}
+
+/// Apply one mutation recipe to a byte buffer.
+fn mutate(bytes: &[u8], truncate_to: usize, stomps: &[(usize, u8)]) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    out.truncate(truncate_to % (bytes.len() + 1));
+    for &(pos, value) in stomps {
+        if !out.is_empty() {
+            let pos = pos % out.len();
+            out[pos] ^= value;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Truncated and byte-stomped model checkpoints decode to `Ok` or a
+    /// typed error — never a panic.
+    #[test]
+    fn mutated_model_checkpoints_never_panic(
+        which in 0usize..2,
+        truncate_to in any::<usize>(),
+        stomps in proptest::collection::vec((any::<usize>(), 1u8..=255), 0..4),
+    ) {
+        let base = &model_checkpoints()[which];
+        let mutated = mutate(base, truncate_to, &stomps);
+        match TrainedModel::from_bytes(&mutated) {
+            Ok(model) => {
+                // A mutation can decode cleanly (e.g. a stomp inside a
+                // weight's mantissa). The survivor must still be usable.
+                let _ = model.to_bytes();
+            }
+            Err(
+                ClgenError::Checkpoint(_)
+                | ClgenError::UnknownBackend { .. }
+                | ClgenError::EmptyVocabulary
+                | ClgenError::InvalidConfig { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+
+    /// Same contract for saved corpus stages.
+    #[test]
+    fn mutated_corpus_stages_never_panic(
+        truncate_to in any::<usize>(),
+        stomps in proptest::collection::vec((any::<usize>(), 1u8..=255), 0..4),
+    ) {
+        let base = corpus_stage_bytes();
+        let mutated = mutate(base, truncate_to, &stomps);
+        match CorpusStage::from_bytes(&mutated, ClgenOptions::small(17)) {
+            Ok(stage) => {
+                let _ = stage.to_bytes();
+            }
+            Err(
+                ClgenError::Checkpoint(_)
+                | ClgenError::EmptyCorpus
+                | ClgenError::EmptyVocabulary,
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+    }
+}
+
+/// The loaders reject pure garbage and the empty input with typed errors.
+#[test]
+fn garbage_and_empty_inputs_are_typed_errors() {
+    assert!(matches!(
+        TrainedModel::from_bytes(&[]),
+        Err(ClgenError::Checkpoint(_))
+    ));
+    assert!(matches!(
+        CorpusStage::from_bytes(&[], ClgenOptions::small(1)),
+        Err(ClgenError::Checkpoint(_))
+    ));
+    let garbage: Vec<u8> = (0..4096u32)
+        .map(|i| (i.wrapping_mul(2654435761)) as u8)
+        .collect();
+    assert!(TrainedModel::from_bytes(&garbage).is_err());
+    assert!(CorpusStage::from_bytes(&garbage, ClgenOptions::small(1)).is_err());
+}

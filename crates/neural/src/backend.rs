@@ -22,7 +22,12 @@ use clgen_wire::{Decoder, Encoder, WireError};
 /// guarantee that [`streams`](LanguageModelBackend::streams) produces batched
 /// sampling byte-identical to serial sampling through
 /// [`serial`](LanguageModelBackend::serial) (see the `StreamBatch` contract).
-pub trait LanguageModelBackend: Send {
+///
+/// Backends are `Send + Sync`: a checkpoint-loaded model is shared by
+/// reference across the request-handling threads of the synthesis service
+/// (weights are read-only during sampling; all mutable sampling state lives
+/// in the per-session `StreamBatch`, not the backend).
+pub trait LanguageModelBackend: Send + Sync {
     /// Stable tag identifying the model class in checkpoints
     /// (e.g. `"lstm"`, `"ngram"`).
     fn kind(&self) -> &'static str;

@@ -138,6 +138,10 @@ pub struct LstmStreams<'a> {
     /// pooled to avoid per-call allocation.
     saved_lanes: Vec<(usize, Vec<f32>)>,
     saved_pool: Vec<Vec<f32>>,
+    /// Which lanes the current `feed_many` call feeds; reused across calls
+    /// because partial feeds are the steady state under serving (idle lanes
+    /// wait for request admission every round).
+    fed_scratch: Vec<bool>,
 }
 
 impl<'a> LstmStreams<'a> {
@@ -156,6 +160,7 @@ impl<'a> LstmStreams<'a> {
             ids: vec![0; n],
             saved_lanes: Vec::new(),
             saved_pool: Vec::new(),
+            fed_scratch: vec![false; n],
         }
     }
 }
@@ -200,11 +205,14 @@ impl StreamBatch for LstmStreams<'_> {
             self.ids[stream] = id;
         }
         if self.sel.len() < self.bs.width() {
-            let mut fed = vec![false; self.bs.width()];
+            self.fed_scratch.iter_mut().for_each(|f| *f = false);
             for &stream in &self.sel {
-                fed[stream] = true;
+                self.fed_scratch[stream] = true;
             }
-            for (lane, _) in fed.iter().enumerate().filter(|(_, f)| !**f) {
+            for lane in 0..self.bs.width() {
+                if self.fed_scratch[lane] {
+                    continue;
+                }
                 let mut buf = self.saved_pool.pop().unwrap_or_default();
                 self.bs.snapshot_lane(lane, &mut buf);
                 self.saved_lanes.push((lane, buf));

@@ -8,6 +8,7 @@ pub use cldrive;
 pub use clgen;
 pub use clgen_corpus;
 pub use clgen_neural;
+pub use clgen_serve;
 pub use clsmith;
 pub use grewe_features;
 pub use predictive;

@@ -1,0 +1,135 @@
+//! A minimal blocking HTTP/1.1 client for the service, used by the
+//! integration tests, the `serve_roundtrip` example and the serving-bench
+//! load generator. It speaks exactly the slice of HTTP the server emits:
+//! fixed-length and chunked responses, one request per connection.
+
+use crate::scheduler::SynthesisParams;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A complete HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code of the response line.
+    pub status: u16,
+    /// Headers (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// The response body (chunked bodies are de-chunked).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// The body as UTF-8 text (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The body split into non-empty lines — the NDJSON view.
+    pub fn lines(&self) -> Vec<String> {
+        self.text()
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Send one request and read the full response.
+pub fn request(addr: SocketAddr, method: &str, target: &str) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+
+    let status_line = read_line(&mut reader)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad_data("malformed status line"))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(&mut reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let mut body = Vec::new();
+    if find("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked")) {
+        loop {
+            let size_line = read_line(&mut reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad_data("malformed chunk size"))?;
+            if size == 0 {
+                let _ = read_line(&mut reader); // trailing CRLF
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let _ = read_line(&mut reader)?; // chunk-terminating CRLF
+        }
+    } else if let Some(len) = find("content-length") {
+        let len: usize = len.parse().map_err(|_| bad_data("bad Content-Length"))?;
+        body.resize(len, 0);
+        reader.read_exact(&mut body)?;
+    } else {
+        reader.read_to_end(&mut body)?;
+    }
+
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// `GET` a path.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "GET", path)
+}
+
+/// `POST` a path.
+pub fn post(addr: SocketAddr, path: &str) -> io::Result<Response> {
+    request(addr, "POST", path)
+}
+
+/// The `/synthesize` query string for a parameter set.
+pub fn synthesize_target(params: &SynthesisParams) -> String {
+    format!(
+        "/synthesize?count={}&temperature={}&max_chars={}&seed={}&max_attempts={}",
+        params.count, params.temperature, params.max_chars, params.seed, params.max_attempts
+    )
+}
+
+/// Run one `/synthesize` request and return the full response (NDJSON body).
+pub fn synthesize(addr: SocketAddr, params: &SynthesisParams) -> io::Result<Response> {
+    post(addr, &synthesize_target(params))
+}

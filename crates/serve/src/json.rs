@@ -1,0 +1,94 @@
+//! Hand-rolled JSON rendering and field extraction.
+//!
+//! The vendored `serde` is a marker-only stand-in, so the service writes its
+//! NDJSON lines by hand (as `record_synthesis` writes its benchmark files)
+//! and the client side pulls individual fields back out with a small
+//! extractor instead of a full parser. Rendering is deterministic — map
+//! fields are emitted in sorted order — because synthesis response bodies
+//! carry a byte-identical reproducibility guarantee.
+
+/// Append `s` to `out` as a JSON string literal (with surrounding quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a JSON string literal.
+pub fn escaped(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// Extract the value of a top-level-ish `"key":` whose value is an unsigned
+/// integer. Purely textual: finds the first occurrence of the quoted key
+/// followed by a colon and digits. Good enough for the service's own NDJSON
+/// lines; not a general JSON parser.
+pub fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Extract the value of a `"key":` whose value is a JSON string, undoing the
+/// escapes [`escape_into`] produces.
+pub fn extract_str(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = json.find(&needle)? + needle.len();
+    let rest = json[start..].trim_start();
+    let mut chars = rest.chars();
+    if chars.next() != Some('"') {
+        return None;
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = (0..4).filter_map(|_| chars.next()).collect();
+                    let value = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(value)?);
+                }
+                c => out.push(c),
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_roundtrips_through_extraction() {
+        let source = "__kernel void A() {\n  int a = \"x\\y\";\t\u{1} }";
+        let line = format!("{{\"kernel\":{},\"attempts\":12}}", escaped(source));
+        assert_eq!(extract_str(&line, "kernel").as_deref(), Some(source));
+        assert_eq!(extract_u64(&line, "attempts"), Some(12));
+        assert_eq!(extract_u64(&line, "missing"), None);
+        assert_eq!(extract_str(&line, "attempts"), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! # clgen-serve
+//!
+//! A synthesis service over a checkpoint-loaded
+//! [`TrainedModel`](clgen::TrainedModel) with
+//! **cross-request continuous batching**: the paper's train-once/sample-many
+//! workflow, served.
+//!
+//! The server is dependency-free — a hand-rolled, bounds-checked HTTP/1.1
+//! layer over `std::net::TcpListener` ([`http`]) in the same spirit as
+//! `clgen-wire`'s hand-rolled serialization — and its heart is the batching
+//! [`scheduler`]: connection-handler threads enqueue sampling requests onto
+//! a bounded queue, and a single sampler-core thread drains them into the
+//! lanes of one continuously-batched
+//! [`BatchEngine`](clgen::BatchEngine) run, admitting new requests into
+//! free lanes mid-flight. N concurrent clients therefore share one batched
+//! forward pass instead of running N serial ones, so serving throughput
+//! inherits the batched-sampling win measured in `BENCH_synthesis.json`.
+//! Rejection filtering fans out over the rayon pool on its own thread,
+//! overlapping the next sampling round exactly like `SynthesisStream`.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Behaviour |
+//! |---|---|
+//! | `POST /synthesize?count=&temperature=&max_chars=&seed=&max_attempts=` | Streams accepted kernels as NDJSON (one object per kernel with its `KernelStats`, then a `"done"` summary line), `Transfer-Encoding: chunked`. |
+//! | `GET /healthz` | Liveness: backend kind and lane count. |
+//! | `GET /stats` | Aggregate throughput ([`StatsSummary`](clgen::StatsSummary)), lane occupancy, queue depth, request counters. |
+//! | `POST /shutdown` | Graceful shutdown: stop accepting, finish in-flight requests, drain the sampler core. |
+//!
+//! Backpressure: at most `queue_cap` requests wait ahead of the sampler
+//! core; beyond that `/synthesize` answers `503` with `Retry-After`.
+//!
+//! ## Determinism
+//!
+//! For a fixed checkpoint, a request's response body is byte-identical
+//! across runs and **independent of request arrival order** — candidate `i`
+//! of a request samples from a seed derived only from the request's `seed`
+//! parameter, candidates are absorbed into the response in candidate order,
+//! and the response covers a deterministic prefix of them (see the
+//! [`scheduler`] docs). The property is exercised end-to-end over real
+//! sockets in `tests/serve_roundtrip.rs`.
+//!
+//! ```no_run
+//! use clgen::TrainedModel;
+//! use clgen_serve::{Server, ServerConfig};
+//!
+//! let model = TrainedModel::load("model.ckpt").expect("checkpoint");
+//! let handle = Server::start(model, ServerConfig::default()).expect("bind");
+//! println!("serving on http://{}", handle.addr());
+//! handle.join(); // until a client POSTs /shutdown
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod scheduler;
+pub mod server;
+
+pub use scheduler::{Aggregate, ResponseEvent, SynthesisParams};
+pub use server::{Server, ServerConfig, ServerHandle};
+
+/// Default cap on candidates sampled per requested kernel when a request
+/// does not set `max_attempts` explicitly.
+pub const DEFAULT_MAX_ATTEMPTS_PER_KERNEL: usize = 64;

@@ -1,0 +1,86 @@
+//! The `clgen-serve` binary: load a `CLGENCKP` checkpoint once, serve it.
+//!
+//! ```text
+//! clgen-serve --checkpoint model.ckpt [--addr 127.0.0.1:8090] [--lanes 8] [--queue-cap 64]
+//! ```
+//!
+//! The process runs until a client sends `POST /shutdown`, then shuts down
+//! gracefully (in-flight requests finish) and exits 0.
+
+use clgen::TrainedModel;
+use clgen_serve::{Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: clgen-serve --checkpoint PATH \
+                     [--addr HOST:PORT] [--lanes N] [--queue-cap N]";
+
+fn main() -> ExitCode {
+    let mut checkpoint: Option<String> = None;
+    let mut config = ServerConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--checkpoint" => checkpoint = Some(value("--checkpoint")?),
+                "--addr" => config.addr = value("--addr")?,
+                "--lanes" => {
+                    config.lanes = value("--lanes")?
+                        .parse()
+                        .map_err(|_| "--lanes needs an integer".to_string())?;
+                    if config.lanes == 0 {
+                        return Err("--lanes must be at least 1".to_string());
+                    }
+                }
+                "--queue-cap" => {
+                    config.queue_cap = value("--queue-cap")?
+                        .parse()
+                        .map_err(|_| "--queue-cap needs an integer".to_string())?;
+                }
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+            }
+            Ok(())
+        })();
+        if let Err(message) = result {
+            eprintln!("clgen-serve: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let Some(checkpoint) = checkpoint else {
+        eprintln!("clgen-serve: --checkpoint is required\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let model = match TrainedModel::load(&checkpoint) {
+        Ok(model) => model,
+        Err(e) => {
+            eprintln!("clgen-serve: cannot load checkpoint {checkpoint:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let backend = model.backend_kind();
+    let lanes = config.lanes;
+    let handle = match Server::start(model, config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("clgen-serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "clgen-serve: listening on http://{} ({backend} backend, {lanes} lanes); \
+         POST /shutdown to stop",
+        handle.addr()
+    );
+    handle.join();
+    println!("clgen-serve: graceful shutdown complete");
+    ExitCode::SUCCESS
+}

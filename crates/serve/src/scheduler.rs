@@ -1,0 +1,512 @@
+//! The batching scheduler: one sampler core draining every request into the
+//! lanes of a single continuously-batched [`BatchEngine`] run.
+//!
+//! Connection-handler threads enqueue [`Job`]s; the sampler-core thread
+//! ([`run_sampler_core`]) owns the model and folds the candidates of every
+//! in-flight request into one shared batch, admitting new candidates into
+//! lanes the moment they free up — so N concurrent clients share one batched
+//! forward pass instead of running N serial ones. Completed candidates are
+//! handed (in sampling rounds) to a rejection-filter thread that fans out
+//! over the rayon pool, exactly like `SynthesisStream`'s pipelined filter
+//! stage, and accepted kernels stream back to each request's connection as
+//! they are absorbed.
+//!
+//! # Determinism
+//!
+//! A request's response body is a pure function of the model checkpoint and
+//! the request's own parameters, *regardless of what else the server is
+//! doing*:
+//!
+//! * candidate `i` of a request draws from the RNG stream
+//!   [`stream_seed`]`(request.seed, i)` — independent of lane assignment and
+//!   of the other requests sharing the batch (the [`BatchEngine`]
+//!   guarantee);
+//! * filter verdicts are pure functions of candidate text;
+//! * candidates are absorbed into the response in candidate order, and the
+//!   response covers exactly the candidates up to the `count`-th acceptance
+//!   (or all `max_attempts` if the target is never met) — over-dispatched
+//!   candidates beyond that deterministic cut are discarded.
+//!
+//! The scheduler may *sample* more candidates than a request's response ends
+//! up covering (lanes run ahead while earlier candidates are still in the
+//! filter); that overshoot costs throughput only, never determinism.
+
+use crate::json;
+use clgen::stream::{filter_candidate, stream_seed};
+use clgen::synthesizer::SynthesizedKernel;
+use clgen::{
+    BatchEngine, KernelStats, SampleOptions, SampledCandidate, StatsSummary, TrainedModel,
+};
+use clgen_corpus::filter::FilterConfig;
+use clgen_corpus::RejectReason;
+use rayon::prelude::*;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+/// Candidates a request may keep in flight per still-wanted kernel, beyond
+/// the ones already absorbed. Mirrors the stream pipeline's round
+/// oversubscription: it keeps lanes busy while earlier candidates filter,
+/// bounded so one request cannot monopolise the batch.
+const REQUEST_OVERSUBSCRIPTION: usize = 4;
+
+/// Parameters of one `/synthesize` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesisParams {
+    /// Accepted kernels requested.
+    pub count: usize,
+    /// Sampling temperature.
+    pub temperature: f32,
+    /// Per-candidate generated-character budget.
+    pub max_chars: usize,
+    /// Request seed: candidate `i` samples from
+    /// [`stream_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// Hard cap on candidates sampled for this request.
+    pub max_attempts: usize,
+}
+
+/// One line of a streaming synthesis response.
+#[derive(Debug)]
+pub enum ResponseEvent {
+    /// An accepted kernel (one rendered NDJSON line, no trailing newline).
+    Kernel(String),
+    /// The request is complete (the final summary NDJSON line).
+    Done(String),
+}
+
+/// A synthesis request handed to the sampler core.
+#[derive(Debug)]
+pub struct Job {
+    /// Request parameters.
+    pub params: SynthesisParams,
+    /// Where response lines are streamed.
+    pub reply: mpsc::Sender<ResponseEvent>,
+    /// Set by the connection handler when it observes the client has gone
+    /// away, so the sampler core stops spending lanes on the request even
+    /// if no acceptance (the other disconnect signal) ever happens.
+    pub cancelled: Arc<AtomicBool>,
+}
+
+/// Everything the sampler core can receive.
+pub enum SchedMsg {
+    /// A new synthesis request.
+    Job(Job),
+    /// One round of filter verdicts coming back.
+    Filtered(Vec<Filtered>),
+    /// Drain all accepted work, then exit.
+    Shutdown,
+}
+
+/// One candidate with its filter verdict.
+pub struct Filtered {
+    ticket: u64,
+    candidate: SampledCandidate,
+    verdict: Result<SynthesizedKernel, RejectReason>,
+}
+
+/// Aggregate service statistics shared with the HTTP front-end.
+#[derive(Debug, Default)]
+pub struct Aggregate {
+    /// Totals over every candidate absorbed into a response.
+    pub summary: StatsSummary,
+    /// Requests accepted onto the queue.
+    pub requests_received: u64,
+    /// Requests fully answered.
+    pub requests_completed: u64,
+    /// Requests rejected with 503 (queue full).
+    pub requests_rejected: u64,
+    /// Lanes running a candidate after the most recent round.
+    pub lanes_busy: usize,
+    /// Requests currently active in the sampler core.
+    pub active_requests: usize,
+}
+
+/// One request being served by the sampler core.
+struct ActiveRequest {
+    key: u32,
+    params: SynthesisParams,
+    reply: mpsc::Sender<ResponseEvent>,
+    /// Candidates handed to lanes so far.
+    next_dispatch: u64,
+    /// Next candidate index to fold into the response.
+    next_absorb: u64,
+    /// Filter verdicts that arrived ahead of `next_absorb`.
+    pending: HashMap<u64, (SampledCandidate, Result<SynthesizedKernel, RejectReason>)>,
+    /// Accumulation since the last accepted kernel.
+    window: KernelStats,
+    /// Request totals (drives the trailing summary line).
+    summary: StatsSummary,
+    accepted: usize,
+    /// A reply send failed (client went away mid-stream); sample no more,
+    /// absorb silently.
+    failed: bool,
+    /// Disconnect flag shared with the connection handler.
+    cancelled: Arc<AtomicBool>,
+}
+
+impl ActiveRequest {
+    /// True once nobody is listening: a reply send failed, or the handler
+    /// observed the client closing its socket.
+    fn is_abandoned(&self) -> bool {
+        self.failed || self.cancelled.load(Ordering::Relaxed)
+    }
+
+    fn wants_dispatch(&self) -> bool {
+        if self.is_abandoned()
+            || self.accepted >= self.params.count
+            || self.next_dispatch >= self.params.max_attempts as u64
+        {
+            return false;
+        }
+        let outstanding = (self.next_dispatch - self.next_absorb) as usize;
+        let wanted = self.params.count - self.accepted;
+        outstanding < wanted.saturating_mul(REQUEST_OVERSUBSCRIPTION)
+    }
+}
+
+fn ticket(key: u32, index: u64) -> u64 {
+    (u64::from(key) << 32) | index
+}
+
+fn ticket_key(ticket: u64) -> u32 {
+    (ticket >> 32) as u32
+}
+
+fn ticket_index(ticket: u64) -> u64 {
+    ticket & 0xFFFF_FFFF
+}
+
+/// Render the sorted rejection map shared by kernel lines, summary lines
+/// and the `/stats` endpoint.
+pub(crate) fn render_rejections(out: &mut String, rejected: &HashMap<RejectReason, usize>) {
+    let mut reasons: Vec<(String, usize)> = rejected
+        .iter()
+        .map(|(reason, &count)| (reason.to_string(), count))
+        .collect();
+    reasons.sort();
+    out.push('{');
+    for (i, (reason, count)) in reasons.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(out, reason);
+        out.push(':');
+        out.push_str(&count.to_string());
+    }
+    out.push('}');
+}
+
+/// Render one accepted kernel + its [`KernelStats`] as an NDJSON line.
+fn render_kernel_line(kernel: &SynthesizedKernel, stats: &KernelStats) -> String {
+    let mut line = String::with_capacity(kernel.source.len() + 128);
+    line.push_str("{\"kernel\":");
+    json::escape_into(&mut line, &kernel.source);
+    line.push_str(&format!(
+        ",\"instructions\":{},\"candidate_index\":{},\"attempts\":{},\"generated_chars\":{},\"rejected\":",
+        kernel.instructions, stats.candidate_index, stats.attempts, stats.generated_chars
+    ));
+    render_rejections(&mut line, &stats.rejected);
+    line.push('}');
+    line
+}
+
+/// Render the trailing per-request summary as an NDJSON line.
+fn render_done_line(summary: &StatsSummary, exhausted: bool) -> String {
+    let mut line = String::with_capacity(160);
+    line.push_str(&format!(
+        "{{\"done\":true,\"kernels\":{},\"attempts\":{},\"generated_chars\":{},\"exhausted\":{},\"rejected\":",
+        summary.kernels, summary.attempts, summary.generated_chars, exhausted
+    ));
+    render_rejections(&mut line, &summary.rejected);
+    line.push('}');
+    line
+}
+
+struct Scheduler {
+    rx: mpsc::Receiver<SchedMsg>,
+    filter_tx: mpsc::Sender<Vec<(u64, SampledCandidate)>>,
+    backlog: VecDeque<Job>,
+    active: Vec<ActiveRequest>,
+    queued: Arc<AtomicUsize>,
+    aggregate: Arc<Mutex<Aggregate>>,
+    seed_text: String,
+    next_key: u32,
+    rr: usize,
+    in_flight_filter: usize,
+    max_active: usize,
+    shutdown: bool,
+}
+
+impl Scheduler {
+    fn handle(&mut self, msg: SchedMsg, engine: &mut BatchEngine<'_>) {
+        match msg {
+            SchedMsg::Job(job) => self.backlog.push_back(job),
+            SchedMsg::Shutdown => self.shutdown = true,
+            SchedMsg::Filtered(batch) => {
+                self.in_flight_filter -= 1;
+                for item in batch {
+                    let key = ticket_key(item.ticket);
+                    // A request that already finished (satisfied early, or
+                    // its client went away) simply drops late verdicts.
+                    if let Some(req) = self.active.iter_mut().find(|r| r.key == key) {
+                        req.pending
+                            .insert(ticket_index(item.ticket), (item.candidate, item.verdict));
+                    }
+                }
+                self.absorb_all(engine);
+            }
+        }
+    }
+
+    /// Fold every in-order verdict of every request into its response,
+    /// completing requests that reach their target or their attempt cap.
+    /// The aggregate statistics are merged *before* the final `Done` line is
+    /// sent, so `/stats` read after a completed response reflects it.
+    fn absorb_all(&mut self, engine: &mut BatchEngine<'_>) {
+        let mut i = 0;
+        while i < self.active.len() {
+            if let Some(done_line) = Self::absorb_request(&mut self.active[i]) {
+                let req = self.active.swap_remove(i);
+                for lane in 0..engine.num_lanes() {
+                    if engine
+                        .lane_ticket(lane)
+                        .is_some_and(|t| ticket_key(t) == req.key)
+                    {
+                        engine.abort(lane);
+                    }
+                }
+                {
+                    let mut agg = self.aggregate.lock().expect("aggregate lock");
+                    agg.summary.merge_summary(&req.summary);
+                    agg.summary.merge_window(&req.window);
+                    agg.requests_completed += 1;
+                    agg.active_requests = self.active.len();
+                }
+                let _ = req.reply.send(ResponseEvent::Done(done_line));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Absorb one request's ready verdicts in candidate order. Returns the
+    /// rendered summary line once the request is complete.
+    fn absorb_request(req: &mut ActiveRequest) -> Option<String> {
+        while let Some((candidate, verdict)) = req.pending.remove(&req.next_absorb) {
+            let index = req.next_absorb;
+            req.next_absorb += 1;
+            req.window.attempts += 1;
+            req.window.generated_chars += candidate.generated_chars;
+            match verdict {
+                Ok(kernel) => {
+                    let mut stats = std::mem::take(&mut req.window);
+                    stats.candidate_index = index;
+                    let line = render_kernel_line(&kernel, &stats);
+                    req.summary.merge(&stats);
+                    req.accepted += 1;
+                    if !req.is_abandoned() && req.reply.send(ResponseEvent::Kernel(line)).is_err() {
+                        req.failed = true;
+                    }
+                    if req.accepted >= req.params.count {
+                        return Some(render_done_line(&req.summary, false));
+                    }
+                }
+                Err(reason) => {
+                    *req.window.rejected.entry(reason).or_insert(0) += 1;
+                }
+            }
+        }
+        if req.is_abandoned() && req.next_absorb >= req.next_dispatch {
+            // The client went away and every dispatched candidate has been
+            // absorbed: nothing left to stream to anyone.
+            return Some(render_done_line(&req.summary, true));
+        }
+        if req.next_absorb >= req.params.max_attempts as u64 {
+            // Attempt cap reached with the target unmet: the trailing
+            // rejected window joins the summary so every absorbed candidate
+            // is accounted.
+            req.summary.merge_window(&req.window);
+            req.window = KernelStats::default();
+            return Some(render_done_line(&req.summary, true));
+        }
+        None
+    }
+
+    /// Activate backlog jobs and refill free lanes, round-robin across
+    /// active requests so no request monopolises the batch.
+    fn admit(&mut self, engine: &mut BatchEngine<'_>) {
+        while self.active.len() < self.max_active {
+            let Some(job) = self.backlog.pop_front() else {
+                break;
+            };
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            let key = self.next_key;
+            self.next_key = self.next_key.wrapping_add(1);
+            self.active.push(ActiveRequest {
+                key,
+                params: job.params,
+                reply: job.reply,
+                cancelled: job.cancelled,
+                next_dispatch: 0,
+                next_absorb: 0,
+                pending: HashMap::new(),
+                window: KernelStats::default(),
+                summary: StatsSummary::default(),
+                accepted: 0,
+                failed: false,
+            });
+        }
+        // Reap abandoned requests (their finish condition can become true
+        // without any filter verdict arriving — e.g. a disconnect observed
+        // while nothing of theirs was in flight). This must run AFTER
+        // backlog activation: a request can arrive already-cancelled, and
+        // if it were activated after the sweep the scheduler could go to
+        // sleep holding it, with no further message ever waking it.
+        if self.active.iter().any(ActiveRequest::is_abandoned) {
+            self.absorb_all(engine);
+        }
+        'lanes: while let Some(lane) = engine.free_lane() {
+            let n = self.active.len();
+            let mut tried = 0;
+            loop {
+                if tried >= n {
+                    break 'lanes;
+                }
+                let i = self.rr % n;
+                self.rr = self.rr.wrapping_add(1);
+                tried += 1;
+                let req = &mut self.active[i];
+                if !req.wants_dispatch() {
+                    continue;
+                }
+                let index = req.next_dispatch;
+                req.next_dispatch += 1;
+                let ticket = ticket(req.key, index);
+                let options = SampleOptions {
+                    max_chars: req.params.max_chars,
+                    temperature: req.params.temperature,
+                };
+                let rng_seed = stream_seed(req.params.seed, index);
+                if let Some(done) = engine.admit(lane, ticket, &self.seed_text, options, rng_seed) {
+                    // Zero-budget candidates complete at admission; route
+                    // them through the filter like any other round.
+                    self.in_flight_filter += 1;
+                    if self.filter_tx.send(vec![(ticket, done)]).is_err() {
+                        self.in_flight_filter -= 1;
+                    }
+                }
+                continue 'lanes;
+            }
+        }
+    }
+
+    fn publish(&self, engine: &BatchEngine<'_>) {
+        let mut agg = self.aggregate.lock().expect("aggregate lock");
+        agg.lanes_busy = engine.occupied_lanes();
+        agg.active_requests = self.active.len();
+    }
+}
+
+/// Run the sampler core over `model` until shutdown: the body of the
+/// sampler-core thread spawned by the server.
+///
+/// `sched_tx` is the loop's own inbox sender, handed to the filter thread so
+/// verdicts come back through the same channel as new jobs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sampler_core(
+    model: TrainedModel,
+    lanes: usize,
+    seed_text: String,
+    filter: FilterConfig,
+    rx: mpsc::Receiver<SchedMsg>,
+    sched_tx: mpsc::Sender<SchedMsg>,
+    queued: Arc<AtomicUsize>,
+    aggregate: Arc<Mutex<Aggregate>>,
+) {
+    let (filter_tx, filter_rx) = mpsc::channel::<Vec<(u64, SampledCandidate)>>();
+    let filter_thread = std::thread::spawn(move || {
+        // Filter stage: each round fans out over the rayon pool; verdicts
+        // return to the scheduler inbox as one message per round.
+        while let Ok(batch) = filter_rx.recv() {
+            let filtered: Vec<Filtered> = batch
+                .into_par_iter()
+                .map(|(ticket, candidate)| {
+                    let verdict = filter_candidate(&filter, &candidate);
+                    Filtered {
+                        ticket,
+                        candidate,
+                        verdict,
+                    }
+                })
+                .collect();
+            if sched_tx.send(SchedMsg::Filtered(filtered)).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut streams = model.streams(lanes.max(1));
+    let mut engine = BatchEngine::new(streams.as_mut(), model.vocabulary());
+    let mut sched = Scheduler {
+        rx,
+        filter_tx,
+        backlog: VecDeque::new(),
+        active: Vec::new(),
+        queued,
+        aggregate,
+        seed_text,
+        next_key: 0,
+        rr: 0,
+        in_flight_filter: 0,
+        max_active: lanes.max(1),
+        shutdown: false,
+    };
+
+    let mut completed: Vec<(u64, SampledCandidate)> = Vec::new();
+    loop {
+        sched.admit(&mut engine);
+        if engine.occupied_lanes() == 0 {
+            let drained =
+                sched.active.is_empty() && sched.backlog.is_empty() && sched.in_flight_filter == 0;
+            sched.publish(&engine);
+            if sched.shutdown && drained {
+                break;
+            }
+            // Fully idle (or blocked on the filter): wait for input instead
+            // of spinning.
+            match sched.rx.recv() {
+                Ok(msg) => sched.handle(msg, &mut engine),
+                Err(_) => break,
+            }
+            while let Ok(msg) = sched.rx.try_recv() {
+                sched.handle(msg, &mut engine);
+            }
+            continue;
+        }
+        // Busy: poll the inbox opportunistically so arriving requests join
+        // the batch this round, then advance every lane one character.
+        while let Ok(msg) = sched.rx.try_recv() {
+            sched.handle(msg, &mut engine);
+        }
+        sched.admit(&mut engine);
+        completed.clear();
+        engine.step_into(&mut completed);
+        if !completed.is_empty() {
+            sched.in_flight_filter += 1;
+            if sched
+                .filter_tx
+                .send(std::mem::take(&mut completed))
+                .is_err()
+            {
+                // The filter thread died; nothing can complete any more.
+                break;
+            }
+        }
+        sched.publish(&engine);
+    }
+
+    // Closing the filter channel ends the filter thread's receive loop.
+    drop(sched.filter_tx);
+    let _ = filter_thread.join();
+}

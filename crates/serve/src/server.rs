@@ -1,0 +1,448 @@
+//! The HTTP front-end: accept loop, request routing, backpressure and
+//! graceful shutdown over the batching scheduler.
+
+use crate::http::{self, HttpError, Request};
+use crate::scheduler::{
+    run_sampler_core, Aggregate, Job, ResponseEvent, SchedMsg, SynthesisParams,
+};
+use crate::{json, DEFAULT_MAX_ATTEMPTS_PER_KERNEL};
+use clgen::spec::FREE_SEED;
+use clgen::TrainedModel;
+use clgen_corpus::filter::FilterConfig;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Sample-stream lanes of the shared continuously-batched run.
+    pub lanes: usize,
+    /// Maximum requests queued ahead of the sampler core; beyond it,
+    /// `/synthesize` answers `503 Service Unavailable` (backpressure).
+    pub queue_cap: usize,
+    /// Upper bound accepted for a request's `count` parameter.
+    pub max_count: usize,
+    /// Upper bound accepted for a request's `max_chars` parameter.
+    pub max_chars_cap: usize,
+    /// Upper bound accepted for a request's `max_attempts` parameter.
+    pub max_attempts_cap: usize,
+    /// Rejection-filter configuration applied to sampled candidates.
+    pub filter: FilterConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8090".to_string(),
+            lanes: 8,
+            queue_cap: 64,
+            max_count: 1024,
+            max_chars_cap: 64 * 1024,
+            max_attempts_cap: 1 << 20,
+            filter: FilterConfig {
+                use_shim: false,
+                min_instructions: 3,
+            },
+        }
+    }
+}
+
+/// State shared between the accept loop and every connection handler.
+struct Shared {
+    aggregate: Arc<Mutex<Aggregate>>,
+    queued: Arc<AtomicUsize>,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+    addr: SocketAddr,
+    backend_kind: &'static str,
+    config: ServerConfig,
+}
+
+/// The synthesis service: a model loaded once, served by one batching
+/// sampler core behind a thread-per-connection HTTP/1.1 front-end.
+pub struct Server;
+
+impl Server {
+    /// Bind, spawn the sampler core and the accept loop, and return a handle
+    /// to the running server.
+    pub fn start(model: TrainedModel, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let backend_kind = model.backend_kind();
+
+        let (sched_tx, sched_rx) = mpsc::channel::<SchedMsg>();
+        let aggregate = Arc::new(Mutex::new(Aggregate::default()));
+        let queued = Arc::new(AtomicUsize::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            aggregate: aggregate.clone(),
+            queued: queued.clone(),
+            shutdown: shutdown.clone(),
+            started: Instant::now(),
+            addr,
+            backend_kind,
+            config: config.clone(),
+        });
+
+        let core_tx = sched_tx.clone();
+        let sampler_core = thread::Builder::new()
+            .name("clgen-serve-sampler".to_string())
+            .spawn(move || {
+                run_sampler_core(
+                    model,
+                    config.lanes,
+                    FREE_SEED.to_string(),
+                    config.filter,
+                    sched_rx,
+                    core_tx,
+                    queued,
+                    aggregate,
+                )
+            })?;
+
+        let accept_shutdown = shutdown.clone();
+        let accept_thread = thread::Builder::new()
+            .name("clgen-serve-accept".to_string())
+            .spawn(move || {
+                let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let tx = sched_tx.clone();
+                    let shared = shared.clone();
+                    handlers.retain(|h| !h.is_finished());
+                    handlers.push(thread::spawn(move || handle_connection(stream, tx, shared)));
+                }
+                // Graceful shutdown: in-flight connections finish their
+                // requests (the sampler core is still running), then the
+                // core drains and exits.
+                for handler in handlers {
+                    let _ = handler.join();
+                }
+                let _ = sched_tx.send(SchedMsg::Shutdown);
+                drop(sched_tx);
+                let _ = sampler_core.join();
+            })?;
+
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Handle to a running [`Server`].
+///
+/// Dropping the handle shuts the server down gracefully (as does
+/// [`shutdown`](ServerHandle::shutdown)); [`join`](ServerHandle::join)
+/// instead blocks until something else stops it — a `POST /shutdown` from a
+/// client, typically.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Gracefully stop the server: stop accepting connections, let every
+    /// in-flight request finish, drain the sampler core, join all threads.
+    pub fn shutdown(mut self) {
+        self.trigger();
+        self.join_inner();
+    }
+
+    /// Block until the server stops (e.g. a client sent `POST /shutdown`).
+    pub fn join(mut self) {
+        self.join_inner();
+    }
+
+    fn trigger(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the blocking accept call.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn join_inner(&mut self) {
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.trigger();
+            self.join_inner();
+        }
+    }
+}
+
+/// Parse and bounds-check `/synthesize` parameters.
+fn parse_params(request: &Request, config: &ServerConfig) -> Result<SynthesisParams, String> {
+    fn parse<T: std::str::FromStr>(request: &Request, name: &str, default: T) -> Result<T, String> {
+        match request.query_param(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("parameter {name:?} is not valid: {raw:?}")),
+        }
+    }
+
+    let count: usize = parse(request, "count", 1)?;
+    if count == 0 || count > config.max_count {
+        return Err(format!("count must be in 1..={}", config.max_count));
+    }
+    let max_chars: usize = parse(request, "max_chars", 2048)?;
+    if max_chars == 0 || max_chars > config.max_chars_cap {
+        return Err(format!("max_chars must be in 1..={}", config.max_chars_cap));
+    }
+    let temperature: f32 = parse(request, "temperature", 0.9)?;
+    if !temperature.is_finite() || !(0.01..=100.0).contains(&temperature) {
+        return Err("temperature must be a finite number in 0.01..=100".to_string());
+    }
+    let seed: u64 = parse(request, "seed", 0)?;
+    let default_attempts = count
+        .saturating_mul(DEFAULT_MAX_ATTEMPTS_PER_KERNEL)
+        .min(config.max_attempts_cap);
+    let max_attempts: usize = parse(request, "max_attempts", default_attempts)?;
+    if max_attempts == 0 || max_attempts > config.max_attempts_cap {
+        return Err(format!(
+            "max_attempts must be in 1..={}",
+            config.max_attempts_cap
+        ));
+    }
+    Ok(SynthesisParams {
+        count,
+        temperature,
+        max_chars,
+        seed,
+        max_attempts,
+    })
+}
+
+fn write_json(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
+    let _ = http::write_response(stream, status, reason, "application/json", body.as_bytes());
+}
+
+fn write_error(stream: &mut TcpStream, status: u16, reason: &str, message: &str) {
+    let body = format!("{{\"error\":{}}}\n", json::escaped(message));
+    write_json(stream, status, reason, &body);
+}
+
+fn handle_connection(stream: TcpStream, tx: mpsc::Sender<SchedMsg>, shared: Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    let request = match http::read_request(&mut reader) {
+        Ok(request) => request,
+        Err(HttpError::Io(_)) | Err(HttpError::UnexpectedEof) => return,
+        Err(e) => {
+            write_error(&mut stream, 400, "Bad Request", &e.to_string());
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let body = format!(
+                "{{\"status\":\"ok\",\"backend\":{},\"lanes\":{}}}\n",
+                json::escaped(shared.backend_kind),
+                shared.config.lanes
+            );
+            write_json(&mut stream, 200, "OK", &body);
+        }
+        ("GET", "/stats") => {
+            let body = render_stats(&shared);
+            write_json(&mut stream, 200, "OK", &body);
+        }
+        ("POST", "/synthesize") => handle_synthesize(request, stream, tx, &shared),
+        ("POST", "/shutdown") => {
+            write_json(&mut stream, 200, "OK", "{\"shutting_down\":true}\n");
+            drop(stream);
+            if !shared.shutdown.swap(true, Ordering::SeqCst) {
+                // Wake the blocking accept call so the graceful-shutdown
+                // sequence starts.
+                let _ = TcpStream::connect(shared.addr);
+            }
+        }
+        (_, "/healthz" | "/stats") => {
+            write_error(&mut stream, 405, "Method Not Allowed", "use GET");
+        }
+        (_, "/synthesize" | "/shutdown") => {
+            write_error(&mut stream, 405, "Method Not Allowed", "use POST");
+        }
+        _ => write_error(&mut stream, 404, "Not Found", "unknown path"),
+    }
+}
+
+fn handle_synthesize(
+    request: Request,
+    mut stream: TcpStream,
+    tx: mpsc::Sender<SchedMsg>,
+    shared: &Shared,
+) {
+    let params = match parse_params(&request, &shared.config) {
+        Ok(params) => params,
+        Err(message) => {
+            write_error(&mut stream, 400, "Bad Request", &message);
+            return;
+        }
+    };
+
+    // Backpressure: a bounded admission queue ahead of the sampler core.
+    let depth = shared.queued.fetch_add(1, Ordering::SeqCst);
+    if depth >= shared.config.queue_cap || shared.shutdown.load(Ordering::SeqCst) {
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        shared
+            .aggregate
+            .lock()
+            .expect("aggregate lock")
+            .requests_rejected += 1;
+        let _ = http::write_response_with(
+            &mut stream,
+            503,
+            "Service Unavailable",
+            &[("Retry-After", "1")],
+            "application/json",
+            format!("{{\"error\":\"queue full\",\"queue_depth\":{depth}}}\n").as_bytes(),
+        );
+        return;
+    }
+
+    let (reply_tx, reply_rx) = mpsc::channel::<ResponseEvent>();
+    let cancelled = Arc::new(AtomicBool::new(false));
+    if tx
+        .send(SchedMsg::Job(Job {
+            params,
+            reply: reply_tx,
+            cancelled: cancelled.clone(),
+        }))
+        .is_err()
+    {
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
+        write_error(&mut stream, 503, "Service Unavailable", "server stopping");
+        return;
+    }
+    shared
+        .aggregate
+        .lock()
+        .expect("aggregate lock")
+        .requests_received += 1;
+
+    // A second handle onto the same socket, for the disconnect probe while
+    // `chunks` holds the write borrow.
+    let probe_handle = stream.try_clone();
+    let Ok(mut chunks) = http::ChunkedWriter::new(&mut stream, 200, "OK", "application/x-ndjson")
+    else {
+        cancelled.store(true, Ordering::Relaxed);
+        return;
+    };
+    loop {
+        match reply_rx.recv_timeout(Duration::from_millis(500)) {
+            Ok(ResponseEvent::Kernel(line)) => {
+                if chunks.chunk(format!("{line}\n").as_bytes()).is_err() {
+                    // Client went away mid-stream: tell the scheduler to
+                    // stop sampling for this request.
+                    cancelled.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Ok(ResponseEvent::Done(line)) => {
+                let _ = chunks.chunk(format!("{line}\n").as_bytes());
+                let _ = chunks.finish();
+                return;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Nothing accepted recently, so a vanished client would go
+                // unnoticed by failing sends alone — probe the socket for
+                // EOF so the sampler core stops spending lanes on it.
+                if probe_handle.as_ref().is_ok_and(client_disconnected) {
+                    cancelled.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Scheduler went away without completing the request.
+                let _ = chunks.finish();
+                return;
+            }
+        }
+    }
+}
+
+/// True if the client's socket is gone: clean EOF (orderly close) or a hard
+/// connection error (a client that closed with our response head unread
+/// resets the connection, so reads yield `ECONNRESET`, not EOF). The request
+/// is fully read and clients do not pipeline (`Connection: close`), so
+/// `WouldBlock` is the only state that counts as alive.
+fn client_disconnected(stream: &TcpStream) -> bool {
+    use std::io::Read;
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let disconnected = match (&mut (&*stream)).read(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => e.kind() != io::ErrorKind::WouldBlock,
+    };
+    let _ = stream.set_nonblocking(false);
+    disconnected
+}
+
+fn render_stats(shared: &Shared) -> String {
+    let queue_depth = shared.queued.load(Ordering::SeqCst);
+    let agg = shared.aggregate.lock().expect("aggregate lock");
+    let elapsed = shared.started.elapsed().as_secs_f64().max(1e-9);
+    let mut rejected_json = String::new();
+    crate::scheduler::render_rejections(&mut rejected_json, &agg.summary.rejected);
+    format!(
+        concat!(
+            "{{\"backend\":{backend},\"uptime_seconds\":{uptime:.3},",
+            "\"lanes\":{lanes},\"lanes_busy\":{lanes_busy},",
+            "\"queue_depth\":{queue_depth},\"queue_cap\":{queue_cap},",
+            "\"active_requests\":{active},",
+            "\"requests\":{{\"received\":{received},\"completed\":{completed},\"rejected_503\":{rejected}}},",
+            "\"sampling\":{{\"kernels\":{kernels},\"attempts\":{attempts},",
+            "\"generated_chars\":{chars},\"acceptance_rate\":{rate:.4},",
+            "\"chars_per_sec\":{cps:.0}}},",
+            "\"rejections\":{rejections}}}\n"
+        ),
+        backend = json::escaped(shared.backend_kind),
+        uptime = elapsed,
+        lanes = shared.config.lanes,
+        lanes_busy = agg.lanes_busy,
+        queue_depth = queue_depth,
+        queue_cap = shared.config.queue_cap,
+        active = agg.active_requests,
+        received = agg.requests_received,
+        completed = agg.requests_completed,
+        rejected = agg.requests_rejected,
+        kernels = agg.summary.kernels,
+        attempts = agg.summary.attempts,
+        chars = agg.summary.generated_chars,
+        rate = agg.summary.acceptance_rate(),
+        cps = agg.summary.generated_chars as f64 / elapsed,
+        rejections = rejected_json,
+    )
+}

@@ -1,0 +1,99 @@
+//! The synthesis service, end to end: train a model, save its checkpoint,
+//! serve it over a real socket, and drive the endpoints as a client.
+//!
+//! Run modes:
+//!
+//! ```bash
+//! # everything in one process (train, checkpoint, serve on an ephemeral
+//! # port, client round trips, graceful shutdown):
+//! cargo run --release --example serve_roundtrip
+//!
+//! # train + save a checkpoint only — CI uses this to produce the model the
+//! # standalone `clgen-serve` binary then boots in the background:
+//! cargo run --release --example serve_roundtrip -- train /tmp/model.ckpt
+//! ```
+
+use clgen_repro::clgen::{ClgenBuilder, ClgenOptions, TrainedModel};
+use clgen_repro::clgen_serve::{client, json, Server, ServerConfig, SynthesisParams};
+use std::process::ExitCode;
+
+fn train() -> TrainedModel {
+    let mut options = ClgenOptions::small(2017);
+    options.corpus.miner.repositories = 40;
+    println!("building corpus and training the model...");
+    ClgenBuilder::with_options(options)
+        .build_corpus()
+        .expect("corpus construction failed")
+        .train()
+        .expect("model training failed")
+}
+
+fn roundtrip() -> ExitCode {
+    // Stage 1-2: train once, persist, reload — the server always boots from
+    // a checkpoint, never from an in-process model.
+    let path = std::env::temp_dir().join(format!("clgen-serve-demo-{}.ckpt", std::process::id()));
+    train().save(&path).expect("checkpoint save failed");
+    let model = TrainedModel::load(&path).expect("checkpoint load failed");
+    std::fs::remove_file(&path).ok();
+
+    // Stage 3: serve it.
+    let handle = Server::start(
+        model,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start failed");
+    let addr = handle.addr();
+    println!("serving on http://{addr}");
+
+    let health = client::get(addr, "/healthz").expect("healthz failed");
+    println!("GET /healthz -> {} {}", health.status, health.text().trim());
+
+    let reply = client::synthesize(
+        addr,
+        &SynthesisParams {
+            count: 2,
+            temperature: 0.8,
+            max_chars: 512,
+            seed: 7,
+            max_attempts: 192,
+        },
+    )
+    .expect("synthesize failed");
+    println!(
+        "POST /synthesize -> {} ({} lines)",
+        reply.status,
+        reply.lines().len()
+    );
+    for line in reply.lines() {
+        match json::extract_str(&line, "kernel") {
+            Some(kernel) => println!("--- accepted kernel ---\n{kernel}"),
+            None => println!("summary: {line}"),
+        }
+    }
+
+    let stats = client::get(addr, "/stats").expect("stats failed");
+    println!("GET /stats -> {}", stats.text().trim());
+
+    handle.shutdown();
+    println!("OK: graceful shutdown complete");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => roundtrip(),
+        [mode, ckpt] if mode == "train" => {
+            train().save(ckpt).expect("checkpoint save failed");
+            println!("saved checkpoint to {ckpt}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: serve_roundtrip [train <checkpoint>]");
+            ExitCode::FAILURE
+        }
+    }
+}
