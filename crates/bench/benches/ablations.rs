@@ -29,6 +29,7 @@ fn bench_ablations(c: &mut Criterion) {
             decay_every: 2,
             unroll: 32,
             clip_norm: 5.0,
+            batch_size: 1,
         },
     };
     let mut lstm_clgen = Clgen::try_new(lstm_options).expect("pipeline");

@@ -2,9 +2,9 @@
 //! test scale, and n-gram table construction, over the same corpus text.
 
 use clgen_corpus::{Corpus, CorpusOptions, Vocabulary};
-use clgen_neural::lstm::{LstmConfig, LstmModel};
+use clgen_neural::lstm::{BatchState, LstmConfig, LstmModel};
 use clgen_neural::ngram::{NgramConfig, NgramModel};
-use clgen_neural::train::{train_chunk, train_chunk_ws};
+use clgen_neural::train::{train_chunk, train_chunk_batch, train_chunk_ws};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_training(c: &mut Criterion) {
@@ -45,6 +45,33 @@ fn bench_training(c: &mut Criterion) {
             let targets = &chunk[1..65];
             train_chunk_ws(
                 &mut model, &mut state, inputs, targets, 0.01, 5.0, &mut ws, &mut grads,
+            )
+        })
+    });
+    c.bench_function("lstm/bptt_chunk_batch8_64x2_h64", |b| {
+        // The same unrolled chunk across 8 parallel streams through the
+        // lane-blocked minibatch kernels; compare per-character cost against
+        // the serial chunk above (8x the characters per call).
+        let mut model = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: 64,
+            num_layers: 2,
+            seed: 1,
+        });
+        let width = 8;
+        let mut bs = BatchState::new(&model.config, width);
+        let mut tb = model.train_batch(width);
+        let mut grads = model.zero_gradients();
+        let ch = &chunk;
+        let inputs: Vec<u32> = (0..64)
+            .flat_map(|t| (0..width).map(move |lane| ch[(t + 3 * lane) % 255]))
+            .collect();
+        let targets: Vec<u32> = (0..64)
+            .flat_map(|t| (0..width).map(move |lane| ch[(t + 3 * lane + 1) % 255]))
+            .collect();
+        b.iter(|| {
+            train_chunk_batch(
+                &mut model, &mut bs, &inputs, &targets, 0.01, 40.0, &mut tb, &mut grads,
             )
         })
     });

@@ -1,0 +1,197 @@
+//! Record LSTM training-throughput measurements to `BENCH_training.json`.
+//!
+//! Measures characters-per-second of truncated-BPTT training through the
+//! serial reference path (`TrainConfig::batch_size == 1`, one
+//! `train_chunk_ws` per chunk) and the minibatched path (`train_minibatch`
+//! at B ∈ {1, 4, 8}, lane-blocked GEMM kernels forward *and* backward) on
+//! the small LSTM configuration (64 hidden units x 2 layers —
+//! `LstmConfig::small`) over a synthetic OpenCL-flavoured corpus. Run from
+//! the workspace root with:
+//!
+//! ```text
+//! cargo run --release -p clgen-bench --bin record_training [-- --quick]
+//! ```
+//!
+//! Every run starts from identically-seeded weights and trains for the same
+//! number of epochs, so the paths do the same number of passes over the same
+//! characters; each records its final validation loss (`evaluate` over the
+//! corpus) alongside throughput, making the speedups loss-matched rather
+//! than work-shirking. Minibatch B=1 is bitwise identical to serial by
+//! construction (see `crates/neural/tests/batched_training.rs`), so its row
+//! doubles as a sanity check that the batched machinery adds no overhead
+//! beyond noise. `--quick` shrinks the corpus and epoch count to smoke-test
+//! the recorder in CI.
+
+use clgen_corpus::Vocabulary;
+use clgen_neural::lstm::{LstmConfig, LstmModel};
+use clgen_neural::train::{evaluate, train, train_minibatch, TrainConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const KERNEL_TEXT: &str = "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {\n  int e = get_global_id(0);\n  if (e < d) {\n    c[e] = a[e] + b[e] * 2.0f;\n  }\n}\n";
+
+#[derive(Clone)]
+struct Measurement {
+    batch: usize,
+    chars: usize,
+    seconds: f64,
+    final_loss: f32,
+}
+
+impl Measurement {
+    fn chars_per_sec(&self) -> f64 {
+        self.chars as f64 / self.seconds
+    }
+}
+
+fn fresh_model(vocab: usize) -> LstmModel {
+    LstmModel::new(LstmConfig::small(vocab))
+}
+
+/// Train once from fresh identically-seeded weights, timing the run.
+fn run_once(data: &[u32], vocab: usize, tc: &TrainConfig, force_minibatch: bool) -> Measurement {
+    let mut model = fresh_model(vocab);
+    let start = Instant::now();
+    let reports = if force_minibatch {
+        train_minibatch(&mut model, data, tc, None)
+    } else {
+        train(&mut model, data, tc, None)
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        batch: tc.batch_size,
+        chars: reports.iter().map(|r| r.characters).sum(),
+        seconds,
+        final_loss: evaluate(&model, data),
+    }
+}
+
+/// Keep the faster of two timed runs of the same configuration. Training is
+/// deterministic (same seed, same schedule), so every repetition produces
+/// the same weights and loss; only wall-clock varies with machine noise,
+/// and the fastest run is the least perturbed measurement.
+fn keep_best(slot: &mut Option<Measurement>, m: Measurement) {
+    match slot {
+        Some(best) if best.seconds <= m.seconds => {}
+        _ => *slot = Some(m),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let repeats = if quick { 20 } else { 220 };
+    let text = KERNEL_TEXT.repeat(repeats);
+    let vocab = Vocabulary::from_text(&text);
+    let data = vocab.encode(&text);
+    let serial_config = TrainConfig {
+        epochs: if quick { 1 } else { 6 },
+        learning_rate: 0.02,
+        decay_factor: 0.5,
+        decay_every: 5,
+        unroll: 64,
+        clip_norm: 5.0,
+        batch_size: 1,
+    };
+    let model_config = LstmConfig::small(vocab.len());
+
+    // Warm-up (page in weights, stabilise clocks).
+    {
+        let warm = TrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            ..serial_config
+        };
+        let mut model = fresh_model(vocab.len());
+        train(&mut model, &data[..data.len().min(2048)], &warm, None);
+    }
+
+    // Whole suites are interleaved (serial, B=1, B=4, B=8, repeat) rather
+    // than repeating each configuration back to back, so no path
+    // systematically enjoys the cold-start clock boost of a single-core
+    // machine; each configuration keeps its fastest run.
+    let reps = if quick { 1 } else { 2 };
+    let mut serial_best: Option<Measurement> = None;
+    let mut batched_best: Vec<Option<Measurement>> = vec![None; 3];
+    for _ in 0..reps {
+        keep_best(
+            &mut serial_best,
+            run_once(&data, vocab.len(), &serial_config, false),
+        );
+        for (slot, &b) in batched_best.iter_mut().zip([1usize, 4, 8].iter()) {
+            // Gradients are summed over the B parallel streams, so the
+            // global-norm clip budget scales with B: each stream keeps the
+            // same effective step size as the serial run, which is what
+            // makes the comparison loss-matched rather than step-starved.
+            let tc = TrainConfig {
+                batch_size: b,
+                clip_norm: serial_config.clip_norm * b as f32,
+                ..serial_config
+            };
+            keep_best(slot, run_once(&data, vocab.len(), &tc, true));
+        }
+    }
+    let serial = serial_best.expect("serial measured");
+    let batched: Vec<Measurement> = batched_best
+        .into_iter()
+        .map(|m| m.expect("batched measured"))
+        .collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    writeln!(json, "  \"benchmark\": \"training_throughput\",").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
+    writeln!(
+        json,
+        "  \"config\": {{\"hidden_size\": {}, \"num_layers\": {}, \"vocab_size\": {}, \"corpus_chars\": {}, \"epochs\": {}, \"unroll\": {}, \"learning_rate\": {}}},",
+        model_config.hidden_size,
+        model_config.num_layers,
+        vocab.len(),
+        data.len(),
+        serial_config.epochs,
+        serial_config.unroll,
+        serial_config.learning_rate
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"serial\": {{\"chars\": {}, \"seconds\": {:.4}, \"chars_per_sec\": {:.0}, \"final_loss\": {:.4}}},",
+        serial.chars,
+        serial.seconds,
+        serial.chars_per_sec(),
+        serial.final_loss
+    )
+    .unwrap();
+    json.push_str("  \"batched\": [\n");
+    for (i, m) in batched.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"batch\": {}, \"chars\": {}, \"seconds\": {:.4}, \"chars_per_sec\": {:.0}, \"speedup_vs_serial\": {:.2}, \"final_loss\": {:.4}}}{}",
+            m.batch,
+            m.chars,
+            m.seconds,
+            m.chars_per_sec(),
+            m.chars_per_sec() / serial.chars_per_sec(),
+            m.final_loss,
+            if i + 1 == batched.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_training.json", &json).expect("write BENCH_training.json");
+    println!("{json}");
+    println!(
+        "serial  : {:>10.0} chars/sec  (loss {:.4})",
+        serial.chars_per_sec(),
+        serial.final_loss
+    );
+    for m in &batched {
+        println!(
+            "batch {:>2}: {:>10.0} chars/sec  ({:.2}x serial, loss {:.4})",
+            m.batch,
+            m.chars_per_sec(),
+            m.chars_per_sec() / serial.chars_per_sec(),
+            m.final_loss
+        );
+    }
+}

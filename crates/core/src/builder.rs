@@ -23,7 +23,7 @@ use crate::synthesizer::{ClgenOptions, ModelBackend};
 use clgen_corpus::{Corpus, CorpusOptions, Vocabulary};
 use clgen_neural::lstm::{LstmConfig, LstmModel};
 use clgen_neural::ngram::NgramModel;
-use clgen_neural::train::train;
+use clgen_neural::train::{train, EpochReport};
 use clgen_neural::{LanguageModelBackend, StatefulLstm};
 use clgen_wire::{Decoder, Encoder, WireError};
 use std::path::Path;
@@ -158,12 +158,39 @@ impl CorpusStage {
         backend: &ModelBackend,
         seed: u64,
     ) -> Result<TrainedModel, ClgenError> {
+        self.train_backend_with_progress(backend, seed, None)
+    }
+
+    /// [`train_backend`](CorpusStage::train_backend) with a per-epoch
+    /// progress callback: each LSTM [`EpochReport`] (loss, learning rate,
+    /// characters, wall-clock seconds and chars/sec throughput) is delivered
+    /// as it is produced, so long paper-scale runs can log or checkpoint as
+    /// they go. The n-gram backend trains in one shot and reports nothing.
+    ///
+    /// An invalid [`clgen_neural::TrainConfig`] (zero epochs, unroll, decay
+    /// interval or batch size) or a corpus too short for the requested
+    /// stream count is a typed [`ClgenError::InvalidConfig`], never a panic
+    /// or a hang.
+    pub fn train_backend_with_progress(
+        &self,
+        backend: &ModelBackend,
+        seed: u64,
+        on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
+    ) -> Result<TrainedModel, ClgenError> {
         let trained: Box<dyn LanguageModelBackend> = match backend {
             ModelBackend::Lstm {
                 hidden_size,
                 num_layers,
                 train: tc,
             } => {
+                tc.validate()
+                    .map_err(|what| ClgenError::InvalidConfig { what })?;
+                if self.encoded.len() <= tc.batch_size {
+                    return Err(ClgenError::InvalidConfig {
+                        what: "training corpus is too short for the requested batch size \
+                               (each stream needs at least one input/target transition)",
+                    });
+                }
                 let config = LstmConfig {
                     vocab_size: self.vocab.len(),
                     hidden_size: *hidden_size,
@@ -171,7 +198,7 @@ impl CorpusStage {
                     seed,
                 };
                 let mut lstm = LstmModel::new(config);
-                train(&mut lstm, &self.encoded, tc, None);
+                train(&mut lstm, &self.encoded, tc, on_epoch);
                 Box::new(StatefulLstm::new(lstm))
             }
             ModelBackend::Ngram(config) => {
@@ -276,6 +303,82 @@ mod tests {
     }
 
     #[test]
+    fn invalid_train_configs_are_typed_errors_not_hangs() {
+        let stage = ClgenBuilder::with_options(ClgenOptions::small(29))
+            .build_corpus()
+            .unwrap();
+        let base = clgen_neural::TrainConfig {
+            epochs: 1,
+            learning_rate: 0.05,
+            decay_factor: 0.9,
+            decay_every: 2,
+            unroll: 16,
+            clip_norm: 5.0,
+            batch_size: 1,
+        };
+        let broken = [
+            clgen_neural::TrainConfig { epochs: 0, ..base },
+            clgen_neural::TrainConfig { unroll: 0, ..base },
+            clgen_neural::TrainConfig {
+                decay_every: 0,
+                ..base
+            },
+            clgen_neural::TrainConfig {
+                batch_size: 0,
+                ..base
+            },
+            // A batch wider than the corpus has streams with nothing to
+            // learn from.
+            clgen_neural::TrainConfig {
+                batch_size: usize::MAX,
+                ..base
+            },
+        ];
+        for tc in broken {
+            let backend = ModelBackend::Lstm {
+                hidden_size: 8,
+                num_layers: 1,
+                train: tc,
+            };
+            assert!(
+                matches!(
+                    stage.train_backend(&backend, 1),
+                    Err(ClgenError::InvalidConfig { .. })
+                ),
+                "config {tc:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn training_progress_reports_throughput() {
+        let stage = ClgenBuilder::with_options(ClgenOptions::small(37))
+            .build_corpus()
+            .unwrap();
+        let backend = ModelBackend::Lstm {
+            hidden_size: 8,
+            num_layers: 1,
+            train: clgen_neural::TrainConfig {
+                epochs: 2,
+                learning_rate: 0.05,
+                decay_factor: 0.9,
+                decay_every: 2,
+                unroll: 16,
+                clip_norm: 5.0,
+                batch_size: 4,
+            },
+        };
+        let mut reports = Vec::new();
+        let mut cb = |r: &EpochReport| reports.push(*r);
+        stage
+            .train_backend_with_progress(&backend, 7, Some(&mut cb))
+            .expect("training succeeds");
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.chars_per_sec > 0.0));
+        assert!(reports.iter().all(|r| r.characters > 0));
+    }
+
+    #[test]
     fn one_corpus_stage_trains_multiple_backends() {
         let stage = ClgenBuilder::with_options(ClgenOptions::small(31))
             .build_corpus()
@@ -294,6 +397,7 @@ mod tests {
                         decay_every: 2,
                         unroll: 16,
                         clip_norm: 5.0,
+                        batch_size: 1,
                     },
                 },
                 31,

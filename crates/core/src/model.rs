@@ -68,6 +68,18 @@ impl TrainedModel {
         Ok(TrainedModel { vocab, backend })
     }
 
+    /// Wrap a raw LSTM (e.g. one resumed from a
+    /// [`clgen_neural::TrainSnapshot`] mid-training checkpoint) into a
+    /// sample-ready pipeline artifact. The vocabulary must be the one the
+    /// model was trained over — ids are matched by size here and by content
+    /// nowhere, exactly like any other [`TrainedModel::from_parts`] call.
+    pub fn from_lstm(
+        vocab: Vocabulary,
+        model: clgen_neural::lstm::LstmModel,
+    ) -> Result<TrainedModel, ClgenError> {
+        TrainedModel::from_parts(vocab, Box::new(clgen_neural::StatefulLstm::new(model)))
+    }
+
     /// The character vocabulary the model predicts over.
     pub fn vocabulary(&self) -> &Vocabulary {
         &self.vocab

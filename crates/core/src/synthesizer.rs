@@ -506,6 +506,7 @@ mod tests {
                 decay_every: 2,
                 unroll: 32,
                 clip_norm: 5.0,
+                batch_size: 1,
             },
         };
         options.sample.max_chars = 200;

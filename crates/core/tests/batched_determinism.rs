@@ -173,6 +173,7 @@ fn synthesize_batched_lstm_backend_runs() {
             decay_every: 2,
             unroll: 32,
             clip_norm: 5.0,
+            batch_size: 1,
         },
     };
     options.sample.max_chars = 150;

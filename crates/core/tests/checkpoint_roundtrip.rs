@@ -129,6 +129,7 @@ fn trained_models_roundtrip_through_files() {
                 decay_every: 2,
                 unroll: 24,
                 clip_norm: 5.0,
+                batch_size: 1,
             },
         },
     ];

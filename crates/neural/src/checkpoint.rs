@@ -15,6 +15,7 @@
 use crate::lstm::{LstmConfig, LstmLayer, LstmModel};
 use crate::ngram::{NgramConfig, NgramModel, NgramTable};
 use crate::tensor::Matrix;
+use crate::train::TrainSnapshot;
 use clgen_wire::{Decoder, Encoder, WireError};
 
 /// Checkpoint tag of the LSTM backend.
@@ -26,6 +27,11 @@ pub const NGRAM_KIND: &str = "ngram";
 pub const LSTM_WEIGHTS_VERSION: u32 = 1;
 /// Current version of the n-gram weight block.
 pub const NGRAM_WEIGHTS_VERSION: u32 = 1;
+
+/// Magic header of a mid-training snapshot.
+pub const TRAIN_SNAPSHOT_MAGIC: &str = "CLGENTSN";
+/// Current version of the training snapshot container.
+pub const TRAIN_SNAPSHOT_VERSION: u32 = 1;
 
 fn encode_matrix(m: &Matrix, enc: &mut Encoder) {
     enc.usize(m.rows());
@@ -124,6 +130,30 @@ pub fn decode_lstm(dec: &mut Decoder<'_>) -> Result<LstmModel, WireError> {
         w_out,
         b_out,
     })
+}
+
+/// Encode a resumable mid-training snapshot: magic, container version, the
+/// schedule position, then the full LSTM weight block (bit-exact).
+pub fn encode_train_snapshot(snapshot: &TrainSnapshot, enc: &mut Encoder) {
+    enc.magic(TRAIN_SNAPSHOT_MAGIC);
+    enc.u32(TRAIN_SNAPSHOT_VERSION);
+    enc.usize(snapshot.next_epoch);
+    encode_lstm(&snapshot.model, enc);
+}
+
+/// Decode a snapshot written by [`encode_train_snapshot`].
+pub fn decode_train_snapshot(dec: &mut Decoder<'_>) -> Result<TrainSnapshot, WireError> {
+    dec.magic(TRAIN_SNAPSHOT_MAGIC)?;
+    let version = dec.u32()?;
+    if version != TRAIN_SNAPSHOT_VERSION {
+        return Err(WireError::UnsupportedVersion {
+            found: version,
+            supported: TRAIN_SNAPSHOT_VERSION,
+        });
+    }
+    let next_epoch = dec.usize("snapshot epoch")?;
+    let model = decode_lstm(dec)?;
+    Ok(TrainSnapshot { model, next_epoch })
 }
 
 /// Encode an n-gram model's count tables (versioned). Contexts are written in

@@ -39,6 +39,9 @@ pub use lm::{
     argmax, sample_distribution, sample_distribution_with, ClonedStreams, LanguageModel,
     LstmStreams, NgramStreams, StatefulLstm, StreamBatch,
 };
-pub use lstm::{BatchState, LstmConfig, LstmModel, Workspace};
+pub use lstm::{BatchState, BatchStepCache, LstmConfig, LstmModel, TrainBatch, Workspace};
 pub use ngram::{NgramConfig, NgramModel};
-pub use train::{evaluate, train, EpochReport, TrainConfig};
+pub use train::{
+    evaluate, train, train_chunk_batch, train_minibatch, train_range, EpochReport, TrainConfig,
+    TrainSnapshot,
+};

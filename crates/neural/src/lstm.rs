@@ -7,7 +7,8 @@
 //! forward pass doubles as the sampling engine used by the synthesizer.
 
 use crate::tensor::{
-    fast_tanh, lstm_cell_cached, lstm_cell_fused_batch, sigmoid, softmax_in_place, Matrix,
+    fast_tanh, lstm_cell_cached, lstm_cell_cached_batch, lstm_cell_fused_batch, sigmoid,
+    softmax_in_place, Matrix,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -250,6 +251,261 @@ impl BpttScratch {
         self.dh.resize(hs, 0.0);
         self.dz.resize(4 * hs, 0.0);
         self.dc_prev.resize(hs, 0.0);
+    }
+}
+
+/// Per-timestep activations of a whole training minibatch, cached for the
+/// batched backward pass. The batch-wide analogue of [`StepCache`].
+///
+/// Buffers consumed element-wise by the backward pass (gate activations,
+/// `tanh(c)`, the previous cell state) are lane-interleaved like
+/// [`BatchState`], so the forward pass writes them with no gather or
+/// scatter. Buffers consumed as the right-hand side of batched outer
+/// products (previous hidden states, layer inputs, the top hidden state)
+/// are cached **lane-major** — each lane's vector contiguous — because that
+/// is the layout [`Matrix::add_outer_batch`] turns into a reduction-free
+/// vectorised AXPY; the forward pass pays one cheap transposing copy per
+/// buffer per step for it.
+#[derive(Debug, Clone)]
+pub struct BatchStepCache {
+    /// Layer inputs for layers above 0 (`H` per lane, lane-major). Layer 0
+    /// reads the one-hot ids in `input_ids`, so its slot stays empty.
+    input_lanes: Vec<Vec<f32>>,
+    /// Input gate activations per layer (interleaved).
+    i: Vec<Vec<f32>>,
+    /// Forget gate activations per layer (interleaved).
+    f: Vec<Vec<f32>>,
+    /// Candidate cell activations per layer (interleaved).
+    g: Vec<Vec<f32>>,
+    /// Output gate activations per layer (interleaved).
+    o: Vec<Vec<f32>>,
+    /// `tanh(c)` per layer (interleaved).
+    tanh_c: Vec<Vec<f32>>,
+    /// Previous cell state per layer (interleaved).
+    c_prev: Vec<Vec<f32>>,
+    /// Previous hidden state per layer (lane-major).
+    h_prev_lanes: Vec<Vec<f32>>,
+    /// New top-layer hidden state (lane-major), the output projection's
+    /// gradient operand.
+    h_top_lanes: Vec<f32>,
+    /// Input character id per lane at this step.
+    input_ids: Vec<u32>,
+}
+
+impl BatchStepCache {
+    /// An empty cache; [`BatchStepCache::ensure_shape`] sizes it.
+    pub fn empty() -> BatchStepCache {
+        BatchStepCache {
+            input_lanes: Vec::new(),
+            i: Vec::new(),
+            f: Vec::new(),
+            g: Vec::new(),
+            o: Vec::new(),
+            tanh_c: Vec::new(),
+            c_prev: Vec::new(),
+            h_prev_lanes: Vec::new(),
+            h_top_lanes: Vec::new(),
+            input_ids: Vec::new(),
+        }
+    }
+
+    /// Resize every buffer for a `config`-shaped model at `width` lanes
+    /// (idempotent), so caches can be reused across timesteps and chunks
+    /// without reallocating.
+    pub fn ensure_shape(&mut self, config: &LstmConfig, width: usize) {
+        let len = config.hidden_size * width;
+        let layers = config.num_layers;
+        let fit = |bufs: &mut Vec<Vec<f32>>| {
+            bufs.resize_with(layers, Vec::new);
+            for buf in bufs.iter_mut() {
+                buf.resize(len, 0.0);
+            }
+        };
+        self.input_lanes.resize_with(layers, Vec::new);
+        self.input_lanes[0].clear();
+        for buf in self.input_lanes.iter_mut().skip(1) {
+            buf.resize(len, 0.0);
+        }
+        for bufs in [
+            &mut self.i,
+            &mut self.f,
+            &mut self.g,
+            &mut self.o,
+            &mut self.tanh_c,
+            &mut self.c_prev,
+            &mut self.h_prev_lanes,
+        ] {
+            fit(bufs);
+        }
+        self.h_top_lanes.resize(len, 0.0);
+        self.input_ids.resize(width, 0);
+    }
+}
+
+/// Transposing copy from the lane-interleaved layout (element `j` of lane
+/// `b` at `j * width + b`) to lane-major (lane `b`'s vector contiguous at
+/// `b * hs..`). At `width == 1` the layouts coincide and this is a plain
+/// copy.
+fn interleaved_to_lanes(src: &[f32], width: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    if width <= 1 {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let hs = src.len() / width;
+    for (b, out) in dst.chunks_exact_mut(hs).enumerate() {
+        for (j, v) in out.iter_mut().enumerate() {
+            *v = src[j * width + b];
+        }
+    }
+}
+
+/// Backpropagation scratch for a whole minibatch (one set per
+/// [`TrainBatch`]); every buffer is the lane-interleaved widening of its
+/// [`BpttScratch`] counterpart.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BatchBpttScratch {
+    /// Per-layer gradient flowing into the next-older hidden state.
+    dh_next: Vec<Vec<f32>>,
+    /// Per-layer gradient flowing into the next-older cell state.
+    dc_next: Vec<Vec<f32>>,
+    dlogits: Vec<f32>,
+    dh_above: Vec<f32>,
+    dh: Vec<f32>,
+    dz: Vec<f32>,
+    dc_prev: Vec<f32>,
+}
+
+impl BatchBpttScratch {
+    fn ensure_shape(&mut self, config: &LstmConfig, width: usize) {
+        let len = config.hidden_size * width;
+        for bufs in [&mut self.dh_next, &mut self.dc_next] {
+            bufs.resize_with(config.num_layers, Vec::new);
+            for buf in bufs.iter_mut() {
+                buf.resize(len, 0.0);
+            }
+        }
+        self.dlogits.resize(config.vocab_size * width, 0.0);
+        self.dh_above.resize(len, 0.0);
+        self.dh.resize(len, 0.0);
+        self.dz.resize(4 * len, 0.0);
+        self.dc_prev.resize(len, 0.0);
+    }
+}
+
+/// Preallocated scratch for minibatched truncated-BPTT training: the
+/// training-side mirror of [`Workspace`], sized for a fixed lane width.
+///
+/// A `TrainBatch` owns everything one batched BPTT chunk would otherwise
+/// allocate: the interleaved gate and logit buffers, a pool of per-timestep
+/// [`BatchStepCache`]s, per-timestep softmax outputs, and the batched
+/// backpropagation scratch. Create one with [`LstmModel::train_batch`] and
+/// reuse it across every chunk of every epoch; steady-state minibatch
+/// training performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct TrainBatch {
+    config: LstmConfig,
+    width: usize,
+    /// Gate pre-activations, `4H` rows of `width` interleaved lanes.
+    z: Vec<f32>,
+    /// Output logits, `V x width` (lane-interleaved).
+    logits: Vec<f32>,
+    /// Transposed layer-0 input weights (`V x 4H`), so the one-hot
+    /// embedding add reads a contiguous row per lane. Weights move every
+    /// chunk, so [`TrainBatch::rebuild_embed`] refreshes this at each chunk
+    /// start — the rebuild is amortised over `unroll * width` steps.
+    pub(crate) embed_t: Vec<f32>,
+    /// Reusable per-timestep activation caches.
+    pub(crate) caches: Vec<BatchStepCache>,
+    /// Per-timestep softmax outputs, batch-major: lane `b` of step `t` at
+    /// `step_probs[t][b*V..(b+1)*V]`.
+    pub(crate) step_probs: Vec<Vec<f32>>,
+    /// Batched backpropagation scratch.
+    pub(crate) bptt: BatchBpttScratch,
+}
+
+impl TrainBatch {
+    /// A training scratch for `config` at `width` parallel streams.
+    pub fn new(config: &LstmConfig, width: usize) -> TrainBatch {
+        let width = width.max(1);
+        TrainBatch {
+            config: *config,
+            width,
+            z: vec![0.0; 4 * config.hidden_size * width],
+            logits: vec![0.0; config.vocab_size * width],
+            embed_t: Vec::new(),
+            caches: Vec::new(),
+            step_probs: Vec::new(),
+            bptt: BatchBpttScratch::default(),
+        }
+    }
+
+    /// Number of parallel training streams this scratch serves.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Refresh the transposed layer-0 embedding cache from `model`'s
+    /// current weights. Call after every weight update (the chunk driver
+    /// does); the cached rows are exact bit copies, so the embedding add
+    /// stays bitwise identical to reading the weight column directly.
+    pub(crate) fn rebuild_embed(&mut self, model: &LstmModel) {
+        let hs4 = 4 * self.config.hidden_size;
+        let nv = self.config.vocab_size;
+        self.embed_t.resize(nv * hs4, 0.0);
+        let w_x = &model.layers[0].w_x;
+        for r in 0..hs4 {
+            let row = w_x.row(r);
+            for (col, &w) in row.iter().enumerate() {
+                self.embed_t[col * hs4 + r] = w;
+            }
+        }
+    }
+
+    /// Grow the per-timestep cache pool to at least `steps` timesteps.
+    pub(crate) fn ensure_steps(&mut self, steps: usize) {
+        let (config, width) = (self.config, self.width);
+        if self.caches.len() < steps {
+            self.caches.resize_with(steps, BatchStepCache::empty);
+        }
+        for cache in self.caches.iter_mut().take(steps) {
+            cache.ensure_shape(&config, width);
+        }
+        if self.step_probs.len() < steps {
+            self.step_probs.resize_with(steps, Vec::new);
+        }
+        for probs in self.step_probs.iter_mut().take(steps) {
+            probs.resize(config.vocab_size * width, 0.0);
+        }
+        self.bptt.ensure_shape(&config, width);
+    }
+
+    /// Disjoint borrows of the forward-pass buffers: cache pool, per-step
+    /// softmax outputs, gate scratch, logit scratch, embedding cache.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn forward_buffers(
+        &mut self,
+    ) -> (
+        &mut [BatchStepCache],
+        &mut [Vec<f32>],
+        &mut [f32],
+        &mut [f32],
+        &[f32],
+    ) {
+        (
+            &mut self.caches,
+            &mut self.step_probs,
+            &mut self.z,
+            &mut self.logits,
+            &self.embed_t,
+        )
+    }
+
+    /// Disjoint borrows of the backward-pass buffers.
+    pub(crate) fn backward_buffers(
+        &mut self,
+    ) -> (&[BatchStepCache], &[Vec<f32>], &mut BatchBpttScratch) {
+        (&self.caches, &self.step_probs, &mut self.bptt)
     }
 }
 
@@ -872,6 +1128,303 @@ impl LstmModel {
         self.w_out
             .matvec_add(&cache.h[self.config.num_layers - 1], probs);
         softmax_in_place(probs);
+    }
+
+    /// A minibatch training scratch sized for `width` parallel streams.
+    pub fn train_batch(&self, width: usize) -> TrainBatch {
+        TrainBatch::new(&self.config, width)
+    }
+
+    /// Minibatched training forward step: advance every lane of `bs` by one
+    /// character (`inputs[lane]`) as one GEMM per weight matrix, caching the
+    /// gate activations every lane's backward pass needs and writing each
+    /// lane's softmax output into `probs` batch-major (lane `b` at
+    /// `probs[b*V..(b+1)*V]`).
+    ///
+    /// This is [`LstmModel::step_into`] widened across lanes: bias
+    /// broadcast, one-hot embedding add, GEMMs accumulating in
+    /// [`Matrix::matvec_add`] order ([`Matrix::matmul_add_into`]) and the
+    /// element-wise cached cell update make a single-lane batch bitwise
+    /// identical to the serial training step. `gate_scratch` must hold at
+    /// least `4H * width` elements and `logit_scratch` at least
+    /// `V * width` (a [`TrainBatch`]'s buffers qualify).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != bs.width()` or a scratch buffer is too
+    /// small.
+    pub fn step_batch_into(
+        &self,
+        bs: &mut BatchState,
+        inputs: &[u32],
+        cache: &mut BatchStepCache,
+        probs: &mut Vec<f32>,
+        gate_scratch: &mut [f32],
+        logit_scratch: &mut [f32],
+    ) {
+        self.step_batch_core(bs, inputs, cache, probs, gate_scratch, logit_scratch, &[]);
+    }
+
+    /// [`step_batch_into`](LstmModel::step_batch_into) with an optional
+    /// transposed embedding cache (`embed_t`, `V x 4H`, empty to read the
+    /// weight columns directly). The cached rows are bit copies of the
+    /// weight columns, so both paths produce identical gates; the chunk
+    /// driver passes its [`TrainBatch`]'s cache to turn the layer-0 input
+    /// into contiguous row reads.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn step_batch_core(
+        &self,
+        bs: &mut BatchState,
+        inputs: &[u32],
+        cache: &mut BatchStepCache,
+        probs: &mut Vec<f32>,
+        gate_scratch: &mut [f32],
+        logit_scratch: &mut [f32],
+        embed_t: &[f32],
+    ) {
+        let hs = self.config.hidden_size;
+        let nv = self.config.vocab_size;
+        let width = bs.width();
+        assert_eq!(inputs.len(), width, "one input per lane");
+        cache.ensure_shape(&self.config, width);
+        cache.input_ids.copy_from_slice(inputs);
+        let z = &mut gate_scratch[..4 * hs * width];
+        let hs4 = 4 * hs;
+        for (l, layer) in self.layers.iter().enumerate() {
+            // Cache the backward operands before the state advances:
+            // the cell state interleaved (consumed element-wise), the
+            // hidden state lane-major (consumed by the batched outer
+            // product).
+            cache.c_prev[l].copy_from_slice(&bs.c[l]);
+            interleaved_to_lanes(&bs.h[l], width, &mut cache.h_prev_lanes[l]);
+            for (r, &bias) in layer.b.iter().enumerate() {
+                z[r * width..(r + 1) * width].fill(bias);
+            }
+            if l == 0 {
+                // One-hot input: add each lane's embedding column (via the
+                // transposed cache when provided — contiguous row reads).
+                if embed_t.is_empty() {
+                    for (lane, &id) in inputs.iter().enumerate() {
+                        let col = id as usize % nv;
+                        for (r, zr) in z.chunks_exact_mut(width).enumerate() {
+                            zr[lane] += layer.w_x.get(r, col);
+                        }
+                    }
+                } else {
+                    for (lane, &id) in inputs.iter().enumerate() {
+                        let col = id as usize % nv;
+                        let row = &embed_t[col * hs4..(col + 1) * hs4];
+                        for (zr, &w) in z.chunks_exact_mut(width).zip(row.iter()) {
+                            zr[lane] += w;
+                        }
+                    }
+                }
+            } else {
+                // The layer input is the hidden state below, updated this
+                // step; its lane-major copy feeds the backward outer
+                // product while the GEMM reads the resident state.
+                interleaved_to_lanes(&bs.h[l - 1], width, &mut cache.input_lanes[l]);
+                layer.w_x.matmul_add_into(&bs.h[l - 1], width, z);
+            }
+            layer.w_h.matmul_add_into(&bs.h[l], width, z);
+            // The fused cell reads the cached previous state and writes the
+            // new state straight into the resident batch — no copy-back.
+            lstm_cell_cached_batch(
+                z,
+                width,
+                &cache.c_prev[l],
+                &mut cache.i[l],
+                &mut cache.f[l],
+                &mut cache.g[l],
+                &mut cache.o[l],
+                &mut bs.c[l],
+                &mut cache.tanh_c[l],
+                &mut bs.h[l],
+            );
+        }
+        let top = &bs.h[self.config.num_layers - 1];
+        interleaved_to_lanes(top, width, &mut cache.h_top_lanes);
+        // Output projection over every lane, then a per-lane softmax on the
+        // gathered (contiguous) logits — the gathered values are bitwise the
+        // serial logits, so the softmax is too.
+        let logits = &mut logit_scratch[..nv * width];
+        for (r, &bias) in self.b_out.iter().enumerate() {
+            logits[r * width..(r + 1) * width].fill(bias);
+        }
+        self.w_out.matmul_add_into(top, width, logits);
+        probs.resize(nv * width, 0.0);
+        for lane in 0..width {
+            let dst = &mut probs[lane * nv..(lane + 1) * nv];
+            for (r, p) in dst.iter_mut().enumerate() {
+                *p = logits[r * width + lane];
+            }
+            softmax_in_place(dst);
+        }
+    }
+
+    /// Backpropagate through a sequence of minibatched cached steps,
+    /// accumulating gradients summed over every lane.
+    ///
+    /// `step_probs[t]` is the batch-major softmax output
+    /// [`LstmModel::step_batch_into`] produced at step `t`, and
+    /// `targets[t * width + lane]` the target character of `lane` at that
+    /// step. Returns the total cross-entropy loss over all steps and lanes.
+    ///
+    /// Convenience wrapper allocating fresh scratch; hot loops should hold a
+    /// [`TrainBatch`] and call
+    /// [`train_chunk_batch`](crate::train::train_chunk_batch) instead.
+    pub fn backward_batch(
+        &self,
+        caches: &[BatchStepCache],
+        step_probs: &[Vec<f32>],
+        targets: &[u32],
+        width: usize,
+        grads: &mut LstmGradients,
+    ) -> f32 {
+        let mut scratch = BatchBpttScratch::default();
+        self.backward_batch_core(caches, step_probs, targets, width, grads, &mut scratch)
+    }
+
+    /// Batched backpropagation core over caller-provided scratch: the
+    /// lane-widened mirror of [`LstmModel::backward_core`]. Per gradient
+    /// element every accumulation runs in the same order as the serial core
+    /// with lanes innermost, and the transposed GEMM / batched outer product
+    /// reproduce the serial kernels exactly at one lane (see
+    /// [`Matrix::matmul_transpose_add_into`] and
+    /// [`Matrix::add_outer_batch`]), so a single-lane minibatch accumulates
+    /// bitwise-identical gradients — and therefore takes bitwise-identical
+    /// SGD steps — to serial truncated BPTT.
+    pub(crate) fn backward_batch_core(
+        &self,
+        caches: &[BatchStepCache],
+        step_probs: &[Vec<f32>],
+        targets: &[u32],
+        width: usize,
+        grads: &mut LstmGradients,
+        scratch: &mut BatchBpttScratch,
+    ) -> f32 {
+        assert_eq!(caches.len(), step_probs.len());
+        assert_eq!(targets.len(), caches.len() * width);
+        let hs = self.config.hidden_size;
+        let nv = self.config.vocab_size;
+        let num_layers = self.config.num_layers;
+        let hw = hs * width;
+        let mut loss = 0.0f32;
+        scratch.ensure_shape(&self.config, width);
+        let BatchBpttScratch {
+            dh_next,
+            dc_next,
+            dlogits,
+            dh_above,
+            dh,
+            dz,
+            dc_prev,
+        } = scratch;
+        for buf in dh_next.iter_mut().chain(dc_next.iter_mut()) {
+            buf.iter_mut().for_each(|v| *v = 0.0);
+        }
+        for t in (0..caches.len()).rev() {
+            let cache = &caches[t];
+            let probs = &step_probs[t];
+            // Loss and dlogits = probs - one_hot(target), scattered into the
+            // interleaved layout the backward GEMMs read.
+            for lane in 0..width {
+                let target = targets[t * width + lane] as usize % nv;
+                let p = &probs[lane * nv..(lane + 1) * nv];
+                loss -= p[target].max(1e-12).ln();
+                for (v, &pv) in p.iter().enumerate() {
+                    dlogits[v * width + lane] = pv;
+                }
+                dlogits[target * width + lane] -= 1.0;
+            }
+            // Output layer gradients.
+            grads
+                .w_out
+                .add_outer_batch(dlogits, &cache.h_top_lanes, width);
+            for (r, db) in grads.b_out.iter_mut().enumerate() {
+                for &dl in &dlogits[r * width..(r + 1) * width] {
+                    *db += dl;
+                }
+            }
+            // Gradient flowing into the top layer's hidden state.
+            dh_above.iter_mut().for_each(|v| *v = 0.0);
+            self.w_out
+                .matmul_transpose_add_into(dlogits, width, dh_above);
+            for l in (0..num_layers).rev() {
+                let layer = &self.layers[l];
+                let glayer = &mut grads.layers[l];
+                dh.copy_from_slice(dh_above);
+                for (dst, src) in dh.iter_mut().zip(dh_next[l].iter()) {
+                    *dst += src;
+                }
+                {
+                    // Fixed-length subslices let the whole gate-gradient
+                    // computation run as one bounds-check-free elementwise
+                    // pass.
+                    let (dzi, rest) = dz[..4 * hw].split_at_mut(hw);
+                    let (dzf, rest) = rest.split_at_mut(hw);
+                    let (dzg, dzo) = rest.split_at_mut(hw);
+                    let os = &cache.o[l][..hw];
+                    let tcs = &cache.tanh_c[l][..hw];
+                    let is = &cache.i[l][..hw];
+                    let fs = &cache.f[l][..hw];
+                    let gs = &cache.g[l][..hw];
+                    let cps = &cache.c_prev[l][..hw];
+                    let dcn = &dc_next[l][..hw];
+                    let dhs = &dh[..hw];
+                    let dcp = &mut dc_prev[..hw];
+                    for e in 0..hw {
+                        let o = os[e];
+                        let tanh_c = tcs[e];
+                        let i = is[e];
+                        let f = fs[e];
+                        let g = gs[e];
+                        let c_prev = cps[e];
+                        let do_ = dhs[e] * tanh_c;
+                        let dc = dhs[e] * o * (1.0 - tanh_c * tanh_c) + dcn[e];
+                        let di = dc * g;
+                        let dg = dc * i;
+                        let df = dc * c_prev;
+                        dcp[e] = dc * f;
+                        dzi[e] = di * i * (1.0 - i);
+                        dzf[e] = df * f * (1.0 - f);
+                        dzg[e] = dg * (1.0 - g * g);
+                        dzo[e] = do_ * o * (1.0 - o);
+                    }
+                }
+                dc_next[l].copy_from_slice(dc_prev);
+                // Parameter gradients.
+                if l == 0 {
+                    for (lane, &id) in cache.input_ids.iter().enumerate() {
+                        let col = id as usize % nv;
+                        for r in 0..4 * hs {
+                            let v = glayer.w_x.get(r, col) + dz[r * width + lane];
+                            glayer.w_x.set(r, col, v);
+                        }
+                    }
+                } else {
+                    glayer.w_x.add_outer_batch(dz, &cache.input_lanes[l], width);
+                }
+                glayer
+                    .w_h
+                    .add_outer_batch(dz, &cache.h_prev_lanes[l], width);
+                for (r, db) in glayer.b.iter_mut().enumerate() {
+                    for &d in &dz[r * width..(r + 1) * width] {
+                        *db += d;
+                    }
+                }
+                // Gradient into the previous hidden state (recurrent path).
+                let dh_prev = &mut dh_next[l];
+                dh_prev.iter_mut().for_each(|v| *v = 0.0);
+                layer.w_h.matmul_transpose_add_into(dz, width, dh_prev);
+                // Gradient into the layer below's hidden output at this step.
+                if l > 0 {
+                    dh_above.iter_mut().for_each(|v| *v = 0.0);
+                    layer.w_x.matmul_transpose_add_into(dz, width, dh_above);
+                }
+            }
+        }
+        loss
     }
 
     /// Backpropagate through a sequence of cached steps.

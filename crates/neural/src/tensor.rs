@@ -93,31 +93,76 @@ impl Matrix {
 
     /// `y = self * x` into a caller-provided buffer (no allocation).
     ///
+    /// Rows are processed in blocks of [`MATVEC_ROW_BLOCK`] sharing one pass
+    /// over `x` (see [`Matrix::matvec_add`]); each output element still
+    /// accumulates over `k` in index order, so results are bitwise identical
+    /// to the one-row-at-a-time formulation.
+    ///
     /// # Panics
     ///
     /// Panics if `x.len() != cols` or `y.len() != rows`.
     pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec output mismatch");
-        for (dst, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
-            let mut acc = 0.0f32;
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc += a * b;
-            }
-            *dst = acc;
-        }
+        self.matvec_rows::<false>(x, y);
     }
 
     /// `y += self * x` (accumulating matrix-vector product).
+    ///
+    /// The serial-path hot kernel: rows are processed [`MATVEC_ROW_BLOCK`] at
+    /// a time with one independent accumulator per row, so a single pass over
+    /// `x` serves four dot products and the four dependency chains overlap in
+    /// the FMA pipeline. Per output element the accumulation order over `k`
+    /// is unchanged (one accumulator summed in index order, added to `y`
+    /// once), so the blocked kernel is bitwise identical to the scalar one;
+    /// leftover rows take the scalar tail.
     pub fn matvec_add(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec output mismatch");
-        for (dst, row) in y.iter_mut().zip(self.data.chunks_exact(self.cols)) {
+        self.matvec_rows::<true>(x, y);
+    }
+
+    /// Shared row-blocked matrix-vector kernel: `ADD` selects accumulate
+    /// (`y += A x`) versus overwrite (`y = A x`) on the final store.
+    fn matvec_rows<const ADD: bool>(&self, x: &[f32], y: &mut [f32]) {
+        let cols = self.cols;
+        let mut rows_iter = self.data.chunks_exact(cols * MATVEC_ROW_BLOCK);
+        let mut y_iter = y.chunks_exact_mut(MATVEC_ROW_BLOCK);
+        for (block, yb) in rows_iter.by_ref().zip(y_iter.by_ref()) {
+            let r0 = &block[..cols];
+            let r1 = &block[cols..2 * cols];
+            let r2 = &block[2 * cols..3 * cols];
+            let r3 = &block[3 * cols..4 * cols];
+            let mut acc = [0.0f32; MATVEC_ROW_BLOCK];
+            for k in 0..cols {
+                let xv = x[k];
+                acc[0] += r0[k] * xv;
+                acc[1] += r1[k] * xv;
+                acc[2] += r2[k] * xv;
+                acc[3] += r3[k] * xv;
+            }
+            for (dst, a) in yb.iter_mut().zip(acc.iter()) {
+                if ADD {
+                    *dst += a;
+                } else {
+                    *dst = *a;
+                }
+            }
+        }
+        for (dst, row) in y_iter
+            .into_remainder()
+            .iter_mut()
+            .zip(rows_iter.remainder().chunks_exact(cols.max(1)))
+        {
             let mut acc = 0.0f32;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += a * b;
             }
-            *dst += acc;
+            if ADD {
+                *dst += acc;
+            } else {
+                *dst = acc;
+            }
         }
     }
 
@@ -144,7 +189,44 @@ impl Matrix {
     pub fn matmul_add_into(&self, x: &[f32], width: usize, y: &mut [f32]) {
         assert_eq!(x.len(), self.cols * width, "matmul input mismatch");
         assert_eq!(y.len(), self.rows * width, "matmul output mismatch");
-        for r in 0..self.rows {
+        // One lane is exactly a matrix-vector product (bitwise, per the
+        // accumulation-order guarantee below); take the row-blocked kernel.
+        if width == 1 {
+            return self.matvec_add(x, y);
+        }
+        // Rows are processed in pairs sharing one pass over `x`: two
+        // independent accumulator sets double the in-flight FMA chains
+        // (hiding their latency) and halve the loads of `x`. Per output
+        // element the accumulation order over `k` is untouched.
+        let mut r = 0;
+        while r + 2 <= self.rows {
+            let row0 = self.row(r);
+            let row1 = self.row(r + 1);
+            let (y0, y1) = y[r * width..(r + 2) * width].split_at_mut(width);
+            let mut b0 = 0;
+            while b0 + GEMM_LANES <= width {
+                gemm_lane_block2::<GEMM_LANES>(row0, row1, x, width, b0, y0, y1);
+                b0 += GEMM_LANES;
+            }
+            // Half-width block so ragged batch tails (width % 8 in 4..8)
+            // still get independent accumulators instead of the scalar path.
+            if b0 + GEMM_LANES / 2 <= width {
+                gemm_lane_block2::<{ GEMM_LANES / 2 }>(row0, row1, x, width, b0, y0, y1);
+                b0 += GEMM_LANES / 2;
+            }
+            for b in b0..width {
+                let mut acc0 = 0.0f32;
+                let mut acc1 = 0.0f32;
+                for ((&w0, &w1), xk) in row0.iter().zip(row1.iter()).zip(x.chunks_exact(width)) {
+                    acc0 += w0 * xk[b];
+                    acc1 += w1 * xk[b];
+                }
+                y0[b] += acc0;
+                y1[b] += acc1;
+            }
+            r += 2;
+        }
+        if r < self.rows {
             let row = self.row(r);
             let yrow = &mut y[r * width..(r + 1) * width];
             let mut b0 = 0;
@@ -152,8 +234,6 @@ impl Matrix {
                 gemm_lane_block::<GEMM_LANES>(row, x, width, b0, yrow);
                 b0 += GEMM_LANES;
             }
-            // Half-width block so ragged batch tails (width % 8 in 4..8)
-            // still get independent accumulators instead of the scalar path.
             if b0 + GEMM_LANES / 2 <= width {
                 gemm_lane_block::<{ GEMM_LANES / 2 }>(row, x, width, b0, yrow);
                 b0 += GEMM_LANES / 2;
@@ -195,6 +275,123 @@ impl Matrix {
         }
     }
 
+    /// `y += self^T * x` over a batch of `width` interleaved column vectors
+    /// (the transposed GEMM of batched backpropagation).
+    ///
+    /// `x` holds a `rows x width` matrix and `y` a `cols x width` matrix,
+    /// both lane-interleaved like [`Matrix::matmul_add_into`]. The kernel is
+    /// blocked over [`GEMM_LANES`] lanes: for every matrix row `r` it
+    /// performs a rank-1 style update `y[c][..] += self[r][c] * x[r][..]`
+    /// over fixed-size lane arrays, so the lane-inner loop is a plain
+    /// vector FMA with no reduction, and `y` (small, `cols x width`) stays
+    /// cache-resident while each weight row streams past once per batch.
+    ///
+    /// Rows accumulate in index order (four rows' updates fused per pass,
+    /// still applied in ascending row order per element); `width == 1`
+    /// delegates to exactly [`Matrix::matvec_transpose_add`] — zero-skip
+    /// included — so a single-lane batched backward pass is bitwise
+    /// identical to the serial one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows * width` or `y.len() != cols * width`.
+    pub fn matmul_transpose_add_into(&self, x: &[f32], width: usize, y: &mut [f32]) {
+        assert_eq!(x.len(), self.rows * width, "matmulT input mismatch");
+        assert_eq!(y.len(), self.cols * width, "matmulT output mismatch");
+        if width == 0 {
+            return;
+        }
+        if width == 1 {
+            return self.matvec_transpose_add(x, y);
+        }
+        let mut b0 = 0;
+        while b0 + GEMM_LANES <= width {
+            self.transpose_lane_block::<GEMM_LANES>(x, width, b0, y);
+            b0 += GEMM_LANES;
+        }
+        if b0 + GEMM_LANES / 2 <= width {
+            self.transpose_lane_block::<{ GEMM_LANES / 2 }>(x, width, b0, y);
+            b0 += GEMM_LANES / 2;
+        }
+        for b in b0..width {
+            for (xr, row) in x
+                .chunks_exact(width)
+                .zip(self.data.chunks_exact(self.cols.max(1)))
+            {
+                let xv = xr[b];
+                if xv == 0.0 {
+                    continue;
+                }
+                for (yc, &w) in y.chunks_exact_mut(width).zip(row.iter()) {
+                    yc[b] += w * xv;
+                }
+            }
+        }
+    }
+
+    /// One `L`-lane block of the transposed GEMM:
+    /// `y[c][b0..b0+L] += self[r][c] * x[r][b0..b0+L]` for every `(r, c)`,
+    /// rows outermost in blocks of four — each pass over `y` applies four
+    /// rows' rank-1 updates (rows in ascending order per element), quartering
+    /// the `y` load/store traffic. Fixed-size lane arrays keep the update in
+    /// vector registers with no per-element bounds checks.
+    #[inline(always)]
+    fn transpose_lane_block<const L: usize>(
+        &self,
+        x: &[f32],
+        width: usize,
+        b0: usize,
+        y: &mut [f32],
+    ) {
+        let cols = self.cols.max(1);
+        let mut rows = self.data.chunks_exact(4 * cols);
+        let mut xrows = x.chunks_exact(4 * width);
+        for (quad, xquad) in rows.by_ref().zip(xrows.by_ref()) {
+            let r0 = &quad[..cols];
+            let r1 = &quad[cols..2 * cols];
+            let r2 = &quad[2 * cols..3 * cols];
+            let r3 = &quad[3 * cols..4 * cols];
+            let x0: &[f32; L] = xquad[b0..b0 + L].try_into().expect("lane block");
+            let x1: &[f32; L] = xquad[width + b0..width + b0 + L]
+                .try_into()
+                .expect("lane block");
+            let x2: &[f32; L] = xquad[2 * width + b0..2 * width + b0 + L]
+                .try_into()
+                .expect("lane block");
+            let x3: &[f32; L] = xquad[3 * width + b0..3 * width + b0 + L]
+                .try_into()
+                .expect("lane block");
+            for (c, yc) in y.chunks_exact_mut(width).enumerate() {
+                let ys: &mut [f32] = &mut yc[b0..b0 + L];
+                let (w0, w1, w2, w3) = (r0[c], r1[c], r2[c], r3[c]);
+                for l in 0..L {
+                    let mut acc = ys[l];
+                    acc += w0 * x0[l];
+                    acc += w1 * x1[l];
+                    acc += w2 * x2[l];
+                    acc += w3 * x3[l];
+                    ys[l] = acc;
+                }
+            }
+        }
+        for (xr, row) in xrows
+            .remainder()
+            .chunks_exact(width)
+            .zip(rows.remainder().chunks_exact(cols))
+        {
+            let xv: &[f32; L] = xr[b0..b0 + L].try_into().expect("lane block in bounds");
+            if xv.iter().all(|v| *v == 0.0) {
+                continue;
+            }
+            for (yc, &w) in y.chunks_exact_mut(width).zip(row.iter()) {
+                let ys: &mut [f32] = &mut yc[b0..b0 + L];
+                for l in 0..L {
+                    ys[l] += w * xv[l];
+                }
+            }
+        }
+    }
+
     /// Accumulate the outer product `self += a * b^T` (gradient accumulation).
     pub fn add_outer(&mut self, a: &[f32], b: &[f32]) {
         assert_eq!(a.len(), self.rows, "outer product row mismatch");
@@ -205,6 +402,101 @@ impl Matrix {
             }
             for (dst, bv) in row.iter_mut().zip(b.iter()) {
                 *dst += ar * bv;
+            }
+        }
+    }
+
+    /// Accumulate a batch of outer products:
+    /// `self += Σ_lane a_lane * b_lane^T` (batched gradient accumulation).
+    ///
+    /// `a` holds a `rows x width` matrix, lane-interleaved like every other
+    /// batched operand; `b_lanes` holds the `width` right-hand vectors
+    /// **lane-major** — lane `b`'s vector contiguous at
+    /// `b_lanes[b*cols..(b+1)*cols]`. The training forward pass caches its
+    /// backward operands in this layout (a cheap transposing copy per step),
+    /// because it is what lets the hot loop here be a plain vectorisable
+    /// AXPY (`row += a[r][lane] * b_lane`) with no horizontal reduction,
+    /// while each (large) gradient row is loaded once per *batch* instead of
+    /// once per stream — the cache-traffic win batched gradient
+    /// accumulation exists for.
+    ///
+    /// Per gradient element the lane contributions accumulate in ascending
+    /// lane order (deterministic for a given width); at `width == 1` the two
+    /// layouts coincide and the kernel delegates to exactly
+    /// [`Matrix::add_outer`] — zero-skip included — so single-lane batched
+    /// accumulation is bitwise identical to the serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != rows * width` or `b_lanes.len() != cols * width`.
+    pub fn add_outer_batch(&mut self, a: &[f32], b_lanes: &[f32], width: usize) {
+        assert_eq!(a.len(), self.rows * width, "outer batch row mismatch");
+        assert_eq!(b_lanes.len(), self.cols * width, "outer batch col mismatch");
+        if width == 0 {
+            return;
+        }
+        if width == 1 {
+            return self.add_outer(a, b_lanes);
+        }
+        let cols = self.cols.max(1);
+        // Register tiles of 4 gradient rows x OUTER_TILE columns accumulate
+        // every lane's contribution before one store, so each gradient
+        // element is loaded and stored once per batch and each `b` vector
+        // load feeds four rows.
+        let mut a_quads = a.chunks_exact(4 * width);
+        let mut row_quads = self.data.chunks_exact_mut(4 * cols);
+        for (aq, quad) in a_quads.by_ref().zip(row_quads.by_ref()) {
+            let mut c0 = 0;
+            while c0 + OUTER_TILE <= cols {
+                outer_row_tile::<OUTER_TILE>(aq, b_lanes, width, cols, c0, quad);
+                c0 += OUTER_TILE;
+            }
+            if c0 + OUTER_TILE / 2 <= cols {
+                outer_row_tile::<{ OUTER_TILE / 2 }>(aq, b_lanes, width, cols, c0, quad);
+                c0 += OUTER_TILE / 2;
+            }
+            for c in c0..cols {
+                for (i, ar) in aq.chunks_exact(width).enumerate() {
+                    let mut acc = quad[i * cols + c];
+                    for (lane, &av) in ar.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        acc += av * b_lanes[lane * cols + c];
+                    }
+                    quad[i * cols + c] = acc;
+                }
+            }
+        }
+        for (ar, row) in a_quads
+            .remainder()
+            .chunks_exact(width)
+            .zip(row_quads.into_remainder().chunks_exact_mut(cols))
+        {
+            let mut c0 = 0;
+            while c0 + OUTER_TILE <= cols {
+                outer_col_tile::<OUTER_TILE>(ar, b_lanes, cols, c0, &mut row[c0..c0 + OUTER_TILE]);
+                c0 += OUTER_TILE;
+            }
+            if c0 + OUTER_TILE / 2 <= cols {
+                outer_col_tile::<{ OUTER_TILE / 2 }>(
+                    ar,
+                    b_lanes,
+                    cols,
+                    c0,
+                    &mut row[c0..c0 + OUTER_TILE / 2],
+                );
+                c0 += OUTER_TILE / 2;
+            }
+            for c in c0..cols {
+                let mut acc = row[c];
+                for (lane, &av) in ar.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    acc += av * b_lanes[lane * cols + c];
+                }
+                row[c] = acc;
             }
         }
     }
@@ -406,10 +698,178 @@ pub fn lstm_cell_cached(
     }
 }
 
+/// Fused LSTM cell update over a whole interleaved batch, retaining gate
+/// activations for backpropagation (the minibatch-training forward path).
+///
+/// All buffers are lane-interleaved like [`lstm_cell_fused_batch`]: gate row
+/// `r` of lane `b` lives at `z[r * width + b]`, and element `j` of lane `b`
+/// of every per-unit buffer at `j * width + b`. Per element the operations
+/// and their order are exactly those of [`lstm_cell_cached`], so a
+/// single-lane batched training step stays bitwise identical to the serial
+/// one; the lane-inner loop is branchless so wider batches vectorise.
+///
+/// # Panics
+///
+/// Panics if buffer lengths disagree with `width` and `c_prev.len()`.
+#[allow(clippy::too_many_arguments)]
+pub fn lstm_cell_cached_batch(
+    z: &[f32],
+    width: usize,
+    c_prev: &[f32],
+    gi: &mut [f32],
+    gf: &mut [f32],
+    gg: &mut [f32],
+    go: &mut [f32],
+    c_new: &mut [f32],
+    tanh_c: &mut [f32],
+    h_new: &mut [f32],
+) {
+    assert_eq!(
+        c_prev.len() % width.max(1),
+        0,
+        "cell buffer must be a lane multiple"
+    );
+    let hs = c_prev.len() / width.max(1);
+    assert_eq!(z.len(), 4 * hs * width, "gate block mismatch");
+    for buf in [
+        &gi[..],
+        &gf[..],
+        &gg[..],
+        &go[..],
+        &c_new[..],
+        &tanh_c[..],
+        &h_new[..],
+    ] {
+        assert_eq!(buf.len(), hs * width, "cache buffer size mismatch");
+    }
+    // In the interleaved layout, gate row `g*hs + j` of lane `b` sits at the
+    // flat index `g*hs*width + (j*width + b)` — so the whole update is one
+    // elementwise pass over `hw` elements with four fixed gate offsets, a
+    // long-trip-count loop the compiler vectorises directly.
+    let hw = hs * width;
+    let (zi, zrest) = z.split_at(hw);
+    let (zf, zrest) = zrest.split_at(hw);
+    let (zg, zo) = zrest.split_at(hw);
+    for e in 0..hw {
+        gi[e] = sigmoid(zi[e]);
+        gf[e] = sigmoid(zf[e]);
+        gg[e] = fast_tanh(zg[e]);
+        go[e] = sigmoid(zo[e]);
+        c_new[e] = gf[e] * c_prev[e] + gi[e] * gg[e];
+        tanh_c[e] = fast_tanh(c_new[e]);
+        h_new[e] = go[e] * tanh_c[e];
+    }
+}
+
 /// Number of batch lanes processed together by [`Matrix::matmul_add_into`].
 /// Eight independent f32 accumulators fill a 256-bit vector register and
 /// break the single-accumulator dependency chain that bounds `matvec`.
 pub const GEMM_LANES: usize = 8;
+
+/// Number of matrix rows processed per pass by [`Matrix::matvec_into`] /
+/// [`Matrix::matvec_add`]: four independent accumulators overlap their FMA
+/// dependency chains and reuse each load of `x` four times.
+pub const MATVEC_ROW_BLOCK: usize = 4;
+
+/// Column-tile width of [`Matrix::add_outer_batch`]: sixteen f32 (two
+/// 256-bit registers) accumulated across every lane before one store.
+pub const OUTER_TILE: usize = 16;
+
+/// A 4-row x `T`-column register tile of the batched outer product: four
+/// gradient rows' `c0..c0+T` columns gain every lane's `a * b` contribution
+/// (lanes ascending per element), so each `b` vector load feeds four FMA
+/// rows and the gradient elements are written back once.
+#[inline(always)]
+fn outer_row_tile<const T: usize>(
+    aq: &[f32],
+    b_lanes: &[f32],
+    width: usize,
+    cols: usize,
+    c0: usize,
+    quad: &mut [f32],
+) {
+    let mut acc = [[0.0f32; T]; 4];
+    for (i, acc_row) in acc.iter_mut().enumerate() {
+        acc_row.copy_from_slice(&quad[i * cols + c0..i * cols + c0 + T]);
+    }
+    for lane in 0..width {
+        let a0 = aq[lane];
+        let a1 = aq[width + lane];
+        let a2 = aq[2 * width + lane];
+        let a3 = aq[3 * width + lane];
+        let base = lane * cols + c0;
+        let bl: &[f32; T] = b_lanes[base..base + T].try_into().expect("tile in bounds");
+        for j in 0..T {
+            acc[0][j] += a0 * bl[j];
+            acc[1][j] += a1 * bl[j];
+            acc[2][j] += a2 * bl[j];
+            acc[3][j] += a3 * bl[j];
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        quad[i * cols + c0..i * cols + c0 + T].copy_from_slice(acc_row);
+    }
+}
+
+/// One column tile of the batched outer product: `out` (the gradient row's
+/// `c0..c0+T` columns) gains every lane's `a * b` contribution, lanes in
+/// ascending order, accumulated in a register tile and written back once.
+#[inline(always)]
+fn outer_col_tile<const T: usize>(
+    ar: &[f32],
+    b_lanes: &[f32],
+    cols: usize,
+    c0: usize,
+    out: &mut [f32],
+) {
+    let mut acc = [0.0f32; T];
+    acc.copy_from_slice(out);
+    for (lane, &av) in ar.iter().enumerate() {
+        if av == 0.0 {
+            continue;
+        }
+        let base = lane * cols + c0;
+        let bl: &[f32; T] = b_lanes[base..base + T].try_into().expect("tile in bounds");
+        for i in 0..T {
+            acc[i] += av * bl[i];
+        }
+    }
+    out.copy_from_slice(&acc);
+}
+
+/// Two-row variant of [`gemm_lane_block`]: one pass over `x` feeds two
+/// independent accumulator sets (`y0` for `row0`, `y1` for `row1`), doubling
+/// the in-flight FMA chains. Each output element still accumulates over `k`
+/// in index order, bitwise equal to the single-row block.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn gemm_lane_block2<const L: usize>(
+    row0: &[f32],
+    row1: &[f32],
+    x: &[f32],
+    width: usize,
+    b0: usize,
+    y0: &mut [f32],
+    y1: &mut [f32],
+) {
+    let mut acc0 = [0.0f32; L];
+    let mut acc1 = [0.0f32; L];
+    for ((&w0, &w1), xk) in row0.iter().zip(row1.iter()).zip(x.chunks_exact(width)) {
+        let xs: &[f32; L] = xk[b0..b0 + L].try_into().expect("lane block in bounds");
+        for l in 0..L {
+            acc0[l] += w0 * xs[l];
+            acc1[l] += w1 * xs[l];
+        }
+    }
+    let y0s: &mut [f32] = &mut y0[b0..b0 + L];
+    for l in 0..L {
+        y0s[l] += acc0[l];
+    }
+    let y1s: &mut [f32] = &mut y1[b0..b0 + L];
+    for l in 0..L {
+        y1s[l] += acc1[l];
+    }
+}
 
 /// One `L`-lane block of the batched GEMM: `yrow[b0..b0+L] += row · x`,
 /// where lane `b` of `x` is the strided column `x[k * width + b0 + b]`.
@@ -637,6 +1097,148 @@ mod tests {
                         "lane {b} row {r} differs from serial matvec"
                     );
                 }
+            }
+        }
+    }
+
+    /// The training-path analogue of `batched_gemm_bitwise_equals_matvec`:
+    /// at width 1 the transposed GEMM must reproduce `matvec_transpose_add`
+    /// bitwise — including its zero-row skip, which is why the inputs mix in
+    /// exact zeros and negative-zero accumulator targets.
+    #[test]
+    fn transposed_gemm_width1_bitwise_equals_matvec_transpose() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for (rows, cols) in [(1, 1), (7, 5), (24, 31), (64, 9)] {
+            let m = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            let x: Vec<f32> = (0..rows)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(-2.0f32..2.0)
+                    }
+                })
+                .collect();
+            let mut y_serial = vec![-0.0f32; cols];
+            let mut y_batched = vec![-0.0f32; cols];
+            m.matvec_transpose_add(&x, &mut y_serial);
+            m.matmul_transpose_add_into(&x, 1, &mut y_batched);
+            for (a, b) in y_serial.iter().zip(y_batched.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "width-1 transposed GEMM differs");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_gemm_matches_naive_reference() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for (rows, cols, width) in [(5, 3, 2), (16, 9, 8), (7, 13, 11)] {
+            let m = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            let x: Vec<f32> = (0..rows * width)
+                .map(|_| rng.gen_range(-2.0f32..2.0))
+                .collect();
+            let mut y = vec![0.0f32; cols * width];
+            m.matmul_transpose_add_into(&x, width, &mut y);
+            for c in 0..cols {
+                for b in 0..width {
+                    let mut want = 0.0f64;
+                    for r in 0..rows {
+                        want += f64::from(m.get(r, c)) * f64::from(x[r * width + b]);
+                    }
+                    let got = y[c * width + b];
+                    assert!(
+                        (f64::from(got) - want).abs() < 1e-4,
+                        "transposed gemm mismatch at ({c},{b}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// At width 1 the batched outer-product accumulator must reproduce
+    /// `add_outer` bitwise, zero-row skip included.
+    #[test]
+    fn add_outer_batch_width1_bitwise_equals_add_outer() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for (rows, cols) in [(1, 1), (8, 5), (24, 13)] {
+            let mut serial = Matrix::uniform(rows, cols, 0.5, &mut rng);
+            let mut batched = serial.clone();
+            let a: Vec<f32> = (0..rows)
+                .map(|i| {
+                    if i % 4 == 1 {
+                        0.0
+                    } else {
+                        rng.gen_range(-2.0f32..2.0)
+                    }
+                })
+                .collect();
+            let b: Vec<f32> = (0..cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            serial.add_outer(&a, &b);
+            batched.add_outer_batch(&a, &b, 1);
+            for (x, y) in serial.data().iter().zip(batched.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "width-1 outer batch differs");
+            }
+        }
+    }
+
+    #[test]
+    fn add_outer_batch_matches_lane_sum_reference() {
+        let mut rng = StdRng::seed_from_u64(24);
+        for (rows, cols, width) in [(4, 3, 2), (9, 7, 8), (6, 11, 5)] {
+            let mut m = Matrix::zeros(rows, cols);
+            let a: Vec<f32> = (0..rows * width)
+                .map(|_| rng.gen_range(-2.0f32..2.0))
+                .collect();
+            let b: Vec<f32> = (0..cols * width)
+                .map(|_| rng.gen_range(-2.0f32..2.0))
+                .collect();
+            m.add_outer_batch(&a, &b, width);
+            for r in 0..rows {
+                for c in 0..cols {
+                    let mut want = 0.0f64;
+                    for lane in 0..width {
+                        want += f64::from(a[r * width + lane]) * f64::from(b[lane * cols + c]);
+                    }
+                    let got = m.get(r, c);
+                    assert!(
+                        (f64::from(got) - want).abs() < 1e-4,
+                        "outer batch mismatch at ({r},{c}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The row-blocked matvec must agree with a naive one-row-at-a-time
+    /// reference bitwise for every row count around the block size.
+    #[test]
+    fn row_blocked_matvec_bitwise_matches_scalar_rows() {
+        let mut rng = StdRng::seed_from_u64(25);
+        for rows in [1, 2, 3, 4, 5, 7, 8, 9, 15, 64] {
+            let cols = 1 + rows % 13;
+            let m = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let mut accs = vec![0.0f32; rows];
+            for (dst, row) in accs.iter_mut().zip(m.data().chunks_exact(cols)) {
+                let mut acc = 0.0f32;
+                for (a, b) in row.iter().zip(x.iter()) {
+                    acc += a * b;
+                }
+                *dst = acc;
+            }
+            let mut blocked = vec![0.1f32; rows];
+            m.matvec_add(&x, &mut blocked);
+            for (a, b) in accs.iter().zip(blocked.iter()) {
+                assert_eq!(
+                    (0.1f32 + a).to_bits(),
+                    b.to_bits(),
+                    "rows={rows} matvec_add differs"
+                );
+            }
+            let mut stored = vec![f32::NAN; rows];
+            m.matvec_into(&x, &mut stored);
+            for (s, a) in stored.iter().zip(accs.iter()) {
+                assert_eq!(s.to_bits(), a.to_bits(), "matvec_into differs");
             }
         }
     }

@@ -3,9 +3,25 @@
 //! The paper trains with Stochastic Gradient Descent for 50 epochs with an
 //! initial learning rate of 0.002, decayed by one half every 5 epochs. This
 //! module implements that schedule with truncated back-propagation through
-//! time and global-norm gradient clipping.
+//! time and global-norm gradient clipping, in two interchangeable drivers:
+//!
+//! * the **serial** path — one stream, one [`train_chunk_ws`] per chunk —
+//!   the reference implementation, and
+//! * the **minibatch** path ([`train_minibatch`]) — the corpus is sliced
+//!   into `batch_size` parallel streams advanced in lockstep through the
+//!   lane-blocked GEMM kernels, reading the shared weights once per batch.
+//!   A one-stream minibatch takes bitwise-identical SGD steps to the serial
+//!   path (property-tested), so [`train`] transparently dispatches on
+//!   [`TrainConfig::batch_size`].
+//!
+//! Training can be suspended and resumed at epoch boundaries through
+//! [`TrainSnapshot`], which persists the weights plus the schedule position
+//! with the same bit-exact wire codec model checkpoints use.
 
-use crate::lstm::{LstmGradients, LstmModel, Workspace};
+use crate::checkpoint::{decode_train_snapshot, encode_train_snapshot};
+use crate::lstm::{BatchState, LstmGradients, LstmModel, TrainBatch, Workspace};
+use clgen_wire::{Decoder, Encoder, WireError};
+use std::time::Instant;
 
 /// Training hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +39,13 @@ pub struct TrainConfig {
     pub unroll: usize,
     /// Clip gradients to this global L2 norm.
     pub clip_norm: f32,
+    /// Number of parallel training streams the corpus is sliced into.
+    /// `1` (the default) trains through the serial reference path; larger
+    /// values drive the lane-blocked minibatch kernels. Gradients are summed
+    /// over the streams of a chunk, so larger batches take proportionally
+    /// larger (and fewer) SGD steps per epoch — the standard char-RNN
+    /// trade-off.
+    pub batch_size: usize,
 }
 
 impl Default for TrainConfig {
@@ -34,6 +57,7 @@ impl Default for TrainConfig {
             decay_every: 5,
             unroll: 64,
             clip_norm: 5.0,
+            batch_size: 1,
         }
     }
 }
@@ -48,6 +72,7 @@ impl TrainConfig {
             decay_every: 2,
             unroll: 24,
             clip_norm: 5.0,
+            batch_size: 1,
         }
     }
 
@@ -55,6 +80,26 @@ impl TrainConfig {
     pub fn lr_at_epoch(&self, epoch: usize) -> f32 {
         let decays = epoch.checked_div(self.decay_every).unwrap_or(0);
         self.learning_rate * self.decay_factor.powi(decays as i32)
+    }
+
+    /// Check the configuration for values that would make training loop
+    /// forever or divide by zero. Returns a description of the first violated
+    /// constraint; the pipeline surfaces it as a typed
+    /// `ClgenError::InvalidConfig` instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.epochs == 0 {
+            return Err("training epochs must be at least 1");
+        }
+        if self.unroll == 0 {
+            return Err("BPTT unroll length must be at least 1");
+        }
+        if self.decay_every == 0 {
+            return Err("learning-rate decay interval must be at least 1");
+        }
+        if self.batch_size == 0 {
+            return Err("training batch size must be at least 1");
+        }
+        Ok(())
     }
 }
 
@@ -69,6 +114,32 @@ pub struct EpochReport {
     pub learning_rate: f32,
     /// Characters processed.
     pub characters: usize,
+    /// Wall-clock seconds the epoch took.
+    pub seconds: f64,
+    /// Training throughput in characters per second.
+    pub chars_per_sec: f64,
+}
+
+impl EpochReport {
+    fn new(epoch: usize, lr: f32, total_loss: f64, total_chars: usize, start: Instant) -> Self {
+        let seconds = start.elapsed().as_secs_f64();
+        EpochReport {
+            epoch,
+            loss_per_char: if total_chars == 0 {
+                0.0
+            } else {
+                (total_loss / total_chars as f64) as f32
+            },
+            learning_rate: lr,
+            characters: total_chars,
+            seconds,
+            chars_per_sec: if seconds > 0.0 {
+                total_chars as f64 / seconds
+            } else {
+                0.0
+            },
+        }
+    }
 }
 
 /// Train `model` on an encoded character sequence.
@@ -76,22 +147,57 @@ pub struct EpochReport {
 /// `data` is the corpus encoded with the model's vocabulary. Returns one
 /// [`EpochReport`] per epoch. An optional callback receives each report as it
 /// is produced (useful for progress logging in long runs).
+///
+/// With [`TrainConfig::batch_size`] of 1 this runs the serial reference
+/// path; larger batches dispatch to [`train_minibatch`]. Either way the
+/// learning-rate schedule is indexed by absolute epoch, so a run can be
+/// suspended and resumed via [`TrainSnapshot`] + [`train_range`].
+///
+/// # Panics
+///
+/// Panics if `config` fails [`TrainConfig::validate`] or `data` is shorter
+/// than `batch_size + 1` characters (each stream needs at least one
+/// input/target transition). The staged pipeline checks both up front and
+/// returns a typed error instead.
 pub fn train(
     model: &mut LstmModel,
     data: &[u32],
     config: &TrainConfig,
+    on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
+) -> Vec<EpochReport> {
+    train_range(model, data, config, 0, on_epoch)
+}
+
+/// [`train`] restricted to epochs `start_epoch..config.epochs`: the resume
+/// entry point. Epoch indices, the learning-rate schedule and the stream
+/// slicing all use absolute positions, and every epoch starts from a fresh
+/// recurrent state, so training epochs `0..k` + resuming `k..n` (e.g. from a
+/// reloaded [`TrainSnapshot`]) reproduces an uninterrupted `0..n` run
+/// bitwise.
+pub fn train_range(
+    model: &mut LstmModel,
+    data: &[u32],
+    config: &TrainConfig,
+    start_epoch: usize,
     mut on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
 ) -> Vec<EpochReport> {
+    if let Err(what) = config.validate() {
+        panic!("invalid TrainConfig: {what}");
+    }
+    if config.batch_size > 1 {
+        return train_minibatch_range(model, data, config, start_epoch, on_epoch);
+    }
     assert!(
         data.len() >= 2,
         "training data must contain at least two characters"
     );
-    let mut reports = Vec::with_capacity(config.epochs);
+    let mut reports = Vec::with_capacity(config.epochs.saturating_sub(start_epoch));
     // One workspace and one gradient buffer serve the whole run: BPTT
     // performs no per-timestep (or even per-chunk) allocation.
     let mut ws = model.workspace(1);
     let mut grads = model.zero_gradients();
-    for epoch in 0..config.epochs {
+    for epoch in start_epoch..config.epochs {
+        let start = Instant::now();
         let lr = config.lr_at_epoch(epoch);
         let mut total_loss = 0.0f64;
         let mut total_chars = 0usize;
@@ -115,22 +221,238 @@ pub fn train(
             total_chars += inputs.len();
             pos = end;
         }
-        let report = EpochReport {
-            epoch,
-            loss_per_char: if total_chars == 0 {
-                0.0
-            } else {
-                (total_loss / total_chars as f64) as f32
-            },
-            learning_rate: lr,
-            characters: total_chars,
-        };
+        let report = EpochReport::new(epoch, lr, total_loss, total_chars, start);
         if let Some(cb) = on_epoch.as_deref_mut() {
             cb(&report);
         }
         reports.push(report);
     }
     reports
+}
+
+/// Minibatched truncated-BPTT training: slice `data` into
+/// `config.batch_size` parallel streams and advance them in lockstep through
+/// the lane-blocked GEMM kernels.
+///
+/// Stream `b` covers `data[b*seg ..= (b+1)*seg]` where
+/// `seg = (data.len() - 1) / B` (the classic char-RNN layout; up to `B - 1`
+/// trailing characters are dropped so every stream has equal length). Each
+/// chunk runs `min(unroll, remaining)` timesteps across all streams as one
+/// batched forward/backward, sums the gradients over streams, and takes one
+/// clipped SGD step. Loss is averaged over all streams' characters.
+///
+/// At `batch_size == 1` the slicing, chunking, accumulation order and
+/// floating-point kernels all degenerate to the serial path exactly, so this
+/// function produces bitwise-identical weights to [`train`]'s serial loop —
+/// the minibatch determinism guarantee (property-tested in
+/// `tests/batched_training.rs`).
+///
+/// # Panics
+///
+/// Panics like [`train`] on an invalid config or if
+/// `data.len() < batch_size + 1`.
+pub fn train_minibatch(
+    model: &mut LstmModel,
+    data: &[u32],
+    config: &TrainConfig,
+    on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
+) -> Vec<EpochReport> {
+    train_minibatch_range(model, data, config, 0, on_epoch)
+}
+
+/// [`train_minibatch`] restricted to epochs `start_epoch..config.epochs`
+/// (see [`train_range`] for resume semantics).
+pub fn train_minibatch_range(
+    model: &mut LstmModel,
+    data: &[u32],
+    config: &TrainConfig,
+    start_epoch: usize,
+    mut on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
+) -> Vec<EpochReport> {
+    if let Err(what) = config.validate() {
+        panic!("invalid TrainConfig: {what}");
+    }
+    let width = config.batch_size.max(1);
+    assert!(
+        data.len() > width,
+        "training data must hold at least one transition per stream"
+    );
+    // Equal-length stream segments: stream b reads inputs from
+    // data[b*seg .. b*seg+seg] and targets one character ahead.
+    let seg = (data.len() - 1) / width;
+    let mut reports = Vec::with_capacity(config.epochs.saturating_sub(start_epoch));
+    let mut bs = BatchState::new(&model.config, width);
+    let mut tb = model.train_batch(width);
+    let mut grads = model.zero_gradients();
+    // Chunk staging buffers, timestep-major and lane-interleaved: the
+    // character of stream b at relative step t sits at [t * width + b].
+    let mut inputs = vec![0u32; config.unroll * width];
+    let mut targets = vec![0u32; config.unroll * width];
+    for epoch in start_epoch..config.epochs {
+        let start = Instant::now();
+        let lr = config.lr_at_epoch(epoch);
+        let mut total_loss = 0.0f64;
+        let mut total_chars = 0usize;
+        // Fresh start-of-sequence state for every stream, like the serial
+        // path starts each epoch from a fresh state.
+        for lane in 0..width {
+            bs.reset_lane(lane);
+        }
+        let mut pos = 0usize;
+        while pos < seg {
+            let steps = config.unroll.min(seg - pos);
+            for t in 0..steps {
+                for lane in 0..width {
+                    let at = lane * seg + pos + t;
+                    inputs[t * width + lane] = data[at];
+                    targets[t * width + lane] = data[at + 1];
+                }
+            }
+            let loss = train_chunk_batch(
+                model,
+                &mut bs,
+                &inputs[..steps * width],
+                &targets[..steps * width],
+                lr,
+                config.clip_norm,
+                &mut tb,
+                &mut grads,
+            );
+            total_loss += loss as f64;
+            total_chars += steps * width;
+            pos += steps;
+        }
+        let report = EpochReport::new(epoch, lr, total_loss, total_chars, start);
+        if let Some(cb) = on_epoch.as_deref_mut() {
+            cb(&report);
+        }
+        reports.push(report);
+    }
+    reports
+}
+
+/// Run one minibatched truncated-BPTT chunk: forward `steps` characters
+/// across every stream of `bs`, backprop against `targets`, clip the
+/// lane-summed gradients and apply one SGD step. Returns the summed loss
+/// over all steps and streams.
+///
+/// `inputs` and `targets` are timestep-major and lane-interleaved
+/// (`[t * width + lane]`), `steps * width` elements each. The chunk reuses
+/// the caller's [`TrainBatch`] scratch and gradient buffer, so steady-state
+/// minibatch training performs no heap allocation.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths are not equal multiples of `bs.width()`.
+#[allow(clippy::too_many_arguments)]
+pub fn train_chunk_batch(
+    model: &mut LstmModel,
+    bs: &mut BatchState,
+    inputs: &[u32],
+    targets: &[u32],
+    lr: f32,
+    clip_norm: f32,
+    tb: &mut TrainBatch,
+    grads: &mut LstmGradients,
+) -> f32 {
+    let width = bs.width();
+    assert_eq!(inputs.len(), targets.len());
+    assert_eq!(inputs.len() % width.max(1), 0, "ragged chunk");
+    let steps = inputs.len() / width.max(1);
+    tb.ensure_steps(steps);
+    // Weights moved last chunk (or this is the first): refresh the
+    // transposed embedding cache the layer-0 input add reads.
+    tb.rebuild_embed(model);
+    {
+        let (caches, step_probs, z, logits, embed_t) = tb.forward_buffers();
+        for t in 0..steps {
+            model.step_batch_core(
+                bs,
+                &inputs[t * width..(t + 1) * width],
+                &mut caches[t],
+                &mut step_probs[t],
+                z,
+                logits,
+                embed_t,
+            );
+        }
+    }
+    grads.fill_zero();
+    let loss = {
+        let (caches, step_probs, scratch) = tb.backward_buffers();
+        model.backward_batch_core(
+            &caches[..steps],
+            &step_probs[..steps],
+            targets,
+            width,
+            grads,
+            scratch,
+        )
+    };
+    clip_gradients(grads, clip_norm);
+    model.apply_gradients(grads, lr);
+    loss
+}
+
+/// A resumable mid-training snapshot: the model weights plus the training
+/// schedule position, persisted with the bit-exact `clgen-wire` codec model
+/// checkpoints use.
+///
+/// Snapshots are taken at epoch boundaries (every epoch starts from a fresh
+/// recurrent state, so the boundary is a clean cut). Because the weights
+/// round-trip bit-identically and [`train_range`] indexes the learning-rate
+/// schedule by absolute epoch, stopping after epoch `k`, reloading the
+/// snapshot in a fresh process and continuing produces **bitwise-identical**
+/// weights to a never-interrupted run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainSnapshot {
+    /// The model as of the end of epoch `next_epoch - 1`.
+    pub model: LstmModel,
+    /// The epoch training should resume from.
+    pub next_epoch: usize,
+}
+
+impl TrainSnapshot {
+    /// Snapshot `model` after `completed_epochs` finished epochs.
+    pub fn capture(model: &LstmModel, completed_epochs: usize) -> TrainSnapshot {
+        TrainSnapshot {
+            model: model.clone(),
+            next_epoch: completed_epochs,
+        }
+    }
+
+    /// Serialize the snapshot (versioned, magic `CLGENTSN`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        encode_train_snapshot(self, &mut enc);
+        enc.into_bytes()
+    }
+
+    /// Decode a snapshot written by [`TrainSnapshot::to_bytes`]. Truncated
+    /// or corrupt input is a typed error, never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TrainSnapshot, WireError> {
+        let mut dec = Decoder::new(bytes);
+        let snapshot = decode_train_snapshot(&mut dec)?;
+        dec.finish()?;
+        Ok(snapshot)
+    }
+
+    /// Resume training where the snapshot left off: runs epochs
+    /// `next_epoch..config.epochs` over `data` and returns the model and the
+    /// resumed epochs' reports.
+    pub fn resume(
+        self,
+        data: &[u32],
+        config: &TrainConfig,
+        on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
+    ) -> (LstmModel, Vec<EpochReport>) {
+        let TrainSnapshot {
+            mut model,
+            next_epoch,
+        } = self;
+        let reports = train_range(&mut model, data, config, next_epoch, on_epoch);
+        (model, reports)
+    }
 }
 
 /// Run one truncated-BPTT chunk: forward over `inputs`, backprop against
@@ -254,6 +576,7 @@ mod tests {
             decay_every: 3,
             unroll: 32,
             clip_norm: 5.0,
+            batch_size: 1,
         };
         let reports = train(&mut model, &data, &config, None);
         let after = evaluate(&model, &data);
@@ -283,6 +606,7 @@ mod tests {
             decay_every: 4,
             unroll: 16,
             clip_norm: 5.0,
+            batch_size: 1,
         };
         train(&mut model, &data, &config, None);
         // After 0,1,2 the model should put most probability on 3.
