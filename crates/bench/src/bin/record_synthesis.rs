@@ -2,27 +2,43 @@
 //!
 //! Measures characters-per-second of LSTM kernel sampling through the serial
 //! path (`sample_kernel`, one stream at a time) and the batched multi-stream
-//! path (`sample_kernels_batched` at several batch widths) on the small LSTM
-//! configuration (64 hidden units x 2 layers — `LstmConfig::small`), plus the
-//! end-to-end synthesize/synthesize_batched pipeline on the n-gram backend.
-//! Run from the workspace root with:
+//! path (`sample_kernels_batched` at several batch widths), across a
+//! **hidden-size sweep** toward the paper's 2048-wide configuration. At every
+//! point both the packed numeric core (the default: [`PackedMatrix`]
+//! row-panel streaming + k-blocked GEMMs) and the unpacked baseline kernels
+//! are timed over byte-identical workloads — the two paths are bitwise
+//! identical (kernel-parity-tested in `clgen-neural`), so the speedup column
+//! is a pure like-for-like kernel comparison. Run from the workspace root:
 //!
 //! ```text
-//! cargo run --release -p clgen-bench --bin record_synthesis
+//! cargo run --release -p clgen-bench --bin record_synthesis [-- --quick] [-- --hidden 64,256,512]
 //! ```
 //!
-//! The model is deliberately untrained: sampling throughput depends only on
-//! the network shape, and an untrained model rarely emits a closing brace, so
-//! every stream runs to the full character budget and the workload is
-//! identical across paths. Determinism of batched vs serial *content* is
-//! covered by the `batched_determinism` test suite; this binary measures
-//! speed only.
+//! `--quick` shrinks the workloads for CI smoke-testing and appends a
+//! hidden-2048 probe (the paper's width — a few batched characters, enough
+//! to prove the scale runs). The end-to-end synthesize pipeline measurement
+//! on the n-gram backend rides along unchanged.
+//!
+//! The models are deliberately untrained: sampling throughput depends only
+//! on the network shape, and an untrained model rarely emits a closing
+//! brace, so streams mostly run to the full character budget and the
+//! workload is comparable across paths. Determinism of batched vs serial
+//! *content* is covered by the `batched_determinism` and `packed_parity`
+//! test suites; this binary measures speed only.
+//!
+//! [`PackedMatrix`]: clgen_neural::tensor::PackedMatrix
 
 // The serial/batched drivers of the eager facade are exactly the paths this
 // recorder measures; keep exercising them even though new code streams.
 #![allow(deprecated)]
 
 use clgen::sampler::{sample_kernel, sample_kernels_batched, SampleOptions};
+use clgen_bench::{keep_fastest, parse_hidden_arg};
+
+/// [`keep_fastest`] over this recorder's measurement type.
+fn keep_best_m(slot: &mut Option<Measurement>, m: Measurement) {
+    keep_fastest(slot, m, |m| m.seconds);
+}
 use clgen::{ArgumentSpec, Clgen, ClgenOptions};
 use clgen_corpus::Vocabulary;
 use clgen_neural::lstm::{LstmConfig, LstmModel};
@@ -41,6 +57,7 @@ fn vocab_text() -> String {
     )
 }
 
+#[derive(Clone, Copy)]
 struct Measurement {
     batch: usize,
     chars: usize,
@@ -59,11 +76,13 @@ fn run_serial(
     vocab: &Vocabulary,
     options: &SampleOptions,
     streams: usize,
+    packing: bool,
 ) -> Measurement {
     let start = Instant::now();
     let mut chars = 0usize;
     for i in 0..streams {
         let mut stateful = StatefulLstm::new(model.clone());
+        stateful.set_packing(packing);
         let mut rng = StdRng::seed_from_u64(1000 + i as u64);
         let candidate = sample_kernel(&mut stateful, vocab, SEED_TEXT, options, &mut rng);
         chars += candidate.generated_chars;
@@ -83,10 +102,12 @@ fn run_batched(
     options: &SampleOptions,
     streams: usize,
     batch: usize,
+    packing: bool,
 ) -> Measurement {
     let start = Instant::now();
     let seeds: Vec<u64> = (0..streams as u64).map(|i| 1000 + i).collect();
     let mut lstm_streams = LstmStreams::new(model, batch);
+    lstm_streams.set_packing(packing);
     let chars = sample_kernels_batched(&mut lstm_streams, vocab, SEED_TEXT, options, &seeds)
         .iter()
         .map(|c| c.generated_chars)
@@ -98,25 +119,166 @@ fn run_batched(
     }
 }
 
-fn main() {
-    let text = vocab_text();
-    let vocab = Vocabulary::from_text(&text);
-    let config = LstmConfig::small(vocab.len());
+/// One sweep point: a hidden size with its (scaled) workload and the packed
+/// vs unpacked measurements.
+struct SweepPoint {
+    hidden: usize,
+    layers: usize,
+    streams: usize,
+    max_chars: usize,
+    serial_packed: Measurement,
+    serial_unpacked: Measurement,
+    batched: Vec<(Measurement, Measurement)>, // (packed, unpacked) per batch
+}
+
+fn sweep_point(
+    vocab: &Vocabulary,
+    hidden: usize,
+    streams: usize,
+    max_chars: usize,
+    batches: &[usize],
+    reps: usize,
+) -> SweepPoint {
+    let layers = 2;
+    let config = LstmConfig {
+        vocab_size: vocab.len(),
+        hidden_size: hidden,
+        num_layers: layers,
+        seed: 0x15F3,
+    };
     let model = LstmModel::new(config);
     let options = SampleOptions {
-        max_chars: 256,
+        max_chars,
         temperature: 0.9,
     };
-    let streams = 64;
+    // Interleave whole suites (packed and unpacked, serial and batched) and
+    // alternate the packed/unpacked order across reps: the single-core
+    // machine's clock sags under sustained load, so a fixed order would
+    // systematically tax whichever path runs later. Each configuration
+    // keeps its fastest run.
+    let mut serial_packed = None;
+    let mut serial_unpacked = None;
+    let mut batched: Vec<(Option<Measurement>, Option<Measurement>)> =
+        vec![(None, None); batches.len()];
+    for rep in 0..reps {
+        let packed_first = rep % 2 == 1;
+        for phase in 0..2 {
+            let packing = (phase == 0) == packed_first;
+            let slot = if packing {
+                &mut serial_packed
+            } else {
+                &mut serial_unpacked
+            };
+            keep_best_m(slot, run_serial(&model, vocab, &options, streams, packing));
+            for (slots, &b) in batched.iter_mut().zip(batches.iter()) {
+                let slot = if packing { &mut slots.0 } else { &mut slots.1 };
+                keep_best_m(
+                    slot,
+                    run_batched(&model, vocab, &options, streams, b, packing),
+                );
+            }
+        }
+    }
+    SweepPoint {
+        hidden,
+        layers,
+        streams,
+        max_chars,
+        serial_packed: serial_packed.unwrap(),
+        serial_unpacked: serial_unpacked.unwrap(),
+        batched: batched
+            .into_iter()
+            .map(|(p, u)| (p.unwrap(), u.unwrap()))
+            .collect(),
+    }
+}
+
+/// Workload sizes per hidden size: bigger networks sample fewer, shorter
+/// streams so the recorder stays tractable while each point still runs long
+/// enough to time. Stream counts are kept at several multiples of the
+/// widest measured batch, so wide batches are judged at sustained full
+/// occupancy rather than on their ragged final-wave drain.
+fn workload_for(hidden: usize, quick: bool) -> (usize, usize) {
+    if quick {
+        return (8, 48);
+    }
+    match hidden {
+        0..=64 => (128, 256),
+        65..=256 => (32, 128),
+        _ => (32, 64),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let hidden_list: Vec<usize> = parse_hidden_arg(&args).unwrap_or_else(|| {
+        if quick {
+            vec![64, 256]
+        } else {
+            vec![64, 256, 512]
+        }
+    });
+
+    let text = vocab_text();
+    let vocab = Vocabulary::from_text(&text);
+    let batches: &[usize] = if quick { &[8] } else { &[4, 8, 16, 32] };
+    let reps = if quick { 1 } else { 2 };
 
     // Warm-up (page in weights, stabilise clocks).
-    run_batched(&model, &vocab, &options, 8, 8);
+    {
+        let model = LstmModel::new(LstmConfig::small(vocab.len()));
+        let options = SampleOptions {
+            max_chars: 64,
+            temperature: 0.9,
+        };
+        run_batched(&model, &vocab, &options, 8, 8, true);
+    }
 
-    let serial = run_serial(&model, &vocab, &options, streams);
-    let batched: Vec<Measurement> = [4, 8, 16, 32]
-        .iter()
-        .map(|&b| run_batched(&model, &vocab, &options, streams, b))
-        .collect();
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    for &hidden in &hidden_list {
+        let (streams, max_chars) = workload_for(hidden, quick);
+        // Only measure batch widths the stream count can keep occupied for
+        // at least two full waves; a half-empty batch measures idle lanes,
+        // not kernels.
+        let point_batches: Vec<usize> = batches
+            .iter()
+            .copied()
+            .filter(|&b| b * 2 <= streams || b == batches[0])
+            .collect();
+        eprintln!("sweep: hidden {hidden} ({streams} streams x {max_chars} chars)...");
+        sweep.push(sweep_point(
+            &vocab,
+            hidden,
+            streams,
+            max_chars,
+            &point_batches,
+            reps,
+        ));
+    }
+    // The paper-scale smoke: a few batched characters at hidden 2048 prove
+    // the packed core runs the full-size network (quick mode only — the
+    // full recorder's job is the measured sweep).
+    let smoke_2048 = if quick {
+        eprintln!("sweep: hidden 2048 smoke...");
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: 2048,
+            num_layers: 2,
+            seed: 0x15F3,
+        });
+        let options = SampleOptions {
+            max_chars: 12,
+            temperature: 0.9,
+        };
+        Some(run_batched(&model, &vocab, &options, 4, 4, true))
+    } else {
+        None
+    };
+
+    // The headline configuration (first sweep point, historically hidden
+    // 64): keep the original JSON fields for continuity.
+    let head = &sweep[0];
 
     // End-to-end pipeline (n-gram backend, small corpus): serial synthesize
     // vs batched synthesize + rayon-parallel rejection filtering.
@@ -126,7 +288,7 @@ fn main() {
         Clgen::try_new(o).expect("pipeline")
     };
     let spec = ArgumentSpec::paper_default();
-    let attempts = 512;
+    let attempts = if quick { 128 } else { 512 };
     let mut clgen = build();
     let t0 = Instant::now();
     let serial_report = clgen.synthesize(usize::MAX, attempts, Some(&spec));
@@ -139,35 +301,87 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     writeln!(json, "  \"benchmark\": \"synthesis_throughput\",").unwrap();
+    writeln!(json, "  \"quick\": {quick},").unwrap();
     writeln!(
         json,
-        "  \"config\": {{\"hidden_size\": {}, \"num_layers\": {}, \"vocab_size\": {}, \"max_chars\": {}, \"temperature\": {}, \"streams\": {}}},",
-        config.hidden_size, config.num_layers, config.vocab_size, options.max_chars, options.temperature, streams
+        "  \"config\": {{\"hidden_size\": {}, \"num_layers\": {}, \"vocab_size\": {}, \"max_chars\": {}, \"temperature\": 0.9, \"streams\": {}}},",
+        head.hidden, head.layers, vocab.len(), head.max_chars, head.streams
     )
     .unwrap();
     writeln!(
         json,
         "  \"serial\": {{\"chars\": {}, \"seconds\": {:.4}, \"chars_per_sec\": {:.0}}},",
-        serial.chars,
-        serial.seconds,
-        serial.chars_per_sec()
+        head.serial_packed.chars,
+        head.serial_packed.seconds,
+        head.serial_packed.chars_per_sec()
     )
     .unwrap();
     json.push_str("  \"batched\": [\n");
-    for (i, m) in batched.iter().enumerate() {
+    for (i, (p, _)) in head.batched.iter().enumerate() {
         writeln!(
             json,
             "    {{\"batch\": {}, \"chars\": {}, \"seconds\": {:.4}, \"chars_per_sec\": {:.0}, \"speedup_vs_serial\": {:.2}}}{}",
-            m.batch,
-            m.chars,
-            m.seconds,
-            m.chars_per_sec(),
-            m.chars_per_sec() / serial.chars_per_sec(),
-            if i + 1 == batched.len() { "" } else { "," }
+            p.batch,
+            p.chars,
+            p.seconds,
+            p.chars_per_sec(),
+            p.chars_per_sec() / head.serial_packed.chars_per_sec(),
+            if i + 1 == head.batched.len() { "" } else { "," }
         )
         .unwrap();
     }
     json.push_str("  ],\n");
+    // The hidden-size sweep: packed (default) vs unpacked-baseline kernels
+    // over byte-identical workloads. `speedup_packed` is the kernel win.
+    json.push_str("  \"hidden_sweep\": [\n");
+    for (i, point) in sweep.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"hidden\": {}, \"num_layers\": {}, \"streams\": {}, \"max_chars\": {},",
+            point.hidden, point.layers, point.streams, point.max_chars
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "     \"serial\": {{\"packed_chars_per_sec\": {:.0}, \"unpacked_chars_per_sec\": {:.0}, \"speedup_packed\": {:.2}}},",
+            point.serial_packed.chars_per_sec(),
+            point.serial_unpacked.chars_per_sec(),
+            point.serial_packed.chars_per_sec() / point.serial_unpacked.chars_per_sec()
+        )
+        .unwrap();
+        json.push_str("     \"batched\": [\n");
+        for (j, (p, u)) in point.batched.iter().enumerate() {
+            writeln!(
+                json,
+                "       {{\"batch\": {}, \"packed_chars_per_sec\": {:.0}, \"unpacked_chars_per_sec\": {:.0}, \"speedup_packed\": {:.2}, \"speedup_vs_serial_unpacked\": {:.2}}}{}",
+                p.batch,
+                p.chars_per_sec(),
+                u.chars_per_sec(),
+                p.chars_per_sec() / u.chars_per_sec(),
+                p.chars_per_sec() / point.serial_unpacked.chars_per_sec(),
+                if j + 1 == point.batched.len() { "" } else { "," }
+            )
+            .unwrap();
+        }
+        writeln!(
+            json,
+            "     ]\n    }}{}",
+            if i + 1 == sweep.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    json.push_str("  ],\n");
+    if let Some(smoke) = &smoke_2048 {
+        writeln!(
+            json,
+            "  \"hidden_2048_smoke\": {{\"batch\": {}, \"chars\": {}, \"seconds\": {:.4}, \"chars_per_sec\": {:.0}}},",
+            smoke.batch,
+            smoke.chars,
+            smoke.seconds,
+            smoke.chars_per_sec()
+        )
+        .unwrap();
+    }
     writeln!(
         json,
         "  \"pipeline_ngram\": {{\"attempts\": {}, \"serial_seconds\": {:.4}, \"batched32_seconds\": {:.4}, \"speedup\": {:.2}, \"serial_accepted\": {}, \"batched_accepted\": {}}}",
@@ -183,13 +397,21 @@ fn main() {
 
     std::fs::write("BENCH_synthesis.json", &json).expect("write BENCH_synthesis.json");
     println!("{json}");
-    for m in &batched {
+    for point in &sweep {
         println!(
-            "batch {:>2}: {:>10.0} chars/sec  ({:.2}x serial)",
-            m.batch,
-            m.chars_per_sec(),
-            m.chars_per_sec() / serial.chars_per_sec()
+            "hidden {:>4}: serial {:>8.0} chars/sec ({:.2}x unpacked)",
+            point.hidden,
+            point.serial_packed.chars_per_sec(),
+            point.serial_packed.chars_per_sec() / point.serial_unpacked.chars_per_sec()
         );
+        for (p, u) in &point.batched {
+            println!(
+                "  batch {:>2}: {:>8.0} chars/sec ({:.2}x unpacked, {:.2}x serial-unpacked)",
+                p.batch,
+                p.chars_per_sec(),
+                p.chars_per_sec() / u.chars_per_sec(),
+                p.chars_per_sec() / point.serial_unpacked.chars_per_sec()
+            );
+        }
     }
-    println!("serial  : {:>10.0} chars/sec", serial.chars_per_sec());
 }

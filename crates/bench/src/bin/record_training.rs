@@ -2,29 +2,37 @@
 //!
 //! Measures characters-per-second of truncated-BPTT training through the
 //! serial reference path (`TrainConfig::batch_size == 1`, one
-//! `train_chunk_ws` per chunk) and the minibatched path (`train_minibatch`
-//! at B ∈ {1, 4, 8}, lane-blocked GEMM kernels forward *and* backward) on
-//! the small LSTM configuration (64 hidden units x 2 layers —
-//! `LstmConfig::small`) over a synthetic OpenCL-flavoured corpus. Run from
-//! the workspace root with:
+//! `train_chunk_ws` per chunk) and the minibatched path (`train_minibatch`,
+//! lane-blocked GEMM kernels forward *and* backward) — now across a
+//! **hidden-size sweep** toward the paper's scale. At every sweep point the
+//! minibatched path is timed twice over byte-identical schedules: through
+//! the packed numeric core (the default — per-chunk weight packs, k-blocked
+//! GEMMs, deferred t-block gradient accumulation) and through the unpacked
+//! baseline kernels; the two are bitwise identical (property-tested), so
+//! the speedup column is a pure kernel comparison. Run from the workspace
+//! root with:
 //!
 //! ```text
-//! cargo run --release -p clgen-bench --bin record_training [-- --quick]
+//! cargo run --release -p clgen-bench --bin record_training [-- --quick] [-- --hidden 64,256,512]
 //! ```
 //!
 //! Every run starts from identically-seeded weights and trains for the same
 //! number of epochs, so the paths do the same number of passes over the same
-//! characters; each records its final validation loss (`evaluate` over the
-//! corpus) alongside throughput, making the speedups loss-matched rather
-//! than work-shirking. Minibatch B=1 is bitwise identical to serial by
-//! construction (see `crates/neural/tests/batched_training.rs`), so its row
-//! doubles as a sanity check that the batched machinery adds no overhead
-//! beyond noise. `--quick` shrinks the corpus and epoch count to smoke-test
-//! the recorder in CI.
+//! characters; the headline configurations also record their final
+//! validation loss (`evaluate` over the corpus), making the speedups
+//! loss-matched rather than work-shirking. Minibatch B=1 is bitwise
+//! identical to serial by construction (see
+//! `crates/neural/tests/batched_training.rs`), so its row doubles as a
+//! sanity check that the batched machinery adds no overhead beyond noise.
+//! `--quick` shrinks the corpus and epoch count to smoke-test the recorder
+//! in CI.
 
+use clgen_bench::{keep_fastest, parse_hidden_arg};
 use clgen_corpus::Vocabulary;
 use clgen_neural::lstm::{LstmConfig, LstmModel};
-use clgen_neural::train::{evaluate, train, train_minibatch, TrainConfig};
+use clgen_neural::train::{
+    evaluate, train, train_minibatch, train_minibatch_unpacked, TrainConfig,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -44,13 +52,18 @@ impl Measurement {
     }
 }
 
-fn fresh_model(vocab: usize) -> LstmModel {
-    LstmModel::new(LstmConfig::small(vocab))
+fn fresh_model(config: LstmConfig) -> LstmModel {
+    LstmModel::new(config)
 }
 
 /// Train once from fresh identically-seeded weights, timing the run.
-fn run_once(data: &[u32], vocab: usize, tc: &TrainConfig, force_minibatch: bool) -> Measurement {
-    let mut model = fresh_model(vocab);
+fn run_once(
+    data: &[u32],
+    config: LstmConfig,
+    tc: &TrainConfig,
+    force_minibatch: bool,
+) -> Measurement {
+    let mut model = fresh_model(config);
     let start = Instant::now();
     let reports = if force_minibatch {
         train_minibatch(&mut model, data, tc, None)
@@ -66,19 +79,44 @@ fn run_once(data: &[u32], vocab: usize, tc: &TrainConfig, force_minibatch: bool)
     }
 }
 
-/// Keep the faster of two timed runs of the same configuration. Training is
-/// deterministic (same seed, same schedule), so every repetition produces
-/// the same weights and loss; only wall-clock varies with machine noise,
-/// and the fastest run is the least perturbed measurement.
-fn keep_best(slot: &mut Option<Measurement>, m: Measurement) {
-    match slot {
-        Some(best) if best.seconds <= m.seconds => {}
-        _ => *slot = Some(m),
+/// The real minibatch driver with packing disabled
+/// (`train_minibatch_unpacked`): identical stream slicing and bitwise
+/// identical weights to the packed path — only the clock differs. Used for
+/// the unpacked-baseline column of the sweep.
+fn run_minibatch_unpacked(data: &[u32], config: LstmConfig, tc: &TrainConfig) -> Measurement {
+    let mut model = fresh_model(config);
+    let start = Instant::now();
+    let reports = train_minibatch_unpacked(&mut model, data, tc, None);
+    let seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        batch: tc.batch_size,
+        chars: reports.iter().map(|r| r.characters).sum(),
+        seconds,
+        final_loss: evaluate(&model, data),
     }
 }
 
+/// [`keep_fastest`] over this recorder's measurement type.
+fn keep_best(slot: &mut Option<Measurement>, m: Measurement) {
+    keep_fastest(slot, m, |m| m.seconds);
+}
+
+struct SweepPoint {
+    hidden: usize,
+    corpus_chars: usize,
+    epochs: usize,
+    serial: Measurement,
+    batched_packed: Measurement,
+    batched_unpacked: Measurement,
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let hidden_list: Vec<usize> =
+        parse_hidden_arg(&args)
+            .unwrap_or_else(|| if quick { vec![64] } else { vec![64, 256, 512] });
+
     let repeats = if quick { 20 } else { 220 };
     let text = KERNEL_TEXT.repeat(repeats);
     let vocab = Vocabulary::from_text(&text);
@@ -101,11 +139,12 @@ fn main() {
             batch_size: 8,
             ..serial_config
         };
-        let mut model = fresh_model(vocab.len());
+        let mut model = fresh_model(model_config);
         train(&mut model, &data[..data.len().min(2048)], &warm, None);
     }
 
-    // Whole suites are interleaved (serial, B=1, B=4, B=8, repeat) rather
+    // The headline hidden-64 suite, unchanged from earlier recordings:
+    // whole suites are interleaved (serial, B=1, B=4, B=8, repeat) rather
     // than repeating each configuration back to back, so no path
     // systematically enjoys the cold-start clock boost of a single-core
     // machine; each configuration keeps its fastest run.
@@ -115,7 +154,7 @@ fn main() {
     for _ in 0..reps {
         keep_best(
             &mut serial_best,
-            run_once(&data, vocab.len(), &serial_config, false),
+            run_once(&data, model_config, &serial_config, false),
         );
         for (slot, &b) in batched_best.iter_mut().zip([1usize, 4, 8].iter()) {
             // Gradients are summed over the B parallel streams, so the
@@ -127,7 +166,7 @@ fn main() {
                 clip_norm: serial_config.clip_norm * b as f32,
                 ..serial_config
             };
-            keep_best(slot, run_once(&data, vocab.len(), &tc, true));
+            keep_best(slot, run_once(&data, model_config, &tc, true));
         }
     }
     let serial = serial_best.expect("serial measured");
@@ -135,6 +174,74 @@ fn main() {
         .into_iter()
         .map(|m| m.expect("batched measured"))
         .collect();
+
+    // The hidden-size sweep: serial reference vs minibatch B=8 through the
+    // packed core and through the unpacked baseline, on corpora scaled down
+    // with the model so every point stays tractable.
+    let mut sweep: Vec<SweepPoint> = Vec::new();
+    for &hidden in &hidden_list {
+        let (corpus_reps, epochs) = if quick {
+            (8, 1)
+        } else {
+            match hidden {
+                0..=64 => (120, 2),
+                65..=256 => (48, 1),
+                _ => (24, 1),
+            }
+        };
+        let text = KERNEL_TEXT.repeat(corpus_reps);
+        let vocab = Vocabulary::from_text(&text);
+        let data = vocab.encode(&text);
+        let config = LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: hidden,
+            num_layers: 2,
+            seed: 0x15F3,
+        };
+        let tc_serial = TrainConfig {
+            epochs,
+            ..serial_config
+        };
+        let tc_batched = TrainConfig {
+            batch_size: 8,
+            clip_norm: serial_config.clip_norm * 8.0,
+            ..tc_serial
+        };
+        eprintln!(
+            "sweep: hidden {hidden} ({} chars x {epochs} epochs)...",
+            data.len()
+        );
+        let mut serial = None;
+        let mut packed = None;
+        let mut unpacked = None;
+        // Alternate the packed/unpacked measurement order across reps: the
+        // single-core machine's clock sags under sustained load, so a fixed
+        // order would systematically tax whichever path runs later.
+        for rep in 0..reps {
+            keep_best(&mut serial, run_once(&data, config, &tc_serial, false));
+            if rep % 2 == 0 {
+                keep_best(
+                    &mut unpacked,
+                    run_minibatch_unpacked(&data, config, &tc_batched),
+                );
+                keep_best(&mut packed, run_once(&data, config, &tc_batched, true));
+            } else {
+                keep_best(&mut packed, run_once(&data, config, &tc_batched, true));
+                keep_best(
+                    &mut unpacked,
+                    run_minibatch_unpacked(&data, config, &tc_batched),
+                );
+            }
+        }
+        sweep.push(SweepPoint {
+            hidden,
+            corpus_chars: data.len(),
+            epochs,
+            serial: serial.unwrap(),
+            batched_packed: packed.unwrap(),
+            batched_unpacked: unpacked.unwrap(),
+        });
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -176,6 +283,40 @@ fn main() {
         )
         .unwrap();
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"hidden_sweep\": [\n");
+    for (i, point) in sweep.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"hidden\": {}, \"num_layers\": 2, \"corpus_chars\": {}, \"epochs\": {}, \"unroll\": {},",
+            point.hidden, point.corpus_chars, point.epochs, serial_config.unroll
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "     \"serial\": {{\"chars_per_sec\": {:.0}, \"final_loss\": {:.4}}},",
+            point.serial.chars_per_sec(),
+            point.serial.final_loss
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "     \"batch8_packed\": {{\"chars_per_sec\": {:.0}, \"final_loss\": {:.4}, \"speedup_vs_serial\": {:.2}, \"speedup_vs_unpacked\": {:.2}}},",
+            point.batched_packed.chars_per_sec(),
+            point.batched_packed.final_loss,
+            point.batched_packed.chars_per_sec() / point.serial.chars_per_sec(),
+            point.batched_packed.chars_per_sec() / point.batched_unpacked.chars_per_sec()
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "     \"batch8_unpacked\": {{\"chars_per_sec\": {:.0}, \"final_loss\": {:.4}}}\n    }}{}",
+            point.batched_unpacked.chars_per_sec(),
+            point.batched_unpacked.final_loss,
+            if i + 1 == sweep.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
     json.push_str("  ]\n}\n");
 
     std::fs::write("BENCH_training.json", &json).expect("write BENCH_training.json");
@@ -192,6 +333,16 @@ fn main() {
             m.chars_per_sec(),
             m.chars_per_sec() / serial.chars_per_sec(),
             m.final_loss
+        );
+    }
+    for point in &sweep {
+        println!(
+            "hidden {:>4}: serial {:>7.0}  batch8 packed {:>8.0} ({:.2}x serial, {:.2}x unpacked batch8)",
+            point.hidden,
+            point.serial.chars_per_sec(),
+            point.batched_packed.chars_per_sec(),
+            point.batched_packed.chars_per_sec() / point.serial.chars_per_sec(),
+            point.batched_packed.chars_per_sec() / point.batched_unpacked.chars_per_sec()
         );
     }
 }

@@ -197,6 +197,13 @@ impl CorpusStage {
                     num_layers: *num_layers,
                     seed,
                 };
+                // Guard huge-model configs before any weight allocation:
+                // hidden/vocab combinations whose `4 * hidden * input`
+                // tensors would overflow or exceed the element cap are
+                // typed errors, not capacity panics.
+                config
+                    .validate()
+                    .map_err(|what| ClgenError::InvalidConfig { what })?;
                 let mut lstm = LstmModel::new(config);
                 train(&mut lstm, &self.encoded, tc, on_epoch);
                 Box::new(StatefulLstm::new(lstm))
@@ -346,6 +353,44 @@ mod tests {
                     Err(ClgenError::InvalidConfig { .. })
                 ),
                 "config {tc:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_model_configs_are_typed_errors_not_capacity_panics() {
+        let stage = ClgenBuilder::with_options(ClgenOptions::small(41))
+            .build_corpus()
+            .unwrap();
+        let train = clgen_neural::TrainConfig {
+            epochs: 1,
+            learning_rate: 0.05,
+            decay_factor: 0.9,
+            decay_every: 2,
+            unroll: 16,
+            clip_norm: 5.0,
+            batch_size: 1,
+        };
+        // Each of these would overflow `4 * hidden * input` or blow the
+        // element cap long before training could start; the pipeline must
+        // reject them without attempting the allocation.
+        for (hidden_size, num_layers) in [
+            (usize::MAX / 2, 1usize),
+            (usize::MAX / 8, 2),
+            (1 << 40, 1),
+            (1 << 16, 3), // 4 * 65536 * 65536 = 2^34 > the 2^31 element cap
+        ] {
+            let backend = ModelBackend::Lstm {
+                hidden_size,
+                num_layers,
+                train,
+            };
+            assert!(
+                matches!(
+                    stage.train_backend(&backend, 1),
+                    Err(ClgenError::InvalidConfig { .. })
+                ),
+                "hidden_size={hidden_size} should be rejected"
             );
         }
     }

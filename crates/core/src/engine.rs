@@ -25,7 +25,13 @@
 //! (the [`StreamBatch`] contract keeps per-lane state bitwise identical to a
 //! serial model fed the same characters), which is what lets a service built
 //! on this engine guarantee byte-identical responses regardless of request
-//! arrival order.
+//! arrival order. The numeric core underneath
+//! ([`feed_many`](clgen_neural::StreamBatch::feed_many) → packed k-blocked
+//! GEMMs, row-parallel above the scale threshold) preserves this end to end:
+//! its kernels reduce every output element in one unified fold, so neither
+//! the packed weight layout nor the rayon worker count can change a byte of
+//! a response — paper-scale models batch across requests with the same
+//! guarantee the small ones have.
 
 use crate::sampler::{SampleOptions, SampledCandidate, StopReason};
 use clgen_corpus::Vocabulary;

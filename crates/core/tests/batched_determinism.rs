@@ -101,6 +101,53 @@ proptest! {
     }
 }
 
+/// The sampler-level determinism contract at paper-adjacent scale: batched
+/// sampling through the packed, k-blocked (and, at hidden 512, row-parallel)
+/// kernels stays byte-identical to serial sampling at hidden ∈ {64, 192,
+/// 512} — the sizes straddling where the `BlockPlan` starts cutting k-blocks
+/// and fanning rows out. Budgets are tiny so the debug-mode tier-1 run stays
+/// fast; the kernels' bitwise parity itself is exercised exhaustively in
+/// `clgen-neural`'s `packed_parity` suite.
+#[test]
+fn lstm_batched_sampling_matches_serial_across_hidden_sweep() {
+    let short_seed = "__kernel void A() {";
+    let text = format!("{short_seed}\n  int b = 0;\n  b = b + 1;\n}}\n");
+    let vocab = Vocabulary::from_text(&text);
+    for (hidden, layers) in [(64usize, 2usize), (192, 2), (512, 1)] {
+        let model = LstmModel::new(LstmConfig {
+            vocab_size: vocab.len(),
+            hidden_size: hidden,
+            num_layers: layers,
+            seed: 0x5EED ^ hidden as u64,
+        });
+        let options = SampleOptions {
+            max_chars: 6,
+            temperature: 0.9,
+        };
+        let stream_seeds = [11u64, 22];
+
+        let serial: Vec<_> = stream_seeds
+            .iter()
+            .map(|&s| {
+                let mut stateful = StatefulLstm::new(model.clone());
+                let mut rng = StdRng::seed_from_u64(s);
+                sample_kernel(&mut stateful, &vocab, short_seed, &options, &mut rng)
+            })
+            .collect();
+
+        let mut streams = LstmStreams::new(&model, stream_seeds.len());
+        let batched =
+            sample_kernels_batched(&mut streams, &vocab, short_seed, &options, &stream_seeds);
+
+        assert_eq!(batched.len(), serial.len());
+        for (s, b) in serial.iter().zip(batched.iter()) {
+            assert_eq!(s.text, b.text, "hidden={hidden}: sampled text diverged");
+            assert_eq!(s.stop, b.stop, "hidden={hidden}");
+            assert_eq!(s.generated_chars, b.generated_chars, "hidden={hidden}");
+        }
+    }
+}
+
 /// Batched synthesis end-to-end: deterministic for a fixed run seed and
 /// batch size, with fully-consistent statistics and valid accepted kernels.
 #[test]

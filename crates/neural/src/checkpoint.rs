@@ -11,6 +11,15 @@
 //! owned by the synthesizer crate; this module only codes the weights
 //! themselves, routed by tag through
 //! [`BackendRegistry`](crate::backend::BackendRegistry).
+//!
+//! The wire format carries only the raw row-major weights — the packed
+//! row-panel copies the hot kernels consume
+//! ([`PackedMatrix`](crate::tensor::PackedMatrix)) are derived data, rebuilt
+//! when the loaded model's first sampling workspace is created (checkpoint
+//! load wraps the model in a `StatefulLstm`, whose workspace packs eagerly).
+//! Decoded dimensions pass the same [`LstmConfig::validate`] guard the
+//! pipeline applies at build time, so a corrupt header cannot drive a
+//! capacity panic.
 
 use crate::lstm::{LstmConfig, LstmLayer, LstmModel};
 use crate::ngram::{NgramConfig, NgramModel, NgramTable};
@@ -85,20 +94,19 @@ pub fn decode_lstm(dec: &mut Decoder<'_>) -> Result<LstmModel, WireError> {
     // from driving a huge allocation.
     let num_layers = dec.usize_bounded(8, "layer count")?;
     let seed = dec.u64()?;
-    if vocab_size == 0 || hidden_size == 0 || num_layers == 0 {
-        return Err(WireError::Invalid {
-            what: "LSTM dimensions must be positive",
-        });
-    }
-    let hs4 = hidden_size.checked_mul(4).ok_or(WireError::Invalid {
-        what: "LSTM hidden size overflows the gate block",
-    })?;
     let config = LstmConfig {
         vocab_size,
         hidden_size,
         num_layers,
         seed,
     };
+    // The same dimension guard the pipeline applies at build time: corrupt
+    // or absurd hidden/vocab combinations (zero sizes, weight tensors past
+    // the element cap) are typed errors before any weight allocation.
+    config
+        .validate()
+        .map_err(|what| WireError::Invalid { what })?;
+    let hs4 = 4 * hidden_size;
     let mut layers = Vec::with_capacity(num_layers);
     for l in 0..num_layers {
         let w_x = decode_matrix(dec)?;

@@ -54,6 +54,13 @@ impl StatefulLstm {
         &self.model
     }
 
+    /// Enable or disable the packed forward weights (enabled by default).
+    /// Packed and unpacked kernels are bitwise identical; the benchmark
+    /// recorders use this to measure the unpacked baseline.
+    pub fn set_packing(&mut self, packing: bool) {
+        self.ws.set_packing(packing);
+    }
+
     /// Unwrap into the underlying model.
     pub fn into_model(self) -> LstmModel {
         self.model
@@ -162,6 +169,13 @@ impl<'a> LstmStreams<'a> {
             saved_pool: Vec::new(),
             fed_scratch: vec![false; n],
         }
+    }
+
+    /// Enable or disable the packed forward weights (enabled by default).
+    /// Packed and unpacked kernels are bitwise identical; the benchmark
+    /// recorders use this to measure the unpacked baseline.
+    pub fn set_packing(&mut self, packing: bool) {
+        self.ws.set_packing(packing);
     }
 }
 

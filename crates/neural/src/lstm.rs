@@ -8,11 +8,21 @@
 
 use crate::tensor::{
     fast_tanh, lstm_cell_cached, lstm_cell_cached_batch, lstm_cell_fused_batch, sigmoid,
-    softmax_in_place, Matrix,
+    softmax_in_place, Matrix, PackedMatrix,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Hard cap on the element count of any single weight tensor
+/// (`4 * hidden * input` for layer weights): 2^31 f32 elements (8 GiB).
+/// [`LstmConfig::validate`] rejects configurations above it with a typed
+/// error before any allocation is attempted, so absurd hidden/vocab
+/// combinations surface as [`InvalidConfig`] instead of a capacity panic or
+/// an OOM abort mid-build.
+///
+/// [`InvalidConfig`]: crate::train::TrainConfig::validate
+pub const MAX_WEIGHT_ELEMS: usize = 1 << 31;
 
 /// Hyper-parameters of the LSTM network.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -47,6 +57,42 @@ impl LstmConfig {
             num_layers: 3,
             seed: 0x15F3,
         }
+    }
+
+    /// Check the configuration for dimensions that cannot be built: zero
+    /// sizes, gate blocks (`4 * hidden`) or weight tensors
+    /// (`4 * hidden * input` for `input ∈ {vocab, hidden}`) that would
+    /// overflow `usize` or exceed [`MAX_WEIGHT_ELEMS`]. Returns a description
+    /// of the first violated constraint; the pipeline surfaces it as a typed
+    /// `ClgenError::InvalidConfig` instead of a capacity panic.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.vocab_size == 0 {
+            return Err("vocabulary must be non-empty");
+        }
+        if self.hidden_size == 0 {
+            return Err("hidden size must be at least 1");
+        }
+        if self.num_layers == 0 {
+            return Err("at least one LSTM layer is required");
+        }
+        let hs4 = self
+            .hidden_size
+            .checked_mul(4)
+            .ok_or("hidden size overflows the 4H gate block")?;
+        for input in [self.vocab_size, self.hidden_size] {
+            let elems = hs4
+                .checked_mul(input)
+                .ok_or("weight tensor element count overflows usize")?;
+            if elems > MAX_WEIGHT_ELEMS {
+                return Err("weight tensor exceeds the supported element cap (2^31 f32)");
+            }
+        }
+        // The output projection (V x H) is never larger than the layer-0
+        // input weights (4H x V) unless hidden < 4, where it still fits.
+        self.vocab_size
+            .checked_mul(self.hidden_size)
+            .ok_or("output projection element count overflows usize")?;
+        Ok(())
     }
 }
 
@@ -360,6 +406,111 @@ fn interleaved_to_lanes(src: &[f32], width: usize, dst: &mut [f32]) {
     }
 }
 
+/// Per-model packed weights for the forward hot paths: every weight matrix a
+/// forward step multiplies by, repacked once into the cache-friendly
+/// [`PackedMatrix`] row-panel layout. Layer 0's input weights are consumed
+/// through the transposed embedding cache instead (one row add per one-hot
+/// input), so only layers above 0 pack `w_x`.
+///
+/// Packing is a bit-exact permutation and the packed kernels share the
+/// unified per-element fold with the unpacked ones, so a forward pass
+/// through the packs is bitwise identical to one through the raw matrices —
+/// only faster (see `crate::tensor`'s module docs).
+#[derive(Debug, Clone)]
+pub(crate) struct ForwardPacks {
+    /// `w_x` per layer (`None` for layer 0).
+    pub(crate) wx: Vec<Option<PackedMatrix>>,
+    /// `w_h` per layer.
+    pub(crate) wh: Vec<PackedMatrix>,
+    /// The output projection.
+    pub(crate) w_out: PackedMatrix,
+}
+
+impl ForwardPacks {
+    /// Pack every forward weight of `model`.
+    pub(crate) fn build(model: &LstmModel) -> ForwardPacks {
+        ForwardPacks {
+            wx: model
+                .layers
+                .iter()
+                .enumerate()
+                .map(|(l, layer)| (l > 0).then(|| PackedMatrix::pack(&layer.w_x)))
+                .collect(),
+            wh: model
+                .layers
+                .iter()
+                .map(|layer| PackedMatrix::pack(&layer.w_h))
+                .collect(),
+            w_out: PackedMatrix::pack(&model.w_out),
+        }
+    }
+
+    /// Re-pack from `model`'s current weights, reusing the buffers (the
+    /// training loop re-packs every chunk).
+    pub(crate) fn rebuild(&mut self, model: &LstmModel) {
+        for ((l, layer), slot) in model.layers.iter().enumerate().zip(self.wx.iter_mut()) {
+            if l > 0 {
+                slot.get_or_insert_with(PackedMatrix::default)
+                    .repack(&layer.w_x);
+            }
+        }
+        for (layer, pack) in model.layers.iter().zip(self.wh.iter_mut()) {
+            pack.repack(&layer.w_h);
+        }
+        self.w_out.repack(&model.w_out);
+    }
+}
+
+/// Transposed packed weights for the batched backward pass: each weight
+/// matrix `W` is packed as `W^T`, so the backward products `y += W^T x`
+/// (gradient flowing into hidden states) run through the same packed forward
+/// GEMM kernel — bitwise identical to the unpacked transposed kernels, which
+/// share the per-element fold (rows ascending).
+#[derive(Debug, Clone)]
+pub(crate) struct BackwardPacks {
+    /// `w_x^T` per layer (`None` for layer 0, whose input gradient is never
+    /// propagated — there is nothing below it).
+    pub(crate) wx_t: Vec<Option<PackedMatrix>>,
+    /// `w_h^T` per layer.
+    pub(crate) wh_t: Vec<PackedMatrix>,
+    /// The output projection, transposed.
+    pub(crate) w_out_t: PackedMatrix,
+}
+
+impl BackwardPacks {
+    /// Pack the transpose of every backward weight of `model`.
+    pub(crate) fn build(model: &LstmModel) -> BackwardPacks {
+        BackwardPacks {
+            wx_t: model
+                .layers
+                .iter()
+                .enumerate()
+                .map(|(l, layer)| (l > 0).then(|| PackedMatrix::pack_transpose(&layer.w_x)))
+                .collect(),
+            wh_t: model
+                .layers
+                .iter()
+                .map(|layer| PackedMatrix::pack_transpose(&layer.w_h))
+                .collect(),
+            w_out_t: PackedMatrix::pack_transpose(&model.w_out),
+        }
+    }
+
+    /// Re-pack from `model`'s current weights, reusing the buffers.
+    pub(crate) fn rebuild(&mut self, model: &LstmModel) {
+        for ((l, layer), slot) in model.layers.iter().enumerate().zip(self.wx_t.iter_mut()) {
+            if l > 0 {
+                slot.get_or_insert_with(PackedMatrix::default)
+                    .repack_transpose(&layer.w_x);
+            }
+        }
+        for (layer, pack) in model.layers.iter().zip(self.wh_t.iter_mut()) {
+            pack.repack_transpose(&layer.w_h);
+        }
+        self.w_out_t.repack_transpose(&model.w_out);
+    }
+}
+
 /// Backpropagation scratch for a whole minibatch (one set per
 /// [`TrainBatch`]); every buffer is the lane-interleaved widening of its
 /// [`BpttScratch`] counterpart.
@@ -374,6 +525,14 @@ pub(crate) struct BatchBpttScratch {
     dh: Vec<f32>,
     dz: Vec<f32>,
     dc_prev: Vec<f32>,
+    /// Per-timestep softmax gradients (`V x width` each), retained across
+    /// the backward sweep so the output-projection gradient can be
+    /// accumulated in deferred t-blocks (see
+    /// [`Matrix::add_outer_batch_spans`]). Sized only on the deferred path.
+    dlogits_steps: Vec<Vec<f32>>,
+    /// Per-timestep gate gradients (`num_layers * 4H * width` each,
+    /// layer-major), retained for the same deferred accumulation.
+    dz_steps: Vec<Vec<f32>>,
 }
 
 impl BatchBpttScratch {
@@ -390,6 +549,24 @@ impl BatchBpttScratch {
         self.dh.resize(len, 0.0);
         self.dz.resize(4 * len, 0.0);
         self.dc_prev.resize(len, 0.0);
+    }
+
+    /// Size the per-timestep gradient retention buffers for `steps`
+    /// timesteps (deferred-accumulation path only).
+    fn ensure_steps(&mut self, config: &LstmConfig, width: usize, steps: usize) {
+        let hw = config.hidden_size * width;
+        if self.dlogits_steps.len() < steps {
+            self.dlogits_steps.resize_with(steps, Vec::new);
+        }
+        for buf in self.dlogits_steps.iter_mut().take(steps) {
+            buf.resize(config.vocab_size * width, 0.0);
+        }
+        if self.dz_steps.len() < steps {
+            self.dz_steps.resize_with(steps, Vec::new);
+        }
+        for buf in self.dz_steps.iter_mut().take(steps) {
+            buf.resize(config.num_layers * 4 * hw, 0.0);
+        }
     }
 }
 
@@ -412,9 +589,19 @@ pub struct TrainBatch {
     logits: Vec<f32>,
     /// Transposed layer-0 input weights (`V x 4H`), so the one-hot
     /// embedding add reads a contiguous row per lane. Weights move every
-    /// chunk, so [`TrainBatch::rebuild_embed`] refreshes this at each chunk
-    /// start — the rebuild is amortised over `unroll * width` steps.
+    /// chunk, so [`TrainBatch::rebuild_weight_caches`] refreshes this at
+    /// each chunk start — the rebuild is amortised over `unroll * width`
+    /// steps.
     pub(crate) embed_t: Vec<f32>,
+    /// Packed forward weights, re-packed every chunk alongside `embed_t`
+    /// (`None` while packing is disabled).
+    pub(crate) fwd: Option<ForwardPacks>,
+    /// Transposed packed weights for the backward hidden-gradient products.
+    pub(crate) bwd: Option<BackwardPacks>,
+    /// Whether the chunk driver re-packs weights each chunk (`true` by
+    /// default; the training recorder disables it to measure the unpacked
+    /// baseline — results are bitwise identical either way).
+    packing: bool,
     /// Reusable per-timestep activation caches.
     pub(crate) caches: Vec<BatchStepCache>,
     /// Per-timestep softmax outputs, batch-major: lane `b` of step `t` at
@@ -434,6 +621,9 @@ impl TrainBatch {
             z: vec![0.0; 4 * config.hidden_size * width],
             logits: vec![0.0; config.vocab_size * width],
             embed_t: Vec::new(),
+            fwd: None,
+            bwd: None,
+            packing: true,
             caches: Vec::new(),
             step_probs: Vec::new(),
             bptt: BatchBpttScratch::default(),
@@ -445,11 +635,26 @@ impl TrainBatch {
         self.width
     }
 
-    /// Refresh the transposed layer-0 embedding cache from `model`'s
-    /// current weights. Call after every weight update (the chunk driver
-    /// does); the cached rows are exact bit copies, so the embedding add
-    /// stays bitwise identical to reading the weight column directly.
-    pub(crate) fn rebuild_embed(&mut self, model: &LstmModel) {
+    /// Enable or disable per-chunk weight packing (enabled by default). The
+    /// packed and unpacked kernels are bitwise identical, so this only
+    /// changes speed; the training recorder uses it to measure the unpacked
+    /// baseline.
+    pub fn set_packing(&mut self, packing: bool) {
+        self.packing = packing;
+        if !packing {
+            self.fwd = None;
+            self.bwd = None;
+        }
+    }
+
+    /// Refresh every weight-derived cache from `model`'s current weights:
+    /// the transposed layer-0 embedding, the packed forward weights and the
+    /// transposed backward packs. Call after every weight update (the chunk
+    /// driver does); all caches are exact bit copies or bit-exact
+    /// permutations, so the chunk's arithmetic is bitwise identical to
+    /// reading the raw matrices directly. The rebuild is amortised over
+    /// `unroll * width` timesteps.
+    pub(crate) fn rebuild_weight_caches(&mut self, model: &LstmModel) {
         let hs4 = 4 * self.config.hidden_size;
         let nv = self.config.vocab_size;
         self.embed_t.resize(nv * hs4, 0.0);
@@ -458,6 +663,16 @@ impl TrainBatch {
             let row = w_x.row(r);
             for (col, &w) in row.iter().enumerate() {
                 self.embed_t[col * hs4 + r] = w;
+            }
+        }
+        if self.packing {
+            match &mut self.fwd {
+                Some(fwd) => fwd.rebuild(model),
+                None => self.fwd = Some(ForwardPacks::build(model)),
+            }
+            match &mut self.bwd {
+                Some(bwd) => bwd.rebuild(model),
+                None => self.bwd = Some(BackwardPacks::build(model)),
             }
         }
     }
@@ -481,7 +696,8 @@ impl TrainBatch {
     }
 
     /// Disjoint borrows of the forward-pass buffers: cache pool, per-step
-    /// softmax outputs, gate scratch, logit scratch, embedding cache.
+    /// softmax outputs, gate scratch, logit scratch, embedding cache and
+    /// packed forward weights.
     #[allow(clippy::type_complexity)]
     pub(crate) fn forward_buffers(
         &mut self,
@@ -491,6 +707,7 @@ impl TrainBatch {
         &mut [f32],
         &mut [f32],
         &[f32],
+        Option<&ForwardPacks>,
     ) {
         (
             &mut self.caches,
@@ -498,14 +715,27 @@ impl TrainBatch {
             &mut self.z,
             &mut self.logits,
             &self.embed_t,
+            self.fwd.as_ref(),
         )
     }
 
-    /// Disjoint borrows of the backward-pass buffers.
+    /// Disjoint borrows of the backward-pass buffers, plus the transposed
+    /// packed weights.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn backward_buffers(
         &mut self,
-    ) -> (&[BatchStepCache], &[Vec<f32>], &mut BatchBpttScratch) {
-        (&self.caches, &self.step_probs, &mut self.bptt)
+    ) -> (
+        &[BatchStepCache],
+        &[Vec<f32>],
+        &mut BatchBpttScratch,
+        Option<&BackwardPacks>,
+    ) {
+        (
+            &self.caches,
+            &self.step_probs,
+            &mut self.bptt,
+            self.bwd.as_ref(),
+        )
     }
 }
 
@@ -636,6 +866,14 @@ pub struct Workspace {
     /// run concurrently with weight updates (the stream types enforce this by
     /// borrowing the model).
     embed_t: Vec<f32>,
+    /// Packed forward weights (row-panel layout; see
+    /// [`PackedMatrix`]), built lazily alongside `embed_t` and invalidated
+    /// with it. Bitwise-equivalent to the raw matrices, so dropping them
+    /// (e.g. via [`Workspace::set_packing`]) only changes speed.
+    packs: Option<ForwardPacks>,
+    /// Whether the forward pass consumes packed weights (`true` by default;
+    /// benchmark baselines disable it to measure the unpacked kernels).
+    packing: bool,
     /// Scratch batch state for the gather/scatter compatibility wrapper
     /// [`LstmModel::predict_batch_sel`].
     batch_scratch: Option<BatchState>,
@@ -660,6 +898,8 @@ impl Workspace {
             probs: Vec::new(),
             cols: Vec::new(),
             embed_t: Vec::new(),
+            packs: None,
+            packing: true,
             batch_scratch: None,
             caches: Vec::new(),
             step_probs: Vec::new(),
@@ -669,17 +909,33 @@ impl Workspace {
         ws
     }
 
-    /// Drop the cached transposed embedding so the next prediction rebuilds
-    /// it from the current weights. Called by the training entry points
-    /// whenever they update the model; callers applying gradients directly
-    /// must not reuse a prediction workspace without doing the same.
+    /// Drop the cached weight derivatives — the transposed embedding and the
+    /// packed forward weights — so the next prediction rebuilds them from
+    /// the current weights. Called by the training entry points whenever
+    /// they update the model; callers applying gradients directly must not
+    /// reuse a prediction workspace without doing the same.
     pub fn invalidate_embed(&mut self) {
         self.embed_t.clear();
+        self.packs = None;
+    }
+
+    /// Enable or disable the packed forward weights (enabled by default).
+    /// The packed and unpacked kernels are bitwise identical, so this only
+    /// changes speed; the hidden-size sweep recorder uses it to measure the
+    /// unpacked baseline.
+    pub fn set_packing(&mut self, packing: bool) {
+        self.packing = packing;
+        if !packing {
+            self.packs = None;
+        }
     }
 
     /// Cache the transposed layer-0 input weights of `model` for the
-    /// embedding fast path (idempotent).
+    /// embedding fast path, and the packed forward weights (idempotent).
     fn ensure_embed(&mut self, model: &LstmModel) {
+        if self.packing && self.packs.is_none() {
+            self.packs = Some(ForwardPacks::build(model));
+        }
         let hs4 = 4 * self.config.hidden_size;
         let nv = self.config.vocab_size;
         if self.embed_t.len() == nv * hs4 {
@@ -760,9 +1016,16 @@ pub struct LstmModel {
 
 impl LstmModel {
     /// Initialise a model with random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`LstmConfig::validate`] (zero
+    /// dimensions, or weight tensors past the element cap). The staged
+    /// pipeline validates up front and returns a typed error instead.
     pub fn new(config: LstmConfig) -> LstmModel {
-        assert!(config.vocab_size > 0, "vocabulary must be non-empty");
-        assert!(config.hidden_size > 0 && config.num_layers > 0);
+        if let Err(what) = config.validate() {
+            panic!("invalid LstmConfig: {what}");
+        }
         let mut rng = StdRng::seed_from_u64(config.seed);
         let mut layers = Vec::with_capacity(config.num_layers);
         for l in 0..config.num_layers {
@@ -1003,8 +1266,10 @@ impl LstmModel {
             logits,
             probs,
             embed_t,
+            packs,
             ..
         } = ws;
+        let packs = packs.as_ref();
         let z = &mut z[..4 * hs * width];
         let hs4 = 4 * hs;
 
@@ -1015,7 +1280,9 @@ impl LstmModel {
             }
             // z += W_x * x: layer 0 adds the embedding row of each lane's
             // character (contiguous thanks to the transposed cache), higher
-            // layers run a GEMM over the freshly-updated hidden state below.
+            // layers run a GEMM over the freshly-updated hidden state below
+            // — through the packed panels when available (bitwise identical
+            // either way; see `crate::tensor`).
             if l == 0 {
                 for (lane, &id) in inputs.iter().enumerate() {
                     let col = id as usize % nv;
@@ -1025,10 +1292,16 @@ impl LstmModel {
                     }
                 }
             } else {
-                layer.w_x.matmul_add_into(&bs.h[l - 1], width, z);
+                match packs.and_then(|p| p.wx[l].as_ref()) {
+                    Some(pack) => pack.matmul_add_into(&bs.h[l - 1], width, z),
+                    None => layer.w_x.matmul_add_into(&bs.h[l - 1], width, z),
+                }
             }
             // z += W_h * h_prev (this layer's resident state, pre-update).
-            layer.w_h.matmul_add_into(&bs.h[l], width, z);
+            match packs {
+                Some(p) => p.wh[l].matmul_add_into(&bs.h[l], width, z),
+                None => layer.w_h.matmul_add_into(&bs.h[l], width, z),
+            }
             // Fused gate activation + state update across all lanes.
             lstm_cell_fused_batch(z, width, &mut bs.c[l], &mut bs.h[l]);
         }
@@ -1039,8 +1312,11 @@ impl LstmModel {
         for (r, &bias) in self.b_out.iter().enumerate() {
             logits[r * width..(r + 1) * width].fill(bias);
         }
-        self.w_out
-            .matmul_add_into(&bs.h[self.config.num_layers - 1], width, logits);
+        let top = &bs.h[self.config.num_layers - 1];
+        match packs {
+            Some(p) => p.w_out.matmul_add_into(top, width, logits),
+            None => self.w_out.matmul_add_into(top, width, logits),
+        }
         for (pos, &lane) in softmax_lanes.iter().enumerate() {
             let dst = &mut probs[pos * nv..(pos + 1) * nv];
             for (r, p) in dst.iter_mut().enumerate() {
@@ -1053,8 +1329,9 @@ impl LstmModel {
     /// Recompute one lane's next-character distribution from its resident
     /// hidden state, without advancing anything. Bitwise identical to the
     /// softmax [`predict_batch_resident`](LstmModel::predict_batch_resident)
-    /// produced for that lane at its last step (the logits accumulate over
-    /// the hidden vector in the same order).
+    /// produced for that lane at its last step: the logits reduce in the
+    /// unified left-fold order (seed the bias, add terms in ascending `k`),
+    /// exactly as the packed and unpacked GEMM kernels do.
     pub fn lane_distribution(&self, bs: &BatchState, lane: usize, out: &mut Vec<f32>) {
         let width = bs.width();
         assert!(lane < width, "lane out of range");
@@ -1065,11 +1342,11 @@ impl LstmModel {
             .iter_mut()
             .zip(self.w_out.data().chunks_exact(self.w_out.cols()))
         {
-            let mut acc = 0.0f32;
+            let mut acc = *dst;
             for (&w, &h) in row.iter().zip(top[lane..].iter().step_by(width)) {
                 acc += w * h;
             }
-            *dst += acc;
+            *dst = acc;
         }
         softmax_in_place(out);
     }
@@ -1162,15 +1439,26 @@ impl LstmModel {
         gate_scratch: &mut [f32],
         logit_scratch: &mut [f32],
     ) {
-        self.step_batch_core(bs, inputs, cache, probs, gate_scratch, logit_scratch, &[]);
+        self.step_batch_core(
+            bs,
+            inputs,
+            cache,
+            probs,
+            gate_scratch,
+            logit_scratch,
+            &[],
+            None,
+        );
     }
 
     /// [`step_batch_into`](LstmModel::step_batch_into) with an optional
     /// transposed embedding cache (`embed_t`, `V x 4H`, empty to read the
-    /// weight columns directly). The cached rows are bit copies of the
-    /// weight columns, so both paths produce identical gates; the chunk
-    /// driver passes its [`TrainBatch`]'s cache to turn the layer-0 input
-    /// into contiguous row reads.
+    /// weight columns directly) and optional packed forward weights. The
+    /// cached rows are bit copies of the weight columns and the packed
+    /// kernels share the unified fold, so every combination produces
+    /// identical gates; the chunk driver passes its [`TrainBatch`]'s caches
+    /// to turn the layer-0 input into contiguous row reads and the GEMMs
+    /// into packed panel streams.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn step_batch_core(
         &self,
@@ -1181,6 +1469,7 @@ impl LstmModel {
         gate_scratch: &mut [f32],
         logit_scratch: &mut [f32],
         embed_t: &[f32],
+        packs: Option<&ForwardPacks>,
     ) {
         let hs = self.config.hidden_size;
         let nv = self.config.vocab_size;
@@ -1224,9 +1513,15 @@ impl LstmModel {
                 // step; its lane-major copy feeds the backward outer
                 // product while the GEMM reads the resident state.
                 interleaved_to_lanes(&bs.h[l - 1], width, &mut cache.input_lanes[l]);
-                layer.w_x.matmul_add_into(&bs.h[l - 1], width, z);
+                match packs.and_then(|p| p.wx[l].as_ref()) {
+                    Some(pack) => pack.matmul_add_into(&bs.h[l - 1], width, z),
+                    None => layer.w_x.matmul_add_into(&bs.h[l - 1], width, z),
+                }
             }
-            layer.w_h.matmul_add_into(&bs.h[l], width, z);
+            match packs {
+                Some(p) => p.wh[l].matmul_add_into(&bs.h[l], width, z),
+                None => layer.w_h.matmul_add_into(&bs.h[l], width, z),
+            }
             // The fused cell reads the cached previous state and writes the
             // new state straight into the resident batch — no copy-back.
             lstm_cell_cached_batch(
@@ -1251,7 +1546,10 @@ impl LstmModel {
         for (r, &bias) in self.b_out.iter().enumerate() {
             logits[r * width..(r + 1) * width].fill(bias);
         }
-        self.w_out.matmul_add_into(top, width, logits);
+        match packs {
+            Some(p) => p.w_out.matmul_add_into(top, width, logits),
+            None => self.w_out.matmul_add_into(top, width, logits),
+        }
         probs.resize(nv * width, 0.0);
         for lane in 0..width {
             let dst = &mut probs[lane * nv..(lane + 1) * nv];
@@ -1282,18 +1580,31 @@ impl LstmModel {
         grads: &mut LstmGradients,
     ) -> f32 {
         let mut scratch = BatchBpttScratch::default();
-        self.backward_batch_core(caches, step_probs, targets, width, grads, &mut scratch)
+        self.backward_batch_core(
+            caches,
+            step_probs,
+            targets,
+            width,
+            grads,
+            &mut scratch,
+            None,
+        )
     }
 
     /// Batched backpropagation core over caller-provided scratch: the
     /// lane-widened mirror of [`LstmModel::backward_core`]. Per gradient
     /// element every accumulation runs in the same order as the serial core
-    /// with lanes innermost, and the transposed GEMM / batched outer product
-    /// reproduce the serial kernels exactly at one lane (see
+    /// with lanes innermost, and the transposed GEMM (packed or unpacked —
+    /// bitwise identical) and batched outer product reproduce the serial
+    /// kernels exactly at one lane (see
     /// [`Matrix::matmul_transpose_add_into`] and
     /// [`Matrix::add_outer_batch`]), so a single-lane minibatch accumulates
     /// bitwise-identical gradients — and therefore takes bitwise-identical
-    /// SGD steps — to serial truncated BPTT.
+    /// SGD steps — to serial truncated BPTT. With `packs`, the hidden-state
+    /// gradient products stream the transposed packed panels (and, above
+    /// the parallel threshold, split output rows across rayon workers —
+    /// still bitwise identical at any thread count).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn backward_batch_core(
         &self,
         caches: &[BatchStepCache],
@@ -1302,6 +1613,7 @@ impl LstmModel {
         width: usize,
         grads: &mut LstmGradients,
         scratch: &mut BatchBpttScratch,
+        packs: Option<&BackwardPacks>,
     ) -> f32 {
         assert_eq!(caches.len(), step_probs.len());
         assert_eq!(targets.len(), caches.len() * width);
@@ -1309,8 +1621,20 @@ impl LstmModel {
         let nv = self.config.vocab_size;
         let num_layers = self.config.num_layers;
         let hw = hs * width;
+        let steps = caches.len();
         let mut loss = 0.0f32;
         scratch.ensure_shape(&self.config, width);
+        // With packs (the modern path), per-timestep gate/softmax gradients
+        // are retained so the big parameter gradients can be accumulated in
+        // deferred t-blocks after the sweep — each gradient element is then
+        // loaded and stored once per block instead of once per timestep,
+        // removing the dominant backward memory traffic. The fold order per
+        // gradient element (timesteps descending, lanes ascending) is
+        // exactly the per-timestep sequence, so deferral changes no bits.
+        let deferred = packs.is_some();
+        if deferred {
+            scratch.ensure_steps(&self.config, width, steps);
+        }
         let BatchBpttScratch {
             dh_next,
             dc_next,
@@ -1319,37 +1643,47 @@ impl LstmModel {
             dh,
             dz,
             dc_prev,
+            dlogits_steps,
+            dz_steps,
         } = scratch;
         for buf in dh_next.iter_mut().chain(dc_next.iter_mut()) {
             buf.iter_mut().for_each(|v| *v = 0.0);
         }
-        for t in (0..caches.len()).rev() {
+        for t in (0..steps).rev() {
             let cache = &caches[t];
             let probs = &step_probs[t];
             // Loss and dlogits = probs - one_hot(target), scattered into the
-            // interleaved layout the backward GEMMs read.
+            // interleaved layout the backward GEMMs read (retained per step
+            // on the deferred path).
+            let dl: &mut [f32] = if deferred {
+                &mut dlogits_steps[t]
+            } else {
+                dlogits
+            };
             for lane in 0..width {
                 let target = targets[t * width + lane] as usize % nv;
                 let p = &probs[lane * nv..(lane + 1) * nv];
                 loss -= p[target].max(1e-12).ln();
                 for (v, &pv) in p.iter().enumerate() {
-                    dlogits[v * width + lane] = pv;
+                    dl[v * width + lane] = pv;
                 }
-                dlogits[target * width + lane] -= 1.0;
+                dl[target * width + lane] -= 1.0;
             }
-            // Output layer gradients.
-            grads
-                .w_out
-                .add_outer_batch(dlogits, &cache.h_top_lanes, width);
+            // Output layer gradients (the projection matrix is deferred).
+            if !deferred {
+                grads.w_out.add_outer_batch(dl, &cache.h_top_lanes, width);
+            }
             for (r, db) in grads.b_out.iter_mut().enumerate() {
-                for &dl in &dlogits[r * width..(r + 1) * width] {
-                    *db += dl;
+                for &d in &dl[r * width..(r + 1) * width] {
+                    *db += d;
                 }
             }
             // Gradient flowing into the top layer's hidden state.
             dh_above.iter_mut().for_each(|v| *v = 0.0);
-            self.w_out
-                .matmul_transpose_add_into(dlogits, width, dh_above);
+            match packs {
+                Some(p) => p.w_out_t.matmul_add_into(dl, width, dh_above),
+                None => self.w_out.matmul_transpose_add_into(dl, width, dh_above),
+            }
             for l in (0..num_layers).rev() {
                 let layer = &self.layers[l];
                 let glayer = &mut grads.layers[l];
@@ -1357,11 +1691,16 @@ impl LstmModel {
                 for (dst, src) in dh.iter_mut().zip(dh_next[l].iter()) {
                     *dst += src;
                 }
+                let dzt: &mut [f32] = if deferred {
+                    &mut dz_steps[t][l * 4 * hw..(l + 1) * 4 * hw]
+                } else {
+                    &mut dz[..4 * hw]
+                };
                 {
                     // Fixed-length subslices let the whole gate-gradient
                     // computation run as one bounds-check-free elementwise
                     // pass.
-                    let (dzi, rest) = dz[..4 * hw].split_at_mut(hw);
+                    let (dzi, rest) = dzt.split_at_mut(hw);
                     let (dzf, rest) = rest.split_at_mut(hw);
                     let (dzg, dzo) = rest.split_at_mut(hw);
                     let os = &cache.o[l][..hw];
@@ -1393,35 +1732,96 @@ impl LstmModel {
                     }
                 }
                 dc_next[l].copy_from_slice(dc_prev);
-                // Parameter gradients.
+                // Parameter gradients. The dense matrices are deferred to
+                // the t-block pass; the layer-0 one-hot columns (a sparse
+                // scatter) and the biases stay per-timestep.
                 if l == 0 {
                     for (lane, &id) in cache.input_ids.iter().enumerate() {
                         let col = id as usize % nv;
                         for r in 0..4 * hs {
-                            let v = glayer.w_x.get(r, col) + dz[r * width + lane];
+                            let v = glayer.w_x.get(r, col) + dzt[r * width + lane];
                             glayer.w_x.set(r, col, v);
                         }
                     }
-                } else {
-                    glayer.w_x.add_outer_batch(dz, &cache.input_lanes[l], width);
+                } else if !deferred {
+                    glayer
+                        .w_x
+                        .add_outer_batch(dzt, &cache.input_lanes[l], width);
                 }
-                glayer
-                    .w_h
-                    .add_outer_batch(dz, &cache.h_prev_lanes[l], width);
+                if !deferred {
+                    glayer
+                        .w_h
+                        .add_outer_batch(dzt, &cache.h_prev_lanes[l], width);
+                }
                 for (r, db) in glayer.b.iter_mut().enumerate() {
-                    for &d in &dz[r * width..(r + 1) * width] {
+                    for &d in &dzt[r * width..(r + 1) * width] {
                         *db += d;
                     }
                 }
                 // Gradient into the previous hidden state (recurrent path).
                 let dh_prev = &mut dh_next[l];
                 dh_prev.iter_mut().for_each(|v| *v = 0.0);
-                layer.w_h.matmul_transpose_add_into(dz, width, dh_prev);
+                match packs {
+                    Some(p) => p.wh_t[l].matmul_add_into(dzt, width, dh_prev),
+                    None => layer.w_h.matmul_transpose_add_into(dzt, width, dh_prev),
+                }
                 // Gradient into the layer below's hidden output at this step.
                 if l > 0 {
                     dh_above.iter_mut().for_each(|v| *v = 0.0);
-                    layer.w_x.matmul_transpose_add_into(dz, width, dh_above);
+                    match packs.and_then(|p| p.wx_t[l].as_ref()) {
+                        Some(pack) => pack.matmul_add_into(dzt, width, dh_above),
+                        None => layer.w_x.matmul_transpose_add_into(dzt, width, dh_above),
+                    }
                 }
+            }
+        }
+        if deferred {
+            // Deferred accumulation of the dense parameter gradients, in
+            // t-blocks: per block, each gradient matrix streams through the
+            // cache once while the block's retained dz/dlogits and the
+            // forward caches (a few hundred KiB) stay hot. Blocks walk t
+            // from the top down and spans within a block are t-descending,
+            // so per element the fold is globally (t desc, lane asc) —
+            // bitwise the per-timestep order.
+            const GRAD_T_BLOCK: usize = 16;
+            let mut spans: [(&[f32], &[f32]); GRAD_T_BLOCK] = [(&[][..], &[][..]); GRAD_T_BLOCK];
+            let mut t_hi = steps;
+            while t_hi > 0 {
+                let t_lo = t_hi.saturating_sub(GRAD_T_BLOCK);
+                let block = t_lo..t_hi;
+                let mut n = 0;
+                for t in block.clone().rev() {
+                    spans[n] = (&dlogits_steps[t], &caches[t].h_top_lanes);
+                    n += 1;
+                }
+                grads.w_out.add_outer_batch_spans(&spans[..n], width);
+                for l in 0..num_layers {
+                    let mut n = 0;
+                    for t in block.clone().rev() {
+                        spans[n] = (
+                            &dz_steps[t][l * 4 * hw..(l + 1) * 4 * hw],
+                            &caches[t].h_prev_lanes[l],
+                        );
+                        n += 1;
+                    }
+                    grads.layers[l]
+                        .w_h
+                        .add_outer_batch_spans(&spans[..n], width);
+                    if l > 0 {
+                        let mut n = 0;
+                        for t in block.clone().rev() {
+                            spans[n] = (
+                                &dz_steps[t][l * 4 * hw..(l + 1) * 4 * hw],
+                                &caches[t].input_lanes[l],
+                            );
+                            n += 1;
+                        }
+                        grads.layers[l]
+                            .w_x
+                            .add_outer_batch_spans(&spans[..n], width);
+                    }
+                }
+                t_hi = t_lo;
             }
         }
         loss

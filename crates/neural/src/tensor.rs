@@ -4,9 +4,27 @@
 //! of tensor operations an LSTM needs (dense matrix-vector products, AXPY,
 //! element-wise nonlinearities) implemented directly over `Vec<f32>` so the
 //! reproduction has no external numerical dependencies.
+//!
+//! # The unified accumulation order
+//!
+//! Every hot kernel in this module — serial matvec, the lane-blocked GEMM,
+//! their [`PackedMatrix`] counterparts, the transposed backward GEMM and the
+//! batched outer product — reduces each output element as a **left fold**:
+//! the element's current value (bias, prior partial, accumulated gradient) is
+//! the fold seed, and contribution terms are added one at a time in a fixed
+//! canonical sequence (ascending `k`, ascending lane). A left fold is
+//! invariant to where block boundaries fall — `((y + a) + b) + c` is the same
+//! floating-point computation whether the partial lives in a register or was
+//! spilled to memory between blocks — so cache blocking ([`BlockPlan`]),
+//! row-panel packing, lane blocking and row-parallel splits over disjoint
+//! output rows all preserve bitwise results *by construction*. This is what
+//! lets batched sampling stay bitwise identical to serial sampling and
+//! batch-1 training bitwise identical to the serial BPTT path at any model
+//! scale, block shape or rayon thread count.
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use rayon::ParallelSliceMut;
 use serde::{Deserialize, Serialize};
 
 /// A dense row-major `rows x cols` matrix of `f32`.
@@ -94,9 +112,10 @@ impl Matrix {
     /// `y = self * x` into a caller-provided buffer (no allocation).
     ///
     /// Rows are processed in blocks of [`MATVEC_ROW_BLOCK`] sharing one pass
-    /// over `x` (see [`Matrix::matvec_add`]); each output element still
-    /// accumulates over `k` in index order, so results are bitwise identical
-    /// to the one-row-at-a-time formulation.
+    /// over `x` (see [`Matrix::matvec_add`]); each output element reduces in
+    /// the unified left-fold order (seed 0, terms in ascending `k`), bitwise
+    /// identical to the one-row-at-a-time formulation and to
+    /// [`PackedMatrix::matvec_into`].
     ///
     /// # Panics
     ///
@@ -109,13 +128,14 @@ impl Matrix {
 
     /// `y += self * x` (accumulating matrix-vector product).
     ///
-    /// The serial-path hot kernel: rows are processed [`MATVEC_ROW_BLOCK`] at
-    /// a time with one independent accumulator per row, so a single pass over
-    /// `x` serves four dot products and the four dependency chains overlap in
-    /// the FMA pipeline. Per output element the accumulation order over `k`
-    /// is unchanged (one accumulator summed in index order, added to `y`
-    /// once), so the blocked kernel is bitwise identical to the scalar one;
-    /// leftover rows take the scalar tail.
+    /// The serial-path reference kernel: rows are processed
+    /// [`MATVEC_ROW_BLOCK`] at a time with one independent accumulator per
+    /// row, so a single pass over `x` serves four dot products and the four
+    /// dependency chains overlap in the FMA pipeline. Per output element the
+    /// reduction is the unified left fold — the accumulator is seeded with
+    /// the current `y` value and terms are added in ascending `k` — so this
+    /// kernel, [`Matrix::matmul_add_into`] at any width and the packed
+    /// k-blocked kernels are all bitwise identical per lane.
     pub fn matvec_add(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         assert_eq!(y.len(), self.rows, "matvec output mismatch");
@@ -123,7 +143,8 @@ impl Matrix {
     }
 
     /// Shared row-blocked matrix-vector kernel: `ADD` selects accumulate
-    /// (`y += A x`) versus overwrite (`y = A x`) on the final store.
+    /// (`y += A x`, fold seeded with `y`) versus overwrite (`y = A x`, fold
+    /// seeded with zero).
     fn matvec_rows<const ADD: bool>(&self, x: &[f32], y: &mut [f32]) {
         let cols = self.cols;
         let mut rows_iter = self.data.chunks_exact(cols * MATVEC_ROW_BLOCK);
@@ -134,6 +155,9 @@ impl Matrix {
             let r2 = &block[2 * cols..3 * cols];
             let r3 = &block[3 * cols..4 * cols];
             let mut acc = [0.0f32; MATVEC_ROW_BLOCK];
+            if ADD {
+                acc.copy_from_slice(yb);
+            }
             for k in 0..cols {
                 let xv = x[k];
                 acc[0] += r0[k] * xv;
@@ -141,28 +165,18 @@ impl Matrix {
                 acc[2] += r2[k] * xv;
                 acc[3] += r3[k] * xv;
             }
-            for (dst, a) in yb.iter_mut().zip(acc.iter()) {
-                if ADD {
-                    *dst += a;
-                } else {
-                    *dst = *a;
-                }
-            }
+            yb.copy_from_slice(&acc);
         }
         for (dst, row) in y_iter
             .into_remainder()
             .iter_mut()
             .zip(rows_iter.remainder().chunks_exact(cols.max(1)))
         {
-            let mut acc = 0.0f32;
+            let mut acc = if ADD { *dst } else { 0.0f32 };
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += a * b;
             }
-            if ADD {
-                *dst += acc;
-            } else {
-                *dst = acc;
-            }
+            *dst = acc;
         }
     }
 
@@ -176,11 +190,12 @@ impl Matrix {
     ///
     /// The kernel is blocked over [`GEMM_LANES`] columns with one independent
     /// accumulator per lane, so the compiler can keep the lanes in vector
-    /// registers; crucially, each output element still accumulates over `k`
-    /// in exactly the order [`Matrix::matvec_add`] uses, so a batched product
-    /// is bitwise identical to `width` separate matrix-vector products. The
-    /// multi-stream sampler's determinism guarantee (batched sampling ==
-    /// serial sampling) rests on this property; see
+    /// registers; crucially, each output element reduces in the unified
+    /// left-fold order (seed `y`, terms in ascending `k`) — exactly the order
+    /// [`Matrix::matvec_add`] and the packed k-blocked kernels use — so a
+    /// batched product is bitwise identical to `width` separate matrix-vector
+    /// products. The multi-stream sampler's determinism guarantee (batched
+    /// sampling == serial sampling) rests on this property; see
     /// `batched_gemm_bitwise_equals_matvec` in this module's tests.
     ///
     /// # Panics
@@ -197,7 +212,7 @@ impl Matrix {
         // Rows are processed in pairs sharing one pass over `x`: two
         // independent accumulator sets double the in-flight FMA chains
         // (hiding their latency) and halve the loads of `x`. Per output
-        // element the accumulation order over `k` is untouched.
+        // element the fold order over `k` is untouched.
         let mut r = 0;
         while r + 2 <= self.rows {
             let row0 = self.row(r);
@@ -215,14 +230,14 @@ impl Matrix {
                 b0 += GEMM_LANES / 2;
             }
             for b in b0..width {
-                let mut acc0 = 0.0f32;
-                let mut acc1 = 0.0f32;
+                let mut acc0 = y0[b];
+                let mut acc1 = y1[b];
                 for ((&w0, &w1), xk) in row0.iter().zip(row1.iter()).zip(x.chunks_exact(width)) {
                     acc0 += w0 * xk[b];
                     acc1 += w1 * xk[b];
                 }
-                y0[b] += acc0;
-                y1[b] += acc1;
+                y0[b] = acc0;
+                y1[b] = acc1;
             }
             r += 2;
         }
@@ -239,11 +254,11 @@ impl Matrix {
                 b0 += GEMM_LANES / 2;
             }
             for b in b0..width {
-                let mut acc = 0.0f32;
+                let mut acc = yrow[b];
                 for (&w, xk) in row.iter().zip(x.chunks_exact(width)) {
                     acc += w * xk[b];
                 }
-                yrow[b] += acc;
+                yrow[b] = acc;
             }
         }
     }
@@ -261,14 +276,15 @@ impl Matrix {
     }
 
     /// `y += self^T * x` (transposed matrix-vector product), used in
-    /// backpropagation.
+    /// backpropagation. Per output element `c` the reduction is the unified
+    /// left fold: seed `y[c]`, then `w[r][c] * x[r]` for `r` ascending — the
+    /// same order the lane-blocked transposed GEMM and the packed transposed
+    /// kernels use, so single-lane batched backward passes are bitwise
+    /// identical to this serial one.
     pub fn matvec_transpose_add(&self, x: &[f32], y: &mut [f32]) {
         assert_eq!(x.len(), self.rows, "matvecT dimension mismatch");
         assert_eq!(y.len(), self.cols, "matvecT output mismatch");
         for (&xr, row) in x.iter().zip(self.data.chunks_exact(self.cols)) {
-            if xr == 0.0 {
-                continue;
-            }
             for (dst, a) in y.iter_mut().zip(row.iter()) {
                 *dst += a * xr;
             }
@@ -286,11 +302,11 @@ impl Matrix {
     /// vector FMA with no reduction, and `y` (small, `cols x width`) stays
     /// cache-resident while each weight row streams past once per batch.
     ///
-    /// Rows accumulate in index order (four rows' updates fused per pass,
-    /// still applied in ascending row order per element); `width == 1`
-    /// delegates to exactly [`Matrix::matvec_transpose_add`] — zero-skip
-    /// included — so a single-lane batched backward pass is bitwise
-    /// identical to the serial one.
+    /// Rows fold in index order (four rows' updates fused per pass, still
+    /// applied in ascending row order per element, seeded with the current
+    /// `y` value); `width == 1` delegates to exactly
+    /// [`Matrix::matvec_transpose_add`], so a single-lane batched backward
+    /// pass is bitwise identical to the serial one.
     ///
     /// # Panics
     ///
@@ -319,9 +335,6 @@ impl Matrix {
                 .zip(self.data.chunks_exact(self.cols.max(1)))
             {
                 let xv = xr[b];
-                if xv == 0.0 {
-                    continue;
-                }
                 for (yc, &w) in y.chunks_exact_mut(width).zip(row.iter()) {
                     yc[b] += w * xv;
                 }
@@ -380,9 +393,6 @@ impl Matrix {
             .zip(rows.remainder().chunks_exact(cols))
         {
             let xv: &[f32; L] = xr[b0..b0 + L].try_into().expect("lane block in bounds");
-            if xv.iter().all(|v| *v == 0.0) {
-                continue;
-            }
             for (yc, &w) in y.chunks_exact_mut(width).zip(row.iter()) {
                 let ys: &mut [f32] = &mut yc[b0..b0 + L];
                 for l in 0..L {
@@ -397,9 +407,6 @@ impl Matrix {
         assert_eq!(a.len(), self.rows, "outer product row mismatch");
         assert_eq!(b.len(), self.cols, "outer product col mismatch");
         for (&ar, row) in a.iter().zip(self.data.chunks_exact_mut(self.cols)) {
-            if ar == 0.0 {
-                continue;
-            }
             for (dst, bv) in row.iter_mut().zip(b.iter()) {
                 *dst += ar * bv;
             }
@@ -420,11 +427,17 @@ impl Matrix {
     /// once per stream — the cache-traffic win batched gradient
     /// accumulation exists for.
     ///
-    /// Per gradient element the lane contributions accumulate in ascending
-    /// lane order (deterministic for a given width); at `width == 1` the two
-    /// layouts coincide and the kernel delegates to exactly
-    /// [`Matrix::add_outer`] — zero-skip included — so single-lane batched
-    /// accumulation is bitwise identical to the serial path.
+    /// Per gradient element the reduction is the unified left fold — seed
+    /// the current gradient value, add lane contributions in ascending lane
+    /// order — deterministic for a given width and invariant to the tile
+    /// shape and row split; at `width == 1` the two layouts coincide and the
+    /// kernel delegates to exactly [`Matrix::add_outer`], so single-lane
+    /// batched accumulation is bitwise identical to the serial path.
+    ///
+    /// Gradient matrices above the [`BlockPlan`] parallel threshold split
+    /// their rows across rayon workers; each gradient element is written by
+    /// exactly one worker with the same fold, so the result is bitwise
+    /// independent of the thread count.
     ///
     /// # Panics
     ///
@@ -439,65 +452,80 @@ impl Matrix {
             return self.add_outer(a, b_lanes);
         }
         let cols = self.cols.max(1);
-        // Register tiles of 4 gradient rows x OUTER_TILE columns accumulate
-        // every lane's contribution before one store, so each gradient
-        // element is loaded and stored once per batch and each `b` vector
-        // load feeds four rows.
-        let mut a_quads = a.chunks_exact(4 * width);
-        let mut row_quads = self.data.chunks_exact_mut(4 * cols);
-        for (aq, quad) in a_quads.by_ref().zip(row_quads.by_ref()) {
-            let mut c0 = 0;
-            while c0 + OUTER_TILE <= cols {
-                outer_row_tile::<OUTER_TILE>(aq, b_lanes, width, cols, c0, quad);
-                c0 += OUTER_TILE;
-            }
-            if c0 + OUTER_TILE / 2 <= cols {
-                outer_row_tile::<{ OUTER_TILE / 2 }>(aq, b_lanes, width, cols, c0, quad);
-                c0 += OUTER_TILE / 2;
-            }
-            for c in c0..cols {
-                for (i, ar) in aq.chunks_exact(width).enumerate() {
-                    let mut acc = quad[i * cols + c];
-                    for (lane, &av) in ar.iter().enumerate() {
-                        if av == 0.0 {
-                            continue;
-                        }
-                        acc += av * b_lanes[lane * cols + c];
-                    }
-                    quad[i * cols + c] = acc;
-                }
-            }
+        let plan = BlockPlan::for_kernel(self.rows, cols, width);
+        let threads = if plan.parallel {
+            rayon::current_num_threads()
+        } else {
+            1
+        };
+        if plan.parallel && threads > 1 && self.rows > 4 {
+            // Quad-aligned row chunks keep every chunk on the fast 4-row
+            // tile path; disjoint rows make the split bitwise-invisible.
+            let quads = self.rows.div_ceil(4);
+            let chunk_rows = quads.div_ceil(threads) * 4;
+            self.data
+                .par_chunks_mut(chunk_rows * cols)
+                .enumerate()
+                .for_each(|(ci, rows_chunk)| {
+                    let a0 = ci * chunk_rows * width;
+                    let nrows = rows_chunk.len() / cols;
+                    outer_rows(rows_chunk, &a[a0..a0 + nrows * width], b_lanes, width, cols);
+                });
+        } else {
+            outer_rows(&mut self.data, a, b_lanes, width, cols);
         }
-        for (ar, row) in a_quads
-            .remainder()
-            .chunks_exact(width)
-            .zip(row_quads.into_remainder().chunks_exact_mut(cols))
-        {
-            let mut c0 = 0;
-            while c0 + OUTER_TILE <= cols {
-                outer_col_tile::<OUTER_TILE>(ar, b_lanes, cols, c0, &mut row[c0..c0 + OUTER_TILE]);
-                c0 += OUTER_TILE;
-            }
-            if c0 + OUTER_TILE / 2 <= cols {
-                outer_col_tile::<{ OUTER_TILE / 2 }>(
-                    ar,
-                    b_lanes,
-                    cols,
-                    c0,
-                    &mut row[c0..c0 + OUTER_TILE / 2],
-                );
-                c0 += OUTER_TILE / 2;
-            }
-            for c in c0..cols {
-                let mut acc = row[c];
-                for (lane, &av) in ar.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    acc += av * b_lanes[lane * cols + c];
-                }
-                row[c] = acc;
-            }
+    }
+
+    /// Accumulate a whole block of batched outer products:
+    /// `self += Σ_span Σ_lane a_span,lane * b_span,lane^T`, where each span
+    /// is one timestep's `(a, b_lanes)` operand pair (layouts as in
+    /// [`Matrix::add_outer_batch`]).
+    ///
+    /// This is the k-blocked gradient accumulation of truncated BPTT: a
+    /// chunk's backward pass used to stream every (large) gradient matrix
+    /// through the cache once **per timestep**; handing a block of timesteps
+    /// to this kernel loads and stores each gradient element once per
+    /// *block*, cutting the dominant backward memory traffic by the block
+    /// length. Per gradient element the reduction is the unified left fold
+    /// over spans in the given order, lanes ascending within each span —
+    /// exactly the sequence of per-timestep [`Matrix::add_outer_batch`]
+    /// calls it replaces, so deferring the accumulation changes no bits
+    /// (property-tested). Callers pass spans in timestep-descending order to
+    /// match the serial backward pass.
+    ///
+    /// Rows split across rayon workers above the parallel threshold, bitwise
+    /// identical at any thread count (disjoint rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any span's operand lengths disagree with the gradient shape
+    /// and `width`.
+    pub fn add_outer_batch_spans(&mut self, spans: &[(&[f32], &[f32])], width: usize) {
+        for (a, b_lanes) in spans {
+            assert_eq!(a.len(), self.rows * width, "outer span row mismatch");
+            assert_eq!(b_lanes.len(), self.cols * width, "outer span col mismatch");
+        }
+        if width == 0 || spans.is_empty() {
+            return;
+        }
+        let cols = self.cols.max(1);
+        let plan = BlockPlan::for_kernel(self.rows, cols, width * spans.len());
+        let threads = if plan.parallel {
+            rayon::current_num_threads()
+        } else {
+            1
+        };
+        if plan.parallel && threads > 1 && self.rows > 4 {
+            let quads = self.rows.div_ceil(4);
+            let chunk_rows = quads.div_ceil(threads) * 4;
+            self.data
+                .par_chunks_mut(chunk_rows * cols)
+                .enumerate()
+                .for_each(|(ci, rows_chunk)| {
+                    outer_rows_spans(rows_chunk, ci * chunk_rows, spans, width, cols);
+                });
+        } else {
+            outer_rows_spans(&mut self.data, 0, spans, width, cols);
         }
     }
 
@@ -533,6 +561,453 @@ impl Matrix {
     /// True if the matrix has no entries.
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+}
+
+/// Cache-blocking plan for the packed kernels, derived deterministically
+/// from the operand dimensions alone (never from the machine's thread count
+/// or load), so the same operand always uses the same blocks.
+///
+/// The plan only decides *where work is cut*, never *what is summed in which
+/// order*: every kernel reduces each output element as a left fold over the
+/// same canonical term sequence, so any `kc`, lane width or row split yields
+/// bitwise-identical results (see the module docs). That frees the plan to
+/// chase the cache. Its two halves are consumed at different times: `kc` is
+/// the **pack-time layout unit** — [`PackedMatrix`] bakes it in (at the
+/// canonical [`GEMM_LANES`] width) so the kernels' traversal stays exactly
+/// sequential, sized so a k-block's slice of the batched input stays
+/// L1-resident even at the widest 32-lane batches (`256 * 32 * 4 B = 32 KiB`
+/// against the 48 KiB L1) — while `lane_block` and `parallel` are read at
+/// kernel invocation for the register tiling and the row-parallel decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// Columns per k-block of the packed layout (consumed at pack time):
+    /// the fold for each output element is cut into runs of at most `kc`
+    /// terms, with the running value spilled to `y` between runs.
+    pub kc: usize,
+    /// Batch lanes per register tile of the GEMM kernels.
+    pub lane_block: usize,
+    /// Whether the operand is large enough for deterministic row-parallelism
+    /// (output rows split across workers; disjoint rows keep the result
+    /// bitwise identical to the serial schedule at any thread count).
+    pub parallel: bool,
+}
+
+/// The k-block budget in f32 elements: a k-block's slice of the batched
+/// input (`kc * width` values) is re-streamed once per row panel, so the
+/// pack-time `kc` (computed at the canonical [`GEMM_LANES`] width) comes out
+/// at 256 for wide operands — small enough that even a 32-lane batch's
+/// k-slice (32 KiB) still fits the 48 KiB L1 alongside the 8 KiB weight
+/// panel.
+const KBLOCK_BUDGET_F32: usize = 2048;
+
+/// Lower bound on `kc`: below this the per-block bookkeeping (spilling the
+/// running fold to `y` and reloading it) outweighs the locality win.
+const KBLOCK_MIN: usize = 128;
+
+/// Minimum `rows * cols * width` products before a kernel fans its output
+/// rows out across rayon workers; smaller operands run serially because the
+/// fork/join costs more than it saves.
+pub const PAR_MIN_WORK: usize = 1 << 21;
+
+impl BlockPlan {
+    /// The plan for a `rows x cols` operand consumed at `width` batch lanes.
+    ///
+    /// `kc` shrinks as the width grows (`kc * width` is held near the L1
+    /// budget; packing evaluates this at the canonical [`GEMM_LANES`]
+    /// width) and `lane_block` is the widest register tile the batch fills
+    /// — together the heuristic that replaces the old fixed eight-lane
+    /// constant and repairs the wide-batch throughput curve.
+    pub fn for_kernel(rows: usize, cols: usize, width: usize) -> BlockPlan {
+        let width = width.max(1);
+        let kc = (KBLOCK_BUDGET_F32 / width).max(KBLOCK_MIN).min(cols.max(1));
+        let lane_block = if width >= GEMM_LANES {
+            GEMM_LANES
+        } else if width >= 4 {
+            4
+        } else if width >= 2 {
+            2
+        } else {
+            1
+        };
+        let parallel = rows.saturating_mul(cols).saturating_mul(width) >= PAR_MIN_WORK;
+        BlockPlan {
+            kc,
+            lane_block,
+            parallel,
+        }
+    }
+}
+
+/// A weight matrix repacked once into a cache-friendly k-blocked row-panel
+/// layout for the hot kernels (the GotoBLAS/BLIS packing idea applied to
+/// this crate's hand-rolled core).
+///
+/// Rows are grouped into panels of [`ROW_PANEL`]; columns into k-blocks of
+/// `kc` (chosen from the dims by [`BlockPlan`] at pack time). Storage is
+/// k-block-major, then panel-major, then k-major with the panel's
+/// [`ROW_PANEL`] rows contiguous per `k` — short final panels are
+/// zero-padded, and only the final k-block may be short. Three properties
+/// follow:
+///
+/// * the kernels' traversal order (k-blocks outermost, panels inside,
+///   `k` innermost) reads `data` **exactly sequentially**, so the whole
+///   matrix streams through the prefetcher once per product with none of
+///   the strided hops a 2048-wide row-major matrix suffers;
+/// * within a k-block, the k-slice of the batched input `x` it re-streams
+///   per panel is at most `kc * width` values — L1-resident at the widths
+///   the plan budgets for — instead of the whole `cols * width` operand;
+/// * the eight rows of a panel sit contiguously per `k`, so the serial
+///   matvec becomes one 8-wide vector FMA per `k` instead of eight scalar
+///   dependency chains.
+///
+/// Packing is bit-exact (`pack` then [`PackedMatrix::unpack`] reproduces the
+/// source matrix bitwise) and the packed kernels fold in the same unified
+/// per-element order as their [`Matrix`] counterparts — the left fold makes
+/// the k-block cuts invisible — so swapping a packed matrix into a hot path
+/// never changes a single output bit, only the speed. Weight matrices are
+/// packed once per model build / checkpoint load (sampling) or once per
+/// BPTT chunk (training, where weights move).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Baked k-block length (layout unit), derived from the dims alone.
+    kc: usize,
+    data: Vec<f32>,
+}
+
+/// Rows per packed panel: eight f32 fill one 256-bit vector register, so the
+/// packed matvec runs one vector FMA per `k` per panel.
+pub const ROW_PANEL: usize = 8;
+
+impl PackedMatrix {
+    /// Pack `m` into the k-blocked row-panel layout (see the type docs).
+    pub fn pack(m: &Matrix) -> PackedMatrix {
+        let mut packed = PackedMatrix::default();
+        packed.repack(m);
+        packed
+    }
+
+    /// Pack the transpose of `m` — the layout the backward pass feeds to the
+    /// forward GEMM kernel to compute `y += m^T x` (so one kernel serves
+    /// both directions). Equivalent to `PackedMatrix::pack(&transpose(m))`
+    /// without materializing the transpose.
+    pub fn pack_transpose(m: &Matrix) -> PackedMatrix {
+        let mut packed = PackedMatrix::default();
+        packed.repack_transpose(m);
+        packed
+    }
+
+    /// Reset shape metadata and zero-fill the padded storage for a
+    /// `rows x cols` operand; returns the panel count.
+    fn reshape(&mut self, rows: usize, cols: usize) -> usize {
+        self.rows = rows;
+        self.cols = cols;
+        // The layout's k-block length is derived from the dims alone (the
+        // canonical GEMM width): deterministic, and never affects bits —
+        // only where the sequential stream is cut.
+        self.kc = BlockPlan::for_kernel(rows, cols, GEMM_LANES).kc;
+        let panels = rows.div_ceil(ROW_PANEL).max(1);
+        self.data.clear();
+        self.data.resize(panels * cols * ROW_PANEL, 0.0);
+        panels
+    }
+
+    /// Re-pack `m` in place, reusing the existing buffer (the training path
+    /// re-packs every chunk because the weights moved; steady state performs
+    /// no allocation).
+    pub fn repack(&mut self, m: &Matrix) {
+        let panels = self.reshape(m.rows(), m.cols());
+        if self.cols == 0 {
+            return;
+        }
+        let (kc, cols) = (self.kc, self.cols);
+        for (r, row) in m.data().chunks_exact(cols).enumerate() {
+            let (p, i) = (r / ROW_PANEL, r % ROW_PANEL);
+            let mut kstart = 0;
+            let mut boff = 0;
+            while kstart < cols {
+                let blen = kc.min(cols - kstart);
+                let base = boff + p * blen * ROW_PANEL + i;
+                for (k_in, &w) in row[kstart..kstart + blen].iter().enumerate() {
+                    self.data[base + k_in * ROW_PANEL] = w;
+                }
+                kstart += blen;
+                boff += blen * ROW_PANEL * panels;
+            }
+        }
+    }
+
+    /// Re-pack the transpose of `m` in place (see
+    /// [`PackedMatrix::pack_transpose`]).
+    pub fn repack_transpose(&mut self, m: &Matrix) {
+        // Packed rows are the source's columns: packed (c, k) = m[k][c].
+        let panels = self.reshape(m.cols(), m.rows());
+        if self.cols == 0 || self.rows == 0 {
+            return;
+        }
+        let (kc, cols) = (self.kc, self.cols);
+        for (k, row) in m.data().chunks_exact(m.cols()).enumerate() {
+            let b = k / kc;
+            let blen = kc.min(cols - b * kc);
+            let kbase = b * kc * ROW_PANEL * panels + (k - b * kc) * ROW_PANEL;
+            for (c, &w) in row.iter().enumerate() {
+                let (p, i) = (c / ROW_PANEL, c % ROW_PANEL);
+                self.data[kbase + p * blen * ROW_PANEL + i] = w;
+            }
+        }
+    }
+
+    /// Number of rows of the packed operand.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the packed operand.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reconstruct the row-major matrix this pack was built from. Packing is
+    /// a bit-exact permutation, so the round trip reproduces every element
+    /// bitwise (property-tested).
+    pub fn unpack(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        if self.rows == 0 || self.cols == 0 {
+            return out;
+        }
+        let panels = self.rows.div_ceil(ROW_PANEL).max(1);
+        let (kc, cols) = (self.kc, self.cols);
+        let mut kstart = 0;
+        let mut boff = 0;
+        while kstart < cols {
+            let blen = kc.min(cols - kstart);
+            for p in 0..panels {
+                let base = boff + p * blen * ROW_PANEL;
+                for k_in in 0..blen {
+                    for i in 0..ROW_PANEL {
+                        let r = p * ROW_PANEL + i;
+                        if r < self.rows {
+                            out.set(r, kstart + k_in, self.data[base + k_in * ROW_PANEL + i]);
+                        }
+                    }
+                }
+            }
+            kstart += blen;
+            boff += blen * ROW_PANEL * panels;
+        }
+        out
+    }
+
+    /// `y = A x`: the packed matvec (fold seeded with zero). Bitwise
+    /// identical to [`Matrix::matvec_into`] on the source matrix.
+    pub fn matvec_into(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
+        self.matvec_panels::<false>(x, y);
+    }
+
+    /// `y += A x`: the packed matvec (fold seeded with `y`). Bitwise
+    /// identical to [`Matrix::matvec_add`] on the source matrix; one 8-wide
+    /// vector FMA per `k` per panel, streaming the packed weights exactly
+    /// once in layout order.
+    pub fn matvec_add(&self, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output mismatch");
+        self.matvec_panels::<true>(x, y);
+    }
+
+    fn matvec_panels<const ADD: bool>(&self, x: &[f32], y: &mut [f32]) {
+        if self.rows == 0 || self.cols == 0 {
+            if !ADD {
+                y.iter_mut().for_each(|v| *v = 0.0);
+            }
+            return;
+        }
+        let panels = self.rows.div_ceil(ROW_PANEL).max(1);
+        let (kc, cols) = (self.kc, self.cols);
+        // A contiguous panel range's worth of the matvec: walks the packed
+        // data in layout order (k-blocks outer, the range's panels inner).
+        // The running fold per row spills to `y` between k-blocks — the
+        // left fold makes the cut invisible. On the overwrite path the
+        // first block seeds zero, later blocks the spilled partial.
+        let run = |p0: usize, yslice: &mut [f32]| {
+            let mut kstart = 0;
+            let mut boff = 0;
+            while kstart < cols {
+                let blen = kc.min(cols - kstart);
+                let xk = &x[kstart..kstart + blen];
+                for (pi, yp) in yslice.chunks_mut(ROW_PANEL).enumerate() {
+                    let base = boff + (p0 + pi) * blen * ROW_PANEL;
+                    let panel = &self.data[base..base + blen * ROW_PANEL];
+                    let mut acc = [0.0f32; ROW_PANEL];
+                    if ADD || kstart > 0 {
+                        acc[..yp.len()].copy_from_slice(yp);
+                    }
+                    for (w8, &xv) in panel.chunks_exact(ROW_PANEL).zip(xk.iter()) {
+                        for i in 0..ROW_PANEL {
+                            acc[i] += w8[i] * xv;
+                        }
+                    }
+                    yp.copy_from_slice(&acc[..yp.len()]);
+                }
+                kstart += blen;
+                boff += blen * ROW_PANEL * panels;
+            }
+        };
+        let plan = BlockPlan::for_kernel(self.rows, cols, 1);
+        let threads = if plan.parallel {
+            rayon::current_num_threads()
+        } else {
+            1
+        };
+        if plan.parallel && threads > 1 && self.rows > ROW_PANEL {
+            let chunk_panels = panels.div_ceil(threads);
+            y.par_chunks_mut(chunk_panels * ROW_PANEL)
+                .enumerate()
+                .for_each(|(ci, ychunk)| run(ci * chunk_panels, ychunk));
+        } else {
+            run(0, y);
+        }
+    }
+
+    /// `y += A x` over `width` interleaved batch lanes: the packed,
+    /// k-blocked GEMM (layout as in [`Matrix::matmul_add_into`]).
+    ///
+    /// The kernel walks the baked k-blocks outermost — reading the packed
+    /// weights exactly sequentially — so the k-slice of `x` it re-streams
+    /// per row panel stays L1-resident at any batch width; inside a k-block
+    /// each panel is an 8-row x `lane_block`-lane register tile
+    /// ([`BlockPlan`] picks the lane width). Above the parallel threshold,
+    /// whole row panels are split across rayon workers. Every variation —
+    /// k-block cut, lane width, row split, thread count — preserves the
+    /// unified per-element left fold, so the result is bitwise identical to
+    /// [`Matrix::matmul_add_into`] on the source matrix
+    /// (kernel-parity-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols * width` or `y.len() != rows * width`.
+    pub fn matmul_add_into(&self, x: &[f32], width: usize, y: &mut [f32]) {
+        assert_eq!(x.len(), self.cols * width, "matmul input mismatch");
+        assert_eq!(y.len(), self.rows * width, "matmul output mismatch");
+        if width == 0 || self.rows == 0 || self.cols == 0 {
+            return;
+        }
+        if width == 1 {
+            return self.matvec_add(x, y);
+        }
+        let panels = self.rows.div_ceil(ROW_PANEL).max(1);
+        let plan = BlockPlan::for_kernel(self.rows, self.cols, width);
+        let threads = if plan.parallel {
+            rayon::current_num_threads()
+        } else {
+            1
+        };
+        if plan.parallel && threads > 1 && self.rows > ROW_PANEL {
+            let chunk_panels = panels.div_ceil(threads);
+            y.par_chunks_mut(chunk_panels * ROW_PANEL * width)
+                .enumerate()
+                .for_each(|(ci, ychunk)| {
+                    gemm_packed_blocks(
+                        &self.data,
+                        panels,
+                        ci * chunk_panels,
+                        self.kc,
+                        self.cols,
+                        x,
+                        width,
+                        ychunk,
+                        plan,
+                    );
+                });
+        } else {
+            gemm_packed_blocks(&self.data, panels, 0, self.kc, self.cols, x, width, y, plan);
+        }
+    }
+}
+
+/// The k-blocked packed GEMM over a contiguous range of row panels
+/// (starting at `p0` of `total_panels`): for every baked k-block, every
+/// panel folds its 8 x `lane_block` register tile seeded from `y`, adds the
+/// block's terms in ascending `k`, and spills back — the unified left fold,
+/// cut at the layout's `kc`. The serial case (`p0 == 0`, all panels) reads
+/// the packed data exactly sequentially.
+#[allow(clippy::too_many_arguments)]
+fn gemm_packed_blocks(
+    data: &[f32],
+    total_panels: usize,
+    p0: usize,
+    kc: usize,
+    cols: usize,
+    x: &[f32],
+    width: usize,
+    y: &mut [f32],
+    plan: BlockPlan,
+) {
+    let mut kstart = 0;
+    let mut boff = 0;
+    while kstart < cols {
+        let blen = kc.min(cols - kstart);
+        let xk = &x[kstart * width..(kstart + blen) * width];
+        for (pi, yp) in y.chunks_mut(ROW_PANEL * width).enumerate() {
+            let base = boff + (p0 + pi) * blen * ROW_PANEL;
+            let panel = &data[base..base + blen * ROW_PANEL];
+            let mut b0 = 0;
+            if plan.lane_block >= GEMM_LANES {
+                while b0 + GEMM_LANES <= width {
+                    gemm_packed_tile::<GEMM_LANES>(panel, xk, width, b0, yp);
+                    b0 += GEMM_LANES;
+                }
+            }
+            if plan.lane_block >= 4 {
+                while b0 + 4 <= width {
+                    gemm_packed_tile::<4>(panel, xk, width, b0, yp);
+                    b0 += 4;
+                }
+            }
+            while b0 + 2 <= width {
+                gemm_packed_tile::<2>(panel, xk, width, b0, yp);
+                b0 += 2;
+            }
+            while b0 < width {
+                gemm_packed_tile::<1>(panel, xk, width, b0, yp);
+                b0 += 1;
+            }
+        }
+        kstart += blen;
+        boff += blen * ROW_PANEL * total_panels;
+    }
+}
+
+/// One 8-row x `L`-lane register tile of the packed GEMM: seed the tile from
+/// `y`, fold the k-block's terms in ascending `k` (one broadcast per packed
+/// row element, one vector FMA per row), store once. Rows past the operand's
+/// edge (zero-padded panels) compute harmlessly into unused accumulators.
+#[inline(always)]
+fn gemm_packed_tile<const L: usize>(
+    panel: &[f32],
+    xk: &[f32],
+    width: usize,
+    b0: usize,
+    yp: &mut [f32],
+) {
+    let rp = yp.len() / width;
+    let mut acc = [[0.0f32; L]; ROW_PANEL];
+    for (r, accr) in acc.iter_mut().take(rp).enumerate() {
+        accr.copy_from_slice(&yp[r * width + b0..r * width + b0 + L]);
+    }
+    for (w8, xrow) in panel.chunks_exact(ROW_PANEL).zip(xk.chunks_exact(width)) {
+        let xs: &[f32; L] = xrow[b0..b0 + L].try_into().expect("lane tile in bounds");
+        for (accr, &w) in acc.iter_mut().zip(w8.iter()) {
+            for l in 0..L {
+                accr[l] += w * xs[l];
+            }
+        }
+    }
+    for (r, accr) in acc.iter().take(rp).enumerate() {
+        yp[r * width + b0..r * width + b0 + L].copy_from_slice(accr);
     }
 }
 
@@ -825,9 +1300,6 @@ fn outer_col_tile<const T: usize>(
     let mut acc = [0.0f32; T];
     acc.copy_from_slice(out);
     for (lane, &av) in ar.iter().enumerate() {
-        if av == 0.0 {
-            continue;
-        }
         let base = lane * cols + c0;
         let bl: &[f32; T] = b_lanes[base..base + T].try_into().expect("tile in bounds");
         for i in 0..T {
@@ -837,10 +1309,204 @@ fn outer_col_tile<const T: usize>(
     out.copy_from_slice(&acc);
 }
 
+/// Accumulate a block of spans' outer products into a contiguous run of
+/// gradient rows: the row-range core of [`Matrix::add_outer_batch_spans`],
+/// shared by its serial path and its per-thread row chunks. `row0` is the
+/// first row's index in the full gradient (the spans' `a` operands are
+/// indexed globally).
+fn outer_rows_spans(
+    rows_data: &mut [f32],
+    row0: usize,
+    spans: &[(&[f32], &[f32])],
+    width: usize,
+    cols: usize,
+) {
+    let nrows = rows_data.len() / cols;
+    let mut r = 0;
+    while r + 4 <= nrows {
+        let quad = &mut rows_data[r * cols..(r + 4) * cols];
+        let abase = (row0 + r) * width;
+        let mut c0 = 0;
+        while c0 + OUTER_TILE <= cols {
+            outer_span_tile::<OUTER_TILE>(spans, abase, width, cols, c0, quad);
+            c0 += OUTER_TILE;
+        }
+        if c0 + OUTER_TILE / 2 <= cols {
+            outer_span_tile::<{ OUTER_TILE / 2 }>(spans, abase, width, cols, c0, quad);
+            c0 += OUTER_TILE / 2;
+        }
+        for c in c0..cols {
+            for (i, out) in quad.chunks_exact_mut(cols).enumerate() {
+                let mut acc = out[c];
+                for (a, b_lanes) in spans {
+                    let ar = &a[abase + i * width..abase + (i + 1) * width];
+                    for (lane, &av) in ar.iter().enumerate() {
+                        acc += av * b_lanes[lane * cols + c];
+                    }
+                }
+                out[c] = acc;
+            }
+        }
+        r += 4;
+    }
+    while r < nrows {
+        let row = &mut rows_data[r * cols..(r + 1) * cols];
+        let abase = (row0 + r) * width;
+        let mut c0 = 0;
+        while c0 + OUTER_TILE <= cols {
+            outer_span_col_tile::<OUTER_TILE>(spans, abase, width, cols, c0, row);
+            c0 += OUTER_TILE;
+        }
+        if c0 + OUTER_TILE / 2 <= cols {
+            outer_span_col_tile::<{ OUTER_TILE / 2 }>(spans, abase, width, cols, c0, row);
+            c0 += OUTER_TILE / 2;
+        }
+        for c in c0..cols {
+            let mut acc = row[c];
+            for (a, b_lanes) in spans {
+                let ar = &a[abase..abase + width];
+                for (lane, &av) in ar.iter().enumerate() {
+                    acc += av * b_lanes[lane * cols + c];
+                }
+            }
+            row[c] = acc;
+        }
+        r += 1;
+    }
+}
+
+/// A 4-row x `T`-column register tile of the span-blocked outer product:
+/// the tile is seeded from the gradient, gains every span's every lane's
+/// contribution (spans in given order, lanes ascending — the unified fold),
+/// and is stored once — so the block's whole gradient traffic is one
+/// load/store per element.
+#[inline(always)]
+fn outer_span_tile<const T: usize>(
+    spans: &[(&[f32], &[f32])],
+    abase: usize,
+    width: usize,
+    cols: usize,
+    c0: usize,
+    quad: &mut [f32],
+) {
+    let mut acc = [[0.0f32; T]; 4];
+    for (i, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&quad[i * cols + c0..i * cols + c0 + T]);
+    }
+    for (a, b_lanes) in spans {
+        let aq = &a[abase..abase + 4 * width];
+        for lane in 0..width {
+            let a0 = aq[lane];
+            let a1 = aq[width + lane];
+            let a2 = aq[2 * width + lane];
+            let a3 = aq[3 * width + lane];
+            let base = lane * cols + c0;
+            let bl: &[f32; T] = b_lanes[base..base + T].try_into().expect("tile in bounds");
+            for j in 0..T {
+                acc[0][j] += a0 * bl[j];
+                acc[1][j] += a1 * bl[j];
+                acc[2][j] += a2 * bl[j];
+                acc[3][j] += a3 * bl[j];
+            }
+        }
+    }
+    for (i, accr) in acc.iter().enumerate() {
+        quad[i * cols + c0..i * cols + c0 + T].copy_from_slice(accr);
+    }
+}
+
+/// Single-row variant of [`outer_span_tile`] for quad remainders.
+#[inline(always)]
+fn outer_span_col_tile<const T: usize>(
+    spans: &[(&[f32], &[f32])],
+    abase: usize,
+    width: usize,
+    cols: usize,
+    c0: usize,
+    row: &mut [f32],
+) {
+    let mut acc = [0.0f32; T];
+    acc.copy_from_slice(&row[c0..c0 + T]);
+    for (a, b_lanes) in spans {
+        let ar = &a[abase..abase + width];
+        for (lane, &av) in ar.iter().enumerate() {
+            let base = lane * cols + c0;
+            let bl: &[f32; T] = b_lanes[base..base + T].try_into().expect("tile in bounds");
+            for j in 0..T {
+                acc[j] += av * bl[j];
+            }
+        }
+    }
+    row[c0..c0 + T].copy_from_slice(&acc);
+}
+
+/// Accumulate a batch of outer products into a contiguous block of gradient
+/// rows: the row-range core of [`Matrix::add_outer_batch`], shared by its
+/// serial path and its per-thread row chunks. `rows_data` holds whole rows
+/// (`len` a multiple of `cols`), `a` the matching `rows x width` interleaved
+/// left operand.
+fn outer_rows(rows_data: &mut [f32], a: &[f32], b_lanes: &[f32], width: usize, cols: usize) {
+    // Register tiles of 4 gradient rows x OUTER_TILE columns accumulate
+    // every lane's contribution before one store, so each gradient element
+    // is loaded and stored once per batch and each `b` vector load feeds
+    // four rows.
+    let mut a_quads = a.chunks_exact(4 * width);
+    let mut row_quads = rows_data.chunks_exact_mut(4 * cols);
+    for (aq, quad) in a_quads.by_ref().zip(row_quads.by_ref()) {
+        let mut c0 = 0;
+        while c0 + OUTER_TILE <= cols {
+            outer_row_tile::<OUTER_TILE>(aq, b_lanes, width, cols, c0, quad);
+            c0 += OUTER_TILE;
+        }
+        if c0 + OUTER_TILE / 2 <= cols {
+            outer_row_tile::<{ OUTER_TILE / 2 }>(aq, b_lanes, width, cols, c0, quad);
+            c0 += OUTER_TILE / 2;
+        }
+        for c in c0..cols {
+            for (i, ar) in aq.chunks_exact(width).enumerate() {
+                let mut acc = quad[i * cols + c];
+                for (lane, &av) in ar.iter().enumerate() {
+                    acc += av * b_lanes[lane * cols + c];
+                }
+                quad[i * cols + c] = acc;
+            }
+        }
+    }
+    for (ar, row) in a_quads
+        .remainder()
+        .chunks_exact(width)
+        .zip(row_quads.into_remainder().chunks_exact_mut(cols))
+    {
+        let mut c0 = 0;
+        while c0 + OUTER_TILE <= cols {
+            outer_col_tile::<OUTER_TILE>(ar, b_lanes, cols, c0, &mut row[c0..c0 + OUTER_TILE]);
+            c0 += OUTER_TILE;
+        }
+        if c0 + OUTER_TILE / 2 <= cols {
+            outer_col_tile::<{ OUTER_TILE / 2 }>(
+                ar,
+                b_lanes,
+                cols,
+                c0,
+                &mut row[c0..c0 + OUTER_TILE / 2],
+            );
+            c0 += OUTER_TILE / 2;
+        }
+        for c in c0..cols {
+            let mut acc = row[c];
+            for (lane, &av) in ar.iter().enumerate() {
+                acc += av * b_lanes[lane * cols + c];
+            }
+            row[c] = acc;
+        }
+    }
+}
+
 /// Two-row variant of [`gemm_lane_block`]: one pass over `x` feeds two
 /// independent accumulator sets (`y0` for `row0`, `y1` for `row1`), doubling
-/// the in-flight FMA chains. Each output element still accumulates over `k`
-/// in index order, bitwise equal to the single-row block.
+/// the in-flight FMA chains. Each output element folds over `k` in index
+/// order seeded with its current `y` value, bitwise equal to the single-row
+/// block.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
 fn gemm_lane_block2<const L: usize>(
@@ -854,6 +1520,8 @@ fn gemm_lane_block2<const L: usize>(
 ) {
     let mut acc0 = [0.0f32; L];
     let mut acc1 = [0.0f32; L];
+    acc0.copy_from_slice(&y0[b0..b0 + L]);
+    acc1.copy_from_slice(&y1[b0..b0 + L]);
     for ((&w0, &w1), xk) in row0.iter().zip(row1.iter()).zip(x.chunks_exact(width)) {
         let xs: &[f32; L] = xk[b0..b0 + L].try_into().expect("lane block in bounds");
         for l in 0..L {
@@ -861,22 +1529,16 @@ fn gemm_lane_block2<const L: usize>(
             acc1[l] += w1 * xs[l];
         }
     }
-    let y0s: &mut [f32] = &mut y0[b0..b0 + L];
-    for l in 0..L {
-        y0s[l] += acc0[l];
-    }
-    let y1s: &mut [f32] = &mut y1[b0..b0 + L];
-    for l in 0..L {
-        y1s[l] += acc1[l];
-    }
+    y0[b0..b0 + L].copy_from_slice(&acc0);
+    y1[b0..b0 + L].copy_from_slice(&acc1);
 }
 
 /// One `L`-lane block of the batched GEMM: `yrow[b0..b0+L] += row · x`,
 /// where lane `b` of `x` is the strided column `x[k * width + b0 + b]`.
 /// Fixed-size array accumulators and per-`k` array views let the compiler
 /// keep the lanes in vector registers with no per-element bounds checks;
-/// each lane accumulates over `k` in index order (bitwise equal to
-/// [`Matrix::matvec_add`]).
+/// each lane folds over `k` in index order seeded with its current `y` value
+/// (bitwise equal to [`Matrix::matvec_add`]).
 #[inline(always)]
 fn gemm_lane_block<const L: usize>(
     row: &[f32],
@@ -886,16 +1548,14 @@ fn gemm_lane_block<const L: usize>(
     yrow: &mut [f32],
 ) {
     let mut acc = [0.0f32; L];
+    acc.copy_from_slice(&yrow[b0..b0 + L]);
     for (&w, xk) in row.iter().zip(x.chunks_exact(width)) {
         let xs: &[f32; L] = xk[b0..b0 + L].try_into().expect("lane block in bounds");
         for l in 0..L {
             acc[l] += w * xs[l];
         }
     }
-    let ys: &mut [f32] = &mut yrow[b0..b0 + L];
-    for l in 0..L {
-        ys[l] += acc[l];
-    }
+    yrow[b0..b0 + L].copy_from_slice(&acc);
 }
 
 /// Numerically-stable softmax over a slice, in place.
@@ -1210,7 +1870,9 @@ mod tests {
     }
 
     /// The row-blocked matvec must agree with a naive one-row-at-a-time
-    /// reference bitwise for every row count around the block size.
+    /// left-fold reference bitwise for every row count around the block
+    /// size: `matvec_add` folds from the current `y` value, `matvec_into`
+    /// from zero.
     #[test]
     fn row_blocked_matvec_bitwise_matches_scalar_rows() {
         let mut rng = StdRng::seed_from_u64(25);
@@ -1218,27 +1880,26 @@ mod tests {
             let cols = 1 + rows % 13;
             let m = Matrix::uniform(rows, cols, 1.0, &mut rng);
             let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
-            let mut accs = vec![0.0f32; rows];
-            for (dst, row) in accs.iter_mut().zip(m.data().chunks_exact(cols)) {
-                let mut acc = 0.0f32;
+            let fold = |seed: f32, row: &[f32]| {
+                let mut acc = seed;
                 for (a, b) in row.iter().zip(x.iter()) {
                     acc += a * b;
                 }
-                *dst = acc;
-            }
+                acc
+            };
             let mut blocked = vec![0.1f32; rows];
             m.matvec_add(&x, &mut blocked);
-            for (a, b) in accs.iter().zip(blocked.iter()) {
+            for (row, b) in m.data().chunks_exact(cols).zip(blocked.iter()) {
                 assert_eq!(
-                    (0.1f32 + a).to_bits(),
+                    fold(0.1, row).to_bits(),
                     b.to_bits(),
                     "rows={rows} matvec_add differs"
                 );
             }
             let mut stored = vec![f32::NAN; rows];
             m.matvec_into(&x, &mut stored);
-            for (s, a) in stored.iter().zip(accs.iter()) {
-                assert_eq!(s.to_bits(), a.to_bits(), "matvec_into differs");
+            for (row, s) in m.data().chunks_exact(cols).zip(stored.iter()) {
+                assert_eq!(s.to_bits(), fold(0.0, row).to_bits(), "matvec_into differs");
             }
         }
     }
@@ -1311,6 +1972,236 @@ mod tests {
             assert_eq!(c_batch[j * width + 1], c_ref[j]);
             assert_eq!(h_batch[j * width + 1], h_ref[j]);
         }
+    }
+
+    /// Packing is a bit-exact permutation: pack → unpack reproduces every
+    /// matrix bitwise, across dims that are not multiples of the panel size.
+    #[test]
+    fn packed_roundtrip_is_bitwise_exact() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for (rows, cols) in [(1, 1), (3, 5), (8, 8), (9, 7), (17, 13), (64, 33), (70, 70)] {
+            let m = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            let back = PackedMatrix::pack(&m).unpack();
+            assert_eq!(back.rows(), rows);
+            assert_eq!(back.cols(), cols);
+            for (a, b) in m.data().iter().zip(back.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "pack roundtrip differs");
+            }
+            // And the transposed pack unpacks to the transpose.
+            let back_t = PackedMatrix::pack_transpose(&m).unpack();
+            assert_eq!(back_t.rows(), cols);
+            assert_eq!(back_t.cols(), rows);
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(
+                        m.get(r, c).to_bits(),
+                        back_t.get(c, r).to_bits(),
+                        "transpose pack roundtrip differs at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The packed matvec and GEMM must be bitwise identical to the unpacked
+    /// reference kernels at every width and at odd dims (rows, cols and
+    /// width not multiples of the panel, k-block or lane-block sizes) — the
+    /// kernel-parity guarantee the packed hot paths rest on.
+    #[test]
+    fn packed_kernels_bitwise_match_unpacked_reference() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for (rows, cols) in [(1, 1), (5, 3), (8, 16), (13, 9), (31, 29), (67, 131)] {
+            let m = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            let packed = PackedMatrix::pack(&m);
+            // Matvec, both seeds.
+            let x: Vec<f32> = (0..cols).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let mut y_ref = vec![0.3f32; rows];
+            let mut y_packed = y_ref.clone();
+            m.matvec_add(&x, &mut y_ref);
+            packed.matvec_add(&x, &mut y_packed);
+            for (a, b) in y_ref.iter().zip(y_packed.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "packed matvec_add differs");
+            }
+            m.matvec_into(&x, &mut y_ref);
+            packed.matvec_into(&x, &mut y_packed);
+            for (a, b) in y_ref.iter().zip(y_packed.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "packed matvec_into differs");
+            }
+            // GEMM across widths straddling the lane blocks.
+            for width in [1usize, 2, 3, 5, 8, 11, 16, 19, 32] {
+                let x: Vec<f32> = (0..cols * width)
+                    .map(|_| rng.gen_range(-2.0f32..2.0))
+                    .collect();
+                let seed: Vec<f32> = (0..rows * width)
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect();
+                let mut y_ref = seed.clone();
+                let mut y_packed = seed;
+                m.matmul_add_into(&x, width, &mut y_ref);
+                packed.matmul_add_into(&x, width, &mut y_packed);
+                for (a, b) in y_ref.iter().zip(y_packed.iter()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "packed gemm differs at {rows}x{cols} width {width}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The transposed pack fed to the forward GEMM computes the transposed
+    /// product bitwise identically to the unpacked transposed kernel — the
+    /// backward pass's parity guarantee.
+    #[test]
+    fn packed_transpose_bitwise_matches_transposed_kernels() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for (rows, cols) in [(1, 1), (7, 5), (24, 31), (65, 9)] {
+            let m = Matrix::uniform(rows, cols, 1.0, &mut rng);
+            let tpack = PackedMatrix::pack_transpose(&m);
+            for width in [1usize, 2, 7, 8, 12] {
+                let x: Vec<f32> = (0..rows * width)
+                    .map(|_| rng.gen_range(-2.0f32..2.0))
+                    .collect();
+                let seed: Vec<f32> = (0..cols * width)
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect();
+                let mut y_ref = seed.clone();
+                let mut y_packed = seed;
+                m.matmul_transpose_add_into(&x, width, &mut y_ref);
+                tpack.matmul_add_into(&x, width, &mut y_packed);
+                for (a, b) in y_ref.iter().zip(y_packed.iter()) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "transposed pack differs at {rows}x{cols} width {width}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Row-parallel kernels are bitwise identical at any thread count: the
+    /// operand is big enough to cross the parallel threshold, and 1, 2 and 5
+    /// workers must produce the same bits (disjoint output rows, unified
+    /// fold).
+    #[test]
+    fn packed_parallel_kernels_are_thread_count_invariant() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let (rows, cols, width) = (520, 640, 8); // rows*cols*width > PAR_MIN_WORK
+        assert!(rows * cols * width >= PAR_MIN_WORK);
+        let m = Matrix::uniform(rows, cols, 0.5, &mut rng);
+        let packed = PackedMatrix::pack(&m);
+        let x: Vec<f32> = (0..cols * width)
+            .map(|_| rng.gen_range(-2.0f32..2.0))
+            .collect();
+        let seed: Vec<f32> = (0..rows * width)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        let reference = rayon::with_num_threads(1, || {
+            let mut y = seed.clone();
+            packed.matmul_add_into(&x, width, &mut y);
+            y
+        });
+        for threads in [2usize, 5] {
+            let got = rayon::with_num_threads(threads, || {
+                let mut y = seed.clone();
+                packed.matmul_add_into(&x, width, &mut y);
+                y
+            });
+            for (a, b) in reference.iter().zip(got.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads} differ");
+            }
+        }
+        // The parallel outer product too.
+        let a: Vec<f32> = (0..rows * width)
+            .map(|_| rng.gen_range(-2.0f32..2.0))
+            .collect();
+        let b: Vec<f32> = (0..cols * width)
+            .map(|_| rng.gen_range(-2.0f32..2.0))
+            .collect();
+        let reference = rayon::with_num_threads(1, || {
+            let mut g = Matrix::zeros(rows, cols);
+            g.add_outer_batch(&a, &b, width);
+            g
+        });
+        for threads in [3usize, 6] {
+            let got = rayon::with_num_threads(threads, || {
+                let mut g = Matrix::zeros(rows, cols);
+                g.add_outer_batch(&a, &b, width);
+                g
+            });
+            for (x, y) in reference.data().iter().zip(got.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "outer threads={threads} differ");
+            }
+        }
+    }
+
+    /// Deferring a block of outer products through the span kernel is
+    /// bitwise identical to applying them one timestep at a time — the
+    /// guarantee that lets the backward pass cut its gradient traffic
+    /// without changing a bit. Dims straddle the quad/tile boundaries.
+    #[test]
+    fn packed_deferred_outer_spans_bitwise_match_sequential() {
+        let mut rng = StdRng::seed_from_u64(35);
+        for (rows, cols, width, steps) in [(4, 3, 2, 1), (9, 17, 8, 3), (26, 33, 5, 7)] {
+            let mut sequential = Matrix::uniform(rows, cols, 0.5, &mut rng);
+            let mut deferred = sequential.clone();
+            let a_spans: Vec<Vec<f32>> = (0..steps)
+                .map(|_| {
+                    (0..rows * width)
+                        .map(|_| rng.gen_range(-2.0f32..2.0))
+                        .collect()
+                })
+                .collect();
+            let b_spans: Vec<Vec<f32>> = (0..steps)
+                .map(|_| {
+                    (0..cols * width)
+                        .map(|_| rng.gen_range(-2.0f32..2.0))
+                        .collect()
+                })
+                .collect();
+            for (a, b) in a_spans.iter().zip(b_spans.iter()) {
+                sequential.add_outer_batch(a, b, width);
+            }
+            let spans: Vec<(&[f32], &[f32])> = a_spans
+                .iter()
+                .zip(b_spans.iter())
+                .map(|(a, b)| (a.as_slice(), b.as_slice()))
+                .collect();
+            let chunks: Vec<_> = spans.chunks(2).collect();
+            for block in &chunks {
+                deferred.add_outer_batch_spans(block, width);
+            }
+            for (x, y) in sequential.data().iter().zip(deferred.data().iter()) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "deferred spans differ at {rows}x{cols} w{width} steps{steps}"
+                );
+            }
+        }
+    }
+
+    /// The block plan is a pure function of the dims and never produces
+    /// degenerate blocks.
+    #[test]
+    fn block_plan_is_deterministic_and_sane() {
+        for (rows, cols, width) in [(1, 1, 1), (256, 64, 32), (2048, 512, 8), (8192, 2048, 16)] {
+            let a = BlockPlan::for_kernel(rows, cols, width);
+            let b = BlockPlan::for_kernel(rows, cols, width);
+            assert_eq!(a, b);
+            assert!(a.kc >= 1 && a.kc <= cols.max(1));
+            assert!(a.lane_block >= 1 && a.lane_block <= GEMM_LANES);
+            assert!(a.lane_block <= width.max(1) || a.lane_block == 1);
+        }
+        // Wider batches get shorter k-blocks (the L1 budget is shared).
+        let narrow = BlockPlan::for_kernel(2048, 2048, 1);
+        let wide = BlockPlan::for_kernel(2048, 2048, 16);
+        assert!(wide.kc <= narrow.kc);
+        // Paper-scale operands parallelise, test-scale ones do not.
+        assert!(BlockPlan::for_kernel(8192, 2048, 8).parallel);
+        assert!(!BlockPlan::for_kernel(256, 64, 8).parallel);
     }
 
     #[test]

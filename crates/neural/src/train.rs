@@ -267,7 +267,35 @@ pub fn train_minibatch_range(
     data: &[u32],
     config: &TrainConfig,
     start_epoch: usize,
+    on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
+) -> Vec<EpochReport> {
+    train_minibatch_core(model, data, config, start_epoch, on_epoch, true)
+}
+
+/// [`train_minibatch`] through the **unpacked baseline kernels** (per-chunk
+/// weight packing and deferred gradient accumulation disabled). The packed
+/// and unpacked paths are bitwise identical (property-tested), so this
+/// produces the same weights and losses as [`train_minibatch`] — only the
+/// clock differs. It exists for the benchmark recorders' packed-vs-unpacked
+/// comparison; there is no reason to train through it otherwise.
+pub fn train_minibatch_unpacked(
+    model: &mut LstmModel,
+    data: &[u32],
+    config: &TrainConfig,
+    on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
+) -> Vec<EpochReport> {
+    train_minibatch_core(model, data, config, 0, on_epoch, false)
+}
+
+/// The shared minibatch driver: slicing, chunking and reporting for both
+/// the packed (default) and unpacked-baseline kernel paths.
+fn train_minibatch_core(
+    model: &mut LstmModel,
+    data: &[u32],
+    config: &TrainConfig,
+    start_epoch: usize,
     mut on_epoch: Option<&mut dyn FnMut(&EpochReport)>,
+    packing: bool,
 ) -> Vec<EpochReport> {
     if let Err(what) = config.validate() {
         panic!("invalid TrainConfig: {what}");
@@ -283,6 +311,7 @@ pub fn train_minibatch_range(
     let mut reports = Vec::with_capacity(config.epochs.saturating_sub(start_epoch));
     let mut bs = BatchState::new(&model.config, width);
     let mut tb = model.train_batch(width);
+    tb.set_packing(packing);
     let mut grads = model.zero_gradients();
     // Chunk staging buffers, timestep-major and lane-interleaved: the
     // character of stream b at relative step t sits at [t * width + b].
@@ -361,10 +390,11 @@ pub fn train_chunk_batch(
     let steps = inputs.len() / width.max(1);
     tb.ensure_steps(steps);
     // Weights moved last chunk (or this is the first): refresh the
-    // transposed embedding cache the layer-0 input add reads.
-    tb.rebuild_embed(model);
+    // weight-derived caches — the transposed embedding the layer-0 input
+    // add reads, and the packed forward/backward weights the GEMMs stream.
+    tb.rebuild_weight_caches(model);
     {
-        let (caches, step_probs, z, logits, embed_t) = tb.forward_buffers();
+        let (caches, step_probs, z, logits, embed_t, packs) = tb.forward_buffers();
         for t in 0..steps {
             model.step_batch_core(
                 bs,
@@ -374,12 +404,13 @@ pub fn train_chunk_batch(
                 z,
                 logits,
                 embed_t,
+                packs,
             );
         }
     }
     grads.fill_zero();
     let loss = {
-        let (caches, step_probs, scratch) = tb.backward_buffers();
+        let (caches, step_probs, scratch, packs) = tb.backward_buffers();
         model.backward_batch_core(
             &caches[..steps],
             &step_probs[..steps],
@@ -387,6 +418,7 @@ pub fn train_chunk_batch(
             width,
             grads,
             scratch,
+            packs,
         )
     };
     clip_gradients(grads, clip_norm);

@@ -10,11 +10,60 @@
 
 #![warn(missing_docs)]
 
-/// Number of worker threads used for parallel fan-out.
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread override of the worker count (0 = no override), installed
+    /// by [`with_num_threads`]. Used by determinism tests to force the same
+    /// computation through different thread counts.
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads used for parallel fan-out: the
+/// [`with_num_threads`] override if one is active on this thread, else the
+/// `RAYON_NUM_THREADS` environment variable (as in real rayon), else the
+/// machine's available parallelism. The environment and parallelism lookups
+/// are cached after the first call — hot numeric kernels consult this on
+/// every invocation, and an environment scan per matrix product would dwarf
+/// small operands.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    let forced = THREAD_OVERRIDE.with(Cell::get);
+    if forced > 0 {
+        return forced;
+    }
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Run `f` with the worker count pinned to `n` on this thread (nested calls
+/// shadow outer ones; the previous value is restored on exit, including on
+/// panic). The parallel kernels built on this crate are bitwise-deterministic
+/// for *any* thread count; this hook lets tests prove it by running the same
+/// computation at 1 and N threads.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = THREAD_OVERRIDE.with(|c| {
+        let prev = c.get();
+        c.set(n.max(1));
+        Restore(prev)
+    });
+    f()
 }
 
 /// Run `f` over `items` on worker threads, preserving input order.
@@ -157,9 +206,110 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Parallel mutable chunking of slices, mirroring `rayon`'s
+/// `ParallelSliceMut`: the slice is split into disjoint `&mut` chunks which
+/// are processed concurrently. Because the chunks are disjoint and each chunk
+/// is processed by exactly one closure invocation, a pure per-chunk closure
+/// produces results independent of the thread count — the foundation of the
+/// numeric crate's deterministic row-parallelism.
+pub trait ParallelSliceMut<T: Send> {
+    /// Split into mutable chunks of `chunk_size` (the last may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size.max(1)).collect(),
+        }
+    }
+}
+
+/// A parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair every chunk with its index.
+    pub fn enumerate(self) -> ParEnumerateChunksMut<'a, T> {
+        ParEnumerateChunksMut {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Process every chunk, concurrently when worker threads are available.
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        run_indexed(self.chunks, |_, chunk| f(chunk));
+    }
+}
+
+/// An enumerated parallel iterator over disjoint mutable chunks.
+pub struct ParEnumerateChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> ParEnumerateChunksMut<'_, T> {
+    /// Process every `(index, chunk)` pair, concurrently when worker threads
+    /// are available. Chunk `i` always receives index `i` regardless of which
+    /// thread runs it.
+    pub fn for_each<F: Fn((usize, &mut [T])) + Sync>(self, f: F) {
+        run_indexed(self.chunks, |i, chunk| f((i, chunk)));
+    }
+}
+
+/// Run `f(index, item)` over every item, splitting the items into contiguous
+/// per-thread groups on `std::thread::scope` threads. With one worker (or one
+/// item) everything runs inline on the caller.
+///
+/// Trade-off: scoped threads are spawned and joined per call — safe and
+/// simple, but a per-invocation tax of tens of microseconds against the
+/// multi-millisecond kernels the numeric crate gates behind its parallel
+/// threshold. If profiling on a many-core machine shows the spawn cost
+/// biting, the upgrade path is a lazily-initialized persistent worker pool
+/// behind this same function (or swapping the real rayon back in — a
+/// manifest-only change); the deterministic chunking contract is unchanged
+/// either way.
+fn run_indexed<I: Send, F: Fn(usize, I) + Sync>(items: Vec<I>, f: F) {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        for (i, item) in items.into_iter().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let group = n.div_ceil(threads);
+    let mut groups: Vec<(usize, Vec<I>)> = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut remaining = items;
+    while remaining.len() > group {
+        let tail = remaining.split_off(group);
+        groups.push((start, std::mem::replace(&mut remaining, tail)));
+        start += group;
+    }
+    groups.push((start, remaining));
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|(base, group)| {
+                scope.spawn(move || {
+                    for (offset, item) in group.into_iter().enumerate() {
+                        f(base + offset, item);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("rayon worker panicked");
+        }
+    });
+}
+
 /// Common imports, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -199,5 +349,33 @@ mod tests {
     fn empty_input() {
         let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_sees_every_chunk_once_with_its_index() {
+        for threads in [1usize, 2, 5] {
+            crate::with_num_threads(threads, || {
+                let mut data = vec![0u64; 103];
+                data.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = (i * 10 + j) as u64 + 1;
+                    }
+                });
+                for (expect, v) in (1..=103u64).zip(data.iter()) {
+                    assert_eq!(*v, expect, "threads={threads}");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let outside = crate::current_num_threads();
+        crate::with_num_threads(3, || {
+            assert_eq!(crate::current_num_threads(), 3);
+            crate::with_num_threads(1, || assert_eq!(crate::current_num_threads(), 1));
+            assert_eq!(crate::current_num_threads(), 3);
+        });
+        assert_eq!(crate::current_num_threads(), outside);
     }
 }
