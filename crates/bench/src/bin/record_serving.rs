@@ -59,6 +59,7 @@ fn request_params(index: usize) -> SynthesisParams {
         max_chars: MAX_CHARS,
         seed: 5000 + index as u64,
         max_attempts: ATTEMPTS_PER_REQUEST,
+        deadline_ms: None,
     }
 }
 

@@ -209,8 +209,34 @@ impl<'a> BatchEngine<'a> {
     /// into the model (serial sampling feeds it and immediately stops, so it
     /// influences nothing observable).
     pub fn step_into(&mut self, completed: &mut Vec<(u64, SampledCandidate)>) {
+        self.step_into_abortable(completed, |_| false);
+    }
+
+    /// [`step_into`](BatchEngine::step_into) with a **lane-abort predicate**:
+    /// before the round's batched feed, every occupied lane's ticket is
+    /// offered to `abort`, and lanes it flags are freed without producing a
+    /// result — exactly like [`abort`](BatchEngine::abort), but mid-step, so
+    /// a serving scheduler can reap lanes whose request expired (deadline) or
+    /// whose client vanished without waiting for the candidates to finish.
+    ///
+    /// Aborting through the predicate cannot influence surviving lanes: their
+    /// per-lane state only depends on the characters they themselves were fed
+    /// (the [`StreamBatch`] contract), so a response stays byte-identical
+    /// whether or not other lanes were reaped around it.
+    pub fn step_into_abortable(
+        &mut self,
+        completed: &mut Vec<(u64, SampledCandidate)>,
+        mut abort: impl FnMut(u64) -> bool,
+    ) {
         self.pairs.clear();
         for lane in 0..self.lanes.len() {
+            if let Some(run) = self.lanes[lane].as_ref() {
+                if abort(run.ticket) {
+                    self.lanes[lane] = None;
+                    self.occupied -= 1;
+                    continue;
+                }
+            }
             let Some(run) = self.lanes[lane].as_mut() else {
                 continue;
             };
@@ -367,5 +393,47 @@ mod tests {
         assert_eq!(completed[1].1, run_alone(22));
         // Sanity: the model itself is well-formed for this vocabulary.
         assert_eq!(LanguageModel::vocab_size(&model), vocab.len());
+    }
+
+    /// The lane-abort predicate frees flagged lanes mid-step without
+    /// producing a result, and survivors are byte-identical to a run where
+    /// the aborted lane never existed.
+    #[test]
+    fn step_abort_predicate_reaps_lanes_without_disturbing_survivors() {
+        let (model, vocab) = tiny_model();
+        let options = SampleOptions {
+            max_chars: 48,
+            temperature: 0.9,
+        };
+        let seed_text = "__kernel void A() {";
+
+        let run_alone = |rng_seed: u64| {
+            let mut streams = ClonedStreams::new(&model, 1);
+            let mut engine = BatchEngine::new(&mut streams, &vocab);
+            engine.admit(0, 0, seed_text, options, rng_seed);
+            let mut completed = Vec::new();
+            while engine.occupied_lanes() > 0 {
+                engine.step_into(&mut completed);
+            }
+            completed.pop().expect("one candidate").1
+        };
+
+        let mut streams = ClonedStreams::new(&model, 2);
+        let mut engine = BatchEngine::new(&mut streams, &vocab);
+        engine.admit(0, 10, seed_text, options, 5);
+        engine.admit(1, 20, seed_text, options, 6);
+        let mut completed = Vec::new();
+        for round in 0..256 {
+            // Reap ticket 20 mid-flight on the 4th round.
+            let reap = round == 3;
+            engine.step_into_abortable(&mut completed, |ticket| reap && ticket == 20);
+            if engine.occupied_lanes() == 0 {
+                break;
+            }
+        }
+        assert_eq!(completed.len(), 1, "aborted lane produced no result");
+        assert_eq!(completed[0].0, 10);
+        assert_eq!(completed[0].1, run_alone(5), "survivor is undisturbed");
+        assert_eq!(engine.free_lane(), Some(0));
     }
 }

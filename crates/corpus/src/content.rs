@@ -16,6 +16,11 @@ pub enum RejectReason {
     /// The file compiled but every kernel has fewer than the minimum number of
     /// static instructions.
     TooFewInstructions,
+    /// The rejection filter itself panicked on this candidate. Produced only
+    /// by supervised filter stages (the synthesis service) that isolate a
+    /// per-candidate panic into a typed verdict instead of letting one
+    /// poisoned candidate take down the whole filter fan-out.
+    FilterPanicked,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -25,6 +30,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::UndeclaredIdentifiers => "undeclared identifiers",
             RejectReason::NoKernel => "no kernel function",
             RejectReason::TooFewInstructions => "fewer than minimum static instructions",
+            RejectReason::FilterPanicked => "filter panicked",
         };
         f.write_str(s)
     }

@@ -22,13 +22,31 @@
 //!
 //! | Endpoint | Behaviour |
 //! |---|---|
-//! | `POST /synthesize?count=&temperature=&max_chars=&seed=&max_attempts=` | Streams accepted kernels as NDJSON (one object per kernel with its `KernelStats`, then a `"done"` summary line), `Transfer-Encoding: chunked`. |
-//! | `GET /healthz` | Liveness: backend kind and lane count. |
-//! | `GET /stats` | Aggregate throughput ([`StatsSummary`](clgen::StatsSummary)), lane occupancy, queue depth, request counters. |
-//! | `POST /shutdown` | Graceful shutdown: stop accepting, finish in-flight requests, drain the sampler core. |
+//! | `POST /synthesize?count=&temperature=&max_chars=&seed=&max_attempts=&deadline_ms=` | Streams accepted kernels as NDJSON (one object per kernel with its `KernelStats`, then a `"done"` summary line), `Transfer-Encoding: chunked`. |
+//! | `GET /healthz` | Liveness + supervisor health: `ok`/`degraded`/`failed` with restart counts (`503` once failed). |
+//! | `GET /stats` | Aggregate throughput ([`StatsSummary`](clgen::StatsSummary)), lane occupancy, queue depth, request counters, health. |
+//! | `POST /shutdown` | Graceful shutdown with a bounded drain: in-flight requests finish, or get `503` once the drain timeout passes. |
 //!
 //! Backpressure: at most `queue_cap` requests wait ahead of the sampler
 //! core; beyond that `/synthesize` answers `503` with `Retry-After`.
+//!
+//! ## Fault tolerance
+//!
+//! The sampler core is **supervised**: a panic (a poisoned request, a model
+//! bug) fails only the in-flight requests — with typed `500` replies, never
+//! retried into a fresh batch — and the core respawns from the checkpoint
+//! image, within a restart budget per sliding window ([`Supervisor`]).
+//! Per-request **deadlines** (`deadline_ms` parameter, or a server default)
+//! shed expired queued jobs with `503` and reap expired in-flight requests
+//! mid-step, returning the partial response with a `"timeout"` marker. The
+//! whole stack is testable under **deterministic fault injection**
+//! ([`faults::FaultPlan`], compiled in with the `faults` cargo feature):
+//! seeded, named fault points cover sampler panics, stalls, slow and
+//! dropped client writes, and checkpoint corruption on reload, and the
+//! chaos suite (`tests/chaos.rs`) asserts that concurrent *unaffected*
+//! requests still produce byte-identical responses while faults fire.
+//! [`client`] provides the matching retry policy (capped exponential
+//! backoff with deterministic jitter, honoring `Retry-After`).
 //!
 //! ## Determinism
 //!
@@ -53,13 +71,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod faults;
 pub mod http;
 pub mod json;
 pub mod scheduler;
 pub mod server;
 
-pub use scheduler::{Aggregate, ResponseEvent, SynthesisParams};
-pub use server::{Server, ServerConfig, ServerHandle};
+pub use faults::{FaultPlan, FaultPoint};
+pub use scheduler::{
+    Aggregate, ResponseEvent, ServeError, ServiceHealth, Supervisor, SynthesisParams,
+};
+pub use server::{Server, ServerConfig, ServerHandle, MAX_DEADLINE_MS};
 
 /// Default cap on candidates sampled per requested kernel when a request
 /// does not set `max_attempts` explicitly.

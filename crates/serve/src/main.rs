@@ -1,22 +1,80 @@
 //! The `clgen-serve` binary: load a `CLGENCKP` checkpoint once, serve it.
 //!
 //! ```text
-//! clgen-serve --checkpoint model.ckpt [--addr 127.0.0.1:8090] [--lanes 8] [--queue-cap 64]
+//! clgen-serve --checkpoint model.ckpt [--addr 127.0.0.1:8090] [--lanes 8]
+//!             [--queue-cap 64] [--read-timeout-ms N] [--write-timeout-ms N]
+//!             [--drain-timeout-ms N] [--deadline-ms N]
+//!             [--restart-budget N] [--restart-window-ms N] [--faults PLAN]
 //! ```
 //!
+//! Timeout flags take milliseconds; `0` disables the timeout (unbounded).
+//! Each resilience flag also reads a `CLGEN_SERVE_*` environment variable
+//! (`READ_TIMEOUT_MS`, `WRITE_TIMEOUT_MS`, `DRAIN_TIMEOUT_MS`,
+//! `DEADLINE_MS`, `RESTART_BUDGET`, `RESTART_WINDOW_MS`, `FAULTS`), with the
+//! flag winning when both are set.
+//!
 //! The process runs until a client sends `POST /shutdown`, then shuts down
-//! gracefully (in-flight requests finish) and exits 0.
+//! gracefully (in-flight requests drain, bounded by the drain timeout) and
+//! exits 0. It exits nonzero only if the supervisor exhausted its sampler-
+//! core restart budget (`/healthz` reported `failed`).
 
 use clgen::TrainedModel;
-use clgen_serve::{Server, ServerConfig};
+use clgen_serve::{FaultPlan, Server, ServerConfig, ServiceHealth};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: clgen-serve --checkpoint PATH \
-                     [--addr HOST:PORT] [--lanes N] [--queue-cap N]";
+                     [--addr HOST:PORT] [--lanes N] [--queue-cap N] \
+                     [--read-timeout-ms N] [--write-timeout-ms N] \
+                     [--drain-timeout-ms N] [--deadline-ms N] \
+                     [--restart-budget N] [--restart-window-ms N] \
+                     [--faults PLAN]";
+
+/// Parse a millisecond count where `0` means "disabled".
+fn parse_ms_option(raw: &str, flag: &str) -> Result<Option<Duration>, String> {
+    let ms: u64 = raw
+        .parse()
+        .map_err(|_| format!("{flag} needs an integer (milliseconds; 0 disables)"))?;
+    Ok((ms > 0).then(|| Duration::from_millis(ms)))
+}
+
+/// Apply the `CLGEN_SERVE_*` environment to a default config; CLI flags are
+/// applied afterwards and win.
+fn apply_env(config: &mut ServerConfig) -> Result<(), String> {
+    let var = |name: &str| std::env::var(format!("CLGEN_SERVE_{name}")).ok();
+    if let Some(raw) = var("READ_TIMEOUT_MS") {
+        config.read_timeout = parse_ms_option(&raw, "CLGEN_SERVE_READ_TIMEOUT_MS")?;
+    }
+    if let Some(raw) = var("WRITE_TIMEOUT_MS") {
+        config.write_timeout = parse_ms_option(&raw, "CLGEN_SERVE_WRITE_TIMEOUT_MS")?;
+    }
+    if let Some(raw) = var("DRAIN_TIMEOUT_MS") {
+        config.drain_timeout = parse_ms_option(&raw, "CLGEN_SERVE_DRAIN_TIMEOUT_MS")?;
+    }
+    if let Some(raw) = var("DEADLINE_MS") {
+        config.default_deadline_ms =
+            parse_ms_option(&raw, "CLGEN_SERVE_DEADLINE_MS")?.map(|d| d.as_millis() as u64);
+    }
+    if let Some(raw) = var("RESTART_BUDGET") {
+        config.restart_budget = raw
+            .parse()
+            .map_err(|_| "CLGEN_SERVE_RESTART_BUDGET needs an integer".to_string())?;
+    }
+    if let Some(raw) = var("RESTART_WINDOW_MS") {
+        config.restart_window = parse_ms_option(&raw, "CLGEN_SERVE_RESTART_WINDOW_MS")?
+            .ok_or("CLGEN_SERVE_RESTART_WINDOW_MS must be nonzero")?;
+    }
+    config.faults = FaultPlan::from_env()?;
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let mut checkpoint: Option<String> = None;
     let mut config = ServerConfig::default();
+    if let Err(message) = apply_env(&mut config) {
+        eprintln!("clgen-serve: {message}");
+        return ExitCode::FAILURE;
+    }
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -41,6 +99,29 @@ fn main() -> ExitCode {
                         .parse()
                         .map_err(|_| "--queue-cap needs an integer".to_string())?;
                 }
+                "--read-timeout-ms" => {
+                    config.read_timeout = parse_ms_option(&value("--read-timeout-ms")?, &flag)?;
+                }
+                "--write-timeout-ms" => {
+                    config.write_timeout = parse_ms_option(&value("--write-timeout-ms")?, &flag)?;
+                }
+                "--drain-timeout-ms" => {
+                    config.drain_timeout = parse_ms_option(&value("--drain-timeout-ms")?, &flag)?;
+                }
+                "--deadline-ms" => {
+                    config.default_deadline_ms = parse_ms_option(&value("--deadline-ms")?, &flag)?
+                        .map(|d| d.as_millis() as u64);
+                }
+                "--restart-budget" => {
+                    config.restart_budget = value("--restart-budget")?
+                        .parse()
+                        .map_err(|_| "--restart-budget needs an integer".to_string())?;
+                }
+                "--restart-window-ms" => {
+                    config.restart_window = parse_ms_option(&value("--restart-window-ms")?, &flag)?
+                        .ok_or("--restart-window-ms must be nonzero")?;
+                }
+                "--faults" => config.faults = FaultPlan::parse(&value("--faults")?)?,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -68,6 +149,9 @@ fn main() -> ExitCode {
     };
     let backend = model.backend_kind();
     let lanes = config.lanes;
+    if config.faults.is_active() {
+        eprintln!("clgen-serve: fault injection ACTIVE (not a production configuration)");
+    }
     let handle = match Server::start(model, config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -80,7 +164,14 @@ fn main() -> ExitCode {
          POST /shutdown to stop",
         handle.addr()
     );
-    handle.join();
-    println!("clgen-serve: graceful shutdown complete");
-    ExitCode::SUCCESS
+    match handle.join() {
+        ServiceHealth::Failed => {
+            eprintln!("clgen-serve: shut down after exhausting the sampler-core restart budget");
+            ExitCode::FAILURE
+        }
+        _ => {
+            println!("clgen-serve: graceful shutdown complete");
+            ExitCode::SUCCESS
+        }
+    }
 }

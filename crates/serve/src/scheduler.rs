@@ -1,8 +1,9 @@
-//! The batching scheduler: one sampler core draining every request into the
-//! lanes of a single continuously-batched [`BatchEngine`] run.
+//! The batching scheduler: one **supervised** sampler core draining every
+//! request into the lanes of a single continuously-batched [`BatchEngine`]
+//! run.
 //!
 //! Connection-handler threads enqueue [`Job`]s; the sampler-core thread
-//! ([`run_sampler_core`]) owns the model and folds the candidates of every
+//! (`run_sampler_core`) owns the model and folds the candidates of every
 //! in-flight request into one shared batch, admitting new candidates into
 //! lanes the moment they free up — so N concurrent clients share one batched
 //! forward pass instead of running N serial ones. Completed candidates are
@@ -10,6 +11,25 @@
 //! over the rayon pool, exactly like `SynthesisStream`'s pipelined filter
 //! stage, and accepted kernels stream back to each request's connection as
 //! they are absorbed.
+//!
+//! # Fault model
+//!
+//! The sampler core runs under a **supervisor** ([`Supervisor`]): each
+//! generation of the core executes inside `catch_unwind`, and a panic —
+//! whether a real bug or an injected [`FaultPoint::SamplerPanic`] — is
+//! contained to that generation. In-flight requests are answered with typed
+//! `500` errors and **quarantined** (their jobs are dropped, never retried
+//! into a fresh batch; still-queued jobs are innocent and survive), then the
+//! watchdog respawns the core from the shared checkpoint image. Restarts are
+//! budgeted over a sliding window; exceeding the budget marks the service
+//! [`ServiceHealth::Failed`] and triggers shutdown, so a hard-crash loop
+//! cannot spin forever.
+//!
+//! Per-request **deadlines** bound how long a request may hold lanes: the
+//! scheduler sheds queued jobs whose deadline already passed (fail-fast 503)
+//! and reaps expired in-flight requests mid-step through the engine's
+//! lane-abort predicate ([`BatchEngine::step_into_abortable`]), returning the
+//! partial response with a `"timeout"` marker.
 //!
 //! # Determinism
 //!
@@ -27,10 +47,18 @@
 //!   (or all `max_attempts` if the target is never met) — over-dispatched
 //!   candidates beyond that deterministic cut are discarded.
 //!
+//! The fault model preserves this: supervisor respawns reload the **same**
+//! checkpoint bytes (bit-identical weights), lane aborts cannot influence
+//! surviving lanes, and a request that is retried after a `500` therefore
+//! reproduces the byte-identical body it would have had without the fault.
+//! The chaos suite (`tests/chaos.rs`) asserts exactly that invariant while
+//! faults fire.
+//!
 //! The scheduler may *sample* more candidates than a request's response ends
 //! up covering (lanes run ahead while earlier candidates are still in the
 //! filter); that overshoot costs throughput only, never determinism.
 
+use crate::faults::{FaultPlan, FaultPoint};
 use crate::json;
 use clgen::stream::{filter_candidate, stream_seed};
 use clgen::synthesizer::SynthesizedKernel;
@@ -41,14 +69,21 @@ use clgen_corpus::filter::FilterConfig;
 use clgen_corpus::RejectReason;
 use rayon::prelude::*;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::net::SocketAddr;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Candidates a request may keep in flight per still-wanted kernel, beyond
 /// the ones already absorbed. Mirrors the stream pipeline's round
 /// oversubscription: it keeps lanes busy while earlier candidates filter,
 /// bounded so one request cannot monopolise the batch.
 const REQUEST_OVERSUBSCRIPTION: usize = 4;
+
+/// How often the idle (or draining) sampler core wakes to sweep deadlines
+/// and the drain timer when no messages arrive.
+const IDLE_TICK: Duration = Duration::from_millis(200);
 
 /// Parameters of one `/synthesize` request.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +99,24 @@ pub struct SynthesisParams {
     pub seed: u64,
     /// Hard cap on candidates sampled for this request.
     pub max_attempts: usize,
+    /// Deadline in milliseconds from admission, after which the request is
+    /// answered with whatever it has (a partial response carrying a
+    /// `"timeout"` marker, or a fail-fast `503` if it never left the queue).
+    /// `None` falls back to the server's default deadline, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A typed request failure produced by the scheduler or supervisor, rendered
+/// by the connection handler as an HTTP error (head not yet written) or as a
+/// terminal `"aborted"` NDJSON line (response already streaming).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    /// HTTP status the failure maps to (`500` panic, `503` shed/stopping).
+    pub status: u16,
+    /// `Retry-After` seconds to advertise, if retrying makes sense.
+    pub retry_after: Option<u32>,
+    /// Human-readable failure description.
+    pub message: String,
 }
 
 /// One line of a streaming synthesis response.
@@ -73,6 +126,9 @@ pub enum ResponseEvent {
     Kernel(String),
     /// The request is complete (the final summary NDJSON line).
     Done(String),
+    /// The request failed: shed from the queue, aborted by a panic, or cut
+    /// off by shutdown. Terminal, like `Done`.
+    Error(ServeError),
 }
 
 /// A synthesis request handed to the sampler core.
@@ -80,6 +136,8 @@ pub enum ResponseEvent {
 pub struct Job {
     /// Request parameters.
     pub params: SynthesisParams,
+    /// Absolute deadline resolved at admission time (`None` = no deadline).
+    pub deadline: Option<Instant>,
     /// Where response lines are streamed.
     pub reply: mpsc::Sender<ResponseEvent>,
     /// Set by the connection handler when it observes the client has gone
@@ -94,8 +152,13 @@ pub enum SchedMsg {
     Job(Job),
     /// One round of filter verdicts coming back.
     Filtered(Vec<Filtered>),
-    /// Drain all accepted work, then exit.
-    Shutdown,
+    /// Drain accepted work, then exit — but no later than `drain_deadline`,
+    /// after which remaining jobs are failed with `503` and the core exits
+    /// anyway (bounded graceful shutdown).
+    Shutdown {
+        /// When draining gives up (`None` = unbounded drain).
+        drain_deadline: Option<Instant>,
+    },
 }
 
 /// One candidate with its filter verdict.
@@ -116,16 +179,123 @@ pub struct Aggregate {
     pub requests_completed: u64,
     /// Requests rejected with 503 (queue full).
     pub requests_rejected: u64,
+    /// Requests shed from the queue because their deadline had already
+    /// passed before the sampler core could start them.
+    pub requests_shed: u64,
+    /// Requests that hit their deadline mid-flight and returned a partial
+    /// response with a `timeout` marker.
+    pub requests_timed_out: u64,
+    /// Requests aborted by a sampler-core panic or a drain timeout.
+    pub requests_failed: u64,
     /// Lanes running a candidate after the most recent round.
     pub lanes_busy: usize,
     /// Requests currently active in the sampler core.
     pub active_requests: usize,
 }
 
+/// Service health as reported by `/healthz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceHealth {
+    /// No sampler-core restart within the supervisor window.
+    Ok,
+    /// The sampler core restarted recently; service continues on the
+    /// respawned core.
+    Degraded,
+    /// The restart budget was exceeded; the server is shutting down.
+    Failed,
+}
+
+impl ServiceHealth {
+    /// The status string used in `/healthz` and `/stats` bodies.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServiceHealth::Ok => "ok",
+            ServiceHealth::Degraded => "degraded",
+            ServiceHealth::Failed => "failed",
+        }
+    }
+}
+
+/// Watchdog state for the supervised sampler core: restart accounting over a
+/// sliding window, shared between the core thread and the HTTP front-end
+/// (`/healthz`, `/stats`).
+#[derive(Debug)]
+pub struct Supervisor {
+    budget: u32,
+    window: Duration,
+    restarts_total: AtomicU64,
+    recent: Mutex<VecDeque<Instant>>,
+    failed: AtomicBool,
+}
+
+impl Supervisor {
+    pub(crate) fn new(budget: u32, window: Duration) -> Supervisor {
+        Supervisor {
+            budget,
+            window,
+            restarts_total: AtomicU64::new(0),
+            recent: Mutex::new(VecDeque::new()),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Record one restart attempt (a panic respawn or a failed checkpoint
+    /// reload). Returns `true` — and latches [`ServiceHealth::Failed`] — if
+    /// the budget is now exceeded within the window.
+    fn record_restart(&self) -> bool {
+        let now = Instant::now();
+        let mut recent = self.recent.lock().expect("supervisor lock");
+        recent.push_back(now);
+        while recent
+            .front()
+            .is_some_and(|&t| now.duration_since(t) > self.window)
+        {
+            recent.pop_front();
+        }
+        self.restarts_total.fetch_add(1, Ordering::SeqCst);
+        let exceeded = recent.len() as u32 > self.budget;
+        if exceeded {
+            self.failed.store(true, Ordering::SeqCst);
+        }
+        exceeded
+    }
+
+    /// Total sampler-core restarts since boot.
+    pub fn restarts(&self) -> u64 {
+        self.restarts_total.load(Ordering::SeqCst)
+    }
+
+    /// Restarts within the trailing window (prunes expired entries).
+    pub fn recent_restarts(&self) -> usize {
+        let now = Instant::now();
+        let mut recent = self.recent.lock().expect("supervisor lock");
+        while recent
+            .front()
+            .is_some_and(|&t| now.duration_since(t) > self.window)
+        {
+            recent.pop_front();
+        }
+        recent.len()
+    }
+
+    /// Current service health: `failed` once the budget is exceeded,
+    /// `degraded` while any restart sits within the window, `ok` otherwise.
+    pub fn health(&self) -> ServiceHealth {
+        if self.failed.load(Ordering::SeqCst) {
+            ServiceHealth::Failed
+        } else if self.recent_restarts() > 0 {
+            ServiceHealth::Degraded
+        } else {
+            ServiceHealth::Ok
+        }
+    }
+}
+
 /// One request being served by the sampler core.
 struct ActiveRequest {
     key: u32,
     params: SynthesisParams,
+    deadline: Option<Instant>,
     reply: mpsc::Sender<ResponseEvent>,
     /// Candidates handed to lanes so far.
     next_dispatch: u64,
@@ -141,6 +311,8 @@ struct ActiveRequest {
     /// A reply send failed (client went away mid-stream); sample no more,
     /// absorb silently.
     failed: bool,
+    /// The deadline passed mid-flight: finish now with a partial response.
+    timed_out: bool,
     /// Disconnect flag shared with the connection handler.
     cancelled: Arc<AtomicBool>,
 }
@@ -152,8 +324,13 @@ impl ActiveRequest {
         self.failed || self.cancelled.load(Ordering::Relaxed)
     }
 
+    /// True once the request must stop holding lanes: abandoned or expired.
+    fn is_dead(&self) -> bool {
+        self.is_abandoned() || self.timed_out
+    }
+
     fn wants_dispatch(&self) -> bool {
-        if self.is_abandoned()
+        if self.is_dead()
             || self.accepted >= self.params.count
             || self.next_dispatch >= self.params.max_attempts as u64
         {
@@ -211,16 +388,30 @@ fn render_kernel_line(kernel: &SynthesizedKernel, stats: &KernelStats) -> String
     line
 }
 
-/// Render the trailing per-request summary as an NDJSON line.
-fn render_done_line(summary: &StatsSummary, exhausted: bool) -> String {
+/// Render the trailing per-request summary as an NDJSON line. The
+/// `timed_out` marker is only emitted when set, so responses that never hit
+/// their deadline are byte-identical to those of a deadline-free server.
+fn render_done_line(summary: &StatsSummary, exhausted: bool, timed_out: bool) -> String {
     let mut line = String::with_capacity(160);
     line.push_str(&format!(
-        "{{\"done\":true,\"kernels\":{},\"attempts\":{},\"generated_chars\":{},\"exhausted\":{},\"rejected\":",
+        "{{\"done\":true,\"kernels\":{},\"attempts\":{},\"generated_chars\":{},\"exhausted\":{},",
         summary.kernels, summary.attempts, summary.generated_chars, exhausted
     ));
+    if timed_out {
+        line.push_str("\"timeout\":true,");
+    }
+    line.push_str("\"rejected\":");
     render_rejections(&mut line, &summary.rejected);
     line.push('}');
     line
+}
+
+/// Why one generation of the sampler core returned (as opposed to panicking
+/// out of `catch_unwind`).
+enum Exit {
+    /// Clean shutdown: drained (or drain deadline enforced) after
+    /// [`SchedMsg::Shutdown`], or every sender hung up.
+    Finished,
 }
 
 struct Scheduler {
@@ -230,39 +421,51 @@ struct Scheduler {
     active: Vec<ActiveRequest>,
     queued: Arc<AtomicUsize>,
     aggregate: Arc<Mutex<Aggregate>>,
+    faults: FaultPlan,
     seed_text: String,
     next_key: u32,
     rr: usize,
     in_flight_filter: usize,
     max_active: usize,
     shutdown: bool,
+    drain_deadline: Option<Instant>,
 }
 
 impl Scheduler {
-    fn handle(&mut self, msg: SchedMsg, engine: &mut BatchEngine<'_>) {
+    fn handle(&mut self, msg: SchedMsg) {
         match msg {
             SchedMsg::Job(job) => self.backlog.push_back(job),
-            SchedMsg::Shutdown => self.shutdown = true,
+            SchedMsg::Shutdown { drain_deadline } => {
+                self.shutdown = true;
+                self.drain_deadline = drain_deadline;
+            }
             SchedMsg::Filtered(batch) => {
-                self.in_flight_filter -= 1;
+                // Saturating: a panic between a filter send and the matching
+                // increment can leave the counter one short after recovery.
+                self.in_flight_filter = self.in_flight_filter.saturating_sub(1);
                 for item in batch {
                     let key = ticket_key(item.ticket);
-                    // A request that already finished (satisfied early, or
-                    // its client went away) simply drops late verdicts.
+                    // A request that already finished (satisfied early,
+                    // timed out, or its client went away) simply drops late
+                    // verdicts.
                     if let Some(req) = self.active.iter_mut().find(|r| r.key == key) {
                         req.pending
                             .insert(ticket_index(item.ticket), (item.candidate, item.verdict));
                     }
                 }
-                self.absorb_all(engine);
             }
         }
     }
 
+    fn is_drained(&self) -> bool {
+        self.active.is_empty() && self.backlog.is_empty() && self.in_flight_filter == 0
+    }
+
     /// Fold every in-order verdict of every request into its response,
-    /// completing requests that reach their target or their attempt cap.
-    /// The aggregate statistics are merged *before* the final `Done` line is
-    /// sent, so `/stats` read after a completed response reflects it.
+    /// completing requests that reach their target, their attempt cap or
+    /// their deadline. The aggregate statistics are merged *before* the
+    /// final `Done` line is sent, so `/stats` read after a completed
+    /// response reflects it.
     fn absorb_all(&mut self, engine: &mut BatchEngine<'_>) {
         let mut i = 0;
         while i < self.active.len() {
@@ -281,6 +484,7 @@ impl Scheduler {
                     agg.summary.merge_summary(&req.summary);
                     agg.summary.merge_window(&req.window);
                     agg.requests_completed += 1;
+                    agg.requests_timed_out += u64::from(req.timed_out);
                     agg.active_requests = self.active.len();
                 }
                 let _ = req.reply.send(ResponseEvent::Done(done_line));
@@ -305,11 +509,11 @@ impl Scheduler {
                     let line = render_kernel_line(&kernel, &stats);
                     req.summary.merge(&stats);
                     req.accepted += 1;
-                    if !req.is_abandoned() && req.reply.send(ResponseEvent::Kernel(line)).is_err() {
+                    if !req.is_dead() && req.reply.send(ResponseEvent::Kernel(line)).is_err() {
                         req.failed = true;
                     }
                     if req.accepted >= req.params.count {
-                        return Some(render_done_line(&req.summary, false));
+                        return Some(render_done_line(&req.summary, false, false));
                     }
                 }
                 Err(reason) => {
@@ -317,10 +521,15 @@ impl Scheduler {
                 }
             }
         }
-        if req.is_abandoned() && req.next_absorb >= req.next_dispatch {
-            // The client went away and every dispatched candidate has been
-            // absorbed: nothing left to stream to anyone.
-            return Some(render_done_line(&req.summary, true));
+        if req.is_dead() {
+            // Deadline passed mid-flight, or the client went away: answer
+            // now with what was absorbed. Still-outstanding candidates are
+            // dropped — their lanes are reaped by the step-abort predicate
+            // (so they can never come back), and late filter verdicts are
+            // dropped by the key lookup.
+            req.summary.merge_window(&req.window);
+            req.window = KernelStats::default();
+            return Some(render_done_line(&req.summary, true, req.timed_out));
         }
         if req.next_absorb >= req.params.max_attempts as u64 {
             // Attempt cap reached with the target unmet: the trailing
@@ -328,9 +537,57 @@ impl Scheduler {
             // is accounted.
             req.summary.merge_window(&req.window);
             req.window = KernelStats::default();
-            return Some(render_done_line(&req.summary, true));
+            return Some(render_done_line(&req.summary, true, false));
         }
         None
+    }
+
+    /// Shed queued jobs whose deadline has already passed: fail fast with
+    /// `503` + `Retry-After` instead of spending lanes on a request whose
+    /// client has stopped waiting.
+    fn shed_expired_backlog(&mut self) {
+        if self.backlog.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let queued = &self.queued;
+        let mut shed = 0u64;
+        self.backlog.retain(|job| {
+            if job.deadline.is_some_and(|d| d <= now) {
+                queued.fetch_sub(1, Ordering::SeqCst);
+                shed += 1;
+                let _ = job.reply.send(ResponseEvent::Error(ServeError {
+                    status: 503,
+                    retry_after: Some(1),
+                    message: "deadline expired while queued".to_string(),
+                }));
+                false
+            } else {
+                true
+            }
+        });
+        if shed > 0 {
+            self.aggregate.lock().expect("aggregate lock").requests_shed += shed;
+        }
+    }
+
+    /// Mark in-flight requests whose deadline has passed and complete them
+    /// with their partial results.
+    fn reap_expired(&mut self, engine: &mut BatchEngine<'_>) {
+        if self.active.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let mut any = false;
+        for req in &mut self.active {
+            if !req.timed_out && req.deadline.is_some_and(|d| d <= now) {
+                req.timed_out = true;
+                any = true;
+            }
+        }
+        if any {
+            self.absorb_all(engine);
+        }
     }
 
     /// Activate backlog jobs and refill free lanes, round-robin across
@@ -346,6 +603,7 @@ impl Scheduler {
             self.active.push(ActiveRequest {
                 key,
                 params: job.params,
+                deadline: job.deadline,
                 reply: job.reply,
                 cancelled: job.cancelled,
                 next_dispatch: 0,
@@ -355,6 +613,7 @@ impl Scheduler {
                 summary: StatsSummary::default(),
                 accepted: 0,
                 failed: false,
+                timed_out: false,
             });
         }
         // Reap abandoned requests (their finish condition can become true
@@ -363,7 +622,7 @@ impl Scheduler {
         // backlog activation: a request can arrive already-cancelled, and
         // if it were activated after the sweep the scheduler could go to
         // sleep holding it, with no further message ever waking it.
-        if self.active.iter().any(ActiveRequest::is_abandoned) {
+        if self.active.iter().any(ActiveRequest::is_dead) {
             self.absorb_all(engine);
         }
         'lanes: while let Some(lane) = engine.free_lane() {
@@ -391,9 +650,8 @@ impl Scheduler {
                 if let Some(done) = engine.admit(lane, ticket, &self.seed_text, options, rng_seed) {
                     // Zero-budget candidates complete at admission; route
                     // them through the filter like any other round.
-                    self.in_flight_filter += 1;
-                    if self.filter_tx.send(vec![(ticket, done)]).is_err() {
-                        self.in_flight_filter -= 1;
+                    if self.filter_tx.send(vec![(ticket, done)]).is_ok() {
+                        self.in_flight_filter += 1;
                     }
                 }
                 continue 'lanes;
@@ -406,33 +664,193 @@ impl Scheduler {
         agg.lanes_busy = engine.occupied_lanes();
         agg.active_requests = self.active.len();
     }
+
+    /// Fail every in-flight request with `error`, dropping the requests (the
+    /// panic quarantine: an in-flight job is never retried into a fresh
+    /// batch). The engine of the failed generation is already gone.
+    fn fail_in_flight(&mut self, error: &ServeError) {
+        let n = self.active.len() as u64;
+        for req in self.active.drain(..) {
+            let _ = req.reply.send(ResponseEvent::Error(error.clone()));
+        }
+        let mut agg = self.aggregate.lock().expect("aggregate lock");
+        agg.requests_failed += n;
+        agg.active_requests = 0;
+        agg.lanes_busy = 0;
+    }
+
+    /// Fail every queued job with `error` (shutdown gave up on them).
+    fn fail_backlog(&mut self, error: &ServeError) {
+        let n = self.backlog.len() as u64;
+        for job in self.backlog.drain(..) {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            let _ = job.reply.send(ResponseEvent::Error(error.clone()));
+        }
+        if n > 0 {
+            self.aggregate
+                .lock()
+                .expect("aggregate lock")
+                .requests_failed += n;
+        }
+    }
+
+    /// The drain deadline passed with work still in the system: answer
+    /// everything with `503 server stopping` so the process can still exit.
+    fn enforce_drain_deadline(&mut self) -> bool {
+        if !self.shutdown {
+            return false;
+        }
+        let Some(deadline) = self.drain_deadline else {
+            return false;
+        };
+        if Instant::now() < deadline || self.is_drained() {
+            return false;
+        }
+        let error = ServeError {
+            status: 503,
+            retry_after: None,
+            message: "server stopping: drain timeout expired".to_string(),
+        };
+        self.fail_in_flight(&error);
+        self.fail_backlog(&error);
+        true
+    }
+
+    /// One generation of the sampler core: drain requests into `engine`
+    /// until shutdown completes or every sender hangs up. Runs under the
+    /// supervisor's `catch_unwind`; a panic anywhere in here (model compute,
+    /// absorption, an injected fault) aborts only this generation.
+    fn run(&mut self, engine: &mut BatchEngine<'_>) -> Exit {
+        let mut completed: Vec<(u64, SampledCandidate)> = Vec::new();
+        loop {
+            if self.enforce_drain_deadline() {
+                return Exit::Finished;
+            }
+            self.shed_expired_backlog();
+            self.reap_expired(engine);
+            self.admit(engine);
+            if engine.occupied_lanes() == 0 {
+                let drained = self.is_drained();
+                self.publish(engine);
+                if self.shutdown && drained {
+                    return Exit::Finished;
+                }
+                // Fully idle (or blocked on the filter): wait for input
+                // instead of spinning, waking on a tick to sweep deadlines
+                // and the drain timer.
+                match self.rx.recv_timeout(IDLE_TICK) {
+                    Ok(msg) => self.handle(msg),
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return Exit::Finished,
+                }
+                while let Ok(msg) = self.rx.try_recv() {
+                    self.handle(msg);
+                }
+                self.absorb_all(engine);
+                continue;
+            }
+            // Busy: poll the inbox opportunistically so arriving requests
+            // join the batch this round, then advance every lane one
+            // character.
+            self.faults.stall(FaultPoint::SamplerStall);
+            while let Ok(msg) = self.rx.try_recv() {
+                self.handle(msg);
+            }
+            self.absorb_all(engine);
+            self.admit(engine);
+            if self.faults.fire(FaultPoint::SamplerPanic).is_some() {
+                panic!("injected fault: sampler_panic");
+            }
+            completed.clear();
+            {
+                // Lanes whose request is gone (completed, expired, or its
+                // client vanished) are reaped mid-step through the engine's
+                // abort predicate instead of sampling to their budget.
+                let active = &self.active;
+                engine.step_into_abortable(&mut completed, |t| {
+                    let key = ticket_key(t);
+                    match active.iter().find(|r| r.key == key) {
+                        None => true,
+                        Some(req) => req.is_dead(),
+                    }
+                });
+            }
+            if !completed.is_empty() {
+                if self.filter_tx.send(std::mem::take(&mut completed)).is_err() {
+                    // The filter thread died; nothing can complete any more.
+                    return Exit::Finished;
+                }
+                self.in_flight_filter += 1;
+            }
+            self.publish(engine);
+        }
+    }
 }
 
-/// Run the sampler core over `model` until shutdown: the body of the
+/// Everything the supervised sampler core needs beyond its inbox: the shared
+/// checkpoint image it respawns from, the shared statistics, the fault plan,
+/// and the server's shutdown trigger for budget exhaustion.
+pub(crate) struct CoreContext {
+    pub lanes: usize,
+    pub seed_text: String,
+    pub filter: FilterConfig,
+    /// Pristine checkpoint image (the bytes of the model the server booted
+    /// with); every respawn decodes a fresh model from it.
+    pub checkpoint: Arc<Vec<u8>>,
+    pub queued: Arc<AtomicUsize>,
+    pub aggregate: Arc<Mutex<Aggregate>>,
+    pub supervisor: Arc<Supervisor>,
+    pub faults: FaultPlan,
+    /// Server shutdown flag + bound address: budget exhaustion triggers the
+    /// same graceful-shutdown path as `POST /shutdown`.
+    pub shutdown: Arc<AtomicBool>,
+    pub addr: SocketAddr,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run the supervised sampler core until shutdown: the body of the
 /// sampler-core thread spawned by the server.
 ///
-/// `sched_tx` is the loop's own inbox sender, handed to the filter thread so
-/// verdicts come back through the same channel as new jobs.
-#[allow(clippy::too_many_arguments)]
-pub fn run_sampler_core(
+/// Each generation of the core runs under `catch_unwind`; panics fail the
+/// in-flight requests with typed 500s and respawn the core from the shared
+/// checkpoint image, within the supervisor's restart budget (see the module
+/// docs). `sched_tx` is the loop's own inbox sender, handed to the filter
+/// thread so verdicts come back through the same channel as new jobs.
+pub(crate) fn run_sampler_core(
     model: TrainedModel,
-    lanes: usize,
-    seed_text: String,
-    filter: FilterConfig,
+    ctx: CoreContext,
     rx: mpsc::Receiver<SchedMsg>,
     sched_tx: mpsc::Sender<SchedMsg>,
-    queued: Arc<AtomicUsize>,
-    aggregate: Arc<Mutex<Aggregate>>,
 ) {
     let (filter_tx, filter_rx) = mpsc::channel::<Vec<(u64, SampledCandidate)>>();
+    let filter_config = ctx.filter.clone();
+    let filter_faults = ctx.faults.clone();
     let filter_thread = std::thread::spawn(move || {
         // Filter stage: each round fans out over the rayon pool; verdicts
-        // return to the scheduler inbox as one message per round.
+        // return to the scheduler inbox as one message per round. Each
+        // candidate's verdict is computed under `catch_unwind`, so one
+        // poisoned candidate panicking the filter becomes a typed rejection
+        // instead of wedging every in-flight request.
         while let Ok(batch) = filter_rx.recv() {
             let filtered: Vec<Filtered> = batch
                 .into_par_iter()
                 .map(|(ticket, candidate)| {
-                    let verdict = filter_candidate(&filter, &candidate);
+                    let verdict = catch_unwind(AssertUnwindSafe(|| {
+                        if filter_faults.fire(FaultPoint::FilterPanic).is_some() {
+                            panic!("injected fault: filter_panic");
+                        }
+                        filter_candidate(&filter_config, &candidate)
+                    }))
+                    .unwrap_or(Err(RejectReason::FilterPanicked));
                     Filtered {
                         ticket,
                         candidate,
@@ -446,67 +864,151 @@ pub fn run_sampler_core(
         }
     });
 
-    let mut streams = model.streams(lanes.max(1));
-    let mut engine = BatchEngine::new(streams.as_mut(), model.vocabulary());
     let mut sched = Scheduler {
         rx,
         filter_tx,
         backlog: VecDeque::new(),
         active: Vec::new(),
-        queued,
-        aggregate,
-        seed_text,
+        queued: ctx.queued.clone(),
+        aggregate: ctx.aggregate.clone(),
+        faults: ctx.faults.clone(),
+        seed_text: ctx.seed_text.clone(),
         next_key: 0,
         rr: 0,
         in_flight_filter: 0,
-        max_active: lanes.max(1),
+        max_active: ctx.lanes.max(1),
         shutdown: false,
+        drain_deadline: None,
     };
 
-    let mut completed: Vec<(u64, SampledCandidate)> = Vec::new();
+    // The model the server booted with serves the first generation; every
+    // respawn decodes a fresh model from the pristine checkpoint image.
+    let mut boot_model = Some(model);
     loop {
-        sched.admit(&mut engine);
-        if engine.occupied_lanes() == 0 {
-            let drained =
-                sched.active.is_empty() && sched.backlog.is_empty() && sched.in_flight_filter == 0;
-            sched.publish(&engine);
-            if sched.shutdown && drained {
-                break;
+        let model = match boot_model.take() {
+            Some(model) => model,
+            None => {
+                let mut image = ctx.checkpoint.as_ref().clone();
+                if let Some(index) = ctx.faults.corrupt_reload(&mut image) {
+                    eprintln!(
+                        "clgen-serve: injected fault: corrupt_reload (byte {index} of the \
+                         checkpoint image)"
+                    );
+                }
+                match TrainedModel::from_bytes(&image) {
+                    Ok(model) => model,
+                    Err(e) => {
+                        eprintln!("clgen-serve: checkpoint reload failed: {e}; retrying");
+                        if ctx.supervisor.record_restart() {
+                            give_up(&mut sched, &ctx);
+                            break;
+                        }
+                        continue;
+                    }
+                }
             }
-            // Fully idle (or blocked on the filter): wait for input instead
-            // of spinning.
-            match sched.rx.recv() {
-                Ok(msg) => sched.handle(msg, &mut engine),
-                Err(_) => break,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut streams = model.streams(ctx.lanes.max(1));
+            let mut engine = BatchEngine::new(streams.as_mut(), model.vocabulary());
+            sched.run(&mut engine)
+        }));
+        match outcome {
+            Ok(Exit::Finished) => break,
+            Err(payload) => {
+                let message = panic_message(payload);
+                eprintln!(
+                    "clgen-serve: sampler core panicked ({message}); failing in-flight \
+                     requests and respawning from the checkpoint image"
+                );
+                sched.fail_in_flight(&ServeError {
+                    status: 500,
+                    retry_after: None,
+                    message: format!("sampler core panicked: {message}"),
+                });
+                if ctx.supervisor.record_restart() {
+                    give_up(&mut sched, &ctx);
+                    break;
+                }
             }
-            while let Ok(msg) = sched.rx.try_recv() {
-                sched.handle(msg, &mut engine);
-            }
-            continue;
         }
-        // Busy: poll the inbox opportunistically so arriving requests join
-        // the batch this round, then advance every lane one character.
-        while let Ok(msg) = sched.rx.try_recv() {
-            sched.handle(msg, &mut engine);
-        }
-        sched.admit(&mut engine);
-        completed.clear();
-        engine.step_into(&mut completed);
-        if !completed.is_empty() {
-            sched.in_flight_filter += 1;
-            if sched
-                .filter_tx
-                .send(std::mem::take(&mut completed))
-                .is_err()
-            {
-                // The filter thread died; nothing can complete any more.
-                break;
-            }
-        }
-        sched.publish(&engine);
     }
 
     // Closing the filter channel ends the filter thread's receive loop.
     drop(sched.filter_tx);
     let _ = filter_thread.join();
+}
+
+/// The restart budget is exhausted: answer everything still in the system
+/// and trigger the server's graceful shutdown so the process exits instead
+/// of spinning through a crash loop.
+fn give_up(sched: &mut Scheduler, ctx: &CoreContext) {
+    eprintln!(
+        "clgen-serve: sampler core restart budget exhausted ({} restarts); shutting down",
+        ctx.supervisor.restarts()
+    );
+    let error = ServeError {
+        status: 503,
+        retry_after: None,
+        message: "server stopping: sampler core restart budget exhausted".to_string(),
+    };
+    sched.fail_in_flight(&error);
+    sched.fail_backlog(&error);
+    if !ctx.shutdown.swap(true, Ordering::SeqCst) {
+        // Wake the blocking accept call so the shutdown sequence starts.
+        let _ = std::net::TcpStream::connect(ctx.addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn done_line_timeout_marker_is_additive() {
+        let summary = StatsSummary {
+            kernels: 1,
+            attempts: 3,
+            generated_chars: 120,
+            rejected: HashMap::new(),
+        };
+        let plain = render_done_line(&summary, false, false);
+        assert_eq!(
+            plain,
+            "{\"done\":true,\"kernels\":1,\"attempts\":3,\"generated_chars\":120,\
+             \"exhausted\":false,\"rejected\":{}}"
+        );
+        let timed = render_done_line(&summary, true, true);
+        assert!(timed.contains("\"timeout\":true"));
+        assert!(timed.contains("\"exhausted\":true"));
+        // The marker is strictly additive: stripping it yields the same
+        // bytes as the exhausted fault-free line, preserving byte-identical
+        // happy-path responses.
+        assert_eq!(
+            timed.replace("\"timeout\":true,", ""),
+            render_done_line(&summary, true, false)
+        );
+    }
+
+    #[test]
+    fn supervisor_window_accounting() {
+        let sup = Supervisor::new(2, Duration::from_secs(3600));
+        assert_eq!(sup.health(), ServiceHealth::Ok);
+        assert!(!sup.record_restart());
+        assert_eq!(sup.health(), ServiceHealth::Degraded);
+        assert!(!sup.record_restart());
+        assert!(sup.record_restart(), "third restart exceeds budget 2");
+        assert_eq!(sup.health(), ServiceHealth::Failed);
+        assert_eq!(sup.restarts(), 3);
+    }
+
+    #[test]
+    fn supervisor_window_expires_restarts() {
+        let sup = Supervisor::new(0, Duration::from_millis(30));
+        assert!(sup.record_restart(), "budget 0 fails on the first restart");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(sup.recent_restarts(), 0, "window pruned");
+        // Failure latches even after the window empties.
+        assert_eq!(sup.health(), ServiceHealth::Failed);
+    }
 }

@@ -1,9 +1,11 @@
-//! The HTTP front-end: accept loop, request routing, backpressure and
-//! graceful shutdown over the batching scheduler.
+//! The HTTP front-end: accept loop, request routing, backpressure, deadlines
+//! and bounded graceful shutdown over the supervised batching scheduler.
 
+use crate::faults::{FaultPlan, FaultPoint};
 use crate::http::{self, HttpError, Request};
 use crate::scheduler::{
-    run_sampler_core, Aggregate, Job, ResponseEvent, SchedMsg, SynthesisParams,
+    run_sampler_core, Aggregate, CoreContext, Job, ResponseEvent, SchedMsg, ServeError,
+    ServiceHealth, Supervisor, SynthesisParams,
 };
 use crate::{json, DEFAULT_MAX_ATTEMPTS_PER_KERNEL};
 use clgen::spec::FREE_SEED;
@@ -15,6 +17,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Largest accepted `deadline_ms` (24 hours): anything longer is a typo.
+pub const MAX_DEADLINE_MS: u64 = 86_400_000;
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -34,6 +39,36 @@ pub struct ServerConfig {
     pub max_attempts_cap: usize,
     /// Rejection-filter configuration applied to sampled candidates.
     pub filter: FilterConfig,
+    /// Socket read timeout per connection (`None` disables): bounds how long
+    /// a stalled client can pin a connection thread while sending its
+    /// request.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout per connection (`None` disables): bounds how
+    /// long a reader that stops draining its socket can pin a connection
+    /// thread mid-response.
+    pub write_timeout: Option<Duration>,
+    /// Graceful-shutdown drain bound: after `POST /shutdown` (or a restart-
+    /// budget failure), in-flight and queued requests get this long to
+    /// finish before they are answered `503 server stopping` and the
+    /// process exits anyway. `None` drains without bound.
+    pub drain_timeout: Option<Duration>,
+    /// Default per-request deadline applied when a request carries no
+    /// `deadline_ms` parameter (`None` = no default deadline).
+    pub default_deadline_ms: Option<u64>,
+    /// Sampler-core restarts tolerated within [`restart_window`] before the
+    /// supervisor gives up and shuts the server down
+    /// ([`ServiceHealth::Failed`]).
+    ///
+    /// [`restart_window`]: ServerConfig::restart_window
+    pub restart_budget: u32,
+    /// Sliding window for [`restart_budget`] accounting; also how long
+    /// `/healthz` reports `degraded` after a recovered restart.
+    ///
+    /// [`restart_budget`]: ServerConfig::restart_budget
+    pub restart_window: Duration,
+    /// Deterministic fault-injection plan (inert by default; armed plans
+    /// require the `faults` cargo feature).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +84,13 @@ impl Default for ServerConfig {
                 use_shim: false,
                 min_instructions: 3,
             },
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            drain_timeout: Some(Duration::from_secs(5)),
+            default_deadline_ms: None,
+            restart_budget: 3,
+            restart_window: Duration::from_secs(60),
+            faults: FaultPlan::inert(),
         }
     }
 }
@@ -58,14 +100,15 @@ struct Shared {
     aggregate: Arc<Mutex<Aggregate>>,
     queued: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
+    supervisor: Arc<Supervisor>,
     started: Instant,
     addr: SocketAddr,
     backend_kind: &'static str,
     config: ServerConfig,
 }
 
-/// The synthesis service: a model loaded once, served by one batching
-/// sampler core behind a thread-per-connection HTTP/1.1 front-end.
+/// The synthesis service: a model loaded once, served by one supervised
+/// batching sampler core behind a thread-per-connection HTTP/1.1 front-end.
 pub struct Server;
 
 impl Server {
@@ -75,38 +118,49 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let backend_kind = model.backend_kind();
+        // The pristine checkpoint image the supervisor respawns the sampler
+        // core from (`to_bytes`/`from_bytes` roundtrips are bit-exact, so a
+        // respawned core reproduces the same responses).
+        let checkpoint = Arc::new(model.to_bytes());
 
         let (sched_tx, sched_rx) = mpsc::channel::<SchedMsg>();
         let aggregate = Arc::new(Mutex::new(Aggregate::default()));
         let queued = Arc::new(AtomicUsize::new(0));
         let shutdown = Arc::new(AtomicBool::new(false));
+        let supervisor = Arc::new(Supervisor::new(
+            config.restart_budget,
+            config.restart_window,
+        ));
         let shared = Arc::new(Shared {
             aggregate: aggregate.clone(),
             queued: queued.clone(),
             shutdown: shutdown.clone(),
+            supervisor: supervisor.clone(),
             started: Instant::now(),
             addr,
             backend_kind,
             config: config.clone(),
         });
 
+        let ctx = CoreContext {
+            lanes: config.lanes,
+            seed_text: FREE_SEED.to_string(),
+            filter: config.filter.clone(),
+            checkpoint,
+            queued,
+            aggregate,
+            supervisor: supervisor.clone(),
+            faults: config.faults.clone(),
+            shutdown: shutdown.clone(),
+            addr,
+        };
         let core_tx = sched_tx.clone();
         let sampler_core = thread::Builder::new()
             .name("clgen-serve-sampler".to_string())
-            .spawn(move || {
-                run_sampler_core(
-                    model,
-                    config.lanes,
-                    FREE_SEED.to_string(),
-                    config.filter,
-                    sched_rx,
-                    core_tx,
-                    queued,
-                    aggregate,
-                )
-            })?;
+            .spawn(move || run_sampler_core(model, ctx, sched_rx, core_tx))?;
 
         let accept_shutdown = shutdown.clone();
+        let drain_timeout = config.drain_timeout;
         let accept_thread = thread::Builder::new()
             .name("clgen-serve-accept".to_string())
             .spawn(move || {
@@ -121,13 +175,16 @@ impl Server {
                     handlers.retain(|h| !h.is_finished());
                     handlers.push(thread::spawn(move || handle_connection(stream, tx, shared)));
                 }
-                // Graceful shutdown: in-flight connections finish their
-                // requests (the sampler core is still running), then the
-                // core drains and exits.
+                // Graceful shutdown with a bounded drain: tell the core to
+                // drain *now*, with a deadline — in-flight connections then
+                // finish normally (the core answers their requests), or get
+                // `503 server stopping` when the drain deadline hits, so a
+                // wedged request cannot keep the process alive forever.
+                let drain_deadline = drain_timeout.map(|t| Instant::now() + t);
+                let _ = sched_tx.send(SchedMsg::Shutdown { drain_deadline });
                 for handler in handlers {
                     let _ = handler.join();
                 }
-                let _ = sched_tx.send(SchedMsg::Shutdown);
                 drop(sched_tx);
                 let _ = sampler_core.join();
             })?;
@@ -135,6 +192,7 @@ impl Server {
         Ok(ServerHandle {
             addr,
             shutdown,
+            supervisor,
             accept_thread: Some(accept_thread),
         })
     }
@@ -145,11 +203,14 @@ impl Server {
 /// Dropping the handle shuts the server down gracefully (as does
 /// [`shutdown`](ServerHandle::shutdown)); [`join`](ServerHandle::join)
 /// instead blocks until something else stops it — a `POST /shutdown` from a
-/// client, typically.
+/// client, or the supervisor exhausting its restart budget. Both return the
+/// final [`ServiceHealth`], so callers can exit nonzero on
+/// [`ServiceHealth::Failed`].
 #[derive(Debug)]
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    supervisor: Arc<Supervisor>,
     accept_thread: Option<thread::JoinHandle<()>>,
 }
 
@@ -159,16 +220,27 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Gracefully stop the server: stop accepting connections, let every
-    /// in-flight request finish, drain the sampler core, join all threads.
-    pub fn shutdown(mut self) {
-        self.trigger();
-        self.join_inner();
+    /// Current service health (the supervisor's view; what `/healthz`
+    /// reports).
+    pub fn health(&self) -> ServiceHealth {
+        self.supervisor.health()
     }
 
-    /// Block until the server stops (e.g. a client sent `POST /shutdown`).
-    pub fn join(mut self) {
+    /// Gracefully stop the server: stop accepting connections, drain
+    /// in-flight requests (bounded by the configured drain timeout), join
+    /// all threads. Returns the final service health.
+    pub fn shutdown(mut self) -> ServiceHealth {
+        self.trigger();
         self.join_inner();
+        self.supervisor.health()
+    }
+
+    /// Block until the server stops (a client sent `POST /shutdown`, or the
+    /// supervisor gave up after exhausting its restart budget). Returns the
+    /// final service health.
+    pub fn join(mut self) -> ServiceHealth {
+        self.join_inner();
+        self.supervisor.health()
     }
 
     fn trigger(&self) {
@@ -228,12 +300,25 @@ fn parse_params(request: &Request, config: &ServerConfig) -> Result<SynthesisPar
             config.max_attempts_cap
         ));
     }
+    let deadline_ms: Option<u64> = match request.query_param("deadline_ms") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("parameter \"deadline_ms\" is not valid: {raw:?}"))?,
+        ),
+    };
+    if let Some(ms) = deadline_ms {
+        if ms == 0 || ms > MAX_DEADLINE_MS {
+            return Err(format!("deadline_ms must be in 1..={MAX_DEADLINE_MS}"));
+        }
+    }
     Ok(SynthesisParams {
         count,
         temperature,
         max_chars,
         seed,
         max_attempts,
+        deadline_ms,
     })
 }
 
@@ -246,8 +331,33 @@ fn write_error(stream: &mut TcpStream, status: u16, reason: &str, message: &str)
     write_json(stream, status, reason, &body);
 }
 
+/// Render a [`ServeError`] as a plain HTTP error response (response head not
+/// yet written).
+fn write_serve_error(stream: &mut TcpStream, err: &ServeError) {
+    let reason = match err.status {
+        500 => "Internal Server Error",
+        _ => "Service Unavailable",
+    };
+    let body = format!("{{\"error\":{}}}\n", json::escaped(&err.message));
+    match err.retry_after {
+        Some(secs) => {
+            let retry = secs.to_string();
+            let _ = http::write_response_with(
+                stream,
+                err.status,
+                reason,
+                &[("Retry-After", retry.as_str())],
+                "application/json",
+                body.as_bytes(),
+            );
+        }
+        None => write_json(stream, err.status, reason, &body),
+    }
+}
+
 fn handle_connection(stream: TcpStream, tx: mpsc::Sender<SchedMsg>, shared: Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(shared.config.read_timeout);
+    let _ = stream.set_write_timeout(shared.config.write_timeout);
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -264,12 +374,20 @@ fn handle_connection(stream: TcpStream, tx: mpsc::Sender<SchedMsg>, shared: Arc<
     };
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
+            let health = shared.supervisor.health();
+            let (status, reason) = match health {
+                ServiceHealth::Failed => (503, "Service Unavailable"),
+                _ => (200, "OK"),
+            };
             let body = format!(
-                "{{\"status\":\"ok\",\"backend\":{},\"lanes\":{}}}\n",
+                "{{\"status\":{},\"backend\":{},\"lanes\":{},\"restarts\":{},\"recent_restarts\":{}}}\n",
+                json::escaped(health.as_str()),
                 json::escaped(shared.backend_kind),
-                shared.config.lanes
+                shared.config.lanes,
+                shared.supervisor.restarts(),
+                shared.supervisor.recent_restarts(),
             );
-            write_json(&mut stream, 200, "OK", &body);
+            write_json(&mut stream, status, reason, &body);
         }
         ("GET", "/stats") => {
             let body = render_stats(&shared);
@@ -329,11 +447,19 @@ fn handle_synthesize(
         return;
     }
 
+    // The deadline clock starts at admission: queueing time counts against
+    // it (that is what lets the scheduler shed jobs that expired while
+    // queued).
+    let deadline = params
+        .deadline_ms
+        .or(shared.config.default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
     let (reply_tx, reply_rx) = mpsc::channel::<ResponseEvent>();
     let cancelled = Arc::new(AtomicBool::new(false));
     if tx
         .send(SchedMsg::Job(Job {
             params,
+            deadline,
             reply: reply_tx,
             cancelled: cancelled.clone(),
         }))
@@ -349,6 +475,30 @@ fn handle_synthesize(
         .expect("aggregate lock")
         .requests_received += 1;
 
+    // Phase 1: wait for the first event *before* writing the response head,
+    // so failures (queue shed, panic quarantine, shutdown) can still be
+    // typed HTTP errors instead of a truncated 200.
+    let first = loop {
+        match reply_rx.recv_timeout(Duration::from_millis(500)) {
+            Ok(event) => break event,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if client_disconnected(&stream) {
+                    cancelled.store(true, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Sampler core went away without answering the request.
+                write_error(&mut stream, 503, "Service Unavailable", "server stopping");
+                return;
+            }
+        }
+    };
+    if let ResponseEvent::Error(err) = &first {
+        write_serve_error(&mut stream, err);
+        return;
+    }
+
     // A second handle onto the same socket, for the disconnect probe while
     // `chunks` holds the write borrow.
     let probe_handle = stream.try_clone();
@@ -357,9 +507,44 @@ fn handle_synthesize(
         cancelled.store(true, Ordering::Relaxed);
         return;
     };
+    let mut next = Some(first);
     loop {
-        match reply_rx.recv_timeout(Duration::from_millis(500)) {
-            Ok(ResponseEvent::Kernel(line)) => {
+        let event = match next.take() {
+            Some(event) => event,
+            None => match reply_rx.recv_timeout(Duration::from_millis(500)) {
+                Ok(event) => event,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Nothing accepted recently, so a vanished client would
+                    // go unnoticed by failing sends alone — probe the socket
+                    // for EOF so the sampler core stops spending lanes on it.
+                    if probe_handle.as_ref().is_ok_and(client_disconnected) {
+                        cancelled.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    // Scheduler went away without completing the request.
+                    let _ = chunks.finish();
+                    return;
+                }
+            },
+        };
+        match event {
+            ResponseEvent::Kernel(line) => {
+                if shared
+                    .config
+                    .faults
+                    .fire(FaultPoint::DropResponse)
+                    .is_some()
+                {
+                    // Injected mid-body disconnect: abandon the socket with
+                    // the chunked body unterminated; the client sees a
+                    // truncated response. The request itself keeps running
+                    // and is absorbed silently once sends start failing.
+                    return;
+                }
+                shared.config.faults.stall(FaultPoint::SlowWrite);
                 if chunks.chunk(format!("{line}\n").as_bytes()).is_err() {
                     // Client went away mid-stream: tell the scheduler to
                     // stop sampling for this request.
@@ -367,22 +552,22 @@ fn handle_synthesize(
                     return;
                 }
             }
-            Ok(ResponseEvent::Done(line)) => {
+            ResponseEvent::Done(line) => {
+                shared.config.faults.stall(FaultPoint::SlowWrite);
                 let _ = chunks.chunk(format!("{line}\n").as_bytes());
                 let _ = chunks.finish();
                 return;
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                // Nothing accepted recently, so a vanished client would go
-                // unnoticed by failing sends alone — probe the socket for
-                // EOF so the sampler core stops spending lanes on it.
-                if probe_handle.as_ref().is_ok_and(client_disconnected) {
-                    cancelled.store(true, Ordering::Relaxed);
-                    return;
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                // Scheduler went away without completing the request.
+            ResponseEvent::Error(err) => {
+                // The head is already written: the failure becomes a
+                // terminal NDJSON line with an `aborted` marker, so clients
+                // can distinguish it from a clean summary.
+                let line = format!(
+                    "{{\"aborted\":{},\"status\":{}}}\n",
+                    json::escaped(&err.message),
+                    err.status
+                );
+                let _ = chunks.chunk(line.as_bytes());
                 let _ = chunks.finish();
                 return;
             }
@@ -419,10 +604,12 @@ fn render_stats(shared: &Shared) -> String {
     format!(
         concat!(
             "{{\"backend\":{backend},\"uptime_seconds\":{uptime:.3},",
+            "\"health\":{{\"status\":{health},\"restarts\":{restarts},\"recent_restarts\":{recent}}},",
             "\"lanes\":{lanes},\"lanes_busy\":{lanes_busy},",
             "\"queue_depth\":{queue_depth},\"queue_cap\":{queue_cap},",
             "\"active_requests\":{active},",
-            "\"requests\":{{\"received\":{received},\"completed\":{completed},\"rejected_503\":{rejected}}},",
+            "\"requests\":{{\"received\":{received},\"completed\":{completed},\"rejected_503\":{rejected},",
+            "\"shed\":{shed},\"timed_out\":{timed_out},\"failed\":{failed}}},",
             "\"sampling\":{{\"kernels\":{kernels},\"attempts\":{attempts},",
             "\"generated_chars\":{chars},\"acceptance_rate\":{rate:.4},",
             "\"chars_per_sec\":{cps:.0}}},",
@@ -430,6 +617,9 @@ fn render_stats(shared: &Shared) -> String {
         ),
         backend = json::escaped(shared.backend_kind),
         uptime = elapsed,
+        health = json::escaped(shared.supervisor.health().as_str()),
+        restarts = shared.supervisor.restarts(),
+        recent = shared.supervisor.recent_restarts(),
         lanes = shared.config.lanes,
         lanes_busy = agg.lanes_busy,
         queue_depth = queue_depth,
@@ -438,6 +628,9 @@ fn render_stats(shared: &Shared) -> String {
         received = agg.requests_received,
         completed = agg.requests_completed,
         rejected = agg.requests_rejected,
+        shed = agg.requests_shed,
+        timed_out = agg.requests_timed_out,
+        failed = agg.requests_failed,
         kernels = agg.summary.kernels,
         attempts = agg.summary.attempts,
         chars = agg.summary.generated_chars,

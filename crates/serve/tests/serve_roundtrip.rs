@@ -40,6 +40,7 @@ fn params(seed: u64, count: usize, max_attempts: usize) -> SynthesisParams {
         max_chars: 384,
         seed,
         max_attempts,
+        deadline_ms: None,
     }
 }
 

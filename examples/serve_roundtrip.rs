@@ -59,6 +59,7 @@ fn roundtrip() -> ExitCode {
             max_chars: 512,
             seed: 7,
             max_attempts: 192,
+            deadline_ms: None,
         },
     )
     .expect("synthesize failed");
