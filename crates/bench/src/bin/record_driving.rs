@@ -1,0 +1,246 @@
+//! Record batched-driving throughput to `BENCH_driving.json`.
+//!
+//! Fans a fixed kernel set × payload-size grid through the `clgen-harness`
+//! drive-and-predict pool at several worker counts and compares against the
+//! serial reference implementation (`drive_source_serial`) on the identical
+//! workload. Both paths produce byte-identical NDJSON — the recorder asserts
+//! it — so the comparison is pure scheduling: the work-unit fan-out across
+//! the rayon pool vs one thread walking the same units in order.
+//!
+//! Run from the workspace root with:
+//!
+//! ```text
+//! cargo run --release -p clgen-bench --bin record_driving [-- --quick]
+//! ```
+//!
+//! `--quick` is the CI smoke mode: one round, small sizes, no speedup
+//! assertion (shared CI runners make wall-clock promises unreliable); the
+//! full mode asserts the pool beats serial at 4+ workers — on hosts that
+//! actually have more than one core (a single-CPU container cannot win from
+//! parallelism, and the recorder records that honestly instead of lying).
+
+use clgen_harness::{Deadline, Harness, HarnessConfig};
+use predictive::{Dataset, Example, MappingModel};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The driven kernel set: shapes from the paper's benchmark families —
+/// streaming vector ops, loop-heavy compute, a stencil and a strided
+/// reduction — each expensive enough per work item that a unit is a
+/// meaningful scheduling quantum.
+const KERNELS: &[(&str, &str)] = &[
+    (
+        "vecadd",
+        "__kernel void A(__global float* a, __global float* b, __global float* c, const int n) {
+            int i = get_global_id(0);
+            if (i < n) { c[i] = a[i] + b[i]; }
+        }",
+    ),
+    (
+        "saxpy_loop",
+        "__kernel void A(__global float* x, __global float* y, const int n) {
+            int i = get_global_id(0);
+            float acc = y[i % 1024];
+            for (int r = 0; r < 400; r++) { acc = acc * 0.5f + x[i % 1024]; }
+            if (i < n) { y[i % 1024] = acc; }
+        }",
+    ),
+    (
+        "stencil",
+        "__kernel void A(__global float* src, __global float* dst, const int n) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int k = 0; k < 200; k++) {
+                acc += src[(i + k) % 1024] * 0.25f;
+            }
+            if (i < n) { dst[i % 1024] = acc; }
+        }",
+    ),
+    (
+        "reduce_strided",
+        "__kernel void A(__global float* data, __global float* out, const int n) {
+            int i = get_global_id(0);
+            float sum = 0.0f;
+            for (int s = 1; s < 300; s++) { sum += data[(i * s) % 1024]; }
+            if (i < n) { out[i % 64] = sum; }
+        }",
+    ),
+];
+
+/// A toy CPU/GPU mapping model so the measured loop includes the prediction
+/// stage (training data shape mirrors the harness unit tests).
+fn toy_mapping_model() -> Arc<MappingModel> {
+    let mut d = Dataset::new();
+    for i in 0..16 {
+        let f1 = (i + 1) as f64 * 100.0;
+        let gpu_better = f1 > 800.0;
+        d.push(Example {
+            features: vec![f1, 0.0, 0.0, 1.0],
+            benchmark: format!("b{}", i / 2),
+            suite: "S".into(),
+            id: format!("b{i}"),
+            cpu_time: if gpu_better { 10.0 } else { 1.0 },
+            gpu_time: if gpu_better { 1.0 } else { 10.0 },
+        });
+    }
+    Arc::new(MappingModel::train(&d))
+}
+
+struct Measurement {
+    seconds: f64,
+    units: usize,
+}
+
+impl Measurement {
+    fn units_per_sec(&self) -> f64 {
+        self.units as f64 / self.seconds
+    }
+}
+
+/// Drive every kernel `rounds` times and return the wall-clock measurement
+/// plus the concatenated NDJSON of the final round (for the byte-identity
+/// check).
+fn run(
+    harness: &Harness,
+    rounds: usize,
+    drive: impl Fn(&Harness, &str) -> clgen_harness::HarnessReport,
+) -> (Measurement, Vec<String>) {
+    let mut units = 0;
+    let mut lines = Vec::new();
+    let start = Instant::now();
+    for round in 0..rounds {
+        lines.clear();
+        for (_, source) in KERNELS {
+            let report = drive(harness, source);
+            units += report.units.len();
+            if round + 1 == rounds {
+                lines.extend(report.ndjson());
+            }
+        }
+    }
+    (
+        Measurement {
+            seconds: start.elapsed().as_secs_f64(),
+            units,
+        },
+        lines,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rounds, sizes): (usize, Vec<usize>) = if quick {
+        (1, vec![256, 1024])
+    } else {
+        (5, vec![256, 4096, 65536])
+    };
+
+    let config = HarnessConfig {
+        sizes: sizes.clone(),
+        ..HarnessConfig::default()
+    };
+    let harness = Harness::new(config, Some(toy_mapping_model()));
+
+    // Warm-up (page in the compiler and interpreter paths).
+    let _ = harness.drive_source(KERNELS[0].1, &Deadline::none());
+
+    let (serial, serial_lines) = run(&harness, rounds, |h, s| {
+        h.drive_source_serial(s, &Deadline::none())
+            .expect("kernel drives")
+    });
+    println!(
+        "serial: {:>8.1} units/sec ({} units in {:.3}s)",
+        serial.units_per_sec(),
+        serial.units,
+        serial.seconds
+    );
+
+    struct Level {
+        workers: usize,
+        measurement: Measurement,
+    }
+    let levels: Vec<Level> = WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let (measurement, lines) = rayon::with_num_threads(workers, || {
+                run(&harness, rounds, |h, s| {
+                    h.drive_source(s, &Deadline::none()).expect("kernel drives")
+                })
+            });
+            assert_eq!(
+                lines, serial_lines,
+                "pool output diverged from serial at {workers} workers"
+            );
+            println!(
+                "{workers} workers: {:>8.1} units/sec ({:.2}x serial)",
+                measurement.units_per_sec(),
+                measurement.units_per_sec() / serial.units_per_sec()
+            );
+            Level {
+                workers,
+                measurement,
+            }
+        })
+        .collect();
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if !quick && host_cores >= 2 {
+        for level in levels.iter().filter(|l| l.workers >= 4) {
+            assert!(
+                level.measurement.units_per_sec() > serial.units_per_sec(),
+                "{} workers did not beat serial",
+                level.workers
+            );
+        }
+    } else if !quick {
+        println!("single-core host: speedup assertion skipped (no parallelism available)");
+    }
+
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"batched_driving\",\n");
+    writeln!(
+        out,
+        "  \"config\": {{\"kernels\": {}, \"sizes\": {:?}, \"rounds\": {rounds}, \
+         \"quick\": {quick}, \"host_cores\": {host_cores}, \"mapping_model\": true, \
+         \"baseline\": \"drive_source_serial on the identical unit list\"}},",
+        KERNELS.len(),
+        sizes
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  \"serial\": {{\"seconds\": {:.4}, \"units\": {}, \"units_per_sec\": {:.1}}},",
+        serial.seconds,
+        serial.units,
+        serial.units_per_sec()
+    )
+    .unwrap();
+    out.push_str("  \"levels\": [\n");
+    for (i, level) in levels.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"workers\": {}, \"seconds\": {:.4}, \"units_per_sec\": {:.1}, \
+             \"speedup_vs_serial\": {:.2}}}{}",
+            level.workers,
+            level.measurement.seconds,
+            level.measurement.units_per_sec(),
+            level.measurement.units_per_sec() / serial.units_per_sec(),
+            if i + 1 == levels.len() { "" } else { "," }
+        )
+        .unwrap();
+    }
+    out.push_str("  ],\n");
+    writeln!(
+        out,
+        "  \"deterministic\": true, \"note\": \"NDJSON byte-identical across all worker counts (asserted)\"\n}}"
+    )
+    .unwrap();
+
+    std::fs::write("BENCH_driving.json", &out).expect("write BENCH_driving.json");
+    println!("{out}");
+}

@@ -65,6 +65,12 @@ const OPAQUE_TYPES: &[&str] = &[
     "pipe",
 ];
 
+/// Maximum statement/expression nesting depth. The parser is recursive
+/// descent, so pathologically nested input (`((((…))))`, `{{{{…}}}}`) would
+/// otherwise exhaust the thread stack — an abort no caller can catch. Past
+/// this depth the parser emits a diagnostic and recovers instead.
+pub const MAX_NESTING_DEPTH: usize = 200;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -73,6 +79,8 @@ struct Parser {
     type_names: HashSet<String>,
     /// Struct tags defined so far.
     struct_names: HashSet<String>,
+    /// Current statement/expression nesting depth (see [`MAX_NESTING_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
@@ -87,6 +95,20 @@ impl Parser {
             diags: Diagnostics::new(),
             type_names,
             struct_names: HashSet::new(),
+            depth: 0,
+        }
+    }
+
+    /// Enter one nesting level; false (with a diagnostic) past the cap.
+    fn enter_nesting(&mut self) -> bool {
+        if self.depth >= MAX_NESTING_DEPTH {
+            self.error(format!(
+                "nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"
+            ));
+            false
+        } else {
+            self.depth += 1;
+            true
         }
     }
 
@@ -702,6 +724,16 @@ impl Parser {
     }
 
     fn parse_stmt(&mut self) -> Stmt {
+        if !self.enter_nesting() {
+            self.recover_to_semicolon();
+            return Stmt::Empty;
+        }
+        let stmt = self.parse_stmt_inner();
+        self.depth -= 1;
+        stmt
+    }
+
+    fn parse_stmt_inner(&mut self) -> Stmt {
         self.skip_attributes();
         match self.peek().clone() {
             TokenKind::Punct(Punct::LBrace) => Stmt::Block(self.parse_block()),
@@ -1111,6 +1143,21 @@ impl Parser {
     }
 
     fn parse_unary_expr(&mut self) -> Expr {
+        if !self.enter_nesting() {
+            // Consume one token so every caller keeps making progress, then
+            // yield a placeholder literal; the diagnostic already marks the
+            // unit as failed.
+            if !self.at_eof() {
+                self.bump();
+            }
+            return Expr::int(0);
+        }
+        let expr = self.parse_unary_expr_inner();
+        self.depth -= 1;
+        expr
+    }
+
+    fn parse_unary_expr_inner(&mut self) -> Expr {
         let op = match self.peek() {
             TokenKind::Punct(Punct::Minus) => Some(UnOp::Neg),
             TokenKind::Punct(Punct::Plus) => Some(UnOp::Plus),

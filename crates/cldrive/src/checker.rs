@@ -119,7 +119,7 @@ pub fn check_kernel(
     let ndrange = NDRange::linear(options.global_size, options.local_size);
     let limits = ExecLimits {
         steps_per_work_item: options.steps_per_work_item,
-        max_work_items: 0,
+        ..ExecLimits::default()
     };
 
     let a_in = global_buffers(&payload_a.args);

@@ -33,6 +33,10 @@ pub struct DriverOptions {
     /// times; our analytic estimates are deterministic so this mainly matters
     /// when callers add noise models).
     pub repetitions: usize,
+    /// Launch-wide interpreter step budget (0 = unbounded). Batched callers
+    /// (the `clgen-harness` drive pool) set this so a single hostile kernel
+    /// cannot consume a worker for `steps_per_work_item * work_items` steps.
+    pub total_step_budget: u64,
 }
 
 impl Default for DriverOptions {
@@ -44,6 +48,7 @@ impl Default for DriverOptions {
             checker: Some(CheckerOptions::default()),
             seed: 0xD21E,
             repetitions: 5,
+            total_step_budget: 0,
         }
     }
 }
@@ -58,6 +63,7 @@ impl DriverOptions {
             checker: None,
             seed: 7,
             repetitions: 1,
+            total_step_budget: 0,
         }
     }
 }
@@ -235,6 +241,7 @@ impl HostDriver {
         let limits = ExecLimits {
             steps_per_work_item: 2_000_000,
             max_work_items: self.options.profile_work_item_cap,
+            total_steps: self.options.total_step_budget,
         };
         let result = execute(unit, &sig.name, payload.args.clone(), ndrange, &limits)
             .map_err(DriveError::Exec)?;

@@ -117,6 +117,12 @@ pub enum ExecError {
     ArgumentMismatch(String),
     /// The per-work-item step budget was exhausted (likely non-termination).
     StepLimitExceeded,
+    /// The launch-wide step budget was exhausted (the sum over all interpreted
+    /// work items crossed [`ExecLimits::total_steps`]).
+    TotalStepLimitExceeded,
+    /// The kernel asked for more memory than the interpreter allows (e.g. a
+    /// private/local array with an absurd or overflowing element count).
+    ResourceLimitExceeded(String),
     /// A language construct the interpreter does not support was reached.
     Unsupported(String),
 }
@@ -127,6 +133,8 @@ impl std::fmt::Display for ExecError {
             ExecError::MissingKernel(k) => write!(f, "kernel `{k}` not found"),
             ExecError::ArgumentMismatch(m) => write!(f, "argument mismatch: {m}"),
             ExecError::StepLimitExceeded => write!(f, "work item exceeded its step budget"),
+            ExecError::TotalStepLimitExceeded => write!(f, "launch exceeded its total step budget"),
+            ExecError::ResourceLimitExceeded(what) => write!(f, "resource limit exceeded: {what}"),
             ExecError::Unsupported(c) => write!(f, "unsupported construct: {c}"),
         }
     }
@@ -145,6 +153,11 @@ pub enum ArgBinding {
     Scalar(Scalar),
 }
 
+/// Largest scratch (private/local) array a kernel may declare, in elements.
+/// Anything above this is treated as hostile and aborted with
+/// [`ExecError::ResourceLimitExceeded`] instead of attempting the allocation.
+pub const MAX_SCRATCH_ELEMENTS: usize = 1 << 22;
+
 /// Execution limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecLimits {
@@ -153,6 +166,12 @@ pub struct ExecLimits {
     /// Execute at most this many work items (0 = all). When sampling, work
     /// items are taken evenly from the start of each work group.
     pub max_work_items: usize,
+    /// Maximum interpreted operations across the whole launch (0 = unbounded).
+    /// This is the per-unit abort hook the batched harness leans on: a hostile
+    /// kernel cannot burn `steps_per_work_item * work_items` steps, it is cut
+    /// off with [`ExecError::TotalStepLimitExceeded`] as soon as the launch-
+    /// wide sum crosses this budget.
+    pub total_steps: u64,
 }
 
 impl Default for ExecLimits {
@@ -160,6 +179,7 @@ impl Default for ExecLimits {
         ExecLimits {
             steps_per_work_item: 2_000_000,
             max_work_items: 0,
+            total_steps: 0,
         }
     }
 }
@@ -424,6 +444,9 @@ impl<'a> Machine<'a> {
         self.steps_this_item += n;
         if self.steps_this_item > self.limits.steps_per_work_item {
             Err(ExecError::StepLimitExceeded)
+        } else if self.limits.total_steps > 0 && self.counts.instructions > self.limits.total_steps
+        {
+            Err(ExecError::TotalStepLimitExceeded)
         } else {
             Ok(())
         }
@@ -618,9 +641,22 @@ impl<'a> Machine<'a> {
             self.tick(1)?;
             let value = match (&v.ty, &v.init) {
                 (Type::Array { .. }, _) => {
-                    // Allocate a scratch buffer for the array.
+                    // Allocate a scratch buffer for the array. Hostile sources
+                    // can declare arrays whose element product overflows usize
+                    // or is simply absurd; both become a typed error rather
+                    // than an allocation panic/OOM.
                     let (elem, lanes, dims) = array_shape(&v.ty);
-                    let elements: usize = dims.iter().product::<usize>().max(1);
+                    let elements: usize = dims
+                        .iter()
+                        .try_fold(1usize, |acc, &d| acc.checked_mul(d.max(1)))
+                        .filter(|&n| n <= MAX_SCRATCH_ELEMENTS)
+                        .ok_or_else(|| {
+                            ExecError::ResourceLimitExceeded(format!(
+                                "array `{}` requests more than {MAX_SCRATCH_ELEMENTS} elements",
+                                v.name
+                            ))
+                        })?
+                        .max(1);
                     let space = if d.address_space == AddressSpace::Local {
                         BufferSpace::Local
                     } else {
@@ -1979,7 +2015,7 @@ mod tests {
         let a = Buffer::zeroed(ScalarType::Int, 1, 1, BufferSpace::Global);
         let limits = ExecLimits {
             steps_per_work_item: 10_000,
-            max_work_items: 0,
+            ..ExecLimits::default()
         };
         let result = execute(
             &parsed.unit,
@@ -1999,6 +2035,7 @@ mod tests {
         let limits = ExecLimits {
             steps_per_work_item: 10_000,
             max_work_items: 8,
+            ..ExecLimits::default()
         };
         let result = execute(
             &parsed.unit,

@@ -42,6 +42,8 @@ pub mod runtime;
 pub use checker::{check_kernel, CheckOutcome, CheckerOptions};
 pub use device::{Device, DeviceKind, Platform, RuntimeEstimate, WorkloadProfile};
 pub use driver::{DriveError, DriverOptions, HostDriver, KernelRun};
-pub use interp::{execute, ArgBinding, ExecError, ExecLimits, ExecutionCounts, NDRange};
+pub use interp::{
+    execute, ArgBinding, ExecError, ExecLimits, ExecutionCounts, NDRange, MAX_SCRATCH_ELEMENTS,
+};
 pub use payload::{generate_payload, Payload, PayloadError, PayloadOptions};
 pub use runtime::{Buffer, BufferSpace, Scalar, Value};

@@ -1,0 +1,208 @@
+//! Fuzz-style hostility tests: `HostDriver::run_source` must return typed
+//! errors for garbage and pathological kernels — never panic, abort or hang.
+//!
+//! Every case here was chosen to poke a specific historical panic surface:
+//! unbounded parser recursion (stack overflow inside `compile`), unchecked
+//! array-dimension products (overflow/OOM in `exec_decl`), integer edge cases
+//! in the evaluator, and unbounded loops (step budgets).
+
+use cldrive::{DriveError, DriverOptions, ExecError, HostDriver, Platform};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn driver() -> HostDriver {
+    HostDriver::with_options(
+        Platform::amd(),
+        DriverOptions {
+            total_step_budget: 2_000_000,
+            ..DriverOptions::quick()
+        },
+    )
+}
+
+/// Run a source through the driver asserting it neither panics nor succeeds
+/// silently in a way that matters — we only care that the outcome is typed.
+fn assert_typed_outcome(label: &str, source: &str) {
+    let result = catch_unwind(AssertUnwindSafe(|| driver().run_source(source, &[256])));
+    assert!(result.is_ok(), "{label}: run_source panicked");
+}
+
+#[test]
+fn garbage_bytes_do_not_panic() {
+    let cases: &[&str] = &[
+        "",
+        "\0\0\0\0",
+        "}}}}{{{{",
+        "kernel kernel kernel ((((",
+        "__kernel __kernel void void A A",
+        "#pragma nonsense\n@!$%^&*",
+        "__kernel void A(__global float* a) { a[0] = ; }",
+        "\u{FFFD}\u{FFFD}\u{FFFD}",
+    ];
+    for (i, src) in cases.iter().enumerate() {
+        assert_typed_outcome(&format!("garbage case {i}"), src);
+    }
+}
+
+#[test]
+fn deterministic_pseudo_random_garbage() {
+    // A cheap xorshift over a printable alphabet: 64 seeds of fuzz input.
+    let alphabet: Vec<char> = "__kernel void A(){}[]<>;,+-*/%&|^!~=0123456789abcxyz \n\t\"'"
+        .chars()
+        .collect();
+    let mut state = 0x2545F4914F6CDD1Du64;
+    for case in 0..64 {
+        let mut src = String::new();
+        for _ in 0..200 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            src.push(alphabet[(state as usize) % alphabet.len()]);
+        }
+        assert_typed_outcome(&format!("fuzz case {case}"), &src);
+    }
+}
+
+#[test]
+fn deep_nesting_is_rejected_not_stack_overflow() {
+    // 10k nested parens/blocks/ifs would overflow the parser stack without
+    // the nesting cap; the cap turns them into compile diagnostics.
+    let parens = format!(
+        "__kernel void A(__global float* a) {{ a[0] = {}1.0f{}; }}",
+        "(".repeat(10_000),
+        ")".repeat(10_000)
+    );
+    let blocks = format!(
+        "__kernel void A(__global float* a) {{ {} a[0] = 1.0f; {} }}",
+        "{".repeat(10_000),
+        "}".repeat(10_000)
+    );
+    let ifs = format!(
+        "__kernel void A(__global float* a) {{ {} a[0] = 1.0f; {} }}",
+        "if (1) {".repeat(10_000),
+        "}".repeat(10_000)
+    );
+    let unary = format!(
+        "__kernel void A(__global float* a) {{ a[0] = {}1.0f; }}",
+        "-".repeat(10_000)
+    );
+    for (label, src) in [
+        ("parens", &parens),
+        ("blocks", &blocks),
+        ("ifs", &ifs),
+        ("unary", &unary),
+    ] {
+        let result = catch_unwind(AssertUnwindSafe(|| driver().run_source(src, &[64])));
+        let outcome = result.unwrap_or_else(|_| panic!("{label}: panicked"));
+        assert!(
+            matches!(outcome, Err(DriveError::Compile(_))),
+            "{label}: expected a compile diagnostic, got {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn huge_array_dimensions_become_typed_errors() {
+    // Would formerly attempt multi-gigabyte Buffer::zeroed allocations (or
+    // overflow the element product in debug builds).
+    let huge = "__kernel void A(__global float* a) {
+        float t[1000000000];
+        t[0] = a[0];
+        a[0] = t[0];
+    }";
+    let overflowing = "__kernel void A(__global float* a) {
+        float t[4000000000][4000000000][4000000000];
+        a[0] = 1.0f;
+    }";
+    for (label, src) in [("huge", huge), ("overflowing", overflowing)] {
+        let result = catch_unwind(AssertUnwindSafe(|| driver().run_source(src, &[64])));
+        let outcome = result.unwrap_or_else(|_| panic!("{label}: panicked"));
+        assert!(
+            matches!(
+                outcome,
+                Err(DriveError::Exec(ExecError::ResourceLimitExceeded(_)))
+                    | Err(DriveError::Compile(_))
+            ),
+            "{label}: expected resource-limit or compile error, got {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn integer_edge_cases_do_not_panic() {
+    let cases: &[&str] = &[
+        // i64::MIN / -1 and % -1 overflow in two's complement.
+        "__kernel void A(__global int* a) { long x = -9223372036854775807L - 1L; a[0] = (int)(x / -1L); }",
+        "__kernel void A(__global int* a) { long x = -9223372036854775807L - 1L; a[0] = (int)(x % -1L); }",
+        // Division by a zero loaded from data.
+        "__kernel void A(__global int* a) { a[0] = 7 / a[1]; }",
+        "__kernel void A(__global int* a) { a[0] = 7 % a[1]; }",
+        // Shift counts beyond the width.
+        "__kernel void A(__global int* a) { a[0] = 1 << 1000; }",
+        "__kernel void A(__global int* a) { a[0] = 1 >> -3; }",
+        // Out-of-range float→int casts.
+        "__kernel void A(__global int* a) { a[0] = (int)1e300; }",
+        "__kernel void A(__global int* a) { float f = 0.0f; a[0] = (int)(1.0f / f); }",
+    ];
+    for (i, src) in cases.iter().enumerate() {
+        assert_typed_outcome(&format!("integer case {i}"), src);
+    }
+}
+
+#[test]
+fn infinite_loops_are_cut_by_budgets() {
+    let loops: &[&str] = &[
+        "__kernel void A(__global float* a) { while (1) { a[0] += 1.0f; } }",
+        "__kernel void A(__global float* a) { for (;;) { a[0] += 1.0f; } }",
+        "__kernel void A(__global float* a) { int i = 0; do { i++; } while (i >= 0); a[0] = i; }",
+    ];
+    for (i, src) in loops.iter().enumerate() {
+        let outcome = driver().run_source(src, &[256]);
+        assert!(
+            matches!(
+                outcome,
+                Err(DriveError::Exec(
+                    ExecError::StepLimitExceeded | ExecError::TotalStepLimitExceeded
+                ))
+            ),
+            "loop case {i}: expected a step-budget error, got {outcome:?}"
+        );
+    }
+}
+
+#[test]
+fn total_step_budget_cuts_launches_short() {
+    // Per-item budget alone would admit ~128 items × 2M steps; the
+    // launch-wide budget cuts the whole unit at 50k.
+    let spin = "__kernel void A(__global float* a, const int n) {
+        int i = get_global_id(0);
+        float acc = 0.0f;
+        for (int r = 0; r < 1000000; r++) { acc += 0.5f; }
+        a[i % 8] = acc;
+    }";
+    let bounded = HostDriver::with_options(
+        Platform::amd(),
+        DriverOptions {
+            total_step_budget: 50_000,
+            ..DriverOptions::quick()
+        },
+    );
+    let outcome = bounded.run_source(spin, &[4096]);
+    assert!(
+        matches!(
+            outcome,
+            Err(DriveError::Exec(ExecError::TotalStepLimitExceeded))
+        ),
+        "expected the launch-wide budget to fire, got {outcome:?}"
+    );
+}
+
+#[test]
+fn recursion_depth_is_bounded() {
+    // Mutually recursive calls exhaust the interpreter's call-depth cap and
+    // must surface as a typed error.
+    let recursive = "float f(float x);
+    float g(float x) { return f(x) + 1.0f; }
+    float f(float x) { return g(x) + 1.0f; }
+    __kernel void A(__global float* a) { a[0] = f(a[0]); }";
+    assert_typed_outcome("mutual recursion", recursive);
+}

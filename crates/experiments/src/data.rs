@@ -37,6 +37,7 @@ pub fn suite_driver_options() -> DriverOptions {
         checker: None,
         seed: 0xBE7C,
         repetitions: 1,
+        total_step_budget: 0,
     }
 }
 

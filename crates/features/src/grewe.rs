@@ -91,21 +91,36 @@ impl GreweFeatures {
     }
 
     /// F1: communication-computation ratio `transfer / (comp + mem)`.
+    ///
+    /// Zero-denominator convention (applies to all of F1..F4): a denominator
+    /// of zero is clamped to 1, so the feature degrades to its raw numerator
+    /// instead of producing `inf`/`NaN`. A kernel with `comp + mem == 0` thus
+    /// has `F1 == transfer`, and a kernel with `mem == 0` has
+    /// `F2 == coalesced`, `F3 == localmem × wgsize`, `F4 == comp` — finite,
+    /// deterministic values the decision tree can split on.
     pub fn f1(&self) -> f64 {
         self.transfer / (self.static_features.comp + self.static_features.mem).max(1.0)
     }
 
     /// F2: fraction of coalesced memory accesses `coalesced / mem`.
+    ///
+    /// `mem == 0` clamps to 1 (see [`GreweFeatures::f1`]); since coalesced
+    /// accesses are a subset of global accesses, this yields exactly 0.
     pub fn f2(&self) -> f64 {
         self.static_features.coalesced / self.static_features.mem.max(1.0)
     }
 
     /// F3: `(localmem / mem) × wgsize`.
+    ///
+    /// `mem == 0` clamps to 1 (see [`GreweFeatures::f1`]), giving
+    /// `localmem × wgsize`.
     pub fn f3(&self) -> f64 {
         (self.static_features.localmem / self.static_features.mem.max(1.0)) * self.wgsize
     }
 
     /// F4: computation-memory ratio `comp / mem`.
+    ///
+    /// `mem == 0` clamps to 1 (see [`GreweFeatures::f1`]), giving `comp`.
     pub fn f4(&self) -> f64 {
         self.static_features.comp / self.static_features.mem.max(1.0)
     }
@@ -220,6 +235,45 @@ mod tests {
         let f = features_of(src, 2048);
         assert!(f.static_features.localmem >= 2.0);
         assert!(f.f3() > 0.0);
+    }
+
+    #[test]
+    fn zero_mem_denominator_is_clamped_not_nan() {
+        // A kernel that never touches global memory: mem == 0 must not poison
+        // the combined features with inf/NaN.
+        let f = GreweFeatures {
+            static_features: StaticFeatures {
+                comp: 12.0,
+                mem: 0.0,
+                localmem: 3.0,
+                coalesced: 0.0,
+                branches: 1.0,
+            },
+            transfer: 64.0,
+            wgsize: 128.0,
+        };
+        assert!(f.combined_vector().iter().all(|v| v.is_finite()));
+        // The documented convention: denominators clamp to 1.
+        assert_eq!(f.f1(), 64.0 / 12.0);
+        assert_eq!(f.f2(), 0.0);
+        assert_eq!(f.f3(), 3.0 * 128.0);
+        assert_eq!(f.f4(), 12.0);
+    }
+
+    #[test]
+    fn zero_comp_and_mem_denominator_is_clamped_not_nan() {
+        // comp + mem == 0: F1's denominator clamps to 1, so F1 == transfer.
+        let f = GreweFeatures {
+            static_features: StaticFeatures::default(),
+            transfer: 256.0,
+            wgsize: 64.0,
+        };
+        assert!(f.combined_vector().iter().all(|v| v.is_finite()));
+        assert_eq!(f.f1(), 256.0);
+        assert_eq!(f.f2(), 0.0);
+        assert_eq!(f.f3(), 0.0);
+        assert_eq!(f.f4(), 0.0);
+        assert!(f.extended_vector().iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -1,0 +1,720 @@
+//! # clgen-harness
+//!
+//! The batched drive-and-predict pipeline that closes the paper's loop:
+//! accepted kernels go in, `KernelRun` records, Grewe feature vectors and
+//! CPU/GPU mapping predictions come out. This is the serving-side counterpart
+//! of the offline experiment binaries — `cldrive`, `grewe-features` and
+//! `predictive` composed into one subsystem that `clgen-serve` exposes as
+//! `POST /drive`, `POST /features` and `POST /pipeline`.
+//!
+//! # Work units and isolation
+//!
+//! A kernel source is compiled **once**; every (kernel function × payload
+//! size) pair then becomes an independent work unit fanned across the rayon
+//! worker pool. Each unit runs under a bounded [`cldrive::ExecLimits`] budget
+//! (see [`DriverOptions::total_step_budget`]) and inside `catch_unwind`, so a
+//! hostile kernel that panics the interpreter or burns its budget becomes a
+//! typed [`UnitError`] on that unit alone — sibling units, the worker pool
+//! and the caller are unaffected.
+//!
+//! # Determinism
+//!
+//! For a fixed (source, sizes, seed) the report — and its NDJSON rendering —
+//! is **byte-identical at any worker count**. Units are pure functions of
+//! their inputs and the fan-out preserves input order, mirroring the
+//! thread-invariance guarantee of the numeric core. The only intentional
+//! exception is an expired [`Deadline`], which cuts units short.
+//!
+//! ```
+//! use clgen_harness::{Harness, HarnessConfig};
+//!
+//! let harness = Harness::new(HarnessConfig::quick(), None);
+//! let report = harness
+//!     .drive_source(
+//!         "__kernel void A(__global float* a, const int n) {
+//!              int i = get_global_id(0);
+//!              if (i < n) { a[i] = a[i] * 2.0f; }
+//!          }",
+//!         &clgen_harness::Deadline::none(),
+//!     )
+//!     .unwrap();
+//! assert_eq!(report.units.len(), harness.config().sizes.len());
+//! assert!(report.counters().units_ok > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+use cl_frontend::analysis::{analyze_function, StaticCounts};
+use cl_frontend::ast::TranslationUnit;
+use cl_frontend::sema::KernelSignature;
+use cl_frontend::{compile, CompileOptions};
+use cldrive::{DriveError, DriverOptions, ExecError, HostDriver, KernelRun, Platform};
+use grewe_features::{FeatureSet, GreweFeatures, StaticFeatures};
+use predictive::{MappingModel, CLASS_CPU};
+use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default launch-wide interpreter step budget per work unit.
+pub const DEFAULT_UNIT_STEP_BUDGET: u64 = 16_000_000;
+
+/// Default payload sizes driven per kernel when the caller does not specify
+/// any (small / medium / large, exercising both sides of the CPU–GPU divide).
+pub const DEFAULT_SIZES: &[usize] = &[256, 4096, 65536];
+
+/// An optional wall-clock cutoff shared by every unit of a drive call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: units always run to completion (fully deterministic).
+    pub fn none() -> Deadline {
+        Deadline { at: None }
+    }
+
+    /// Cut off units that have not *started* by `at`.
+    pub fn at(at: Instant) -> Deadline {
+        Deadline { at: Some(at) }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+}
+
+/// Harness configuration: which platform to estimate for, how to drive, which
+/// payload sizes to fan out, and which feature representation to extract.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// The CPU/GPU pairing runtimes are estimated for.
+    pub platform: Platform,
+    /// Driver options (seed, profiling caps, per-unit step budget).
+    pub driver: DriverOptions,
+    /// Payload (global) sizes driven for every kernel function.
+    pub sizes: Vec<usize>,
+    /// Feature representation extracted per successful unit.
+    pub feature_set: FeatureSet,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            platform: Platform::amd(),
+            driver: DriverOptions {
+                total_step_budget: DEFAULT_UNIT_STEP_BUDGET,
+                ..DriverOptions::default()
+            },
+            sizes: DEFAULT_SIZES.to_vec(),
+            feature_set: FeatureSet::Grewe,
+        }
+    }
+}
+
+impl HarnessConfig {
+    /// A fast configuration for tests and smoke runs (no checker, small
+    /// profiling caps).
+    pub fn quick() -> HarnessConfig {
+        HarnessConfig {
+            platform: Platform::amd(),
+            driver: DriverOptions {
+                total_step_budget: DEFAULT_UNIT_STEP_BUDGET,
+                ..DriverOptions::quick()
+            },
+            sizes: DEFAULT_SIZES.to_vec(),
+            feature_set: FeatureSet::Grewe,
+        }
+    }
+}
+
+/// Why the whole drive call (not an individual unit) failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HarnessError {
+    /// The source failed to compile; the payload is the diagnostic text.
+    Compile(String),
+    /// The source compiled but contains no kernel functions.
+    NoKernel,
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Compile(d) => write!(f, "compile error: {d}"),
+            HarnessError::NoKernel => write!(f, "no kernel in source"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// Why one work unit produced no record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UnitError {
+    /// The unit exceeded an execution budget (step or resource limit) — the
+    /// typed outcome the bounded `ExecLimits` abort hooks to.
+    BudgetExceeded(String),
+    /// The interpreter panicked; the panic was contained to this unit.
+    Panicked,
+    /// The shared deadline expired before the unit started.
+    DeadlineExceeded,
+    /// Any other typed driver failure (payload, checker, exec).
+    Drive(String),
+}
+
+impl UnitError {
+    /// Short machine-readable kind tag used in NDJSON lines.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            UnitError::BudgetExceeded(_) => "budget_exceeded",
+            UnitError::Panicked => "panicked",
+            UnitError::DeadlineExceeded => "deadline_exceeded",
+            UnitError::Drive(_) => "drive_error",
+        }
+    }
+
+    /// Human-readable detail.
+    pub fn detail(&self) -> String {
+        match self {
+            UnitError::BudgetExceeded(d) | UnitError::Drive(d) => d.clone(),
+            UnitError::Panicked => "interpreter panicked".into(),
+            UnitError::DeadlineExceeded => "deadline expired before unit started".into(),
+        }
+    }
+}
+
+impl std::fmt::Display for UnitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.detail())
+    }
+}
+
+/// The complete result for one (kernel function, payload size) work unit.
+#[derive(Debug, Clone)]
+pub struct UnitResult {
+    /// Kernel function name.
+    pub kernel: String,
+    /// Payload (global) size driven.
+    pub global_size: usize,
+    /// The driver record, if the unit succeeded.
+    pub run: Option<KernelRun>,
+    /// The extracted feature vector, if the unit succeeded.
+    pub features: Option<Vec<f64>>,
+    /// The predicted mapping class, if a model was attached.
+    pub prediction: Option<usize>,
+    /// The typed error, if the unit failed.
+    pub error: Option<UnitError>,
+}
+
+/// Aggregate counters over one or many drive calls (mirrored into the
+/// server's `/stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HarnessCounters {
+    /// Sources that compiled and entered the drive pool.
+    pub kernels_driven: u64,
+    /// Work units attempted.
+    pub units_total: u64,
+    /// Units that produced a record.
+    pub units_ok: u64,
+    /// Units cut off by a step/resource budget.
+    pub units_budget_killed: u64,
+    /// Units whose interpreter panicked (contained).
+    pub units_panicked: u64,
+    /// Mapping predictions produced.
+    pub predictions: u64,
+}
+
+impl HarnessCounters {
+    /// Fold another set of counters into this one (used by the server to
+    /// accumulate per-request reports into `/stats`).
+    pub fn merge(&mut self, other: &HarnessCounters) {
+        self.kernels_driven += other.kernels_driven;
+        self.units_total += other.units_total;
+        self.units_ok += other.units_ok;
+        self.units_budget_killed += other.units_budget_killed;
+        self.units_panicked += other.units_panicked;
+        self.predictions += other.predictions;
+    }
+}
+
+/// The report for one driven source.
+#[derive(Debug, Clone)]
+pub struct HarnessReport {
+    /// One result per work unit, in deterministic (kernel-major, size-minor)
+    /// order — independent of worker count.
+    pub units: Vec<UnitResult>,
+}
+
+impl HarnessReport {
+    /// Derive aggregate counters for this report.
+    pub fn counters(&self) -> HarnessCounters {
+        let mut c = HarnessCounters {
+            kernels_driven: 1,
+            units_total: self.units.len() as u64,
+            ..HarnessCounters::default()
+        };
+        for u in &self.units {
+            if u.run.is_some() {
+                c.units_ok += 1;
+            }
+            if u.prediction.is_some() {
+                c.predictions += 1;
+            }
+            match u.error {
+                Some(UnitError::BudgetExceeded(_)) => c.units_budget_killed += 1,
+                Some(UnitError::Panicked) => c.units_panicked += 1,
+                _ => {}
+            }
+        }
+        c
+    }
+
+    /// Render the report as NDJSON lines, stage by stage: every `run` event,
+    /// then every `features` event, then every `prediction` event (unit
+    /// errors appear in the run stage). The rendering is byte-deterministic
+    /// for a fixed report.
+    pub fn ndjson(&self) -> Vec<String> {
+        let mut lines = self.ndjson_runs();
+        lines.extend(self.ndjson_features());
+        lines.extend(self.ndjson_predictions());
+        lines
+    }
+
+    /// The `run` stage lines only (plus `unit_error` lines for failed units).
+    pub fn ndjson_runs(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for u in &self.units {
+            lines.push(match (&u.run, &u.error) {
+                (Some(run), _) => format!(
+                    "{{\"event\":\"run\",\"kernel\":{},\"global_size\":{},\
+                     \"cpu_time\":{},\"gpu_time\":{},\"oracle\":\"{}\"}}",
+                    json_string(&u.kernel),
+                    u.global_size,
+                    json_f64(run.cpu_time),
+                    json_f64(run.gpu_time),
+                    device_name(run.cpu_time <= run.gpu_time),
+                ),
+                (None, Some(e)) => format!(
+                    "{{\"event\":\"unit_error\",\"kernel\":{},\"global_size\":{},\
+                     \"error\":\"{}\",\"detail\":{}}}",
+                    json_string(&u.kernel),
+                    u.global_size,
+                    e.kind(),
+                    json_string(&e.detail()),
+                ),
+                (None, None) => unreachable!("unit has neither run nor error"),
+            });
+        }
+        lines
+    }
+
+    /// The `features` stage lines only (successful units with extracted
+    /// vectors).
+    pub fn ndjson_features(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for u in &self.units {
+            if let Some(features) = &u.features {
+                let mut vec = String::new();
+                for (i, v) in features.iter().enumerate() {
+                    if i > 0 {
+                        vec.push(',');
+                    }
+                    vec.push_str(&json_f64(*v));
+                }
+                lines.push(format!(
+                    "{{\"event\":\"features\",\"kernel\":{},\"global_size\":{},\"features\":[{vec}]}}",
+                    json_string(&u.kernel),
+                    u.global_size,
+                ));
+            }
+        }
+        lines
+    }
+
+    /// The `prediction` stage lines only (units a mapping model classified).
+    pub fn ndjson_predictions(&self) -> Vec<String> {
+        let mut lines = Vec::new();
+        for u in &self.units {
+            if let Some(class) = u.prediction {
+                lines.push(format!(
+                    "{{\"event\":\"prediction\",\"kernel\":{},\"global_size\":{},\
+                     \"class\":\"{}\"}}",
+                    json_string(&u.kernel),
+                    u.global_size,
+                    device_name(class == CLASS_CPU),
+                ));
+            }
+        }
+        lines
+    }
+}
+
+/// The batched drive-and-predict pipeline.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    config: HarnessConfig,
+    model: Option<Arc<MappingModel>>,
+}
+
+impl Harness {
+    /// Build a harness; attach a trained mapping model to get predictions.
+    pub fn new(config: HarnessConfig, model: Option<Arc<MappingModel>>) -> Harness {
+        Harness { config, model }
+    }
+
+    /// The configuration this harness drives with.
+    pub fn config(&self) -> &HarnessConfig {
+        &self.config
+    }
+
+    /// Is a mapping model attached?
+    pub fn has_model(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Compile `source` once and drive every (kernel, size) unit across the
+    /// worker pool. Per-unit failures are typed results inside the report;
+    /// only compile failures fail the call as a whole.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HarnessError`] when the source does not compile or holds
+    /// no kernels.
+    pub fn drive_source(
+        &self,
+        source: &str,
+        deadline: &Deadline,
+    ) -> Result<HarnessReport, HarnessError> {
+        self.drive(source, deadline, true)
+    }
+
+    /// Serial reference implementation: identical results to
+    /// [`Harness::drive_source`], but units run one after another on the
+    /// calling thread. This is the baseline the `record_driving` bench
+    /// recorder compares the batched pool against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Harness::drive_source`].
+    pub fn drive_source_serial(
+        &self,
+        source: &str,
+        deadline: &Deadline,
+    ) -> Result<HarnessReport, HarnessError> {
+        self.drive(source, deadline, false)
+    }
+
+    fn drive(
+        &self,
+        source: &str,
+        deadline: &Deadline,
+        parallel: bool,
+    ) -> Result<HarnessReport, HarnessError> {
+        let compiled = compile(source, &CompileOptions::default());
+        if !compiled.is_ok() {
+            return Err(HarnessError::Compile(compiled.diagnostics.to_string()));
+        }
+        if compiled.kernels.is_empty() {
+            return Err(HarnessError::NoKernel);
+        }
+        let unit = &compiled.unit;
+        // Static counts once per kernel function (shared by all its sizes);
+        // the analysis walks the hostile AST, so contain panics here too.
+        let statics: Vec<Option<StaticCounts>> = compiled
+            .kernels
+            .iter()
+            .map(|sig| {
+                unit.function(&sig.name)
+                    .and_then(|f| catch_unwind(AssertUnwindSafe(|| analyze_function(unit, f))).ok())
+            })
+            .collect();
+        let work: Vec<(usize, usize)> = (0..compiled.kernels.len())
+            .flat_map(|k| self.config.sizes.iter().map(move |&s| (k, s)))
+            .collect();
+        let run_unit = |(k, size): (usize, usize)| {
+            self.run_unit(
+                unit,
+                &compiled.kernels[k],
+                statics[k].as_ref(),
+                size,
+                deadline,
+            )
+        };
+        let units: Vec<UnitResult> = if parallel {
+            work.into_par_iter().map(run_unit).collect()
+        } else {
+            work.into_iter().map(run_unit).collect()
+        };
+        Ok(HarnessReport { units })
+    }
+
+    fn run_unit(
+        &self,
+        unit: &TranslationUnit,
+        sig: &KernelSignature,
+        statics: Option<&StaticCounts>,
+        size: usize,
+        deadline: &Deadline,
+    ) -> UnitResult {
+        let mut result = UnitResult {
+            kernel: sig.name.clone(),
+            global_size: size,
+            run: None,
+            features: None,
+            prediction: None,
+            error: None,
+        };
+        if deadline.expired() {
+            result.error = Some(UnitError::DeadlineExceeded);
+            return result;
+        }
+        let driver =
+            HostDriver::with_options(self.config.platform.clone(), self.config.driver.clone());
+        // The vendored rayon pool treats a worker panic as fatal, so the
+        // catch_unwind MUST live inside the unit closure: a hostile kernel
+        // takes down its own unit, never the pool.
+        let outcome = catch_unwind(AssertUnwindSafe(|| driver.run_kernel(unit, sig, size)));
+        match outcome {
+            Err(_) => result.error = Some(UnitError::Panicked),
+            Ok(Err(e)) => result.error = Some(classify_drive_error(e)),
+            Ok(Ok(run)) => {
+                if let Some(counts) = statics {
+                    let features = GreweFeatures {
+                        static_features: StaticFeatures::from_counts(counts),
+                        transfer: run.workload.transfer_bytes,
+                        wgsize: run.global_size as f64,
+                    };
+                    let vector = self.config.feature_set.vector(&features);
+                    if let Some(model) = &self.model {
+                        result.prediction = Some(model.predict_vector(&vector));
+                    }
+                    result.features = Some(vector);
+                }
+                result.run = Some(run);
+            }
+        }
+        result
+    }
+}
+
+/// Map a typed driver failure onto the unit-error taxonomy.
+fn classify_drive_error(e: DriveError) -> UnitError {
+    match &e {
+        DriveError::Exec(
+            ExecError::StepLimitExceeded
+            | ExecError::TotalStepLimitExceeded
+            | ExecError::ResourceLimitExceeded(_),
+        ) => UnitError::BudgetExceeded(e.to_string()),
+        _ => UnitError::Drive(e.to_string()),
+    }
+}
+
+fn device_name(is_cpu: bool) -> &'static str {
+    if is_cpu {
+        "cpu"
+    } else {
+        "gpu"
+    }
+}
+
+/// Render an `f64` as a JSON value: `{}` Display (shortest round-trip, fully
+/// deterministic) for finite values, `null` otherwise.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Rust renders whole floats without a fraction ("3"); keep JSON
+        // number-typed but unambiguous by leaving them as-is (still valid).
+        s
+    } else {
+        "null".into()
+    }
+}
+
+/// Minimal JSON string rendering (quotes + escapes), matching the hand-rolled
+/// convention used across the serving layer.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use predictive::{Dataset, Example};
+
+    const VECADD: &str =
+        "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+        int e = get_global_id(0);
+        if (e < d) { c[e] = a[e] + b[e]; }
+    }";
+
+    const TWO_KERNELS: &str = "__kernel void A(__global float* a, const int n) {
+        int i = get_global_id(0);
+        if (i < n) { a[i] = a[i] * 2.0f; }
+    }
+    __kernel void B(__global float* a, __global float* b, const int n) {
+        int i = get_global_id(0);
+        if (i < n) { b[i] = a[i] + 1.0f; }
+    }";
+
+    fn toy_model() -> Arc<MappingModel> {
+        let mut d = Dataset::new();
+        for i in 0..16 {
+            let f1 = (i + 1) as f64 * 100.0;
+            let gpu_better = f1 > 800.0;
+            d.push(Example {
+                features: vec![f1, 0.0, 0.0, 1.0],
+                benchmark: format!("b{}", i / 2),
+                suite: "S".into(),
+                id: format!("b{i}"),
+                cpu_time: if gpu_better { 10.0 } else { 1.0 },
+                gpu_time: if gpu_better { 1.0 } else { 10.0 },
+            });
+        }
+        Arc::new(MappingModel::train(&d))
+    }
+
+    #[test]
+    fn drives_every_kernel_size_pair_in_order() {
+        let harness = Harness::new(HarnessConfig::quick(), None);
+        let report = harness
+            .drive_source(TWO_KERNELS, &Deadline::none())
+            .unwrap();
+        let expected: Vec<(String, usize)> = ["A", "B"]
+            .iter()
+            .flat_map(|k| DEFAULT_SIZES.iter().map(|&s| (k.to_string(), s)))
+            .collect();
+        let got: Vec<(String, usize)> = report
+            .units
+            .iter()
+            .map(|u| (u.kernel.clone(), u.global_size))
+            .collect();
+        assert_eq!(got, expected);
+        assert!(report.units.iter().all(|u| u.run.is_some()));
+        assert_eq!(report.counters().units_ok, 6);
+    }
+
+    #[test]
+    fn parallel_matches_serial_byte_for_byte() {
+        let harness = Harness::new(HarnessConfig::quick(), Some(toy_model()));
+        let parallel = harness
+            .drive_source(TWO_KERNELS, &Deadline::none())
+            .unwrap();
+        let serial = harness
+            .drive_source_serial(TWO_KERNELS, &Deadline::none())
+            .unwrap();
+        assert_eq!(parallel.ndjson(), serial.ndjson());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_output() {
+        let harness = Harness::new(HarnessConfig::quick(), Some(toy_model()));
+        let baseline =
+            rayon::with_num_threads(1, || harness.drive_source(TWO_KERNELS, &Deadline::none()))
+                .unwrap()
+                .ndjson();
+        for workers in [2, 4, 8] {
+            let got = rayon::with_num_threads(workers, || {
+                harness.drive_source(TWO_KERNELS, &Deadline::none())
+            })
+            .unwrap()
+            .ndjson();
+            assert_eq!(got, baseline, "divergence at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn predictions_rendered_when_model_attached() {
+        let harness = Harness::new(HarnessConfig::quick(), Some(toy_model()));
+        let report = harness.drive_source(VECADD, &Deadline::none()).unwrap();
+        assert!(report.units.iter().all(|u| u.prediction.is_some()));
+        let lines = report.ndjson();
+        assert!(lines.iter().any(|l| l.contains("\"event\":\"prediction\"")));
+        assert!(lines.iter().any(|l| l.contains("\"event\":\"features\"")));
+        assert_eq!(report.counters().predictions, 3);
+    }
+
+    #[test]
+    fn compile_failure_is_a_call_error() {
+        let harness = Harness::new(HarnessConfig::quick(), None);
+        assert!(matches!(
+            harness.drive_source(
+                "__kernel void A(__global float* a) { a[0] = oops; }",
+                &Deadline::none()
+            ),
+            Err(HarnessError::Compile(_))
+        ));
+        assert!(matches!(
+            harness.drive_source("int helper(int x) { return x; }", &Deadline::none()),
+            Err(HarnessError::NoKernel)
+        ));
+    }
+
+    #[test]
+    fn budget_kill_is_a_typed_unit_error() {
+        let mut config = HarnessConfig::quick();
+        config.driver.total_step_budget = 1_000;
+        let harness = Harness::new(config, None);
+        let hog = "__kernel void A(__global float* a, const int n) {
+            int i = get_global_id(0);
+            float acc = 0.0f;
+            for (int r = 0; r < 100000; r++) { acc += a[i % 16] * 0.5f; }
+            a[i % 16] = acc;
+        }";
+        let report = harness.drive_source(hog, &Deadline::none()).unwrap();
+        assert!(report
+            .units
+            .iter()
+            .all(|u| matches!(u.error, Some(UnitError::BudgetExceeded(_)))));
+        let counters = report.counters();
+        assert_eq!(counters.units_budget_killed, counters.units_total);
+        assert!(report
+            .ndjson()
+            .iter()
+            .any(|l| l.contains("\"error\":\"budget_exceeded\"")));
+    }
+
+    #[test]
+    fn expired_deadline_yields_typed_errors_not_hangs() {
+        let harness = Harness::new(HarnessConfig::quick(), None);
+        let past = Deadline::at(Instant::now() - std::time::Duration::from_secs(1));
+        let report = harness.drive_source(VECADD, &past).unwrap();
+        assert!(report
+            .units
+            .iter()
+            .all(|u| matches!(u.error, Some(UnitError::DeadlineExceeded))));
+    }
+
+    #[test]
+    fn ndjson_lines_are_valid_shape() {
+        let harness = Harness::new(HarnessConfig::quick(), Some(toy_model()));
+        let report = harness.drive_source(VECADD, &Deadline::none()).unwrap();
+        for line in report.ndjson() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn json_helpers_handle_edge_values() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -31,10 +31,12 @@
 
 pub mod dataset;
 pub mod model;
+pub mod persist;
 pub mod tree;
 
 pub use dataset::{evaluate, Dataset, EvalMetrics, Example, CLASS_CPU, CLASS_GPU};
 pub use model::{
     aggregate, cross_suite, geomean_speedup, leave_one_out, BenchmarkResult, MappingModel,
 };
+pub use persist::{PersistError, MAPPING_MAGIC, MAPPING_VERSION};
 pub use tree::{DecisionTree, TreeConfig};

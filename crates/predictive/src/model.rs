@@ -30,9 +30,21 @@ impl MappingModel {
         }
     }
 
+    /// Wrap an already-built decision tree (e.g. one decoded from a
+    /// `CLGENPRD` checkpoint) as a mapping model.
+    pub fn from_tree(tree: DecisionTree) -> MappingModel {
+        MappingModel { tree }
+    }
+
     /// Predict the mapping class for one example.
     pub fn predict(&self, example: &Example) -> usize {
         self.tree.predict(&example.features)
+    }
+
+    /// Predict the mapping class for a raw feature vector (the entry point
+    /// used by the serving harness, which has features but no runtimes).
+    pub fn predict_vector(&self, features: &[f64]) -> usize {
+        self.tree.predict(features)
     }
 
     /// Predict mapping classes for a dataset.

@@ -186,11 +186,31 @@ fn bad_data(what: &str) -> io::Error {
 
 /// Send one request and read the full response.
 pub fn request(addr: SocketAddr, method: &str, target: &str) -> io::Result<Response> {
+    request_with_body(addr, method, target, &[])
+}
+
+/// Send one request carrying a body (`Content-Length`-framed) and read the
+/// full response. An empty body sends no body bytes and no length header.
+pub fn request_with_body(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> io::Result<Response> {
     let mut stream = TcpStream::connect(addr)?;
-    write!(
-        stream,
-        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
-    )?;
+    if body.is_empty() {
+        write!(
+            stream,
+            "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+        )?;
+    } else {
+        write!(
+            stream,
+            "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )?;
+        stream.write_all(body)?;
+    }
     stream.flush()?;
     let mut reader = BufReader::new(stream);
 
@@ -256,6 +276,12 @@ pub fn get(addr: SocketAddr, path: &str) -> io::Result<Response> {
 /// `POST` a path.
 pub fn post(addr: SocketAddr, path: &str) -> io::Result<Response> {
     request(addr, "POST", path)
+}
+
+/// `POST` a path with a request body (how the harness endpoints take their
+/// kernel source).
+pub fn post_body(addr: SocketAddr, path: &str, body: &[u8]) -> io::Result<Response> {
+    request_with_body(addr, "POST", path, body)
 }
 
 /// The `/synthesize` query string for a parameter set.

@@ -1,0 +1,331 @@
+//! The served side of the drive-and-predict harness: `POST /drive`,
+//! `POST /features` and `POST /pipeline`.
+//!
+//! `/drive` and `/features` take raw OpenCL source as the request body, fan
+//! it through the [`clgen_harness`] work-unit pool on the connection thread,
+//! and stream one NDJSON stage back (`run` records, or feature vectors).
+//! `/pipeline` closes the paper's loop over one socket: it runs a normal
+//! `/synthesize` job through the batching scheduler and, after each accepted
+//! kernel line, drives that kernel through the harness inline — so the
+//! client sees `kernel`, `run`, `features` and `prediction` events
+//! interleaved per kernel, then the synthesis summary line.
+//!
+//! All three share the server's admission machinery: the bounded `queued`
+//! gate answers `503` with `Retry-After` under load, the deadline clock
+//! starts at admission, and hostile kernels are contained by the harness's
+//! per-unit budgets and `catch_unwind` — a panic or budget kill becomes a
+//! typed `unit_error` NDJSON line, never a sampler-core restart.
+
+use crate::http::{self, Request};
+use crate::json;
+use crate::scheduler::SchedMsg;
+use crate::server::{client_disconnected, stream_synthesis, write_error, Shared, MAX_DEADLINE_MS};
+use clgen_harness::{Deadline, Harness, HarnessReport};
+use grewe_features::FeatureSet;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Maximum number of payload sizes accepted per request.
+pub const MAX_DRIVE_SIZES: usize = 16;
+/// Largest accepted payload (global) size. Driving cost is bounded by the
+/// profiling caps, not the size, but astronomically large sizes are typos.
+pub const MAX_DRIVE_SIZE: usize = 1 << 26;
+
+/// Which NDJSON stages a drive endpoint streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DriveStage {
+    /// `/drive`: `run` + `unit_error` lines.
+    Runs,
+    /// `/features`: feature-vector lines (plus `unit_error` lines, so
+    /// failed units are visible rather than silently absent).
+    Features,
+}
+
+/// Parsed and bounds-checked harness parameters, shared by all three
+/// endpoints (`/pipeline` reads them alongside the synthesis parameters).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct DriveParams {
+    sizes: Option<Vec<usize>>,
+    drive_seed: Option<u64>,
+    feature_set: Option<FeatureSet>,
+    deadline_ms: Option<u64>,
+}
+
+/// Parse `sizes`, `drive_seed`, `feature_set` and `deadline_ms`.
+pub(crate) fn parse_drive_params(request: &Request) -> Result<DriveParams, String> {
+    let mut params = DriveParams::default();
+    if let Some(raw) = request.query_param("sizes") {
+        let mut sizes = Vec::new();
+        for part in raw.split(',').filter(|p| !p.is_empty()) {
+            let size: usize = part
+                .parse()
+                .map_err(|_| format!("parameter \"sizes\" holds a non-integer: {part:?}"))?;
+            if size == 0 || size > MAX_DRIVE_SIZE {
+                return Err(format!("sizes must be in 1..={MAX_DRIVE_SIZE}"));
+            }
+            sizes.push(size);
+        }
+        if sizes.is_empty() || sizes.len() > MAX_DRIVE_SIZES {
+            return Err(format!("sizes must list 1..={MAX_DRIVE_SIZES} values"));
+        }
+        params.sizes = Some(sizes);
+    }
+    if let Some(raw) = request.query_param("drive_seed") {
+        params.drive_seed = Some(
+            raw.parse()
+                .map_err(|_| format!("parameter \"drive_seed\" is not valid: {raw:?}"))?,
+        );
+    }
+    if let Some(raw) = request.query_param("feature_set") {
+        params.feature_set = Some(match raw {
+            "grewe" => FeatureSet::Grewe,
+            "extended" => FeatureSet::Extended,
+            _ => return Err("feature_set must be \"grewe\" or \"extended\"".to_string()),
+        });
+    }
+    if let Some(raw) = request.query_param("deadline_ms") {
+        let ms: u64 = raw
+            .parse()
+            .map_err(|_| format!("parameter \"deadline_ms\" is not valid: {raw:?}"))?;
+        if ms == 0 || ms > MAX_DEADLINE_MS {
+            return Err(format!("deadline_ms must be in 1..={MAX_DEADLINE_MS}"));
+        }
+        params.deadline_ms = Some(ms);
+    }
+    Ok(params)
+}
+
+/// Build the per-request harness: the server's configured harness with the
+/// request's overrides applied, plus the loaded mapping model (if any).
+pub(crate) fn build_harness(shared: &Shared, params: &DriveParams) -> Harness {
+    let mut config = shared.config.harness.clone();
+    if let Some(sizes) = &params.sizes {
+        config.sizes = sizes.clone();
+    }
+    if let Some(seed) = params.drive_seed {
+        config.driver.seed = seed;
+    }
+    if let Some(feature_set) = params.feature_set {
+        config.feature_set = feature_set;
+    }
+    Harness::new(config, shared.config.mapping_model.clone())
+}
+
+/// Resolve the request's deadline (its own `deadline_ms`, else the server
+/// default) into a harness [`Deadline`]; the clock starts at admission.
+pub(crate) fn drive_deadline(params: &DriveParams, shared: &Shared) -> Deadline {
+    match params
+        .deadline_ms
+        .or(shared.config.default_deadline_ms)
+        .map(|ms| Instant::now() + Duration::from_millis(ms))
+    {
+        Some(at) => Deadline::at(at),
+        None => Deadline::none(),
+    }
+}
+
+/// Decrements the admission queue counter when dropped, so every exit path
+/// (including a panicking connection thread) releases its slot.
+struct QueueSlot<'a>(&'a AtomicUsize);
+
+impl Drop for QueueSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Admit a request through the bounded queue gate, answering `503` with
+/// `Retry-After` (and counting the rejection) when saturated or stopping.
+/// Returns the slot guard on success.
+fn admit<'a>(stream: &mut TcpStream, shared: &'a Shared) -> Option<QueueSlot<'a>> {
+    let depth = shared.queued.fetch_add(1, Ordering::SeqCst);
+    let slot = QueueSlot(&shared.queued);
+    if depth >= shared.config.queue_cap || shared.shutdown.load(Ordering::SeqCst) {
+        drop(slot);
+        shared
+            .aggregate
+            .lock()
+            .expect("aggregate lock")
+            .requests_rejected += 1;
+        let _ = http::write_response_with(
+            stream,
+            503,
+            "Service Unavailable",
+            &[("Retry-After", "1")],
+            "application/json",
+            format!("{{\"error\":\"queue full\",\"queue_depth\":{depth}}}\n").as_bytes(),
+        );
+        return None;
+    }
+    Some(slot)
+}
+
+/// The NDJSON lines a drive endpoint streams for a report.
+fn stage_lines(report: &HarnessReport, stage: DriveStage) -> Vec<String> {
+    match stage {
+        DriveStage::Runs => report.ndjson_runs(),
+        DriveStage::Features => {
+            let mut lines: Vec<String> = report
+                .ndjson_runs()
+                .into_iter()
+                .filter(|l| l.starts_with("{\"event\":\"unit_error\""))
+                .collect();
+            lines.extend(report.ndjson_features());
+            lines
+        }
+    }
+}
+
+/// The terminal summary line for `/drive` and `/features`.
+fn done_line(report: &HarnessReport, model_attached: bool) -> String {
+    let c = report.counters();
+    format!(
+        "{{\"done\":true,\"kernels\":{},\"units\":{},\"ok\":{},\"budget_killed\":{},\
+         \"panicked\":{},\"predictions\":{},\"model\":{}}}",
+        c.kernels_driven,
+        c.units_total,
+        c.units_ok,
+        c.units_budget_killed,
+        c.units_panicked,
+        c.predictions,
+        model_attached,
+    )
+}
+
+/// `POST /drive` and `POST /features`: drive the POSTed kernel source and
+/// stream one harness stage as NDJSON.
+pub(crate) fn handle_drive(
+    request: Request,
+    mut stream: TcpStream,
+    shared: &Shared,
+    stage: DriveStage,
+) {
+    let params = match parse_drive_params(&request) {
+        Ok(params) => params,
+        Err(message) => {
+            write_error(&mut stream, 400, "Bad Request", &message);
+            return;
+        }
+    };
+    let source = match std::str::from_utf8(&request.body) {
+        Ok(s) if !s.trim().is_empty() => s.to_string(),
+        _ => {
+            write_error(
+                &mut stream,
+                400,
+                "Bad Request",
+                "request body must be non-empty UTF-8 OpenCL source",
+            );
+            return;
+        }
+    };
+    let Some(_slot) = admit(&mut stream, shared) else {
+        return;
+    };
+    let deadline = drive_deadline(&params, shared);
+    let harness = build_harness(shared, &params);
+    // The harness runs on this connection thread; its per-unit catch_unwind
+    // and budgets contain hostile kernels, so failures here are typed lines
+    // or typed HTTP errors — the sampler core is never involved.
+    let report = match harness.drive_source(&source, &deadline) {
+        Ok(report) => report,
+        Err(e) => {
+            // The response head is not yet written, so a source-level
+            // failure is still a clean typed error.
+            write_error(&mut stream, 422, "Unprocessable Entity", &e.to_string());
+            return;
+        }
+    };
+    shared
+        .harness_counters
+        .lock()
+        .expect("harness counters lock")
+        .merge(&report.counters());
+    if client_disconnected(&stream) {
+        return;
+    }
+    let Ok(mut chunks) = http::ChunkedWriter::new(&mut stream, 200, "OK", "application/x-ndjson")
+    else {
+        return;
+    };
+    for line in stage_lines(&report, stage) {
+        if chunks.chunk(format!("{line}\n").as_bytes()).is_err() {
+            return;
+        }
+    }
+    let _ = chunks.chunk(format!("{}\n", done_line(&report, harness.has_model())).as_bytes());
+    let _ = chunks.finish();
+}
+
+/// `POST /pipeline`: synthesize kernels through the batching scheduler and
+/// drive each accepted kernel through the harness inline, streaming the full
+/// loop (`kernel` → `run` → `features` → `prediction` events, then the
+/// synthesis summary) over one socket.
+pub(crate) fn handle_pipeline(
+    request: Request,
+    mut stream: TcpStream,
+    tx: mpsc::Sender<SchedMsg>,
+    shared: &Shared,
+) {
+    let params = match parse_drive_params(&request) {
+        Ok(params) => params,
+        Err(message) => {
+            write_error(&mut stream, 400, "Bad Request", &message);
+            return;
+        }
+    };
+    let harness = build_harness(shared, &params);
+    stream_synthesis(request, stream, tx, shared, Some(harness));
+}
+
+/// Render the harness block of `/stats`.
+pub(crate) fn render_harness_stats(shared: &Shared) -> String {
+    let c = shared
+        .harness_counters
+        .lock()
+        .expect("harness counters lock");
+    format!(
+        "{{\"model\":{},\"kernels_driven\":{},\"units\":{{\"total\":{},\"ok\":{},\
+         \"budget_killed\":{},\"panicked\":{}}},\"predictions\":{}}}",
+        shared.config.mapping_model.is_some(),
+        c.kernels_driven,
+        c.units_total,
+        c.units_ok,
+        c.units_budget_killed,
+        c.units_panicked,
+        c.predictions,
+    )
+}
+
+/// The harness NDJSON lines for one synthesized kernel inside `/pipeline`:
+/// drive the kernel extracted from the rendered synthesis line, fold the
+/// report's counters into the shared `/stats` block, and return the staged
+/// event lines. A source the harness cannot compile (synthesized kernels
+/// passed the rejection filter, so this is rare) becomes one typed
+/// `harness_error` line — it must not kill the stream.
+pub(crate) fn pipeline_lines(
+    harness: &Harness,
+    shared: &Shared,
+    kernel_line: &str,
+    deadline: &Deadline,
+) -> Vec<String> {
+    let Some(source) = json::extract_str(kernel_line, "kernel") else {
+        return Vec::new();
+    };
+    match harness.drive_source(&source, deadline) {
+        Ok(report) => {
+            shared
+                .harness_counters
+                .lock()
+                .expect("harness counters lock")
+                .merge(&report.counters());
+            report.ndjson()
+        }
+        Err(e) => vec![format!(
+            "{{\"event\":\"harness_error\",\"detail\":{}}}",
+            json::escaped(&e.to_string())
+        )],
+    }
+}

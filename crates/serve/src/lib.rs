@@ -23,12 +23,23 @@
 //! | Endpoint | Behaviour |
 //! |---|---|
 //! | `POST /synthesize?count=&temperature=&max_chars=&seed=&max_attempts=&deadline_ms=` | Streams accepted kernels as NDJSON (one object per kernel with its `KernelStats`, then a `"done"` summary line), `Transfer-Encoding: chunked`. |
+//! | `POST /drive?sizes=&drive_seed=&deadline_ms=` | Body = OpenCL source. Drives every (kernel × size) work unit through the [`clgen_harness`] pool and streams `run` / `unit_error` NDJSON events, then a `"done"` summary. |
+//! | `POST /features?sizes=&drive_seed=&feature_set=&deadline_ms=` | Body = OpenCL source. Same drive, streaming the Grewe `features` vectors (`feature_set=grewe\|extended`) plus `unit_error` events. |
+//! | `POST /pipeline?count=&seed=&sizes=&drive_seed=&feature_set=&deadline_ms=…` | The paper's loop over one socket: synthesis through the batching scheduler, each accepted `kernel` line followed inline by its `run`, `features` and `prediction` events, then the synthesis summary. |
 //! | `GET /healthz` | Liveness + supervisor health: `ok`/`degraded`/`failed` with restart counts (`503` once failed). |
-//! | `GET /stats` | Aggregate throughput ([`StatsSummary`](clgen::StatsSummary)), lane occupancy, queue depth, request counters, health. |
+//! | `GET /stats` | Aggregate throughput ([`StatsSummary`](clgen::StatsSummary)), lane occupancy, queue depth, request counters, harness counters, health. |
 //! | `POST /shutdown` | Graceful shutdown with a bounded drain: in-flight requests finish, or get `503` once the drain timeout passes. |
 //!
+//! `prediction` events carry the CPU/GPU class from the `CLGENPRD` mapping
+//! model loaded at startup (`--mapping-model`); without one, `/drive`,
+//! `/features` and `/pipeline` still stream runs and features.
+//!
 //! Backpressure: at most `queue_cap` requests wait ahead of the sampler
-//! core; beyond that `/synthesize` answers `503` with `Retry-After`.
+//! core; beyond that `/synthesize` (and the harness endpoints, which share
+//! the same admission gate) answer `503` with `Retry-After`. Harness work
+//! units run under bounded step/resource budgets inside `catch_unwind`: a
+//! hostile kernel becomes a typed `unit_error` line on its own unit — never
+//! a sampler-core restart.
 //!
 //! ## Fault tolerance
 //!
@@ -72,6 +83,7 @@
 
 pub mod client;
 pub mod faults;
+pub mod harness_api;
 pub mod http;
 pub mod json;
 pub mod scheduler;

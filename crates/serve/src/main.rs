@@ -1,17 +1,22 @@
 //! The `clgen-serve` binary: load a `CLGENCKP` checkpoint once, serve it.
 //!
 //! ```text
-//! clgen-serve --checkpoint model.ckpt [--addr 127.0.0.1:8090] [--lanes 8]
+//! clgen-serve --checkpoint model.ckpt [--mapping-model model.prd]
+//!             [--addr 127.0.0.1:8090] [--lanes 8]
 //!             [--queue-cap 64] [--read-timeout-ms N] [--write-timeout-ms N]
 //!             [--drain-timeout-ms N] [--deadline-ms N]
 //!             [--restart-budget N] [--restart-window-ms N] [--faults PLAN]
 //! ```
 //!
+//! `--mapping-model` loads a `CLGENPRD` decision-tree checkpoint so the
+//! harness endpoints (`/drive`, `/features`, `/pipeline`) stream CPU/GPU
+//! `prediction` events; without it they stream runs and features only.
+//!
 //! Timeout flags take milliseconds; `0` disables the timeout (unbounded).
 //! Each resilience flag also reads a `CLGEN_SERVE_*` environment variable
 //! (`READ_TIMEOUT_MS`, `WRITE_TIMEOUT_MS`, `DRAIN_TIMEOUT_MS`,
-//! `DEADLINE_MS`, `RESTART_BUDGET`, `RESTART_WINDOW_MS`, `FAULTS`), with the
-//! flag winning when both are set.
+//! `DEADLINE_MS`, `RESTART_BUDGET`, `RESTART_WINDOW_MS`, `FAULTS`,
+//! `MAPPING_MODEL`), with the flag winning when both are set.
 //!
 //! The process runs until a client sends `POST /shutdown`, then shuts down
 //! gracefully (in-flight requests drain, bounded by the drain timeout) and
@@ -20,15 +25,26 @@
 
 use clgen::TrainedModel;
 use clgen_serve::{FaultPlan, Server, ServerConfig, ServiceHealth};
+use predictive::MappingModel;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "usage: clgen-serve --checkpoint PATH \
+                     [--mapping-model PATH] \
                      [--addr HOST:PORT] [--lanes N] [--queue-cap N] \
                      [--read-timeout-ms N] [--write-timeout-ms N] \
                      [--drain-timeout-ms N] [--deadline-ms N] \
                      [--restart-budget N] [--restart-window-ms N] \
                      [--faults PLAN]";
+
+/// Load a `CLGENPRD` mapping-model checkpoint into the config.
+fn load_mapping_model(config: &mut ServerConfig, path: &str) -> Result<(), String> {
+    let model =
+        MappingModel::load(path).map_err(|e| format!("cannot load mapping model {path:?}: {e}"))?;
+    config.mapping_model = Some(Arc::new(model));
+    Ok(())
+}
 
 /// Parse a millisecond count where `0` means "disabled".
 fn parse_ms_option(raw: &str, flag: &str) -> Result<Option<Duration>, String> {
@@ -63,6 +79,9 @@ fn apply_env(config: &mut ServerConfig) -> Result<(), String> {
     if let Some(raw) = var("RESTART_WINDOW_MS") {
         config.restart_window = parse_ms_option(&raw, "CLGEN_SERVE_RESTART_WINDOW_MS")?
             .ok_or("CLGEN_SERVE_RESTART_WINDOW_MS must be nonzero")?;
+    }
+    if let Some(path) = var("MAPPING_MODEL") {
+        load_mapping_model(config, &path)?;
     }
     config.faults = FaultPlan::from_env()?;
     Ok(())
@@ -120,6 +139,9 @@ fn main() -> ExitCode {
                 "--restart-window-ms" => {
                     config.restart_window = parse_ms_option(&value("--restart-window-ms")?, &flag)?
                         .ok_or("--restart-window-ms must be nonzero")?;
+                }
+                "--mapping-model" => {
+                    load_mapping_model(&mut config, &value("--mapping-model")?)?;
                 }
                 "--faults" => config.faults = FaultPlan::parse(&value("--faults")?)?,
                 "--help" | "-h" => {

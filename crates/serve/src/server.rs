@@ -2,6 +2,7 @@
 //! and bounded graceful shutdown over the supervised batching scheduler.
 
 use crate::faults::{FaultPlan, FaultPoint};
+use crate::harness_api::{self, DriveStage};
 use crate::http::{self, HttpError, Request};
 use crate::scheduler::{
     run_sampler_core, Aggregate, CoreContext, Job, ResponseEvent, SchedMsg, ServeError,
@@ -11,6 +12,8 @@ use crate::{json, DEFAULT_MAX_ATTEMPTS_PER_KERNEL};
 use clgen::spec::FREE_SEED;
 use clgen::TrainedModel;
 use clgen_corpus::filter::FilterConfig;
+use clgen_harness::{Deadline, Harness, HarnessConfig, HarnessCounters};
+use predictive::MappingModel;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -69,6 +72,14 @@ pub struct ServerConfig {
     /// Deterministic fault-injection plan (inert by default; armed plans
     /// require the `faults` cargo feature).
     pub faults: FaultPlan,
+    /// Default drive-and-predict harness configuration used by `/drive`,
+    /// `/features` and `/pipeline` (per-request `sizes`, `drive_seed` and
+    /// `feature_set` parameters override it).
+    pub harness: HarnessConfig,
+    /// Trained CPU/GPU mapping model served by the harness endpoints
+    /// (`--mapping-model`); `None` streams runs and features but no
+    /// `prediction` events.
+    pub mapping_model: Option<Arc<MappingModel>>,
 }
 
 impl Default for ServerConfig {
@@ -91,20 +102,23 @@ impl Default for ServerConfig {
             restart_budget: 3,
             restart_window: Duration::from_secs(60),
             faults: FaultPlan::inert(),
+            harness: HarnessConfig::default(),
+            mapping_model: None,
         }
     }
 }
 
 /// State shared between the accept loop and every connection handler.
-struct Shared {
-    aggregate: Arc<Mutex<Aggregate>>,
-    queued: Arc<AtomicUsize>,
-    shutdown: Arc<AtomicBool>,
-    supervisor: Arc<Supervisor>,
-    started: Instant,
-    addr: SocketAddr,
-    backend_kind: &'static str,
-    config: ServerConfig,
+pub(crate) struct Shared {
+    pub(crate) aggregate: Arc<Mutex<Aggregate>>,
+    pub(crate) queued: Arc<AtomicUsize>,
+    pub(crate) shutdown: Arc<AtomicBool>,
+    pub(crate) supervisor: Arc<Supervisor>,
+    pub(crate) started: Instant,
+    pub(crate) addr: SocketAddr,
+    pub(crate) backend_kind: &'static str,
+    pub(crate) config: ServerConfig,
+    pub(crate) harness_counters: Mutex<HarnessCounters>,
 }
 
 /// The synthesis service: a model loaded once, served by one supervised
@@ -140,6 +154,7 @@ impl Server {
             addr,
             backend_kind,
             config: config.clone(),
+            harness_counters: Mutex::new(HarnessCounters::default()),
         });
 
         let ctx = CoreContext {
@@ -326,7 +341,7 @@ fn write_json(stream: &mut TcpStream, status: u16, reason: &str, body: &str) {
     let _ = http::write_response(stream, status, reason, "application/json", body.as_bytes());
 }
 
-fn write_error(stream: &mut TcpStream, status: u16, reason: &str, message: &str) {
+pub(crate) fn write_error(stream: &mut TcpStream, status: u16, reason: &str, message: &str) {
     let body = format!("{{\"error\":{}}}\n", json::escaped(message));
     write_json(stream, status, reason, &body);
 }
@@ -393,7 +408,12 @@ fn handle_connection(stream: TcpStream, tx: mpsc::Sender<SchedMsg>, shared: Arc<
             let body = render_stats(&shared);
             write_json(&mut stream, 200, "OK", &body);
         }
-        ("POST", "/synthesize") => handle_synthesize(request, stream, tx, &shared),
+        ("POST", "/synthesize") => stream_synthesis(request, stream, tx, &shared, None),
+        ("POST", "/drive") => harness_api::handle_drive(request, stream, &shared, DriveStage::Runs),
+        ("POST", "/features") => {
+            harness_api::handle_drive(request, stream, &shared, DriveStage::Features)
+        }
+        ("POST", "/pipeline") => harness_api::handle_pipeline(request, stream, tx, &shared),
         ("POST", "/shutdown") => {
             write_json(&mut stream, 200, "OK", "{\"shutting_down\":true}\n");
             drop(stream);
@@ -406,18 +426,24 @@ fn handle_connection(stream: TcpStream, tx: mpsc::Sender<SchedMsg>, shared: Arc<
         (_, "/healthz" | "/stats") => {
             write_error(&mut stream, 405, "Method Not Allowed", "use GET");
         }
-        (_, "/synthesize" | "/shutdown") => {
+        (_, "/synthesize" | "/shutdown" | "/drive" | "/features" | "/pipeline") => {
             write_error(&mut stream, 405, "Method Not Allowed", "use POST");
         }
         _ => write_error(&mut stream, 404, "Not Found", "unknown path"),
     }
 }
 
-fn handle_synthesize(
+/// Run one synthesis request through the batching scheduler and stream its
+/// NDJSON response. With a harness attached (`/pipeline`), each accepted
+/// kernel line is followed inline by that kernel's harness events — the
+/// drive runs on this connection thread, so a hostile synthesized kernel is
+/// contained by the harness budgets and never touches the sampler core.
+pub(crate) fn stream_synthesis(
     request: Request,
     mut stream: TcpStream,
     tx: mpsc::Sender<SchedMsg>,
     shared: &Shared,
+    harness: Option<Harness>,
 ) {
     let params = match parse_params(&request, &shared.config) {
         Ok(params) => params,
@@ -551,6 +577,19 @@ fn handle_synthesize(
                     cancelled.store(true, Ordering::Relaxed);
                     return;
                 }
+                if let Some(harness) = &harness {
+                    let harness_deadline = match deadline {
+                        Some(at) => Deadline::at(at),
+                        None => Deadline::none(),
+                    };
+                    for hl in harness_api::pipeline_lines(harness, shared, &line, &harness_deadline)
+                    {
+                        if chunks.chunk(format!("{hl}\n").as_bytes()).is_err() {
+                            cancelled.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
             }
             ResponseEvent::Done(line) => {
                 shared.config.faults.stall(FaultPoint::SlowWrite);
@@ -580,7 +619,7 @@ fn handle_synthesize(
 /// resets the connection, so reads yield `ECONNRESET`, not EOF). The request
 /// is fully read and clients do not pipeline (`Connection: close`), so
 /// `WouldBlock` is the only state that counts as alive.
-fn client_disconnected(stream: &TcpStream) -> bool {
+pub(crate) fn client_disconnected(stream: &TcpStream) -> bool {
     use std::io::Read;
     if stream.set_nonblocking(true).is_err() {
         return true;
@@ -613,6 +652,7 @@ fn render_stats(shared: &Shared) -> String {
             "\"sampling\":{{\"kernels\":{kernels},\"attempts\":{attempts},",
             "\"generated_chars\":{chars},\"acceptance_rate\":{rate:.4},",
             "\"chars_per_sec\":{cps:.0}}},",
+            "\"harness\":{harness},",
             "\"rejections\":{rejections}}}\n"
         ),
         backend = json::escaped(shared.backend_kind),
@@ -636,6 +676,7 @@ fn render_stats(shared: &Shared) -> String {
         chars = agg.summary.generated_chars,
         rate = agg.summary.acceptance_rate(),
         cps = agg.summary.generated_chars as f64 / elapsed,
+        harness = harness_api::render_harness_stats(shared),
         rejections = rejected_json,
     )
 }

@@ -1,0 +1,281 @@
+//! End-to-end tests for the harness endpoints over real sockets: `/drive`,
+//! `/features`, `/pipeline`, their `/stats` counters, and the determinism
+//! property — the `/pipeline` harness events are byte-identical to an
+//! in-process harness run at any worker count.
+
+use clgen::{ClgenBuilder, ClgenOptions, TrainedModel};
+use clgen_harness::{Deadline, Harness, HarnessConfig};
+use clgen_serve::{client, json, Server, ServerConfig};
+use predictive::{Dataset, Example, MappingModel};
+use std::sync::Arc;
+
+const VECADD: &str =
+    "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+    int e = get_global_id(0);
+    if (e < d) { c[e] = a[e] + b[e]; }
+}";
+
+const SPIN: &str = "__kernel void A(__global float* a, const int n) {
+    int i = get_global_id(0);
+    float acc = 0.0f;
+    for (int r = 0; r < 100000000; r++) { acc += a[i % 16] * 0.5f; }
+    a[i % 16] = acc;
+}";
+
+fn checkpointed_model(seed: u64) -> TrainedModel {
+    let mut options = ClgenOptions::small(seed);
+    options.corpus.miner.repositories = 40;
+    ClgenBuilder::with_options(options)
+        .build_corpus()
+        .expect("corpus builds")
+        .train()
+        .expect("training succeeds")
+}
+
+fn toy_mapping_model() -> Arc<MappingModel> {
+    let mut d = Dataset::new();
+    for i in 0..16 {
+        let f1 = (i + 1) as f64 * 100.0;
+        let gpu_better = f1 > 800.0;
+        d.push(Example {
+            features: vec![f1, 0.0, 0.0, 1.0],
+            benchmark: format!("b{}", i / 2),
+            suite: "S".into(),
+            id: format!("b{i}"),
+            cpu_time: if gpu_better { 10.0 } else { 1.0 },
+            gpu_time: if gpu_better { 1.0 } else { 10.0 },
+        });
+    }
+    Arc::new(MappingModel::train(&d))
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        lanes: 4,
+        harness: HarnessConfig::quick(),
+        mapping_model: Some(toy_mapping_model()),
+        ..ServerConfig::default()
+    }
+}
+
+fn event_lines(body: &str) -> Vec<String> {
+    body.lines()
+        .filter(|l| l.starts_with("{\"event\":"))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn drive_streams_run_events_and_summary() {
+    let handle = Server::start(checkpointed_model(41), test_config()).expect("server starts");
+    let addr = handle.addr();
+
+    let response = client::post_body(
+        addr,
+        "/drive?sizes=256,1024&drive_seed=7",
+        VECADD.as_bytes(),
+    )
+    .expect("drive");
+    assert_eq!(response.status, 200, "{}", response.text());
+    let lines = response.lines();
+    let runs: Vec<&String> = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"event\":\"run\""))
+        .collect();
+    assert_eq!(runs.len(), 2, "one run per size: {lines:?}");
+    assert!(runs[0].contains("\"global_size\":256"));
+    assert!(runs[1].contains("\"global_size\":1024"));
+    let done = lines.last().expect("summary line");
+    assert!(done.starts_with("{\"done\":true"), "{done}");
+    assert_eq!(json::extract_u64(done, "units"), Some(2));
+    assert_eq!(json::extract_u64(done, "ok"), Some(2));
+
+    // Identical request → byte-identical response body (fixed seed).
+    let again = client::post_body(
+        addr,
+        "/drive?sizes=256,1024&drive_seed=7",
+        VECADD.as_bytes(),
+    )
+    .expect("drive again");
+    assert_eq!(response.body, again.body);
+    handle.shutdown();
+}
+
+#[test]
+fn features_streams_vectors_with_requested_dimensionality() {
+    let handle = Server::start(checkpointed_model(42), test_config()).expect("server starts");
+    let addr = handle.addr();
+
+    for (feature_set, dims) in [("grewe", 4), ("extended", 11)] {
+        let target = format!("/features?sizes=512&feature_set={feature_set}");
+        let response = client::post_body(addr, &target, VECADD.as_bytes()).expect("features");
+        assert_eq!(response.status, 200, "{}", response.text());
+        let lines = response.lines();
+        let features: Vec<&String> = lines
+            .iter()
+            .filter(|l| l.starts_with("{\"event\":\"features\""))
+            .collect();
+        assert_eq!(features.len(), 1, "{lines:?}");
+        let vector = features[0]
+            .split("\"features\":[")
+            .nth(1)
+            .and_then(|r| r.split(']').next())
+            .expect("vector payload");
+        assert_eq!(
+            vector.split(',').count(),
+            dims,
+            "{feature_set} dimensionality: {vector}"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn hostile_kernels_become_typed_unit_errors_not_outages() {
+    let mut config = test_config();
+    // A tight launch-wide budget so the spin kernel dies fast.
+    config.harness.driver.total_step_budget = 10_000;
+    let handle = Server::start(checkpointed_model(43), config).expect("server starts");
+    let addr = handle.addr();
+
+    let response = client::post_body(addr, "/drive?sizes=256", SPIN.as_bytes()).expect("drive");
+    assert_eq!(response.status, 200, "{}", response.text());
+    assert!(
+        response
+            .lines()
+            .iter()
+            .any(|l| l.contains("\"error\":\"budget_exceeded\"")),
+        "{}",
+        response.text()
+    );
+    let done = response.lines().last().cloned().expect("summary");
+    assert_eq!(json::extract_u64(&done, "budget_killed"), Some(1));
+
+    // The failure was contained: health stays ok and the next drive works.
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.text().contains("\"status\":\"ok\""));
+    let next = client::post_body(addr, "/drive?sizes=64", VECADD.as_bytes()).expect("drive");
+    assert_eq!(next.status, 200);
+
+    // Source-level failures are typed HTTP errors, not stream corruption.
+    let garbage = client::post_body(addr, "/drive", b"not opencl ((((").expect("drive");
+    assert_eq!(garbage.status, 422, "{}", garbage.text());
+    let empty = client::post_body(addr, "/drive", b"").expect("drive");
+    assert_eq!(empty.status, 400);
+    let bad_param = client::post_body(addr, "/drive?sizes=0", VECADD.as_bytes()).expect("drive");
+    assert_eq!(bad_param.status, 400);
+    let wrong_method = client::get(addr, "/drive").expect("get");
+    assert_eq!(wrong_method.status, 405);
+    handle.shutdown();
+}
+
+#[test]
+fn pipeline_chains_synthesis_into_harness_per_kernel() {
+    let handle = Server::start(checkpointed_model(44), test_config()).expect("server starts");
+    let addr = handle.addr();
+
+    let response = client::post(
+        addr,
+        "/pipeline?count=2&seed=5&max_attempts=512&sizes=256,1024&drive_seed=9",
+    )
+    .expect("pipeline");
+    assert_eq!(response.status, 200, "{}", response.text());
+    let lines = response.lines();
+    assert!(
+        lines
+            .last()
+            .is_some_and(|l| l.starts_with("{\"done\":true")),
+        "terminal synthesis summary: {lines:?}"
+    );
+
+    // Every kernel line is followed by its harness events before the next
+    // kernel line: run/unit_error lines first, then features, then
+    // predictions (the model is attached, so successful units predict).
+    let kernel_count = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"kernel\":"))
+        .count();
+    assert!(kernel_count >= 1, "synthesis produced kernels: {lines:?}");
+    let mut saw_harness_events = 0;
+    for window in lines.split(|l| l.starts_with("{\"kernel\":")).skip(1) {
+        let events: Vec<&String> = window
+            .iter()
+            .filter(|l| l.starts_with("{\"event\":"))
+            .collect();
+        assert!(!events.is_empty(), "kernel without harness events");
+        saw_harness_events += events.len();
+        // Stage order within a kernel's block.
+        let stage = |l: &str| {
+            if l.contains("\"event\":\"run\"") || l.contains("\"event\":\"unit_error\"") {
+                0
+            } else if l.contains("\"event\":\"features\"") {
+                1
+            } else {
+                2
+            }
+        };
+        let stages: Vec<i32> = events.iter().map(|l| stage(l)).collect();
+        let mut sorted = stages.clone();
+        sorted.sort_unstable();
+        assert_eq!(stages, sorted, "stages are ordered: {events:?}");
+    }
+    assert!(saw_harness_events > 0);
+
+    // Stats mirror the harness activity.
+    let stats = client::get(addr, "/stats").expect("stats").text();
+    assert!(
+        json::extract_u64(&stats, "kernels_driven").is_some_and(|n| n >= kernel_count as u64),
+        "{stats}"
+    );
+    assert!(stats.contains("\"model\":true"), "{stats}");
+    handle.shutdown();
+}
+
+/// The determinism property the tentpole promises: for a fixed seed, the
+/// harness events `/pipeline` streams are byte-identical to an in-process
+/// harness run — at one worker and at many.
+#[test]
+fn pipeline_harness_events_match_in_process_at_any_worker_count() {
+    let config = test_config();
+    let harness_config = config.harness.clone();
+    let model = config.mapping_model.clone();
+    let handle = Server::start(checkpointed_model(45), config).expect("server starts");
+    let addr = handle.addr();
+
+    let target = "/pipeline?count=2&seed=17&max_attempts=512";
+    let first = client::post(addr, target).expect("pipeline");
+    assert_eq!(first.status, 200, "{}", first.text());
+    let second = client::post(addr, target).expect("pipeline repeat");
+    assert_eq!(first.body, second.body, "repeat request is byte-identical");
+
+    let lines = first.lines();
+    let sources: Vec<String> = lines
+        .iter()
+        .filter(|l| l.starts_with("{\"kernel\":"))
+        .map(|l| json::extract_str(l, "kernel").expect("kernel source"))
+        .collect();
+    assert!(!sources.is_empty());
+    let served = event_lines(&first.text());
+
+    let harness = Harness::new(harness_config, model);
+    for workers in [1, 4] {
+        let local: Vec<String> = rayon::with_num_threads(workers, || {
+            sources
+                .iter()
+                .flat_map(|s| {
+                    harness
+                        .drive_source(s, &Deadline::none())
+                        .expect("synthesized kernels drive")
+                        .ndjson()
+                })
+                .collect()
+        });
+        assert_eq!(
+            served, local,
+            "served events match in-process at {workers} workers"
+        );
+    }
+    handle.shutdown();
+}

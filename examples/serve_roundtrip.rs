@@ -11,11 +11,19 @@
 //! # train + save a checkpoint only — CI uses this to produce the model the
 //! # standalone `clgen-serve` binary then boots in the background:
 //! cargo run --release --example serve_roundtrip -- train /tmp/model.ckpt
+//!
+//! # train + save a CLGENPRD CPU/GPU mapping model only — CI hands this to
+//! # `clgen-serve --mapping-model` so `/pipeline` streams prediction events:
+//! cargo run --release --example serve_roundtrip -- train-mapping /tmp/model.prd
 //! ```
 
+use clgen_repro::cldrive::Platform;
 use clgen_repro::clgen::{ClgenBuilder, ClgenOptions, TrainedModel};
 use clgen_repro::clgen_serve::{client, json, Server, ServerConfig, SynthesisParams};
+use clgen_repro::predictive::MappingModel;
+use experiments::{build_suite_dataset, DatasetConfig};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn train() -> TrainedModel {
     let mut options = ClgenOptions::small(2017);
@@ -26,6 +34,14 @@ fn train() -> TrainedModel {
         .expect("corpus construction failed")
         .train()
         .expect("model training failed")
+}
+
+/// Train the Grewe et al. CPU/GPU mapping model on the benchmark-suite
+/// dataset (the paper's §7 baseline) — what `/pipeline` predicts with.
+fn train_mapping() -> MappingModel {
+    println!("building the benchmark-suite dataset and training the mapping model...");
+    let dataset = build_suite_dataset(&Platform::amd(), &DatasetConfig::default());
+    MappingModel::train(&dataset)
 }
 
 fn roundtrip() -> ExitCode {
@@ -41,6 +57,7 @@ fn roundtrip() -> ExitCode {
         model,
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            mapping_model: Some(Arc::new(train_mapping())),
             ..ServerConfig::default()
         },
     )
@@ -75,6 +92,41 @@ fn roundtrip() -> ExitCode {
         }
     }
 
+    // The drive-and-predict harness: POST raw source to /drive, then close
+    // the full loop over one socket with /pipeline (kernel, run, features
+    // and prediction events interleaved per synthesized kernel).
+    let vecadd = "__kernel void A(__global float* a, __global float* b, const int n) {\n\
+                      int i = get_global_id(0);\n\
+                      if (i < n) { b[i] = a[i] + b[i]; }\n\
+                  }";
+    let driven =
+        client::post_body(addr, "/drive?sizes=256,4096", vecadd.as_bytes()).expect("drive failed");
+    println!(
+        "POST /drive -> {} ({} lines)",
+        driven.status,
+        driven.lines().len()
+    );
+    for line in driven.lines() {
+        println!("  {line}");
+    }
+    let pipeline =
+        client::post(addr, "/pipeline?count=1&seed=7&max_attempts=192").expect("pipeline failed");
+    println!(
+        "POST /pipeline -> {} ({} lines)",
+        pipeline.status,
+        pipeline.lines().len()
+    );
+    let predictions = pipeline
+        .lines()
+        .iter()
+        .filter(|l| l.starts_with("{\"event\":\"prediction\""))
+        .count();
+    println!("  prediction events: {predictions}");
+    assert!(
+        predictions > 0,
+        "mapping model attached, so predictions flow"
+    );
+
     let stats = client::get(addr, "/stats").expect("stats failed");
     println!("GET /stats -> {}", stats.text().trim());
 
@@ -92,8 +144,15 @@ fn main() -> ExitCode {
             println!("saved checkpoint to {ckpt}");
             ExitCode::SUCCESS
         }
+        [mode, path] if mode == "train-mapping" => {
+            train_mapping()
+                .save(path)
+                .expect("mapping model save failed");
+            println!("saved CLGENPRD mapping model to {path}");
+            ExitCode::SUCCESS
+        }
         _ => {
-            eprintln!("usage: serve_roundtrip [train <checkpoint>]");
+            eprintln!("usage: serve_roundtrip [train <checkpoint> | train-mapping <model.prd>]");
             ExitCode::FAILURE
         }
     }
