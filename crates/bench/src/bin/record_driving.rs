@@ -92,11 +92,25 @@ fn toy_mapping_model() -> Arc<MappingModel> {
 struct Measurement {
     seconds: f64,
     units: usize,
+    /// Per-stage wall-clock sums across every driven unit
+    /// ([`clgen_harness::HarnessReport::stage_timing_us`]).
+    run_us: u64,
+    features_us: u64,
+    predict_us: u64,
 }
 
 impl Measurement {
     fn units_per_sec(&self) -> f64 {
         self.units as f64 / self.seconds
+    }
+
+    /// The `{"drive": …, "features": …, "predict": …}` JSON fragment of
+    /// summed stage wall-clock in microseconds.
+    fn render_stages(&self) -> String {
+        format!(
+            "{{\"drive\": {}, \"features\": {}, \"predict\": {}}}",
+            self.run_us, self.features_us, self.predict_us
+        )
     }
 }
 
@@ -109,6 +123,7 @@ fn run(
     drive: impl Fn(&Harness, &str) -> clgen_harness::HarnessReport,
 ) -> (Measurement, Vec<String>) {
     let mut units = 0;
+    let (mut run_us, mut features_us, mut predict_us) = (0u64, 0u64, 0u64);
     let mut lines = Vec::new();
     let start = Instant::now();
     for round in 0..rounds {
@@ -116,6 +131,10 @@ fn run(
         for (_, source) in KERNELS {
             let report = drive(harness, source);
             units += report.units.len();
+            let (r, f, p) = report.stage_timing_us();
+            run_us += r;
+            features_us += f;
+            predict_us += p;
             if round + 1 == rounds {
                 lines.extend(report.ndjson());
             }
@@ -125,6 +144,9 @@ fn run(
         Measurement {
             seconds: start.elapsed().as_secs_f64(),
             units,
+            run_us,
+            features_us,
+            predict_us,
         },
         lines,
     )
@@ -214,10 +236,12 @@ fn main() {
     .unwrap();
     writeln!(
         out,
-        "  \"serial\": {{\"seconds\": {:.4}, \"units\": {}, \"units_per_sec\": {:.1}}},",
+        "  \"serial\": {{\"seconds\": {:.4}, \"units\": {}, \"units_per_sec\": {:.1}, \
+         \"stage_us\": {}}},",
         serial.seconds,
         serial.units,
-        serial.units_per_sec()
+        serial.units_per_sec(),
+        serial.render_stages()
     )
     .unwrap();
     out.push_str("  \"levels\": [\n");
@@ -225,11 +249,12 @@ fn main() {
         writeln!(
             out,
             "    {{\"workers\": {}, \"seconds\": {:.4}, \"units_per_sec\": {:.1}, \
-             \"speedup_vs_serial\": {:.2}}}{}",
+             \"speedup_vs_serial\": {:.2}, \"stage_us\": {}}}{}",
             level.workers,
             level.measurement.seconds,
             level.measurement.units_per_sec(),
             level.measurement.units_per_sec() / serial.units_per_sec(),
+            level.measurement.render_stages(),
             if i + 1 == levels.len() { "" } else { "," }
         )
         .unwrap();

@@ -31,6 +31,7 @@ use clgen_neural::StatefulLstm;
 use clgen_serve::{client, json, Server, ServerConfig, SynthesisParams};
 use std::fmt::Write as _;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Candidates sampled per request (the request's `max_attempts`; the kernel
@@ -110,13 +111,60 @@ fn run_level(
     }
 }
 
+/// The trace stages every `/synthesize` done line reports, summed across a
+/// level's requests (concurrent client threads add into the atomics).
+#[derive(Default)]
+struct SpanTotals {
+    queued: AtomicU64,
+    sampling: AtomicU64,
+    filter: AtomicU64,
+    respond: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl SpanTotals {
+    /// Accumulate one done line's spliced `trace` stage durations.
+    fn absorb(&self, done: &str) {
+        for (stage, total) in [
+            ("queued", &self.queued),
+            ("sampling", &self.sampling),
+            ("filter", &self.filter),
+            ("respond", &self.respond),
+        ] {
+            total.fetch_add(
+                json::extract_u64(done, stage).unwrap_or(0),
+                Ordering::Relaxed,
+            );
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mean µs per request for one stage.
+    fn mean_us(&self, total: &AtomicU64) -> f64 {
+        total.load(Ordering::Relaxed) as f64 / self.requests.load(Ordering::Relaxed).max(1) as f64
+    }
+
+    /// The `{"queued": …, "sampling": …, "filter": …, "respond": …}` JSON
+    /// fragment of per-request mean stage durations.
+    fn render(&self) -> String {
+        format!(
+            "{{\"queued\": {:.0}, \"sampling\": {:.0}, \"filter\": {:.0}, \"respond\": {:.0}}}",
+            self.mean_us(&self.queued),
+            self.mean_us(&self.sampling),
+            self.mean_us(&self.filter),
+            self.mean_us(&self.respond),
+        )
+    }
+}
+
 /// One request over the wire against the batching server.
-fn served_request(addr: SocketAddr, index: usize) -> StatsSummary {
+fn served_request(addr: SocketAddr, index: usize, spans: &SpanTotals) -> StatsSummary {
     let reply =
         client::synthesize(addr, &request_params(index)).expect("synthesize request succeeds");
     assert_eq!(reply.status, 200, "unexpected status for request {index}");
     let lines = reply.lines();
     let done = lines.last().expect("response has a summary line");
+    spans.absorb(done);
     StatsSummary {
         kernels: json::extract_u64(done, "kernels").unwrap_or(0) as usize,
         attempts: json::extract_u64(done, "attempts").expect("summary attempts") as usize,
@@ -176,18 +224,20 @@ fn main() {
     let addr = handle.addr();
 
     // Warm-up both paths (page in weights, fill allocator pools).
-    let _ = served_request(addr, 0);
+    let _ = served_request(addr, 0, &SpanTotals::default());
     let _ = baseline_request(&model, 0);
 
     struct Level {
         concurrency: usize,
         served: Measurement,
         baseline: Measurement,
+        spans: SpanTotals,
     }
     let levels: Vec<Level> = CONCURRENCY_LEVELS
         .iter()
         .map(|&concurrency| {
-            let served = run_level(concurrency, |i| served_request(addr, i));
+            let spans = SpanTotals::default();
+            let served = run_level(concurrency, |i| served_request(addr, i, &spans));
             let baseline = run_level(concurrency, |i| baseline_request(&model, i));
             println!(
                 "concurrency {concurrency}: served {:>8.0} chars/sec vs baseline {:>8.0} chars/sec ({:.2}x)",
@@ -201,6 +251,7 @@ fn main() {
                 concurrency,
                 served,
                 baseline,
+                spans,
             }
         })
         .collect();
@@ -224,12 +275,14 @@ fn main() {
             out,
             "    {{\"concurrency\": {}, \
              \"served\": {{\"seconds\": {:.4}, \"chars_per_sec\": {:.0}, \"requests_per_sec\": {:.1}}}, \
+             \"served_stage_us_mean\": {}, \
              \"per_request_baseline\": {{\"seconds\": {:.4}, \"chars_per_sec\": {:.0}, \"requests_per_sec\": {:.1}}}, \
              \"speedup\": {:.2}}}{}",
             level.concurrency,
             level.served.seconds,
             level.served.chars_per_sec(),
             level.served.requests_per_sec(),
+            level.spans.render(),
             level.baseline.seconds,
             level.baseline.chars_per_sec(),
             level.baseline.requests_per_sec(),

@@ -167,6 +167,12 @@ impl CorpusStage {
     /// as it is produced, so long paper-scale runs can log or checkpoint as
     /// they go. The n-gram backend trains in one shot and reports nothing.
     ///
+    /// Every epoch also reports into the process-global metric registry
+    /// ([`clgen_obs::global`]): the `clgen_training_epochs_total` counter
+    /// plus loss / throughput / learning-rate gauges — so a `clgen-serve`
+    /// process that trains in-process surfaces training progress on
+    /// `GET /metrics`.
+    ///
     /// An invalid [`clgen_neural::TrainConfig`] (zero epochs, unroll, decay
     /// interval or batch size) or a corpus too short for the requested
     /// stream count is a typed [`ClgenError::InvalidConfig`], never a panic
@@ -205,7 +211,42 @@ impl CorpusStage {
                     .validate()
                     .map_err(|what| ClgenError::InvalidConfig { what })?;
                 let mut lstm = LstmModel::new(config);
-                train(&mut lstm, &self.encoded, tc, on_epoch);
+                let registry = clgen_obs::global();
+                let mut caller = on_epoch;
+                let mut observe = |report: &EpochReport| {
+                    registry
+                        .counter(
+                            "clgen_training_epochs_total",
+                            &[],
+                            "Training epochs completed",
+                        )
+                        .inc();
+                    registry
+                        .gauge(
+                            "clgen_training_loss_per_char",
+                            &[],
+                            "Last epoch loss per character",
+                        )
+                        .set(f64::from(report.loss_per_char));
+                    registry
+                        .gauge(
+                            "clgen_training_chars_per_sec",
+                            &[],
+                            "Last epoch training throughput",
+                        )
+                        .set(report.chars_per_sec);
+                    registry
+                        .gauge(
+                            "clgen_training_learning_rate",
+                            &[],
+                            "Last epoch learning rate",
+                        )
+                        .set(f64::from(report.learning_rate));
+                    if let Some(cb) = caller.as_deref_mut() {
+                        cb(report);
+                    }
+                };
+                train(&mut lstm, &self.encoded, tc, Some(&mut observe));
                 Box::new(StatefulLstm::new(lstm))
             }
             ModelBackend::Ngram(config) => {

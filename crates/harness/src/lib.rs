@@ -192,6 +192,11 @@ impl std::fmt::Display for UnitError {
 }
 
 /// The complete result for one (kernel function, payload size) work unit.
+///
+/// The `*_us` wall-clock fields are observability metadata: they feed trace
+/// spans, metrics and benchmark stage breakdowns, but are deliberately
+/// excluded from the NDJSON rendering so reports stay byte-identical across
+/// runs and worker counts.
 #[derive(Debug, Clone)]
 pub struct UnitResult {
     /// Kernel function name.
@@ -206,6 +211,12 @@ pub struct UnitResult {
     pub prediction: Option<usize>,
     /// The typed error, if the unit failed.
     pub error: Option<UnitError>,
+    /// Wall-clock of the drive (interpreter) phase, microseconds.
+    pub run_us: u64,
+    /// Wall-clock of feature extraction, microseconds.
+    pub features_us: u64,
+    /// Wall-clock of mapping inference, microseconds.
+    pub predict_us: u64,
 }
 
 /// Aggregate counters over one or many drive calls (mirrored into the
@@ -248,6 +259,15 @@ pub struct HarnessReport {
 }
 
 impl HarnessReport {
+    /// Total wall-clock per pipeline stage across all units, microseconds:
+    /// `(drive, features, predict)`. Feeds the serving traces and the
+    /// benchmark recorders' stage breakdowns.
+    pub fn stage_timing_us(&self) -> (u64, u64, u64) {
+        self.units.iter().fold((0, 0, 0), |(r, f, p), u| {
+            (r + u.run_us, f + u.features_us, p + u.predict_us)
+        })
+    }
+
     /// Derive aggregate counters for this report.
     pub fn counters(&self) -> HarnessCounters {
         let mut c = HarnessCounters {
@@ -356,12 +376,26 @@ impl HarnessReport {
 pub struct Harness {
     config: HarnessConfig,
     model: Option<Arc<MappingModel>>,
+    metrics: Option<Arc<clgen_obs::Registry>>,
 }
 
 impl Harness {
     /// Build a harness; attach a trained mapping model to get predictions.
     pub fn new(config: HarnessConfig, model: Option<Arc<MappingModel>>) -> Harness {
-        Harness { config, model }
+        Harness {
+            config,
+            model,
+            metrics: None,
+        }
+    }
+
+    /// Report unit outcomes, per-unit run time, kernels driven and
+    /// predictions into `registry` (the `clgen_harness_*` families). Without
+    /// a registry the harness records nothing — drives are unobserved, not
+    /// slower.
+    pub fn with_metrics(mut self, registry: Arc<clgen_obs::Registry>) -> Harness {
+        self.metrics = Some(registry);
+        self
     }
 
     /// The configuration this harness drives with.
@@ -447,6 +481,15 @@ impl Harness {
         } else {
             work.into_iter().map(run_unit).collect()
         };
+        if let Some(registry) = &self.metrics {
+            registry
+                .counter(
+                    "clgen_harness_kernels_driven_total",
+                    &[],
+                    "Kernels driven through the harness",
+                )
+                .inc();
+        }
         Ok(HarnessReport { units })
     }
 
@@ -465,9 +508,13 @@ impl Harness {
             features: None,
             prediction: None,
             error: None,
+            run_us: 0,
+            features_us: 0,
+            predict_us: 0,
         };
         if deadline.expired() {
             result.error = Some(UnitError::DeadlineExceeded);
+            self.record_unit(&result);
             return result;
         }
         let driver =
@@ -475,27 +522,72 @@ impl Harness {
         // The vendored rayon pool treats a worker panic as fatal, so the
         // catch_unwind MUST live inside the unit closure: a hostile kernel
         // takes down its own unit, never the pool.
+        let drive_started = Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| driver.run_kernel(unit, sig, size)));
+        result.run_us = drive_started.elapsed().as_micros() as u64;
         match outcome {
             Err(_) => result.error = Some(UnitError::Panicked),
             Ok(Err(e)) => result.error = Some(classify_drive_error(e)),
             Ok(Ok(run)) => {
                 if let Some(counts) = statics {
+                    let features_started = Instant::now();
                     let features = GreweFeatures {
                         static_features: StaticFeatures::from_counts(counts),
                         transfer: run.workload.transfer_bytes,
                         wgsize: run.global_size as f64,
                     };
                     let vector = self.config.feature_set.vector(&features);
+                    result.features_us = features_started.elapsed().as_micros() as u64;
                     if let Some(model) = &self.model {
+                        let predict_started = Instant::now();
                         result.prediction = Some(model.predict_vector(&vector));
+                        result.predict_us = predict_started.elapsed().as_micros() as u64;
                     }
                     result.features = Some(vector);
                 }
                 result.run = Some(run);
             }
         }
+        self.record_unit(&result);
         result
+    }
+
+    /// Report one unit's outcome and run time into the attached registry
+    /// (atomics only — safe from any rayon worker).
+    fn record_unit(&self, result: &UnitResult) {
+        let Some(registry) = &self.metrics else {
+            return;
+        };
+        let outcome = match &result.error {
+            None => "ok",
+            Some(UnitError::BudgetExceeded(_)) => "budget_killed",
+            Some(UnitError::Panicked) => "panicked",
+            Some(UnitError::DeadlineExceeded) => "deadline",
+            Some(UnitError::Drive(_)) => "drive_error",
+        };
+        registry
+            .counter(
+                "clgen_harness_units_total",
+                &[("outcome", outcome)],
+                "Harness work units by outcome",
+            )
+            .inc();
+        registry
+            .histogram(
+                "clgen_harness_unit_run_us",
+                &[],
+                "Per-unit drive wall-clock in microseconds",
+            )
+            .observe(result.run_us);
+        if result.prediction.is_some() {
+            registry
+                .counter(
+                    "clgen_harness_predictions_total",
+                    &[],
+                    "CPU/GPU mapping predictions produced",
+                )
+                .inc();
+        }
     }
 }
 

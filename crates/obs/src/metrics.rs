@@ -1,0 +1,467 @@
+//! Lock-cheap metrics: atomic counters, float gauges and fixed-bucket
+//! log-scale histograms behind a name+label registry that renders the
+//! Prometheus text exposition format.
+//!
+//! Hot paths hold pre-registered handles ([`Counter`], [`Gauge`],
+//! [`Histogram`]) and touch only atomics; the registry mutex is paid once at
+//! registration (or per scrape). Histogram buckets are powers of two in
+//! microseconds, so p50/p90/p99 are derivable from the buckets alone and
+//! shard merges are exact (bucket-wise addition — see
+//! [`Histogram::merge_from`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of finite histogram buckets; bucket `i` has upper bound `2^i` µs.
+/// `2^35` µs ≈ 9.5 hours, far beyond any request; larger values land in the
+/// implicit `+Inf` bucket.
+pub const HISTOGRAM_BUCKETS: usize = 36;
+
+/// A monotonically increasing counter handle (clone-cheap, lock-free).
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable gauge handle storing an `f64` (clone-cheap, lock-free).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge to `value`.
+    pub fn set(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Shared storage behind a [`Histogram`] handle.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    /// `buckets[i]` counts observations `v` with `bound(i-1) < v <= 2^i`
+    /// (bucket 0 counts `v <= 1`). Non-cumulative; rendering accumulates.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Observations above the largest finite bound (`+Inf` bucket only).
+    overflow: AtomicU64,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            overflow: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket that holds `value`: the smallest `i` with
+/// `value <= 2^i`, or `HISTOGRAM_BUCKETS` for the overflow bucket.
+fn bucket_index(value: u64) -> usize {
+    if value <= 1 {
+        return 0;
+    }
+    // ceil(log2(value)) for value >= 2.
+    let idx = 64 - (value - 1).leading_zeros() as usize;
+    idx.min(HISTOGRAM_BUCKETS)
+}
+
+/// A fixed-bucket log-scale histogram handle for microsecond durations.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Create a detached histogram (not registered anywhere) — useful for
+    /// shard-local accumulation merged later with [`Histogram::merge_from`].
+    pub fn detached() -> Histogram {
+        Histogram(Arc::new(HistogramCore::new()))
+    }
+
+    /// Record one observation (a duration in µs).
+    pub fn observe(&self, value: u64) {
+        let idx = bucket_index(value);
+        if idx < HISTOGRAM_BUCKETS {
+            self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.0.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values (µs).
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Add every bucket, the sum and the count of `other` into `self`.
+    /// Bucket-wise addition is exact: merging shards yields byte-identical
+    /// exposition to observing the same values serially into one histogram.
+    pub fn merge_from(&self, other: &Histogram) {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let n = other.0.buckets[i].load(Ordering::Relaxed);
+            if n > 0 {
+                self.0.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.0
+            .overflow
+            .fetch_add(other.0.overflow.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .sum
+            .fetch_add(other.0.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.0
+            .count
+            .fetch_add(other.0.count.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Non-cumulative bucket counts followed by the overflow count.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let mut counts: Vec<u64> = (0..HISTOGRAM_BUCKETS)
+            .map(|i| self.0.buckets[i].load(Ordering::Relaxed))
+            .collect();
+        counts.push(self.0.overflow.load(Ordering::Relaxed));
+        counts
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile
+    /// (`0.0 < q <= 1.0`), derived from the buckets alone. Returns `None`
+    /// when the histogram is empty and `f64::INFINITY` when the quantile
+    /// falls in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            cumulative += self.0.buckets[i].load(Ordering::Relaxed);
+            if cumulative >= rank {
+                return Some((1u64 << i) as f64);
+            }
+        }
+        Some(f64::INFINITY)
+    }
+}
+
+/// Sorted `(key, value)` label pairs identifying one series in a family.
+type LabelSet = Vec<(String, String)>;
+
+#[derive(Clone, Debug)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    kind: &'static str,
+    help: String,
+    series: BTreeMap<LabelSet, Series>,
+}
+
+/// A registry of named metric families, each holding one or more labeled
+/// series. Registration is get-or-create and idempotent: asking for the same
+/// name+labels again returns a handle to the same storage, so callers may
+/// re-register freely (e.g. per-request label values).
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").finish_non_exhaustive()
+    }
+}
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    let mut set: LabelSet = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    set.sort();
+    set
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: &'static str,
+        help: &str,
+        make: impl FnOnce() -> Series,
+    ) -> Series {
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            help: help.to_string(),
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind, kind,
+            "metric {name:?} registered as {} and {kind}",
+            family.kind
+        );
+        family
+            .series
+            .entry(label_set(labels))
+            .or_insert_with(make)
+            .clone()
+    }
+
+    /// Get-or-create a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Counter {
+        match self.series(name, labels, "counter", help, || {
+            Series::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Series::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-create a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Gauge {
+        match self.series(name, labels, "gauge", help, || {
+            Series::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+        }) {
+            Series::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Get-or-create a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Histogram {
+        match self.series(name, labels, "histogram", help, || {
+            Series::Histogram(Histogram(Arc::new(HistogramCore::new())))
+        }) {
+            Series::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Snapshot every counter series of family `name` as
+    /// `(sorted labels, value)` pairs — used by `/stats`-style renderers that
+    /// need to enumerate label values (e.g. rejection reasons).
+    pub fn counter_values(&self, name: &str) -> Vec<(LabelSet, u64)> {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let Some(family) = families.get(name) else {
+            return Vec::new();
+        };
+        family
+            .series
+            .iter()
+            .filter_map(|(labels, series)| match series {
+                Series::Counter(c) => Some((labels.clone(), c.get())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Render the whole registry in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers per family, then one
+    /// `name{labels} value` line per series (histograms expand to
+    /// `_bucket`/`_sum`/`_count`). Families and series render in sorted
+    /// order, so the output is stable for a fixed set of values.
+    pub fn render_prometheus(&self) -> String {
+        let families = self.families.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&family.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(family.kind);
+            out.push('\n');
+            for (labels, series) in family.series.iter() {
+                match series {
+                    Series::Counter(c) => {
+                        render_series_line(&mut out, name, labels, None, &c.get().to_string());
+                    }
+                    Series::Gauge(g) => {
+                        render_series_line(&mut out, name, labels, None, &g.get().to_string());
+                    }
+                    Series::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        let counts = h.bucket_counts();
+                        for (i, n) in counts.iter().take(HISTOGRAM_BUCKETS).enumerate() {
+                            cumulative += n;
+                            render_series_line(
+                                &mut out,
+                                &format!("{name}_bucket"),
+                                labels,
+                                Some(&(1u64 << i).to_string()),
+                                &cumulative.to_string(),
+                            );
+                        }
+                        cumulative += counts[HISTOGRAM_BUCKETS];
+                        render_series_line(
+                            &mut out,
+                            &format!("{name}_bucket"),
+                            labels,
+                            Some("+Inf"),
+                            &cumulative.to_string(),
+                        );
+                        render_series_line(
+                            &mut out,
+                            &format!("{name}_sum"),
+                            labels,
+                            None,
+                            &h.sum().to_string(),
+                        );
+                        render_series_line(
+                            &mut out,
+                            &format!("{name}_count"),
+                            labels,
+                            None,
+                            &h.count().to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One exposition line: `name{k="v",...,le="..."} value`.
+fn render_series_line(
+    out: &mut String,
+    name: &str,
+    labels: &LabelSet,
+    le: Option<&str>,
+    value: &str,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_value(out, v);
+            out.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+fn escape_label_value(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_ceil_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 35), 35);
+        assert_eq!(bucket_index((1 << 35) + 1), HISTOGRAM_BUCKETS);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_come_from_buckets() {
+        let h = Histogram::detached();
+        for v in [1u64, 2, 2, 100, 100, 100, 100, 100, 100, 4000] {
+            h.observe(v);
+        }
+        // p50 rank 5 of 10 lands in the 100 bucket (upper bound 128).
+        assert_eq!(h.quantile(0.5), Some(128.0));
+        assert_eq!(h.quantile(1.0), Some(4096.0));
+        assert_eq!(h.quantile(0.1), Some(1.0));
+        assert!(Histogram::detached().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let registry = Registry::new();
+        let a = registry.counter("x_total", &[("k", "v")], "help");
+        let b = registry.counter("x_total", &[("k", "v")], "help");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        // Label order does not create a new series.
+        let c = registry.counter("y_total", &[("a", "1"), ("b", "2")], "h");
+        let d = registry.counter("y_total", &[("b", "2"), ("a", "1")], "h");
+        c.inc();
+        assert_eq!(d.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("z", &[], "h");
+        registry.gauge("z", &[], "h");
+    }
+}

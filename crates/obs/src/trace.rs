@@ -1,0 +1,187 @@
+//! Per-request structured spans.
+//!
+//! A [`Trace`] is minted when a request is accepted and threaded (as an
+//! `Arc`) through every stage that touches the request: the connection
+//! thread, the scheduler, the filter and the harness layer each record the
+//! stage durations they own. At response time the accumulated spans render
+//! as a compact JSON object spliced into the NDJSON `done` line.
+//!
+//! Trace ids come from the client's optional `trace-id` header when present
+//! (sanitized); otherwise they are derived deterministically from the
+//! request seed and a process-wide ordinal via [`derive_trace_id`] — a pure
+//! function, so the same `(seed, ordinal)` always yields the same id, while
+//! repeated identical requests differ because the ordinal advances.
+//!
+//! Span durations are wall-clock reads and therefore *not* deterministic;
+//! they annotate responses but never feed the sampled byte stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Process-wide request ordinal backing derived trace ids.
+static ORDINAL: AtomicU64 = AtomicU64::new(0);
+
+/// Claim the next request ordinal (monotonic per process).
+pub fn next_ordinal() -> u64 {
+    ORDINAL.fetch_add(1, Ordering::Relaxed)
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derive a 16-hex-digit trace id from a request seed and ordinal. Pure:
+/// the same `(seed, ordinal)` pair always produces the same id.
+pub fn derive_trace_id(seed: u64, ordinal: u64) -> String {
+    format!("{:016x}", splitmix64(splitmix64(seed) ^ ordinal))
+}
+
+/// True when `id` is usable as a client-supplied trace id: 1–64 characters
+/// drawn from `[A-Za-z0-9_-]`.
+pub fn valid_trace_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+}
+
+/// A per-request span accumulator.
+///
+/// Stages are recorded as `(name, µs)` pairs in first-recorded order;
+/// recording the same stage again adds to its duration (the filter stage,
+/// for example, accumulates across many candidates).
+#[derive(Debug)]
+pub struct Trace {
+    id: String,
+    start: Instant,
+    spans: Mutex<Vec<(&'static str, u64)>>,
+}
+
+impl Trace {
+    /// A trace with an explicit id, started now.
+    pub fn new(id: String) -> Trace {
+        Trace {
+            id,
+            start: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Mint a trace from an optional client-supplied id, falling back to a
+    /// seed-derived id (consuming one process ordinal).
+    pub fn from_client(header: Option<&str>, seed: u64) -> Trace {
+        match header {
+            Some(id) if valid_trace_id(id) => Trace::new(id.to_string()),
+            _ => Trace::new(derive_trace_id(seed, next_ordinal())),
+        }
+    }
+
+    /// The trace id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Monotonic time elapsed since the trace was minted, in µs.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Add `us` microseconds to `stage` (creating the stage on first use).
+    pub fn record(&self, stage: &'static str, us: u64) {
+        let mut spans = self.spans.lock().expect("trace spans poisoned");
+        if let Some(entry) = spans.iter_mut().find(|(name, _)| *name == stage) {
+            entry.1 += us;
+        } else {
+            spans.push((stage, us));
+        }
+    }
+
+    /// Record the time elapsed since `since` against `stage`.
+    pub fn record_since(&self, stage: &'static str, since: Instant) {
+        self.record(stage, since.elapsed().as_micros() as u64);
+    }
+
+    /// Snapshot of the recorded spans in first-recorded order.
+    pub fn spans(&self) -> Vec<(&'static str, u64)> {
+        self.spans.lock().expect("trace spans poisoned").clone()
+    }
+
+    /// Render the trace as a JSON object:
+    /// `{"id":"…","total_us":N,"stages":{"queued":N,…}}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"id\":\"");
+        // Ids are sanitized on ingest; escape defensively anyway.
+        for c in self.id.chars() {
+            match c {
+                '"' | '\\' => {}
+                other => out.push(other),
+            }
+        }
+        out.push_str("\",\"total_us\":");
+        out.push_str(&self.elapsed_us().to_string());
+        out.push_str(",\"stages\":{");
+        let spans = self.spans();
+        for (i, (stage, us)) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(stage);
+            out.push_str("\":");
+            out.push_str(&us.to_string());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ids_are_deterministic_per_seed_and_ordinal() {
+        assert_eq!(derive_trace_id(7, 0), derive_trace_id(7, 0));
+        assert_ne!(derive_trace_id(7, 0), derive_trace_id(7, 1));
+        assert_ne!(derive_trace_id(7, 0), derive_trace_id(8, 0));
+        assert_eq!(derive_trace_id(7, 3).len(), 16);
+    }
+
+    #[test]
+    fn repeated_identical_requests_get_distinct_ids() {
+        let a = Trace::from_client(None, 42);
+        let b = Trace::from_client(None, 42);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn client_ids_are_sanitized() {
+        let ok = Trace::from_client(Some("req-1_A"), 0);
+        assert_eq!(ok.id(), "req-1_A");
+        let bad = Trace::from_client(Some("has space"), 0);
+        assert_ne!(bad.id(), "has space");
+        let long = "x".repeat(65);
+        assert!(!valid_trace_id(&long));
+        assert!(!valid_trace_id(""));
+    }
+
+    #[test]
+    fn spans_accumulate_and_render() {
+        let t = Trace::new("abc".into());
+        t.record("queued", 10);
+        t.record("sampling", 5);
+        t.record("queued", 2);
+        let json = t.render_json();
+        assert!(json.starts_with("{\"id\":\"abc\",\"total_us\":"), "{json}");
+        assert!(
+            json.ends_with(",\"stages\":{\"queued\":12,\"sampling\":5}}"),
+            "{json}"
+        );
+    }
+}

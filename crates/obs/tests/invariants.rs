@@ -1,0 +1,137 @@
+//! Observability invariants: histogram shard-merge exactness, exposition
+//! grammar, and flight-ring wrap correctness under concurrent writers.
+
+use clgen_obs::{FlightRecorder, Histogram, Registry};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merging per-shard histograms is exactly equivalent to observing the
+    /// same values serially into one histogram: identical buckets, sum,
+    /// count — and therefore identical rendered exposition and quantiles.
+    #[test]
+    fn histogram_shard_merge_equals_serial(
+        values in proptest::collection::vec(0u64..=1u64 << 40, 0..200),
+        shards in 1usize..6,
+    ) {
+        let serial = Histogram::detached();
+        for &v in &values {
+            serial.observe(v);
+        }
+
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::detached()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            parts[i % shards].observe(v);
+        }
+        let merged = Histogram::detached();
+        for part in &parts {
+            merged.merge_from(part);
+        }
+
+        prop_assert_eq!(merged.bucket_counts(), serial.bucket_counts());
+        prop_assert_eq!(merged.sum(), serial.sum());
+        prop_assert_eq!(merged.count(), serial.count());
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.quantile(q), serial.quantile(q));
+        }
+    }
+}
+
+/// Every line of the rendered exposition matches the Prometheus text
+/// grammar: a `# HELP`/`# TYPE` comment or `name{labels} value`.
+#[test]
+fn exposition_parses_line_by_line() {
+    let registry = Registry::new();
+    registry
+        .counter(
+            "clgen_requests_total",
+            &[("endpoint", "synthesize")],
+            "Requests",
+        )
+        .add(3);
+    registry.gauge("clgen_queue_depth", &[], "Depth").set(2.0);
+    let h = registry.histogram(
+        "clgen_request_latency_us",
+        &[("endpoint", "drive"), ("outcome", "ok")],
+        "Latency",
+    );
+    h.observe(17);
+    h.observe(90_000);
+
+    let text = registry.render_prometheus();
+    assert!(!text.is_empty());
+    let mut histogram_count_line = false;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("HELP ") || rest.starts_with("TYPE "),
+                "bad comment: {line}"
+            );
+            continue;
+        }
+        // name[{labels}] value
+        let (series, value) = line.rsplit_once(' ').expect("space-separated value");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        let name = series.split('{').next().expect("metric name");
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        if let Some(labels) = series.strip_prefix(name) {
+            if !labels.is_empty() {
+                assert!(labels.starts_with('{') && labels.ends_with('}'), "{line}");
+                for pair in labels[1..labels.len() - 1].split(',') {
+                    let (k, v) = pair.split_once('=').expect("k=v label");
+                    assert!(!k.is_empty());
+                    assert!(v.starts_with('"') && v.ends_with('"'), "{line}");
+                }
+            }
+        }
+        if series.starts_with("clgen_request_latency_us_count") {
+            histogram_count_line = true;
+            assert_eq!(value, "2");
+        }
+    }
+    assert!(histogram_count_line, "histogram _count rendered:\n{text}");
+    // The +Inf bucket closes every histogram series.
+    assert!(text.contains("le=\"+Inf\"} 2"), "{text}");
+}
+
+/// After T >= capacity concurrent records, the ring holds exactly the last
+/// `capacity` sequence numbers — no duplicates, no holes, no stale seqs.
+#[test]
+fn flight_ring_wrap_is_exact_under_concurrent_writers() {
+    const CAP: usize = 64;
+    const WRITERS: usize = 8;
+    const PER_WRITER: usize = 100;
+    let ring = Arc::new(FlightRecorder::new(CAP));
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let ring = Arc::clone(&ring);
+            thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    ring.record("evt", format!("w{w}i{i}"));
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer thread");
+    }
+
+    let total = (WRITERS * PER_WRITER) as u64;
+    assert_eq!(ring.recorded(), total);
+    let seqs: Vec<u64> = ring.snapshot().iter().map(|e| e.seq).collect();
+    let expected: Vec<u64> = (total - CAP as u64..total).collect();
+    assert_eq!(seqs, expected, "ring holds exactly the last {CAP} seqs");
+
+    let dump = ring.dump("test");
+    assert_eq!(dump.lines().count(), CAP + 1);
+    assert!(dump.starts_with("{\"event\":\"flight_dump\",\"reason\":\"test\""));
+}

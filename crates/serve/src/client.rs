@@ -301,6 +301,13 @@ pub fn synthesize(addr: SocketAddr, params: &SynthesisParams) -> io::Result<Resp
     post(addr, &synthesize_target(params))
 }
 
+/// Strip the additive trace annotations (the done line's `"trace"` object
+/// and the harness event lines' `"trace_id"` field) from a response body,
+/// recovering the deterministic bytes the byte-identity guarantee covers.
+pub fn strip_traces(body: &str) -> String {
+    crate::json::strip_trace_body(body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

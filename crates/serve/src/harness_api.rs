@@ -21,6 +21,7 @@ use crate::json;
 use crate::scheduler::SchedMsg;
 use crate::server::{client_disconnected, stream_synthesis, write_error, Shared, MAX_DEADLINE_MS};
 use clgen_harness::{Deadline, Harness, HarnessReport};
+use clgen_obs::Trace;
 use grewe_features::FeatureSet;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -111,6 +112,7 @@ pub(crate) fn build_harness(shared: &Shared, params: &DriveParams) -> Harness {
         config.feature_set = feature_set;
     }
     Harness::new(config, shared.config.mapping_model.clone())
+        .with_metrics(shared.metrics.registry.clone())
 }
 
 /// Resolve the request's deadline (its own `deadline_ms`, else the server
@@ -144,11 +146,7 @@ fn admit<'a>(stream: &mut TcpStream, shared: &'a Shared) -> Option<QueueSlot<'a>
     let slot = QueueSlot(&shared.queued);
     if depth >= shared.config.queue_cap || shared.shutdown.load(Ordering::SeqCst) {
         drop(slot);
-        shared
-            .aggregate
-            .lock()
-            .expect("aggregate lock")
-            .requests_rejected += 1;
+        shared.metrics.requests_rejected.inc();
         let _ = http::write_response_with(
             stream,
             503,
@@ -202,10 +200,21 @@ pub(crate) fn handle_drive(
     shared: &Shared,
     stage: DriveStage,
 ) {
+    let endpoint = match stage {
+        DriveStage::Runs => "drive",
+        DriveStage::Features => "features",
+    };
+    let received_at = Instant::now();
+    let finish = |outcome: &'static str| {
+        shared
+            .metrics
+            .observe_latency(endpoint, outcome, received_at.elapsed().as_micros() as u64);
+    };
     let params = match parse_drive_params(&request) {
         Ok(params) => params,
         Err(message) => {
             write_error(&mut stream, 400, "Bad Request", &message);
+            finish("bad_request");
             return;
         }
     };
@@ -218,12 +227,20 @@ pub(crate) fn handle_drive(
                 "Bad Request",
                 "request body must be non-empty UTF-8 OpenCL source",
             );
+            finish("bad_request");
             return;
         }
     };
     let Some(_slot) = admit(&mut stream, shared) else {
+        finish("rejected");
         return;
     };
+    let trace = Trace::from_client(
+        request.header("trace-id"),
+        params
+            .drive_seed
+            .unwrap_or(shared.config.harness.driver.seed),
+    );
     let deadline = drive_deadline(&params, shared);
     let harness = build_harness(shared, &params);
     // The harness runs on this connection thread; its per-unit catch_unwind
@@ -235,28 +252,48 @@ pub(crate) fn handle_drive(
             // The response head is not yet written, so a source-level
             // failure is still a clean typed error.
             write_error(&mut stream, 422, "Unprocessable Entity", &e.to_string());
+            finish("unprocessable");
             return;
         }
     };
-    shared
-        .harness_counters
-        .lock()
-        .expect("harness counters lock")
-        .merge(&report.counters());
+    record_stage_spans(&trace, &report);
     if client_disconnected(&stream) {
+        finish("disconnect");
         return;
     }
+    let respond_started = Instant::now();
     let Ok(mut chunks) = http::ChunkedWriter::new(&mut stream, 200, "OK", "application/x-ndjson")
     else {
+        finish("disconnect");
         return;
     };
+    let trace_tag = format!("\"trace_id\":{}", json::escaped(trace.id()));
     for line in stage_lines(&report, stage) {
+        let line = json::splice_field(&line, &trace_tag);
         if chunks.chunk(format!("{line}\n").as_bytes()).is_err() {
+            finish("disconnect");
             return;
         }
     }
-    let _ = chunks.chunk(format!("{}\n", done_line(&report, harness.has_model())).as_bytes());
+    trace.record_since("respond", respond_started);
+    let done = json::splice_field(
+        &done_line(&report, harness.has_model()),
+        &format!("\"trace\":{}", trace.render_json()),
+    );
+    let _ = chunks.chunk(format!("{done}\n").as_bytes());
+    // Sample before the terminating chunk: a client that has seen the full
+    // response is guaranteed to find it on an immediate `/metrics` scrape.
+    finish("ok");
     let _ = chunks.finish();
+}
+
+/// Fold a report's per-stage wall-clock totals into a trace: `drive` (unit
+/// execution), `features` (extraction) and `predict` (mapping inference).
+fn record_stage_spans(trace: &Trace, report: &HarnessReport) {
+    let (run_us, features_us, predict_us) = report.stage_timing_us();
+    trace.record("drive", run_us);
+    trace.record("features", features_us);
+    trace.record("predict", predict_us);
 }
 
 /// `POST /pipeline`: synthesize kernels through the batching scheduler and
@@ -277,55 +314,73 @@ pub(crate) fn handle_pipeline(
         }
     };
     let harness = build_harness(shared, &params);
-    stream_synthesis(request, stream, tx, shared, Some(harness));
+    stream_synthesis(request, stream, tx, shared, Some(harness), "pipeline");
 }
 
-/// Render the harness block of `/stats`.
+/// Render the harness block of `/stats` from the shared registry — the same
+/// `clgen_harness_*` series `GET /metrics` exposes, so the two views agree.
 pub(crate) fn render_harness_stats(shared: &Shared) -> String {
-    let c = shared
-        .harness_counters
-        .lock()
-        .expect("harness counters lock");
+    let registry = &shared.metrics.registry;
+    let outcomes = registry.counter_values("clgen_harness_units_total");
+    let total: u64 = outcomes.iter().map(|(_, v)| v).sum();
+    let by_outcome = |wanted: &str| -> u64 {
+        outcomes
+            .iter()
+            .find(|(labels, _)| labels.iter().any(|(k, v)| k == "outcome" && v == wanted))
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let kernels_driven = registry
+        .counter("clgen_harness_kernels_driven_total", &[], "")
+        .get();
+    let predictions = registry
+        .counter("clgen_harness_predictions_total", &[], "")
+        .get();
     format!(
         "{{\"model\":{},\"kernels_driven\":{},\"units\":{{\"total\":{},\"ok\":{},\
          \"budget_killed\":{},\"panicked\":{}}},\"predictions\":{}}}",
         shared.config.mapping_model.is_some(),
-        c.kernels_driven,
-        c.units_total,
-        c.units_ok,
-        c.units_budget_killed,
-        c.units_panicked,
-        c.predictions,
+        kernels_driven,
+        total,
+        by_outcome("ok"),
+        by_outcome("budget_killed"),
+        by_outcome("panicked"),
+        predictions,
     )
 }
 
 /// The harness NDJSON lines for one synthesized kernel inside `/pipeline`:
-/// drive the kernel extracted from the rendered synthesis line, fold the
-/// report's counters into the shared `/stats` block, and return the staged
-/// event lines. A source the harness cannot compile (synthesized kernels
-/// passed the rejection filter, so this is rare) becomes one typed
-/// `harness_error` line — it must not kill the stream.
+/// drive the kernel extracted from the rendered synthesis line (the harness
+/// reports its counters into the shared registry itself), tag each event
+/// line with the request's trace id, and return the staged event lines. A
+/// source the harness cannot compile (synthesized kernels passed the
+/// rejection filter, so this is rare) becomes one typed `harness_error`
+/// line — it must not kill the stream.
 pub(crate) fn pipeline_lines(
     harness: &Harness,
-    shared: &Shared,
     kernel_line: &str,
     deadline: &Deadline,
+    trace: &Trace,
 ) -> Vec<String> {
     let Some(source) = json::extract_str(kernel_line, "kernel") else {
         return Vec::new();
     };
+    let trace_tag = format!("\"trace_id\":{}", json::escaped(trace.id()));
     match harness.drive_source(&source, deadline) {
         Ok(report) => {
-            shared
-                .harness_counters
-                .lock()
-                .expect("harness counters lock")
-                .merge(&report.counters());
-            report.ndjson()
+            record_stage_spans(trace, &report);
+            report
+                .ndjson()
+                .into_iter()
+                .map(|line| json::splice_field(&line, &trace_tag))
+                .collect()
         }
-        Err(e) => vec![format!(
-            "{{\"event\":\"harness_error\",\"detail\":{}}}",
-            json::escaped(&e.to_string())
+        Err(e) => vec![json::splice_field(
+            &format!(
+                "{{\"event\":\"harness_error\",\"detail\":{}}}",
+                json::escaped(&e.to_string())
+            ),
+            &trace_tag,
         )],
     }
 }

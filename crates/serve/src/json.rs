@@ -78,9 +78,107 @@ pub fn extract_str(json: &str, key: &str) -> Option<String> {
     }
 }
 
+/// Splice an already-rendered `"key":value` fragment into a one-line JSON
+/// object, immediately before its final `}`. Used to attach the additive
+/// `"trace"` object (and `"trace_id"` field) to lines rendered by
+/// deterministic code that must stay trace-free.
+pub fn splice_field(line: &str, fragment: &str) -> String {
+    match line.rfind('}') {
+        Some(end) => {
+            let mut out = String::with_capacity(line.len() + fragment.len() + 1);
+            out.push_str(&line[..end]);
+            if !line[..end].ends_with('{') {
+                out.push(',');
+            }
+            out.push_str(fragment);
+            out.push_str(&line[end..]);
+            out
+        }
+        None => line.to_string(),
+    }
+}
+
+/// Strip the trace annotations [`splice_field`] attaches — the
+/// `,"trace":{…}` object and the `,"trace_id":"…"` field — from one NDJSON
+/// line, recovering the deterministic bytes underneath. The needles contain
+/// unescaped quotes, so they can never match inside a JSON string value
+/// (where quotes are `\"`-escaped).
+pub fn strip_trace(line: &str) -> String {
+    let mut out = line.to_string();
+    if let Some(start) = out.find(",\"trace\":{") {
+        // Brace-scan to the matching close; trace payloads contain no
+        // braces inside strings (ids and stage names are sanitized).
+        let open = start + ",\"trace\":".len();
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, b) in out[open..].bytes().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(open + i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(end) = end {
+            out.replace_range(start..end, "");
+        }
+    }
+    if let Some(start) = out.find(",\"trace_id\":\"") {
+        let open = start + ",\"trace_id\":\"".len();
+        if let Some(close) = out[open..].find('"') {
+            out.replace_range(start..open + close + 1, "");
+        }
+    }
+    out
+}
+
+/// [`strip_trace`] applied to every line of a response body.
+pub fn strip_trace_body(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    for line in body.lines() {
+        out.push_str(&strip_trace(line));
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn splice_and_strip_are_inverses() {
+        let line = "{\"done\":true,\"kernels\":1,\"rejected\":{}}";
+        let spliced = splice_field(
+            line,
+            "\"trace\":{\"id\":\"ab\",\"total_us\":9,\"stages\":{\"queued\":1}}",
+        );
+        assert!(
+            spliced.ends_with("\"stages\":{\"queued\":1}}}"),
+            "{spliced}"
+        );
+        assert_eq!(strip_trace(&spliced), line);
+
+        let event = "{\"event\":\"run\",\"kernel\":\"a\"}";
+        let tagged = splice_field(event, "\"trace_id\":\"deadbeef\"");
+        assert_eq!(
+            tagged,
+            "{\"event\":\"run\",\"kernel\":\"a\",\"trace_id\":\"deadbeef\"}"
+        );
+        assert_eq!(strip_trace(&tagged), event);
+
+        // A kernel whose source mentions trace keys cannot fool the strip:
+        // quotes inside JSON strings are escaped, so the needle never
+        // matches string content.
+        let hostile = "{\"kernel\":\"x ,\\\"trace\\\":{ y\",\"attempts\":1}";
+        assert_eq!(strip_trace(hostile), hostile);
+        assert_eq!(strip_trace_body("{\"a\":1}\n"), "{\"a\":1}\n");
+    }
 
     #[test]
     fn escaping_roundtrips_through_extraction() {

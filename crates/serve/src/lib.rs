@@ -28,6 +28,8 @@
 //! | `POST /pipeline?count=&seed=&sizes=&drive_seed=&feature_set=&deadline_ms=…` | The paper's loop over one socket: synthesis through the batching scheduler, each accepted `kernel` line followed inline by its `run`, `features` and `prediction` events, then the synthesis summary. |
 //! | `GET /healthz` | Liveness + supervisor health: `ok`/`degraded`/`failed` with restart counts (`503` once failed). |
 //! | `GET /stats` | Aggregate throughput ([`StatsSummary`](clgen::StatsSummary)), lane occupancy, queue depth, request counters, harness counters, health. |
+//! | `GET /metrics` | The full metric catalog in the Prometheus text exposition format — request-latency histograms by endpoint and outcome, queue depth/wait, lane occupancy, filter accept/reject, harness unit outcomes, supervisor restarts. Rendered from the same atomics as `/stats`. |
+//! | `GET /debug/flight` | The flight recorder's recent-event ring as NDJSON (admissions, sheds, reaps, sampling steps, faults). Gated behind `--debug-flight`; `404` otherwise. |
 //! | `POST /shutdown` | Graceful shutdown with a bounded drain: in-flight requests finish, or get `503` once the drain timeout passes. |
 //!
 //! `prediction` events carry the CPU/GPU class from the `CLGENPRD` mapping
@@ -69,6 +71,13 @@
 //! [`scheduler`] docs). The property is exercised end-to-end over real
 //! sockets in `tests/serve_roundtrip.rs`.
 //!
+//! Observability is **additive** on top of that guarantee: instrumentation
+//! reads monotonic clocks but never feeds sampled bytes, so the only
+//! timing-dependent bytes in a response are the spliced `"trace"` object on
+//! the done line and the `"trace_id"` field on harness event lines. Strip
+//! them with [`json::strip_trace_body`] (or [`client::strip_traces`]) to
+//! recover the byte-identical deterministic body.
+//!
 //! ```no_run
 //! use clgen::TrainedModel;
 //! use clgen_serve::{Server, ServerConfig};
@@ -86,13 +95,12 @@ pub mod faults;
 pub mod harness_api;
 pub mod http;
 pub mod json;
+mod metrics;
 pub mod scheduler;
 pub mod server;
 
 pub use faults::{FaultPlan, FaultPoint};
-pub use scheduler::{
-    Aggregate, ResponseEvent, ServeError, ServiceHealth, Supervisor, SynthesisParams,
-};
+pub use scheduler::{ResponseEvent, ServeError, ServiceHealth, Supervisor, SynthesisParams};
 pub use server::{Server, ServerConfig, ServerHandle, MAX_DEADLINE_MS};
 
 /// Default cap on candidates sampled per requested kernel when a request

@@ -6,6 +6,7 @@
 //!             [--queue-cap 64] [--read-timeout-ms N] [--write-timeout-ms N]
 //!             [--drain-timeout-ms N] [--deadline-ms N]
 //!             [--restart-budget N] [--restart-window-ms N] [--faults PLAN]
+//!             [--debug-flight]
 //! ```
 //!
 //! `--mapping-model` loads a `CLGENPRD` decision-tree checkpoint so the
@@ -16,7 +17,14 @@
 //! Each resilience flag also reads a `CLGEN_SERVE_*` environment variable
 //! (`READ_TIMEOUT_MS`, `WRITE_TIMEOUT_MS`, `DRAIN_TIMEOUT_MS`,
 //! `DEADLINE_MS`, `RESTART_BUDGET`, `RESTART_WINDOW_MS`, `FAULTS`,
-//! `MAPPING_MODEL`), with the flag winning when both are set.
+//! `MAPPING_MODEL`, `DEBUG_FLIGHT`), with the flag winning when both are
+//! set.
+//!
+//! The binary wires the process-global metric registry into the server, so
+//! `GET /metrics` exposes the whole process (training hooks included).
+//! `--debug-flight` additionally serves the flight recorder's recent-event
+//! ring at `GET /debug/flight`; the ring dumps to stderr on sampler-core
+//! panics, reload failures and restart-budget exhaustion regardless.
 //!
 //! The process runs until a client sends `POST /shutdown`, then shuts down
 //! gracefully (in-flight requests drain, bounded by the drain timeout) and
@@ -36,7 +44,7 @@ const USAGE: &str = "usage: clgen-serve --checkpoint PATH \
                      [--read-timeout-ms N] [--write-timeout-ms N] \
                      [--drain-timeout-ms N] [--deadline-ms N] \
                      [--restart-budget N] [--restart-window-ms N] \
-                     [--faults PLAN]";
+                     [--faults PLAN] [--debug-flight]";
 
 /// Load a `CLGENPRD` mapping-model checkpoint into the config.
 fn load_mapping_model(config: &mut ServerConfig, path: &str) -> Result<(), String> {
@@ -82,6 +90,9 @@ fn apply_env(config: &mut ServerConfig) -> Result<(), String> {
     }
     if let Some(path) = var("MAPPING_MODEL") {
         load_mapping_model(config, &path)?;
+    }
+    if let Some(raw) = var("DEBUG_FLIGHT") {
+        config.debug_flight = raw != "0" && !raw.is_empty();
     }
     config.faults = FaultPlan::from_env()?;
     Ok(())
@@ -144,6 +155,7 @@ fn main() -> ExitCode {
                     load_mapping_model(&mut config, &value("--mapping-model")?)?;
                 }
                 "--faults" => config.faults = FaultPlan::parse(&value("--faults")?)?,
+                "--debug-flight" => config.debug_flight = true,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -171,6 +183,7 @@ fn main() -> ExitCode {
     };
     let backend = model.backend_kind();
     let lanes = config.lanes;
+    config.metrics = Some(clgen_obs::global());
     if config.faults.is_active() {
         eprintln!("clgen-serve: fault injection ACTIVE (not a production configuration)");
     }

@@ -60,6 +60,7 @@
 
 use crate::faults::{FaultPlan, FaultPoint};
 use crate::json;
+use crate::metrics::ServeMetrics;
 use clgen::stream::{filter_candidate, stream_seed};
 use clgen::synthesizer::SynthesizedKernel;
 use clgen::{
@@ -67,6 +68,7 @@ use clgen::{
 };
 use clgen_corpus::filter::FilterConfig;
 use clgen_corpus::RejectReason;
+use clgen_obs::{FlightRecorder, Trace};
 use rayon::prelude::*;
 use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
@@ -138,6 +140,12 @@ pub struct Job {
     pub params: SynthesisParams,
     /// Absolute deadline resolved at admission time (`None` = no deadline).
     pub deadline: Option<Instant>,
+    /// When the job entered the admission queue (drives the queue-wait
+    /// metrics and the trace's `queued` span).
+    pub enqueued_at: Instant,
+    /// The request's span accumulator; the scheduler records the `queued`,
+    /// `sampling` and `filter` stages into it.
+    pub trace: Arc<Trace>,
     /// Where response lines are streamed.
     pub reply: mpsc::Sender<ResponseEvent>,
     /// Set by the connection handler when it observes the client has gone
@@ -166,31 +174,9 @@ pub struct Filtered {
     ticket: u64,
     candidate: SampledCandidate,
     verdict: Result<SynthesizedKernel, RejectReason>,
-}
-
-/// Aggregate service statistics shared with the HTTP front-end.
-#[derive(Debug, Default)]
-pub struct Aggregate {
-    /// Totals over every candidate absorbed into a response.
-    pub summary: StatsSummary,
-    /// Requests accepted onto the queue.
-    pub requests_received: u64,
-    /// Requests fully answered.
-    pub requests_completed: u64,
-    /// Requests rejected with 503 (queue full).
-    pub requests_rejected: u64,
-    /// Requests shed from the queue because their deadline had already
-    /// passed before the sampler core could start them.
-    pub requests_shed: u64,
-    /// Requests that hit their deadline mid-flight and returned a partial
-    /// response with a `timeout` marker.
-    pub requests_timed_out: u64,
-    /// Requests aborted by a sampler-core panic or a drain timeout.
-    pub requests_failed: u64,
-    /// Lanes running a candidate after the most recent round.
-    pub lanes_busy: usize,
-    /// Requests currently active in the sampler core.
-    pub active_requests: usize,
+    /// Wall-clock cost of this candidate's filter verdict (µs), accumulated
+    /// into the owning request's `filter` trace span.
+    filter_us: u64,
 }
 
 /// Service health as reported by `/healthz`.
@@ -297,12 +283,26 @@ struct ActiveRequest {
     params: SynthesisParams,
     deadline: Option<Instant>,
     reply: mpsc::Sender<ResponseEvent>,
+    /// When the request was activated (starts the `sampling` trace span).
+    admitted_at: Instant,
+    /// Accumulated filter wall-clock across this request's candidates (µs).
+    filter_us: u64,
+    /// Span accumulator shared with the connection thread.
+    trace: Arc<Trace>,
     /// Candidates handed to lanes so far.
     next_dispatch: u64,
     /// Next candidate index to fold into the response.
     next_absorb: u64,
-    /// Filter verdicts that arrived ahead of `next_absorb`.
-    pending: HashMap<u64, (SampledCandidate, Result<SynthesizedKernel, RejectReason>)>,
+    /// Filter verdicts that arrived ahead of `next_absorb`, with their
+    /// filter cost in µs.
+    pending: HashMap<
+        u64,
+        (
+            SampledCandidate,
+            Result<SynthesizedKernel, RejectReason>,
+            u64,
+        ),
+    >,
     /// Accumulation since the last accepted kernel.
     window: KernelStats,
     /// Request totals (drives the trailing summary line).
@@ -420,7 +420,8 @@ struct Scheduler {
     backlog: VecDeque<Job>,
     active: Vec<ActiveRequest>,
     queued: Arc<AtomicUsize>,
-    aggregate: Arc<Mutex<Aggregate>>,
+    metrics: Arc<ServeMetrics>,
+    flight: Arc<FlightRecorder>,
     faults: FaultPlan,
     seed_text: String,
     next_key: u32,
@@ -449,8 +450,10 @@ impl Scheduler {
                     // timed out, or its client went away) simply drops late
                     // verdicts.
                     if let Some(req) = self.active.iter_mut().find(|r| r.key == key) {
-                        req.pending
-                            .insert(ticket_index(item.ticket), (item.candidate, item.verdict));
+                        req.pending.insert(
+                            ticket_index(item.ticket),
+                            (item.candidate, item.verdict, item.filter_us),
+                        );
                     }
                 }
             }
@@ -463,9 +466,9 @@ impl Scheduler {
 
     /// Fold every in-order verdict of every request into its response,
     /// completing requests that reach their target, their attempt cap or
-    /// their deadline. The aggregate statistics are merged *before* the
-    /// final `Done` line is sent, so `/stats` read after a completed
-    /// response reflects it.
+    /// their deadline. The metric counters are bumped *before* the final
+    /// `Done` line is sent, so `/stats` (or `/metrics`) read after a
+    /// completed response reflects it.
     fn absorb_all(&mut self, engine: &mut BatchEngine<'_>) {
         let mut i = 0;
         while i < self.active.len() {
@@ -479,14 +482,29 @@ impl Scheduler {
                         engine.abort(lane);
                     }
                 }
-                {
-                    let mut agg = self.aggregate.lock().expect("aggregate lock");
-                    agg.summary.merge_summary(&req.summary);
-                    agg.summary.merge_window(&req.window);
-                    agg.requests_completed += 1;
-                    agg.requests_timed_out += u64::from(req.timed_out);
-                    agg.active_requests = self.active.len();
+                // `window` is already folded into `summary` on the partial-
+                // response paths and empty there; on the satisfied path it
+                // holds the trailing rejections after the last acceptance.
+                self.metrics.kernels.add(req.summary.kernels as u64);
+                self.metrics
+                    .attempts
+                    .add((req.summary.attempts + req.window.attempts) as u64);
+                self.metrics
+                    .generated_chars
+                    .add((req.summary.generated_chars + req.window.generated_chars) as u64);
+                self.metrics.filter_accepted.add(req.summary.kernels as u64);
+                for (reason, &count) in req.summary.rejected.iter().chain(&req.window.rejected) {
+                    self.metrics
+                        .filter_rejected(&reason.to_string())
+                        .add(count as u64);
                 }
+                self.metrics.requests_completed.inc();
+                if req.timed_out {
+                    self.metrics.requests_timed_out.inc();
+                }
+                self.metrics.active_requests.set(self.active.len() as f64);
+                req.trace.record_since("sampling", req.admitted_at);
+                req.trace.record("filter", req.filter_us);
                 let _ = req.reply.send(ResponseEvent::Done(done_line));
             } else {
                 i += 1;
@@ -497,9 +515,10 @@ impl Scheduler {
     /// Absorb one request's ready verdicts in candidate order. Returns the
     /// rendered summary line once the request is complete.
     fn absorb_request(req: &mut ActiveRequest) -> Option<String> {
-        while let Some((candidate, verdict)) = req.pending.remove(&req.next_absorb) {
+        while let Some((candidate, verdict, filter_us)) = req.pending.remove(&req.next_absorb) {
             let index = req.next_absorb;
             req.next_absorb += 1;
+            req.filter_us += filter_us;
             req.window.attempts += 1;
             req.window.generated_chars += candidate.generated_chars;
             match verdict {
@@ -551,11 +570,21 @@ impl Scheduler {
         }
         let now = Instant::now();
         let queued = &self.queued;
-        let mut shed = 0u64;
+        let metrics = &self.metrics;
+        let flight = &self.flight;
         self.backlog.retain(|job| {
             if job.deadline.is_some_and(|d| d <= now) {
                 queued.fetch_sub(1, Ordering::SeqCst);
-                shed += 1;
+                // Recorded here — on the shared sweep reached from both the
+                // busy loop and the idle `recv_timeout` tick — so sheds are
+                // counted even with zero concurrent traffic.
+                let wait_us = job.enqueued_at.elapsed().as_micros() as u64;
+                metrics.queue_wait_shed.observe(wait_us);
+                metrics.requests_shed.inc();
+                flight.record(
+                    "shed",
+                    format!("trace={} wait_us={wait_us}", job.trace.id()),
+                );
                 let _ = job.reply.send(ResponseEvent::Error(ServeError {
                     status: 503,
                     retry_after: Some(1),
@@ -566,9 +595,6 @@ impl Scheduler {
                 true
             }
         });
-        if shed > 0 {
-            self.aggregate.lock().expect("aggregate lock").requests_shed += shed;
-        }
     }
 
     /// Mark in-flight requests whose deadline has passed and complete them
@@ -582,6 +608,8 @@ impl Scheduler {
         for req in &mut self.active {
             if !req.timed_out && req.deadline.is_some_and(|d| d <= now) {
                 req.timed_out = true;
+                self.flight
+                    .record("reap", format!("trace={} key={}", req.trace.id(), req.key));
                 any = true;
             }
         }
@@ -600,12 +628,27 @@ impl Scheduler {
             self.queued.fetch_sub(1, Ordering::SeqCst);
             let key = self.next_key;
             self.next_key = self.next_key.wrapping_add(1);
+            let wait_us = job.enqueued_at.elapsed().as_micros() as u64;
+            self.metrics.queue_wait_admitted.observe(wait_us);
+            job.trace.record("queued", wait_us);
+            self.flight.record(
+                "admit",
+                format!(
+                    "trace={} key={key} seed={} count={} wait_us={wait_us}",
+                    job.trace.id(),
+                    job.params.seed,
+                    job.params.count
+                ),
+            );
             self.active.push(ActiveRequest {
                 key,
                 params: job.params,
                 deadline: job.deadline,
                 reply: job.reply,
                 cancelled: job.cancelled,
+                admitted_at: Instant::now(),
+                filter_us: 0,
+                trace: job.trace,
                 next_dispatch: 0,
                 next_absorb: 0,
                 pending: HashMap::new(),
@@ -660,9 +703,8 @@ impl Scheduler {
     }
 
     fn publish(&self, engine: &BatchEngine<'_>) {
-        let mut agg = self.aggregate.lock().expect("aggregate lock");
-        agg.lanes_busy = engine.occupied_lanes();
-        agg.active_requests = self.active.len();
+        self.metrics.lanes_busy.set(engine.occupied_lanes() as f64);
+        self.metrics.active_requests.set(self.active.len() as f64);
     }
 
     /// Fail every in-flight request with `error`, dropping the requests (the
@@ -673,10 +715,9 @@ impl Scheduler {
         for req in self.active.drain(..) {
             let _ = req.reply.send(ResponseEvent::Error(error.clone()));
         }
-        let mut agg = self.aggregate.lock().expect("aggregate lock");
-        agg.requests_failed += n;
-        agg.active_requests = 0;
-        agg.lanes_busy = 0;
+        self.metrics.requests_failed.add(n);
+        self.metrics.active_requests.set(0.0);
+        self.metrics.lanes_busy.set(0.0);
     }
 
     /// Fail every queued job with `error` (shutdown gave up on them).
@@ -686,12 +727,7 @@ impl Scheduler {
             self.queued.fetch_sub(1, Ordering::SeqCst);
             let _ = job.reply.send(ResponseEvent::Error(error.clone()));
         }
-        if n > 0 {
-            self.aggregate
-                .lock()
-                .expect("aggregate lock")
-                .requests_failed += n;
-        }
+        self.metrics.requests_failed.add(n);
     }
 
     /// The drain deadline passed with work still in the system: answer
@@ -759,8 +795,12 @@ impl Scheduler {
             self.absorb_all(engine);
             self.admit(engine);
             if self.faults.fire(FaultPoint::SamplerPanic).is_some() {
+                self.flight.record("fault", "sampler_panic".to_string());
                 panic!("injected fault: sampler_panic");
             }
+            self.metrics
+                .lane_occupancy
+                .observe(engine.occupied_lanes() as u64);
             completed.clear();
             {
                 // Lanes whose request is gone (completed, expired, or its
@@ -776,6 +816,8 @@ impl Scheduler {
                 });
             }
             if !completed.is_empty() {
+                self.flight
+                    .record("step", format!("completed={}", completed.len()));
                 if self.filter_tx.send(std::mem::take(&mut completed)).is_err() {
                     // The filter thread died; nothing can complete any more.
                     return Exit::Finished;
@@ -798,7 +840,8 @@ pub(crate) struct CoreContext {
     /// with); every respawn decodes a fresh model from it.
     pub checkpoint: Arc<Vec<u8>>,
     pub queued: Arc<AtomicUsize>,
-    pub aggregate: Arc<Mutex<Aggregate>>,
+    pub metrics: Arc<ServeMetrics>,
+    pub flight: Arc<FlightRecorder>,
     pub supervisor: Arc<Supervisor>,
     pub faults: FaultPlan,
     /// Server shutdown flag + bound address: budget exhaustion triggers the
@@ -844,6 +887,7 @@ pub(crate) fn run_sampler_core(
             let filtered: Vec<Filtered> = batch
                 .into_par_iter()
                 .map(|(ticket, candidate)| {
+                    let started = Instant::now();
                     let verdict = catch_unwind(AssertUnwindSafe(|| {
                         if filter_faults.fire(FaultPoint::FilterPanic).is_some() {
                             panic!("injected fault: filter_panic");
@@ -855,6 +899,7 @@ pub(crate) fn run_sampler_core(
                         ticket,
                         candidate,
                         verdict,
+                        filter_us: started.elapsed().as_micros() as u64,
                     }
                 })
                 .collect();
@@ -870,7 +915,8 @@ pub(crate) fn run_sampler_core(
         backlog: VecDeque::new(),
         active: Vec::new(),
         queued: ctx.queued.clone(),
-        aggregate: ctx.aggregate.clone(),
+        metrics: ctx.metrics.clone(),
+        flight: ctx.flight.clone(),
         faults: ctx.faults.clone(),
         seed_text: ctx.seed_text.clone(),
         next_key: 0,
@@ -890,6 +936,8 @@ pub(crate) fn run_sampler_core(
             None => {
                 let mut image = ctx.checkpoint.as_ref().clone();
                 if let Some(index) = ctx.faults.corrupt_reload(&mut image) {
+                    ctx.flight
+                        .record("fault", format!("corrupt_reload byte={index}"));
                     eprintln!(
                         "clgen-serve: injected fault: corrupt_reload (byte {index} of the \
                          checkpoint image)"
@@ -898,7 +946,10 @@ pub(crate) fn run_sampler_core(
                 match TrainedModel::from_bytes(&image) {
                     Ok(model) => model,
                     Err(e) => {
+                        ctx.flight.record("reload_failure", format!("{e}"));
+                        eprint!("{}", ctx.flight.dump("reload_failure"));
                         eprintln!("clgen-serve: checkpoint reload failed: {e}; retrying");
+                        ctx.metrics.supervisor_restarts.inc();
                         if ctx.supervisor.record_restart() {
                             give_up(&mut sched, &ctx);
                             break;
@@ -917,6 +968,11 @@ pub(crate) fn run_sampler_core(
             Ok(Exit::Finished) => break,
             Err(payload) => {
                 let message = panic_message(payload);
+                ctx.flight.record("panic", message.clone());
+                // Dump the flight ring before anything else: the recent
+                // admissions/steps/faults leading up to the panic are the
+                // post-mortem record.
+                eprint!("{}", ctx.flight.dump("sampler_panic"));
                 eprintln!(
                     "clgen-serve: sampler core panicked ({message}); failing in-flight \
                      requests and respawning from the checkpoint image"
@@ -926,6 +982,7 @@ pub(crate) fn run_sampler_core(
                     retry_after: None,
                     message: format!("sampler core panicked: {message}"),
                 });
+                ctx.metrics.supervisor_restarts.inc();
                 if ctx.supervisor.record_restart() {
                     give_up(&mut sched, &ctx);
                     break;
@@ -943,6 +1000,11 @@ pub(crate) fn run_sampler_core(
 /// and trigger the server's graceful shutdown so the process exits instead
 /// of spinning through a crash loop.
 fn give_up(sched: &mut Scheduler, ctx: &CoreContext) {
+    ctx.flight.record(
+        "budget_exhausted",
+        format!("restarts={}", ctx.supervisor.restarts()),
+    );
+    eprint!("{}", ctx.flight.dump("restart_budget_exhausted"));
     eprintln!(
         "clgen-serve: sampler core restart budget exhausted ({} restarts); shutting down",
         ctx.supervisor.restarts()
@@ -988,6 +1050,90 @@ mod tests {
             timed.replace("\"timeout\":true,", ""),
             render_done_line(&summary, true, false)
         );
+    }
+
+    /// With zero concurrent traffic nothing drives the scheduler's busy
+    /// loop, so an expired queued job can only be shed by the idle
+    /// `recv_timeout` tick — and that path must bump the shed metrics too.
+    #[test]
+    fn idle_tick_sheds_expired_job_and_records_metrics() {
+        use clgen_corpus::Vocabulary;
+        use clgen_neural::lstm::{LstmConfig, LstmModel};
+        use clgen_neural::StatefulLstm;
+
+        let vocab = Vocabulary::from_text("__kernel void A(__global int* a) { a[0] = 1; }\n");
+        let config = LstmConfig::small(vocab.len());
+        let model =
+            TrainedModel::from_parts(vocab, Box::new(StatefulLstm::new(LstmModel::new(config))))
+                .expect("model");
+
+        let (tx, rx) = mpsc::channel::<SchedMsg>();
+        let (filter_tx, _filter_rx) = mpsc::channel();
+        let metrics = Arc::new(ServeMetrics::new(Arc::new(clgen_obs::Registry::new())));
+        let flight = Arc::new(FlightRecorder::new(16));
+        let mut sched = Scheduler {
+            rx,
+            filter_tx,
+            backlog: VecDeque::new(),
+            active: Vec::new(),
+            queued: Arc::new(AtomicUsize::new(1)),
+            metrics: metrics.clone(),
+            flight: flight.clone(),
+            faults: FaultPlan::inert(),
+            seed_text: "__kernel".to_string(),
+            next_key: 0,
+            rr: 0,
+            in_flight_filter: 0,
+            // No lane capacity: the job can never activate, exactly like a
+            // server with zero concurrent traffic ahead of admission.
+            max_active: 0,
+            shutdown: false,
+            drain_deadline: None,
+        };
+        let core = std::thread::spawn(move || {
+            let mut streams = model.streams(1);
+            let mut engine = BatchEngine::new(streams.as_mut(), model.vocabulary());
+            sched.run(&mut engine)
+        });
+
+        let (reply_tx, reply_rx) = mpsc::channel();
+        tx.send(SchedMsg::Job(Job {
+            params: SynthesisParams {
+                count: 1,
+                temperature: 1.0,
+                max_chars: 64,
+                seed: 7,
+                max_attempts: 4,
+                deadline_ms: Some(50),
+            },
+            deadline: Some(Instant::now() + Duration::from_millis(50)),
+            enqueued_at: Instant::now(),
+            trace: Arc::new(Trace::new("idle-shed-test".to_string())),
+            reply: reply_tx,
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }))
+        .expect("send job");
+
+        match reply_rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(ResponseEvent::Error(e)) => {
+                assert_eq!(e.status, 503);
+                assert_eq!(e.retry_after, Some(1));
+                assert!(e.message.contains("deadline expired while queued"), "{e:?}");
+            }
+            other => panic!("expected shed error, got {other:?}"),
+        }
+        assert_eq!(metrics.requests_shed.get(), 1);
+        assert_eq!(metrics.queue_wait_shed.count(), 1);
+        assert!(
+            flight.snapshot().iter().any(|e| e.kind == "shed"),
+            "flight ring records the shed"
+        );
+
+        tx.send(SchedMsg::Shutdown {
+            drain_deadline: None,
+        })
+        .expect("send shutdown");
+        core.join().expect("core thread");
     }
 
     #[test]

@@ -4,25 +4,31 @@
 use crate::faults::{FaultPlan, FaultPoint};
 use crate::harness_api::{self, DriveStage};
 use crate::http::{self, HttpError, Request};
+use crate::metrics::ServeMetrics;
 use crate::scheduler::{
-    run_sampler_core, Aggregate, CoreContext, Job, ResponseEvent, SchedMsg, ServeError,
-    ServiceHealth, Supervisor, SynthesisParams,
+    run_sampler_core, CoreContext, Job, ResponseEvent, SchedMsg, ServeError, ServiceHealth,
+    Supervisor, SynthesisParams,
 };
 use crate::{json, DEFAULT_MAX_ATTEMPTS_PER_KERNEL};
 use clgen::spec::FREE_SEED;
 use clgen::TrainedModel;
 use clgen_corpus::filter::FilterConfig;
-use clgen_harness::{Deadline, Harness, HarnessConfig, HarnessCounters};
+use clgen_harness::{Deadline, Harness, HarnessConfig};
+use clgen_obs::{FlightRecorder, Registry, Trace};
 use predictive::MappingModel;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
 /// Largest accepted `deadline_ms` (24 hours): anything longer is a typo.
 pub const MAX_DEADLINE_MS: u64 = 86_400_000;
+
+/// Events retained by the flight recorder (enough context to cover the
+/// rounds leading up to a crash without unbounded growth).
+const FLIGHT_CAPACITY: usize = 256;
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -80,6 +86,15 @@ pub struct ServerConfig {
     /// (`--mapping-model`); `None` streams runs and features but no
     /// `prediction` events.
     pub mapping_model: Option<Arc<MappingModel>>,
+    /// Metric registry `GET /metrics` renders. The binary wires the
+    /// process-global [`clgen_obs::global`] registry in (so training and
+    /// harness work surfaces on the same endpoint); `None` gives the server
+    /// a private registry, keeping embedded/test servers hermetic.
+    pub metrics: Option<Arc<Registry>>,
+    /// Serve the flight recorder at `GET /debug/flight` (`--debug-flight`).
+    /// Off by default: the ring is always recording and dumps to stderr on
+    /// supervisor failures either way; this only gates the live endpoint.
+    pub debug_flight: bool,
 }
 
 impl Default for ServerConfig {
@@ -104,13 +119,16 @@ impl Default for ServerConfig {
             faults: FaultPlan::inert(),
             harness: HarnessConfig::default(),
             mapping_model: None,
+            metrics: None,
+            debug_flight: false,
         }
     }
 }
 
 /// State shared between the accept loop and every connection handler.
 pub(crate) struct Shared {
-    pub(crate) aggregate: Arc<Mutex<Aggregate>>,
+    pub(crate) metrics: Arc<ServeMetrics>,
+    pub(crate) flight: Arc<FlightRecorder>,
     pub(crate) queued: Arc<AtomicUsize>,
     pub(crate) shutdown: Arc<AtomicBool>,
     pub(crate) supervisor: Arc<Supervisor>,
@@ -118,7 +136,6 @@ pub(crate) struct Shared {
     pub(crate) addr: SocketAddr,
     pub(crate) backend_kind: &'static str,
     pub(crate) config: ServerConfig,
-    pub(crate) harness_counters: Mutex<HarnessCounters>,
 }
 
 /// The synthesis service: a model loaded once, served by one supervised
@@ -138,7 +155,12 @@ impl Server {
         let checkpoint = Arc::new(model.to_bytes());
 
         let (sched_tx, sched_rx) = mpsc::channel::<SchedMsg>();
-        let aggregate = Arc::new(Mutex::new(Aggregate::default()));
+        let registry = config
+            .metrics
+            .clone()
+            .unwrap_or_else(|| Arc::new(Registry::new()));
+        let metrics = Arc::new(ServeMetrics::new(registry));
+        let flight = Arc::new(FlightRecorder::new(FLIGHT_CAPACITY));
         let queued = Arc::new(AtomicUsize::new(0));
         let shutdown = Arc::new(AtomicBool::new(false));
         let supervisor = Arc::new(Supervisor::new(
@@ -146,7 +168,8 @@ impl Server {
             config.restart_window,
         ));
         let shared = Arc::new(Shared {
-            aggregate: aggregate.clone(),
+            metrics: metrics.clone(),
+            flight: flight.clone(),
             queued: queued.clone(),
             shutdown: shutdown.clone(),
             supervisor: supervisor.clone(),
@@ -154,7 +177,6 @@ impl Server {
             addr,
             backend_kind,
             config: config.clone(),
-            harness_counters: Mutex::new(HarnessCounters::default()),
         });
 
         let ctx = CoreContext {
@@ -163,7 +185,8 @@ impl Server {
             filter: config.filter.clone(),
             checkpoint,
             queued,
-            aggregate,
+            metrics,
+            flight,
             supervisor: supervisor.clone(),
             faults: config.faults.clone(),
             shutdown: shutdown.clone(),
@@ -408,7 +431,42 @@ fn handle_connection(stream: TcpStream, tx: mpsc::Sender<SchedMsg>, shared: Arc<
             let body = render_stats(&shared);
             write_json(&mut stream, 200, "OK", &body);
         }
-        ("POST", "/synthesize") => stream_synthesis(request, stream, tx, &shared, None),
+        ("GET", "/metrics") => {
+            shared
+                .metrics
+                .queue_depth
+                .set(shared.queued.load(Ordering::SeqCst) as f64);
+            let body = shared.metrics.registry.render_prometheus();
+            let _ = http::write_response(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+            );
+        }
+        ("GET", "/debug/flight") => {
+            if shared.config.debug_flight {
+                let body = shared.flight.dump("debug_endpoint");
+                let _ = http::write_response(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "application/x-ndjson",
+                    body.as_bytes(),
+                );
+            } else {
+                write_error(
+                    &mut stream,
+                    404,
+                    "Not Found",
+                    "flight endpoint disabled (start with --debug-flight)",
+                );
+            }
+        }
+        ("POST", "/synthesize") => {
+            stream_synthesis(request, stream, tx, &shared, None, "synthesize")
+        }
         ("POST", "/drive") => harness_api::handle_drive(request, stream, &shared, DriveStage::Runs),
         ("POST", "/features") => {
             harness_api::handle_drive(request, stream, &shared, DriveStage::Features)
@@ -423,7 +481,7 @@ fn handle_connection(stream: TcpStream, tx: mpsc::Sender<SchedMsg>, shared: Arc<
                 let _ = TcpStream::connect(shared.addr);
             }
         }
-        (_, "/healthz" | "/stats") => {
+        (_, "/healthz" | "/stats" | "/metrics" | "/debug/flight") => {
             write_error(&mut stream, 405, "Method Not Allowed", "use GET");
         }
         (_, "/synthesize" | "/shutdown" | "/drive" | "/features" | "/pipeline") => {
@@ -444,11 +502,19 @@ pub(crate) fn stream_synthesis(
     tx: mpsc::Sender<SchedMsg>,
     shared: &Shared,
     harness: Option<Harness>,
+    endpoint: &'static str,
 ) {
+    let received_at = Instant::now();
+    let finish = |outcome: &'static str| {
+        shared
+            .metrics
+            .observe_latency(endpoint, outcome, received_at.elapsed().as_micros() as u64);
+    };
     let params = match parse_params(&request, &shared.config) {
         Ok(params) => params,
         Err(message) => {
             write_error(&mut stream, 400, "Bad Request", &message);
+            finish("bad_request");
             return;
         }
     };
@@ -457,11 +523,7 @@ pub(crate) fn stream_synthesis(
     let depth = shared.queued.fetch_add(1, Ordering::SeqCst);
     if depth >= shared.config.queue_cap || shared.shutdown.load(Ordering::SeqCst) {
         shared.queued.fetch_sub(1, Ordering::SeqCst);
-        shared
-            .aggregate
-            .lock()
-            .expect("aggregate lock")
-            .requests_rejected += 1;
+        shared.metrics.requests_rejected.inc();
         let _ = http::write_response_with(
             &mut stream,
             503,
@@ -470,6 +532,7 @@ pub(crate) fn stream_synthesis(
             "application/json",
             format!("{{\"error\":\"queue full\",\"queue_depth\":{depth}}}\n").as_bytes(),
         );
+        finish("rejected");
         return;
     }
 
@@ -480,12 +543,15 @@ pub(crate) fn stream_synthesis(
         .deadline_ms
         .or(shared.config.default_deadline_ms)
         .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let trace = Arc::new(Trace::from_client(request.header("trace-id"), params.seed));
     let (reply_tx, reply_rx) = mpsc::channel::<ResponseEvent>();
     let cancelled = Arc::new(AtomicBool::new(false));
     if tx
         .send(SchedMsg::Job(Job {
             params,
             deadline,
+            enqueued_at: Instant::now(),
+            trace: trace.clone(),
             reply: reply_tx,
             cancelled: cancelled.clone(),
         }))
@@ -493,13 +559,10 @@ pub(crate) fn stream_synthesis(
     {
         shared.queued.fetch_sub(1, Ordering::SeqCst);
         write_error(&mut stream, 503, "Service Unavailable", "server stopping");
+        finish("error");
         return;
     }
-    shared
-        .aggregate
-        .lock()
-        .expect("aggregate lock")
-        .requests_received += 1;
+    shared.metrics.requests_received.inc();
 
     // Phase 1: wait for the first event *before* writing the response head,
     // so failures (queue shed, panic quarantine, shutdown) can still be
@@ -510,27 +573,38 @@ pub(crate) fn stream_synthesis(
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if client_disconnected(&stream) {
                     cancelled.store(true, Ordering::Relaxed);
+                    finish("disconnect");
                     return;
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 // Sampler core went away without answering the request.
                 write_error(&mut stream, 503, "Service Unavailable", "server stopping");
+                finish("error");
                 return;
             }
         }
     };
     if let ResponseEvent::Error(err) = &first {
         write_serve_error(&mut stream, err);
+        finish(if err.message.contains("deadline expired while queued") {
+            "shed"
+        } else {
+            "error"
+        });
         return;
     }
 
     // A second handle onto the same socket, for the disconnect probe while
     // `chunks` holds the write borrow.
     let probe_handle = stream.try_clone();
+    // The `respond` span covers everything from the response head to the
+    // final chunk: streaming writes plus the tail of sampling they overlap.
+    let respond_started = Instant::now();
     let Ok(mut chunks) = http::ChunkedWriter::new(&mut stream, 200, "OK", "application/x-ndjson")
     else {
         cancelled.store(true, Ordering::Relaxed);
+        finish("disconnect");
         return;
     };
     let mut next = Some(first);
@@ -545,6 +619,7 @@ pub(crate) fn stream_synthesis(
                     // for EOF so the sampler core stops spending lanes on it.
                     if probe_handle.as_ref().is_ok_and(client_disconnected) {
                         cancelled.store(true, Ordering::Relaxed);
+                        finish("disconnect");
                         return;
                     }
                     continue;
@@ -552,6 +627,7 @@ pub(crate) fn stream_synthesis(
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     // Scheduler went away without completing the request.
                     let _ = chunks.finish();
+                    finish("error");
                     return;
                 }
             },
@@ -568,6 +644,8 @@ pub(crate) fn stream_synthesis(
                     // the chunked body unterminated; the client sees a
                     // truncated response. The request itself keeps running
                     // and is absorbed silently once sends start failing.
+                    shared.flight.record("fault", "drop_response".to_string());
+                    finish("disconnect");
                     return;
                 }
                 shared.config.faults.stall(FaultPoint::SlowWrite);
@@ -575,6 +653,7 @@ pub(crate) fn stream_synthesis(
                     // Client went away mid-stream: tell the scheduler to
                     // stop sampling for this request.
                     cancelled.store(true, Ordering::Relaxed);
+                    finish("disconnect");
                     return;
                 }
                 if let Some(harness) = &harness {
@@ -582,10 +661,11 @@ pub(crate) fn stream_synthesis(
                         Some(at) => Deadline::at(at),
                         None => Deadline::none(),
                     };
-                    for hl in harness_api::pipeline_lines(harness, shared, &line, &harness_deadline)
+                    for hl in harness_api::pipeline_lines(harness, &line, &harness_deadline, &trace)
                     {
                         if chunks.chunk(format!("{hl}\n").as_bytes()).is_err() {
                             cancelled.store(true, Ordering::Relaxed);
+                            finish("disconnect");
                             return;
                         }
                     }
@@ -593,7 +673,15 @@ pub(crate) fn stream_synthesis(
             }
             ResponseEvent::Done(line) => {
                 shared.config.faults.stall(FaultPoint::SlowWrite);
+                trace.record_since("respond", respond_started);
+                // The trace object is additive: strip it (`json::strip_trace`)
+                // to recover the deterministic done-line bytes.
+                let line = json::splice_field(&line, &format!("\"trace\":{}", trace.render_json()));
                 let _ = chunks.chunk(format!("{line}\n").as_bytes());
+                // Record the sample before the terminating chunk: a client
+                // that has seen the complete response is guaranteed to find
+                // it on an immediate `/metrics` scrape.
+                finish("ok");
                 let _ = chunks.finish();
                 return;
             }
@@ -607,6 +695,7 @@ pub(crate) fn stream_synthesis(
                     err.status
                 );
                 let _ = chunks.chunk(line.as_bytes());
+                finish("error");
                 let _ = chunks.finish();
                 return;
             }
@@ -636,10 +725,24 @@ pub(crate) fn client_disconnected(stream: &TcpStream) -> bool {
 
 fn render_stats(shared: &Shared) -> String {
     let queue_depth = shared.queued.load(Ordering::SeqCst);
-    let agg = shared.aggregate.lock().expect("aggregate lock");
+    let metrics = &shared.metrics;
+    metrics.queue_depth.set(queue_depth as f64);
     let elapsed = shared.started.elapsed().as_secs_f64().max(1e-9);
-    let mut rejected_json = String::new();
-    crate::scheduler::render_rejections(&mut rejected_json, &agg.summary.rejected);
+    let kernels = metrics.kernels.get();
+    let attempts = metrics.attempts.get();
+    let generated_chars = metrics.generated_chars.get();
+    // `/stats` and `/metrics` render from the same atomics (see
+    // `ServeMetrics`): they are two views of one state and cannot disagree.
+    let mut rejected_json = String::from("{");
+    for (i, (reason, count)) in metrics.rejection_counts().iter().enumerate() {
+        if i > 0 {
+            rejected_json.push(',');
+        }
+        json::escape_into(&mut rejected_json, reason);
+        rejected_json.push(':');
+        rejected_json.push_str(&count.to_string());
+    }
+    rejected_json.push('}');
     format!(
         concat!(
             "{{\"backend\":{backend},\"uptime_seconds\":{uptime:.3},",
@@ -661,21 +764,25 @@ fn render_stats(shared: &Shared) -> String {
         restarts = shared.supervisor.restarts(),
         recent = shared.supervisor.recent_restarts(),
         lanes = shared.config.lanes,
-        lanes_busy = agg.lanes_busy,
+        lanes_busy = metrics.lanes_busy.get() as u64,
         queue_depth = queue_depth,
         queue_cap = shared.config.queue_cap,
-        active = agg.active_requests,
-        received = agg.requests_received,
-        completed = agg.requests_completed,
-        rejected = agg.requests_rejected,
-        shed = agg.requests_shed,
-        timed_out = agg.requests_timed_out,
-        failed = agg.requests_failed,
-        kernels = agg.summary.kernels,
-        attempts = agg.summary.attempts,
-        chars = agg.summary.generated_chars,
-        rate = agg.summary.acceptance_rate(),
-        cps = agg.summary.generated_chars as f64 / elapsed,
+        active = metrics.active_requests.get() as u64,
+        received = metrics.requests_received.get(),
+        completed = metrics.requests_completed.get(),
+        rejected = metrics.requests_rejected.get(),
+        shed = metrics.requests_shed.get(),
+        timed_out = metrics.requests_timed_out.get(),
+        failed = metrics.requests_failed.get(),
+        kernels = kernels,
+        attempts = attempts,
+        chars = generated_chars,
+        rate = if attempts == 0 {
+            0.0
+        } else {
+            kernels as f64 / attempts as f64
+        },
+        cps = generated_chars as f64 / elapsed,
         harness = harness_api::render_harness_stats(shared),
         rejections = rejected_json,
     )

@@ -68,9 +68,11 @@ fn retry_policy(seed: u64) -> RetryPolicy {
     }
 }
 
-/// Fault-free reference bodies, keyed by request seed. One server serves
-/// all seeds (responses are independent by construction — that invariant
-/// has its own test in `serve_roundtrip.rs`).
+/// Fault-free reference bodies, keyed by request seed, with trace
+/// annotations stripped (trace ids and stage timings are per-request wall
+/// clock; the sampled bytes are the invariant). One server serves all seeds
+/// (responses are independent by construction — that invariant has its own
+/// test in `serve_roundtrip.rs`).
 fn baseline_bodies(seeds: &[u64]) -> BTreeMap<u64, String> {
     let handle = start(chaos_config(""));
     let addr = handle.addr();
@@ -80,7 +82,7 @@ fn baseline_bodies(seeds: &[u64]) -> BTreeMap<u64, String> {
             let response = client::synthesize(addr, &params(seed)).expect("baseline request");
             assert_eq!(response.status, 200);
             assert!(response.is_complete_synthesis(), "baseline is clean");
-            (seed, response.text())
+            (seed, client::strip_traces(&response.text()))
         })
         .collect();
     assert_eq!(handle.shutdown(), ServiceHealth::Ok);
@@ -126,7 +128,7 @@ fn sampler_panic_respawns_and_retries_reproduce_bytes() {
         assert_eq!(response.status, 200, "seed {seed}");
         assert!(response.is_complete_synthesis(), "seed {seed}");
         assert_eq!(
-            response.text(),
+            client::strip_traces(&response.text()),
             baselines[&seed],
             "seed {seed}: body after panic recovery differs from fault-free run"
         );
@@ -167,7 +169,7 @@ fn corrupt_reload_burns_a_restart_then_recovers() {
     let addr = handle.addr();
     let response = client::synthesize_with_retry(addr, &params(80), &retry_policy(80))
         .expect("request eventually succeeds");
-    assert_eq!(response.text(), baselines[&80]);
+    assert_eq!(client::strip_traces(&response.text()), baselines[&80]);
 
     // Two restarts: the panic respawn, plus the corrupt-image reload failure.
     assert_eq!(stats_field(addr, "restarts"), 2);
@@ -186,7 +188,11 @@ fn slow_writes_change_timing_not_bytes() {
     for &seed in &seeds {
         let response = client::synthesize(addr, &params(seed)).expect("request");
         assert_eq!(response.status, 200);
-        assert_eq!(response.text(), baselines[&seed], "seed {seed}");
+        assert_eq!(
+            client::strip_traces(&response.text()),
+            baselines[&seed],
+            "seed {seed}"
+        );
     }
     assert_eq!(healthz_status(addr), "ok");
     assert_eq!(handle.shutdown(), ServiceHealth::Ok);
@@ -206,11 +212,11 @@ fn dropped_response_is_recovered_by_retry() {
     let response = client::synthesize_with_retry(addr, &params(100), &retry_policy(100))
         .expect("retry recovers the dropped response");
     assert!(response.is_complete_synthesis());
-    assert_eq!(response.text(), baselines[&100]);
+    assert_eq!(client::strip_traces(&response.text()), baselines[&100]);
 
     // An untouched request afterwards is byte-identical with no retry at all.
     let untouched = client::synthesize(addr, &params(101)).expect("request");
-    assert_eq!(untouched.text(), baselines[&101]);
+    assert_eq!(client::strip_traces(&untouched.text()), baselines[&101]);
     assert_eq!(handle.shutdown(), ServiceHealth::Ok);
 }
 
@@ -245,7 +251,7 @@ fn deadline_reaps_midflight_and_leaves_survivors_untouched() {
 
     let survivor = survivor.join().expect("survivor thread").expect("request");
     assert_eq!(
-        survivor.text(),
+        client::strip_traces(&survivor.text()),
         baselines[&110],
         "deadline reaping disturbed a surviving lane"
     );
@@ -374,6 +380,45 @@ fn drain_deadline_bounds_graceful_shutdown() {
         wedged.status,
         wedged.text()
     );
+}
+
+/// A sampler-core panic leaves a forensic trail: the flight recorder ring
+/// retains both the injected fault and the panic it caused, `/debug/flight`
+/// serves the dump on demand (the same dump goes to stderr at panic time),
+/// and requests that retry through the respawn stay byte-identical.
+#[test]
+fn sampler_panic_leaves_flight_recorder_trail() {
+    let seeds = [160u64];
+    let baselines = baseline_bodies(&seeds);
+
+    let mut config = chaos_config("sampler_panic@3");
+    config.debug_flight = true;
+    let handle = start(config);
+    let addr = handle.addr();
+
+    let response = client::synthesize_with_retry(addr, &params(160), &retry_policy(160))
+        .expect("request eventually succeeds");
+    assert_eq!(
+        client::strip_traces(&response.text()),
+        baselines[&160],
+        "body after panic recovery differs from fault-free run"
+    );
+
+    let flight = client::get(addr, "/debug/flight").expect("flight dump");
+    assert_eq!(flight.status, 200);
+    let text = flight.text();
+    let header = text.lines().next().expect("dump header");
+    assert!(header.starts_with("{\"event\":\"flight_dump\""), "{header}");
+    assert!(header.contains("\"reason\":\"debug_endpoint\""), "{header}");
+    assert!(
+        text.lines().any(|l| l.contains("\"kind\":\"fault\"")),
+        "ring retains the injected fault: {text}"
+    );
+    assert!(
+        text.lines().any(|l| l.contains("\"kind\":\"panic\"")),
+        "ring retains the panic: {text}"
+    );
+    handle.shutdown();
 }
 
 /// Exhausting the restart budget fails the service instead of crash-looping:

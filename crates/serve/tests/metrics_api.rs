@@ -1,0 +1,294 @@
+//! Integration tests for the observability surface: the Prometheus `/metrics`
+//! exposition, its agreement with `/stats`, the per-request trace objects on
+//! NDJSON `done` lines, client `trace-id` passthrough, and the CLI-gated
+//! `/debug/flight` dump.
+
+use clgen::{ClgenBuilder, ClgenOptions, TrainedModel};
+use clgen_harness::HarnessConfig;
+use clgen_serve::{client, json, Server, ServerConfig, SynthesisParams};
+use std::io::Write;
+use std::net::SocketAddr;
+
+const VECADD: &str =
+    "__kernel void A(__global float* a, __global float* b, __global float* c, const int d) {
+    int e = get_global_id(0);
+    if (e < d) { c[e] = a[e] + b[e]; }
+}";
+
+fn checkpointed_model(seed: u64) -> TrainedModel {
+    let mut options = ClgenOptions::small(seed);
+    options.corpus.miner.repositories = 40;
+    ClgenBuilder::with_options(options)
+        .build_corpus()
+        .expect("corpus builds")
+        .train()
+        .expect("training succeeds")
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        lanes: 4,
+        harness: HarnessConfig::quick(),
+        ..ServerConfig::default()
+    }
+}
+
+fn params(seed: u64) -> SynthesisParams {
+    SynthesisParams {
+        count: 1,
+        temperature: 0.8,
+        max_chars: 256,
+        seed,
+        max_attempts: 64,
+        deadline_ms: None,
+    }
+}
+
+/// Assert `body` is well-formed Prometheus text exposition, line by line:
+/// only `# HELP`/`# TYPE` comments and `name{labels} value` samples.
+fn check_exposition(body: &str) {
+    assert!(!body.is_empty(), "exposition is empty");
+    for line in body.lines() {
+        if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+            continue;
+        }
+        let (metric, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line has no value: {line:?}"));
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|_| panic!("unparseable sample value: {line:?}"));
+        let name = metric.split('{').next().expect("metric name");
+        assert!(
+            !name.is_empty()
+                && name
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b':'),
+            "bad metric name: {line:?}"
+        );
+        if metric.contains('{') {
+            assert!(metric.ends_with('}'), "unterminated labels: {line:?}");
+        }
+    }
+}
+
+/// The value of an exposition sample whose line starts with `prefix`.
+fn sample_value(body: &str, prefix: &str) -> Option<f64> {
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .find(|l| l.starts_with(prefix))
+        .and_then(|l| l.rsplit_once(' '))
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+/// `/metrics` after mixed traffic: the exposition parses line by line,
+/// covers the serving and harness families the README catalogs, and its
+/// counters agree exactly with `/stats` (they render from the same atomics).
+#[test]
+fn metrics_exposition_parses_and_agrees_with_stats() {
+    let handle = Server::start(checkpointed_model(61), test_config()).expect("server starts");
+    let addr = handle.addr();
+
+    // Mixed traffic: synthesis, a harness drive, and a full pipeline.
+    let reply = client::synthesize(addr, &params(5)).expect("synthesize");
+    assert_eq!(reply.status, 200);
+    let drive =
+        client::post_body(addr, "/drive?sizes=256&drive_seed=3", VECADD.as_bytes()).expect("drive");
+    assert_eq!(drive.status, 200);
+    let pipeline = client::post(addr, "/pipeline?count=1&seed=6&max_attempts=256&sizes=256")
+        .expect("pipeline");
+    assert_eq!(pipeline.status, 200);
+
+    let response = client::get(addr, "/metrics").expect("metrics");
+    assert_eq!(response.status, 200);
+    assert!(
+        response
+            .headers
+            .iter()
+            .any(|(k, v)| k == "content-type" && v.contains("version=0.0.4")),
+        "exposition content type: {:?}",
+        response.headers
+    );
+    let body = response.text();
+    check_exposition(&body);
+
+    for family in [
+        "clgen_requests_received_total",
+        "clgen_requests_completed_total",
+        "clgen_request_latency_us_bucket",
+        "clgen_request_latency_us_count",
+        "clgen_queue_depth",
+        "clgen_lanes_busy",
+        "clgen_lane_occupancy_count",
+        "clgen_queue_wait_us_bucket",
+        "clgen_sampling_kernels_total",
+        "clgen_generated_chars_total",
+        "clgen_filter_accepted_total",
+        "clgen_harness_units_total",
+        "clgen_harness_kernels_driven_total",
+        "clgen_harness_unit_run_us_count",
+        "clgen_supervisor_restarts_total",
+    ] {
+        assert!(
+            body.lines().any(|l| l.starts_with(family)),
+            "family {family} missing from exposition:\n{body}"
+        );
+    }
+
+    // Latency histograms are labeled per endpoint/outcome.
+    for endpoint in ["synthesize", "drive", "pipeline"] {
+        assert!(
+            body.contains(&format!("endpoint=\"{endpoint}\",outcome=\"ok\"")),
+            "latency series for {endpoint} missing:\n{body}"
+        );
+    }
+    assert!(
+        sample_value(&body, "clgen_harness_units_total{outcome=\"ok\"}").is_some_and(|v| v >= 2.0),
+        "drive + pipeline units recorded:\n{body}"
+    );
+
+    // /stats and /metrics are two views of one set of atomics.
+    let stats = client::get(addr, "/stats").expect("stats").text();
+    for (stats_key, metric) in [
+        ("received", "clgen_requests_received_total "),
+        ("completed", "clgen_requests_completed_total "),
+        ("attempts", "clgen_sampling_attempts_total "),
+        ("kernels_driven", "clgen_harness_kernels_driven_total "),
+    ] {
+        let from_stats = json::extract_u64(&stats, stats_key)
+            .unwrap_or_else(|| panic!("stats has {stats_key}: {stats}"));
+        let from_metrics = sample_value(&body, metric)
+            .unwrap_or_else(|| panic!("exposition has {metric}: {body}"));
+        assert_eq!(
+            from_stats, from_metrics as u64,
+            "{stats_key} disagrees between /stats and /metrics"
+        );
+    }
+    handle.shutdown();
+}
+
+/// Every NDJSON `done` line carries an additive `trace` object with staged
+/// durations, and repeated identical requests get distinct derived ids (the
+/// process ordinal advances) while the sampled bytes stay identical.
+#[test]
+fn done_lines_carry_trace_objects() {
+    let handle = Server::start(checkpointed_model(62), test_config()).expect("server starts");
+    let addr = handle.addr();
+
+    let first = client::synthesize(addr, &params(9)).expect("synthesize");
+    let done = first.lines().pop().expect("done line");
+    assert!(done.contains("\"trace\":{\"id\":\""), "{done}");
+    for stage in ["\"queued\":", "\"sampling\":", "\"respond\":"] {
+        assert!(done.contains(stage), "trace stage missing from {done}");
+    }
+    let id = trace_id_of(&done);
+    assert_eq!(id.len(), 16, "derived ids are 16 hex digits: {id}");
+    assert!(id.bytes().all(|b| b.is_ascii_hexdigit()), "{id}");
+
+    // Repeat: distinct trace id, identical bytes otherwise.
+    let second = client::synthesize(addr, &params(9)).expect("synthesize repeat");
+    let done2 = second.lines().pop().expect("done line");
+    assert_ne!(
+        id,
+        trace_id_of(&done2),
+        "repeated requests must get distinct derived ids"
+    );
+    assert_eq!(
+        client::strip_traces(&first.text()),
+        client::strip_traces(&second.text())
+    );
+
+    // Harness endpoints: stage events carry the trace id, the summary the
+    // full trace object with the drive/features stages.
+    let drive =
+        client::post_body(addr, "/drive?sizes=256&drive_seed=2", VECADD.as_bytes()).expect("drive");
+    let lines = drive.lines();
+    let drive_done = lines.last().expect("summary");
+    assert!(drive_done.contains("\"trace\":{\"id\":\""), "{drive_done}");
+    assert!(drive_done.contains("\"drive\":"), "{drive_done}");
+    let drive_id = trace_id_of(drive_done);
+    for line in lines.iter().filter(|l| l.starts_with("{\"event\":")) {
+        assert!(
+            line.contains(&format!("\"trace_id\":\"{drive_id}\"")),
+            "stage event missing the request's trace id: {line}"
+        );
+    }
+    handle.shutdown();
+}
+
+fn trace_id_of(done: &str) -> String {
+    done.split("\"trace\":{\"id\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .expect("done line has a trace id")
+        .to_string()
+}
+
+/// A syntactically valid client `trace-id` header is echoed as the trace id;
+/// an invalid one falls back to a derived id.
+#[test]
+fn client_trace_id_header_passes_through() {
+    let handle = Server::start(checkpointed_model(63), test_config()).expect("server starts");
+    let addr = handle.addr();
+
+    let body = synthesize_with_trace_header(addr, "my-trace_A7");
+    assert!(
+        body.contains("\"trace\":{\"id\":\"my-trace_A7\""),
+        "client id not echoed: {body}"
+    );
+
+    // 65 chars exceeds the id length cap: rejected, derived id used instead.
+    let long = "x".repeat(65);
+    let body = synthesize_with_trace_header(addr, &long);
+    assert!(!body.contains(&long), "oversized id must not pass through");
+    assert!(body.contains("\"trace\":{\"id\":\""), "{body}");
+    handle.shutdown();
+}
+
+/// One `/synthesize` request carrying a `trace-id` header (the stock client
+/// doesn't set extra headers), returning the raw response text.
+fn synthesize_with_trace_header(addr: SocketAddr, trace_id: &str) -> String {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /synthesize?count=1&max_attempts=64&max_chars=256&seed=4 HTTP/1.1\r\n\
+         Host: {addr}\r\ntrace-id: {trace_id}\r\nConnection: close\r\n\r\n"
+    )
+    .expect("send request");
+    stream.flush().expect("flush");
+    let mut raw = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut raw).expect("read response");
+    String::from_utf8_lossy(&raw).into_owned()
+}
+
+/// `/debug/flight` is 404 unless enabled; enabled, it serves the ring dump
+/// with admissions recorded.
+#[test]
+fn debug_flight_endpoint_is_gated() {
+    let handle = Server::start(checkpointed_model(64), test_config()).expect("server starts");
+    let addr = handle.addr();
+    let off = client::get(addr, "/debug/flight").expect("flight");
+    assert_eq!(off.status, 404);
+    assert!(off.text().contains("--debug-flight"), "{}", off.text());
+    handle.shutdown();
+
+    let mut config = test_config();
+    config.debug_flight = true;
+    let handle = Server::start(checkpointed_model(64), config).expect("server starts");
+    let addr = handle.addr();
+    let reply = client::synthesize(addr, &params(3)).expect("synthesize");
+    assert_eq!(reply.status, 200);
+    let on = client::get(addr, "/debug/flight").expect("flight");
+    assert_eq!(on.status, 200);
+    let text = on.text();
+    assert!(
+        text.starts_with("{\"event\":\"flight_dump\",\"reason\":\"debug_endpoint\""),
+        "{text}"
+    );
+    assert!(
+        text.lines().any(|l| l.contains("\"kind\":\"admit\"")),
+        "ring records admissions: {text}"
+    );
+    handle.shutdown();
+}
