@@ -170,6 +170,7 @@ fn served_request(addr: SocketAddr, index: usize, spans: &SpanTotals) -> StatsSu
         attempts: json::extract_u64(done, "attempts").expect("summary attempts") as usize,
         generated_chars: json::extract_u64(done, "generated_chars").expect("summary chars")
             as usize,
+        repaired: json::extract_u64(done, "repaired").unwrap_or(0) as usize,
         rejected: Default::default(),
     }
 }
@@ -193,6 +194,7 @@ fn baseline_request(model: &TrainedModel, index: usize) -> StatsSummary {
         kernels: report.stats.accepted,
         attempts: report.stats.attempts,
         generated_chars: report.stats.generated_chars,
+        repaired: report.stats.repaired,
         rejected: report.stats.rejected.clone(),
     }
 }

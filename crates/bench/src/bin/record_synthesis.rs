@@ -32,8 +32,12 @@
 // recorder measures; keep exercising them even though new code streams.
 #![allow(deprecated)]
 
-use clgen::sampler::{sample_kernel, sample_kernels_batched, SampleOptions};
+use clgen::sampler::{
+    sample_kernel, sample_kernels_batched, SampleOptions, SampledCandidate, StopReason,
+};
+use clgen::stream::filter_candidate;
 use clgen_bench::{keep_fastest, parse_hidden_arg};
+use clgen_corpus::filter::{filter_source, FilterConfig};
 
 /// [`keep_fastest`] over this recorder's measurement type.
 fn keep_best_m(slot: &mut Option<Measurement>, m: Measurement) {
@@ -193,6 +197,106 @@ fn sweep_point(
     }
 }
 
+/// Before/after acceptance over one candidate set: the "before" column runs
+/// the classic parse-or-reject `filter_source` on every candidate text; the
+/// "after" column runs `filter_candidate` (mid-sampling abort short-circuit
+/// + deterministic repair re-verified through the full filter).
+struct Acceptance {
+    attempts: usize,
+    generated_chars: usize,
+    baseline_accepted: usize,
+    baseline_seconds: f64,
+    accepted: usize,
+    repaired: usize,
+    aborted_midstream: usize,
+    seconds: f64,
+}
+
+impl Acceptance {
+    fn rate(accepted: usize, attempts: usize) -> f64 {
+        if attempts == 0 {
+            0.0
+        } else {
+            accepted as f64 / attempts as f64
+        }
+    }
+
+    /// Sampled characters burned per accepted kernel (the cost the resilient
+    /// frontend lowers); 0 when nothing was accepted.
+    fn chars_per_accept(&self, accepted: usize) -> f64 {
+        if accepted == 0 {
+            0.0
+        } else {
+            self.generated_chars as f64 / accepted as f64
+        }
+    }
+
+    fn render(&self, json: &mut String, key: &str, trailing_comma: bool) {
+        writeln!(
+            json,
+            "    \"{key}\": {{\"attempts\": {}, \"generated_chars\": {},",
+            self.attempts, self.generated_chars
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "     \"before\": {{\"accepted\": {}, \"acceptance_rate\": {:.4}, \"chars_per_accept\": {:.0}, \"filter_seconds\": {:.4}}},",
+            self.baseline_accepted,
+            Acceptance::rate(self.baseline_accepted, self.attempts),
+            self.chars_per_accept(self.baseline_accepted),
+            self.baseline_seconds
+        )
+        .unwrap();
+        writeln!(
+            json,
+            "     \"after\": {{\"accepted\": {}, \"repaired\": {}, \"aborted_midstream\": {}, \"acceptance_rate\": {:.4}, \"chars_per_accept\": {:.0}, \"filter_seconds\": {:.4}}}}}{}",
+            self.accepted,
+            self.repaired,
+            self.aborted_midstream,
+            Acceptance::rate(self.accepted, self.attempts),
+            self.chars_per_accept(self.accepted),
+            self.seconds,
+            if trailing_comma { "," } else { "" }
+        )
+        .unwrap();
+    }
+}
+
+fn acceptance_of(filter: &FilterConfig, candidates: &[SampledCandidate]) -> Acceptance {
+    let t = Instant::now();
+    let baseline_accepted = candidates
+        .iter()
+        .filter(|c| filter_source(&c.text, filter).decision.is_ok())
+        .count();
+    let baseline_seconds = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let mut accepted = 0usize;
+    let mut repaired = 0usize;
+    let mut aborted_midstream = 0usize;
+    for c in candidates {
+        match filter_candidate(filter, c) {
+            Ok(kernel) => {
+                accepted += 1;
+                if kernel.repaired {
+                    repaired += 1;
+                }
+            }
+            Err(clgen_corpus::RejectReason::AbortedMidstream) => aborted_midstream += 1,
+            Err(_) => {}
+        }
+    }
+    Acceptance {
+        attempts: candidates.len(),
+        generated_chars: candidates.iter().map(|c| c.generated_chars).sum(),
+        baseline_accepted,
+        baseline_seconds,
+        accepted,
+        repaired,
+        aborted_midstream,
+        seconds: t.elapsed().as_secs_f64(),
+    }
+}
+
 /// Workload sizes per hidden size: bigger networks sample fewer, shorter
 /// streams so the recorder stays tractable while each point still runs long
 /// enough to time. Stream counts are kept at several multiples of the
@@ -298,6 +402,42 @@ fn main() {
     let batched_report = clgen.synthesize_batched(usize::MAX, attempts, Some(&spec), 32);
     let pipeline_batched_s = t1.elapsed().as_secs_f64();
 
+    // Acceptance-rate instrumentation for the resilient frontend: the same
+    // candidate set filtered the old way (parse-or-reject `filter_source`,
+    // the "before") and through `filter_candidate` (mid-sampling abort +
+    // deterministic repair, the "after"). The adversarial workload truncates
+    // known-valid kernels — the shapes sampled models actually emit when
+    // they run out of budget — so repair must save a measurable fraction.
+    let filter = FilterConfig {
+        use_shim: false,
+        min_instructions: 3,
+    };
+    let mut clgen = build();
+    let t2 = Instant::now();
+    let sampled = clgen.sample_candidates_batched(attempts, Some(&spec));
+    let sample_s = t2.elapsed().as_secs_f64();
+    let natural = acceptance_of(&filter, &sampled);
+    let adversarial_set: Vec<SampledCandidate> = serial_report
+        .kernels
+        .iter()
+        .take(16)
+        .flat_map(|k| {
+            // Clip the tail at several depths: drops closing braces and
+            // mid-statement characters, like a candidate that hit its
+            // character budget.
+            [1usize, 3, 9, 17].into_iter().filter_map(|clip| {
+                let cut = k.source.len().checked_sub(clip)?;
+                let cut = (0..=cut).rev().find(|&i| k.source.is_char_boundary(i))?;
+                Some(SampledCandidate {
+                    text: k.source[..cut].to_string(),
+                    stop: StopReason::MaxLength,
+                    generated_chars: cut,
+                })
+            })
+        })
+        .collect();
+    let adversarial = acceptance_of(&filter, &adversarial_set);
+
     let mut json = String::new();
     json.push_str("{\n");
     writeln!(json, "  \"benchmark\": \"synthesis_throughput\",").unwrap();
@@ -382,6 +522,17 @@ fn main() {
         )
         .unwrap();
     }
+    // Resilient-frontend acceptance block: before/after on the natural
+    // sampled workload and on the adversarial truncation workload (where
+    // repair must save candidates — CI asserts `"repaired": >0` here).
+    writeln!(
+        json,
+        "  \"acceptance\": {{\"sample_seconds\": {sample_s:.4},"
+    )
+    .unwrap();
+    natural.render(&mut json, "natural", true);
+    adversarial.render(&mut json, "adversarial", false);
+    json.push_str("  },\n");
     writeln!(
         json,
         "  \"pipeline_ngram\": {{\"attempts\": {}, \"serial_seconds\": {:.4}, \"batched32_seconds\": {:.4}, \"speedup\": {:.2}, \"serial_accepted\": {}, \"batched_accepted\": {}}}",

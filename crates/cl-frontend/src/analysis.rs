@@ -224,6 +224,8 @@ impl<'a> Analyzer<'a> {
                 self.counts.instructions += 1;
             }
             Stmt::Empty => {}
+            // Error placeholders contribute nothing to the static counts.
+            Stmt::Error(_) => {}
         }
     }
 
@@ -385,7 +387,8 @@ impl<'a> Analyzer<'a> {
             | Expr::IntLit { .. }
             | Expr::FloatLit { .. }
             | Expr::CharLit(_)
-            | Expr::StrLit(_) => {}
+            | Expr::StrLit(_)
+            | Expr::Error(_) => {}
         }
     }
 

@@ -634,6 +634,12 @@ pub enum Expr {
     },
     /// Comma expression `a, b`.
     Comma(Vec<Expr>),
+    /// A resilient-parse placeholder: the parser could not make sense of the
+    /// tokens at `Span` and produced a localized error node instead of
+    /// abandoning the surrounding expression. Error nodes never survive the
+    /// rejection filter (the diagnostic that produced them marks the unit as
+    /// failed); they exist so downstream walkers always see a complete tree.
+    Error(Span),
 }
 
 impl Expr {
@@ -781,6 +787,11 @@ pub enum Stmt {
     Continue,
     /// Empty statement `;`.
     Empty,
+    /// A resilient-parse placeholder: a statement the parser had to give up
+    /// on (recovery skipped to the next `;`/`}`). Carries the span where the
+    /// failure was detected. Like [`Expr::Error`], these nodes keep the tree
+    /// complete for walkers but always co-occur with an error diagnostic.
+    Error(Span),
 }
 
 /// A braced sequence of statements.

@@ -12,7 +12,10 @@
 //! * static [`analysis`] producing the instruction/memory/branch counts used
 //!   by the rejection filter and the Grewe et al. features,
 //! * an identifier [`rewrite`]r and canonical-style [`printer`] implementing
-//!   the paper's code-rewriting stage.
+//!   the paper's code-rewriting stage,
+//! * a deterministic candidate [`mod@repair`] module with an incremental
+//!   [`PrefixValidator`], used by the synthesis pipeline to fix trivially
+//!   broken samples and to abort hopeless ones mid-sampling.
 //!
 //! The one-call entry point used by the corpus pipeline is [`compile`]:
 //!
@@ -41,6 +44,7 @@ pub mod lexer;
 pub mod parser;
 pub mod preprocess;
 pub mod printer;
+pub mod repair;
 pub mod rewrite;
 pub mod sema;
 pub mod token;
@@ -49,6 +53,9 @@ pub use analysis::{analyze_kernels, StaticCounts};
 pub use ast::{FunctionDef, TranslationUnit, Type};
 pub use error::{Diagnostic, DiagnosticKind, Diagnostics, Severity};
 pub use preprocess::{MacroDef, PreprocessOptions};
+pub use repair::{
+    repair, repair_candidates, HopelessReason, PrefixValidator, Repair, RepairAction,
+};
 pub use sema::{KernelArg, KernelSignature};
 
 /// Options controlling the full [`compile`] pipeline.

@@ -1,9 +1,16 @@
 //! Recursive-descent parser for the OpenCL C subset.
 //!
-//! The parser is tolerant: syntax errors produce diagnostics and trigger
-//! recovery (skipping to the next `;` or `}`), so that the corpus rejection
-//! filter can classify *why* a content file fails rather than aborting on the
-//! first problem.
+//! The parser is *resilient*: syntax errors produce diagnostics and localized
+//! [`Expr::Error`] / [`Stmt::Error`] placeholder nodes, then recovery resumes
+//! (skipping to the next `;` or `}`). The result is always a complete
+//! best-effort tree — the corpus rejection filter can classify *why* a
+//! content file fails rather than aborting on the first problem, and the
+//! candidate-repair stage can inspect how much of a sampled kernel survived.
+//!
+//! Diagnostics are bounded: at most [`MAX_PARSE_DIAGNOSTICS`] parse errors
+//! are recorded per unit (a final note marks suppression), and the
+//! recursion-depth cap reports exactly once, so pathological input can never
+//! produce a diagnostic cascade proportional to its length.
 
 use crate::ast::*;
 use crate::error::{DiagnosticKind, Diagnostics};
@@ -68,8 +75,16 @@ const OPAQUE_TYPES: &[&str] = &[
 /// Maximum statement/expression nesting depth. The parser is recursive
 /// descent, so pathologically nested input (`((((…))))`, `{{{{…}}}}`) would
 /// otherwise exhaust the thread stack — an abort no caller can catch. Past
-/// this depth the parser emits a diagnostic and recovers instead.
+/// this depth the parser emits a diagnostic (once) and recovers with error
+/// nodes instead.
 pub const MAX_NESTING_DEPTH: usize = 200;
+
+/// Maximum parse diagnostics recorded per translation unit. Recovery on
+/// badly-broken input (e.g. random sampled bytes) can fail once per token;
+/// without a cap that is a diagnostic cascade proportional to input length.
+/// The unit is already marked failed by the first error, so further
+/// diagnostics only aid debugging — one suppression note replaces the rest.
+pub const MAX_PARSE_DIAGNOSTICS: usize = 24;
 
 struct Parser {
     tokens: Vec<Token>,
@@ -81,6 +96,12 @@ struct Parser {
     struct_names: HashSet<String>,
     /// Current statement/expression nesting depth (see [`MAX_NESTING_DEPTH`]).
     depth: usize,
+    /// Parse errors recorded so far (see [`MAX_PARSE_DIAGNOSTICS`]).
+    errors_emitted: usize,
+    /// Whether the "further diagnostics suppressed" note has been recorded.
+    suppression_noted: bool,
+    /// Whether the depth-cap diagnostic has been recorded (reported once).
+    depth_diagnosed: bool,
 }
 
 impl Parser {
@@ -96,15 +117,24 @@ impl Parser {
             type_names,
             struct_names: HashSet::new(),
             depth: 0,
+            errors_emitted: 0,
+            suppression_noted: false,
+            depth_diagnosed: false,
         }
     }
 
-    /// Enter one nesting level; false (with a diagnostic) past the cap.
+    /// Enter one nesting level; false past the cap. The cap diagnostic is
+    /// recorded exactly once per parse — pathologically nested input trips
+    /// the guard on every subsequent recursion, and repeating the message
+    /// would be a cascade proportional to the nesting depth.
     fn enter_nesting(&mut self) -> bool {
         if self.depth >= MAX_NESTING_DEPTH {
-            self.error(format!(
-                "nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"
-            ));
+            if !self.depth_diagnosed {
+                self.depth_diagnosed = true;
+                self.error(format!(
+                    "nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"
+                ));
+            }
             false
         } else {
             self.depth += 1;
@@ -174,6 +204,18 @@ impl Parser {
 
     fn error(&mut self, message: String) {
         let span = self.span();
+        if self.errors_emitted >= MAX_PARSE_DIAGNOSTICS {
+            if !self.suppression_noted {
+                self.suppression_noted = true;
+                self.diags.error(
+                    DiagnosticKind::Parse,
+                    format!("too many parse errors ({MAX_PARSE_DIAGNOSTICS}); further diagnostics suppressed"),
+                    Some(span),
+                );
+            }
+            return;
+        }
+        self.errors_emitted += 1;
         self.diags.error(DiagnosticKind::Parse, message, Some(span));
     }
 
@@ -725,8 +767,9 @@ impl Parser {
 
     fn parse_stmt(&mut self) -> Stmt {
         if !self.enter_nesting() {
+            let span = self.span();
             self.recover_to_semicolon();
-            return Stmt::Empty;
+            return Stmt::Error(span);
         }
         let stmt = self.parse_stmt_inner();
         self.depth -= 1;
@@ -1145,12 +1188,13 @@ impl Parser {
     fn parse_unary_expr(&mut self) -> Expr {
         if !self.enter_nesting() {
             // Consume one token so every caller keeps making progress, then
-            // yield a placeholder literal; the diagnostic already marks the
-            // unit as failed.
+            // yield a localized error node; the (once-only) depth diagnostic
+            // already marks the unit as failed.
+            let span = self.span();
             if !self.at_eof() {
                 self.bump();
             }
-            return Expr::int(0);
+            return Expr::Error(span);
         }
         let expr = self.parse_unary_expr_inner();
         self.depth -= 1;
@@ -1349,6 +1393,23 @@ impl Parser {
     }
 
     fn parse_primary_expr(&mut self) -> Expr {
+        let span = self.span();
+        // Tokens that end the enclosing construct are *not* consumed on
+        // failure: the statement/list machinery recovers on them, so eating
+        // one here would silently swallow the next statement. Anything else
+        // is consumed to guarantee forward progress.
+        if matches!(
+            self.peek(),
+            TokenKind::Eof
+                | TokenKind::Punct(Punct::Semicolon)
+                | TokenKind::Punct(Punct::RParen)
+                | TokenKind::Punct(Punct::RBracket)
+                | TokenKind::Punct(Punct::RBrace)
+                | TokenKind::Punct(Punct::Comma)
+        ) {
+            self.error(format!("expected expression, found `{}`", self.peek()));
+            return Expr::Error(span);
+        }
         match self.bump() {
             TokenKind::IntLit {
                 value, unsigned, ..
@@ -1364,10 +1425,7 @@ impl Parser {
             }
             other => {
                 self.error(format!("unexpected token `{other}` in expression"));
-                Expr::IntLit {
-                    value: 0,
-                    unsigned: false,
-                }
+                Expr::Error(span)
             }
         }
     }
@@ -1586,6 +1644,67 @@ mod tests {
         assert!(!result.is_ok());
         // despite the error we still get a kernel with a body
         assert_eq!(result.unit.kernel_count(), 1);
+        // ... and the failure is a localized error node, so recovery did not
+        // swallow the following statement.
+        let body = result.unit.kernels().next().unwrap().body.clone().unwrap();
+        assert_eq!(body.stmts.len(), 2, "{:?}", body.stmts);
+        assert!(matches!(
+            &body.stmts[0],
+            Stmt::Expr(Expr::Assign { rhs, .. }) if matches!(**rhs, Expr::Error(_))
+        ));
+        assert!(matches!(&body.stmts[1], Stmt::Expr(Expr::Assign { .. })));
+    }
+
+    /// Satellite regression: pathologically nested input trips the recursion
+    /// cap without panicking, yields a partial tree with localized error
+    /// nodes, and records a *bounded* number of diagnostics (one depth-cap
+    /// error, no cascade proportional to the nesting depth).
+    #[test]
+    fn pathological_nesting_bounded_recovery() {
+        let depth = MAX_NESTING_DEPTH * 4;
+        // Deep expression nesting: ((((…1…))))
+        let expr_bomb = format!(
+            "__kernel void A(__global int* a) {{ a[0] = {}1{}; }}",
+            "(".repeat(depth),
+            ")".repeat(depth)
+        );
+        let result = parse(&expr_bomb);
+        assert!(!result.is_ok());
+        assert_eq!(result.unit.kernel_count(), 1, "partial tree still returned");
+        assert!(
+            result.diagnostics.iter().count() <= MAX_PARSE_DIAGNOSTICS + 1,
+            "diagnostic cascade: {} diagnostics",
+            result.diagnostics.iter().count()
+        );
+
+        // Deep statement nesting: {{{{…}}}}
+        let stmt_bomb = format!(
+            "__kernel void A(__global int* a) {{ {} a[0] = 1; {} }}",
+            "{".repeat(depth),
+            "}".repeat(depth)
+        );
+        let result = parse(&stmt_bomb);
+        assert!(!result.is_ok());
+        assert_eq!(result.unit.kernel_count(), 1);
+        assert!(
+            result.diagnostics.iter().count() <= MAX_PARSE_DIAGNOSTICS + 1,
+            "diagnostic cascade: {} diagnostics",
+            result.diagnostics.iter().count()
+        );
+    }
+
+    /// A unit riddled with errors records at most the diagnostic cap plus
+    /// the suppression note.
+    #[test]
+    fn diagnostics_are_bounded_on_garbage() {
+        let garbage = "= ; = ; ".repeat(200);
+        let result = parse(&format!("__kernel void A() {{ {garbage} }}"));
+        assert!(!result.is_ok());
+        assert!(
+            result.diagnostics.iter().count() <= MAX_PARSE_DIAGNOSTICS + 1,
+            "{} diagnostics",
+            result.diagnostics.iter().count()
+        );
     }
 
     #[test]

@@ -284,6 +284,10 @@ impl Printer {
             Stmt::Break => self.out.push_str("break;"),
             Stmt::Continue => self.out.push_str("continue;"),
             Stmt::Empty => self.out.push(';'),
+            // Error nodes only appear in units that failed to parse (which
+            // the filter rejects); print a placeholder that reparses so the
+            // printer is total over every tree the parser can produce.
+            Stmt::Error(_) => self.out.push(';'),
         }
     }
 
@@ -467,6 +471,9 @@ impl Printer {
                     self.expr(e);
                 }
             }
+            // See Stmt::Error: a reparseable placeholder keeps the printer
+            // total; error trees never reach the canonical corpus anyway.
+            Expr::Error(_) => self.out.push('0'),
         }
     }
 
@@ -510,6 +517,7 @@ fn is_leaf(e: &Expr) -> bool {
             | Expr::Member { .. }
             | Expr::VectorLit { .. }
             | Expr::SizeOf { .. }
+            | Expr::Error(_)
     )
 }
 

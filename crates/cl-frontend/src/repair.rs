@@ -1,0 +1,698 @@
+//! Deterministic candidate repair and incremental prefix validation.
+//!
+//! Sampled language models emit OpenCL one character at a time, so the most
+//! common failure shapes are *lexical near-misses*: a kernel cut off by the
+//! length budget mid-statement, an unclosed brace or parenthesis, a missing
+//! trailing `;`. The paper's rejection filter discards all of them, wasting
+//! the GEMM time that produced the candidate. This module recovers that
+//! spend with two cooperating pieces built on one scan-state machine:
+//!
+//! * [`PrefixValidator`] — an incremental per-character tracker of
+//!   brace/paren/bracket depth, string/char/comment/directive modes, and
+//!   *prefix hopelessness*: the moment a prefix contains damage no sampled
+//!   suffix can undo (a stray closer, an illegal character, absurd nesting),
+//!   the candidate can be aborted mid-sampling and its lane refilled.
+//! * [`repair`] / [`repair_candidates`] — a deterministic post-hoc fixer
+//!   that proposes at most two candidate texts for a broken sample: first
+//!   *completion* (close open brackets/parens, terminate the statement,
+//!   close open braces), then *truncation* (cut back to the last complete
+//!   statement boundary and close the braces that remain open). Callers must
+//!   re-verify every proposal through the full rejection filter before
+//!   accepting it.
+//!
+//! Every decision in this module is a pure function of the candidate bytes:
+//! no randomness, no clocks, no global state. That is what lets the serving
+//! stack keep its headline determinism guarantees (batched ≡ serial
+//! sampling, arrival-order and thread-count invariance) while repairing and
+//! aborting candidates — both drivers apply the same byte-level functions
+//! and therefore make identical decisions.
+//!
+//! Repair is also *idempotent*: for any input `x`,
+//! `repair(&repair(x).text).text == repair(x).text`, because every repaired
+//! text ends at a statement boundary with all delimiters balanced — a shape
+//! the scanner classifies as needing no action.
+
+use crate::parser::MAX_NESTING_DEPTH;
+
+/// Lexical mode of the scan-state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Ordinary code.
+    Code,
+    /// Seen a `/` in code; the next character decides comment vs. operator.
+    CodeSlash,
+    /// Inside a string literal.
+    Str,
+    /// Inside a string literal, immediately after a backslash.
+    StrEscape,
+    /// Inside a character literal.
+    CharLit,
+    /// Inside a character literal, immediately after a backslash.
+    CharEscape,
+    /// Inside a `//` comment (ends at newline).
+    LineComment,
+    /// Inside a `/* */` comment.
+    BlockComment,
+    /// Inside a block comment, immediately after a `*`.
+    BlockCommentStar,
+    /// Inside a preprocessor directive line (the lexer skips these).
+    Directive,
+    /// Inside a directive, immediately after a backslash (line continuation).
+    DirectiveBackslash,
+}
+
+/// Why a prefix became hopeless: damage that no sampled suffix can undo,
+/// because repair only ever appends closers or truncates the *tail* after
+/// the last complete statement — it never deletes characters mid-prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopelessReason {
+    /// A closing `}`/`)`/`]` with no matching opener, or a brace inside an
+    /// unclosed paren/bracket group.
+    StrayCloser(char),
+    /// A character the lexer cannot tokenize outside strings and comments
+    /// (e.g. `@`, `$`, a backtick, or any non-ASCII byte).
+    IllegalChar(char),
+    /// Nesting beyond [`MAX_NESTING_DEPTH`]: even with every delimiter
+    /// closed, the parser's recursion cap rejects the unit.
+    TooDeep,
+    /// A raw newline inside a string or character literal — the literal can
+    /// no longer terminate, so the lex error is permanent.
+    UnterminatedLiteral,
+}
+
+impl std::fmt::Display for HopelessReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HopelessReason::StrayCloser(c) => write!(f, "stray closer `{c}`"),
+            HopelessReason::IllegalChar(c) => write!(f, "illegal character `{c}`"),
+            HopelessReason::TooDeep => write!(f, "nesting beyond the parser depth cap"),
+            HopelessReason::UnterminatedLiteral => write!(f, "unterminated literal"),
+        }
+    }
+}
+
+/// A statement boundary the repairer may truncate back to: the byte length
+/// of the well-formed prefix and the brace depth open at that point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SafePoint {
+    /// Byte length of the prefix ending just after `;`, `{` or `}`.
+    len: usize,
+    /// Brace depth still open at that point (closers needed on truncation).
+    brace_depth: usize,
+}
+
+/// Incremental per-character validator over a growing candidate prefix.
+///
+/// Feed every character of the candidate (seed text included) in order via
+/// [`PrefixValidator::feed`]; after each character, [`is_hopeless`] reports
+/// whether the prefix contains damage that no continuation can repair. The
+/// batch engine uses this to reap hopeless lanes mid-kernel instead of
+/// spending model steps on candidates the filter is guaranteed to reject.
+///
+/// The validator is a pure function of the fed character sequence: two
+/// validators fed the same characters are in identical states regardless of
+/// timing, thread, or which lane they live in.
+///
+/// [`is_hopeless`]: PrefixValidator::is_hopeless
+#[derive(Debug, Clone)]
+pub struct PrefixValidator {
+    mode: Mode,
+    brace: usize,
+    /// Open `(`/`[` groups in nesting order (braces cannot interleave with
+    /// these — see [`HopelessReason::StrayCloser`] — so a plain counter
+    /// suffices for them).
+    group: Vec<char>,
+    /// Byte position fed so far.
+    pos: usize,
+    /// Damage reason and the byte offset where it was detected.
+    hopeless: Option<(HopelessReason, usize)>,
+    /// Last statement boundary seen before any damage.
+    last_safe: Option<SafePoint>,
+}
+
+impl Default for PrefixValidator {
+    fn default() -> Self {
+        PrefixValidator::new()
+    }
+}
+
+impl PrefixValidator {
+    /// A fresh validator in code mode with all depths zero.
+    pub fn new() -> PrefixValidator {
+        PrefixValidator {
+            mode: Mode::Code,
+            brace: 0,
+            group: Vec::new(),
+            pos: 0,
+            hopeless: None,
+            last_safe: None,
+        }
+    }
+
+    /// Feed one character. After the first hopeless character the state is
+    /// frozen: further characters are counted but change nothing, so feeding
+    /// the whole candidate and feeding up to the damage point agree.
+    pub fn feed(&mut self, c: char) {
+        if self.hopeless.is_some() {
+            self.pos += c.len_utf8();
+            return;
+        }
+        let at = self.pos;
+        self.pos += c.len_utf8();
+        match self.mode {
+            Mode::Code => self.code_char(c, at),
+            Mode::CodeSlash => match c {
+                '/' => self.mode = Mode::LineComment,
+                '*' => self.mode = Mode::BlockComment,
+                _ => {
+                    self.mode = Mode::Code;
+                    self.code_char(c, at);
+                }
+            },
+            Mode::Str => match c {
+                '\\' => self.mode = Mode::StrEscape,
+                '"' => self.mode = Mode::Code,
+                '\n' => self.damage(HopelessReason::UnterminatedLiteral, at),
+                _ => {}
+            },
+            Mode::StrEscape => match c {
+                '\n' => self.damage(HopelessReason::UnterminatedLiteral, at),
+                _ => self.mode = Mode::Str,
+            },
+            Mode::CharLit => match c {
+                '\\' => self.mode = Mode::CharEscape,
+                '\'' => self.mode = Mode::Code,
+                '\n' => self.damage(HopelessReason::UnterminatedLiteral, at),
+                _ => {}
+            },
+            Mode::CharEscape => match c {
+                '\n' => self.damage(HopelessReason::UnterminatedLiteral, at),
+                _ => self.mode = Mode::CharLit,
+            },
+            Mode::LineComment => {
+                if c == '\n' {
+                    self.mode = Mode::Code;
+                }
+            }
+            Mode::BlockComment => {
+                if c == '*' {
+                    self.mode = Mode::BlockCommentStar;
+                }
+            }
+            Mode::BlockCommentStar => {
+                self.mode = match c {
+                    '/' => Mode::Code,
+                    '*' => Mode::BlockCommentStar,
+                    _ => Mode::BlockComment,
+                };
+            }
+            Mode::Directive => match c {
+                '\\' => self.mode = Mode::DirectiveBackslash,
+                '\n' => self.mode = Mode::Code,
+                _ => {}
+            },
+            Mode::DirectiveBackslash => {
+                // Mirrors the lexer: a newline right after a backslash is a
+                // line continuation, not the end of the directive.
+                self.mode = match c {
+                    '\\' => Mode::DirectiveBackslash,
+                    _ => Mode::Directive,
+                };
+            }
+        }
+    }
+
+    /// Feed every character of `text` in order.
+    pub fn feed_str(&mut self, text: &str) {
+        for c in text.chars() {
+            self.feed(c);
+        }
+    }
+
+    fn code_char(&mut self, c: char, at: usize) {
+        match c {
+            '/' => self.mode = Mode::CodeSlash,
+            '"' => self.mode = Mode::Str,
+            '\'' => self.mode = Mode::CharLit,
+            '#' => self.mode = Mode::Directive,
+            '(' | '[' => {
+                if self.group.len() >= MAX_NESTING_DEPTH {
+                    self.damage(HopelessReason::TooDeep, at);
+                } else {
+                    self.group.push(c);
+                }
+            }
+            ')' => {
+                if self.group.last() == Some(&'(') {
+                    self.group.pop();
+                } else {
+                    self.damage(HopelessReason::StrayCloser(')'), at);
+                }
+            }
+            ']' => {
+                if self.group.last() == Some(&'[') {
+                    self.group.pop();
+                } else {
+                    self.damage(HopelessReason::StrayCloser(']'), at);
+                }
+            }
+            '{' => {
+                if !self.group.is_empty() {
+                    // A brace inside an unclosed paren/bracket group can
+                    // never parse in this grammar (no statement expressions
+                    // or compound literals).
+                    self.damage(HopelessReason::StrayCloser('{'), at);
+                } else {
+                    self.brace += 1;
+                    if self.brace > MAX_NESTING_DEPTH {
+                        self.damage(HopelessReason::TooDeep, at);
+                    } else {
+                        self.safe_point();
+                    }
+                }
+            }
+            '}' => {
+                if !self.group.is_empty() || self.brace == 0 {
+                    self.damage(HopelessReason::StrayCloser('}'), at);
+                } else {
+                    self.brace -= 1;
+                    self.safe_point();
+                }
+            }
+            ';' => {
+                if self.group.is_empty() {
+                    self.safe_point();
+                }
+            }
+            _ => {
+                if !legal_code_char(c) {
+                    self.damage(HopelessReason::IllegalChar(c), at);
+                }
+            }
+        }
+    }
+
+    fn safe_point(&mut self) {
+        debug_assert!(self.group.is_empty());
+        self.last_safe = Some(SafePoint {
+            len: self.pos,
+            brace_depth: self.brace,
+        });
+    }
+
+    fn damage(&mut self, reason: HopelessReason, at: usize) {
+        self.hopeless = Some((reason, at));
+    }
+
+    /// True once the fed prefix contains damage no continuation can undo:
+    /// every extension of this prefix is rejected by the filter even after
+    /// repair, so a sampler can abort the candidate without losing anything.
+    pub fn is_hopeless(&self) -> bool {
+        self.hopeless.is_some()
+    }
+
+    /// The damage reason and byte offset, once [`is_hopeless`] is true.
+    ///
+    /// [`is_hopeless`]: PrefixValidator::is_hopeless
+    pub fn hopeless(&self) -> Option<(HopelessReason, usize)> {
+        self.hopeless
+    }
+
+    /// Current brace depth (open `{` minus closed `}`).
+    pub fn brace_depth(&self) -> usize {
+        self.brace
+    }
+}
+
+/// Characters the lexer can tokenize in code mode. Anything else produces a
+/// permanent "unexpected character" diagnostic.
+fn legal_code_char(c: char) -> bool {
+    c.is_ascii_alphanumeric()
+        || c == '_'
+        || c.is_ascii_whitespace()
+        || matches!(
+            c,
+            '!' | '%'
+                | '&'
+                | '('
+                | ')'
+                | '*'
+                | '+'
+                | ','
+                | '-'
+                | '.'
+                | '/'
+                | ':'
+                | ';'
+                | '<'
+                | '='
+                | '>'
+                | '?'
+                | '['
+                | ']'
+                | '^'
+                | '{'
+                | '|'
+                | '}'
+                | '~'
+                | '"'
+                | '\''
+                | '#'
+        )
+}
+
+/// One deterministic action the repairer applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Closed `count` unbalanced `[` with `]`.
+    ClosedBrackets(usize),
+    /// Closed `count` unbalanced `(` with `)`.
+    ClosedParens(usize),
+    /// Appended the `;` missing after the final statement.
+    AppendedSemicolon,
+    /// Closed `count` unbalanced `{` with `}`.
+    ClosedBraces(usize),
+    /// Dropped the incomplete tail after the last complete statement
+    /// (everything from byte offset `from`).
+    TruncatedTail(usize),
+}
+
+impl std::fmt::Display for RepairAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairAction::ClosedBrackets(n) => write!(f, "closed {n} bracket(s)"),
+            RepairAction::ClosedParens(n) => write!(f, "closed {n} paren(s)"),
+            RepairAction::AppendedSemicolon => write!(f, "appended `;`"),
+            RepairAction::ClosedBraces(n) => write!(f, "closed {n} brace(s)"),
+            RepairAction::TruncatedTail(from) => write!(f, "truncated tail at byte {from}"),
+        }
+    }
+}
+
+/// The outcome of [`repair`]: the (possibly unchanged) text plus the actions
+/// taken. `actions` is empty exactly when `text` equals the input — either
+/// the input already ends cleanly, or no statement boundary exists to repair
+/// from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repair {
+    /// The repaired source (equal to the input when `actions` is empty).
+    pub text: String,
+    /// Actions applied, in application order.
+    pub actions: Vec<RepairAction>,
+}
+
+impl Repair {
+    /// True when repair changed the text.
+    pub fn changed(&self) -> bool {
+        !self.actions.is_empty()
+    }
+
+    fn unchanged(source: &str) -> Repair {
+        Repair {
+            text: source.to_string(),
+            actions: Vec::new(),
+        }
+    }
+}
+
+/// Deterministically repair the trivially-broken shapes sampled models emit:
+/// unbalanced braces/parens/brackets, a truncated tail after the last
+/// complete statement, a missing trailing `;`. Returns the canonical (first)
+/// proposal of [`repair_candidates`], or the input unchanged when nothing
+/// needs doing or nothing can be done.
+///
+/// The result is a pure function of `source` and is idempotent:
+/// `repair(&repair(x).text)` never changes the text again.
+pub fn repair(source: &str) -> Repair {
+    repair_candidates(source)
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| Repair::unchanged(source))
+}
+
+/// All deterministic repair proposals for `source`, in preference order
+/// (least destructive first):
+///
+/// 1. **Completion** — keep the sampled tail, close open brackets and
+///    parens, terminate the final statement with `;`, close open braces.
+///    Only proposed when the text ends in ordinary code (not inside a
+///    string, comment or directive) and contains no permanent damage.
+/// 2. **Truncation** — cut back to the last complete statement boundary
+///    (after a `;`, `{` or `}` at bracket/paren depth zero) and close the
+///    braces still open there. Proposed whenever such a boundary exists,
+///    including for prefixes that turned hopeless mid-way (the damage is in
+///    the dropped tail).
+///
+/// Returns an empty vector when the text already ends cleanly (balanced, at
+/// a statement boundary) or when no proposal is possible. Callers must
+/// re-verify each proposal through the full rejection filter — repair is
+/// lexical and freely proposes texts that still fail to parse.
+pub fn repair_candidates(source: &str) -> Vec<Repair> {
+    let mut v = PrefixValidator::new();
+    v.feed_str(source);
+
+    let mut proposals = Vec::new();
+
+    if let Some((_, damage_at)) = v.hopeless() {
+        // Damage is permanent; the only play is truncating it away. The
+        // recorded safe point always precedes the damage (state freezes on
+        // damage), so the dropped tail contains the damaged bytes.
+        if let Some(safe) = v.last_safe {
+            debug_assert!(safe.len <= damage_at);
+            proposals.push(truncate_at(source, safe));
+        }
+        return proposals;
+    }
+
+    // Trailing whitespace never blocks a "clean" classification.
+    let trimmed_len = source.trim_end().len();
+    let tail_clean = match v.last_safe {
+        Some(safe) => safe.len >= trimmed_len,
+        None => trimmed_len == 0,
+    };
+    if v.mode == Mode::Code && tail_clean && v.group.is_empty() {
+        if v.brace == 0 {
+            return proposals; // already ends cleanly
+        }
+        // Complete statement boundary, but braces still open (the classic
+        // max-length cutoff right after a `;`): close them.
+        let mut text = String::with_capacity(trimmed_len + v.brace);
+        text.push_str(&source[..trimmed_len]);
+        for _ in 0..v.brace {
+            text.push('}');
+        }
+        proposals.push(Repair {
+            text,
+            actions: vec![RepairAction::ClosedBraces(v.brace)],
+        });
+        return proposals;
+    }
+
+    // 1. Completion: only meaningful when the candidate ends in code mode
+    //    (an unterminated comment/string tail can't be completed lexically
+    //    without inventing content).
+    if matches!(v.mode, Mode::Code | Mode::CodeSlash) {
+        let base = source.trim_end();
+        let mut text = String::with_capacity(base.len() + v.group.len() + 1 + v.brace);
+        text.push_str(base);
+        let mut actions = Vec::new();
+        // Close open `(`/`[` groups innermost-first so nesting is preserved
+        // (`a[f(0` needs `)]`, not `])`).
+        let parens = v.group.iter().filter(|c| **c == '(').count();
+        let brackets = v.group.len() - parens;
+        for open in v.group.iter().rev() {
+            text.push(if *open == '(' { ')' } else { ']' });
+        }
+        if brackets > 0 {
+            actions.push(RepairAction::ClosedBrackets(brackets));
+        }
+        if parens > 0 {
+            actions.push(RepairAction::ClosedParens(parens));
+        }
+        text.push(';');
+        actions.push(RepairAction::AppendedSemicolon);
+        if v.brace > 0 {
+            for _ in 0..v.brace {
+                text.push('}');
+            }
+            actions.push(RepairAction::ClosedBraces(v.brace));
+        }
+        proposals.push(Repair { text, actions });
+    }
+
+    // 2. Truncation back to the last complete statement.
+    if let Some(safe) = v.last_safe {
+        proposals.push(truncate_at(source, safe));
+    }
+    proposals
+}
+
+fn truncate_at(source: &str, safe: SafePoint) -> Repair {
+    let mut text = String::with_capacity(safe.len + safe.brace_depth);
+    text.push_str(&source[..safe.len]);
+    let mut actions = vec![RepairAction::TruncatedTail(safe.len)];
+    if safe.brace_depth > 0 {
+        for _ in 0..safe.brace_depth {
+            text.push('}');
+        }
+        actions.push(RepairAction::ClosedBraces(safe.brace_depth));
+    }
+    Repair { text, actions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hopeless_at(src: &str) -> Option<(HopelessReason, usize)> {
+        let mut v = PrefixValidator::new();
+        v.feed_str(src);
+        v.hopeless()
+    }
+
+    #[test]
+    fn clean_kernel_needs_no_repair() {
+        let src = "__kernel void A(__global int* a) { a[0] = 1; }";
+        let r = repair(src);
+        assert!(!r.changed());
+        assert_eq!(r.text, src);
+        assert!(repair_candidates(src).is_empty());
+    }
+
+    #[test]
+    fn truncated_kernel_closes_braces() {
+        let src = "__kernel void A(__global int* a) { a[0] = 1;";
+        let r = repair(src);
+        assert_eq!(r.text, "__kernel void A(__global int* a) { a[0] = 1;}");
+        assert_eq!(r.actions, vec![RepairAction::ClosedBraces(1)]);
+    }
+
+    #[test]
+    fn missing_semicolon_completed() {
+        let src = "__kernel void A(__global int* a) { a[0] = 1";
+        let r = repair(src);
+        assert_eq!(r.text, "__kernel void A(__global int* a) { a[0] = 1;}");
+        assert!(r.actions.contains(&RepairAction::AppendedSemicolon));
+    }
+
+    #[test]
+    fn unbalanced_parens_and_brackets_closed() {
+        let src = "__kernel void A(__global int* a) { a[get_global_id(0";
+        let r = repair(src);
+        assert_eq!(
+            r.text,
+            "__kernel void A(__global int* a) { a[get_global_id(0)];}"
+        );
+    }
+
+    #[test]
+    fn second_candidate_truncates() {
+        let src = "__kernel void A(__global int* a) { a[0] = 1; int x = ";
+        let proposals = repair_candidates(src);
+        assert_eq!(proposals.len(), 2);
+        assert_eq!(
+            proposals[0].text,
+            "__kernel void A(__global int* a) { a[0] = 1; int x =;}"
+        );
+        assert_eq!(
+            proposals[1].text,
+            "__kernel void A(__global int* a) { a[0] = 1;}"
+        );
+        assert!(proposals[1]
+            .actions
+            .iter()
+            .any(|a| matches!(a, RepairAction::TruncatedTail(_))));
+    }
+
+    #[test]
+    fn unterminated_comment_tail_truncated() {
+        let src = "__kernel void A(__global int* a) { a[0] = 1; /* cut";
+        let r = repair(src);
+        assert_eq!(r.text, "__kernel void A(__global int* a) { a[0] = 1;}");
+    }
+
+    #[test]
+    fn hopeless_stray_closer_detected_incrementally() {
+        let mut v = PrefixValidator::new();
+        v.feed_str("__kernel void A() { x = 1; }");
+        assert!(!v.is_hopeless());
+        v.feed('}');
+        assert!(v.is_hopeless());
+        assert!(matches!(
+            v.hopeless(),
+            Some((HopelessReason::StrayCloser('}'), _))
+        ));
+    }
+
+    #[test]
+    fn hopeless_illegal_char() {
+        assert!(matches!(
+            hopeless_at("__kernel void A() { a @ b; }"),
+            Some((HopelessReason::IllegalChar('@'), _))
+        ));
+        // ... but inside strings and comments anything goes.
+        assert_eq!(
+            hopeless_at("__kernel void A() { f(\"@$`\"); /* @ */ }"),
+            None
+        );
+    }
+
+    #[test]
+    fn hopeless_prefix_repaired_by_truncation() {
+        let src = "__kernel void A() { a[0] = 1; ) junk";
+        assert!(hopeless_at(src).is_some());
+        let r = repair(src);
+        assert_eq!(r.text, "__kernel void A() { a[0] = 1;}");
+    }
+
+    #[test]
+    fn garbage_without_boundary_is_unrepairable() {
+        let src = ") = junk";
+        assert!(hopeless_at(src).is_some());
+        let r = repair(src);
+        assert!(!r.changed());
+        assert_eq!(r.text, src);
+    }
+
+    #[test]
+    fn repair_is_idempotent_on_examples() {
+        for src in [
+            "__kernel void A(__global int* a) { a[0] = 1;",
+            "__kernel void A(__global int* a) { a[0] = 1",
+            "__kernel void A() { a[get_global_id(0",
+            "__kernel void A() { /* trailing",
+            "random garbage ( [ {",
+            "",
+        ] {
+            let once = repair(src);
+            let twice = repair(&once.text);
+            assert_eq!(twice.text, once.text, "not idempotent on {src:?}");
+        }
+    }
+
+    #[test]
+    fn validator_freezes_after_damage() {
+        let mut a = PrefixValidator::new();
+        a.feed_str("} trailing garbage that would otherwise re-balance {}{}");
+        let mut b = PrefixValidator::new();
+        b.feed_str("}");
+        assert_eq!(a.hopeless().map(|(r, _)| r), b.hopeless().map(|(r, _)| r));
+    }
+
+    #[test]
+    fn directive_lines_and_continuations_are_opaque() {
+        // `#` skips to end of line, honouring backslash continuations, so
+        // stray closers inside directives are not damage.
+        assert_eq!(hopeless_at("#define X )))\n__kernel void A() { }"), None);
+        assert_eq!(hopeless_at("#define X ) \\\n   ))\nint x;"), None);
+    }
+
+    #[test]
+    fn deep_nesting_is_hopeless() {
+        let src = "(".repeat(MAX_NESTING_DEPTH + 1);
+        assert!(matches!(
+            hopeless_at(&src),
+            Some((HopelessReason::TooDeep, _))
+        ));
+    }
+}

@@ -225,7 +225,7 @@ impl Rewriter {
                 }
             }
             Stmt::Return(Some(e)) => self.expr(e),
-            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty => {}
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty | Stmt::Error(_) => {}
         }
     }
 
@@ -288,7 +288,11 @@ impl Rewriter {
                     self.expr(e);
                 }
             }
-            Expr::IntLit { .. } | Expr::FloatLit { .. } | Expr::CharLit(_) | Expr::StrLit(_) => {}
+            Expr::IntLit { .. }
+            | Expr::FloatLit { .. }
+            | Expr::CharLit(_)
+            | Expr::StrLit(_)
+            | Expr::Error(_) => {}
         }
     }
 }

@@ -348,7 +348,7 @@ impl Sema {
                 }
             }
             Stmt::Return(Some(e)) => self.check_expr(e),
-            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty => {}
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue | Stmt::Empty | Stmt::Error(_) => {}
         }
     }
 
@@ -430,7 +430,11 @@ impl Sema {
                     self.check_expr(e);
                 }
             }
-            Expr::IntLit { .. } | Expr::FloatLit { .. } | Expr::CharLit(_) | Expr::StrLit(_) => {}
+            Expr::IntLit { .. }
+            | Expr::FloatLit { .. }
+            | Expr::CharLit(_)
+            | Expr::StrLit(_)
+            | Expr::Error(_) => {}
         }
     }
 }

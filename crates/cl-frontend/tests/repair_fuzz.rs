@@ -1,0 +1,130 @@
+//! Fuzz/property suite for the resilient frontend: `parse` and `repair` are
+//! total (never panic) on random garbage, on valid kernels truncated at an
+//! arbitrary char boundary, and on text with stomped non-ASCII bytes; repair
+//! is idempotent; and the incremental validator agrees with itself however
+//! the input is chunked.
+
+use cl_frontend::parser::{parse, MAX_PARSE_DIAGNOSTICS};
+use cl_frontend::repair::{repair, repair_candidates, PrefixValidator};
+use proptest::prelude::*;
+
+/// A pool of valid canonical kernels to truncate/stomp.
+const KERNELS: &[&str] = &[
+    "__kernel void A(__global float* a, __global float* b, const int c) {\n  int d = get_global_id(0);\n  if (d < c) {\n    b[d] = a[d] * 2.0f;\n  }\n}",
+    "__kernel void A(__global int* a, const int n) {\n  for (int i = 0; i < n; i++) {\n    a[i] += i;\n  }\n}",
+    "__kernel void A(__global float4* a) {\n  a[0] = (float4)(1.0f, 2.0f, 3.0f, 4.0f);\n}",
+    "__kernel void A(__global float* a, __local float* t) {\n  t[get_local_id(0)] = a[get_global_id(0)];\n  barrier(1);\n  a[0] = t[0];\n}",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse` and `repair` never panic on arbitrary printable garbage, and
+    /// repair is idempotent on it.
+    #[test]
+    fn parse_and_repair_total_on_garbage(src in "[ -~\\n\\t]{0,400}") {
+        let _ = parse(&src);
+        let once = repair(&src);
+        let _ = parse(&once.text);
+        prop_assert_eq!(repair(&once.text).text, once.text.clone());
+        for proposal in repair_candidates(&src) {
+            let _ = parse(&proposal.text);
+            // Every proposal is itself a fixpoint of repair.
+            prop_assert_eq!(repair(&proposal.text).text, proposal.text.clone());
+        }
+    }
+
+    /// Valid kernels truncated at an arbitrary char boundary: never a panic,
+    /// repair idempotent, diagnostics bounded.
+    #[test]
+    fn truncated_kernels_never_panic(idx in 0usize..4, cut in 0usize..200) {
+        let kernel = KERNELS[idx];
+        let cut = kernel
+            .char_indices()
+            .map(|(i, _)| i)
+            .nth(cut.min(kernel.chars().count().saturating_sub(1)))
+            .unwrap_or(kernel.len());
+        let truncated = &kernel[..cut];
+        let result = parse(truncated);
+        prop_assert!(result.diagnostics.iter().count() <= MAX_PARSE_DIAGNOSTICS + 1);
+        let once = repair(truncated);
+        prop_assert_eq!(repair(&once.text).text, once.text.clone());
+        let _ = parse(&once.text);
+    }
+
+    /// Stomped UTF-8: overwrite a slice of a valid kernel with arbitrary
+    /// (multi-byte) characters. Everything stays total and idempotent.
+    #[test]
+    fn stomped_utf8_never_panics(idx in 0usize..4, at in 0usize..120, stomp in "\\PC{1,8}") {
+        let kernel = KERNELS[idx];
+        let at = kernel
+            .char_indices()
+            .map(|(i, _)| i)
+            .nth(at.min(kernel.chars().count() - 1))
+            .unwrap();
+        let mut src = String::new();
+        src.push_str(&kernel[..at]);
+        src.push_str(&stomp);
+        let rest = &kernel[at..];
+        // Skip one char of the original to actually "stomp" it.
+        if let Some(c) = rest.chars().next() {
+            src.push_str(&rest[c.len_utf8()..]);
+        }
+        let _ = parse(&src);
+        let once = repair(&src);
+        prop_assert_eq!(repair(&once.text).text, once.text.clone());
+    }
+
+    /// The validator is incremental: feeding a string char-by-char, in one
+    /// call, or split at an arbitrary point gives identical verdicts.
+    #[test]
+    fn validator_chunking_invariance(src in "[ -~\\n]{0,300}", split in 0usize..300) {
+        let mut whole = PrefixValidator::new();
+        whole.feed_str(&src);
+
+        let boundary = src
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(src.len()))
+            .nth(split.min(src.chars().count()))
+            .unwrap_or(src.len());
+        let mut split_fed = PrefixValidator::new();
+        split_fed.feed_str(&src[..boundary]);
+        split_fed.feed_str(&src[boundary..]);
+
+        prop_assert_eq!(whole.is_hopeless(), split_fed.is_hopeless());
+        prop_assert_eq!(whole.hopeless(), split_fed.hopeless());
+        prop_assert_eq!(whole.brace_depth(), split_fed.brace_depth());
+    }
+
+    /// A hopeless verdict is monotone: once a prefix is hopeless, every
+    /// extension is hopeless with the same damage record.
+    #[test]
+    fn hopeless_is_monotone(src in "[ -~\\n]{0,200}", ext in "[ -~\\n]{0,100}") {
+        let mut v = PrefixValidator::new();
+        v.feed_str(&src);
+        let before = v.hopeless();
+        v.feed_str(&ext);
+        if before.is_some() {
+            prop_assert_eq!(v.hopeless(), before);
+        }
+    }
+}
+
+/// Exhaustive truncation sweep (not sampled): every prefix of every pool
+/// kernel parses without panicking and repairs idempotently.
+#[test]
+fn every_truncation_point_is_total() {
+    for kernel in KERNELS {
+        for (cut, _) in kernel.char_indices() {
+            let truncated = &kernel[..cut];
+            let _ = parse(truncated);
+            let once = repair(truncated);
+            assert_eq!(
+                repair(&once.text).text,
+                once.text,
+                "repair not idempotent at cut {cut} of {kernel:?}"
+            );
+        }
+    }
+}

@@ -501,6 +501,12 @@ impl<'a> Machine<'a> {
         match stmt {
             Stmt::Block(b) => self.exec_block(b, env, depth),
             Stmt::Empty => Ok(Flow::Normal),
+            // Error nodes only exist in units that failed to compile, which
+            // the driver refuses to launch; reaching one is a logic error
+            // surfaced as an unsupported-construct failure, not a panic.
+            Stmt::Error(_) => Err(ExecError::Unsupported(
+                "parse-error placeholder statement".into(),
+            )),
             Stmt::Decl(d) => {
                 self.exec_decl(d, env, depth)?;
                 Ok(Flow::Normal)
@@ -693,6 +699,9 @@ impl<'a> Machine<'a> {
     fn eval(&mut self, e: &Expr, env: &mut Env, depth: usize) -> Result<Value, ExecError> {
         match e {
             Expr::IntLit { value, .. } => Ok(Value::int(*value)),
+            Expr::Error(_) => Err(ExecError::Unsupported(
+                "parse-error placeholder expression".into(),
+            )),
             Expr::FloatLit { value, .. } => Ok(Value::float(*value)),
             Expr::CharLit(c) => Ok(Value::int(*c as i64)),
             Expr::StrLit(_) => Ok(Value::int(0)),

@@ -34,6 +34,7 @@
 //! guarantee the small ones have.
 
 use crate::sampler::{SampleOptions, SampledCandidate, StopReason};
+use cl_frontend::PrefixValidator;
 use clgen_corpus::Vocabulary;
 use clgen_neural::{sample_distribution_with, StreamBatch};
 use rand::rngs::StdRng;
@@ -61,6 +62,10 @@ struct LaneRun {
     seed_cursor: usize,
     options: SampleOptions,
     rng: StdRng,
+    /// Incremental prefix validator fed every character of the candidate
+    /// text (seed included), mirroring the serial sampler, so hopeless lanes
+    /// are reaped mid-kernel at the identical character.
+    validator: PrefixValidator,
 }
 
 /// A continuously-batched sampling engine over the lanes of one
@@ -185,6 +190,7 @@ impl<'a> BatchEngine<'a> {
             seed_cursor: 0,
             options,
             rng: StdRng::seed_from_u64(rng_seed),
+            validator: PrefixValidator::new(),
         });
         self.occupied += 1;
         None
@@ -244,7 +250,9 @@ impl<'a> BatchEngine<'a> {
             // its brace depth.
             if run.seed_cursor < run.seed.ids.len() {
                 let id = run.seed.ids[run.seed_cursor];
-                match run.seed.chars[run.seed_cursor] {
+                let c = run.seed.chars[run.seed_cursor];
+                run.validator.feed(c);
+                match c {
                     '{' => run.depth += 1,
                     '}' => run.depth -= 1,
                     _ => {}
@@ -264,16 +272,23 @@ impl<'a> BatchEngine<'a> {
             let c = self.vocab.decode_char(id);
             run.text.push(c);
             run.generated += 1;
+            run.validator.feed(c);
             let mut stop = None;
-            match c {
-                '{' => run.depth += 1,
-                '}' => {
-                    run.depth -= 1;
-                    if run.depth <= 0 {
-                        stop = Some(StopReason::ClosedKernel);
+            if run.validator.is_hopeless() {
+                // Same check, same precedence as the serial sampler: damage
+                // no suffix can undo reaps the lane mid-kernel.
+                stop = Some(StopReason::Hopeless);
+            } else {
+                match c {
+                    '{' => run.depth += 1,
+                    '}' => {
+                        run.depth -= 1;
+                        if run.depth <= 0 {
+                            stop = Some(StopReason::ClosedKernel);
+                        }
                     }
+                    _ => {}
                 }
-                _ => {}
             }
             if stop.is_none() && run.generated >= run.options.max_chars {
                 stop = Some(StopReason::MaxLength);

@@ -6,6 +6,7 @@
 //! reached or a maximum length is exceeded.
 
 use crate::engine::BatchEngine;
+use cl_frontend::PrefixValidator;
 use clgen_corpus::Vocabulary;
 use clgen_neural::{sample_distribution_with, LanguageModel, StreamBatch};
 use rand::rngs::StdRng;
@@ -35,6 +36,12 @@ pub enum StopReason {
     ClosedKernel,
     /// The maximum character budget was exhausted first.
     MaxLength,
+    /// The incremental prefix validator proved the candidate unrecoverable
+    /// (stray closing delimiter, illegal character, unterminated literal,
+    /// pathological nesting) and sampling was aborted mid-kernel. The verdict
+    /// is a pure function of the candidate's bytes, so serial and batched
+    /// sampling abort at the identical character.
+    Hopeless,
 }
 
 /// A raw sampled candidate (before rejection filtering).
@@ -65,10 +72,15 @@ pub fn sample_kernel(
     model.reset();
     let mut text = String::with_capacity(seed.len() + options.max_chars);
     let mut depth: i32 = 0;
+    // The incremental validator sees every character the candidate text sees
+    // (seed included), so its hopelessness verdict is a pure function of the
+    // candidate bytes — identical in this serial path and the batched engine.
+    let mut validator = PrefixValidator::new();
     // Feed the seed.
     for c in seed.chars() {
         model.feed(vocab.encode_char(c));
         text.push(c);
+        validator.feed(c);
         match c {
             '{' => depth += 1,
             '}' => depth -= 1,
@@ -85,6 +97,12 @@ pub fn sample_kernel(
         model.feed(id);
         text.push(c);
         generated += 1;
+        validator.feed(c);
+        if validator.is_hopeless() {
+            // Damage no suffix can undo: stop paying for this candidate.
+            stop = StopReason::Hopeless;
+            break;
+        }
         match c {
             '{' => depth += 1,
             '}' => {

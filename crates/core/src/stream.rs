@@ -15,7 +15,7 @@
 //! and the stream accumulates whole-run [`SynthesisStats`].
 
 use crate::model::TrainedModel;
-use crate::sampler::{sample_kernels_batched, SampleOptions, SampledCandidate};
+use crate::sampler::{sample_kernels_batched, SampleOptions, SampledCandidate, StopReason};
 use crate::spec::{ArgumentSpec, FREE_SEED};
 use crate::synthesizer::{SynthesisReport, SynthesisStats, SynthesizedKernel};
 use clgen_corpus::filter::{filter_source, FilterConfig};
@@ -55,34 +55,75 @@ pub fn stream_seed(run_seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Run one source text through the rejection filter, returning the formatted
+/// kernel if accepted (the `raw` and `repaired` fields are filled in by the
+/// caller).
+fn accept_source(filter: &FilterConfig, text: &str) -> Result<SynthesizedKernel, RejectReason> {
+    let verdict = filter_source(text, filter);
+    verdict.decision?;
+    // Re-format through the corpus rewriter so the output is in the
+    // same canonical style as the training corpus.
+    let rewritten = rewrite_unit_to_kernels(verdict.compile.unit.clone(), "clgen", 0);
+    let kernel = rewritten
+        .kernels
+        .into_iter()
+        .max_by_key(|k| k.instructions)
+        .ok_or(RejectReason::NoKernel)?;
+    Ok(SynthesizedKernel {
+        source: kernel.source,
+        raw: String::new(),
+        instructions: kernel.instructions,
+        repaired: false,
+    })
+}
+
 /// Run one candidate through the rejection filter, returning the formatted
 /// kernel if accepted. Pure function of the candidate text and filter
 /// configuration, so batches of candidates can be filtered on worker threads
 /// while the synthesizer keeps sampling — the [`SynthesisStream`] pipeline
 /// and the synthesis service both fan this out over the rayon pool.
+///
+/// Two resilient-frontend policies live here, both pure functions of the
+/// candidate bytes (so batched ≡ serial and thread-count invariance survive):
+///
+/// * candidates aborted mid-sampling by the incremental validator
+///   ([`StopReason::Hopeless`]) short-circuit to
+///   [`RejectReason::AbortedMidstream`] without compiling — the validator
+///   already proved no repair can save them cheaply;
+/// * candidates the filter rejects are offered to
+///   [`cl_frontend::repair_candidates`] and every *changed* proposal is
+///   re-verified through the full filter; the first proposal to pass is
+///   accepted with [`SynthesizedKernel::repaired`] set. The original
+///   rejection reason is reported when no proposal passes.
+///
+/// Corpus mining never reaches this function (it filters complete mined
+/// files through `filter_source` directly), so repair cannot inflate corpus
+/// acceptance statistics.
 pub fn filter_candidate(
     filter: &FilterConfig,
     candidate: &SampledCandidate,
 ) -> Result<SynthesizedKernel, RejectReason> {
-    let verdict = filter_source(&candidate.text, filter);
-    match verdict.decision {
-        Err(reason) => Err(reason),
-        Ok(()) => {
-            // Re-format through the corpus rewriter so the output is in the
-            // same canonical style as the training corpus.
-            let rewritten = rewrite_unit_to_kernels(verdict.compile.unit.clone(), "clgen", 0);
-            let kernel = rewritten
-                .kernels
-                .into_iter()
-                .max_by_key(|k| k.instructions)
-                .ok_or(RejectReason::NoKernel)?;
-            Ok(SynthesizedKernel {
-                source: kernel.source,
-                raw: candidate.text.clone(),
-                instructions: kernel.instructions,
-            })
+    if candidate.stop == StopReason::Hopeless {
+        return Err(RejectReason::AbortedMidstream);
+    }
+    let first_rejection = match accept_source(filter, &candidate.text) {
+        Ok(mut kernel) => {
+            kernel.raw = candidate.text.clone();
+            return Ok(kernel);
+        }
+        Err(reason) => reason,
+    };
+    for proposal in cl_frontend::repair_candidates(&candidate.text) {
+        if !proposal.changed() {
+            continue;
+        }
+        if let Ok(mut kernel) = accept_source(filter, &proposal.text) {
+            kernel.raw = candidate.text.clone();
+            kernel.repaired = true;
+            return Ok(kernel);
         }
     }
+    Err(first_rejection)
 }
 
 /// Configuration of a [`Sampler`] session.
@@ -158,7 +199,12 @@ pub struct KernelStats {
     pub attempts: usize,
     /// Characters generated across those candidates.
     pub generated_chars: usize,
-    /// Rejections by reason among those candidates.
+    /// 1 if the accepted kernel passed the filter only after deterministic
+    /// repair, 0 otherwise (aggregates to "repaired accepts" in
+    /// [`StatsSummary`]).
+    pub repaired: usize,
+    /// Rejections by reason among those candidates (mid-sampling aborts
+    /// under [`RejectReason::AbortedMidstream`]).
     pub rejected: HashMap<RejectReason, usize>,
     /// Zero-based index of the accepted candidate in the session's sample
     /// sequence (its RNG stream is a deterministic function of the run seed
@@ -175,13 +221,17 @@ pub struct KernelStats {
 /// instead of keeping ad-hoc counters.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSummary {
-    /// Accepted kernels folded in.
+    /// Accepted kernels folded in (natively-valid plus repaired).
     pub kernels: usize,
     /// Candidates sampled across those kernels' windows.
     pub attempts: usize,
     /// Characters generated across those candidates.
     pub generated_chars: usize,
-    /// Rejections by reason among those candidates.
+    /// Of the accepted kernels, how many passed only after deterministic
+    /// repair (always ≤ `kernels`).
+    pub repaired: usize,
+    /// Rejections by reason among those candidates (mid-sampling aborts
+    /// under [`RejectReason::AbortedMidstream`]).
     pub rejected: HashMap<RejectReason, usize>,
 }
 
@@ -198,6 +248,7 @@ impl StatsSummary {
     pub fn merge_window(&mut self, window: &KernelStats) {
         self.attempts += window.attempts;
         self.generated_chars += window.generated_chars;
+        self.repaired += window.repaired;
         for (&reason, &count) in &window.rejected {
             *self.rejected.entry(reason).or_insert(0) += count;
         }
@@ -208,6 +259,7 @@ impl StatsSummary {
         self.kernels += other.kernels;
         self.attempts += other.attempts;
         self.generated_chars += other.generated_chars;
+        self.repaired += other.repaired;
         for (&reason, &count) in &other.rejected {
             *self.rejected.entry(reason).or_insert(0) += count;
         }
@@ -220,6 +272,14 @@ impl StatsSummary {
         } else {
             self.kernels as f64 / self.attempts as f64
         }
+    }
+
+    /// Candidates aborted mid-sampling by the incremental validator.
+    pub fn aborted_midstream(&self) -> usize {
+        self.rejected
+            .get(&RejectReason::AbortedMidstream)
+            .copied()
+            .unwrap_or(0)
     }
 }
 
@@ -253,6 +313,9 @@ impl std::fmt::Display for StatsSummary {
             self.acceptance_rate() * 100.0,
             self.generated_chars
         )?;
+        if self.repaired > 0 {
+            write!(f, "; {} accepted via repair", self.repaired)?;
+        }
         if !self.rejected.is_empty() {
             // Sorted for a deterministic rendering.
             let mut reasons: Vec<(String, usize)> = self
@@ -489,6 +552,10 @@ impl<'m> SynthesisStream<'m> {
                 Ok(kernel) => {
                     self.stats.accepted += 1;
                     let mut stats = std::mem::take(&mut self.window);
+                    if kernel.repaired {
+                        self.stats.repaired += 1;
+                        stats.repaired = 1;
+                    }
                     stats.candidate_index = first_index + offset as u64;
                     self.ready.push_back(StreamedKernel { kernel, stats });
                 }

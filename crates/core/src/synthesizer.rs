@@ -101,10 +101,15 @@ impl ClgenOptions {
 pub struct SynthesizedKernel {
     /// Canonically formatted, self-contained kernel source.
     pub source: String,
-    /// The raw sampled text before re-formatting.
+    /// The raw sampled text before repair and re-formatting.
     pub raw: String,
     /// Static instruction count.
     pub instructions: usize,
+    /// True if the accepted source is a deterministic repair of the raw
+    /// sample (the raw text itself was rejected, a
+    /// [`cl_frontend::repair_candidates`] proposal re-passed the full
+    /// filter).
+    pub repaired: bool,
 }
 
 /// Statistics over a synthesis run.
@@ -112,9 +117,16 @@ pub struct SynthesizedKernel {
 pub struct SynthesisStats {
     /// Number of candidates sampled.
     pub attempts: usize,
-    /// Number accepted by the rejection filter.
+    /// Number accepted by the rejection filter (natively-valid plus
+    /// repaired).
     pub accepted: usize,
-    /// Rejections by reason.
+    /// Of the accepted candidates, how many passed only after deterministic
+    /// repair (always ≤ `accepted`).
+    pub repaired: usize,
+    /// Rejections by reason. Candidates aborted mid-sampling by the
+    /// incremental validator appear under
+    /// [`RejectReason::AbortedMidstream`], so
+    /// `accepted + rejected == attempts` still holds.
     pub rejected: HashMap<RejectReason, usize>,
     /// Total characters generated.
     pub generated_chars: usize,
@@ -346,6 +358,9 @@ impl Clgen {
             match self.check_candidate(&candidate) {
                 Ok(kernel) => {
                     report.stats.accepted += 1;
+                    if kernel.repaired {
+                        report.stats.repaired += 1;
+                    }
                     report.kernels.push(kernel);
                 }
                 Err(reason) => {

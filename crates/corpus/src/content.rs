@@ -21,6 +21,13 @@ pub enum RejectReason {
     /// per-candidate panic into a typed verdict instead of letting one
     /// poisoned candidate take down the whole filter fan-out.
     FilterPanicked,
+    /// Sampling of this candidate was aborted mid-kernel because the
+    /// incremental prefix validator proved the emitted prefix unrecoverable
+    /// (stray closing delimiter, illegal character, unterminated literal,
+    /// pathological nesting). Produced only by the synthesis pipeline —
+    /// mined content files are always complete texts — and counted as a
+    /// rejection so `accepted + rejected == attempts` keeps holding.
+    AbortedMidstream,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -31,6 +38,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::NoKernel => "no kernel function",
             RejectReason::TooFewInstructions => "fewer than minimum static instructions",
             RejectReason::FilterPanicked => "filter panicked",
+            RejectReason::AbortedMidstream => "aborted midstream",
         };
         f.write_str(s)
     }

@@ -54,7 +54,16 @@ pub(crate) struct ServeMetrics {
 }
 
 const LATENCY: &str = "clgen_request_latency_us";
-const REJECTED_BY_REASON: &str = "clgen_filter_rejected_total";
+const REJECTED_BY_REASON: &str = "clgen_filter_rejects_total";
+const CANDIDATES: &str = "clgen_candidates_total";
+
+/// The label values of the `clgen_candidates_total{outcome}` family, in
+/// exposition order. Outcomes are mutually exclusive and sum to the absorbed
+/// attempts: `accepted` (natively valid), `repaired` (accepted only after
+/// deterministic repair), `aborted_midstream` (reaped by the incremental
+/// validator mid-kernel), `rejected` (every other filter rejection).
+pub(crate) const CANDIDATE_OUTCOMES: [&str; 4] =
+    ["accepted", "repaired", "aborted_midstream", "rejected"];
 
 impl ServeMetrics {
     /// Register the full serving catalog in `registry` and return the
@@ -85,6 +94,15 @@ impl ServeMetrics {
             &[],
             "Per-unit drive wall-clock in microseconds",
         );
+        // Candidate outcomes are pre-registered at zero so the family is
+        // complete in `/metrics` before the first candidate is absorbed.
+        for outcome in CANDIDATE_OUTCOMES {
+            registry.counter(
+                CANDIDATES,
+                &[("outcome", outcome)],
+                "Absorbed candidates by outcome",
+            );
+        }
         ServeMetrics {
             requests_received: c(
                 "clgen_requests_received_total",
@@ -198,5 +216,20 @@ impl ServeMetrics {
                     .map(|(_, reason)| (reason, value))
             })
             .collect()
+    }
+
+    /// The candidate counter for one outcome
+    /// (see [`CANDIDATE_OUTCOMES`]).
+    pub fn candidate_outcome(&self, outcome: &'static str) -> Counter {
+        self.registry.counter(
+            CANDIDATES,
+            &[("outcome", outcome)],
+            "Absorbed candidates by outcome",
+        )
+    }
+
+    /// Snapshot the candidate-outcome counts in [`CANDIDATE_OUTCOMES`] order.
+    pub fn candidate_counts(&self) -> [(&'static str, u64); 4] {
+        CANDIDATE_OUTCOMES.map(|outcome| (outcome, self.candidate_outcome(outcome).get()))
     }
 }

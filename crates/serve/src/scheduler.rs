@@ -380,9 +380,15 @@ fn render_kernel_line(kernel: &SynthesizedKernel, stats: &KernelStats) -> String
     line.push_str("{\"kernel\":");
     json::escape_into(&mut line, &kernel.source);
     line.push_str(&format!(
-        ",\"instructions\":{},\"candidate_index\":{},\"attempts\":{},\"generated_chars\":{},\"rejected\":",
+        ",\"instructions\":{},\"candidate_index\":{},\"attempts\":{},\"generated_chars\":{},",
         kernel.instructions, stats.candidate_index, stats.attempts, stats.generated_chars
     ));
+    if kernel.repaired {
+        // Only emitted when set, so natively-valid kernel lines keep their
+        // exact pre-repair byte layout.
+        line.push_str("\"repaired\":true,");
+    }
+    line.push_str("\"rejected\":");
     render_rejections(&mut line, &stats.rejected);
     line.push('}');
     line
@@ -394,8 +400,8 @@ fn render_kernel_line(kernel: &SynthesizedKernel, stats: &KernelStats) -> String
 fn render_done_line(summary: &StatsSummary, exhausted: bool, timed_out: bool) -> String {
     let mut line = String::with_capacity(160);
     line.push_str(&format!(
-        "{{\"done\":true,\"kernels\":{},\"attempts\":{},\"generated_chars\":{},\"exhausted\":{},",
-        summary.kernels, summary.attempts, summary.generated_chars, exhausted
+        "{{\"done\":true,\"kernels\":{},\"attempts\":{},\"generated_chars\":{},\"repaired\":{},\"exhausted\":{},",
+        summary.kernels, summary.attempts, summary.generated_chars, summary.repaired, exhausted
     ));
     if timed_out {
         line.push_str("\"timeout\":true,");
@@ -493,11 +499,31 @@ impl Scheduler {
                     .generated_chars
                     .add((req.summary.generated_chars + req.window.generated_chars) as u64);
                 self.metrics.filter_accepted.add(req.summary.kernels as u64);
+                let mut aborted = 0u64;
+                let mut other_rejected = 0u64;
                 for (reason, &count) in req.summary.rejected.iter().chain(&req.window.rejected) {
+                    match reason {
+                        RejectReason::AbortedMidstream => aborted += count as u64,
+                        _ => other_rejected += count as u64,
+                    }
                     self.metrics
                         .filter_rejected(&reason.to_string())
                         .add(count as u64);
                 }
+                // Mutually-exclusive outcome taxonomy: the four counters sum
+                // to the request's absorbed attempts.
+                self.metrics
+                    .candidate_outcome("accepted")
+                    .add((req.summary.kernels - req.summary.repaired) as u64);
+                self.metrics
+                    .candidate_outcome("repaired")
+                    .add(req.summary.repaired as u64);
+                self.metrics
+                    .candidate_outcome("aborted_midstream")
+                    .add(aborted);
+                self.metrics
+                    .candidate_outcome("rejected")
+                    .add(other_rejected);
                 self.metrics.requests_completed.inc();
                 if req.timed_out {
                     self.metrics.requests_timed_out.inc();
@@ -525,6 +551,7 @@ impl Scheduler {
                 Ok(kernel) => {
                     let mut stats = std::mem::take(&mut req.window);
                     stats.candidate_index = index;
+                    stats.repaired = kernel.repaired as usize;
                     let line = render_kernel_line(&kernel, &stats);
                     req.summary.merge(&stats);
                     req.accepted += 1;
@@ -1032,13 +1059,14 @@ mod tests {
             kernels: 1,
             attempts: 3,
             generated_chars: 120,
+            repaired: 1,
             rejected: HashMap::new(),
         };
         let plain = render_done_line(&summary, false, false);
         assert_eq!(
             plain,
             "{\"done\":true,\"kernels\":1,\"attempts\":3,\"generated_chars\":120,\
-             \"exhausted\":false,\"rejected\":{}}"
+             \"repaired\":1,\"exhausted\":false,\"rejected\":{}}"
         );
         let timed = render_done_line(&summary, true, true);
         assert!(timed.contains("\"timeout\":true"));

@@ -743,6 +743,16 @@ fn render_stats(shared: &Shared) -> String {
         rejected_json.push_str(&count.to_string());
     }
     rejected_json.push('}');
+    let mut candidates_json = String::from("{");
+    for (i, (outcome, count)) in metrics.candidate_counts().iter().enumerate() {
+        if i > 0 {
+            candidates_json.push(',');
+        }
+        json::escape_into(&mut candidates_json, outcome);
+        candidates_json.push(':');
+        candidates_json.push_str(&count.to_string());
+    }
+    candidates_json.push('}');
     format!(
         concat!(
             "{{\"backend\":{backend},\"uptime_seconds\":{uptime:.3},",
@@ -755,6 +765,7 @@ fn render_stats(shared: &Shared) -> String {
             "\"sampling\":{{\"kernels\":{kernels},\"attempts\":{attempts},",
             "\"generated_chars\":{chars},\"acceptance_rate\":{rate:.4},",
             "\"chars_per_sec\":{cps:.0}}},",
+            "\"candidates\":{candidates},",
             "\"harness\":{harness},",
             "\"rejections\":{rejections}}}\n"
         ),
@@ -783,6 +794,7 @@ fn render_stats(shared: &Shared) -> String {
             kernels as f64 / attempts as f64
         },
         cps = generated_chars as f64 / elapsed,
+        candidates = candidates_json,
         harness = harness_api::render_harness_stats(shared),
         rejections = rejected_json,
     )

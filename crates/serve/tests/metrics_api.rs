@@ -125,6 +125,7 @@ fn metrics_exposition_parses_and_agrees_with_stats() {
         "clgen_sampling_kernels_total",
         "clgen_generated_chars_total",
         "clgen_filter_accepted_total",
+        "clgen_candidates_total",
         "clgen_harness_units_total",
         "clgen_harness_kernels_driven_total",
         "clgen_harness_unit_run_us_count",
@@ -165,6 +166,77 @@ fn metrics_exposition_parses_and_agrees_with_stats() {
             "{stats_key} disagrees between /stats and /metrics"
         );
     }
+
+    // The candidate-outcome family is complete (all four outcomes present,
+    // pre-registered at zero), mutually exclusive, and sums to the absorbed
+    // attempts; each labeled sample agrees with the `candidates` object in
+    // `/stats`.
+    let mut outcome_sum = 0u64;
+    for outcome in ["accepted", "repaired", "aborted_midstream", "rejected"] {
+        let metric = format!("clgen_candidates_total{{outcome=\"{outcome}\"}}");
+        let from_metrics = sample_value(&body, &metric)
+            .unwrap_or_else(|| panic!("exposition has {metric}:\n{body}"))
+            as u64;
+        let candidates_obj = stats
+            .split("\"candidates\":")
+            .nth(1)
+            .expect("stats has a candidates object");
+        let from_stats = json::extract_u64(candidates_obj, outcome)
+            .unwrap_or_else(|| panic!("stats candidates has {outcome}: {stats}"));
+        assert_eq!(
+            from_stats, from_metrics,
+            "candidates.{outcome} disagrees between /stats and /metrics"
+        );
+        outcome_sum += from_metrics;
+    }
+    let attempts = sample_value(&body, "clgen_sampling_attempts_total ").expect("attempts") as u64;
+    assert_eq!(
+        outcome_sum, attempts,
+        "candidate outcomes must partition the absorbed attempts"
+    );
+
+    // Per-reason filter rejections: every labeled sample of the
+    // `clgen_filter_rejects_total{reason}` family equals its entry in the
+    // `/stats` rejected breakdown, and the family total matches
+    // rejected + aborted outcomes.
+    let rejections_obj = stats
+        .split("\"rejections\":")
+        .nth(1)
+        .expect("stats has a rejections object");
+    let mut reject_sum = 0u64;
+    for line in body
+        .lines()
+        .filter(|l| l.starts_with("clgen_filter_rejects_total{"))
+    {
+        let reason = line
+            .split("reason=\"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .expect("labeled rejection sample");
+        let value = line
+            .rsplit_once(' ')
+            .and_then(|(_, v)| v.parse::<f64>().ok())
+            .expect("sample value") as u64;
+        let from_stats = json::extract_u64(rejections_obj, reason)
+            .unwrap_or_else(|| panic!("stats rejections has {reason:?}: {stats}"));
+        assert_eq!(
+            from_stats, value,
+            "rejects[{reason}] disagrees between /stats and /metrics"
+        );
+        reject_sum += value;
+    }
+    let aborted = sample_value(
+        &body,
+        "clgen_candidates_total{outcome=\"aborted_midstream\"}",
+    )
+    .unwrap_or(0.0);
+    let rejected_outcome =
+        sample_value(&body, "clgen_candidates_total{outcome=\"rejected\"}").unwrap_or(0.0);
+    assert_eq!(
+        reject_sum,
+        (aborted + rejected_outcome) as u64,
+        "per-reason rejects must sum to the rejected + aborted outcomes"
+    );
     handle.shutdown();
 }
 
